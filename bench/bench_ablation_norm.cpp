@@ -1,0 +1,59 @@
+// Ablation (DESIGN.md #3): normalisation vs the local-shuffling gap.
+// Section IV-A-1 attributes much of the gap to per-worker BatchNorm
+// statistics and suggests batch-size-independent normalisation (GroupNorm)
+// as an alternative. We train local shuffling on skewed shards with
+// (i) per-worker BN, (ii) synchronised BN (fused global batch), and
+// (iii) GroupNorm, against the global-shuffling BN reference.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/stopwatch.hpp"
+
+int main() {
+  using namespace dshuf;
+  using namespace dshuf::bench;
+
+  print_header("Ablation", "normalisation vs local-shuffling gap",
+               "sync-BN / GroupNorm shrink local shuffling's accuracy gap "
+               "(Section IV-A-1)");
+
+  auto workload = data::find_workload("imagenet1k-resnet50");
+  TextTable t("top-1 @ M = 32, class-sorted shards, 20 epochs");
+  t.header({"configuration", "best top-1", "final top-1", "wall s"});
+
+  struct Config {
+    std::string label;
+    shuffle::Strategy strategy;
+    nn::NormKind norm;
+    bool sync_bn;
+  };
+  for (const Config& c : {
+           Config{"global + BN (reference)", shuffle::Strategy::kGlobal,
+                  nn::NormKind::kBatchNorm, false},
+           Config{"local + per-worker BN", shuffle::Strategy::kLocal,
+                  nn::NormKind::kBatchNorm, false},
+           Config{"local + synced BN", shuffle::Strategy::kLocal,
+                  nn::NormKind::kBatchNorm, true},
+           Config{"local + GroupNorm", shuffle::Strategy::kLocal,
+                  nn::NormKind::kGroupNorm, false},
+           Config{"local + no norm", shuffle::Strategy::kLocal,
+                  nn::NormKind::kNone, false},
+       }) {
+    auto w = workload;
+    w.model.norm = c.norm;
+    sim::SimConfig cfg;
+    cfg.workers = 32;
+    cfg.local_batch = 8;
+    cfg.strategy = c.strategy;
+    cfg.partition = data::PartitionScheme::kClassSorted;
+    cfg.seed = 123;
+    cfg.epochs = 20;
+    cfg.sync_batchnorm = c.sync_bn;
+    Stopwatch sw;
+    const auto res = sim::run_workload_experiment(w, cfg);
+    t.row({c.label, fmt_percent(res.best_top1), fmt_percent(res.final_top1),
+           fmt_double(sw.seconds(), 1)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation (DESIGN.md #2): the Fig. 4 iteration-overlapped exchange vs a
+// bulk pre-epoch exchange. The perf model reports the raw exchange cost
+// and the visible (post-overlap) cost; the difference is what the
+// scheduler's chunked pipeline buys — and how that benefit erodes when
+// iterations per epoch shrink at scale (the paper's Fig. 9 observation).
+#include <iostream>
+
+#include "perf/perf_model.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dshuf;
+  using shuffle::Strategy;
+
+  std::cout << "\n==================================================\n"
+            << "Ablation — exchange overlap (Fig. 4) vs bulk exchange\n"
+            << "==================================================\n";
+
+  const perf::EpochModel model(io::abci_profile(),
+                               perf::resnet50_profile());
+
+  TextTable t("partial-0.1 exchange time: bulk (raw) vs overlapped");
+  t.header({"workers", "iterations/epoch", "raw exchange s",
+            "visible (overlapped) s", "hidden"});
+  for (std::size_t m : {64U, 256U, 512U, 1024U, 2048U}) {
+    const perf::WorkloadShape shape{.dataset_samples = 1'200'000,
+                                    .workers = m,
+                                    .local_batch = 32};
+    const auto b = model.epoch(shape, Strategy::kPartial, 0.1);
+    t.row({std::to_string(m), std::to_string(b.iterations),
+           fmt_double(b.exchange_raw_s, 2), fmt_double(b.exchange_s, 2),
+           fmt_percent(1.0 - b.exchange_s /
+                                 std::max(1e-12, b.exchange_raw_s))});
+  }
+  t.print(std::cout);
+  std::cout << "Reading: the hidden share shrinks as iterations/epoch drop\n"
+               "and the raw cost climbs with all-to-all congestion — both\n"
+               "mechanisms behind partial-0.1's degradation at 1,024+\n"
+               "workers in Fig. 9.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "util/stopwatch.hpp"
+
+namespace dshuf::bench {
+
+void print_header(const std::string& figure, const std::string& title,
+                  const std::string& paper_claim) {
+  std::cout << "\n==================================================\n"
+            << figure << " — " << title << '\n'
+            << "Paper claim: " << paper_claim << '\n'
+            << "==================================================\n";
+}
+
+std::vector<ArmResult> run_panel(const PanelSpec& spec) {
+  print_header(spec.figure, spec.title, spec.paper_claim);
+  std::cout << "Workload proxy: " << spec.workload.name << " ("
+            << spec.workload.paper_model << " / "
+            << spec.workload.paper_dataset << "), partition="
+            << data::to_string(spec.partition) << "\n";
+
+  std::vector<ArmResult> out;
+  TextTable summary(spec.figure + " summary");
+  summary.header({"scale", "workers", "strategy", "best top-1",
+                  "final top-1", "exchanged/epoch", "storage ratio",
+                  "wall s"});
+
+  for (const auto& scale : spec.scales) {
+    TextTable curves(spec.figure + " accuracy curves @ " +
+                     scale.paper_scale + " (M=" +
+                     std::to_string(scale.workers) + ")");
+    std::vector<std::string> header{"epoch"};
+    std::vector<std::vector<std::string>> cols;
+
+    for (const auto& arm : spec.arms) {
+      sim::SimConfig cfg;
+      cfg.workers = scale.workers;
+      cfg.local_batch = scale.local_batch;
+      cfg.strategy = arm.strategy;
+      cfg.q = arm.q;
+      cfg.partition = spec.partition;
+      cfg.seed = spec.seed;
+      cfg.epochs = spec.epochs;
+
+      Stopwatch sw;
+      auto result = sim::run_workload_experiment(spec.workload, cfg);
+      const double wall = sw.seconds();
+
+      header.push_back(result.label);
+      std::vector<std::string> col;
+      for (const auto& e : result.epochs) {
+        col.push_back(e.val_top1 >= 0 ? fmt_percent(e.val_top1) : "-");
+      }
+      cols.push_back(std::move(col));
+
+      const auto& first = result.epochs.front();
+      summary.row({scale.paper_scale, std::to_string(scale.workers),
+                   result.label, fmt_percent(result.best_top1),
+                   fmt_percent(result.final_top1),
+                   std::to_string(first.samples_exchanged),
+                   fmt_double(result.peak_storage_ratio, 2),
+                   fmt_double(wall, 1)});
+      out.push_back(ArmResult{scale, std::move(result)});
+    }
+
+    curves.header(header);
+    std::size_t rows = 0;
+    for (const auto& c : cols) rows = std::max(rows, c.size());
+    for (std::size_t e = 0; e < rows; ++e) {
+      std::vector<std::string> row{std::to_string(e)};
+      for (const auto& c : cols) row.push_back(e < c.size() ? c[e] : "-");
+      curves.row(std::move(row));
+    }
+    curves.print(std::cout);
+    if (!spec.csv_prefix.empty()) {
+      const std::string path = spec.csv_prefix + "_M" +
+                               std::to_string(scale.workers) + ".csv";
+      if (curves.write_csv(path)) {
+        std::cout << "(curves written to " << path << ")\n";
+      }
+    }
+  }
+
+  summary.print(std::cout);
+  return out;
+}
+
+}  // namespace dshuf::bench

@@ -1,0 +1,57 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Each accuracy bench declares a panel: a workload, a set of (strategy, Q)
+// arms and a set of worker scales; the harness trains every arm with
+// identical seeds/data, prints the per-epoch validation-accuracy series
+// (the paper's curves) and a summary table, and optionally writes CSVs
+// next to the binary for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/workloads.hpp"
+#include "sim/trainer.hpp"
+#include "util/table.hpp"
+
+namespace dshuf::bench {
+
+struct Arm {
+  shuffle::Strategy strategy;
+  double q = 0.0;
+};
+
+struct ScaleSpec {
+  std::size_t workers;
+  std::size_t local_batch;
+  /// The paper-scale this stands in for (e.g. "512 GPUs"); the mapping
+  /// keeps classes-per-worker / samples-per-worker in the paper's regime.
+  std::string paper_scale;
+};
+
+struct PanelSpec {
+  std::string figure;      // e.g. "Fig. 5(a)"
+  std::string title;       // e.g. "ResNet50 / ImageNet-1K"
+  std::string paper_claim; // one-line expected shape
+  data::Workload workload;
+  std::vector<ScaleSpec> scales;
+  std::vector<Arm> arms;
+  std::size_t epochs = 0;  // 0 = workload default
+  data::PartitionScheme partition = data::PartitionScheme::kClassSorted;
+  std::uint64_t seed = 123;
+  std::string csv_prefix;  // empty = no CSV
+};
+
+struct ArmResult {
+  ScaleSpec scale;
+  sim::SimResult result;
+};
+
+/// Run every (scale x arm), print curves + summary, return results.
+std::vector<ArmResult> run_panel(const PanelSpec& spec);
+
+/// Print the standard bench header (figure id, claim, substitution note).
+void print_header(const std::string& figure, const std::string& title,
+                  const std::string& paper_claim);
+
+}  // namespace dshuf::bench

@@ -1,0 +1,98 @@
+// Extension ablation: Fig. 5(c) vs 5(f) with genuinely different
+// ARCHITECTURES instead of MLP width proxies. On the same CIFAR-100-like
+// data and the same class-sorted shards, a wide-shallow CNN (the
+// WideResNet analogue) tolerates local shuffling better than a
+// narrow-deep, BatchNorm-heavy CNN (the Inception analogue) — the paper's
+// "some DNN models are more sensitive to samples diversity than others".
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "nn/conv.hpp"
+#include "util/stopwatch.hpp"
+
+int main() {
+  using namespace dshuf;
+  using namespace dshuf::bench;
+
+  print_header("Extension", "architecture sensitivity with real CNNs",
+               "wide-shallow tolerates local shuffling; narrow-deep "
+               "BN-heavy degrades (Fig. 5(c) vs 5(f) mechanism)");
+
+  data::ClassClusterSpec dspec{.num_classes = 32,
+                               .samples_per_class = 64,
+                               .feature_dim = 32,
+                               .cluster_separation = 2.8,
+                               .within_class_spread = 1.0,
+                               .manifold_warp = 0.5,
+                               .label_noise = 0.02,
+                               .seed = 77};
+  const auto split = data::make_class_clusters_split(dspec);
+
+  struct Arch {
+    std::string name;
+    nn::CnnSpec spec;
+  };
+  const std::vector<Arch> archs = {
+      {"wide-shallow CNN (WRN-like)",
+       nn::CnnSpec{.input_length = 32,
+                   .channels = {24},
+                   .kernel = 3,
+                   .pool = 2,
+                   .num_classes = 32,
+                   .norm = nn::NormKind::kBatchNorm}},
+      {"narrow-deep CNN (Inception-like)",
+       nn::CnnSpec{.input_length = 32,
+                   .channels = {6, 6, 6},
+                   .kernel = 3,
+                   .pool = 2,
+                   .num_classes = 32,
+                   .norm = nn::NormKind::kBatchNorm}},
+  };
+
+  data::TrainRegime regime{.epochs = 20,
+                           .base_lr = 0.1F,
+                           .reference_batch = 128,
+                           .milestones = {12, 17},
+                           .warmup_epochs = 1.0,
+                           .momentum = 0.9F,
+                           .weight_decay = 5e-4F};
+
+  TextTable t("top-1 @ M = 16, Dirichlet(0.4) shards");
+  t.header({"architecture", "global", "local", "gap", "partial-0.3",
+            "wall s"});
+  for (const auto& arch : archs) {
+    double results[3] = {0, 0, 0};
+    Stopwatch sw;
+    int idx = 0;
+    for (const auto& [strategy, q] :
+         std::vector<std::pair<shuffle::Strategy, double>>{
+             {shuffle::Strategy::kGlobal, 0.0},
+             {shuffle::Strategy::kLocal, 0.0},
+             {shuffle::Strategy::kPartial, 0.3}}) {
+      sim::SimConfig cfg;
+      cfg.workers = 16;
+      cfg.local_batch = 8;
+      cfg.strategy = strategy;
+      cfg.q = q;
+      // Mild Dirichlet skew: the regime where architectures separate —
+      // fully class-sorted shards collapse both.
+      cfg.dirichlet_alpha = 0.4;
+      cfg.seed = 123;
+      Rng mrng = Rng(cfg.seed).fork(0x91);
+      nn::Model model = nn::make_cnn(arch.spec, mrng);
+      const auto res = sim::train_model(
+          model, split.train, split.val, regime, cfg,
+          shuffle::strategy_label(strategy, q));
+      results[idx++] = res.best_top1;
+    }
+    t.row({arch.name, fmt_percent(results[0]), fmt_percent(results[1]),
+           fmt_percent(results[0] - results[1]), fmt_percent(results[2]),
+           fmt_double(sw.seconds(), 1)});
+  }
+  t.print(std::cout);
+  std::cout << "Reading: the local-shuffling gap should be visibly larger\n"
+               "for the narrow-deep architecture (more BatchNorms over\n"
+               "fewer channels => more batch-composition sensitivity), and\n"
+               "partial-0.3 should close it for both.\n";
+  return 0;
+}

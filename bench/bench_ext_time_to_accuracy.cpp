@@ -1,0 +1,98 @@
+// Time-to-accuracy: the paper's two headline results combined. Global
+// shuffling converges in the fewest epochs but pays 3-9x more wall-clock
+// per epoch (Fig. 9); local shuffling is cheap per epoch but can stall
+// below the target accuracy; partial-Q converges like global at
+// local-like epoch cost. This bench multiplies the simulator's accuracy
+// curves by the calibrated per-epoch times at paper scale (512 workers,
+// ABCI) and reports wall-clock to reach 95% of global's best accuracy.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "perf/perf_model.hpp"
+#include "util/stopwatch.hpp"
+
+int main() {
+  using namespace dshuf;
+  using namespace dshuf::bench;
+  using shuffle::Strategy;
+
+  print_header("Extension", "time-to-accuracy",
+               "partial-Q reaches global-level accuracy at local-like "
+               "per-epoch cost — the practical payoff");
+
+  const auto& workload = data::find_workload("imagenet1k-resnet50");
+  const perf::EpochModel model(io::abci_profile(), perf::resnet50_profile());
+  const perf::WorkloadShape shape{.dataset_samples = 1'200'000,
+                                  .workers = 512,
+                                  .local_batch = 32};
+
+  struct ArmSpec {
+    Strategy strategy;
+    double q;
+  };
+  struct ArmOutcome {
+    std::string label;
+    std::vector<double> curve;
+    double epoch_time;
+  };
+  std::vector<ArmOutcome> outcomes;
+  for (const ArmSpec& arm : {ArmSpec{Strategy::kGlobal, 0},
+                             ArmSpec{Strategy::kLocal, 0},
+                             ArmSpec{Strategy::kPartial, 0.1},
+                             ArmSpec{Strategy::kPartial, 0.3}}) {
+    sim::SimConfig cfg;
+    cfg.workers = 16;  // "512 GPUs" accuracy regime (see EXPERIMENTS.md)
+    cfg.local_batch = 8;
+    cfg.strategy = arm.strategy;
+    cfg.q = arm.q;
+    cfg.partition = data::PartitionScheme::kClassSorted;
+    cfg.seed = 123;
+    const auto res = sim::run_workload_experiment(workload, cfg);
+    ArmOutcome out;
+    out.label = res.label;
+    for (const auto& e : res.epochs) {
+      if (e.val_top1 >= 0) out.curve.push_back(e.val_top1);
+    }
+    out.epoch_time = model.epoch(shape, arm.strategy, arm.q).total();
+    outcomes.push_back(std::move(out));
+  }
+
+  const double target = 0.95 * *std::max_element(
+                                   outcomes[0].curve.begin(),
+                                   outcomes[0].curve.end());
+
+  TextTable t("wall-clock to reach " + fmt_percent(target) +
+              " top-1 (95% of global's best), paper-scale epoch times");
+  t.header({"strategy", "epochs to target", "s/epoch (512 workers)",
+            "minutes to target", "speedup vs global"});
+  double global_minutes = 0;
+  for (const auto& out : outcomes) {
+    std::size_t epochs_needed = 0;
+    bool reached = false;
+    for (std::size_t e = 0; e < out.curve.size(); ++e) {
+      if (out.curve[e] >= target) {
+        epochs_needed = e + 1;
+        reached = true;
+        break;
+      }
+    }
+    const double minutes =
+        reached ? epochs_needed * out.epoch_time / 60.0 : -1;
+    if (out.label == "global") global_minutes = minutes;
+    t.row({out.label,
+           reached ? std::to_string(epochs_needed) : "never",
+           fmt_double(out.epoch_time, 1),
+           reached ? fmt_double(minutes, 1) : "-",
+           reached && global_minutes > 0
+               ? fmt_double(global_minutes / minutes, 2) + "x"
+               : "-"});
+  }
+  t.print(std::cout);
+  std::cout << "Reading: local is fastest per epoch but never reaches the\n"
+               "target under skewed shards; global reaches it but pays the\n"
+               "PFS price every epoch; partial-Q gets global-class accuracy\n"
+               "at a multiple of global's speed — the paper's 'up to 5x'\n"
+               "training-time claim expressed as time-to-accuracy.\n";
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 5(e): ResNet50 / ImageNet-50 — the hard case for local
+// shuffling. Paper shape: a ~10% gap already at 32 GPUs, up to ~30% at
+// 128; a high exchange rate (Q = 0.7) is needed to approach global
+// accuracy at the larger scale.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dshuf;
+  using namespace dshuf::bench;
+
+  PanelSpec spec;
+  spec.figure = "Fig. 5(e)";
+  spec.title = "ResNet50 / ImageNet-50 (small dataset at scale)";
+  spec.paper_claim =
+      "10% local gap at 32 GPUs, up to 30% at 128; needs partial-0.7";
+  spec.workload = data::find_workload("imagenet50-resnet50");
+  spec.scales = {{.workers = 10, .local_batch = 8, .paper_scale = "32 GPUs"},
+                 {.workers = 40, .local_batch = 4,
+                  .paper_scale = "128 GPUs"}};
+  spec.arms = {{shuffle::Strategy::kGlobal, 0},
+               {shuffle::Strategy::kLocal, 0},
+               {shuffle::Strategy::kPartial, 0.1},
+               {shuffle::Strategy::kPartial, 0.3},
+               {shuffle::Strategy::kPartial, 0.5},
+               {shuffle::Strategy::kPartial, 0.7}};
+  run_panel(spec);
+  return 0;
+}

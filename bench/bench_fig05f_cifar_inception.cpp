@@ -1,0 +1,26 @@
+// Figure 5(f): Inception-v4 / CIFAR-100 — architecture sensitivity: on the
+// SAME dataset where WideResNet tolerated local shuffling (Fig. 5(c)),
+// the narrower, BatchNorm-heavy Inception-style model degrades under
+// local shuffling and needs partial-0.3 to recover.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dshuf;
+  using namespace dshuf::bench;
+
+  PanelSpec spec;
+  spec.figure = "Fig. 5(f)";
+  spec.title = "Inception-v4 / CIFAR-100 (BN-sensitive architecture)";
+  spec.paper_claim =
+      "local degrades at 128 workers (unlike WRN on the same data); "
+      "partial-0.3 recovers";
+  spec.workload = data::find_workload("cifar100-inception");
+  spec.scales = {
+      {.workers = 16, .local_batch = 8, .paper_scale = "128 GPUs"}};
+  spec.arms = {{shuffle::Strategy::kGlobal, 0},
+               {shuffle::Strategy::kLocal, 0},
+               {shuffle::Strategy::kPartial, 0.1},
+               {shuffle::Strategy::kPartial, 0.3}};
+  run_panel(spec);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 8: upstream pre-training on ImageNet-21K under different
+// shuffling strategies, then downstream fine-tuning on ImageNet-1K under
+// global shuffling. Paper shape: local shuffling loses ~3% upstream at
+// 2,048 GPUs, but the downstream accuracy difference is trivial —
+// (partial) local shuffling is safe for pre-training.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/transfer.hpp"
+#include "util/stopwatch.hpp"
+
+int main() {
+  using namespace dshuf;
+  using namespace dshuf::bench;
+
+  print_header("Fig. 8",
+               "ImageNet-21K upstream pre-training -> ImageNet-1K "
+               "downstream fine-tuning",
+               "upstream local loses a few % at scale; downstream "
+               "difference is trivial");
+
+  const data::TaxonomySpec tax_spec{
+      .coarse_classes = 16,
+      .fine_per_coarse = 8,   // 128 fine classes (the 21K proxy)
+      .samples_per_fine = 64,
+      .feature_dim = 48,
+      .seed = 7,
+  };
+  const auto tax = data::make_taxonomy(tax_spec);
+
+  TextTable t("Fig. 8 transfer results");
+  t.header({"upstream strategy", "upstream top-1 (21K proxy)",
+            "downstream top-1 (1K proxy)", "wall s"});
+
+  for (const Arm& arm :
+       {Arm{shuffle::Strategy::kGlobal, 0}, Arm{shuffle::Strategy::kLocal, 0},
+        Arm{shuffle::Strategy::kPartial, 0.1}}) {
+    sim::TransferConfig cfg;
+    cfg.trunk = nn::MlpSpec{.input_dim = 48,
+                            .hidden = {128, 96},
+                            .num_classes = 1,  // overridden per stage
+                            .norm = nn::NormKind::kBatchNorm};
+    cfg.upstream.workers = 32;  // the "2,048 GPU" regime: ~2 fine
+                                // classes per worker under class sorting
+    cfg.upstream.local_batch = 8;
+    cfg.upstream.strategy = arm.strategy;
+    cfg.upstream.q = arm.q;
+    // Mild non-iid shards: the paper's upstream local gap is ~3%, a
+    // degradation, not a collapse.
+    cfg.upstream.dirichlet_alpha = 0.12;
+    cfg.upstream.seed = 11;
+    cfg.upstream_regime = data::TrainRegime{.epochs = 18,
+                                            .base_lr = 0.1F,
+                                            .reference_batch = 256,
+                                            .milestones = {10, 15},
+                                            .warmup_epochs = 2.0};
+    // Downstream: always global shuffling, modest scale, short fine-tune.
+    cfg.downstream = cfg.upstream;
+    cfg.downstream.workers = 8;
+    cfg.downstream.strategy = shuffle::Strategy::kGlobal;
+    // Short, low-LR fine-tune so downstream accuracy reflects the quality
+    // of the transferred trunk rather than re-learning from scratch.
+    cfg.downstream_regime = cfg.upstream_regime;
+    cfg.downstream_regime.epochs = 5;
+    cfg.downstream_regime.milestones = {3};
+    cfg.downstream_regime.warmup_epochs = 0.0;
+    cfg.downstream_regime.base_lr = 0.01F;
+
+    Stopwatch sw;
+    const auto res = sim::run_transfer_experiment(tax, cfg);
+    t.row({shuffle::strategy_label(arm.strategy, arm.q),
+           fmt_percent(res.upstream.best_top1),
+           fmt_percent(res.downstream.best_top1),
+           fmt_double(sw.seconds(), 1)});
+  }
+  t.print(std::cout);
+  std::cout << "Reading: the upstream column should show local trailing\n"
+               "global by a few percent while the downstream column is\n"
+               "nearly uniform — pre-training tolerates cheap shuffling.\n";
+  return 0;
+}

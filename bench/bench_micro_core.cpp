@@ -1,0 +1,113 @@
+// Google-benchmark microbenchmarks for the core primitives: exchange-plan
+// construction, full partial-local epochs, global permutation dealing,
+// GEMM, and one simulated training iteration.
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.hpp"
+#include "nn/builder.hpp"
+#include "nn/loss.hpp"
+#include "shuffle/shuffler.hpp"
+
+namespace {
+
+using namespace dshuf;
+
+std::vector<std::vector<shuffle::SampleId>> make_shards(std::size_t n,
+                                                        std::size_t workers) {
+  std::vector<std::vector<shuffle::SampleId>> shards(workers);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards[i % workers].push_back(static_cast<shuffle::SampleId>(i));
+  }
+  return shards;
+}
+
+void BM_ExchangePlanConstruct(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const auto quota = static_cast<std::size_t>(state.range(1));
+  std::size_t epoch = 0;
+  for (auto _ : state) {
+    shuffle::ExchangePlan plan(42, epoch++, workers, quota);
+    benchmark::DoNotOptimize(plan.rounds());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          workers * static_cast<std::int64_t>(quota));
+}
+BENCHMARK(BM_ExchangePlanConstruct)
+    ->Args({64, 16})
+    ->Args({512, 16})
+    ->Args({2048, 8})
+    ->Args({4096, 4});
+
+void BM_PartialEpoch(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = workers * 64;
+  shuffle::PartialLocalShuffler pls(make_shards(n, workers), 0.1, 7);
+  std::size_t epoch = 0;
+  for (auto _ : state) {
+    pls.begin_epoch(epoch++);
+    benchmark::DoNotOptimize(pls.local_order(0).data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PartialEpoch)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_GlobalEpoch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  shuffle::GlobalShuffler gs(n, 64, 7);
+  std::size_t epoch = 0;
+  for (auto _ : state) {
+    gs.begin_epoch(epoch++);
+    benchmark::DoNotOptimize(gs.local_order(0).data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GlobalEpoch)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  Tensor out({n, n});
+  for (auto _ : state) {
+    gemm(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_TrainIteration(benchmark::State& state) {
+  data::ClassClusterSpec dspec{.num_classes = 16,
+                               .samples_per_class = 64,
+                               .feature_dim = 32,
+                               .seed = 5};
+  const auto ds = data::make_class_clusters(dspec);
+  nn::MlpSpec mspec{.input_dim = 32, .hidden = {96, 64}, .num_classes = 16};
+  Rng rng(5);
+  nn::Model model = nn::make_mlp(mspec, rng);
+  nn::SoftmaxCrossEntropy ce;
+  std::vector<data::SampleId> batch(32);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i] = static_cast<data::SampleId>(i * 7 % ds.size());
+  }
+  const Tensor x = ds.gather(batch);
+  const auto y = ds.gather_labels(batch);
+  for (auto _ : state) {
+    model.zero_grad();
+    const Tensor logits = model.forward(x, true);
+    const float loss = ce.forward(logits, y);
+    benchmark::DoNotOptimize(loss);
+    model.backward(ce.backward());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_TrainIteration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Section IV-B: the shuffling-error analysis. Reports epsilon(A, h, N) =
+// 1 - sigma/N! (Equation 11) across worker counts and exchange fractions
+// for ImageNet-scale N, the non-domination threshold sqrt(bM/N), and the
+// three terms of the convergence bound (Equation 6) — reproducing the
+// paper's conclusion that the error is ~1 and dominates the bound for all
+// practical settings (hence the need for the empirical study).
+#include <iostream>
+
+#include "shuffle/shuffling_error.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dshuf;
+  using namespace dshuf::shuffle;
+
+  std::cout << "\n==================================================\n"
+            << "Sec. IV-B — shuffling error vs convergence bound\n"
+            << "Paper claim: for ImageNet-scale N and practical M, b the\n"
+            << "error ~= 1 and dominates the convergence-rate bound.\n"
+            << "==================================================\n";
+
+  const double n = 1.2e6;
+  const double b = 32;
+
+  TextTable t("epsilon(A,h,N) for |N| = 1.2e6, b = 32");
+  t.header({"workers", "Q", "epsilon", "threshold sqrt(bM/N)",
+            "dominates?"});
+  for (double m : {4.0, 64.0, 512.0, 2048.0, 4096.0, 100000.0}) {
+    for (double q : {0.1, 0.5}) {
+      const double eps = shuffling_error(n, m, q);
+      const double thr = domination_threshold(n, m, b);
+      const bool loose = sigma_overcounts(n, m, q);
+      t.row({fmt_double(m, 0), fmt_double(q, 1),
+             loose ? "(Eq.9 overcounts)" : fmt_double(eps, 6),
+             fmt_double(thr, 4),
+             loose ? "n/a" : (eps > thr ? "yes" : "no")});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "Note: Equation 9 is a loose count; where sigma > N! (very\n"
+               "small M, or large Q) the formula cannot bound the error and\n"
+               "rows are marked. Wherever it is meaningful the paper's\n"
+               "epsilon ~= 1 conclusion holds.\n";
+
+  TextTable bt("Equation 6 bound terms (S = 90 epochs)");
+  bt.header({"workers", "sqrt(1/(S|N|))", "log|N|/|N|",
+             "|N| eps^2 / (b|M|)"});
+  for (double m : {64.0, 512.0, 4096.0}) {
+    const auto terms = bound_terms({.n = n, .m = m, .q = 0.1, .b = b}, 90);
+    bt.row({fmt_double(m, 0), fmt_double(terms.statistical, 8),
+            fmt_double(terms.optimization, 8),
+            fmt_double(terms.shuffling, 2)});
+  }
+  bt.print(std::cout);
+  std::cout << "The shuffling term dwarfs the statistical/optimization\n"
+               "terms => the bound cannot explain PLS's empirical success;\n"
+               "convergence must be studied empirically (Section V).\n";
+  return 0;
+}

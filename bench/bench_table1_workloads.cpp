@@ -1,0 +1,36 @@
+// Table I: the models and datasets of the paper's evaluation, alongside
+// the scaled synthetic proxies this reproduction trains (see DESIGN.md's
+// substitution table for why the proxies preserve the relevant behaviour).
+#include <iostream>
+
+#include "data/workloads.hpp"
+#include "nn/builder.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dshuf;
+
+  std::cout << "\n==================================================\n"
+            << "Table I — models and datasets (paper vs proxy)\n"
+            << "==================================================\n";
+
+  TextTable table("Table I");
+  table.header({"workload", "paper model", "paper dataset", "paper #samples",
+                "paper size", "proxy N", "proxy C", "proxy dim",
+                "proxy model", "norm"});
+  for (const auto& w : data::workload_registry()) {
+    const std::size_t n = w.data.num_classes * w.data.samples_per_class;
+    std::string arch = std::to_string(w.model.input_dim);
+    for (auto h : w.model.hidden) {
+      arch.append("-").append(std::to_string(h));
+    }
+    arch.append("-").append(std::to_string(w.model.num_classes));
+    table.row({w.name, w.paper_model, w.paper_dataset, w.paper_samples,
+               w.paper_size, std::to_string(n),
+               std::to_string(w.data.num_classes),
+               std::to_string(w.data.feature_dim), arch,
+               nn::to_string(w.model.norm)});
+  }
+  table.print(std::cout);
+  return 0;
+}

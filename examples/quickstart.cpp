@@ -1,0 +1,74 @@
+// Quickstart: train one workload under global, local and partial-local
+// shuffling and compare validation accuracy — the paper's core experiment
+// at laptop scale.
+//
+//   ./quickstart --workload imagenet1k-resnet50 --workers 32
+//       --batch 8 --epochs 20 --q 0.1,0.3
+#include <iostream>
+
+#include "data/workloads.hpp"
+#include "sim/trainer.hpp"
+#include "util/argparse.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dshuf;
+
+  ArgParser args("quickstart",
+                 "Compare shuffling strategies on one workload");
+  args.flag("workload", "imagenet1k-resnet50", "registry workload name");
+  args.flag("workers", "32", "number of virtual workers (M)");
+  args.flag("batch", "8", "local minibatch size (b)");
+  args.flag("epochs", "20", "training epochs");
+  args.flag("q", "0.1,0.3", "partial-exchange fractions to try");
+  args.flag("partition", "class-sorted",
+            "initial partition: class-sorted|contiguous|strided|random");
+  args.flag("seed", "123", "experiment seed");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto& workload = data::find_workload(args.get("workload"));
+  std::cout << "Workload: " << workload.name << " (paper: "
+            << workload.paper_model << " / " << workload.paper_dataset
+            << ", " << workload.paper_samples << " samples)\n";
+
+  sim::SimConfig base;
+  base.workers = static_cast<std::size_t>(args.get_int("workers"));
+  base.local_batch = static_cast<std::size_t>(args.get_int("batch"));
+  base.epochs = static_cast<std::size_t>(args.get_int("epochs"));
+  base.partition = data::parse_partition_scheme(args.get("partition"));
+  base.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  TextTable table("validation top-1 by strategy");
+  table.header({"strategy", "best top-1", "final top-1", "storage ratio",
+                "wall s"});
+
+  auto run = [&](shuffle::Strategy s, double q) {
+    sim::SimConfig cfg = base;
+    cfg.strategy = s;
+    cfg.q = q;
+    Stopwatch sw;
+    const auto result = sim::run_workload_experiment(workload, cfg);
+    table.row({result.label, fmt_percent(result.best_top1),
+               fmt_percent(result.final_top1),
+               fmt_double(result.peak_storage_ratio, 2),
+               fmt_double(sw.seconds(), 1)});
+    std::cout << "  " << result.label << ": epoch curve =";
+    for (const auto& e : result.epochs) {
+      if (e.val_top1 >= 0) std::cout << ' ' << fmt_double(e.val_top1, 3);
+    }
+    std::cout << '\n';
+  };
+
+  run(shuffle::Strategy::kGlobal, 0.0);
+  run(shuffle::Strategy::kLocal, 0.0);
+  for (double q : args.get_double_list("q")) {
+    run(shuffle::Strategy::kPartial, q);
+  }
+
+  table.print(std::cout);
+  std::cout << "\nReading: with a class-sorted initial partition, local\n"
+               "shuffling should trail global at scale while partial-Q\n"
+               "recovers most of the gap at a fraction of the storage.\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Deployment planner: given a dataset, a worker count and a machine
+// profile, report per-strategy storage feasibility, per-epoch data
+// movement, and modelled epoch times — the decision the paper's Section
+// III-D guideline asks operators to make ("start with local shuffling; if
+// accuracy is dissatisfactory, treat Q as a hyper-parameter").
+//
+//   ./storage_planner --dataset-gb 8200 --workers 1024 --system abci
+//                     --q 0.1,0.3,0.5
+#include <iostream>
+
+#include "perf/perf_model.hpp"
+#include "shuffle/traffic.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dshuf;
+  using shuffle::Strategy;
+
+  ArgParser args("storage_planner",
+                 "Plan shuffling strategy storage/time for a deployment");
+  args.flag("dataset-gb", "1100", "dataset size in GB");
+  args.flag("samples", "9300000", "number of samples");
+  args.flag("workers", "512", "worker count");
+  args.flag("batch", "32", "local minibatch");
+  args.flag("system", "abci", "machine profile: abci|fugaku");
+  args.flag("q", "0.1,0.3,1.0", "exchange fractions to evaluate");
+  if (!args.parse(argc, argv)) return 0;
+
+  const double dataset_bytes = args.get_double("dataset-gb") * 1e9;
+  const auto samples = static_cast<std::size_t>(args.get_int("samples"));
+  const auto workers = static_cast<std::size_t>(args.get_int("workers"));
+  const std::string system_name = args.get("system");
+  const io::SystemProfile system =
+      system_name == "fugaku" ? io::fugaku_profile() : io::abci_profile();
+
+  perf::ComputeProfile compute = perf::resnet50_profile();
+  compute.sample_bytes = dataset_bytes / static_cast<double>(samples);
+  const perf::EpochModel model(system, compute);
+  const perf::WorkloadShape shape{
+      .dataset_samples = samples,
+      .workers = workers,
+      .local_batch = static_cast<std::size_t>(args.get_int("batch"))};
+
+  std::cout << "Planning for " << fmt_bytes(dataset_bytes) << " / "
+            << samples << " samples on " << system.name << " with "
+            << workers << " workers\n"
+            << "Node-local capacity per worker: "
+            << fmt_bytes(system.node_local.capacity_bytes) << " ("
+            << system.node_local.name << ")\n";
+
+  TextTable t("strategy comparison");
+  t.header({"strategy", "storage/worker", "fits local?", "sent/epoch",
+            "PFS read/epoch", "epoch time (model)", "vs local"});
+  const double local_time = model.epoch(shape, Strategy::kLocal, 0).total();
+
+  auto fits = [&](double bytes) {
+    return bytes <= system.node_local.capacity_bytes ? "yes" : "NO";
+  };
+
+  {
+    const auto tr = shuffle::compute_traffic(
+        {.dataset_bytes = dataset_bytes, .workers = workers, .q = 0.0});
+    const double time = model.epoch(shape, Strategy::kLocal, 0).total();
+    t.row({"local", fmt_bytes(tr.storage_local), fits(tr.storage_local),
+           "-", "-", fmt_double(time, 1) + " s",
+           fmt_double(time / local_time, 2)});
+  }
+  for (double q : args.get_double_list("q")) {
+    const auto tr = shuffle::compute_traffic(
+        {.dataset_bytes = dataset_bytes, .workers = workers, .q = q});
+    const double time = model.epoch(shape, Strategy::kPartial, q).total();
+    t.row({shuffle::strategy_label(Strategy::kPartial, q),
+           fmt_bytes(tr.storage_pls), fits(tr.storage_pls),
+           fmt_bytes(tr.sent_per_worker), "-", fmt_double(time, 1) + " s",
+           fmt_double(time / local_time, 2)});
+  }
+  {
+    const auto tr = shuffle::compute_traffic(
+        {.dataset_bytes = dataset_bytes, .workers = workers, .q = 1.0});
+    const double time = model.epoch(shape, Strategy::kGlobal, 0).total();
+    // Global shuffling needs either full per-node replication or PFS reads.
+    t.row({"global (replicated)", fmt_bytes(tr.storage_global),
+           fits(tr.storage_global), "-", "-", "-", "-"});
+    t.row({"global (from PFS)", "0 B", "yes", "-",
+           fmt_bytes(tr.pfs_read_per_worker_gs), fmt_double(time, 1) + " s",
+           fmt_double(time / local_time, 2)});
+  }
+  t.print(std::cout);
+
+  // Job-startup staging: the paper's "cost of data staging" point.
+  TextTable staging("one-time staging cost (PFS -> local storage)");
+  staging.header({"strategy", "bytes/worker", "aggregate PFS egress",
+                  "staging time"});
+  const auto repl = io::staging_cost(system, dataset_bytes, workers, true);
+  const auto shard = io::staging_cost(system, dataset_bytes, workers, false);
+  const auto pls = io::staging_cost(system, dataset_bytes, workers, false,
+                                    0.1);
+  staging.row({"global (replicate)", fmt_bytes(repl.bytes_per_worker),
+               fmt_bytes(repl.aggregate_pfs_bytes),
+               fmt_double(repl.time_s, 1) + " s"});
+  staging.row({"local", fmt_bytes(shard.bytes_per_worker),
+               fmt_bytes(shard.aggregate_pfs_bytes),
+               fmt_double(shard.time_s, 1) + " s"});
+  staging.row({"partial-0.1", fmt_bytes(pls.bytes_per_worker),
+               fmt_bytes(pls.aggregate_pfs_bytes),
+               fmt_double(pls.time_s, 1) + " s"});
+  staging.print(std::cout);
+
+  std::cout << "Guideline (paper Sec. III-D): start with local shuffling;\n"
+               "if validation accuracy is dissatisfactory, increase Q as a\n"
+               "hyper-parameter until it matches global shuffling.\n";
+  return 0;
+}

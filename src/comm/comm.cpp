@@ -1,0 +1,360 @@
+#include "comm/comm.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace dshuf::comm {
+
+namespace detail {
+
+struct RequestState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Message msg;
+  // Abort flag shared with the world so waiters wake when a peer throws.
+  std::shared_ptr<std::atomic<bool>> aborted;
+
+  void complete(Message m) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      msg = std::move(m);
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+struct PendingRecv {
+  int source;
+  int tag;
+  std::shared_ptr<RequestState> state;
+};
+
+struct RankMailbox {
+  std::mutex mu;
+  std::deque<Message> arrived;
+  std::deque<PendingRecv> pending;
+};
+
+class WorldState {
+ public:
+  explicit WorldState(int num_ranks)
+      : size_(num_ranks),
+        mailboxes_(static_cast<std::size_t>(num_ranks)),
+        reduce_slots_(static_cast<std::size_t>(num_ranks)),
+        bcast_slots_(static_cast<std::size_t>(num_ranks)),
+        a2a_slots_(static_cast<std::size_t>(num_ranks)),
+        aborted_(std::make_shared<std::atomic<bool>>(false)) {
+    DSHUF_CHECK_GT(num_ranks, 0, "world needs at least one rank");
+    for (auto& row : a2a_slots_) {
+      row.resize(static_cast<std::size_t>(num_ranks));
+    }
+  }
+
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] RankMailbox& mailbox(int rank) {
+    DSHUF_CHECK(rank >= 0 && rank < size_, "rank out of range: " << rank);
+    return mailboxes_[static_cast<std::size_t>(rank)];
+  }
+
+  std::shared_ptr<std::atomic<bool>> aborted_flag() { return aborted_; }
+  [[nodiscard]] bool is_aborted() const { return aborted_->load(); }
+  void abort() {
+    aborted_->store(true);
+    barrier_cv_.notify_all();
+    // Wake any parked receive requests.
+    for (auto& mb : mailboxes_) {
+      std::lock_guard<std::mutex> lk(mb.mu);
+      for (auto& pr : mb.pending) pr.state->cv.notify_all();
+    }
+  }
+  void reset_abort() { aborted_->store(false); }
+
+  void barrier() {
+    std::unique_lock<std::mutex> lk(barrier_mu_);
+    const std::uint64_t gen = barrier_gen_;
+    if (++barrier_count_ == size_) {
+      barrier_count_ = 0;
+      ++barrier_gen_;
+      lk.unlock();
+      barrier_cv_.notify_all();
+      return;
+    }
+    barrier_cv_.wait(lk, [&] { return barrier_gen_ != gen || is_aborted(); });
+    DSHUF_CHECK(!is_aborted(), "world aborted while in barrier");
+  }
+
+  std::vector<std::vector<double>>& reduce_slots() { return reduce_slots_; }
+  std::vector<std::vector<std::byte>>& bcast_slots() { return bcast_slots_; }
+  std::vector<std::vector<std::vector<std::byte>>>& a2a_slots() {
+    return a2a_slots_;
+  }
+
+  /// Verify clean shutdown: no stray messages or dangling receives.
+  void check_drained() {
+    for (int r = 0; r < size_; ++r) {
+      auto& mb = mailbox(r);
+      std::lock_guard<std::mutex> lk(mb.mu);
+      DSHUF_CHECK(mb.arrived.empty(),
+                  "rank " << r << " finished with " << mb.arrived.size()
+                          << " unreceived message(s)");
+      DSHUF_CHECK(mb.pending.empty(),
+                  "rank " << r << " finished with " << mb.pending.size()
+                          << " unmatched irecv(s)");
+    }
+  }
+
+ private:
+  int size_;
+  std::vector<RankMailbox> mailboxes_;
+
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_gen_ = 0;
+
+  std::vector<std::vector<double>> reduce_slots_;
+  std::vector<std::vector<std::byte>> bcast_slots_;
+  std::vector<std::vector<std::vector<std::byte>>> a2a_slots_;
+
+  std::shared_ptr<std::atomic<bool>> aborted_;
+};
+
+namespace {
+
+bool matches(const PendingRecv& want, int source, int tag) {
+  return (want.source == kAnySource || want.source == source) &&
+         (want.tag == kAnyTag || want.tag == tag);
+}
+
+bool matches_msg(int want_source, int want_tag, const Message& m) {
+  return (want_source == kAnySource || want_source == m.source) &&
+         (want_tag == kAnyTag || want_tag == m.tag);
+}
+
+}  // namespace
+
+}  // namespace detail
+
+bool Request::test() const {
+  DSHUF_CHECK(state_ != nullptr, "test() on an empty request");
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->done;
+}
+
+void Request::wait() {
+  DSHUF_CHECK(state_ != nullptr, "wait() on an empty request");
+  std::unique_lock<std::mutex> lk(state_->mu);
+  // Poll with a timeout so an aborted world (peer threw) wakes us even if
+  // the notification raced our wait registration.
+  while (!state_->done) {
+    DSHUF_CHECK(!(state_->aborted && state_->aborted->load()),
+                "world aborted while waiting on a request");
+    state_->cv.wait_for(lk, std::chrono::milliseconds(50));
+  }
+}
+
+const Message& Request::message() const {
+  DSHUF_CHECK(state_ != nullptr, "message() on an empty request");
+  std::lock_guard<std::mutex> lk(state_->mu);
+  DSHUF_CHECK(state_->done, "message() before completion");
+  return state_->msg;
+}
+
+void wait_all(std::span<Request> requests) {
+  for (auto& r : requests) r.wait();
+}
+
+int Communicator::size() const { return world_->size(); }
+
+Request Communicator::isend(int dest, int tag, std::vector<std::byte> payload) {
+  DSHUF_CHECK(dest >= 0 && dest < size(), "isend destination out of range");
+  auto state = std::make_shared<detail::RequestState>();
+  state->aborted = world_->aborted_flag();
+
+  Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.payload = std::move(payload);
+
+  auto& mb = world_->mailbox(dest);
+  std::shared_ptr<detail::RequestState> matched;
+  {
+    std::lock_guard<std::mutex> lk(mb.mu);
+    for (auto it = mb.pending.begin(); it != mb.pending.end(); ++it) {
+      if (detail::matches(*it, rank_, tag)) {
+        matched = it->state;
+        mb.pending.erase(it);
+        break;
+      }
+    }
+    if (!matched) mb.arrived.push_back(std::move(msg));
+  }
+  if (matched) matched->complete(std::move(msg));
+
+  // Buffered send: locally complete.
+  state->done = true;
+  return Request(state);
+}
+
+Request Communicator::irecv(int source, int tag) {
+  DSHUF_CHECK(source == kAnySource || (source >= 0 && source < size()),
+              "irecv source out of range");
+  auto state = std::make_shared<detail::RequestState>();
+  state->aborted = world_->aborted_flag();
+
+  auto& mb = world_->mailbox(rank_);
+  bool completed = false;
+  Message found;
+  {
+    std::lock_guard<std::mutex> lk(mb.mu);
+    for (auto it = mb.arrived.begin(); it != mb.arrived.end(); ++it) {
+      if (detail::matches_msg(source, tag, *it)) {
+        found = std::move(*it);
+        mb.arrived.erase(it);
+        completed = true;
+        break;
+      }
+    }
+    if (!completed) {
+      mb.pending.push_back(detail::PendingRecv{source, tag, state});
+    }
+  }
+  if (completed) state->complete(std::move(found));
+  return Request(state);
+}
+
+Message Communicator::recv(int source, int tag) {
+  Request r = irecv(source, tag);
+  r.wait();
+  return r.message();
+}
+
+void Communicator::barrier() { world_->barrier(); }
+
+std::vector<double> Communicator::allreduce_sum(
+    std::span<const double> contribution) {
+  auto& slots = world_->reduce_slots();
+  slots[static_cast<std::size_t>(rank_)].assign(contribution.begin(),
+                                                contribution.end());
+  world_->barrier();
+  // Every rank computes the sum itself (deterministic rank-order
+  // accumulation, so all ranks agree bit-for-bit).
+  std::vector<double> out(contribution.size(), 0.0);
+  for (int r = 0; r < size(); ++r) {
+    const auto& c = slots[static_cast<std::size_t>(r)];
+    DSHUF_CHECK_EQ(c.size(), out.size(),
+                   "allreduce contributions must have equal length");
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += c[i];
+  }
+  world_->barrier();  // slots reusable after everyone has read
+  return out;
+}
+
+std::vector<std::byte> Communicator::bcast(int root,
+                                           std::vector<std::byte> payload) {
+  DSHUF_CHECK(root >= 0 && root < size(), "bcast root out of range");
+  auto& slots = world_->bcast_slots();
+  if (rank_ == root) {
+    slots[static_cast<std::size_t>(root)] = std::move(payload);
+  }
+  world_->barrier();
+  std::vector<std::byte> out = slots[static_cast<std::size_t>(root)];
+  world_->barrier();
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Communicator::alltoallv(
+    std::vector<std::vector<std::byte>> send_per_dest) {
+  DSHUF_CHECK_EQ(send_per_dest.size(), static_cast<std::size_t>(size()),
+                 "alltoallv needs one buffer per destination");
+  auto& slots = world_->a2a_slots();
+  slots[static_cast<std::size_t>(rank_)] = std::move(send_per_dest);
+  world_->barrier();
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(size()));
+  for (int src = 0; src < size(); ++src) {
+    out[static_cast<std::size_t>(src)] =
+        slots[static_cast<std::size_t>(src)][static_cast<std::size_t>(rank_)];
+  }
+  world_->barrier();
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Communicator::gather(
+    int root, std::vector<std::byte> payload) {
+  DSHUF_CHECK(root >= 0 && root < size(), "gather root out of range");
+  // Express over alltoallv: everyone sends to root only.
+  std::vector<std::vector<std::byte>> send(static_cast<std::size_t>(size()));
+  send[static_cast<std::size_t>(root)] = std::move(payload);
+  auto received = alltoallv(std::move(send));
+  if (rank_ != root) return {};
+  return received;
+}
+
+std::vector<std::vector<std::byte>> Communicator::allgather(
+    std::vector<std::byte> payload) {
+  std::vector<std::vector<std::byte>> send(static_cast<std::size_t>(size()));
+  for (auto& s : send) s = payload;
+  return alltoallv(std::move(send));
+}
+
+std::vector<double> Communicator::reduce_sum(
+    int root, std::span<const double> contribution) {
+  DSHUF_CHECK(root >= 0 && root < size(), "reduce root out of range");
+  auto sum = allreduce_sum(contribution);
+  if (rank_ != root) return {};
+  return sum;
+}
+
+std::vector<std::byte> Communicator::scatter(
+    int root, std::vector<std::vector<std::byte>> per_dest) {
+  DSHUF_CHECK(root >= 0 && root < size(), "scatter root out of range");
+  std::vector<std::vector<std::byte>> send(static_cast<std::size_t>(size()));
+  if (rank_ == root) {
+    DSHUF_CHECK_EQ(per_dest.size(), static_cast<std::size_t>(size()),
+                   "scatter needs one payload per destination");
+    send = std::move(per_dest);
+  }
+  auto received = alltoallv(std::move(send));
+  return std::move(received[static_cast<std::size_t>(root)]);
+}
+
+World::World(int num_ranks)
+    : state_(std::make_unique<detail::WorldState>(num_ranks)) {}
+
+World::~World() = default;
+
+int World::size() const { return state_->size(); }
+
+void World::run(const std::function<void(Communicator&)>& body) {
+  state_->reset_abort();
+  const int n = state_->size();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([this, r, &body, &errors] {
+      try {
+        Communicator c(state_.get(), r);
+        body(c);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        state_->abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  state_->check_drained();
+}
+
+}  // namespace dshuf::comm

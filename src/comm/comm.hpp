@@ -1,0 +1,151 @@
+// In-process MPI-like communicator.
+//
+// The paper's exchange (Algorithm 1) is written against MPI point-to-point
+// semantics: MPI_Isend / MPI_Irecv with tags, MPI_ANY_SOURCE, and
+// wait-for-all completion. This module provides exactly those semantics
+// with ranks as threads in one process:
+//
+//   comm::World world(M);
+//   world.run([](comm::Communicator& c) {
+//     auto s = c.isend(dest, tag, bytes);
+//     auto r = c.irecv(comm::kAnySource, tag);
+//     r.wait();                // message now in r.message()
+//   });
+//
+// Sends are buffered ("eager"): isend deposits the message into the
+// destination inbox and completes locally, matching the completion
+// semantics training code can rely on from a buffered MPI_Isend. Receives
+// match by (source, tag) with wildcards, in arrival order (non-overtaking
+// per source, like MPI).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace dshuf::comm {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// A received or in-flight message.
+struct Message {
+  int source = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+namespace detail {
+struct RequestState;
+struct RankMailbox;
+class WorldState;
+}  // namespace detail
+
+/// Handle to a pending non-blocking operation. Copyable (shared state).
+class Request {
+ public:
+  Request() = default;
+
+  /// True once the operation has completed (non-blocking probe).
+  [[nodiscard]] bool test() const;
+  /// Block until complete.
+  void wait();
+  /// The received message; only valid for completed receive requests.
+  [[nodiscard]] const Message& message() const;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class Communicator;
+  explicit Request(std::shared_ptr<detail::RequestState> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<detail::RequestState> state_;
+};
+
+/// Wait for every request in the span (MPI_Waitall).
+void wait_all(std::span<Request> requests);
+
+/// Per-rank endpoint. Not thread-safe across ranks by design: each rank's
+/// thread owns its Communicator.
+class Communicator {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  /// Buffered non-blocking send. Completes immediately after enqueuing at
+  /// the destination; the returned request is for interface parity.
+  Request isend(int dest, int tag, std::vector<std::byte> payload);
+
+  /// Non-blocking receive matching (source, tag); kAnySource / kAnyTag
+  /// wildcards allowed. Matches already-arrived messages first, otherwise
+  /// parks until a matching message arrives.
+  Request irecv(int source, int tag);
+
+  /// Blocking receive convenience.
+  Message recv(int source, int tag);
+
+  /// Dissemination barrier across all ranks.
+  void barrier();
+
+  /// Element-wise sum allreduce over doubles (gradient-exchange analogue).
+  std::vector<double> allreduce_sum(std::span<const double> contribution);
+
+  /// Broadcast from root: root's payload is returned on every rank.
+  std::vector<std::byte> bcast(int root, std::vector<std::byte> payload);
+
+  /// Personalised all-to-all: send_per_dest[d] goes to rank d; returns the
+  /// vector received from each source rank (index = source).
+  std::vector<std::vector<std::byte>> alltoallv(
+      std::vector<std::vector<std::byte>> send_per_dest);
+
+  /// Gather every rank's payload at `root` (indexed by source). Non-root
+  /// ranks receive an empty vector.
+  std::vector<std::vector<std::byte>> gather(int root,
+                                             std::vector<std::byte> payload);
+
+  /// All ranks receive every rank's payload (indexed by source).
+  std::vector<std::vector<std::byte>> allgather(std::vector<std::byte> payload);
+
+  /// Element-wise double sum delivered only at `root`; other ranks get an
+  /// empty vector.
+  std::vector<double> reduce_sum(int root, std::span<const double> contribution);
+
+  /// Root distributes per_dest[d] to rank d; returns this rank's share.
+  std::vector<std::byte> scatter(int root,
+                                 std::vector<std::vector<std::byte>> per_dest);
+
+ private:
+  friend class World;
+  Communicator(detail::WorldState* world, int rank)
+      : world_(world), rank_(rank) {}
+
+  detail::WorldState* world_;
+  int rank_;
+};
+
+/// Owns the shared state and the rank threads.
+class World {
+ public:
+  explicit World(int num_ranks);
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] int size() const;
+
+  /// Run `body` on `size()` threads, one per rank. Rethrows the first
+  /// exception any rank threw (after joining all threads). May be called
+  /// multiple times; mailboxes must be drained between runs (checked).
+  void run(const std::function<void(Communicator&)>& body);
+
+ private:
+  std::unique_ptr<detail::WorldState> state_;
+};
+
+}  // namespace dshuf::comm

@@ -1,0 +1,60 @@
+#include "data/batch_loader.hpp"
+
+namespace dshuf::data {
+
+BatchLoader::BatchLoader(const InMemoryDataset& dataset,
+                         std::vector<SampleId> order, std::size_t batch_size,
+                         std::size_t prefetch_depth)
+    : dataset_(&dataset),
+      order_(std::move(order)),
+      batch_size_(batch_size),
+      prefetch_depth_(std::max<std::size_t>(1, prefetch_depth)),
+      num_batches_(batch_size == 0 ? 0 : order_.size() / batch_size) {
+  DSHUF_CHECK_GT(batch_size, 0U, "batch size must be positive");
+  producer_ = std::thread([this] { producer_loop(); });
+}
+
+BatchLoader::~BatchLoader() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (producer_.joinable()) producer_.join();
+}
+
+void BatchLoader::producer_loop() {
+  for (std::size_t b = 0; b < num_batches_; ++b) {
+    // Assemble outside the lock — this is the work being overlapped.
+    const std::span<const SampleId> ids(order_.data() + b * batch_size_,
+                                        batch_size_);
+    Batch batch;
+    batch.index = b;
+    batch.features = dataset_->gather(ids);
+    batch.labels = dataset_->gather_labels(ids);
+
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] {
+      return stop_ || queue_.size() < prefetch_depth_;
+    });
+    if (stop_) return;
+    queue_.push_back(std::move(batch));
+    ++produced_;
+    lk.unlock();
+    cv_.notify_all();
+  }
+}
+
+std::optional<BatchLoader::Batch> BatchLoader::next() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (consumed_ >= num_batches_) return std::nullopt;
+  cv_.wait(lk, [&] { return !queue_.empty(); });
+  Batch batch = std::move(queue_.front());
+  queue_.pop_front();
+  ++consumed_;
+  lk.unlock();
+  cv_.notify_all();
+  return batch;
+}
+
+}  // namespace dshuf::data

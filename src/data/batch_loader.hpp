@@ -1,0 +1,62 @@
+// Prefetching batch loader — the DataLoader piece of the paper's training
+// stack. Assembles fixed-size batches ([b, D] tensor + labels) from a
+// visit order on a background thread, keeping a small bounded queue ahead
+// of the consumer so batch assembly overlaps with compute (the same
+// pipelining idea the paper's Fig. 4 applies to the sample exchange).
+// Drop-last semantics match the simulator / PyTorch defaults.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace dshuf::data {
+
+class BatchLoader {
+ public:
+  struct Batch {
+    std::size_t index = 0;  // batch number within the epoch
+    Tensor features;        // [b, D]
+    std::vector<std::uint32_t> labels;
+  };
+
+  /// `dataset` must outlive the loader. `prefetch_depth` bounds how many
+  /// batches the producer may run ahead.
+  BatchLoader(const InMemoryDataset& dataset, std::vector<SampleId> order,
+              std::size_t batch_size, std::size_t prefetch_depth = 2);
+  ~BatchLoader();
+  BatchLoader(const BatchLoader&) = delete;
+  BatchLoader& operator=(const BatchLoader&) = delete;
+
+  /// Number of (full) batches this epoch.
+  [[nodiscard]] std::size_t num_batches() const { return num_batches_; }
+
+  /// Blocking: returns the next batch, or nullopt once the epoch is
+  /// exhausted. Batches arrive strictly in order.
+  std::optional<Batch> next();
+
+ private:
+  void producer_loop();
+
+  const InMemoryDataset* dataset_;
+  std::vector<SampleId> order_;
+  std::size_t batch_size_;
+  std::size_t prefetch_depth_;
+  std::size_t num_batches_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Batch> queue_;
+  std::size_t produced_ = 0;
+  std::size_t consumed_ = 0;
+  bool stop_ = false;
+  std::thread producer_;
+};
+
+}  // namespace dshuf::data

@@ -1,0 +1,46 @@
+#include "data/dataset.hpp"
+
+namespace dshuf::data {
+
+InMemoryDataset::InMemoryDataset(Tensor features,
+                                 std::vector<std::uint32_t> labels,
+                                 std::size_t num_classes)
+    : features_(std::move(features)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  DSHUF_CHECK_EQ(features_.rank(), 2U, "features must be [N, D]");
+  DSHUF_CHECK_EQ(features_.rows(), labels_.size(),
+                 "feature rows must match label count");
+  for (auto l : labels_) {
+    DSHUF_CHECK_LT(l, num_classes_, "label out of class range");
+  }
+}
+
+Tensor InMemoryDataset::gather(std::span<const SampleId> ids) const {
+  const std::size_t D = feature_dim();
+  Tensor out({ids.size(), D});
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    DSHUF_CHECK_LT(ids[i], size(), "sample id out of range");
+    const float* src = features_.data() + static_cast<std::size_t>(ids[i]) * D;
+    std::copy(src, src + D, out.data() + i * D);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> InMemoryDataset::gather_labels(
+    std::span<const SampleId> ids) const {
+  std::vector<std::uint32_t> out(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    DSHUF_CHECK_LT(ids[i], size(), "sample id out of range");
+    out[i] = labels_[ids[i]];
+  }
+  return out;
+}
+
+std::vector<std::size_t> InMemoryDataset::class_histogram() const {
+  std::vector<std::size_t> hist(num_classes_, 0);
+  for (auto l : labels_) ++hist[l];
+  return hist;
+}
+
+}  // namespace dshuf::data

@@ -1,0 +1,70 @@
+// In-memory dataset container.
+//
+// Samples are stored as one contiguous [N, D] feature matrix plus a label
+// vector; shuffling machinery refers to samples by global SampleId (row
+// index), so moving a "sample" between workers is moving an id — payload
+// movement is modelled by dshuf::io / exercised for real by the file-backed
+// shard store and the threaded exchange example.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dshuf::data {
+
+using SampleId = std::uint32_t;
+
+class InMemoryDataset {
+ public:
+  InMemoryDataset() = default;
+
+  /// features: [N, D]; labels: N entries < num_classes.
+  InMemoryDataset(Tensor features, std::vector<std::uint32_t> labels,
+                  std::size_t num_classes);
+
+  [[nodiscard]] std::size_t size() const { return labels_.size(); }
+  [[nodiscard]] std::size_t feature_dim() const {
+    return features_.empty() ? 0 : features_.cols();
+  }
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+
+  [[nodiscard]] const Tensor& features() const { return features_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& labels() const {
+    return labels_;
+  }
+  [[nodiscard]] std::uint32_t label(SampleId id) const {
+    DSHUF_CHECK_LT(id, labels_.size(), "sample id out of range");
+    return labels_[id];
+  }
+
+  /// Gather rows `ids` into a [|ids|, D] batch tensor.
+  [[nodiscard]] Tensor gather(std::span<const SampleId> ids) const;
+  /// Labels for the given ids.
+  [[nodiscard]] std::vector<std::uint32_t> gather_labels(
+      std::span<const SampleId> ids) const;
+
+  /// Nominal serialized size of one sample in bytes (features as float32 +
+  /// label); used by the I/O and exchange volume models.
+  [[nodiscard]] std::size_t bytes_per_sample() const {
+    return feature_dim() * sizeof(float) + sizeof(std::uint32_t);
+  }
+
+  /// Per-class sample counts (diagnostics, skew measurement).
+  [[nodiscard]] std::vector<std::size_t> class_histogram() const;
+
+ private:
+  Tensor features_;
+  std::vector<std::uint32_t> labels_;
+  std::size_t num_classes_ = 0;
+};
+
+/// A labelled train/validation pair drawn from the same distribution.
+struct TrainValSplit {
+  InMemoryDataset train;
+  InMemoryDataset val;
+};
+
+}  // namespace dshuf::data

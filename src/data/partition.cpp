@@ -1,0 +1,199 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dshuf::data {
+
+std::string to_string(PartitionScheme s) {
+  switch (s) {
+    case PartitionScheme::kContiguous:
+      return "contiguous";
+    case PartitionScheme::kClassSorted:
+      return "class-sorted";
+    case PartitionScheme::kStrided:
+      return "strided";
+    case PartitionScheme::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+PartitionScheme parse_partition_scheme(const std::string& s) {
+  if (s == "contiguous") return PartitionScheme::kContiguous;
+  if (s == "class-sorted" || s == "class_sorted") {
+    return PartitionScheme::kClassSorted;
+  }
+  if (s == "strided") return PartitionScheme::kStrided;
+  if (s == "random") return PartitionScheme::kRandom;
+  DSHUF_CHECK(false, "unknown partition scheme: " << s);
+}
+
+std::vector<std::vector<SampleId>> partition_dataset(
+    const InMemoryDataset& dataset, std::size_t workers,
+    PartitionScheme scheme, Rng& rng) {
+  DSHUF_CHECK_GT(workers, 0U, "need at least one worker");
+  const std::size_t n = dataset.size();
+  DSHUF_CHECK_GE(n, workers, "need at least one sample per worker");
+
+  std::vector<SampleId> order(n);
+  std::iota(order.begin(), order.end(), 0U);
+  switch (scheme) {
+    case PartitionScheme::kContiguous:
+      break;
+    case PartitionScheme::kClassSorted:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](SampleId a, SampleId b) {
+                         return dataset.label(a) < dataset.label(b);
+                       });
+      break;
+    case PartitionScheme::kStrided: {
+      // Transpose: worker w takes ids w, w+M, w+2M, ... — build the order
+      // so contiguous chunking below yields exactly that.
+      std::vector<SampleId> strided;
+      strided.reserve(n);
+      for (std::size_t w = 0; w < workers; ++w) {
+        for (std::size_t i = w; i < n; i += workers) {
+          strided.push_back(static_cast<SampleId>(i));
+        }
+      }
+      order = std::move(strided);
+      break;
+    }
+    case PartitionScheme::kRandom:
+      rng.shuffle(order);
+      break;
+  }
+
+  // Contiguous chunks over `order`, sizes differing by at most one.
+  std::vector<std::vector<SampleId>> shards(workers);
+  const std::size_t base = n / workers;
+  const std::size_t extra = n % workers;
+  std::size_t pos = 0;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t count = base + (w < extra ? 1 : 0);
+    shards[w].assign(order.begin() + static_cast<std::ptrdiff_t>(pos),
+                     order.begin() + static_cast<std::ptrdiff_t>(pos + count));
+    pos += count;
+  }
+  DSHUF_CHECK_EQ(pos, n, "partition must cover the whole dataset");
+  return shards;
+}
+
+namespace {
+
+/// Marsaglia–Tsang gamma sampler (shape k > 0, scale 1). For k < 1 uses
+/// the boost Gamma(k) = Gamma(k+1) * U^(1/k).
+double sample_gamma(double k, Rng& rng) {
+  if (k < 1.0) {
+    const double u = std::max(1e-12, rng.uniform());
+    return sample_gamma(k + 1.0, rng) * std::pow(u, 1.0 / k);
+  }
+  const double d = k - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = rng.normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = std::max(1e-12, rng.uniform());
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<SampleId>> partition_dataset_dirichlet(
+    const InMemoryDataset& dataset, std::size_t workers, double alpha,
+    Rng& rng) {
+  DSHUF_CHECK_GT(workers, 0U, "need at least one worker");
+  DSHUF_CHECK_GT(alpha, 0.0, "Dirichlet concentration must be positive");
+  const std::size_t n = dataset.size();
+  DSHUF_CHECK_GE(n, workers, "need at least one sample per worker");
+  const std::size_t C = dataset.num_classes();
+
+  // Per-class sample pools, shuffled so assignment within a class is
+  // random.
+  std::vector<std::vector<SampleId>> pools(C);
+  for (std::size_t i = 0; i < n; ++i) {
+    pools[dataset.label(static_cast<SampleId>(i))].push_back(
+        static_cast<SampleId>(i));
+  }
+  for (auto& pool : pools) rng.shuffle(pool);
+
+  const std::size_t cap_base = n / workers;
+  const std::size_t cap_extra = n % workers;
+  auto cap_of = [&](std::size_t w) { return cap_base + (w < cap_extra); };
+
+  std::vector<std::vector<SampleId>> shards(workers);
+  std::vector<SampleId> overflow;
+  for (std::size_t c = 0; c < C; ++c) {
+    // Worker shares for this class ~ Dirichlet(alpha).
+    std::vector<double> weights(workers);
+    double total = 0.0;
+    for (auto& wgt : weights) {
+      wgt = sample_gamma(alpha, rng);
+      total += wgt;
+    }
+    // Deal the class pool according to the weights, respecting per-worker
+    // capacity; what does not fit goes to the overflow pool.
+    std::size_t assigned = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const auto want = static_cast<std::size_t>(
+          weights[w] / total * static_cast<double>(pools[c].size()));
+      for (std::size_t i = 0; i < want && assigned < pools[c].size(); ++i) {
+        if (shards[w].size() < cap_of(w)) {
+          shards[w].push_back(pools[c][assigned++]);
+        } else {
+          break;
+        }
+      }
+    }
+    while (assigned < pools[c].size()) {
+      overflow.push_back(pools[c][assigned++]);
+    }
+  }
+  // Round-robin the overflow into whatever capacity remains.
+  std::size_t w = 0;
+  for (SampleId id : overflow) {
+    while (shards[w].size() >= cap_of(w)) {
+      ++w;
+      DSHUF_CHECK_LT(w, workers, "overflow exceeds total capacity");
+    }
+    shards[w].push_back(id);
+  }
+  return shards;
+}
+
+double partition_skew(const InMemoryDataset& dataset,
+                      const std::vector<std::vector<SampleId>>& shards) {
+  const std::size_t C = dataset.num_classes();
+  const auto global_hist = dataset.class_histogram();
+  const auto n = static_cast<double>(dataset.size());
+  std::vector<double> global_p(C);
+  for (std::size_t c = 0; c < C; ++c) {
+    global_p[c] = static_cast<double>(global_hist[c]) / n;
+  }
+
+  double total_tv = 0.0;
+  for (const auto& shard : shards) {
+    std::vector<double> p(C, 0.0);
+    for (auto id : shard) p[dataset.label(id)] += 1.0;
+    const auto sz = static_cast<double>(shard.size());
+    double tv = 0.0;
+    for (std::size_t c = 0; c < C; ++c) {
+      tv += std::abs(p[c] / std::max(1.0, sz) - global_p[c]);
+    }
+    total_tv += 0.5 * tv;
+  }
+  return shards.empty() ? 0.0 : total_tv / static_cast<double>(shards.size());
+}
+
+}  // namespace dshuf::data

@@ -1,0 +1,234 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+
+namespace dshuf::data {
+
+namespace {
+
+/// Random unit vector of dimension d.
+std::vector<double> unit_vector(std::size_t d, Rng& rng) {
+  std::vector<double> v(d);
+  double norm2 = 0.0;
+  for (auto& x : v) {
+    x = rng.normal();
+    norm2 += x * x;
+  }
+  const double inv = 1.0 / std::max(1e-12, std::sqrt(norm2));
+  for (auto& x : v) x *= inv;
+  return v;
+}
+
+/// Smooth nonlinear warp: x_i += warp * sin(2 * x_{(i+1) mod d}).
+/// Keeps the map bijective-ish and bounded so class geometry survives but a
+/// purely linear decision boundary becomes suboptimal.
+void apply_warp(float* row, std::size_t d, double warp) {
+  if (warp == 0.0 || d < 2) return;
+  // Use the pre-warp values for all reads (avoid cascading).
+  std::vector<float> orig(row, row + d);
+  for (std::size_t i = 0; i < d; ++i) {
+    row[i] = orig[i] +
+             static_cast<float>(warp * std::sin(2.0 * orig[(i + 1) % d]));
+  }
+}
+
+struct ClusterGeometry {
+  std::vector<std::vector<double>> centroids;  // [C][D]
+};
+
+ClusterGeometry make_geometry(std::size_t classes, std::size_t dim,
+                              double radius, Rng& rng) {
+  ClusterGeometry g;
+  g.centroids.reserve(classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    auto u = unit_vector(dim, rng);
+    for (auto& x : u) x *= radius;
+    g.centroids.push_back(std::move(u));
+  }
+  return g;
+}
+
+/// Draw `count` samples of class `c` into consecutive rows starting at
+/// `row0` of `features`.
+void emit_samples(Tensor& features, std::vector<std::uint32_t>& labels,
+                  std::size_t row0, std::size_t count, std::uint32_t label,
+                  const std::vector<double>& centroid, double spread,
+                  double warp, double label_noise, std::size_t num_classes,
+                  Rng& rng) {
+  const std::size_t d = centroid.size();
+  for (std::size_t s = 0; s < count; ++s) {
+    float* row = features.data() + (row0 + s) * d;
+    for (std::size_t i = 0; i < d; ++i) {
+      row[i] = static_cast<float>(centroid[i] + spread * rng.normal());
+    }
+    apply_warp(row, d, warp);
+    std::uint32_t lab = label;
+    if (label_noise > 0.0 && rng.uniform() < label_noise) {
+      lab = static_cast<std::uint32_t>(rng.uniform_u64(num_classes));
+    }
+    labels[row0 + s] = lab;
+  }
+}
+
+}  // namespace
+
+InMemoryDataset make_class_clusters(const ClassClusterSpec& spec) {
+  auto split = make_class_clusters_split(spec, /*val_fraction=*/0.0);
+  return std::move(split.train);
+}
+
+TrainValSplit make_class_clusters_split(const ClassClusterSpec& spec,
+                                        double val_fraction) {
+  DSHUF_CHECK_GT(spec.num_classes, 1U, "need at least two classes");
+  DSHUF_CHECK_GT(spec.samples_per_class, 0U, "need samples per class");
+  DSHUF_CHECK(val_fraction >= 0.0 && val_fraction < 1.0,
+              "val_fraction must be in [0, 1)");
+  Rng master(spec.seed);
+  Rng geo_rng = master.fork(1);
+  Rng train_rng = master.fork(2);
+  Rng val_rng = master.fork(3);
+
+  const double radius = spec.cluster_separation * spec.within_class_spread;
+  const auto geometry =
+      make_geometry(spec.num_classes, spec.feature_dim, radius, geo_rng);
+
+  const auto val_per_class = static_cast<std::size_t>(
+      std::ceil(val_fraction * static_cast<double>(spec.samples_per_class)));
+  const std::size_t train_per_class = spec.samples_per_class;
+
+  auto build = [&](std::size_t per_class, Rng& rng) {
+    const std::size_t n = per_class * spec.num_classes;
+    Tensor features({n, spec.feature_dim});
+    std::vector<std::uint32_t> labels(n);
+    for (std::size_t c = 0; c < spec.num_classes; ++c) {
+      emit_samples(features, labels, c * per_class, per_class,
+                   static_cast<std::uint32_t>(c), geometry.centroids[c],
+                   spec.within_class_spread, spec.manifold_warp,
+                   spec.label_noise, spec.num_classes, rng);
+    }
+    return InMemoryDataset(std::move(features), std::move(labels),
+                           spec.num_classes);
+  };
+
+  TrainValSplit out;
+  out.train = build(train_per_class, train_rng);
+  if (val_per_class > 0) out.val = build(val_per_class, val_rng);
+  return out;
+}
+
+TaxonomyDatasets make_taxonomy(const TaxonomySpec& spec, double val_fraction) {
+  DSHUF_CHECK_GT(spec.coarse_classes, 1U, "need at least two coarse classes");
+  DSHUF_CHECK_GT(spec.fine_per_coarse, 0U, "need fine classes per coarse");
+  Rng master(spec.seed);
+  Rng geo_rng = master.fork(11);
+  Rng up_train = master.fork(12);
+  Rng up_val = master.fork(13);
+  Rng down_train = master.fork(14);
+  Rng down_val = master.fork(15);
+
+  const std::size_t fine_total = spec.coarse_classes * spec.fine_per_coarse;
+  const double coarse_radius =
+      spec.coarse_separation * spec.within_class_spread;
+  const double fine_radius = spec.fine_separation * spec.within_class_spread;
+
+  // Fine centroid = coarse centroid + local perturbation.
+  const auto coarse_geo = make_geometry(spec.coarse_classes, spec.feature_dim,
+                                        coarse_radius, geo_rng);
+  std::vector<std::vector<double>> fine_centroids(fine_total);
+  for (std::size_t k = 0; k < spec.coarse_classes; ++k) {
+    for (std::size_t f = 0; f < spec.fine_per_coarse; ++f) {
+      auto u = unit_vector(spec.feature_dim, geo_rng);
+      auto c = coarse_geo.centroids[k];
+      for (std::size_t i = 0; i < spec.feature_dim; ++i) {
+        c[i] += fine_radius * u[i];
+      }
+      fine_centroids[k * spec.fine_per_coarse + f] = std::move(c);
+    }
+  }
+
+  const auto val_per_fine = static_cast<std::size_t>(std::ceil(
+      val_fraction * static_cast<double>(spec.samples_per_fine)));
+
+  auto build = [&](std::size_t per_fine, bool coarse_labels, Rng& rng) {
+    const std::size_t n = per_fine * fine_total;
+    Tensor features({n, spec.feature_dim});
+    std::vector<std::uint32_t> labels(n);
+    const std::size_t classes =
+        coarse_labels ? spec.coarse_classes : fine_total;
+    for (std::size_t fc = 0; fc < fine_total; ++fc) {
+      const auto label = static_cast<std::uint32_t>(
+          coarse_labels ? fc / spec.fine_per_coarse : fc);
+      emit_samples(features, labels, fc * per_fine, per_fine, label,
+                   fine_centroids[fc], spec.within_class_spread,
+                   spec.manifold_warp, /*label_noise=*/0.0, classes, rng);
+    }
+    return InMemoryDataset(std::move(features), std::move(labels), classes);
+  };
+
+  TaxonomyDatasets out;
+  out.fine_classes = fine_total;
+  out.coarse_classes = spec.coarse_classes;
+  out.upstream.train = build(spec.samples_per_fine, false, up_train);
+  out.upstream.val = build(std::max<std::size_t>(val_per_fine, 1), false,
+                           up_val);
+  out.downstream.train = build(spec.samples_per_fine, true, down_train);
+  out.downstream.val = build(std::max<std::size_t>(val_per_fine, 1), true,
+                             down_val);
+  return out;
+}
+
+TrainValSplit make_climate_proxy(const ClimateSpec& spec,
+                                 double val_fraction) {
+  DSHUF_CHECK_GT(spec.num_samples, 16U, "climate proxy needs samples");
+  DSHUF_CHECK(spec.background_fraction > 0.0 && spec.background_fraction < 1.0,
+              "background fraction must be in (0, 1)");
+  Rng master(spec.seed);
+  Rng geo_rng = master.fork(21);
+  Rng train_rng = master.fork(22);
+  Rng val_rng = master.fork(23);
+
+  // Three classes: background (0), "tropical cyclone" (1),
+  // "atmospheric river" (2) — mirroring DeepCAM's segmentation classes.
+  constexpr std::size_t kClasses = 3;
+  const double radius = spec.separation;
+  const auto geometry =
+      make_geometry(kClasses, spec.feature_dim, radius, geo_rng);
+
+  auto counts_for = [&](std::size_t total) {
+    std::vector<std::size_t> counts(kClasses);
+    counts[0] = static_cast<std::size_t>(
+        spec.background_fraction * static_cast<double>(total));
+    const std::size_t rest = total - counts[0];
+    counts[1] = rest * 3 / 5;  // cyclones somewhat more common than rivers
+    counts[2] = rest - counts[1];
+    return counts;
+  };
+
+  auto build = [&](std::size_t total, Rng& rng) {
+    const auto counts = counts_for(total);
+    std::size_t n = 0;
+    for (auto c : counts) n += c;
+    Tensor features({n, spec.feature_dim});
+    std::vector<std::uint32_t> labels(n);
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < kClasses; ++c) {
+      emit_samples(features, labels, row, counts[c],
+                   static_cast<std::uint32_t>(c), geometry.centroids[c],
+                   /*spread=*/1.0, spec.manifold_warp, /*label_noise=*/0.0,
+                   kClasses, rng);
+      row += counts[c];
+    }
+    return InMemoryDataset(std::move(features), std::move(labels), kClasses);
+  };
+
+  TrainValSplit out;
+  out.train = build(spec.num_samples, train_rng);
+  out.val = build(
+      std::max<std::size_t>(
+          16, static_cast<std::size_t>(
+                  val_fraction * static_cast<double>(spec.num_samples))),
+      val_rng);
+  return out;
+}
+
+}  // namespace dshuf::data

@@ -1,0 +1,88 @@
+// Synthetic dataset generators.
+//
+// Each paper dataset is replaced by a class-cluster Gaussian mixture whose
+// knobs control what the shuffling experiments actually depend on:
+//   * num_classes / samples_per_class — the (N, C) scale,
+//   * cluster_separation vs within-class spread — task difficulty,
+//   * manifold_warp — nonlinear structure so a linear model cannot win,
+//   * label_noise — irreducible error ceiling.
+// A two-tier taxonomy variant backs the ImageNet-21K -> 1K transfer
+// experiment (Fig. 8): fine labels partition into coarse labels so that a
+// representation pretrained on the fine task transfers to the coarse task.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace dshuf::data {
+
+struct ClassClusterSpec {
+  std::size_t num_classes = 10;
+  std::size_t samples_per_class = 100;
+  std::size_t feature_dim = 32;
+  /// Distance scale between class centroids (relative to unit noise).
+  double cluster_separation = 3.0;
+  /// Per-dimension stddev of within-class noise.
+  double within_class_spread = 1.0;
+  /// Strength of the nonlinear warp applied to features (0 = linear task).
+  double manifold_warp = 0.5;
+  /// Probability a label is replaced by a uniformly random one.
+  double label_noise = 0.0;
+  std::uint64_t seed = 42;
+};
+
+/// Generate a dataset from the spec. Deterministic given the spec.
+InMemoryDataset make_class_clusters(const ClassClusterSpec& spec);
+
+/// Generate matched train/val sets: same class centroids (derived from
+/// spec.seed), independent noise draws. `val_fraction` of the per-class
+/// sample budget goes to validation.
+TrainValSplit make_class_clusters_split(const ClassClusterSpec& spec,
+                                        double val_fraction = 0.2);
+
+/// Two-tier taxonomy dataset for the transfer experiment: `fine_classes`
+/// fine labels grouped evenly into `coarse_classes` coarse labels; fine
+/// centroids are perturbations of their coarse centroid, so the fine task's
+/// representation is useful for the coarse task.
+struct TaxonomySpec {
+  std::size_t coarse_classes = 16;
+  std::size_t fine_per_coarse = 8;
+  std::size_t samples_per_fine = 64;
+  std::size_t feature_dim = 48;
+  double coarse_separation = 4.0;
+  double fine_separation = 1.2;
+  double within_class_spread = 1.0;
+  double manifold_warp = 0.4;
+  std::uint64_t seed = 7;
+};
+
+struct TaxonomyDatasets {
+  /// Upstream task: labels are the fine classes.
+  TrainValSplit upstream;
+  /// Downstream task: same feature distribution, labels are coarse classes.
+  TrainValSplit downstream;
+  std::size_t fine_classes = 0;
+  std::size_t coarse_classes = 0;
+};
+
+TaxonomyDatasets make_taxonomy(const TaxonomySpec& spec,
+                               double val_fraction = 0.2);
+
+/// Climate-proxy dataset for DeepCAM (Fig. 7): heavy class imbalance
+/// ("background" dominates two rare event classes), moderate separability.
+struct ClimateSpec {
+  std::size_t num_samples = 4096;
+  std::size_t feature_dim = 48;
+  /// Fraction of samples in the dominant background class.
+  double background_fraction = 0.75;
+  double separation = 2.2;
+  double manifold_warp = 0.6;
+  std::uint64_t seed = 99;
+};
+
+TrainValSplit make_climate_proxy(const ClimateSpec& spec,
+                                 double val_fraction = 0.2);
+
+}  // namespace dshuf::data

@@ -1,0 +1,284 @@
+#include "data/workloads.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dshuf::data {
+
+namespace {
+
+std::vector<Workload> build_registry() {
+  std::vector<Workload> reg;
+
+  // Proxies keep the paper's class-count flavour and a samples-per-worker
+  // range that reproduces each experiment's regime at laptop scale; the
+  // benches pick worker counts so that N/M matches the paper's
+  // samples-per-worker as closely as practical.
+
+  {
+    Workload w;
+    w.name = "imagenet1k-resnet50";
+    w.paper_model = "ResNet50";
+    w.paper_dataset = "ImageNet-1K";
+    w.paper_samples = "1.2M";
+    w.paper_size = "~140 GB";
+    w.data = ClassClusterSpec{.num_classes = 64,
+                              .samples_per_class = 128,
+                              .feature_dim = 32,
+                              .cluster_separation = 2.6,
+                              .within_class_spread = 1.0,
+                              .manifold_warp = 0.5,
+                              .label_noise = 0.02,
+                              .seed = 1001};
+    w.model = nn::MlpSpec{.input_dim = 32,
+                          .hidden = {96, 64},
+                          .num_classes = 64,
+                          .norm = nn::NormKind::kBatchNorm};
+    w.regime = TrainRegime{.epochs = 30,
+                           .base_lr = 0.1F,
+                           .reference_batch = 256,
+                           .milestones = {15, 23},
+                           .warmup_epochs = 2.0,
+                           .momentum = 0.9F,
+                           .weight_decay = 1e-4F,
+                           .lars_above_workers = 512,
+                           .lars_trust = 0.02F};
+    reg.push_back(std::move(w));
+  }
+
+  {
+    Workload w;
+    w.name = "imagenet1k-densenet161";
+    w.paper_model = "DenseNet161";
+    w.paper_dataset = "ImageNet-1K";
+    w.paper_samples = "1.2M";
+    w.paper_size = "~140 GB";
+    w.data = ClassClusterSpec{.num_classes = 64,
+                              .samples_per_class = 128,
+                              .feature_dim = 32,
+                              .cluster_separation = 2.6,
+                              .within_class_spread = 1.0,
+                              .manifold_warp = 0.5,
+                              .label_noise = 0.02,
+                              .seed = 1002};
+    w.model = nn::MlpSpec{.input_dim = 32,
+                          .hidden = {96, 96, 64},
+                          .num_classes = 64,
+                          .norm = nn::NormKind::kBatchNorm};
+    w.regime = TrainRegime{.epochs = 30,
+                           .base_lr = 0.1F,
+                           .reference_batch = 256,
+                           .milestones = {15, 23},
+                           .warmup_epochs = 2.0,
+                           .momentum = 0.9F,
+                           .weight_decay = 1e-4F,
+                           .lars_above_workers = 256,
+                           .lars_trust = 0.02F};
+    reg.push_back(std::move(w));
+  }
+
+  {
+    Workload w;
+    w.name = "imagenet50-resnet50";
+    w.paper_model = "ResNet50";
+    w.paper_dataset = "ImageNet-50 (subset)";
+    w.paper_samples = "~65K";
+    w.paper_size = "~2 GB";
+    // Fewer samples per class — at scale each worker holds a tiny,
+    // class-skewed shard, the Fig. 5(e) pathology.
+    w.data = ClassClusterSpec{.num_classes = 50,
+                              .samples_per_class = 64,
+                              .feature_dim = 32,
+                              .cluster_separation = 2.4,
+                              .within_class_spread = 1.0,
+                              .manifold_warp = 0.6,
+                              .label_noise = 0.02,
+                              .seed = 1003};
+    w.model = nn::MlpSpec{.input_dim = 32,
+                          .hidden = {96, 64},
+                          .num_classes = 50,
+                          .norm = nn::NormKind::kBatchNorm};
+    w.regime = TrainRegime{.epochs = 30,
+                           .base_lr = 0.1F,
+                           .reference_batch = 256,
+                           .milestones = {15, 23},
+                           .warmup_epochs = 2.0,
+                           .momentum = 0.9F,
+                           .weight_decay = 1e-4F};
+    reg.push_back(std::move(w));
+  }
+
+  {
+    Workload w;
+    w.name = "cifar100-wrn28";
+    w.paper_model = "WideResNet-28-10";
+    w.paper_dataset = "CIFAR-100";
+    w.paper_samples = "50K";
+    w.paper_size = "~160 MB";
+    w.data = ClassClusterSpec{.num_classes = 100,
+                              .samples_per_class = 64,
+                              .feature_dim = 32,
+                              .cluster_separation = 2.8,
+                              .within_class_spread = 1.0,
+                              .manifold_warp = 0.5,
+                              .label_noise = 0.02,
+                              .seed = 1004};
+    // "Wide": generous hidden width relative to the task.
+    w.model = nn::MlpSpec{.input_dim = 32,
+                          .hidden = {192, 128},
+                          .num_classes = 100,
+                          .norm = nn::NormKind::kBatchNorm};
+    w.regime = TrainRegime{.epochs = 30,
+                           .base_lr = 0.1F,
+                           .reference_batch = 128,
+                           .milestones = {18, 25},
+                           .warmup_epochs = 1.0,
+                           .momentum = 0.9F,
+                           .weight_decay = 5e-4F};
+    reg.push_back(std::move(w));
+  }
+
+  {
+    Workload w;
+    w.name = "cifar100-inception";
+    w.paper_model = "Inception-v4";
+    w.paper_dataset = "CIFAR-100";
+    w.paper_samples = "50K";
+    w.paper_size = "~160 MB";
+    w.data = ClassClusterSpec{.num_classes = 100,
+                              .samples_per_class = 64,
+                              .feature_dim = 32,
+                              .cluster_separation = 2.8,
+                              .within_class_spread = 1.0,
+                              .manifold_warp = 0.5,
+                              .label_noise = 0.02,
+                              .seed = 1004};  // same data as wrn28 row
+    // Narrow & deep: many BatchNorms over few channels — the
+    // batch-statistics-sensitive architecture of Fig. 5(f).
+    w.model = nn::MlpSpec{.input_dim = 32,
+                          .hidden = {48, 48, 48, 48},
+                          .num_classes = 100,
+                          .norm = nn::NormKind::kBatchNorm};
+    w.regime = TrainRegime{.epochs = 30,
+                           .base_lr = 0.1F,
+                           .reference_batch = 128,
+                           .milestones = {18, 25},
+                           .warmup_epochs = 1.0,
+                           .momentum = 0.9F,
+                           .weight_decay = 5e-4F};
+    reg.push_back(std::move(w));
+  }
+
+  {
+    Workload w;
+    w.name = "cars-resnet50";
+    w.paper_model = "ResNet50 (pre-trained)";
+    w.paper_dataset = "Stanford Cars";
+    w.paper_samples = "8144";
+    w.paper_size = "~934 MB";
+    w.data = ClassClusterSpec{.num_classes = 49,
+                              .samples_per_class = 32,
+                              .feature_dim = 32,
+                              .cluster_separation = 2.2,
+                              .within_class_spread = 1.0,
+                              .manifold_warp = 0.4,
+                              .label_noise = 0.0,
+                              .seed = 1005};
+    w.model = nn::MlpSpec{.input_dim = 32,
+                          .hidden = {96, 64},
+                          .num_classes = 49,
+                          .norm = nn::NormKind::kBatchNorm};
+    w.regime = TrainRegime{.epochs = 24,
+                           .base_lr = 0.02F,  // fine-tuning LR
+                           .reference_batch = 128,
+                           .milestones = {12, 18},
+                           .warmup_epochs = 0.0,
+                           .momentum = 0.9F,
+                           .weight_decay = 1e-4F};
+    reg.push_back(std::move(w));
+  }
+
+  {
+    Workload w;
+    w.name = "imagenet21k-resnet50";
+    w.paper_model = "ResNet50";
+    w.paper_dataset = "ImageNet-21K (subset)";
+    w.paper_samples = "~9.3M";
+    w.paper_size = "~1.1 TB";
+    w.data = ClassClusterSpec{.num_classes = 128,
+                              .samples_per_class = 96,
+                              .feature_dim = 48,
+                              .cluster_separation = 2.4,
+                              .within_class_spread = 1.0,
+                              .manifold_warp = 0.4,
+                              .label_noise = 0.02,
+                              .seed = 1006};
+    w.model = nn::MlpSpec{.input_dim = 48,
+                          .hidden = {128, 96},
+                          .num_classes = 128,
+                          .norm = nn::NormKind::kBatchNorm};
+    w.regime = TrainRegime{.epochs = 24,
+                           .base_lr = 0.1F,
+                           .reference_batch = 256,
+                           .milestones = {12, 18},
+                           .warmup_epochs = 2.0,
+                           .momentum = 0.9F,
+                           .weight_decay = 1e-4F,
+                           .lars_above_workers = 512,
+                           .lars_trust = 0.02F};
+    reg.push_back(std::move(w));
+  }
+
+  {
+    Workload w;
+    w.name = "deepcam";
+    w.paper_model = "DeepCAM";
+    w.paper_dataset = "DeepCAM";
+    w.paper_samples = "~122K";
+    w.paper_size = "~8.2 TB";
+    // The accuracy bench uses make_climate_proxy (imbalanced 3-class); this
+    // spec stands in for registry-level bookkeeping (sample counts, bytes).
+    w.data = ClassClusterSpec{.num_classes = 3,
+                              .samples_per_class = 1365,
+                              .feature_dim = 48,
+                              .cluster_separation = 2.2,
+                              .within_class_spread = 1.0,
+                              .manifold_warp = 0.6,
+                              .label_noise = 0.0,
+                              .seed = 1007};
+    w.model = nn::MlpSpec{.input_dim = 48,
+                          .hidden = {96, 96},
+                          .num_classes = 3,
+                          .norm = nn::NormKind::kBatchNorm};
+    w.regime = TrainRegime{.epochs = 20,
+                           .base_lr = 0.05F,
+                           .reference_batch = 256,
+                           .milestones = {12, 16},
+                           .warmup_epochs = 1.0,
+                           .momentum = 0.9F,
+                           .weight_decay = 1e-4F};
+    reg.push_back(std::move(w));
+  }
+
+  return reg;
+}
+
+}  // namespace
+
+const std::vector<Workload>& workload_registry() {
+  static const std::vector<Workload> registry = build_registry();
+  return registry;
+}
+
+const Workload& find_workload(const std::string& name) {
+  for (const auto& w : workload_registry()) {
+    if (w.name == name) return w;
+  }
+  std::ostringstream names;
+  for (const auto& w : workload_registry()) names << ' ' << w.name;
+  DSHUF_CHECK(false, "unknown workload '" << name << "'; known:"
+                                          << names.str());
+}
+
+}  // namespace dshuf::data

@@ -1,0 +1,51 @@
+// Workload registry mirroring Table I of the paper.
+//
+// Each paper (model, dataset) pair maps to a laptop-scale proxy: a
+// class-cluster dataset spec + an MLP spec + the training regime used by
+// the accuracy experiments. Scale factors keep sample counts proportional
+// to the paper's datasets while staying runnable on one core.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "nn/builder.hpp"
+
+namespace dshuf::data {
+
+struct TrainRegime {
+  std::size_t epochs = 30;
+  float base_lr = 0.05F;
+  /// Reference global batch for linear LR scaling (Goyal et al.):
+  /// lr = base_lr * global_batch / reference_batch.
+  std::size_t reference_batch = 256;
+  std::vector<double> milestones = {};  // epochs where lr *= 0.1
+  double warmup_epochs = 2.0;
+  float momentum = 0.9F;
+  float weight_decay = 5e-4F;
+  /// Apply LARS when the worker count exceeds this (paper: >512 for
+  /// ResNet50, >256 for DenseNet); 0 = never.
+  std::size_t lars_above_workers = 0;
+  float lars_trust = 0.02F;
+};
+
+struct Workload {
+  std::string name;           // registry key, e.g. "imagenet1k-resnet50"
+  std::string paper_model;    // e.g. "ResNet50"
+  std::string paper_dataset;  // e.g. "ImageNet-1K"
+  std::string paper_samples;  // e.g. "1.2M"
+  std::string paper_size;     // e.g. "~140 GB"
+  ClassClusterSpec data;
+  nn::MlpSpec model;
+  TrainRegime regime;
+};
+
+/// All registered workloads (Table I rows, in paper order).
+const std::vector<Workload>& workload_registry();
+
+/// Lookup by name; throws CheckError with the list of valid names.
+const Workload& find_workload(const std::string& name);
+
+}  // namespace dshuf::data

@@ -1,0 +1,99 @@
+#include "io/file_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace dshuf::io {
+
+namespace fs = std::filesystem;
+
+FileSampleStore::FileSampleStore(fs::path dir) : dir_(std::move(dir)) {
+  fs::create_directories(dir_);
+}
+
+fs::path FileSampleStore::path_for(data::SampleId id) const {
+  return dir_ / (std::to_string(id) + ".sample");
+}
+
+void FileSampleStore::save(data::SampleId id,
+                           std::span<const std::byte> payload) {
+  std::ofstream f(path_for(id), std::ios::binary | std::ios::trunc);
+  DSHUF_CHECK(f.good(), "cannot open " << path_for(id) << " for writing");
+  f.write(reinterpret_cast<const char*>(payload.data()),
+          static_cast<std::streamsize>(payload.size()));
+  DSHUF_CHECK(f.good(), "short write to " << path_for(id));
+}
+
+std::vector<std::byte> FileSampleStore::load(data::SampleId id) const {
+  const auto p = path_for(id);
+  std::ifstream f(p, std::ios::binary | std::ios::ate);
+  DSHUF_CHECK(f.good(), "sample " << id << " not found in " << dir_);
+  const auto size = static_cast<std::size_t>(f.tellg());
+  f.seekg(0);
+  std::vector<std::byte> out(size);
+  f.read(reinterpret_cast<char*>(out.data()),
+         static_cast<std::streamsize>(size));
+  DSHUF_CHECK(f.good(), "short read from " << p);
+  return out;
+}
+
+void FileSampleStore::remove(data::SampleId id) {
+  const auto p = path_for(id);
+  DSHUF_CHECK(fs::exists(p), "remove: sample " << id << " not stored");
+  fs::remove(p);
+}
+
+bool FileSampleStore::contains(data::SampleId id) const {
+  return fs::exists(path_for(id));
+}
+
+std::vector<data::SampleId> FileSampleStore::list() const {
+  std::vector<data::SampleId> ids;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
+    const auto stem = entry.path().stem().string();
+    ids.push_back(static_cast<data::SampleId>(std::stoul(stem)));
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::size_t FileSampleStore::disk_bytes() const {
+  std::size_t total = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.is_regular_file()) {
+      total += static_cast<std::size_t>(entry.file_size());
+    }
+  }
+  return total;
+}
+
+std::vector<std::byte> serialize_sample(const data::InMemoryDataset& ds,
+                                        data::SampleId id) {
+  DSHUF_CHECK_LT(id, ds.size(), "sample id out of range");
+  const std::size_t d = ds.feature_dim();
+  std::vector<std::byte> out(sizeof(std::uint32_t) + d * sizeof(float));
+  const std::uint32_t label = ds.label(id);
+  std::memcpy(out.data(), &label, sizeof(label));
+  const float* row = ds.features().data() + static_cast<std::size_t>(id) * d;
+  std::memcpy(out.data() + sizeof(label), row, d * sizeof(float));
+  return out;
+}
+
+DeserializedSample deserialize_sample(std::span<const std::byte> payload) {
+  DSHUF_CHECK_GE(payload.size(), sizeof(std::uint32_t),
+                 "sample payload too short");
+  DeserializedSample s;
+  std::memcpy(&s.label, payload.data(), sizeof(s.label));
+  const std::size_t nfloats =
+      (payload.size() - sizeof(s.label)) / sizeof(float);
+  s.features.resize(nfloats);
+  std::memcpy(s.features.data(), payload.data() + sizeof(s.label),
+              nfloats * sizeof(float));
+  return s;
+}
+
+}  // namespace dshuf::io

@@ -1,0 +1,62 @@
+// File-backed per-worker sample store.
+//
+// The paper's PLS.ImageFolder wrapper adds two hooks to a dataset: save a
+// received sample to the worker's local storage area and remove a
+// transmitted one. FileSampleStore is that storage area: one file per
+// sample under a worker-private directory (the paper's supported layout:
+// "datasets that manage each data sample in a single distinct physical
+// file"). The threaded exchange example moves real bytes through it.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace dshuf::io {
+
+class FileSampleStore {
+ public:
+  /// Creates `dir` (and parents) if needed.
+  explicit FileSampleStore(std::filesystem::path dir);
+
+  /// Persist a sample's payload (save hook). Overwrites silently — an
+  /// arriving sample replaces any stale copy.
+  void save(data::SampleId id, std::span<const std::byte> payload);
+
+  /// Read a sample's payload back; throws if absent.
+  [[nodiscard]] std::vector<std::byte> load(data::SampleId id) const;
+
+  /// Delete a sample file (remove hook / clean_local_storage); throws if
+  /// absent — removing a sample that was never stored is a logic error.
+  void remove(data::SampleId id);
+
+  [[nodiscard]] bool contains(data::SampleId id) const;
+
+  /// Ids currently on disk, ascending.
+  [[nodiscard]] std::vector<data::SampleId> list() const;
+
+  /// Total bytes currently stored (for (1+Q)-bound verification on disk).
+  [[nodiscard]] std::size_t disk_bytes() const;
+
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  [[nodiscard]] std::filesystem::path path_for(data::SampleId id) const;
+  std::filesystem::path dir_;
+};
+
+/// Serialize one dataset row (features + label) to bytes and back —
+/// the payload format moved by the exchange.
+std::vector<std::byte> serialize_sample(const data::InMemoryDataset& ds,
+                                        data::SampleId id);
+
+struct DeserializedSample {
+  std::vector<float> features;
+  std::uint32_t label = 0;
+};
+DeserializedSample deserialize_sample(std::span<const std::byte> payload);
+
+}  // namespace dshuf::io

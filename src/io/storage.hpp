@@ -1,0 +1,105 @@
+// Storage-tier descriptors and system profiles.
+//
+// These parameterise the performance model (dshuf::perf) standing in for
+// the paper's testbeds. Bandwidth/latency constants are calibrated so the
+// model reproduces the paper's published measurements (Fig. 9/10: DenseNet
+// global-shuffle I/O 19.6 s vs local 8 s at 512 workers; straggler spread
+// 11.9 s - 142 s; gradient-exchange inflation to ~70 s; 5x epoch-time gap
+// at 128 workers), not to model the physical systems exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dshuf::io {
+
+enum class TierKind { kPfs, kNodeLocalSsd, kBurstBuffer, kTmpfs };
+
+std::string to_string(TierKind k);
+
+/// One storage tier as seen by a single worker.
+struct StorageTier {
+  TierKind kind = TierKind::kNodeLocalSsd;
+  std::string name;
+  /// Capacity available to one worker, bytes (0 = effectively unlimited).
+  double capacity_bytes = 0;
+  /// Peak per-worker streaming bandwidth, bytes/s, absent contention.
+  double bandwidth_bps = 0;
+  /// Fixed per-file overhead, seconds (metadata round trip, open/close).
+  double per_file_latency_s = 0;
+  /// For shared tiers (PFS, burst buffer): aggregate backend bandwidth the
+  /// concurrent readers divide among themselves. 0 = not shared.
+  double shared_backend_bps = 0;
+  /// Log-normal sigma of the per-worker slowdown under contention; 0 = no
+  /// straggler variance. Calibrated from the paper's 11.9 s vs 142 s
+  /// spread at 512 readers.
+  double straggler_sigma = 0;
+};
+
+/// A named machine profile: its tiers plus network constants consumed by
+/// the exchange/allreduce models.
+struct SystemProfile {
+  std::string name;
+  StorageTier pfs;
+  StorageTier node_local;
+  /// Per-worker injection bandwidth for point-to-point traffic, bytes/s.
+  double network_injection_bps = 0;
+  /// Bisection-limited aggregate bandwidth for the personalised all-to-all,
+  /// bytes/s (the exchange pattern's bottleneck at scale).
+  double network_bisection_bps = 0;
+  /// Allreduce effective bus bandwidth per worker, bytes/s.
+  double allreduce_bus_bps = 0;
+};
+
+/// ABCI-like profile (V100 nodes, 1.6 TB local NVMe, Lustre PFS).
+SystemProfile abci_profile();
+/// Fugaku-like profile (shared SSD exposed as ~50 GB node-local slices,
+/// TofuD network, Lustre-based PFS).
+SystemProfile fugaku_profile();
+
+/// Job-startup staging cost (the paper's conclusion: "there is no need to
+/// replicate data everywhere, which reduces the cost of data staging in
+/// HPC environments"). Global-shuffle replication stages the FULL dataset
+/// to every node; LS/PLS stage only each worker's shard, so the aggregate
+/// PFS egress shrinks from M*D to D.
+struct StagingCost {
+  double bytes_per_worker = 0;
+  double aggregate_pfs_bytes = 0;
+  /// Wall-clock to stage, gated by min(per-worker PFS share, local write
+  /// bandwidth).
+  double time_s = 0;
+};
+
+/// `replicate_full` = true models global-shuffle replication (D bytes per
+/// worker); false models LS/PLS sharding ((1+q) * D/M per worker).
+StagingCost staging_cost(const SystemProfile& system, double dataset_bytes,
+                         std::size_t workers, bool replicate_full,
+                         double q = 0.0);
+
+// ----------------------------------------------------------- Fig. 1 data --
+
+/// One TOP500 system's per-node dedicated storage (Nov 2020 list as used
+/// by the paper's Figure 1). Values are approximate, matching the figure's
+/// log-scale reading; `network_attached` marks burst-buffer-style flash.
+struct Top500Entry {
+  std::string name;
+  int top500_rank = 0;
+  double node_local_bytes = 0;  // 0 = none
+  bool network_attached = false;
+  bool dl_designed = false;  // the figure's "designed for DL" star
+};
+
+/// The fifteen systems of Figure 1, in rank order.
+const std::vector<Top500Entry>& top500_systems();
+
+/// One DL dataset from Figure 1's horizontal lines.
+struct DatasetSizeEntry {
+  std::string name;
+  double bytes = 0;
+};
+
+/// The datasets of Figure 1, largest first.
+const std::vector<DatasetSizeEntry>& figure1_datasets();
+
+}  // namespace dshuf::io

@@ -1,0 +1,49 @@
+#include "nn/builder.hpp"
+
+#include "nn/layers.hpp"
+#include "nn/norm.hpp"
+#include "util/error.hpp"
+
+namespace dshuf::nn {
+
+std::string to_string(NormKind k) {
+  switch (k) {
+    case NormKind::kNone:
+      return "none";
+    case NormKind::kBatchNorm:
+      return "batchnorm";
+    case NormKind::kGroupNorm:
+      return "groupnorm";
+  }
+  return "?";
+}
+
+Model make_mlp(const MlpSpec& spec, Rng& rng) {
+  DSHUF_CHECK_GT(spec.input_dim, 0U, "input_dim must be positive");
+  DSHUF_CHECK_GT(spec.num_classes, 1U, "need at least two classes");
+  Model m;
+  std::size_t in = spec.input_dim;
+  for (std::size_t width : spec.hidden) {
+    m.add(std::make_unique<Linear>(in, width, rng));
+    switch (spec.norm) {
+      case NormKind::kBatchNorm:
+        m.add(std::make_unique<BatchNorm1d>(width));
+        break;
+      case NormKind::kGroupNorm:
+        m.add(std::make_unique<GroupNorm>(
+            width, std::min(spec.groups, width)));
+        break;
+      case NormKind::kNone:
+        break;
+    }
+    m.add(std::make_unique<ReLU>());
+    if (spec.dropout > 0.0) {
+      m.add(std::make_unique<Dropout>(spec.dropout, rng));
+    }
+    in = width;
+  }
+  m.add(std::make_unique<Linear>(in, spec.num_classes, rng));
+  return m;
+}
+
+}  // namespace dshuf::nn

@@ -1,0 +1,42 @@
+// Model builders.
+//
+// The paper's DNNs (ResNet50, DenseNet161, WideResNet-28-10, Inception-v4,
+// DeepCAM) are replaced by MLP proxies whose normalisation behaviour is the
+// experimentally relevant property (see DESIGN.md substitution table).
+// MlpSpec captures the knobs that matter: depth/width (capacity),
+// normalisation kind (BatchNorm => batch-composition-sensitive) and
+// dropout.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace dshuf::nn {
+
+enum class NormKind { kNone, kBatchNorm, kGroupNorm };
+
+std::string to_string(NormKind k);
+
+struct MlpSpec {
+  std::size_t input_dim = 32;
+  std::vector<std::size_t> hidden = {128, 128};
+  std::size_t num_classes = 10;
+  NormKind norm = NormKind::kBatchNorm;
+  /// Groups for GroupNorm (ignored otherwise).
+  std::size_t groups = 8;
+  double dropout = 0.0;
+};
+
+/// Build `Linear -> Norm -> ReLU [-> Dropout]` blocks followed by a linear
+/// classifier head. Weight init is deterministic given `rng`.
+Model make_mlp(const MlpSpec& spec, Rng& rng);
+
+/// Number of layers forming the classification head (for transfer-learning
+/// head replacement via Model::pop_layers).
+constexpr std::size_t kHeadLayers = 1;
+
+}  // namespace dshuf::nn

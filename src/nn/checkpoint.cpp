@@ -1,0 +1,88 @@
+#include "nn/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "nn/model.hpp"
+#include "nn/optimizer.hpp"
+#include "util/error.hpp"
+
+namespace dshuf::nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'S', 'H', 'U', 'F', 'C', 'K', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_floats(std::ofstream& f, const std::vector<float>& v) {
+  const std::uint64_t count = v.size();
+  f.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  f.write(reinterpret_cast<const char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+std::vector<float> read_floats(std::ifstream& f, const std::string& what) {
+  std::uint64_t count = 0;
+  f.read(reinterpret_cast<char*>(&count), sizeof(count));
+  DSHUF_CHECK(f.good(), "checkpoint truncated reading " << what << " size");
+  // Sanity cap: a corrupt length should not allocate the universe.
+  DSHUF_CHECK_LT(count, (1ULL << 32), "implausible " << what << " size");
+  std::vector<float> v(count);
+  f.read(reinterpret_cast<char*>(v.data()),
+         static_cast<std::streamsize>(count * sizeof(float)));
+  DSHUF_CHECK(f.good(), "checkpoint truncated reading " << what);
+  return v;
+}
+
+}  // namespace
+
+Checkpoint make_checkpoint(Model& model, const Sgd& optimizer,
+                           std::uint64_t epoch) {
+  Checkpoint c;
+  c.epoch = epoch;
+  c.model_state = model.state();
+  c.buffer_state = model.buffer_state();
+  c.optimizer_state = optimizer.state();
+  return c;
+}
+
+void restore_checkpoint(const Checkpoint& ckpt, Model& model,
+                        Sgd& optimizer) {
+  model.load_state(ckpt.model_state);
+  model.load_buffer_state(ckpt.buffer_state);
+  optimizer.load_state(ckpt.optimizer_state);
+}
+
+void save_checkpoint(const std::string& path, const Checkpoint& ckpt) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  DSHUF_CHECK(f.good(), "cannot open checkpoint file " << path);
+  f.write(kMagic, sizeof(kMagic));
+  f.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  f.write(reinterpret_cast<const char*>(&ckpt.epoch), sizeof(ckpt.epoch));
+  write_floats(f, ckpt.model_state);
+  write_floats(f, ckpt.buffer_state);
+  write_floats(f, ckpt.optimizer_state);
+  DSHUF_CHECK(f.good(), "short write to checkpoint " << path);
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  DSHUF_CHECK(f.good(), "cannot open checkpoint file " << path);
+  char magic[8];
+  f.read(magic, sizeof(magic));
+  DSHUF_CHECK(f.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+              "not a dshuf checkpoint: " << path);
+  std::uint32_t version = 0;
+  f.read(reinterpret_cast<char*>(&version), sizeof(version));
+  DSHUF_CHECK(f.good() && version == kVersion,
+              "unsupported checkpoint version " << version);
+  Checkpoint c;
+  f.read(reinterpret_cast<char*>(&c.epoch), sizeof(c.epoch));
+  DSHUF_CHECK(f.good(), "checkpoint truncated reading epoch");
+  c.model_state = read_floats(f, "model state");
+  c.buffer_state = read_floats(f, "buffer state");
+  c.optimizer_state = read_floats(f, "optimizer state");
+  return c;
+}
+
+}  // namespace dshuf::nn

@@ -1,0 +1,45 @@
+// Training checkpoints.
+//
+// Versioned binary format capturing everything training depends on:
+// model parameters, non-trainable buffers (BatchNorm running statistics),
+// optimiser momentum, and the epoch counter. Because every random draw in
+// dshuf is a pure function of (seed, epoch, worker), restoring a
+// checkpoint and continuing yields BIT-IDENTICAL training to an
+// uninterrupted run — a property the test suite asserts.
+//
+// Layout (little-endian):
+//   magic   "DSHUFCKP"           8 bytes
+//   version u32                  currently 1
+//   epoch   u64
+//   3 x (u64 count, count x f32) model / buffers / optimizer
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dshuf::nn {
+
+class Model;
+class Sgd;
+
+struct Checkpoint {
+  std::uint64_t epoch = 0;
+  std::vector<float> model_state;
+  std::vector<float> buffer_state;
+  std::vector<float> optimizer_state;
+};
+
+/// Capture the full training state.
+Checkpoint make_checkpoint(Model& model, const Sgd& optimizer,
+                           std::uint64_t epoch);
+
+/// Restore into an architecturally identical model/optimizer pair.
+void restore_checkpoint(const Checkpoint& ckpt, Model& model, Sgd& optimizer);
+
+/// Write to / read from disk. Throws CheckError on I/O failure, bad magic,
+/// unsupported version, or truncation.
+void save_checkpoint(const std::string& path, const Checkpoint& ckpt);
+Checkpoint load_checkpoint(const std::string& path);
+
+}  // namespace dshuf::nn

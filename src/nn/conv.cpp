@@ -1,0 +1,188 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+
+#include "nn/layers.hpp"
+#include "nn/norm.hpp"
+
+namespace dshuf::nn {
+
+Conv1d::Conv1d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t length, std::size_t kernel, Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      length_(length),
+      kernel_(kernel),
+      pad_(kernel / 2),
+      weight_("conv.weight",
+              Tensor::randn({out_channels, in_channels, kernel}, rng,
+                            std::sqrt(2.0F / static_cast<float>(
+                                                 in_channels * kernel))),
+              /*decay=*/true),
+      bias_("conv.bias", Tensor({out_channels}), /*decay=*/false) {
+  DSHUF_CHECK_GT(in_channels, 0U, "need at least one input channel");
+  DSHUF_CHECK_GT(out_channels, 0U, "need at least one output channel");
+  DSHUF_CHECK_GT(length, 0U, "need positive length");
+  DSHUF_CHECK_EQ(kernel % 2, 1U, "same-padding needs an odd kernel");
+  DSHUF_CHECK_LE(kernel, length, "kernel cannot exceed the signal length");
+}
+
+Tensor Conv1d::forward(const Tensor& x, bool /*training*/) {
+  DSHUF_CHECK_EQ(x.cols(), in_channels_ * length_,
+                 "Conv1d input feature mismatch");
+  cached_input_ = x;
+  const std::size_t N = x.rows();
+  Tensor out({N, out_channels_ * length_});
+  const float* px = x.data();
+  float* po = out.data();
+  const float* b = bias_.value.data();
+
+  for (std::size_t n = 0; n < N; ++n) {
+    const float* row = px + n * in_channels_ * length_;
+    float* orow = po + n * out_channels_ * length_;
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      for (std::size_t t = 0; t < length_; ++t) {
+        double acc = b[oc];
+        for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+          for (std::size_t k = 0; k < kernel_; ++k) {
+            const std::ptrdiff_t src =
+                static_cast<std::ptrdiff_t>(t + k) -
+                static_cast<std::ptrdiff_t>(pad_);
+            if (src < 0 || src >= static_cast<std::ptrdiff_t>(length_)) {
+              continue;  // zero padding
+            }
+            acc += wval(oc, ic, k) *
+                   row[ic * length_ + static_cast<std::size_t>(src)];
+          }
+        }
+        orow[oc * length_ + t] = static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv1d::backward(const Tensor& grad_out) {
+  const std::size_t N = cached_input_.rows();
+  DSHUF_CHECK_EQ(grad_out.rows(), N, "Conv1d grad batch mismatch");
+  DSHUF_CHECK_EQ(grad_out.cols(), out_channels_ * length_,
+                 "Conv1d grad feature mismatch");
+  Tensor grad_in({N, in_channels_ * length_});
+  const float* px = cached_input_.data();
+  const float* pg = grad_out.data();
+  float* pgi = grad_in.data();
+  float* dw = weight_.grad.data();
+  float* db = bias_.grad.data();
+
+  for (std::size_t n = 0; n < N; ++n) {
+    const float* row = px + n * in_channels_ * length_;
+    const float* grow = pg + n * out_channels_ * length_;
+    float* girow = pgi + n * in_channels_ * length_;
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      for (std::size_t t = 0; t < length_; ++t) {
+        const float g = grow[oc * length_ + t];
+        if (g == 0.0F) continue;
+        db[oc] += g;
+        for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+          for (std::size_t k = 0; k < kernel_; ++k) {
+            const std::ptrdiff_t src =
+                static_cast<std::ptrdiff_t>(t + k) -
+                static_cast<std::ptrdiff_t>(pad_);
+            if (src < 0 || src >= static_cast<std::ptrdiff_t>(length_)) {
+              continue;
+            }
+            const auto s = static_cast<std::size_t>(src);
+            dw[(oc * in_channels_ + ic) * kernel_ + k] +=
+                g * row[ic * length_ + s];
+            girow[ic * length_ + s] += g * wval(oc, ic, k);
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+MaxPool1d::MaxPool1d(std::size_t channels, std::size_t length,
+                     std::size_t window)
+    : channels_(channels), length_(length), window_(window) {
+  DSHUF_CHECK_GT(window, 0U, "pool window must be positive");
+  DSHUF_CHECK_EQ(length % window, 0U,
+                 "pool window must divide the signal length");
+}
+
+Tensor MaxPool1d::forward(const Tensor& x, bool /*training*/) {
+  DSHUF_CHECK_EQ(x.cols(), channels_ * length_,
+                 "MaxPool1d input feature mismatch");
+  const std::size_t N = x.rows();
+  const std::size_t out_len = length_ / window_;
+  cached_batch_ = N;
+  argmax_.assign(N * channels_ * out_len, 0);
+  Tensor out({N, channels_ * out_len});
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::size_t n = 0; n < N; ++n) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      for (std::size_t o = 0; o < out_len; ++o) {
+        const std::size_t base =
+            n * channels_ * length_ + c * length_ + o * window_;
+        std::size_t best = base;
+        for (std::size_t k = 1; k < window_; ++k) {
+          if (px[base + k] > px[best]) best = base + k;
+        }
+        const std::size_t oidx =
+            n * channels_ * out_len + c * out_len + o;
+        argmax_[oidx] = static_cast<std::uint32_t>(best);
+        po[oidx] = px[best];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool1d::backward(const Tensor& grad_out) {
+  const std::size_t out_len = length_ / window_;
+  DSHUF_CHECK_EQ(grad_out.rows(), cached_batch_,
+                 "MaxPool1d grad batch mismatch");
+  DSHUF_CHECK_EQ(grad_out.cols(), channels_ * out_len,
+                 "MaxPool1d grad feature mismatch");
+  Tensor grad_in({cached_batch_, channels_ * length_});
+  const float* pg = grad_out.data();
+  float* pgi = grad_in.data();
+  for (std::size_t i = 0; i < argmax_.size(); ++i) {
+    pgi[argmax_[i]] += pg[i];
+  }
+  return grad_in;
+}
+
+Model make_cnn(const CnnSpec& spec, Rng& rng) {
+  DSHUF_CHECK_GT(spec.input_length, 0U, "input length must be positive");
+  DSHUF_CHECK_GT(spec.num_classes, 1U, "need at least two classes");
+  DSHUF_CHECK(!spec.channels.empty(), "need at least one conv block");
+  Model m;
+  std::size_t in_c = 1;
+  std::size_t length = spec.input_length;
+  for (std::size_t out_c : spec.channels) {
+    DSHUF_CHECK_EQ(length % spec.pool, 0U,
+                   "pool window must divide the running length");
+    m.add(std::make_unique<Conv1d>(in_c, out_c, length, spec.kernel, rng));
+    switch (spec.norm) {
+      case NormKind::kBatchNorm:
+        m.add(std::make_unique<BatchNorm1d>(out_c * length));
+        break;
+      case NormKind::kGroupNorm:
+        m.add(std::make_unique<GroupNorm>(out_c * length, out_c));
+        break;
+      case NormKind::kNone:
+        break;
+    }
+    m.add(std::make_unique<ReLU>());
+    m.add(std::make_unique<MaxPool1d>(out_c, length, spec.pool));
+    in_c = out_c;
+    length /= spec.pool;
+  }
+  m.add(std::make_unique<Linear>(in_c * length, spec.num_classes, rng));
+  return m;
+}
+
+}  // namespace dshuf::nn

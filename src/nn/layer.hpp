@@ -1,0 +1,59 @@
+// Layer abstraction for the training substrate.
+//
+// Layers own their parameters (value + gradient). backward() must be called
+// immediately after the forward() whose activations it differentiates
+// (caches are single-buffered). Gradients ACCUMULATE across backward calls
+// until zero_grad() — this is what lets the simulator run M virtual
+// workers' backward passes against one shared model and end up with the
+// summed (then averaged) synchronous-SGD gradient.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dshuf::nn {
+
+/// A trainable parameter: value and accumulated gradient, plus a flag for
+/// weight-decay exclusion (biases and norm scales are conventionally
+/// excluded, as in the paper's reference training regimes).
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  bool apply_weight_decay = true;
+
+  Param(std::string n, Tensor v, bool decay = true)
+      : name(std::move(n)),
+        value(std::move(v)),
+        grad(value.shape()),
+        apply_weight_decay(decay) {}
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass. `training` toggles batch-stat collection / dropout.
+  virtual Tensor forward(const Tensor& x, bool training) = 0;
+
+  /// Backward pass given dLoss/dOutput; returns dLoss/dInput and
+  /// accumulates parameter gradients.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Parameters of this layer (possibly empty).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Non-trainable state updated during training (e.g. BatchNorm running
+  /// statistics). Included in checkpoints; excluded from the optimiser.
+  virtual std::vector<Tensor*> buffers() { return {}; }
+
+  /// Layer type name for diagnostics.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace dshuf::nn

@@ -1,0 +1,118 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+namespace dshuf::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_("linear.weight",
+              Tensor::randn({in_features, out_features}, rng,
+                            std::sqrt(2.0F / static_cast<float>(in_features))),
+              /*decay=*/true),
+      bias_("linear.bias", Tensor({out_features}), /*decay=*/false) {}
+
+Tensor Linear::forward(const Tensor& x, bool /*training*/) {
+  DSHUF_CHECK_EQ(x.cols(), in_, "Linear input feature mismatch");
+  cached_input_ = x;
+  Tensor w_view = weight_.value;  // [in, out]
+  Tensor out({x.rows(), out_});
+  gemm(x, w_view, out);
+  const float* b = bias_.value.data();
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    float* row = out.data() + i * out_;
+    for (std::size_t j = 0; j < out_; ++j) row[j] += b[j];
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  DSHUF_CHECK_EQ(grad_out.cols(), out_, "Linear grad feature mismatch");
+  DSHUF_CHECK_EQ(grad_out.rows(), cached_input_.rows(),
+                 "Linear grad batch mismatch");
+  // dW += X^T dY ; db += column-sum(dY) ; dX = dY W^T
+  gemm_at_b(cached_input_, grad_out, weight_.grad, /*accumulate=*/true);
+  float* db = bias_.grad.data();
+  for (std::size_t i = 0; i < grad_out.rows(); ++i) {
+    const float* row = grad_out.data() + i * out_;
+    for (std::size_t j = 0; j < out_; ++j) db[j] += row[j];
+  }
+  Tensor grad_in({grad_out.rows(), in_});
+  // weight is [in, out]; dX(MxIn) = dY(MxOut) * W^T — W^T is out x in, and
+  // gemm_a_bt expects b stored as NxK = in x out... weight is stored
+  // [in, out], i.e. rows=in, cols=out, so b stored as NxK with N=in, K=out.
+  gemm_a_bt(grad_out, weight_.value, grad_in);
+  return grad_in;
+}
+
+Tensor ReLU::forward(const Tensor& x, bool /*training*/) {
+  cached_input_ = x;
+  Tensor out = x;
+  for (auto& v : out.vec()) v = v > 0.0F ? v : 0.0F;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  DSHUF_CHECK_EQ(grad_out.size(), cached_input_.size(),
+                 "ReLU grad size mismatch");
+  Tensor grad_in = grad_out;
+  const float* x = cached_input_.data();
+  float* g = grad_in.data();
+  for (std::size_t i = 0; i < grad_in.size(); ++i) {
+    if (x[i] <= 0.0F) g[i] = 0.0F;
+  }
+  return grad_in;
+}
+
+Tensor Tanh::forward(const Tensor& x, bool /*training*/) {
+  Tensor out = x;
+  for (auto& v : out.vec()) v = std::tanh(v);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  DSHUF_CHECK_EQ(grad_out.size(), cached_output_.size(),
+                 "Tanh grad size mismatch");
+  Tensor grad_in = grad_out;
+  const float* y = cached_output_.data();
+  float* g = grad_in.data();
+  for (std::size_t i = 0; i < grad_in.size(); ++i) {
+    g[i] *= 1.0F - y[i] * y[i];
+  }
+  return grad_in;
+}
+
+Dropout::Dropout(double p, Rng& rng) : p_(p), rng_(&rng) {
+  DSHUF_CHECK(p >= 0.0 && p < 1.0, "dropout probability must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& x, bool training) {
+  last_training_ = training;
+  if (!training || p_ == 0.0) return x;
+  Tensor out = x;
+  mask_.assign(x.size(), 0.0F);
+  const auto keep = static_cast<float>(1.0 / (1.0 - p_));
+  float* o = out.data();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (rng_->uniform() >= p_) {
+      mask_[i] = keep;
+      o[i] *= keep;
+    } else {
+      o[i] = 0.0F;
+    }
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (!last_training_ || p_ == 0.0) return grad_out;
+  DSHUF_CHECK_EQ(grad_out.size(), mask_.size(), "Dropout grad size mismatch");
+  Tensor grad_in = grad_out;
+  float* g = grad_in.data();
+  for (std::size_t i = 0; i < grad_in.size(); ++i) g[i] *= mask_[i];
+  return grad_in;
+}
+
+}  // namespace dshuf::nn

@@ -1,0 +1,71 @@
+// Basic layers: Linear, ReLU, Tanh, Dropout.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace dshuf::nn {
+
+/// Fully connected layer: y = x W + b, W is [in, out] row-major.
+class Linear : public Layer {
+ public:
+  /// He-style initialisation: W ~ N(0, sqrt(2/in)), b = 0.
+  Linear(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::string name() const override { return "Linear"; }
+
+  [[nodiscard]] std::size_t in_features() const { return in_; }
+  [[nodiscard]] std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Param weight_;
+  Param bias_;
+  Tensor cached_input_;
+};
+
+/// Rectified linear unit.
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Hyperbolic tangent activation.
+class Tanh : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Inverted dropout: scales kept activations by 1/(1-p) during training,
+/// identity at eval.
+class Dropout : public Layer {
+ public:
+  /// `rng` must outlive the layer.
+  Dropout(double p, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Dropout"; }
+
+ private:
+  double p_;
+  Rng* rng_;
+  std::vector<float> mask_;
+  bool last_training_ = false;
+};
+
+}  // namespace dshuf::nn

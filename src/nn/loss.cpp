@@ -1,0 +1,56 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dshuf::nn {
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                   const std::vector<std::uint32_t>& labels) {
+  DSHUF_CHECK_EQ(logits.rows(), labels.size(),
+                 "labels must match logits batch size");
+  const std::size_t N = logits.rows();
+  const std::size_t C = logits.cols();
+  probs_ = Tensor({N, C});
+  labels_ = labels;
+  sample_losses_.assign(N, 0.0F);
+  double total = 0.0;
+  for (std::size_t i = 0; i < N; ++i) {
+    DSHUF_CHECK_LT(labels[i], C, "label out of class range");
+    const float* row = logits.data() + i * C;
+    float* prow = probs_.data() + i * C;
+    const float mx = *std::max_element(row, row + C);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < C; ++j) {
+      const double e = std::exp(static_cast<double>(row[j] - mx));
+      prow[j] = static_cast<float>(e);
+      denom += e;
+    }
+    const auto inv = static_cast<float>(1.0 / denom);
+    for (std::size_t j = 0; j < C; ++j) prow[j] *= inv;
+    // -log softmax of the true class, computed from the stabilised terms.
+    const double logp =
+        static_cast<double>(row[labels[i]] - mx) - std::log(denom);
+    sample_losses_[i] = static_cast<float>(-logp);
+    total -= logp;
+  }
+  return static_cast<float>(total / static_cast<double>(N));
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  DSHUF_CHECK(!probs_.empty(), "backward() before forward()");
+  const std::size_t N = probs_.rows();
+  const std::size_t C = probs_.cols();
+  Tensor grad = probs_;
+  const auto inv_n = 1.0F / static_cast<float>(N);
+  for (std::size_t i = 0; i < N; ++i) {
+    float* row = grad.data() + i * C;
+    row[labels_[i]] -= 1.0F;
+    for (std::size_t j = 0; j < C; ++j) row[j] *= inv_n;
+  }
+  return grad;
+}
+
+}  // namespace dshuf::nn

@@ -1,0 +1,37 @@
+// Softmax cross-entropy loss with integrated, numerically stable backward.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dshuf::nn {
+
+/// Combined softmax + cross-entropy. forward() returns the mean loss over
+/// the batch; backward() returns dLoss/dLogits for that same batch (mean
+/// reduction, i.e. already divided by the batch size).
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: [N, C]; labels: N class indices < C.
+  float forward(const Tensor& logits, const std::vector<std::uint32_t>& labels);
+
+  /// Gradient of the mean loss w.r.t. the logits passed to the last forward.
+  [[nodiscard]] Tensor backward() const;
+
+  /// Softmax probabilities from the last forward ([N, C]).
+  [[nodiscard]] const Tensor& probs() const { return probs_; }
+
+  /// Per-sample losses from the last forward (length N). Used by
+  /// importance-sampling policies that score individual samples.
+  [[nodiscard]] const std::vector<float>& per_sample_losses() const {
+    return sample_losses_;
+  }
+
+ private:
+  Tensor probs_;
+  std::vector<std::uint32_t> labels_;
+  std::vector<float> sample_losses_;
+};
+
+}  // namespace dshuf::nn

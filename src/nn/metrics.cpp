@@ -1,0 +1,31 @@
+#include "nn/metrics.hpp"
+
+#include "util/error.hpp"
+
+namespace dshuf::nn {
+
+double top1_accuracy(const Tensor& logits,
+                     const std::vector<std::uint32_t>& labels) {
+  DSHUF_CHECK_EQ(logits.rows(), labels.size(),
+                 "labels must match logits batch size");
+  if (labels.empty()) return 0.0;
+  const auto preds = argmax_rows(logits);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+void AccuracyMeter::update(const Tensor& logits,
+                           const std::vector<std::uint32_t>& labels) {
+  DSHUF_CHECK_EQ(logits.rows(), labels.size(),
+                 "labels must match logits batch size");
+  const auto preds = argmax_rows(logits);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct_;
+  }
+  total_ += labels.size();
+}
+
+}  // namespace dshuf::nn

@@ -1,0 +1,32 @@
+// Classification metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dshuf::nn {
+
+/// Fraction of rows whose argmax equals the label (top-1 accuracy).
+double top1_accuracy(const Tensor& logits,
+                     const std::vector<std::uint32_t>& labels);
+
+/// Streaming accuracy accumulator for chunked evaluation.
+class AccuracyMeter {
+ public:
+  void update(const Tensor& logits, const std::vector<std::uint32_t>& labels);
+  [[nodiscard]] double value() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(correct_) /
+                             static_cast<double>(total_);
+  }
+  [[nodiscard]] std::size_t count() const { return total_; }
+  void reset() { correct_ = total_ = 0; }
+
+ private:
+  std::size_t correct_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace dshuf::nn

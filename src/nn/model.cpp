@@ -1,0 +1,118 @@
+#include "nn/model.hpp"
+
+#include "util/error.hpp"
+
+namespace dshuf::nn {
+
+Model& Model::add(LayerPtr layer) {
+  DSHUF_CHECK(layer != nullptr, "cannot add a null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Model::forward(const Tensor& x, bool training) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward(h, training);
+  return h;
+}
+
+void Model::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+}
+
+std::vector<Param*> Model::params() {
+  std::vector<Param*> out;
+  for (auto& l : layers_) {
+    for (Param* p : l->params()) out.push_back(p);
+  }
+  return out;
+}
+
+void Model::zero_grad() {
+  for (Param* p : params()) p->grad.zero();
+}
+
+void Model::scale_grad(float factor) {
+  for (Param* p : params()) p->grad.scale(factor);
+}
+
+std::size_t Model::num_params() {
+  std::size_t n = 0;
+  for (Param* p : params()) n += p->value.size();
+  return n;
+}
+
+std::vector<float> Model::state() {
+  std::vector<float> s;
+  for (Param* p : params()) {
+    s.insert(s.end(), p->value.vec().begin(), p->value.vec().end());
+  }
+  return s;
+}
+
+void Model::load_state(const std::vector<float>& s) {
+  std::size_t off = 0;
+  for (Param* p : params()) {
+    DSHUF_CHECK_LE(off + p->value.size(), s.size(),
+                   "state vector too small for model");
+    std::copy(s.begin() + static_cast<std::ptrdiff_t>(off),
+              s.begin() + static_cast<std::ptrdiff_t>(off + p->value.size()),
+              p->value.vec().begin());
+    off += p->value.size();
+  }
+  DSHUF_CHECK_EQ(off, s.size(), "state vector size mismatch");
+}
+
+std::vector<Tensor*> Model::buffers() {
+  std::vector<Tensor*> out;
+  for (auto& l : layers_) {
+    for (Tensor* b : l->buffers()) out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<float> Model::buffer_state() {
+  std::vector<float> s;
+  for (Tensor* b : buffers()) {
+    s.insert(s.end(), b->vec().begin(), b->vec().end());
+  }
+  return s;
+}
+
+void Model::load_buffer_state(const std::vector<float>& s) {
+  std::size_t off = 0;
+  for (Tensor* b : buffers()) {
+    DSHUF_CHECK_LE(off + b->size(), s.size(),
+                   "buffer state vector too small for model");
+    std::copy(s.begin() + static_cast<std::ptrdiff_t>(off),
+              s.begin() + static_cast<std::ptrdiff_t>(off + b->size()),
+              b->vec().begin());
+    off += b->size();
+  }
+  DSHUF_CHECK_EQ(off, s.size(), "buffer state vector size mismatch");
+}
+
+std::vector<float> Model::gradients() {
+  std::vector<float> g;
+  for (Param* p : params()) {
+    g.insert(g.end(), p->grad.vec().begin(), p->grad.vec().end());
+  }
+  return g;
+}
+
+std::vector<Layer*> Model::layers() {
+  std::vector<Layer*> out;
+  out.reserve(layers_.size());
+  for (auto& l : layers_) out.push_back(l.get());
+  return out;
+}
+
+void Model::pop_layers(std::size_t n) {
+  DSHUF_CHECK_LE(n, layers_.size(), "cannot pop more layers than exist");
+  layers_.resize(layers_.size() - n);
+}
+
+}  // namespace dshuf::nn

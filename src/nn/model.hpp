@@ -1,0 +1,66 @@
+// Sequential model container.
+//
+// Owns a stack of layers, exposes the flattened parameter list (for the
+// optimiser and for gradient allreduce emulation), weight state
+// save/restore (warm starts, the ImageNet-21K -> 1K transfer experiment),
+// and gradient utilities used by the distributed-SGD simulator.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dshuf::nn {
+
+class Model {
+ public:
+  Model() = default;
+
+  /// Append a layer; returns *this for chaining.
+  Model& add(LayerPtr layer);
+
+  /// Forward through all layers.
+  Tensor forward(const Tensor& x, bool training);
+
+  /// Backward through all layers from dLoss/dOutput; accumulates gradients.
+  void backward(const Tensor& grad_out);
+
+  /// All trainable parameters in layer order.
+  [[nodiscard]] std::vector<Param*> params();
+
+  /// Clear all parameter gradients.
+  void zero_grad();
+
+  /// Multiply all gradients by `factor` (e.g. 1/M after summing M workers'
+  /// backward passes — the "gradient averaging" of synchronous SGD).
+  void scale_grad(float factor);
+
+  /// Total number of scalar parameters.
+  [[nodiscard]] std::size_t num_params();
+
+  /// Flatten parameter values into one vector (order-stable).
+  [[nodiscard]] std::vector<float> state();
+  /// Restore parameter values from state(); size must match.
+  void load_state(const std::vector<float>& s);
+
+  /// All non-trainable buffers in layer order (BatchNorm running stats).
+  [[nodiscard]] std::vector<Tensor*> buffers();
+  /// Flatten / restore buffer contents (for checkpoints).
+  [[nodiscard]] std::vector<float> buffer_state();
+  void load_buffer_state(const std::vector<float>& s);
+
+  /// Flatten gradients (for emulated allreduce / tests).
+  [[nodiscard]] std::vector<float> gradients();
+
+  /// Access to layers, e.g. to find BatchNorm instances or replace the
+  /// classification head in transfer learning.
+  [[nodiscard]] std::vector<Layer*> layers();
+  /// Drop the last `n` layers (transfer-learning head replacement).
+  void pop_layers(std::size_t n);
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace dshuf::nn

@@ -1,0 +1,204 @@
+#include "nn/norm.hpp"
+
+#include <cmath>
+
+namespace dshuf::nn {
+
+BatchNorm1d::BatchNorm1d(std::size_t features, float momentum, float eps)
+    : features_(features),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_("bn.gamma", Tensor::full({features}, 1.0F), /*decay=*/false),
+      beta_("bn.beta", Tensor({features}), /*decay=*/false),
+      running_mean_({features}),
+      running_var_(Tensor::full({features}, 1.0F)) {}
+
+Tensor BatchNorm1d::forward(const Tensor& x, bool training) {
+  DSHUF_CHECK_EQ(x.cols(), features_, "BatchNorm feature mismatch");
+  const std::size_t N = x.rows();
+  const std::size_t C = features_;
+  Tensor out({N, C});
+  cached_xhat_ = Tensor({N, C});
+  cached_inv_std_ = Tensor({C});
+  cached_batch_ = N;
+
+  const float* px = x.data();
+  float* pxh = cached_xhat_.data();
+  float* po = out.data();
+  const float* g = gamma_.value.data();
+  const float* b = beta_.value.data();
+
+  for (std::size_t j = 0; j < C; ++j) {
+    float mean;
+    float var;
+    if (training) {
+      DSHUF_CHECK_GT(N, 1U, "BatchNorm training needs batch size > 1");
+      double sum = 0.0;
+      for (std::size_t i = 0; i < N; ++i) sum += px[i * C + j];
+      mean = static_cast<float>(sum / static_cast<double>(N));
+      double ss = 0.0;
+      for (std::size_t i = 0; i < N; ++i) {
+        const double d = px[i * C + j] - mean;
+        ss += d * d;
+      }
+      var = static_cast<float>(ss / static_cast<double>(N));  // biased
+      // PyTorch-style running update (uses unbiased variance).
+      const float unbiased =
+          static_cast<float>(ss / static_cast<double>(N - 1));
+      running_mean_.vec()[j] =
+          (1.0F - momentum_) * running_mean_.vec()[j] + momentum_ * mean;
+      running_var_.vec()[j] =
+          (1.0F - momentum_) * running_var_.vec()[j] + momentum_ * unbiased;
+    } else {
+      mean = running_mean_.vec()[j];
+      var = running_var_.vec()[j];
+    }
+    const float inv_std = 1.0F / std::sqrt(var + eps_);
+    cached_inv_std_.vec()[j] = inv_std;
+    for (std::size_t i = 0; i < N; ++i) {
+      const float xhat = (px[i * C + j] - mean) * inv_std;
+      pxh[i * C + j] = xhat;
+      po[i * C + j] = g[j] * xhat + b[j];
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm1d::backward(const Tensor& grad_out) {
+  const std::size_t N = cached_batch_;
+  const std::size_t C = features_;
+  DSHUF_CHECK_EQ(grad_out.rows(), N, "BatchNorm grad batch mismatch");
+  DSHUF_CHECK_EQ(grad_out.cols(), C, "BatchNorm grad feature mismatch");
+  Tensor grad_in({N, C});
+  const float* dy = grad_out.data();
+  const float* xh = cached_xhat_.data();
+  float* dx = grad_in.data();
+  const float* g = gamma_.value.data();
+  float* dg = gamma_.grad.data();
+  float* db = beta_.grad.data();
+  const auto n = static_cast<float>(N);
+
+  for (std::size_t j = 0; j < C; ++j) {
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (std::size_t i = 0; i < N; ++i) {
+      sum_dy += dy[i * C + j];
+      sum_dy_xhat += static_cast<double>(dy[i * C + j]) * xh[i * C + j];
+    }
+    dg[j] += static_cast<float>(sum_dy_xhat);
+    db[j] += static_cast<float>(sum_dy);
+    const float inv_std = cached_inv_std_.vec()[j];
+    const auto mdy = static_cast<float>(sum_dy / n);
+    const auto mdyx = static_cast<float>(sum_dy_xhat / n);
+    for (std::size_t i = 0; i < N; ++i) {
+      // Standard BN backward: dx = g*inv_std*(dy - mean(dy) - xhat*mean(dy*xhat))
+      dx[i * C + j] =
+          g[j] * inv_std * (dy[i * C + j] - mdy - xh[i * C + j] * mdyx);
+    }
+  }
+  return grad_in;
+}
+
+GroupNorm::GroupNorm(std::size_t features, std::size_t groups, float eps)
+    : features_(features),
+      groups_(groups),
+      group_size_(groups == 0 ? 0 : features / groups),
+      eps_(eps),
+      gamma_("gn.gamma", Tensor::full({features}, 1.0F), /*decay=*/false),
+      beta_("gn.beta", Tensor({features}), /*decay=*/false) {
+  DSHUF_CHECK_GT(groups, 0U, "GroupNorm needs at least one group");
+  DSHUF_CHECK_EQ(features % groups, 0U,
+                 "GroupNorm features must divide evenly into groups");
+}
+
+Tensor GroupNorm::forward(const Tensor& x, bool /*training*/) {
+  DSHUF_CHECK_EQ(x.cols(), features_, "GroupNorm feature mismatch");
+  const std::size_t N = x.rows();
+  const std::size_t C = features_;
+  const std::size_t G = groups_;
+  const std::size_t GS = group_size_;
+  Tensor out({N, C});
+  cached_xhat_ = Tensor({N, C});
+  cached_inv_std_ = Tensor({N, G});
+
+  const float* px = x.data();
+  float* pxh = cached_xhat_.data();
+  float* po = out.data();
+  const float* g = gamma_.value.data();
+  const float* b = beta_.value.data();
+
+  for (std::size_t i = 0; i < N; ++i) {
+    const float* row = px + i * C;
+    for (std::size_t grp = 0; grp < G; ++grp) {
+      const std::size_t c0 = grp * GS;
+      double sum = 0.0;
+      for (std::size_t c = c0; c < c0 + GS; ++c) sum += row[c];
+      const auto mean = static_cast<float>(sum / static_cast<double>(GS));
+      double ss = 0.0;
+      for (std::size_t c = c0; c < c0 + GS; ++c) {
+        const double d = row[c] - mean;
+        ss += d * d;
+      }
+      const auto var = static_cast<float>(ss / static_cast<double>(GS));
+      const float inv_std = 1.0F / std::sqrt(var + eps_);
+      cached_inv_std_.at(i, grp) = inv_std;
+      for (std::size_t c = c0; c < c0 + GS; ++c) {
+        const float xhat = (row[c] - mean) * inv_std;
+        pxh[i * C + c] = xhat;
+        po[i * C + c] = g[c] * xhat + b[c];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor GroupNorm::backward(const Tensor& grad_out) {
+  const std::size_t N = cached_xhat_.rows();
+  const std::size_t C = features_;
+  const std::size_t G = groups_;
+  const std::size_t GS = group_size_;
+  DSHUF_CHECK_EQ(grad_out.rows(), N, "GroupNorm grad batch mismatch");
+  DSHUF_CHECK_EQ(grad_out.cols(), C, "GroupNorm grad feature mismatch");
+  Tensor grad_in({N, C});
+  const float* dy = grad_out.data();
+  const float* xh = cached_xhat_.data();
+  float* dx = grad_in.data();
+  const float* g = gamma_.value.data();
+  float* dg = gamma_.grad.data();
+  float* db = beta_.grad.data();
+
+  for (std::size_t c = 0; c < C; ++c) {
+    double sdg = 0.0;
+    double sdb = 0.0;
+    for (std::size_t i = 0; i < N; ++i) {
+      sdg += static_cast<double>(dy[i * C + c]) * xh[i * C + c];
+      sdb += dy[i * C + c];
+    }
+    dg[c] += static_cast<float>(sdg);
+    db[c] += static_cast<float>(sdb);
+  }
+
+  const auto gs = static_cast<float>(GS);
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t grp = 0; grp < G; ++grp) {
+      const std::size_t c0 = grp * GS;
+      double sum_t = 0.0;       // sum of g*dy over group
+      double sum_t_xhat = 0.0;  // sum of g*dy*xhat over group
+      for (std::size_t c = c0; c < c0 + GS; ++c) {
+        const double t = static_cast<double>(g[c]) * dy[i * C + c];
+        sum_t += t;
+        sum_t_xhat += t * xh[i * C + c];
+      }
+      const float inv_std = cached_inv_std_.at(i, grp);
+      const auto mt = static_cast<float>(sum_t / gs);
+      const auto mtx = static_cast<float>(sum_t_xhat / gs);
+      for (std::size_t c = c0; c < c0 + GS; ++c) {
+        dx[i * C + c] =
+            inv_std * (g[c] * dy[i * C + c] - mt - xh[i * C + c] * mtx);
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace dshuf::nn

@@ -1,0 +1,73 @@
+// Normalisation layers.
+//
+// BatchNorm1d is the load-bearing layer for this reproduction: the paper
+// (Section IV-A-1) attributes local shuffling's accuracy gap largely to
+// batch statistics being computed on each worker's (possibly class-skewed,
+// small) local minibatch. Because the simulator runs each virtual worker's
+// forward/backward separately against the shared model, BatchNorm batch
+// statistics are naturally per-worker — exactly like unsynchronised BN in
+// DDP. GroupNorm is provided as the paper's suggested batch-independent
+// alternative for the ablation study.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace dshuf::nn {
+
+/// 1-D batch normalisation over the batch dimension of an [N, C] input.
+class BatchNorm1d : public Layer {
+ public:
+  explicit BatchNorm1d(std::size_t features, float momentum = 0.1F,
+                       float eps = 1e-5F);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> buffers() override {
+    return {&running_mean_, &running_var_};
+  }
+  [[nodiscard]] std::string name() const override { return "BatchNorm1d"; }
+
+  /// Running statistics (used at eval); exposed for tests and for the
+  /// simulator's cross-worker running-stat averaging.
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+
+ private:
+  std::size_t features_;
+  float momentum_;
+  float eps_;
+  Param gamma_;
+  Param beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+  // Forward caches for backward.
+  Tensor cached_xhat_;
+  Tensor cached_inv_std_;  // [C]
+  std::size_t cached_batch_ = 0;
+};
+
+/// Group normalisation over an [N, C] input with G groups of C/G channels.
+/// Statistics are per-sample, per-group — independent of batch composition,
+/// hence insensitive to how samples are sharded across workers.
+class GroupNorm : public Layer {
+ public:
+  GroupNorm(std::size_t features, std::size_t groups, float eps = 1e-5F);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  [[nodiscard]] std::string name() const override { return "GroupNorm"; }
+
+ private:
+  std::size_t features_;
+  std::size_t groups_;
+  std::size_t group_size_;
+  float eps_;
+  Param gamma_;
+  Param beta_;
+  Tensor cached_xhat_;
+  Tensor cached_inv_std_;  // [N, G]
+};
+
+}  // namespace dshuf::nn

@@ -1,0 +1,120 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dshuf::nn {
+
+Sgd::Sgd(Model& model, SgdConfig config) : model_(&model), config_(config) {
+  for (Param* p : model_->params()) {
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::step() {
+  const auto params = model_->params();
+  DSHUF_CHECK_EQ(params.size(), velocity_.size(),
+                 "model parameter set changed after optimiser construction");
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Param& p = *params[pi];
+    Tensor& v = velocity_[pi];
+    const float wd = p.apply_weight_decay ? config_.weight_decay : 0.0F;
+
+    // Effective gradient g = grad + wd * w.
+    // LARS: scale lr for this parameter tensor by
+    //   trust * ||w|| / (||g|| + eps), clamped to a sane range.
+    float local_lr = config_.lr;
+    if (config_.lars_trust > 0.0F) {
+      double wn = 0.0;
+      double gn = 0.0;
+      const float* w = p.value.data();
+      const float* g = p.grad.data();
+      for (std::size_t i = 0; i < p.value.size(); ++i) {
+        wn += static_cast<double>(w[i]) * w[i];
+        const double ge = static_cast<double>(g[i]) + wd * w[i];
+        gn += ge * ge;
+      }
+      wn = std::sqrt(wn);
+      gn = std::sqrt(gn);
+      if (wn > 0.0 && gn > 0.0) {
+        local_lr = config_.lr * config_.lars_trust *
+                   static_cast<float>(wn / (gn + config_.lars_eps));
+      }
+    }
+
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* vel = v.data();
+    for (std::size_t i = 0; i < p.value.size(); ++i) {
+      const float ge = g[i] + wd * w[i];
+      vel[i] = config_.momentum * vel[i] + ge;
+      const float update =
+          config_.nesterov ? config_.momentum * vel[i] + ge : vel[i];
+      w[i] -= local_lr * update;
+    }
+  }
+}
+
+std::vector<float> Sgd::state() const {
+  std::vector<float> s;
+  for (const Tensor& v : velocity_) {
+    s.insert(s.end(), v.vec().begin(), v.vec().end());
+  }
+  return s;
+}
+
+void Sgd::load_state(const std::vector<float>& s) {
+  std::size_t off = 0;
+  for (Tensor& v : velocity_) {
+    DSHUF_CHECK_LE(off + v.size(), s.size(),
+                   "optimizer state vector too small");
+    std::copy(s.begin() + static_cast<std::ptrdiff_t>(off),
+              s.begin() + static_cast<std::ptrdiff_t>(off + v.size()),
+              v.vec().begin());
+    off += v.size();
+  }
+  DSHUF_CHECK_EQ(off, s.size(), "optimizer state vector size mismatch");
+}
+
+MultiStepLr::MultiStepLr(float base_lr, std::vector<double> milestones,
+                         float gamma, double warmup_epochs,
+                         float warmup_start_factor)
+    : base_lr_(base_lr),
+      milestones_(std::move(milestones)),
+      gamma_(gamma),
+      warmup_epochs_(warmup_epochs),
+      warmup_start_factor_(warmup_start_factor) {}
+
+float MultiStepLr::lr_at(double epoch) const {
+  if (warmup_epochs_ > 0.0 && epoch < warmup_epochs_) {
+    const double t = epoch / warmup_epochs_;
+    return base_lr_ *
+           (warmup_start_factor_ +
+            static_cast<float>(t) * (1.0F - warmup_start_factor_));
+  }
+  float lr = base_lr_;
+  for (double m : milestones_) {
+    if (epoch >= m) lr *= gamma_;
+  }
+  return lr;
+}
+
+CosineLr::CosineLr(float base_lr, double total_epochs, double warmup_epochs)
+    : base_lr_(base_lr),
+      total_epochs_(total_epochs),
+      warmup_epochs_(warmup_epochs) {
+  DSHUF_CHECK_GT(total_epochs, 0.0, "cosine schedule needs a positive span");
+}
+
+float CosineLr::lr_at(double epoch) const {
+  if (warmup_epochs_ > 0.0 && epoch < warmup_epochs_) {
+    return base_lr_ * static_cast<float>(epoch / warmup_epochs_ + 1e-3);
+  }
+  const double t =
+      std::min(1.0, (epoch - warmup_epochs_) /
+                        std::max(1e-9, total_epochs_ - warmup_epochs_));
+  return base_lr_ * static_cast<float>(0.5 * (1.0 + std::cos(M_PI * t)));
+}
+
+}  // namespace dshuf::nn

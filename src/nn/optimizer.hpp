@@ -1,0 +1,97 @@
+// Optimisers and learning-rate schedules.
+//
+// SGD with momentum + weight decay matches the paper's reference regimes
+// (Goyal et al. for ImageNet). LARS (You et al.) is the paper's choice for
+// large-batch scaling (>512 workers); we implement the layer-wise trust
+// ratio on top of momentum SGD exactly as in the LARS paper.
+#pragma once
+
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace dshuf::nn {
+
+struct SgdConfig {
+  float lr = 0.1F;
+  float momentum = 0.9F;
+  float weight_decay = 0.0F;
+  bool nesterov = false;
+  /// Enable LARS layer-wise adaptive scaling with this trust coefficient
+  /// (0 disables LARS).
+  float lars_trust = 0.0F;
+  float lars_eps = 1e-9F;
+};
+
+class Sgd {
+ public:
+  Sgd(Model& model, SgdConfig config);
+
+  /// Apply one update using the gradients currently stored in the model.
+  /// Gradients are NOT cleared (callers own zero_grad()).
+  void step();
+
+  float lr() const { return config_.lr; }
+  void set_lr(float lr) { config_.lr = lr; }
+  const SgdConfig& config() const { return config_; }
+
+  /// Flatten / restore momentum buffers (for checkpoints). Ordering
+  /// follows the model's parameter order.
+  [[nodiscard]] std::vector<float> state() const;
+  void load_state(const std::vector<float>& s);
+
+ private:
+  Model* model_;
+  SgdConfig config_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Learning-rate schedule: lr multiplier as a function of epoch (fractional
+/// epochs allowed for warmup granularity).
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Returns the absolute learning rate at this (fractional) epoch.
+  [[nodiscard]] virtual float lr_at(double epoch) const = 0;
+};
+
+/// Constant learning rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  [[nodiscard]] float lr_at(double) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// Step decay: multiply by `gamma` at each milestone epoch, with optional
+/// linear warmup from `warmup_start_factor * base_lr` over the first
+/// `warmup_epochs` (the Goyal et al. gradual-warmup recipe).
+class MultiStepLr : public LrSchedule {
+ public:
+  MultiStepLr(float base_lr, std::vector<double> milestones, float gamma,
+              double warmup_epochs = 0.0, float warmup_start_factor = 0.1F);
+  [[nodiscard]] float lr_at(double epoch) const override;
+
+ private:
+  float base_lr_;
+  std::vector<double> milestones_;
+  float gamma_;
+  double warmup_epochs_;
+  float warmup_start_factor_;
+};
+
+/// Cosine annealing to zero over `total_epochs` with linear warmup.
+class CosineLr : public LrSchedule {
+ public:
+  CosineLr(float base_lr, double total_epochs, double warmup_epochs = 0.0);
+  [[nodiscard]] float lr_at(double epoch) const override;
+
+ private:
+  float base_lr_;
+  double total_epochs_;
+  double warmup_epochs_;
+};
+
+}  // namespace dshuf::nn

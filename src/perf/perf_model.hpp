@@ -1,0 +1,118 @@
+// Analytic epoch-time model.
+//
+// Reproduces the SHAPE of the paper's performance results (Figures 7b, 9,
+// 10) on top of the io::SystemProfile tier constants:
+//
+//   epoch = max-over-workers(IO) + FW+BW + visible EXCHANGE + GE+WU
+//
+//   * IO        — local tiers stream the shard with tight variance; the
+//                 PFS under M concurrent readers gets a congestion-only
+//                 straggler multiplier exp(sigma * max(z, 0)), calibrated
+//                 so 512 readers reproduce the paper's 11.9 s ... 142 s
+//                 spread around a 19.6 s mean (DenseNet161).
+//   * EXCHANGE  — personalised all-to-all of Q * shard bytes per worker;
+//                 per-worker throughput min(injection, c * bisection / M)
+//                 with a congestion penalty growing with M. Overlap with
+//                 compute (Fig. 4) hides up to (I-1)/I of the epoch's
+//                 FW+BW budget; with few iterations per epoch the hiding
+//                 collapses — the paper's >= 1,024-worker degradation.
+//   * GE+WU     — allreduce of the model bytes, plus the synchronous-SGD
+//                 penalty that I/O stragglers impose on the collective
+//                 (workers "enter the collective late"): a calibrated
+//                 fraction of (max IO - mean IO).
+//
+// All randomness is a pure function of (seed, worker), so results are
+// reproducible and the mean/max statistics are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "io/storage.hpp"
+#include "shuffle/types.hpp"
+
+namespace dshuf::perf {
+
+/// Per-model compute/size constants (calibrated against Fig. 10).
+struct ComputeProfile {
+  std::string model_name;
+  /// Forward+backward seconds per sample per worker.
+  double fwbw_per_sample_s = 0;
+  /// Decode/augment seconds per sample (part of the measured "I/O" time).
+  double decode_per_sample_s = 0;
+  /// Parameter bytes (gradient allreduce volume).
+  double model_bytes = 0;
+  /// On-disk bytes per training sample.
+  double sample_bytes = 0;
+};
+
+ComputeProfile resnet50_profile();
+ComputeProfile densenet161_profile();
+ComputeProfile deepcam_profile();
+
+struct WorkloadShape {
+  std::size_t dataset_samples = 0;
+  std::size_t workers = 1;
+  std::size_t local_batch = 32;
+};
+
+struct EpochBreakdown {
+  double io_s = 0;        // mean across workers (the paper's reported IO)
+  double io_min_s = 0;
+  double io_max_s = 0;    // slowest worker (straggler)
+  double exchange_s = 0;  // visible (non-overlapped) exchange time
+  double exchange_raw_s = 0;  // before overlap hiding
+  double fwbw_s = 0;
+  double gewu_s = 0;      // gradient exchange + weight update
+  std::size_t iterations = 0;
+
+  [[nodiscard]] double total() const {
+    return io_s + exchange_s + fwbw_s + gewu_s;
+  }
+};
+
+class EpochModel {
+ public:
+  EpochModel(io::SystemProfile system, ComputeProfile compute,
+             std::uint64_t seed = 2022);
+
+  /// Average per-epoch time breakdown for the given strategy. `q` is the
+  /// exchange fraction (ignored for global/local).
+  [[nodiscard]] EpochBreakdown epoch(const WorkloadShape& w,
+                                     shuffle::Strategy strategy,
+                                     double q) const;
+
+  /// Hierarchical-exchange variant (the paper's Section V-F proposal):
+  /// `intra_fraction` of the exchanged samples stay within a group of
+  /// `workers / groups` ranks (near-zero congestion), the rest crosses
+  /// groups and pays congestion at GROUP granularity instead of rank
+  /// granularity. Everything else matches epoch(kPartial, q).
+  [[nodiscard]] EpochBreakdown epoch_partial_hierarchical(
+      const WorkloadShape& w, double q, int groups,
+      double intra_fraction = 0.5) const;
+
+  /// Lower bound for PFS-based global shuffling used by Fig. 7(b)'s red
+  /// line: the whole dataset streamed once per epoch at the PFS backend's
+  /// theoretical aggregate bandwidth (no contention, no metadata).
+  [[nodiscard]] double pfs_global_lower_bound(
+      const WorkloadShape& w) const;
+
+  [[nodiscard]] const io::SystemProfile& system() const { return system_; }
+  [[nodiscard]] const ComputeProfile& compute() const { return compute_; }
+
+ private:
+  struct IoStats {
+    double mean = 0;
+    double min = 0;
+    double max = 0;
+  };
+  [[nodiscard]] IoStats io_time(const WorkloadShape& w,
+                                shuffle::Strategy strategy, double q) const;
+  [[nodiscard]] double alltoall_bw_per_worker(std::size_t workers) const;
+
+  io::SystemProfile system_;
+  ComputeProfile compute_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dshuf::perf

@@ -1,0 +1,108 @@
+#include "shuffle/exchange_plan.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dshuf::shuffle {
+
+ExchangePlan::ExchangePlan(std::uint64_t seed, std::size_t epoch, int workers,
+                           std::size_t per_worker_quota, bool allow_self)
+    : workers_(workers) {
+  DSHUF_CHECK_GT(workers, 0, "exchange plan needs at least one worker");
+  Rng base(seed);
+  // One independent stream per epoch: every worker derives the identical
+  // stream, which is what synchronises the permutations without any
+  // communication.
+  Rng rng = base.fork(0xE9C4ULL, epoch);
+
+  rounds_.reserve(per_worker_quota);
+  const auto m = static_cast<std::size_t>(workers);
+  for (std::size_t i = 0; i < per_worker_quota; ++i) {
+    Round round;
+    auto perm = rng.permutation(m);
+    if (!allow_self && workers > 1) {
+      // Re-draw until the permutation is a derangement. Expected ~e tries.
+      auto has_fixed_point = [&](const std::vector<std::uint32_t>& p) {
+        for (std::size_t r = 0; r < p.size(); ++r) {
+          if (p[r] == r) return true;
+        }
+        return false;
+      };
+      while (has_fixed_point(perm)) perm = rng.permutation(m);
+    }
+    round.dest.resize(m);
+    round.src.resize(m);
+    for (std::size_t r = 0; r < m; ++r) {
+      round.dest[r] = static_cast<int>(perm[r]);
+      round.src[perm[r]] = static_cast<int>(r);
+    }
+    rounds_.push_back(std::move(round));
+  }
+}
+
+int ExchangePlan::dest(std::size_t round, int rank) const {
+  DSHUF_CHECK_LT(round, rounds_.size(), "round out of range");
+  DSHUF_CHECK(rank >= 0 && rank < workers_, "rank out of range");
+  return rounds_[round].dest[static_cast<std::size_t>(rank)];
+}
+
+int ExchangePlan::source(std::size_t round, int rank) const {
+  DSHUF_CHECK_LT(round, rounds_.size(), "round out of range");
+  DSHUF_CHECK(rank >= 0 && rank < workers_, "rank out of range");
+  return rounds_[round].src[static_cast<std::size_t>(rank)];
+}
+
+std::vector<int> ExchangePlan::dests_for(int rank) const {
+  std::vector<int> out;
+  out.reserve(rounds_.size());
+  for (std::size_t i = 0; i < rounds_.size(); ++i) out.push_back(dest(i, rank));
+  return out;
+}
+
+std::vector<int> ExchangePlan::sources_for(int rank) const {
+  std::vector<int> out;
+  out.reserve(rounds_.size());
+  for (std::size_t i = 0; i < rounds_.size(); ++i) {
+    out.push_back(source(i, rank));
+  }
+  return out;
+}
+
+std::size_t ExchangePlan::self_sends() const {
+  std::size_t n = 0;
+  for (const auto& round : rounds_) {
+    for (std::size_t r = 0; r < round.dest.size(); ++r) {
+      if (round.dest[r] == static_cast<int>(r)) ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t exchange_quota(std::size_t shard_size, double q) {
+  DSHUF_CHECK(q >= 0.0 && q <= 1.0, "exchange fraction Q must be in [0, 1]");
+  const auto k = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(shard_size)));
+  return std::min(k, shard_size);
+}
+
+std::vector<std::size_t> naive_exchange_recv_counts(std::uint64_t seed,
+                                                    std::size_t epoch,
+                                                    int workers,
+                                                    std::size_t quota) {
+  DSHUF_CHECK_GT(workers, 0, "need at least one worker");
+  Rng base(seed);
+  std::vector<std::size_t> recv(static_cast<std::size_t>(workers), 0);
+  for (int r = 0; r < workers; ++r) {
+    // Independent stream per sender — no coordination, hence no balance.
+    Rng rng = base.fork(0xBAD, epoch, static_cast<std::uint64_t>(r));
+    for (std::size_t i = 0; i < quota; ++i) {
+      const auto dest =
+          rng.uniform_u64(static_cast<std::uint64_t>(workers));
+      ++recv[dest];
+    }
+  }
+  return recv;
+}
+
+}  // namespace dshuf::shuffle

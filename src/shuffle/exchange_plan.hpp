@@ -1,0 +1,74 @@
+// Algorithm 1 of the paper: the balanced global exchange.
+//
+// Each epoch, every worker exchanges k = ceil(Q * N/M) samples. The plan
+// consists of k "rounds"; round i holds a random permutation dest_i of the
+// ranks, derived from a seed SHARED by all workers (paper: "all workers use
+// the same random seed ... to assure single source and single destination
+// for each exchanged sample"). In round i, worker r sends its i-th selected
+// sample to dest_i[r] and receives exactly one sample from the unique
+// worker s with dest_i[s] == r. Because every round is a permutation, every
+// worker sends AND receives exactly k samples — the balance property the
+// paper's scheme guarantees and the naive pick-a-random-destination scheme
+// does not (see bench_ablation_balance).
+//
+// The plan is a pure function of (seed, epoch, workers, quota): any worker
+// can compute its own sends/receives locally, which is what makes the
+// distributed implementation require only a local view.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dshuf::shuffle {
+
+class ExchangePlan {
+ public:
+  /// Build the plan for one epoch. `per_worker_quota` is k, the number of
+  /// samples each worker contributes (already scaled by Q by the caller).
+  /// `allow_self` keeps the paper's behaviour of permitting a worker to
+  /// "send to itself" when the permutation fixes its rank (a no-op
+  /// transfer); disabling it re-draws fixed points for an ablation.
+  ExchangePlan(std::uint64_t seed, std::size_t epoch, int workers,
+               std::size_t per_worker_quota, bool allow_self = true);
+
+  [[nodiscard]] int workers() const { return workers_; }
+  [[nodiscard]] std::size_t rounds() const { return rounds_.size(); }
+
+  /// Destination of worker `rank`'s round-i sample.
+  [[nodiscard]] int dest(std::size_t round, int rank) const;
+  /// Source whose round-i sample arrives at worker `rank`.
+  [[nodiscard]] int source(std::size_t round, int rank) const;
+
+  /// All destinations for a rank across rounds (send list, round order).
+  [[nodiscard]] std::vector<int> dests_for(int rank) const;
+  /// All sources for a rank across rounds (receive list, round order).
+  [[nodiscard]] std::vector<int> sources_for(int rank) const;
+
+  /// Number of round-fixed-points (rank sends to itself) — diagnostics.
+  [[nodiscard]] std::size_t self_sends() const;
+
+ private:
+  struct Round {
+    std::vector<int> dest;  // dest[rank]
+    std::vector<int> src;   // inverse permutation
+  };
+
+  int workers_;
+  std::vector<Round> rounds_;
+};
+
+/// Quota k = ceil(Q * shard_size), clamped to the shard size. Q outside
+/// [0, 1] is rejected.
+std::size_t exchange_quota(std::size_t shard_size, double q);
+
+/// Naive unbalanced variant for the ablation bench: each worker draws an
+/// independent random destination per sample (what DeepIO-style
+/// uncontrolled exchange does). Returns receive counts per worker.
+std::vector<std::size_t> naive_exchange_recv_counts(std::uint64_t seed,
+                                                    std::size_t epoch,
+                                                    int workers,
+                                                    std::size_t quota);
+
+}  // namespace dshuf::shuffle

@@ -1,0 +1,180 @@
+#include "shuffle/hierarchical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dshuf::shuffle {
+
+HierarchicalExchangePlan::HierarchicalExchangePlan(
+    std::uint64_t seed, std::size_t epoch, int groups, int group_size,
+    std::size_t per_worker_quota, double intra_fraction)
+    : groups_(groups), group_size_(group_size) {
+  DSHUF_CHECK_GT(groups, 0, "need at least one group");
+  DSHUF_CHECK_GT(group_size, 0, "need at least one rank per group");
+  DSHUF_CHECK(intra_fraction >= 0.0 && intra_fraction <= 1.0,
+              "intra fraction must be in [0, 1]");
+  Rng base(seed);
+  Rng stream = base.fork(0x41E2, epoch);
+
+  const auto m = static_cast<std::size_t>(groups * group_size);
+  const auto intra_rounds = static_cast<std::size_t>(
+      std::round(intra_fraction * static_cast<double>(per_worker_quota)));
+
+  dest_.reserve(per_worker_quota);
+  src_.reserve(per_worker_quota);
+  inter_.reserve(per_worker_quota);
+  for (std::size_t i = 0; i < per_worker_quota; ++i) {
+    const bool inter = i >= intra_rounds && groups > 1;
+    // Group-level permutation: identity for intra rounds.
+    std::vector<std::uint32_t> gperm;
+    if (inter) {
+      gperm = stream.permutation(static_cast<std::size_t>(groups));
+    } else {
+      gperm.resize(static_cast<std::size_t>(groups));
+      for (std::size_t g = 0; g < gperm.size(); ++g) {
+        gperm[g] = static_cast<std::uint32_t>(g);
+      }
+    }
+    // Per-source-group local-slot permutation.
+    std::vector<int> dest(m);
+    std::vector<int> src(m);
+    for (int g = 0; g < groups; ++g) {
+      const auto lperm =
+          stream.permutation(static_cast<std::size_t>(group_size));
+      for (int s = 0; s < group_size; ++s) {
+        const int from = g * group_size + s;
+        const int to = static_cast<int>(gperm[g]) * group_size +
+                       static_cast<int>(lperm[s]);
+        dest[from] = to;
+        src[to] = from;
+      }
+    }
+    dest_.push_back(std::move(dest));
+    src_.push_back(std::move(src));
+    inter_.push_back(inter);
+  }
+}
+
+int HierarchicalExchangePlan::dest(std::size_t round, int rank) const {
+  DSHUF_CHECK_LT(round, dest_.size(), "round out of range");
+  DSHUF_CHECK(rank >= 0 && rank < workers(), "rank out of range");
+  return dest_[round][static_cast<std::size_t>(rank)];
+}
+
+int HierarchicalExchangePlan::source(std::size_t round, int rank) const {
+  DSHUF_CHECK_LT(round, src_.size(), "round out of range");
+  DSHUF_CHECK(rank >= 0 && rank < workers(), "rank out of range");
+  return src_[round][static_cast<std::size_t>(rank)];
+}
+
+bool HierarchicalExchangePlan::round_is_inter_group(std::size_t round) const {
+  DSHUF_CHECK_LT(round, inter_.size(), "round out of range");
+  return inter_[round];
+}
+
+HierarchicalPartialShuffler::HierarchicalPartialShuffler(
+    std::vector<std::vector<SampleId>> shards, double q, int groups,
+    std::uint64_t seed, double intra_fraction)
+    : q_(q),
+      groups_(groups),
+      intra_fraction_(intra_fraction),
+      seed_(seed),
+      orders_(shards.size()) {
+  DSHUF_CHECK(!shards.empty(), "need at least one shard");
+  DSHUF_CHECK(q >= 0.0 && q <= 1.0, "Q must be in [0, 1]");
+  DSHUF_CHECK_GT(groups, 0, "need at least one group");
+  DSHUF_CHECK_EQ(shards.size() % static_cast<std::size_t>(groups), 0U,
+                 "workers must divide evenly into groups");
+  std::size_t min_shard = shards[0].size();
+  for (const auto& s : shards) min_shard = std::min(min_shard, s.size());
+  const std::size_t quota = exchange_quota(min_shard, q);
+  stores_.reserve(shards.size());
+  for (auto& s : shards) {
+    const std::size_t cap = s.size() + quota;
+    stores_.emplace_back(std::move(s), cap);
+  }
+}
+
+std::string HierarchicalPartialShuffler::label() const {
+  return strategy_label(Strategy::kPartial, q_) + "-hier" +
+         std::to_string(groups_);
+}
+
+void HierarchicalPartialShuffler::begin_epoch(std::size_t epoch) {
+  const auto m = stores_.size();
+  std::size_t min_shard = stores_[0].size();
+  for (const auto& s : stores_) min_shard = std::min(min_shard, s.size());
+  const std::size_t quota = exchange_quota(min_shard, q_);
+
+  stats_ = ExchangeStats{};
+  stats_.epoch = epoch;
+  stats_.sent_per_worker.assign(m, 0);
+  stats_.received_per_worker.assign(m, 0);
+  stats_.local_reads_per_worker.assign(m, 0);
+  stats_.peak_occupancy_per_worker.assign(m, 0);
+
+  if (quota > 0 && m > 1) {
+    const HierarchicalExchangePlan plan(
+        seed_, epoch, groups_, static_cast<int>(m) / groups_, quota,
+        intra_fraction_);
+    last_intra_fraction_ = plan.intra_group_traffic_fraction();
+    std::vector<std::vector<SampleId>> outgoing(m);
+    for (std::size_t w = 0; w < m; ++w) {
+      stores_[w].reset_peak();
+      const auto picks =
+          pick_permutation(seed_, epoch, static_cast<int>(w),
+                           stores_[w].size());
+      outgoing[w].reserve(quota);
+      for (std::size_t i = 0; i < quota; ++i) {
+        outgoing[w].push_back(stores_[w].ids()[picks[i]]);
+      }
+    }
+    for (std::size_t i = 0; i < quota; ++i) {
+      for (std::size_t w = 0; w < m; ++w) {
+        const int d = plan.dest(i, static_cast<int>(w));
+        stores_[static_cast<std::size_t>(d)].add(outgoing[w][i]);
+        ++stats_.received_per_worker[static_cast<std::size_t>(d)];
+        ++stats_.sent_per_worker[w];
+      }
+    }
+    for (std::size_t w = 0; w < m; ++w) {
+      for (SampleId id : outgoing[w]) stores_[w].remove_id(id);
+    }
+  } else {
+    for (auto& s : stores_) s.reset_peak();
+  }
+
+  for (std::size_t w = 0; w < m; ++w) {
+    post_exchange_local_shuffle(seed_, epoch, static_cast<int>(w),
+                                stores_[w].mutable_ids());
+    orders_[w] = stores_[w].ids();
+    stats_.local_reads_per_worker[w] =
+        orders_[w].size() - stats_.received_per_worker[w];
+    stats_.peak_occupancy_per_worker[w] = stores_[w].peak_occupancy();
+  }
+}
+
+const std::vector<SampleId>& HierarchicalPartialShuffler::local_order(
+    int worker) const {
+  DSHUF_CHECK(worker >= 0 && worker < workers(), "worker out of range");
+  return orders_[static_cast<std::size_t>(worker)];
+}
+
+double HierarchicalExchangePlan::intra_group_traffic_fraction() const {
+  if (dest_.empty()) return 1.0;
+  std::size_t intra = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < dest_.size(); ++i) {
+    for (int r = 0; r < workers(); ++r) {
+      ++total;
+      if (group_of(r) == group_of(dest_[i][static_cast<std::size_t>(r)])) {
+        ++intra;
+      }
+    }
+  }
+  return static_cast<double>(intra) / static_cast<double>(total);
+}
+
+}  // namespace dshuf::shuffle

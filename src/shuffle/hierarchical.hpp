@@ -1,0 +1,112 @@
+// Hierarchical global exchange — the alternative the paper proposes for
+// the >=1,024-worker congestion regime (Section V-F): "use a hierarchical
+// global exchange scheme that maps to the hierarchy of connection between
+// computing nodes".
+//
+// Workers are organised into G groups of S ranks (a group = a node or a
+// rack). Each exchange round is still a permutation of ALL ranks — so the
+// Algorithm-1 balance guarantee is preserved exactly — but the permutation
+// is constrained to the product of
+//   * a permutation of the groups (inter-group traffic), and
+//   * per-group permutations of the local slots (intra-group traffic),
+// and a configurable fraction of rounds uses the identity group
+// permutation (purely intra-group rounds, which cost near-nothing on a
+// real network). The inter-group pattern degenerates to G-way traffic
+// instead of M-way, which is what cuts the all-to-all congestion at
+// scale; the perf model exposes the same knob.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dshuf::shuffle {
+
+class HierarchicalExchangePlan {
+ public:
+  /// `workers` must equal `groups * group_size`. `intra_fraction` of the
+  /// rounds are intra-group only (identity group permutation).
+  HierarchicalExchangePlan(std::uint64_t seed, std::size_t epoch, int groups,
+                           int group_size, std::size_t per_worker_quota,
+                           double intra_fraction = 0.5);
+
+  [[nodiscard]] int workers() const { return groups_ * group_size_; }
+  [[nodiscard]] int groups() const { return groups_; }
+  [[nodiscard]] int group_size() const { return group_size_; }
+  [[nodiscard]] std::size_t rounds() const { return dest_.size(); }
+
+  /// Destination of worker `rank`'s round-i sample.
+  [[nodiscard]] int dest(std::size_t round, int rank) const;
+  /// Source whose round-i sample arrives at `rank`.
+  [[nodiscard]] int source(std::size_t round, int rank) const;
+
+  /// True if round i crosses group boundaries for at least one rank.
+  [[nodiscard]] bool round_is_inter_group(std::size_t round) const;
+
+  /// Fraction of all (round, rank) sends that stay within the sender's
+  /// group — the traffic-locality metric the scheme optimises.
+  [[nodiscard]] double intra_group_traffic_fraction() const;
+
+  /// Group of a rank (ranks are grouped contiguously: rank / group_size).
+  [[nodiscard]] int group_of(int rank) const { return rank / group_size_; }
+
+ private:
+  int groups_;
+  int group_size_;
+  std::vector<std::vector<int>> dest_;  // [round][rank]
+  std::vector<std::vector<int>> src_;   // inverse permutations
+  std::vector<bool> inter_;             // per-round inter-group flag
+};
+
+}  // namespace dshuf::shuffle
+
+#include "shuffle/shuffler.hpp"
+
+namespace dshuf::shuffle {
+
+/// Partial local shuffling driven by the hierarchical plan. Identical
+/// epoch protocol to PartialLocalShuffler (same picks, same staging, same
+/// (1+Q) capacity window, same post-exchange local shuffle) — only the
+/// destination pattern differs, so accuracy-relevant behaviour is
+/// preserved while the traffic becomes group-local. The test suite
+/// asserts balance/conservation and the benches compare accuracy and
+/// modelled exchange time against the flat scheme.
+class HierarchicalPartialShuffler final : public Shuffler {
+ public:
+  HierarchicalPartialShuffler(std::vector<std::vector<SampleId>> shards,
+                              double q, int groups, std::uint64_t seed,
+                              double intra_fraction = 0.5);
+
+  void begin_epoch(std::size_t epoch) override;
+  [[nodiscard]] const std::vector<SampleId>& local_order(
+      int worker) const override;
+  [[nodiscard]] int workers() const override {
+    return static_cast<int>(stores_.size());
+  }
+  [[nodiscard]] std::string label() const override;
+  [[nodiscard]] const ExchangeStats* last_stats() const override {
+    return &stats_;
+  }
+
+  [[nodiscard]] const std::vector<ShardStore>& stores() const {
+    return stores_;
+  }
+  /// Locality achieved by the last epoch's plan (1.0 until the first
+  /// exchange happens).
+  [[nodiscard]] double last_intra_fraction() const {
+    return last_intra_fraction_;
+  }
+
+ private:
+  double q_;
+  int groups_;
+  double intra_fraction_;
+  std::uint64_t seed_;
+  std::vector<ShardStore> stores_;
+  std::vector<std::vector<SampleId>> orders_;
+  ExchangeStats stats_;
+  double last_intra_fraction_ = 1.0;
+};
+
+}  // namespace dshuf::shuffle

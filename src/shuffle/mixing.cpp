@@ -1,0 +1,81 @@
+#include "shuffle/mixing.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace dshuf::shuffle {
+
+namespace {
+
+double shard_skew(const data::InMemoryDataset& dataset,
+                  const std::vector<SampleId>& shard,
+                  const std::vector<double>& global_p) {
+  if (shard.empty()) return 0.0;
+  std::vector<double> p(global_p.size(), 0.0);
+  for (auto id : shard) p[dataset.label(id)] += 1.0;
+  double tv = 0.0;
+  for (std::size_t c = 0; c < p.size(); ++c) {
+    tv += std::abs(p[c] / static_cast<double>(shard.size()) - global_p[c]);
+  }
+  return 0.5 * tv;
+}
+
+}  // namespace
+
+MixingTrace measure_mixing(Shuffler& shuffler,
+                           const data::InMemoryDataset& dataset,
+                           std::size_t epochs) {
+  DSHUF_CHECK_GT(epochs, 0U, "need at least one epoch");
+  const auto m = static_cast<std::size_t>(shuffler.workers());
+
+  std::vector<double> global_p(dataset.num_classes(), 0.0);
+  for (auto l : dataset.labels()) global_p[l] += 1.0;
+  for (auto& p : global_p) p /= static_cast<double>(dataset.size());
+
+  std::vector<std::set<SampleId>> hosted(m);
+  MixingTrace trace;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    shuffler.begin_epoch(e);
+    double skew = 0.0;
+    double coverage = 0.0;
+    for (std::size_t w = 0; w < m; ++w) {
+      const auto& order = shuffler.local_order(static_cast<int>(w));
+      skew += shard_skew(dataset, order, global_p);
+      hosted[w].insert(order.begin(), order.end());
+      coverage += order.empty()
+                      ? 0.0
+                      : static_cast<double>(hosted[w].size()) /
+                            static_cast<double>(order.size());
+    }
+    trace.skew_per_epoch.push_back(skew / static_cast<double>(m));
+    trace.coverage_per_epoch.push_back(coverage / static_cast<double>(m));
+  }
+
+  // Geometric-mean contraction of the EXCESS skew above the finite-sample
+  // floor: a shard of n samples over C classes has nonzero empirical TV
+  // distance even when perfectly mixed, so the decaying quantity is
+  // skew(e) - floor, with the floor estimated from the trace minimum.
+  double floor = trace.skew_per_epoch.front();
+  for (double s : trace.skew_per_epoch) floor = std::min(floor, s);
+  double log_sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t e = 0; e + 1 < trace.skew_per_epoch.size(); ++e) {
+    const double a = trace.skew_per_epoch[e] - floor;
+    const double b = trace.skew_per_epoch[e + 1] - floor;
+    // Only use points well above the floor; ratios near it are noise.
+    if (a > 0.05 && b > 1e-6) {
+      log_sum += std::log(b / a);
+      ++count;
+    }
+  }
+  trace.skew_contraction = count > 0 ? std::exp(log_sum / count) : 1.0;
+  return trace;
+}
+
+double expected_skew(double skew0, double q, std::size_t epoch) {
+  return skew0 * std::pow(1.0 - q, static_cast<double>(epoch));
+}
+
+}  // namespace dshuf::shuffle

@@ -1,0 +1,82 @@
+#include "shuffle/mpi_exchange.hpp"
+
+#include <cstring>
+
+#include "shuffle/exchange_plan.hpp"
+#include "shuffle/shuffler.hpp"
+
+namespace dshuf::shuffle {
+
+namespace {
+
+std::vector<std::byte> encode_sample(SampleId id,
+                                     const std::vector<std::byte>& payload) {
+  std::vector<std::byte> out(sizeof(SampleId) + payload.size());
+  std::memcpy(out.data(), &id, sizeof(SampleId));
+  if (!payload.empty()) {
+    std::memcpy(out.data() + sizeof(SampleId), payload.data(),
+                payload.size());
+  }
+  return out;
+}
+
+SampleId decode_sample_id(const std::vector<std::byte>& buf) {
+  DSHUF_CHECK_GE(buf.size(), sizeof(SampleId), "short exchange message");
+  SampleId id = 0;
+  std::memcpy(&id, buf.data(), sizeof(SampleId));
+  return id;
+}
+
+}  // namespace
+
+void run_pls_exchange_epoch(comm::Communicator& comm, ShardStore& store,
+                            std::uint64_t seed, std::size_t epoch, double q,
+                            std::size_t global_min_shard,
+                            const PayloadFn& payload,
+                            const DepositFn& deposit) {
+  const int rank = comm.rank();
+  const int m = comm.size();
+  const std::size_t quota = exchange_quota(global_min_shard, q);
+  if (quota == 0 || m <= 1) return;
+
+  // Every rank recomputes the identical plan from the shared seed —
+  // Algorithm 1's "all workers use the same random seed".
+  const ExchangePlan plan(seed, epoch, m, quota);
+  const auto picks = pick_permutation(seed, epoch, rank, store.size());
+  DSHUF_CHECK_GE(store.size(), quota,
+                 "rank " << rank << " shard smaller than the exchange quota");
+
+  // Algorithm 1 lines 2-6: isend the p[i]-th sample to dest_i[rank],
+  // irecv from ANY_SOURCE. Tag = round index keeps rounds aligned.
+  std::vector<SampleId> outgoing(quota);
+  std::vector<comm::Request> requests;
+  requests.reserve(2 * quota);
+  for (std::size_t i = 0; i < quota; ++i) {
+    outgoing[i] = store.ids()[picks[i]];
+    const int dest = plan.dest(i, rank);
+    std::vector<std::byte> body =
+        payload ? payload(outgoing[i]) : std::vector<std::byte>{};
+    requests.push_back(
+        comm.isend(dest, static_cast<int>(i),
+                   encode_sample(outgoing[i], body)));
+    requests.push_back(comm.irecv(comm::kAnySource, static_cast<int>(i)));
+  }
+  // Algorithm 1 line 7: wait for all outstanding requests.
+  comm::wait_all(requests);
+
+  // Stage received samples (receive requests are the odd entries), then
+  // clean transmitted ones from local storage — the (1+Q)-capacity window.
+  for (std::size_t i = 0; i < quota; ++i) {
+    const auto& msg = requests[2 * i + 1].message();
+    const SampleId got = decode_sample_id(msg.payload);
+    store.add(got);
+    if (deposit) {
+      deposit(got, std::span<const std::byte>(
+                       msg.payload.data() + sizeof(SampleId),
+                       msg.payload.size() - sizeof(SampleId)));
+    }
+  }
+  for (SampleId id : outgoing) store.remove_id(id);
+}
+
+}  // namespace dshuf::shuffle

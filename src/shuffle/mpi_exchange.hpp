@@ -1,0 +1,42 @@
+// Message-passing execution of Algorithm 1.
+//
+// This is the paper's exchange as it would run on MPI: each rank posts a
+// non-blocking send per selected sample (tag = round index, so the
+// receiver can align rounds) and a matching irecv from ANY_SOURCE, then
+// waits for all requests (Algorithm 1 lines 2-7). The destination
+// permutations come from the SHARED-seed ExchangePlan, which every rank
+// recomputes locally — no global coordination is exchanged, only samples.
+//
+// The sequential PartialLocalShuffler computes the same exchange without
+// threads; the test suite asserts both produce identical shard contents.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "comm/comm.hpp"
+#include "shuffle/shard_store.hpp"
+#include "shuffle/types.hpp"
+
+namespace dshuf::shuffle {
+
+/// Optional payload provider: returns the serialized bytes of a sample so
+/// the exchange moves real data (e.g. from a file-backed store). When
+/// null, messages carry only the 4-byte sample id.
+using PayloadFn = std::function<std::vector<std::byte>(SampleId)>;
+/// Optional payload consumer invoked for each received sample.
+using DepositFn = std::function<void(SampleId, std::span<const std::byte>)>;
+
+/// Run one epoch of the PLS exchange for THIS rank. `store` is the rank's
+/// local shard store; `global_min_shard` must be the minimum shard size
+/// across ranks (all ranks already know it — shard sizes are static).
+/// After return the store holds the post-exchange shard (received samples
+/// added, transmitted ones removed) but is NOT locally re-shuffled; the
+/// caller owns that step.
+void run_pls_exchange_epoch(comm::Communicator& comm, ShardStore& store,
+                            std::uint64_t seed, std::size_t epoch, double q,
+                            std::size_t global_min_shard,
+                            const PayloadFn& payload = nullptr,
+                            const DepositFn& deposit = nullptr);
+
+}  // namespace dshuf::shuffle

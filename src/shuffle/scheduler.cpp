@@ -1,0 +1,143 @@
+#include "shuffle/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "shuffle/shuffler.hpp"
+
+namespace dshuf::shuffle {
+
+namespace {
+constexpr std::uint64_t kOrderTag = 0x71;
+}  // namespace
+
+Scheduler::Scheduler(std::vector<std::vector<SampleId>> shards, double q,
+                     std::size_t local_batch, std::uint64_t seed)
+    : q_(q), local_batch_(local_batch), seed_(seed), base_rng_(seed),
+      orders_(shards.size()) {
+  DSHUF_CHECK(!shards.empty(), "need at least one shard");
+  DSHUF_CHECK(q >= 0.0 && q <= 1.0, "Q must be in [0, 1]");
+  DSHUF_CHECK_GT(local_batch, 0U, "local batch must be positive");
+  std::size_t min_shard = shards[0].size();
+  for (const auto& s : shards) min_shard = std::min(min_shard, s.size());
+  const std::size_t quota = exchange_quota(min_shard, q);
+  stores_.reserve(shards.size());
+  for (auto& s : shards) {
+    const std::size_t cap = s.size() + quota;
+    stores_.emplace_back(std::move(s), cap);
+  }
+}
+
+std::size_t Scheduler::iterations_per_epoch() const {
+  std::size_t min_shard = stores_[0].size();
+  for (const auto& s : stores_) min_shard = std::min(min_shard, s.size());
+  return (min_shard + local_batch_ - 1) / local_batch_;
+}
+
+void Scheduler::scheduling(std::size_t epoch) {
+  DSHUF_CHECK(!epoch_open_,
+              "scheduling() called before the previous epoch was cleaned");
+  epoch_ = epoch;
+  epoch_open_ = true;
+  delivered_rounds_ = 0;
+
+  const auto m = stores_.size();
+  std::size_t min_shard = stores_[0].size();
+  for (const auto& s : stores_) min_shard = std::min(min_shard, s.size());
+  quota_ = exchange_quota(min_shard, q_);
+
+  stats_ = ExchangeStats{};
+  stats_.epoch = epoch;
+  stats_.sent_per_worker.assign(m, 0);
+  stats_.received_per_worker.assign(m, 0);
+  stats_.local_reads_per_worker.assign(m, 0);
+  stats_.peak_occupancy_per_worker.assign(m, 0);
+
+  // Visit order for THIS epoch: the pre-exchange shard (Fig. 4 — received
+  // samples join the working set at the next epoch).
+  for (std::size_t w = 0; w < m; ++w) {
+    stores_[w].reset_peak();
+    Rng rng = base_rng_.fork(kOrderTag, epoch, w);
+    orders_[w] = stores_[w].ids();
+    rng.shuffle(orders_[w]);
+    stats_.local_reads_per_worker[w] = orders_[w].size();
+  }
+
+  if (quota_ == 0 || m <= 1) {
+    plan_.reset();
+    outgoing_.assign(m, {});
+    return;
+  }
+
+  plan_ = std::make_unique<ExchangePlan>(seed_, epoch, static_cast<int>(m),
+                                         quota_);
+  outgoing_.assign(m, {});
+  for (std::size_t w = 0; w < m; ++w) {
+    const auto picks =
+        pick_permutation(seed_, epoch, static_cast<int>(w),
+                         stores_[w].size());
+    outgoing_[w].reserve(quota_);
+    for (std::size_t i = 0; i < quota_; ++i) {
+      outgoing_[w].push_back(stores_[w].ids()[picks[i]]);
+    }
+  }
+}
+
+void Scheduler::deliver_rounds(std::size_t upto) {
+  DSHUF_CHECK_LE(upto, quota_, "cannot deliver past the quota");
+  for (std::size_t i = delivered_rounds_; i < upto; ++i) {
+    for (std::size_t w = 0; w < stores_.size(); ++w) {
+      const int d = plan_->dest(i, static_cast<int>(w));
+      stores_[static_cast<std::size_t>(d)].add(outgoing_[w][i]);
+      ++stats_.received_per_worker[static_cast<std::size_t>(d)];
+      ++stats_.sent_per_worker[w];
+    }
+  }
+  delivered_rounds_ = upto;
+}
+
+Scheduler::IterationChunk Scheduler::communicate(std::size_t /*iteration*/) {
+  DSHUF_CHECK(epoch_open_, "communicate() outside an open epoch");
+  IterationChunk chunk;
+  chunk.first_round = delivered_rounds_;
+  if (plan_ == nullptr) return chunk;
+  // Q*b samples per iteration so the quota completes within the epoch.
+  const auto per_iter = static_cast<std::size_t>(
+      std::ceil(q_ * static_cast<double>(local_batch_)));
+  chunk.num_rounds = std::min(per_iter, quota_ - delivered_rounds_);
+  deliver_rounds(delivered_rounds_ + chunk.num_rounds);
+  return chunk;
+}
+
+void Scheduler::synchronize(const IterationChunk& chunk) {
+  DSHUF_CHECK(epoch_open_, "synchronize() outside an open epoch");
+  // Sequential driver: delivery already happened in communicate(); a real
+  // deployment would MPI_Wait here. Validate the chunk is consistent.
+  DSHUF_CHECK_LE(chunk.first_round + chunk.num_rounds, delivered_rounds_,
+                 "synchronize() on an undelivered chunk");
+}
+
+void Scheduler::clean_local_storage() {
+  DSHUF_CHECK(epoch_open_, "clean_local_storage() outside an open epoch");
+  if (plan_ != nullptr) {
+    deliver_rounds(quota_);  // Algorithm 1 line 7: finish outstanding sends
+    for (std::size_t w = 0; w < stores_.size(); ++w) {
+      for (SampleId id : outgoing_[w]) stores_[w].remove_id(id);
+    }
+  }
+  for (std::size_t w = 0; w < stores_.size(); ++w) {
+    stats_.peak_occupancy_per_worker[w] = stores_[w].peak_occupancy();
+    // Final local shuffle so stores match PartialLocalShuffler's per-epoch
+    // state (same stream => same permutation draws).
+    post_exchange_local_shuffle(seed_, epoch_, static_cast<int>(w),
+                                stores_[w].mutable_ids());
+  }
+  epoch_open_ = false;
+}
+
+const std::vector<SampleId>& Scheduler::local_order(int worker) const {
+  DSHUF_CHECK(worker >= 0 && worker < workers(), "worker out of range");
+  return orders_[static_cast<std::size_t>(worker)];
+}
+
+}  // namespace dshuf::shuffle

@@ -1,0 +1,102 @@
+// Epoch exchange scheduler — the C++ analogue of the paper's PLS.Scheduler
+// (Figure 3) with the iteration-overlapped communication of Figure 4.
+//
+// Usage per epoch, mirroring the paper's training-script integration:
+//
+//   scheduler.scheduling(epoch);          // plan the exchange
+//   for (it = 0; it < iterations; ++it) {
+//     auto chunk = scheduler.communicate(it);  // non-blocking: Q*b samples
+//     ... forward/backward of iteration it ...
+//     scheduler.synchronize(chunk);       // wait for the chunk
+//   }
+//   scheduler.clean_local_storage();      // drop transmitted samples,
+//                                         // local-shuffle for next epoch
+//
+// The scheduler operates on ALL workers' stores at once (the sequential
+// driver equivalent of every rank running its own scheduler); it produces
+// bit-identical shard contents to PartialLocalShuffler::begin_epoch for the
+// same (seed, epoch, Q) — a property the test suite asserts — while
+// exposing the chunked timeline the performance model consumes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "shuffle/exchange_plan.hpp"
+#include "shuffle/shard_store.hpp"
+#include "shuffle/types.hpp"
+
+namespace dshuf::shuffle {
+
+class Scheduler {
+ public:
+  /// `local_batch` is b; each iteration exchanges ceil(Q*b) samples so the
+  /// whole quota completes within the epoch's I = shard/b iterations.
+  Scheduler(std::vector<std::vector<SampleId>> shards, double q,
+            std::size_t local_batch, std::uint64_t seed);
+
+  [[nodiscard]] int workers() const {
+    return static_cast<int>(stores_.size());
+  }
+  [[nodiscard]] double q() const { return q_; }
+  [[nodiscard]] std::size_t iterations_per_epoch() const;
+
+  /// Phase 1: compute the exchange plan and outgoing picks for `epoch`.
+  void scheduling(std::size_t epoch);
+
+  /// Phase 2 (per iteration): deliver the next chunk of exchange rounds
+  /// (non-blocking in a real deployment; here the delivery is recorded and
+  /// the chunk describes the in-flight volume for the perf model).
+  struct IterationChunk {
+    std::size_t first_round = 0;
+    std::size_t num_rounds = 0;
+    /// Samples (== num_rounds) each worker sends and receives during this
+    /// iteration's overlap window.
+    [[nodiscard]] std::size_t samples_per_worker() const {
+      return num_rounds;
+    }
+  };
+  IterationChunk communicate(std::size_t iteration);
+
+  /// Phase 3: wait for the chunk's transfers (no-op for the sequential
+  /// driver; kept for interface fidelity and for the perf model's timeline).
+  void synchronize(const IterationChunk& chunk);
+
+  /// Phase 4 (end of epoch): remove transmitted samples and local-shuffle
+  /// the updated shards. Any rounds not yet delivered via communicate()
+  /// are flushed first (the paper waits for outstanding requests at epoch
+  /// end — Algorithm 1 line 7).
+  void clean_local_storage();
+
+  /// Visit order for `worker` in the CURRENT epoch (valid after
+  /// scheduling(); reflects the pre-exchange shard, since exchanged samples
+  /// are only trained on from the NEXT epoch, per Fig. 4).
+  [[nodiscard]] const std::vector<SampleId>& local_order(int worker) const;
+
+  [[nodiscard]] const std::vector<ShardStore>& stores() const {
+    return stores_;
+  }
+  [[nodiscard]] const ExchangeStats& last_stats() const { return stats_; }
+
+ private:
+  double q_;
+  std::size_t local_batch_;
+  std::uint64_t seed_;
+  Rng base_rng_;
+  std::vector<ShardStore> stores_;
+  std::vector<std::vector<SampleId>> orders_;
+
+  // Epoch-scoped state.
+  std::size_t epoch_ = 0;
+  bool epoch_open_ = false;
+  std::size_t quota_ = 0;
+  std::size_t delivered_rounds_ = 0;
+  std::unique_ptr<ExchangePlan> plan_;
+  std::vector<std::vector<SampleId>> outgoing_;
+  ExchangeStats stats_;
+
+  void deliver_rounds(std::size_t upto);
+};
+
+}  // namespace dshuf::shuffle

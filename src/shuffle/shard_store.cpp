@@ -1,0 +1,37 @@
+#include "shuffle/shard_store.hpp"
+
+#include <algorithm>
+
+#include "shuffle/exchange_plan.hpp"
+
+namespace dshuf::shuffle {
+
+ShardStore::ShardStore(std::vector<SampleId> initial, std::size_t capacity)
+    : ids_(std::move(initial)), capacity_(capacity), peak_(ids_.size()) {
+  DSHUF_CHECK(capacity_ == 0 || ids_.size() <= capacity_,
+              "initial shard exceeds capacity");
+}
+
+void ShardStore::add(SampleId id) {
+  ids_.push_back(id);
+  note_occupancy();
+}
+
+void ShardStore::remove_slot(std::size_t slot) {
+  DSHUF_CHECK_LT(slot, ids_.size(), "remove_slot out of range");
+  ids_[slot] = ids_.back();
+  ids_.pop_back();
+}
+
+void ShardStore::remove_id(SampleId id) {
+  auto it = std::find(ids_.begin(), ids_.end(), id);
+  DSHUF_CHECK(it != ids_.end(), "remove_id: sample " << id << " not held");
+  *it = ids_.back();
+  ids_.pop_back();
+}
+
+std::size_t pls_capacity(std::size_t shard_size, double q) {
+  return shard_size + exchange_quota(shard_size, q);
+}
+
+}  // namespace dshuf::shuffle

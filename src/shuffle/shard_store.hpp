@@ -1,0 +1,66 @@
+// Per-worker local sample store.
+//
+// Models the "predefined storage area" of Section III-A: the set of sample
+// ids a worker currently holds, with capacity accounting against the
+// paper's (1+Q) * N/M bound. During an exchange the store transiently
+// holds both the not-yet-removed outgoing samples and the already-received
+// incoming ones — that transient peak is exactly why PLS needs the
+// (1+Q)-fold capacity, and the store records it so tests and benches can
+// verify the bound.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "shuffle/types.hpp"
+
+namespace dshuf::shuffle {
+
+class ShardStore {
+ public:
+  ShardStore() = default;
+
+  /// Initialise with the worker's initial shard; `capacity` of 0 means
+  /// unlimited (global-shuffle workers are not capacity-checked).
+  ShardStore(std::vector<SampleId> initial, std::size_t capacity);
+
+  [[nodiscard]] std::size_t size() const { return ids_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] const std::vector<SampleId>& ids() const { return ids_; }
+  std::vector<SampleId>& mutable_ids() { return ids_; }
+
+  /// Stage a received sample (appends; counts toward occupancy).
+  void add(SampleId id);
+  /// Remove the sample at `slot` (swap-with-last; order holders beware).
+  void remove_slot(std::size_t slot);
+  /// Remove by value; the id must be present.
+  void remove_id(SampleId id);
+
+  /// Highest occupancy observed since construction / reset_peak().
+  [[nodiscard]] std::size_t peak_occupancy() const { return peak_; }
+  void reset_peak() { peak_ = ids_.size(); }
+
+  /// True if the store has ever exceeded its capacity (only possible when
+  /// capacity enforcement is off).
+  [[nodiscard]] bool over_capacity() const {
+    return capacity_ != 0 && peak_ > capacity_;
+  }
+
+ private:
+  void note_occupancy() {
+    if (ids_.size() > peak_) peak_ = ids_.size();
+    DSHUF_CHECK(capacity_ == 0 || ids_.size() <= capacity_,
+                "shard store exceeded its capacity of "
+                    << capacity_ << " (occupancy " << ids_.size() << ")");
+  }
+
+  std::vector<SampleId> ids_;
+  std::size_t capacity_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// The paper's PLS capacity bound: floor((1 + q) * shard) rounded up by the
+/// exchange quota granularity, i.e. shard + quota.
+std::size_t pls_capacity(std::size_t shard_size, double q);
+
+}  // namespace dshuf::shuffle

@@ -1,0 +1,62 @@
+#include "shuffle/shuffling_error.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace dshuf::shuffle {
+
+double log_sigma(double n, double m, double q) {
+  DSHUF_CHECK_GT(n, 0.0, "dataset size must be positive");
+  DSHUF_CHECK_GE(m, 1.0, "worker count must be >= 1");
+  DSHUF_CHECK(q >= 0.0 && q <= 1.0, "Q must be in [0, 1]");
+  const double per = n / m;             // |N| / |M|
+  const double rest = (m - 1.0) * per;  // samples held by other partitions
+  const double ex = q * per;            // exchanged per partition
+
+  // Equation 9's four factors, in log space:
+  //   (N/M)!                                  — permutations of a partition
+  //   P(rest, ex)  = rest! / (rest - ex)!     — candidate incoming samples
+  //   P(per, ex)   = per!  / (per  - ex)!     — outgoing pick arrangements
+  //   rest!                                   — remaining samples elsewhere
+  const double t1 = log_factorial(per);
+  const double t2 = log_falling_factorial(rest, std::min(ex, rest));
+  const double t3 = log_falling_factorial(per, ex);
+  const double t4 = log_factorial(rest);
+  return t1 + t2 + t3 + t4;
+}
+
+double log_total_permutations(double n) { return log_factorial(n); }
+
+double shuffling_error(double n, double m, double q) {
+  const double ratio = exp_log_ratio(log_sigma(n, m, q),
+                                     log_total_permutations(n));
+  return std::clamp(1.0 - ratio, 0.0, 1.0);
+}
+
+bool sigma_overcounts(double n, double m, double q) {
+  return log_sigma(n, m, q) > log_total_permutations(n);
+}
+
+double domination_threshold(double n, double m, double b) {
+  DSHUF_CHECK_GT(n, 0.0, "dataset size must be positive");
+  return std::sqrt(b * m / n);
+}
+
+bool error_dominates(const ErrorParams& p) {
+  return shuffling_error(p.n, p.m, p.q) > domination_threshold(p.n, p.m, p.b);
+}
+
+BoundTerms bound_terms(const ErrorParams& p, double epochs) {
+  DSHUF_CHECK_GT(epochs, 0.0, "epoch count must be positive");
+  BoundTerms t;
+  t.statistical = std::sqrt(1.0 / (epochs * p.n));
+  t.optimization = std::log(p.n) / p.n;
+  const double eps = shuffling_error(p.n, p.m, p.q);
+  t.shuffling = p.n * eps * eps / (p.b * p.m);
+  return t;
+}
+
+}  // namespace dshuf::shuffle

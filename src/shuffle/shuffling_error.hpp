@@ -1,0 +1,62 @@
+// Shuffling-error analysis of Section IV-B.
+//
+// Building on Meng et al.'s convergence bound for distributed SGD with
+// insufficient shuffling, the paper counts the permutations sigma that are
+// consistent with a partial-local exchange of fraction Q between M
+// partitions (Equations 8-9), derives the shuffling error
+//   epsilon(A, h, N) = 1 - sigma / N!                        (Equation 11)
+// and the non-domination condition
+//   epsilon <= sqrt(b * M / N)
+// under which the error does not dominate the convergence-rate bound
+// (Equation 6). All factorials are handled in log space (lgamma), since
+// N! for N = 1.2e6 is far beyond floating point.
+#pragma once
+
+#include <cstdint>
+
+namespace dshuf::shuffle {
+
+struct ErrorParams {
+  double n = 0;  // |N|, dataset size
+  double m = 0;  // |M|, workers
+  double q = 0;  // exchange fraction
+  double b = 0;  // per-worker minibatch
+};
+
+/// ln(sigma) per Equation 9: product of (i) permutations of one partition,
+/// (ii) arrangements of candidate incoming samples, (iii) arrangements of
+/// the outgoing picks, (iv) permutations of the remaining samples of the
+/// other partitions.
+double log_sigma(double n, double m, double q);
+
+/// ln(N!) — the denominator of Equation 11.
+double log_total_permutations(double n);
+
+/// epsilon(A, h, N) = 1 - sigma / N!  (Equation 11). Returns a value in
+/// [0, 1]; for practical (n, m) this is ~1 because sigma / N! underflows.
+double shuffling_error(double n, double m, double q);
+
+/// True when Equation 9's count exceeds N! — the regime where the paper's
+/// formula is loose (small M, or large Q) and epsilon clamps to 0 rather
+/// than meaning "perfectly shuffled". Callers should annotate such rows.
+bool sigma_overcounts(double n, double m, double q);
+
+/// The bound epsilon must not exceed for the error term not to dominate
+/// Equation 6: sqrt(b * m / n).
+double domination_threshold(double n, double m, double b);
+
+/// True when the shuffling error dominates the convergence-rate bound for
+/// these parameters (the paper's conclusion: true for all practical
+/// settings, which is why the empirical study is needed).
+bool error_dominates(const ErrorParams& p);
+
+/// Convergence-rate upper-bound terms of Equation 6 for reporting:
+/// sqrt(1/(S*n)), log(n)/n, and n * eps^2 / (b * m).
+struct BoundTerms {
+  double statistical = 0;   // sqrt(1 / (S * n))
+  double optimization = 0;  // log(n) / n
+  double shuffling = 0;     // n * eps^2 / (b * m)
+};
+BoundTerms bound_terms(const ErrorParams& p, double epochs);
+
+}  // namespace dshuf::shuffle

@@ -1,0 +1,23 @@
+#include "shuffle/traffic.hpp"
+
+#include "util/error.hpp"
+
+namespace dshuf::shuffle {
+
+TrafficReport compute_traffic(const TrafficParams& p) {
+  DSHUF_CHECK_GT(p.dataset_bytes, 0.0, "dataset size must be positive");
+  DSHUF_CHECK_GT(p.workers, 0U, "worker count must be positive");
+  DSHUF_CHECK(p.q >= 0.0 && p.q <= 1.0, "Q must be in [0, 1]");
+  TrafficReport r;
+  r.shard_bytes = p.dataset_bytes / static_cast<double>(p.workers);
+  r.sent_per_worker = p.q * r.shard_bytes;
+  r.local_read_per_worker = (1.0 - p.q) * r.shard_bytes;
+  r.pfs_read_per_worker_gs = r.shard_bytes;
+  r.storage_local = r.shard_bytes;
+  r.storage_pls = (1.0 + p.q) * r.shard_bytes;
+  r.storage_global = p.dataset_bytes;
+  r.pls_fraction_of_dataset = r.storage_pls / p.dataset_bytes;
+  return r;
+}
+
+}  // namespace dshuf::shuffle

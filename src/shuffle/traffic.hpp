@@ -1,0 +1,35 @@
+// Per-epoch data-movement arithmetic (Section III-B's worked example).
+//
+// For a dataset of `dataset_bytes` across M workers with exchange fraction
+// Q, each epoch a worker sends (and receives) Q * D/M bytes and reads
+// (1-Q) * D/M bytes locally; global shuffling instead reads D/M bytes from
+// the PFS. Storage: GS needs the full dataset reachable, LS needs D/M per
+// worker, PLS needs (1+Q) * D/M.
+#pragma once
+
+#include <cstdint>
+
+namespace dshuf::shuffle {
+
+struct TrafficParams {
+  double dataset_bytes = 0;
+  std::size_t workers = 1;
+  double q = 0;
+};
+
+struct TrafficReport {
+  double shard_bytes = 0;           // D / M
+  double sent_per_worker = 0;       // Q * D / M (== received)
+  double local_read_per_worker = 0; // (1 - Q) * D / M
+  double pfs_read_per_worker_gs = 0;// D / M (global shuffling from PFS)
+  double storage_local = 0;         // LS per-worker storage
+  double storage_pls = 0;           // (1 + Q) * D / M
+  double storage_global = 0;        // full dataset (replication) per worker
+  /// PLS storage as a fraction of the dataset (the paper's headline
+  /// "0.03% of the dataset" number for Fugaku at 4,096 workers, Q = 0.1).
+  double pls_fraction_of_dataset = 0;
+};
+
+TrafficReport compute_traffic(const TrafficParams& p);
+
+}  // namespace dshuf::shuffle

@@ -1,0 +1,43 @@
+#include "shuffle/types.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace dshuf::shuffle {
+
+std::string to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kGlobal:
+      return "global";
+    case Strategy::kLocal:
+      return "local";
+    case Strategy::kPartial:
+      return "partial";
+    case Strategy::kUncontrolled:
+      return "uncontrolled";
+  }
+  return "?";
+}
+
+Strategy parse_strategy(const std::string& s) {
+  if (s == "global") return Strategy::kGlobal;
+  if (s == "local") return Strategy::kLocal;
+  if (s == "partial") return Strategy::kPartial;
+  if (s == "uncontrolled") return Strategy::kUncontrolled;
+  DSHUF_CHECK(false, "unknown strategy: " << s);
+}
+
+std::string strategy_label(Strategy s, double q) {
+  if (s != Strategy::kPartial && s != Strategy::kUncontrolled) {
+    return to_string(s);
+  }
+  // Up to three decimals, trailing zeros stripped: 0.3, 0.25, 0.125.
+  std::string num = fmt_double(q, 3);
+  while (!num.empty() && num.back() == '0') num.pop_back();
+  if (!num.empty() && num.back() == '.') num.pop_back();
+  return to_string(s) + "-" + num;
+}
+
+}  // namespace dshuf::shuffle

@@ -1,0 +1,44 @@
+// Common types for the shuffling core.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace dshuf::shuffle {
+
+using data::SampleId;
+
+/// The strategies of Section III-A (global / local / partial), plus the
+/// DeepIO-style uncontrolled baseline of Section VI-A. Partial with Q = 1
+/// degenerates to global; Q = 0 to local.
+enum class Strategy { kGlobal, kLocal, kPartial, kUncontrolled };
+
+std::string to_string(Strategy s);
+Strategy parse_strategy(const std::string& s);
+
+/// Human-readable label, e.g. "global", "local", "partial-0.3".
+std::string strategy_label(Strategy s, double q);
+
+/// Volume bookkeeping for one epoch's exchange.
+struct ExchangeStats {
+  std::size_t epoch = 0;
+  /// Samples each worker sent (== received; the scheme is balanced).
+  std::vector<std::size_t> sent_per_worker;
+  std::vector<std::size_t> received_per_worker;
+  /// Samples kept local per worker (read from local storage).
+  std::vector<std::size_t> local_reads_per_worker;
+  /// Peak shard occupancy per worker during the exchange window (for the
+  /// (1+Q) * N/M storage-bound check).
+  std::vector<std::size_t> peak_occupancy_per_worker;
+
+  [[nodiscard]] std::size_t total_sent() const {
+    std::size_t t = 0;
+    for (auto s : sent_per_worker) t += s;
+    return t;
+  }
+};
+
+}  // namespace dshuf::shuffle

@@ -1,0 +1,107 @@
+#include "shuffle/uncontrolled.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/table.hpp"
+
+namespace dshuf::shuffle {
+
+UncontrolledShuffler::UncontrolledShuffler(
+    std::vector<std::vector<SampleId>> shards, double q, std::uint64_t seed)
+    : q_(q), seed_(seed), orders_(shards.size()) {
+  DSHUF_CHECK(!shards.empty(), "need at least one shard");
+  DSHUF_CHECK(q >= 0.0 && q <= 1.0, "Q must be in [0, 1]");
+  stores_.reserve(shards.size());
+  for (auto& s : shards) {
+    stores_.emplace_back(std::move(s), /*capacity=*/0);  // unbounded
+  }
+}
+
+std::string UncontrolledShuffler::label() const {
+  return strategy_label(Strategy::kUncontrolled, q_);
+}
+
+void UncontrolledShuffler::begin_epoch(std::size_t epoch) {
+  const auto m = stores_.size();
+  stats_ = ExchangeStats{};
+  stats_.epoch = epoch;
+  stats_.sent_per_worker.assign(m, 0);
+  stats_.received_per_worker.assign(m, 0);
+  stats_.local_reads_per_worker.assign(m, 0);
+  stats_.peak_occupancy_per_worker.assign(m, 0);
+
+  if (q_ > 0.0 && m > 1) {
+    // Every worker draws its own stream (NO shared seed — that is the
+    // point of this baseline) and routes each picked sample to an
+    // independent uniform destination.
+    std::vector<std::vector<SampleId>> inbox(m);
+    std::vector<std::vector<SampleId>> outgoing(m);
+    for (std::size_t w = 0; w < m; ++w) {
+      auto& store = stores_[w];
+      store.reset_peak();
+      Rng rng = Rng(seed_).fork(0xDE10, epoch, w);
+      const auto quota = static_cast<std::size_t>(
+          std::ceil(q_ * static_cast<double>(store.size())));
+      const auto picks =
+          rng.sample_without_replacement(store.size(), quota);
+      for (auto slot : picks) {
+        const SampleId id = store.ids()[slot];
+        const auto dest = rng.uniform_u64(m);
+        inbox[dest].push_back(id);
+        outgoing[w].push_back(id);
+        ++stats_.sent_per_worker[w];
+      }
+    }
+    for (std::size_t w = 0; w < m; ++w) {
+      for (SampleId id : inbox[w]) {
+        stores_[w].add(id);
+        ++stats_.received_per_worker[w];
+      }
+    }
+    for (std::size_t w = 0; w < m; ++w) {
+      for (SampleId id : outgoing[w]) stores_[w].remove_id(id);
+    }
+  } else {
+    for (auto& s : stores_) s.reset_peak();
+  }
+
+  for (std::size_t w = 0; w < m; ++w) {
+    post_exchange_local_shuffle(seed_, epoch, static_cast<int>(w),
+                                stores_[w].mutable_ids());
+    orders_[w] = stores_[w].ids();
+    stats_.local_reads_per_worker[w] =
+        orders_[w].size() >= stats_.received_per_worker[w]
+            ? orders_[w].size() - stats_.received_per_worker[w]
+            : 0;
+    stats_.peak_occupancy_per_worker[w] = stores_[w].peak_occupancy();
+  }
+}
+
+const std::vector<SampleId>& UncontrolledShuffler::local_order(
+    int worker) const {
+  DSHUF_CHECK(worker >= 0 && worker < workers(), "worker out of range");
+  return orders_[static_cast<std::size_t>(worker)];
+}
+
+std::size_t UncontrolledShuffler::min_shard() const {
+  std::size_t mn = SIZE_MAX;
+  for (const auto& s : stores_) mn = std::min(mn, s.size());
+  return mn;
+}
+
+std::size_t UncontrolledShuffler::max_shard() const {
+  std::size_t mx = 0;
+  for (const auto& s : stores_) mx = std::max(mx, s.size());
+  return mx;
+}
+
+double UncontrolledShuffler::shard_imbalance() const {
+  const auto mn = min_shard();
+  return mn == 0 ? std::numeric_limits<double>::infinity()
+                 : static_cast<double>(max_shard()) /
+                       static_cast<double>(mn);
+}
+
+}  // namespace dshuf::shuffle

@@ -1,0 +1,51 @@
+// Uncontrolled in-situ exchange — the DeepIO / Yang-&-Cong-style baseline
+// the paper's related work criticises (Section VI-A): workers exchange
+// samples with independently chosen random destinations, with no shared
+// seed and hence no balance guarantee. "The local sampler introduces
+// uncontrolled bias since the ratio of global to local shuffle portion is
+// unidentified ... arbitrary communication bottlenecks can occur."
+//
+// Implemented as a full Shuffler so the simulator can train against it:
+// each epoch every worker sends ceil(Q * shard_w) uniformly picked local
+// samples to uniformly random destinations. Receive counts are whatever
+// the dice produce, so shard sizes drift apart over epochs; the
+// synchronous training loop is then gated by the SMALLEST shard
+// (drop-last), which is exactly the operational cost of imbalance.
+#pragma once
+
+#include "shuffle/shard_store.hpp"
+#include "shuffle/shuffler.hpp"
+#include "shuffle/types.hpp"
+
+namespace dshuf::shuffle {
+
+class UncontrolledShuffler final : public Shuffler {
+ public:
+  UncontrolledShuffler(std::vector<std::vector<SampleId>> shards, double q,
+                       std::uint64_t seed);
+
+  void begin_epoch(std::size_t epoch) override;
+  [[nodiscard]] const std::vector<SampleId>& local_order(
+      int worker) const override;
+  [[nodiscard]] int workers() const override {
+    return static_cast<int>(stores_.size());
+  }
+  [[nodiscard]] std::string label() const override;
+  [[nodiscard]] const ExchangeStats* last_stats() const override {
+    return &stats_;
+  }
+
+  /// Imbalance after the last epoch: max shard / min shard.
+  [[nodiscard]] double shard_imbalance() const;
+  [[nodiscard]] std::size_t min_shard() const;
+  [[nodiscard]] std::size_t max_shard() const;
+
+ private:
+  double q_;
+  std::uint64_t seed_;
+  std::vector<ShardStore> stores_;  // capacity-unbounded (imbalance drifts)
+  std::vector<std::vector<SampleId>> orders_;
+  ExchangeStats stats_;
+};
+
+}  // namespace dshuf::shuffle

@@ -1,0 +1,50 @@
+#include "sim/transfer.hpp"
+
+namespace dshuf::sim {
+
+void copy_trunk(nn::Model& src, nn::Model& dst) {
+  auto src_params = src.params();
+  auto dst_params = dst.params();
+  DSHUF_CHECK_EQ(src_params.size(), dst_params.size(),
+                 "trunk transfer requires architecturally equal models");
+  DSHUF_CHECK_GE(src_params.size(), 2U, "model has no head to exclude");
+  // The head is the final Linear: its weight and bias are the last two
+  // parameters in layer order.
+  const std::size_t trunk_count = src_params.size() - 2;
+  for (std::size_t i = 0; i < trunk_count; ++i) {
+    DSHUF_CHECK_EQ(src_params[i]->value.size(), dst_params[i]->value.size(),
+                   "trunk parameter " << i << " shape mismatch");
+    dst_params[i]->value = src_params[i]->value;
+  }
+}
+
+TransferResult run_transfer_experiment(const data::TaxonomyDatasets& data,
+                                       const TransferConfig& config) {
+  TransferResult out;
+
+  // Upstream: fine-label pretraining under the configured strategy.
+  nn::MlpSpec up_spec = config.trunk;
+  up_spec.num_classes = data.fine_classes;
+  Rng up_rng = Rng(config.upstream.seed).fork(0x92);
+  nn::Model up_model = nn::make_mlp(up_spec, up_rng);
+  out.upstream = train_model(
+      up_model, data.upstream.train, data.upstream.val,
+      config.upstream_regime, config.upstream,
+      "up-" + shuffle::strategy_label(config.upstream.strategy,
+                                      config.upstream.q));
+
+  // Downstream: coarse-label fine-tuning from the transplanted trunk,
+  // always under global shuffling (the paper varies only the upstream).
+  nn::MlpSpec down_spec = config.trunk;
+  down_spec.num_classes = data.coarse_classes;
+  Rng down_rng = Rng(config.downstream.seed).fork(0x93);
+  nn::Model down_model = nn::make_mlp(down_spec, down_rng);
+  copy_trunk(up_model, down_model);
+  out.downstream = train_model(
+      down_model, data.downstream.train, data.downstream.val,
+      config.downstream_regime, config.downstream,
+      "down-after-" + out.upstream.label);
+  return out;
+}
+
+}  // namespace dshuf::sim

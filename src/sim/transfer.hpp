@@ -1,0 +1,37 @@
+// Upstream-pretraining / downstream-fine-tuning experiment (Fig. 8).
+//
+// Pretrains a model on the fine-grained (ImageNet-21K proxy) task under a
+// chosen shuffling strategy, transplants the trunk weights into a fresh
+// model with a new classification head, and fine-tunes on the coarse
+// (ImageNet-1K proxy) task under GLOBAL shuffling — the paper's protocol,
+// where only the upstream stage varies by strategy and the question is
+// whether the upstream accuracy gap survives fine-tuning.
+#pragma once
+
+#include "data/synthetic.hpp"
+#include "sim/trainer.hpp"
+
+namespace dshuf::sim {
+
+struct TransferConfig {
+  SimConfig upstream;
+  SimConfig downstream;
+  data::TrainRegime upstream_regime;
+  data::TrainRegime downstream_regime;
+  nn::MlpSpec trunk;  // num_classes is overridden per stage
+};
+
+struct TransferResult {
+  SimResult upstream;
+  SimResult downstream;
+};
+
+/// Copy all parameters except the classification head (the final Linear's
+/// weight and bias) from `src` into `dst`. Shapes of the copied prefix
+/// must match.
+void copy_trunk(nn::Model& src, nn::Model& dst);
+
+TransferResult run_transfer_experiment(const data::TaxonomyDatasets& data,
+                                       const TransferConfig& config);
+
+}  // namespace dshuf::sim

@@ -1,0 +1,193 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace dshuf {
+
+std::size_t shape_numel(const std::vector<std::size_t>& shape) {
+  if (shape.empty()) return 0;
+  std::size_t n = 1;
+  for (auto d : shape) n *= d;
+  return n;
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0F) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  DSHUF_CHECK_EQ(data_.size(), shape_numel(shape_),
+                 "data size does not match shape " << shape_str());
+}
+
+Tensor Tensor::full(std::vector<std::size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<std::size_t> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.normal()) * stddev;
+  }
+  return t;
+}
+
+void Tensor::reshape(std::vector<std::size_t> shape) {
+  DSHUF_CHECK_EQ(shape_numel(shape), data_.size(),
+                 "reshape must preserve element count");
+  shape_ = std::move(shape);
+}
+
+void Tensor::fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+void Tensor::axpy(float alpha, const Tensor& other) {
+  DSHUF_CHECK_EQ(data_.size(), other.data_.size(),
+                 "axpy requires matching sizes");
+  const float* o = other.data_.data();
+  float* d = data_.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) d[i] += alpha * o[i];
+}
+
+void Tensor::scale(float alpha) {
+  for (auto& x : data_) x *= alpha;
+}
+
+float Tensor::sum() const {
+  double s = 0.0;
+  for (float x : data_) s += x;
+  return static_cast<float>(s);
+}
+
+float Tensor::l2_norm() const {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(s));
+}
+
+float Tensor::max_abs() const {
+  float m = 0.0F;
+  for (float x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream oss;
+  oss << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << shape_[i];
+  }
+  oss << ']';
+  return oss.str();
+}
+
+namespace {
+
+void check_matrix(const Tensor& t, const char* name) {
+  DSHUF_CHECK_EQ(t.rank(), 2U, name << " must be a matrix");
+}
+
+}  // namespace
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
+  check_matrix(a, "a");
+  check_matrix(b, "b");
+  check_matrix(out, "out");
+  const std::size_t M = a.rows();
+  const std::size_t K = a.cols();
+  const std::size_t N = b.cols();
+  DSHUF_CHECK_EQ(b.rows(), K, "gemm inner dimensions must match");
+  DSHUF_CHECK_EQ(out.rows(), M, "gemm output rows mismatch");
+  DSHUF_CHECK_EQ(out.cols(), N, "gemm output cols mismatch");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  if (!accumulate) out.zero();
+  // ikj order: streams through b and out rows; good cache behaviour for the
+  // small-to-medium matrices in this workload without a full blocked kernel.
+  for (std::size_t i = 0; i < M; ++i) {
+    const float* arow = pa + i * K;
+    float* orow = po + i * N;
+    for (std::size_t k = 0; k < K; ++k) {
+      const float aik = arow[k];
+      if (aik == 0.0F) continue;
+      const float* brow = pb + k * N;
+      for (std::size_t j = 0; j < N; ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+void gemm_at_b(const Tensor& a, const Tensor& b, Tensor& out,
+               bool accumulate) {
+  check_matrix(a, "a");
+  check_matrix(b, "b");
+  check_matrix(out, "out");
+  const std::size_t K = a.rows();  // shared (batch) dimension
+  const std::size_t M = a.cols();
+  const std::size_t N = b.cols();
+  DSHUF_CHECK_EQ(b.rows(), K, "gemm_at_b batch dimensions must match");
+  DSHUF_CHECK_EQ(out.rows(), M, "gemm_at_b output rows mismatch");
+  DSHUF_CHECK_EQ(out.cols(), N, "gemm_at_b output cols mismatch");
+  if (!accumulate) out.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (std::size_t k = 0; k < K; ++k) {
+    const float* arow = pa + k * M;
+    const float* brow = pb + k * N;
+    for (std::size_t i = 0; i < M; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0F) continue;
+      float* orow = po + i * N;
+      for (std::size_t j = 0; j < N; ++j) orow[j] += aki * brow[j];
+    }
+  }
+}
+
+void gemm_a_bt(const Tensor& a, const Tensor& b, Tensor& out,
+               bool accumulate) {
+  check_matrix(a, "a");
+  check_matrix(b, "b");
+  check_matrix(out, "out");
+  const std::size_t M = a.rows();
+  const std::size_t K = a.cols();
+  const std::size_t N = b.rows();  // b is NxK
+  DSHUF_CHECK_EQ(b.cols(), K, "gemm_a_bt inner dimensions must match");
+  DSHUF_CHECK_EQ(out.rows(), M, "gemm_a_bt output rows mismatch");
+  DSHUF_CHECK_EQ(out.cols(), N, "gemm_a_bt output cols mismatch");
+  if (!accumulate) out.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < M; ++i) {
+    const float* arow = pa + i * K;
+    float* orow = po + i * N;
+    for (std::size_t j = 0; j < N; ++j) {
+      const float* brow = pb + j * K;
+      double acc = 0.0;
+      for (std::size_t k = 0; k < K; ++k) acc += arow[k] * brow[k];
+      orow[j] += static_cast<float>(acc);
+    }
+  }
+}
+
+std::vector<std::uint32_t> argmax_rows(const Tensor& m) {
+  check_matrix(m, "m");
+  std::vector<std::uint32_t> out(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* row = m.data() + i * m.cols();
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < m.cols(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[i] = static_cast<std::uint32_t>(best);
+  }
+  return out;
+}
+
+}  // namespace dshuf

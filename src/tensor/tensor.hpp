@@ -1,0 +1,136 @@
+// Dense float32 tensor.
+//
+// The dshuf training substrate only needs row-major dense 1-D/2-D tensors
+// (minibatches are [batch, features]); the class nevertheless supports
+// arbitrary rank for dataset payloads. Data is owned by the tensor
+// (value semantics; moves are cheap). All shape errors are hard failures —
+// an experiment with silently mis-shaped math is worse than a crash.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dshuf {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialised tensor of the given shape.
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::initializer_list<std::size_t> shape)
+      : Tensor(std::vector<std::size_t>(shape)) {}
+
+  /// Tensor adopting existing data; data.size() must equal product(shape).
+  Tensor(std::vector<std::size_t> shape, std::vector<float> data);
+
+  static Tensor zeros(std::initializer_list<std::size_t> shape) {
+    return Tensor(shape);
+  }
+  static Tensor full(std::vector<std::size_t> shape, float value);
+  /// Gaussian init with the given stddev (He/Xavier handled by callers).
+  static Tensor randn(std::vector<std::size_t> shape, Rng& rng,
+                      float stddev = 1.0F);
+
+  [[nodiscard]] const std::vector<std::size_t>& shape() const {
+    return shape_;
+  }
+  [[nodiscard]] std::size_t rank() const { return shape_.size(); }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Dimension i of the shape; checked.
+  [[nodiscard]] std::size_t dim(std::size_t i) const {
+    DSHUF_CHECK_LT(i, shape_.size(), "dim index out of range");
+    return shape_[i];
+  }
+
+  /// Rows/cols of a rank-2 tensor; checked.
+  [[nodiscard]] std::size_t rows() const {
+    DSHUF_CHECK_EQ(rank(), 2U, "rows() requires a matrix");
+    return shape_[0];
+  }
+  [[nodiscard]] std::size_t cols() const {
+    DSHUF_CHECK_EQ(rank(), 2U, "cols() requires a matrix");
+    return shape_[1];
+  }
+
+  float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  [[nodiscard]] const std::vector<float>& vec() const { return data_; }
+
+  /// Flat element access (checked).
+  float& at(std::size_t i) {
+    DSHUF_CHECK_LT(i, data_.size(), "flat index out of range");
+    return data_[i];
+  }
+  [[nodiscard]] float at(std::size_t i) const {
+    DSHUF_CHECK_LT(i, data_.size(), "flat index out of range");
+    return data_[i];
+  }
+
+  /// 2-D element access (checked).
+  float& at(std::size_t r, std::size_t c) {
+    DSHUF_CHECK_EQ(rank(), 2U, "2-D access requires a matrix");
+    DSHUF_CHECK_LT(r, shape_[0], "row out of range");
+    DSHUF_CHECK_LT(c, shape_[1], "col out of range");
+    return data_[r * shape_[1] + c];
+  }
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const {
+    return const_cast<Tensor*>(this)->at(r, c);
+  }
+
+  /// Reinterpret the shape without touching the data; sizes must match.
+  void reshape(std::vector<std::size_t> shape);
+
+  void fill(float v);
+  void zero() { fill(0.0F); }
+
+  /// this += alpha * other (shapes must match).
+  void axpy(float alpha, const Tensor& other);
+  /// this *= alpha.
+  void scale(float alpha);
+
+  [[nodiscard]] float sum() const;
+  [[nodiscard]] float l2_norm() const;
+  [[nodiscard]] float max_abs() const;
+
+  /// Human-readable "[a, b, c]" shape string for diagnostics.
+  [[nodiscard]] std::string shape_str() const;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Number of elements implied by a shape (empty shape => 0 for an empty
+/// tensor, but {1} style scalars have size 1).
+std::size_t shape_numel(const std::vector<std::size_t>& shape);
+
+// --- BLAS-like free functions (row-major) ---------------------------------
+
+/// out = a(MxK) * b(KxN). out must be pre-shaped MxN; accumulate=false
+/// overwrites, true adds into out.
+void gemm(const Tensor& a, const Tensor& b, Tensor& out,
+          bool accumulate = false);
+
+/// out = a^T(KxM -> MxK view) * b(KxN): i.e. out(MxN) = a'(MxK) b with a
+/// stored as KxM. Used for weight gradients dW = X^T dY.
+void gemm_at_b(const Tensor& a, const Tensor& b, Tensor& out,
+               bool accumulate = false);
+
+/// out = a(MxK) * b^T with b stored as NxK: out is MxN. Used for input
+/// gradients dX = dY W^T.
+void gemm_a_bt(const Tensor& a, const Tensor& b, Tensor& out,
+               bool accumulate = false);
+
+/// Row-wise argmax of a matrix (per-sample prediction).
+std::vector<std::uint32_t> argmax_rows(const Tensor& m);
+
+}  // namespace dshuf

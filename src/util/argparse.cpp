@@ -1,0 +1,117 @@
+#include "util/argparse.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dshuf {
+
+ArgParser& ArgParser::flag(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  DSHUF_CHECK(!flags_.count(name), "duplicate flag --" << name);
+  flags_[name] = Flag{default_value, help, default_value};
+  order_.push_back(name);
+  return *this;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return false;
+    }
+    DSHUF_CHECK(arg.rfind("--", 0) == 0,
+                "unexpected positional argument: " << arg);
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      DSHUF_CHECK(it != flags_.end(), "unknown flag --" << name);
+      const bool is_bool = it->second.default_value == "true" ||
+                           it->second.default_value == "false";
+      if (is_bool) {
+        value = "true";
+      } else {
+        DSHUF_CHECK(i + 1 < argc, "flag --" << name << " needs a value");
+        value = argv[++i];
+      }
+    }
+    auto it = flags_.find(name);
+    DSHUF_CHECK(it != flags_.end(), "unknown flag --" << name);
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  DSHUF_CHECK(it != flags_.end(), "flag --" << name << " was not registered");
+  return it->second.value;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t pos = 0;
+  const std::int64_t out = std::stoll(v, &pos);
+  DSHUF_CHECK_EQ(pos, v.size(), "flag --" << name << " is not an integer: "
+                                          << v);
+  return out;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t pos = 0;
+  const double out = std::stod(v, &pos);
+  DSHUF_CHECK_EQ(pos, v.size(), "flag --" << name << " is not a number: "
+                                          << v);
+  return out;
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  DSHUF_CHECK(false, "flag --" << name << " is not a boolean: " << v);
+}
+
+std::vector<std::int64_t> ArgParser::get_int_list(
+    const std::string& name) const {
+  std::vector<std::int64_t> out;
+  std::stringstream ss(get(name));
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::stoll(tok));
+  }
+  return out;
+}
+
+std::vector<double> ArgParser::get_double_list(const std::string& name) const {
+  std::vector<double> out;
+  std::stringstream ss(get(name));
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::stod(tok));
+  }
+  return out;
+}
+
+void ArgParser::print_usage() const {
+  std::cout << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const auto& f = flags_.at(name);
+    std::cout << "  --" << name << " (default: " << f.default_value << ")\n"
+              << "      " << f.help << "\n";
+  }
+}
+
+}  // namespace dshuf

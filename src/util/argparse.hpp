@@ -1,0 +1,55 @@
+// Tiny command-line flag parser for examples and benches.
+//
+// Supports --name=value and --name value forms plus boolean switches.
+// Unknown flags abort with the usage text so typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dshuf {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Register a flag with a default value and help string; returns *this
+  /// for chaining. All values are stored as strings and converted on read.
+  ArgParser& flag(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parse argv. On "--help" prints usage and returns false (caller should
+  /// exit 0). Throws CheckError on unknown flags or missing values.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Comma-separated list of int64 (e.g. --workers=64,128,256).
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& name) const;
+  /// Comma-separated list of doubles (e.g. --q=0.1,0.3).
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& name) const;
+
+  void print_usage() const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    std::string value;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace dshuf

@@ -1,0 +1,53 @@
+// Runtime check / contract utilities.
+//
+// DSHUF_CHECK(cond, msg): always-on invariant check that throws
+// dshuf::CheckError with file/line context. Used at module boundaries
+// (P.6/P.7 of the C++ Core Guidelines: catch run-time errors early).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dshuf {
+
+/// Exception thrown when a DSHUF_CHECK fails.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << "check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw CheckError(oss.str());
+}
+
+}  // namespace detail
+}  // namespace dshuf
+
+// Always-on check (also active in Release: experiment validity depends on it).
+#define DSHUF_CHECK(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::std::ostringstream dshuf_check_oss;                             \
+      dshuf_check_oss << msg; /* NOLINT */                              \
+      ::dshuf::detail::check_failed(#cond, __FILE__, __LINE__,          \
+                                    dshuf_check_oss.str());             \
+    }                                                                   \
+  } while (false)
+
+#define DSHUF_CHECK_EQ(a, b, msg) \
+  DSHUF_CHECK((a) == (b), msg << " (" << (a) << " != " << (b) << ")")
+#define DSHUF_CHECK_LT(a, b, msg) \
+  DSHUF_CHECK((a) < (b), msg << " (" << (a) << " >= " << (b) << ")")
+#define DSHUF_CHECK_LE(a, b, msg) \
+  DSHUF_CHECK((a) <= (b), msg << " (" << (a) << " > " << (b) << ")")
+#define DSHUF_CHECK_GT(a, b, msg) \
+  DSHUF_CHECK((a) > (b), msg << " (" << (a) << " <= " << (b) << ")")
+#define DSHUF_CHECK_GE(a, b, msg) \
+  DSHUF_CHECK((a) >= (b), msg << " (" << (a) << " < " << (b) << ")")

@@ -1,0 +1,36 @@
+#include "util/log.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace dshuf {
+
+LogLevel& global_log_level() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+LogLevel parse_log_level(const std::string& s) {
+  std::string lower(s);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  DSHUF_CHECK(false, "unknown log level: " << s);
+}
+
+namespace detail {
+
+void emit_log_line(LogLevel level, const std::string& line) {
+  static const char* kNames[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
+  std::ostream& os =
+      level >= LogLevel::kWarn ? std::cerr : std::clog;
+  os << "[" << kNames[static_cast<int>(level)] << "] " << line << '\n';
+}
+
+}  // namespace detail
+}  // namespace dshuf

@@ -1,0 +1,61 @@
+// Minimal leveled logger.
+//
+// Global level is process-wide; benches default to Info, tests to Warn.
+// Not thread-synchronised beyond a single line (each LOG call formats into
+// one string and writes it with a single stream insertion).
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dshuf {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Returns the mutable global log level (default Info).
+LogLevel& global_log_level();
+
+/// Parse "debug"/"info"/"warn"/"error" (case-insensitive); throws on junk.
+LogLevel parse_log_level(const std::string& s);
+
+namespace detail {
+
+void emit_log_line(LogLevel level, const std::string& line);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { emit_log_line(level_, oss_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    oss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream oss_;
+};
+
+struct LogSink {
+  // Swallows the stream expression when the level is filtered out.
+  void operator&(LogLine&) const {}
+};
+
+}  // namespace detail
+}  // namespace dshuf
+
+#define DSHUF_LOG(level)                                      \
+  if (static_cast<int>(level) <                               \
+      static_cast<int>(::dshuf::global_log_level())) {        \
+  } else                                                      \
+    ::dshuf::detail::LogLine(level)
+
+#define LOG_DEBUG DSHUF_LOG(::dshuf::LogLevel::kDebug)
+#define LOG_INFO DSHUF_LOG(::dshuf::LogLevel::kInfo)
+#define LOG_WARN DSHUF_LOG(::dshuf::LogLevel::kWarn)
+#define LOG_ERROR DSHUF_LOG(::dshuf::LogLevel::kError)

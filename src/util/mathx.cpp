@@ -1,0 +1,55 @@
+#include "util/mathx.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace dshuf {
+
+double log_factorial(double n) {
+  DSHUF_CHECK_GE(n, 0.0, "log_factorial of negative value");
+  return std::lgamma(n + 1.0);
+}
+
+double log_falling_factorial(double n, double k) {
+  DSHUF_CHECK_GE(k, 0.0, "negative k in falling factorial");
+  DSHUF_CHECK_LE(k, n, "falling factorial requires k <= n");
+  return std::lgamma(n + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+double exp_log_ratio(double log_num, double log_den) {
+  const double d = log_num - log_den;
+  if (d < std::log(std::numeric_limits<double>::min()) + 2.0) return 0.0;
+  if (d > std::log(std::numeric_limits<double>::max()) - 2.0) {
+    return std::numeric_limits<double>::max();
+  }
+  return std::exp(d);
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(ss / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace dshuf

@@ -1,0 +1,37 @@
+// Numeric helpers used by the shuffling-error analysis (Section IV-B of the
+// paper) and elsewhere: log-factorials via lgamma, log-falling-factorials,
+// stable exp-of-log-difference, and basic summary statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dshuf {
+
+/// ln(n!) computed via lgamma(n + 1); exact enough for ratio arithmetic on
+/// factorials far beyond what fits in floating point directly.
+double log_factorial(double n);
+
+/// ln of the falling factorial n * (n-1) * ... * (n-k+1) = n!/(n-k)!.
+/// Requires 0 <= k <= n.
+double log_falling_factorial(double n, double k);
+
+/// exp(a - b) computed with care for large magnitudes: returns 0 when
+/// a - b underflows, and saturates instead of producing inf for overflow.
+double exp_log_ratio(double log_num, double log_den);
+
+/// Simple summary statistics over a sample.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+/// Arithmetic mean; returns 0 for an empty vector.
+double mean_of(const std::vector<double>& xs);
+
+}  // namespace dshuf

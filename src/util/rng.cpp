@@ -1,0 +1,47 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace dshuf {
+
+double Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+std::vector<std::uint32_t> Rng::permutation(std::size_t n) {
+  std::vector<std::uint32_t> p(n);
+  std::iota(p.begin(), p.end(), 0U);
+  shuffle(p);
+  return p;
+}
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::size_t n,
+                                                           std::size_t k) {
+  DSHUF_CHECK_LE(k, n, "cannot sample more elements than the population");
+  // Partial Fisher–Yates over an index vector; O(n) memory, O(n + k) time.
+  std::vector<std::uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0U);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + uniform_u64(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace dshuf

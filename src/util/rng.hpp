@@ -1,0 +1,151 @@
+// Deterministic random number generation.
+//
+// Everything in dshuf that involves randomness draws from Rng, a
+// xoshiro256** generator seeded through SplitMix64. Independent streams
+// (per rank, per epoch) are derived with Rng::fork(tag...), which hashes
+// the tags into the seed so that e.g. worker 7 at epoch 12 always sees the
+// same stream regardless of execution order. This mirrors the paper's
+// requirement that "all workers use the same random seed" for the
+// destination permutation of Algorithm 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dshuf {
+
+/// SplitMix64: seed expander / hash mixer (public-domain algorithm by
+/// Sebastiano Vigna). Used to initialise xoshiro state and to derive
+/// sub-stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** PRNG (Blackman & Vigna). Fast, high-quality, 2^256-1 period.
+/// Satisfies UniformRandomBitGenerator so it composes with <random> if
+/// needed, but dshuf code uses the member helpers for portability of
+/// sequences across standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via SplitMix64 as recommended by the
+  /// xoshiro authors.
+  explicit Rng(std::uint64_t seed = 0x8E5BULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent child stream from this generator's seed lineage
+  /// and the given tags. Deterministic: same parent seed + same tags =>
+  /// same child stream. Does NOT advance this generator.
+  [[nodiscard]] Rng fork(std::uint64_t tag0, std::uint64_t tag1 = 0,
+                         std::uint64_t tag2 = 0) const {
+    SplitMix64 sm(state_[0] ^ (state_[3] * 0x9E3779B97F4A7C15ULL));
+    std::uint64_t s = sm.next();
+    s ^= SplitMix64(tag0 + 0x1ULL).next();
+    s ^= SplitMix64(tag1 + 0x2B7E151628AED2A6ULL).next();
+    s ^= SplitMix64(tag2 + 0x452821E638D01377ULL).next();
+    return Rng(s);
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method: unbiased and fast.
+  std::uint64_t uniform_u64(std::uint64_t bound) {
+    DSHUF_CHECK_GT(bound, 0ULL, "uniform_u64 bound must be positive");
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+      const std::uint64_t t = (0 - bound) % bound;
+      while (l < t) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    DSHUF_CHECK_LE(lo, hi, "uniform_int empty range");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1ULL;
+    return lo + static_cast<std::int64_t>(uniform_u64(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform_float(float lo, float hi) {
+    return lo + static_cast<float>(uniform()) * (hi - lo);
+  }
+
+  /// Standard normal via Box–Muller (cached second value).
+  double normal();
+
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = uniform_u64(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Random permutation of [0, n).
+  std::vector<std::uint32_t> permutation(std::size_t n);
+
+  /// Sample k distinct indices from [0, n) (unordered, via partial
+  /// Fisher–Yates). Requires k <= n.
+  std::vector<std::uint32_t> sample_without_replacement(std::size_t n,
+                                                        std::size_t k);
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace dshuf

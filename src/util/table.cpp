@@ -1,0 +1,117 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dshuf {
+
+TextTable& TextTable::header(std::vector<std::string> cols) {
+  header_ = std::move(cols);
+  return *this;
+}
+
+TextTable& TextTable::row(std::vector<std::string> cells) {
+  if (!header_.empty()) {
+    DSHUF_CHECK_EQ(cells.size(), header_.size(),
+                   "row width must match header width in table " << title_);
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto grow = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[i])) << cell
+         << " | ";
+    }
+    os << '\n';
+  };
+  auto print_sep = [&] {
+    os << "+";
+    for (auto w : widths) os << std::string(w + 2, '-') << "-+";
+    os << '\n';
+  };
+
+  os << "== " << title_ << " ==\n";
+  print_sep();
+  if (!header_.empty()) {
+    print_row(header_);
+    print_sep();
+  }
+  for (const auto& r : rows_) print_row(r);
+  print_sep();
+}
+
+namespace {
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+bool TextTable::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  auto write_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) f << ',';
+      f << csv_escape(cells[i]);
+    }
+    f << '\n';
+  };
+  if (!header_.empty()) write_row(header_);
+  for (const auto& r : rows_) write_row(r);
+  return static_cast<bool>(f);
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  return fmt_double(fraction * 100.0, precision) + "%";
+}
+
+std::string fmt_bytes(double bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 5) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(bytes < 10 ? 2 : 1) << bytes << ' '
+      << kUnits[unit];
+  return oss.str();
+}
+
+}  // namespace dshuf

@@ -1,0 +1,43 @@
+// Text-table and CSV emission for bench output.
+//
+// Benches print each reproduced figure/table as (1) an aligned text table
+// for human reading and (2) optionally a CSV file for plotting. Cells are
+// stored as strings; numeric helpers format consistently.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dshuf {
+
+/// Column-aligned text table with a title and header row.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  TextTable& header(std::vector<std::string> cols);
+  TextTable& row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+  /// Render with box-drawing separators to the stream.
+  void print(std::ostream& os) const;
+
+  /// Write as CSV (header + rows) to the given path. Returns false on I/O
+  /// failure (missing directory etc.) without throwing.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used by benches for consistent numeric output.
+std::string fmt_double(double v, int precision = 3);
+std::string fmt_percent(double fraction, int precision = 1);
+std::string fmt_bytes(double bytes);
+
+}  // namespace dshuf

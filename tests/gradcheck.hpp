@@ -1,0 +1,76 @@
+// Finite-difference gradient checking for layers.
+//
+// Drives a layer with loss L = sum_ij c_ij * y_ij for fixed random
+// coefficients c, compares backward()'s input gradient and accumulated
+// parameter gradients against central differences. float32 tolerances.
+#pragma once
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace dshuf::nn::testing {
+
+struct GradCheckOptions {
+  float epsilon = 1e-2F;
+  float tolerance = 2e-2F;  // relative-ish: |num - ana| <= tol * scale
+  bool training = true;
+};
+
+inline float loss_of(Layer& layer, const Tensor& x, const Tensor& coeff,
+                     bool training) {
+  const Tensor y = layer.forward(x, training);
+  EXPECT_EQ(y.size(), coeff.size());
+  double l = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) l += y.at(i) * coeff.at(i);
+  return static_cast<float>(l);
+}
+
+/// Checks dL/dx and dL/dparams of `layer` at input `x`.
+inline void check_gradients(Layer& layer, Tensor x, std::size_t out_size,
+                            Rng& rng, GradCheckOptions opt = {}) {
+  Tensor coeff = Tensor::randn({out_size}, rng, 1.0F);
+
+  // Analytic gradients.
+  for (Param* p : layer.params()) p->grad.zero();
+  const Tensor y = layer.forward(x, opt.training);
+  ASSERT_EQ(y.size(), out_size) << "unexpected output size";
+  Tensor grad_out(y.shape());
+  for (std::size_t i = 0; i < out_size; ++i) grad_out.vec()[i] = coeff.at(i);
+  const Tensor grad_in = layer.backward(grad_out);
+  ASSERT_EQ(grad_in.size(), x.size());
+
+  auto numeric = [&](float* slot) {
+    const float orig = *slot;
+    *slot = orig + opt.epsilon;
+    const float lp = loss_of(layer, x, coeff, opt.training);
+    *slot = orig - opt.epsilon;
+    const float lm = loss_of(layer, x, coeff, opt.training);
+    *slot = orig;
+    return (lp - lm) / (2.0F * opt.epsilon);
+  };
+
+  // Input gradient.
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float num = numeric(&x.vec()[i]);
+    const float ana = grad_in.at(i);
+    const float scale = std::max({1.0F, std::fabs(num), std::fabs(ana)});
+    EXPECT_NEAR(ana, num, opt.tolerance * scale) << "input grad [" << i << "]";
+  }
+
+  // Parameter gradients (re-run forward so perturbed params take effect).
+  for (Param* p : layer.params()) {
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const float num = numeric(&p->value.vec()[i]);
+      const float ana = p->grad.at(i);
+      const float scale = std::max({1.0F, std::fabs(num), std::fabs(ana)});
+      EXPECT_NEAR(ana, num, opt.tolerance * scale)
+          << p->name << " grad [" << i << "]";
+    }
+  }
+}
+
+}  // namespace dshuf::nn::testing

@@ -1,0 +1,103 @@
+#include "data/batch_loader.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+
+namespace dshuf::data {
+namespace {
+
+InMemoryDataset make_ds() {
+  return make_class_clusters({.num_classes = 4,
+                              .samples_per_class = 16,
+                              .feature_dim = 5,
+                              .seed = 2});
+}
+
+std::vector<SampleId> iota_order(std::size_t n) {
+  std::vector<SampleId> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<SampleId>(i);
+  return order;
+}
+
+TEST(BatchLoader, YieldsSameBatchesAsDirectGather) {
+  const auto ds = make_ds();
+  const auto order = iota_order(ds.size());
+  BatchLoader loader(ds, order, 8);
+  EXPECT_EQ(loader.num_batches(), 8U);
+  for (std::size_t b = 0; b < 8; ++b) {
+    auto batch = loader.next();
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->index, b);
+    const std::span<const SampleId> ids(order.data() + b * 8, 8);
+    const Tensor expected = ds.gather(ids);
+    EXPECT_EQ(batch->features.vec(), expected.vec());
+    EXPECT_EQ(batch->labels, ds.gather_labels(ids));
+  }
+  EXPECT_FALSE(loader.next().has_value());
+  EXPECT_FALSE(loader.next().has_value());  // stays exhausted
+}
+
+TEST(BatchLoader, DropLastSemantics) {
+  const auto ds = make_ds();  // 64 samples
+  BatchLoader loader(ds, iota_order(ds.size()), 10);
+  EXPECT_EQ(loader.num_batches(), 6U);  // 64 / 10, last 4 dropped
+  std::size_t count = 0;
+  while (loader.next()) ++count;
+  EXPECT_EQ(count, 6U);
+}
+
+TEST(BatchLoader, BatchLargerThanOrderYieldsNothing) {
+  const auto ds = make_ds();
+  BatchLoader loader(ds, iota_order(4), 8);
+  EXPECT_EQ(loader.num_batches(), 0U);
+  EXPECT_FALSE(loader.next().has_value());
+}
+
+TEST(BatchLoader, SlowConsumerDoesNotLoseBatches) {
+  const auto ds = make_ds();
+  BatchLoader loader(ds, iota_order(ds.size()), 4, /*prefetch_depth=*/2);
+  std::size_t seen = 0;
+  while (auto batch = loader.next()) {
+    EXPECT_EQ(batch->index, seen);
+    ++seen;
+    if (seen % 4 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  EXPECT_EQ(seen, 16U);
+}
+
+TEST(BatchLoader, DestructorJoinsWithUnconsumedBatches) {
+  const auto ds = make_ds();
+  // Construct and immediately destroy with the producer mid-flight.
+  for (int i = 0; i < 20; ++i) {
+    BatchLoader loader(ds, iota_order(ds.size()), 4);
+    if (i % 2 == 0) loader.next();  // sometimes consume one
+  }
+  SUCCEED();
+}
+
+TEST(BatchLoader, RejectsZeroBatch) {
+  const auto ds = make_ds();
+  EXPECT_THROW(BatchLoader(ds, iota_order(8), 0), CheckError);
+}
+
+TEST(BatchLoader, RespectsCustomOrder) {
+  const auto ds = make_ds();
+  std::vector<SampleId> order{5, 3, 9, 1};
+  BatchLoader loader(ds, order, 2);
+  auto b0 = loader.next();
+  ASSERT_TRUE(b0.has_value());
+  EXPECT_EQ(b0->labels[0], ds.label(5));
+  EXPECT_EQ(b0->labels[1], ds.label(3));
+  auto b1 = loader.next();
+  ASSERT_TRUE(b1.has_value());
+  EXPECT_EQ(b1->labels[0], ds.label(9));
+}
+
+}  // namespace
+}  // namespace dshuf::data

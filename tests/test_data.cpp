@@ -1,0 +1,228 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "data/workloads.hpp"
+
+namespace dshuf::data {
+namespace {
+
+TEST(Dataset, GatherAssemblesBatch) {
+  Tensor f({3, 2}, {1, 2, 3, 4, 5, 6});
+  InMemoryDataset ds(std::move(f), {0, 1, 0}, 2);
+  const std::vector<SampleId> ids{2, 0};
+  const Tensor batch = ds.gather(ids);
+  EXPECT_EQ(batch.rows(), 2U);
+  EXPECT_FLOAT_EQ(batch.at(0, 0), 5.0F);
+  EXPECT_FLOAT_EQ(batch.at(1, 1), 2.0F);
+  const auto labels = ds.gather_labels(ids);
+  EXPECT_EQ(labels[0], 0U);
+  EXPECT_EQ(labels[1], 0U);
+}
+
+TEST(Dataset, RejectsOutOfRangeIds) {
+  InMemoryDataset ds(Tensor({2, 1}), {0, 1}, 2);
+  const std::vector<SampleId> bad{5};
+  EXPECT_THROW(ds.gather(bad), CheckError);
+  EXPECT_THROW((void)ds.label(9), CheckError);
+}
+
+TEST(Dataset, RejectsLabelOutOfClassRange) {
+  EXPECT_THROW(InMemoryDataset(Tensor({2, 1}), {0, 5}, 2), CheckError);
+}
+
+TEST(Dataset, ClassHistogram) {
+  InMemoryDataset ds(Tensor({4, 1}), {0, 1, 1, 1}, 3);
+  const auto h = ds.class_histogram();
+  EXPECT_EQ(h[0], 1U);
+  EXPECT_EQ(h[1], 3U);
+  EXPECT_EQ(h[2], 0U);
+}
+
+TEST(Dataset, BytesPerSample) {
+  InMemoryDataset ds(Tensor({1, 10}), {0}, 2);
+  EXPECT_EQ(ds.bytes_per_sample(), 10 * sizeof(float) + sizeof(std::uint32_t));
+}
+
+TEST(Synthetic, DeterministicForSpec) {
+  ClassClusterSpec spec{.num_classes = 4, .samples_per_class = 8, .seed = 5};
+  const auto a = make_class_clusters(spec);
+  const auto b = make_class_clusters(spec);
+  EXPECT_EQ(a.features().vec(), b.features().vec());
+  EXPECT_EQ(a.labels(), b.labels());
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  ClassClusterSpec spec{.num_classes = 4, .samples_per_class = 8, .seed = 5};
+  auto a = make_class_clusters(spec);
+  spec.seed = 6;
+  auto b = make_class_clusters(spec);
+  EXPECT_NE(a.features().vec(), b.features().vec());
+}
+
+TEST(Synthetic, ShapeAndBalance) {
+  ClassClusterSpec spec{.num_classes = 5,
+                        .samples_per_class = 10,
+                        .feature_dim = 7,
+                        .label_noise = 0.0};
+  const auto ds = make_class_clusters(spec);
+  EXPECT_EQ(ds.size(), 50U);
+  EXPECT_EQ(ds.feature_dim(), 7U);
+  EXPECT_EQ(ds.num_classes(), 5U);
+  for (auto c : ds.class_histogram()) EXPECT_EQ(c, 10U);
+}
+
+TEST(Synthetic, LabelNoisePerturbsSomeLabels) {
+  ClassClusterSpec clean{.num_classes = 4,
+                         .samples_per_class = 200,
+                         .label_noise = 0.0,
+                         .seed = 9};
+  ClassClusterSpec noisy = clean;
+  noisy.label_noise = 0.3;
+  const auto a = make_class_clusters(clean);
+  const auto b = make_class_clusters(noisy);
+  std::size_t flips = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.labels()[i] != b.labels()[i]) ++flips;
+  }
+  // ~30% * (3/4 actually change); allow wide tolerance.
+  EXPECT_GT(flips, 80U);
+  EXPECT_LT(flips, 280U);
+}
+
+TEST(Synthetic, ClassesAreSeparated) {
+  // With strong separation, per-class centroid distances should dominate
+  // the within-class spread: nearest-centroid classification on the raw
+  // features should beat chance by a wide margin.
+  ClassClusterSpec spec{.num_classes = 4,
+                        .samples_per_class = 50,
+                        .feature_dim = 16,
+                        .cluster_separation = 4.0,
+                        .manifold_warp = 0.0,
+                        .seed = 11};
+  const auto ds = make_class_clusters(spec);
+  // Compute class means.
+  std::vector<std::vector<double>> means(4,
+                                         std::vector<double>(16, 0.0));
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    for (std::size_t dIdx = 0; dIdx < 16; ++dIdx) {
+      means[ds.labels()[i]][dIdx] += ds.features().at(i, dIdx) / 50.0;
+    }
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    double best = 1e18;
+    std::size_t arg = 0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      double d2 = 0;
+      for (std::size_t k = 0; k < 16; ++k) {
+        const double diff = ds.features().at(i, k) - means[c][k];
+        d2 += diff * diff;
+      }
+      if (d2 < best) {
+        best = d2;
+        arg = c;
+      }
+    }
+    if (arg == ds.labels()[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / ds.size(), 0.9);
+}
+
+TEST(Synthetic, SplitProducesIndependentValSet) {
+  ClassClusterSpec spec{.num_classes = 3, .samples_per_class = 20, .seed = 13};
+  const auto split = make_class_clusters_split(spec, 0.25);
+  EXPECT_EQ(split.train.size(), 60U);
+  EXPECT_EQ(split.val.size(), 15U);
+  // Same geometry, different draws: no row of val equals a row of train.
+  EXPECT_NE(split.train.features().at(0, 0), split.val.features().at(0, 0));
+}
+
+TEST(Taxonomy, LabelsAreConsistent) {
+  TaxonomySpec spec{.coarse_classes = 3,
+                    .fine_per_coarse = 4,
+                    .samples_per_fine = 6,
+                    .seed = 17};
+  const auto tax = make_taxonomy(spec);
+  EXPECT_EQ(tax.fine_classes, 12U);
+  EXPECT_EQ(tax.coarse_classes, 3U);
+  EXPECT_EQ(tax.upstream.train.num_classes(), 12U);
+  EXPECT_EQ(tax.downstream.train.num_classes(), 3U);
+  EXPECT_EQ(tax.upstream.train.size(), 12U * 6U);
+}
+
+TEST(Taxonomy, FineClustersNestInsideCoarse) {
+  // Samples of fine classes belonging to the same coarse class should be
+  // closer on average than samples from different coarse classes.
+  TaxonomySpec spec{.coarse_classes = 4,
+                    .fine_per_coarse = 3,
+                    .samples_per_fine = 20,
+                    .feature_dim = 24,
+                    .coarse_separation = 6.0,
+                    .fine_separation = 1.0,
+                    .manifold_warp = 0.0,
+                    .seed = 19};
+  const auto tax = make_taxonomy(spec);
+  const auto& ds = tax.downstream.train;
+  // Mean within-coarse vs between-coarse distances over a sample of pairs.
+  double within = 0;
+  double between = 0;
+  std::size_t wn = 0;
+  std::size_t bn = 0;
+  for (std::size_t i = 0; i < ds.size(); i += 7) {
+    for (std::size_t j = i + 1; j < ds.size(); j += 11) {
+      double d2 = 0;
+      for (std::size_t k = 0; k < ds.feature_dim(); ++k) {
+        const double diff = ds.features().at(i, k) - ds.features().at(j, k);
+        d2 += diff * diff;
+      }
+      if (ds.labels()[i] == ds.labels()[j]) {
+        within += d2;
+        ++wn;
+      } else {
+        between += d2;
+        ++bn;
+      }
+    }
+  }
+  ASSERT_GT(wn, 0U);
+  ASSERT_GT(bn, 0U);
+  EXPECT_LT(within / wn, between / bn);
+}
+
+TEST(Climate, ImbalancedClasses) {
+  ClimateSpec spec{.num_samples = 1000, .background_fraction = 0.8};
+  const auto split = make_climate_proxy(spec);
+  const auto h = split.train.class_histogram();
+  ASSERT_EQ(h.size(), 3U);
+  EXPECT_NEAR(static_cast<double>(h[0]) / split.train.size(), 0.8, 0.02);
+  EXPECT_GT(h[1], h[2]);  // cyclones more common than rivers
+}
+
+TEST(Workloads, RegistryCoversTableOne) {
+  const auto& reg = workload_registry();
+  EXPECT_EQ(reg.size(), 8U);
+  std::set<std::string> names;
+  for (const auto& w : reg) names.insert(w.name);
+  EXPECT_TRUE(names.count("imagenet1k-resnet50"));
+  EXPECT_TRUE(names.count("deepcam"));
+  EXPECT_TRUE(names.count("cifar100-inception"));
+}
+
+TEST(Workloads, FindByNameAndReject) {
+  EXPECT_EQ(find_workload("cars-resnet50").paper_dataset, "Stanford Cars");
+  EXPECT_THROW(find_workload("nonexistent"), CheckError);
+}
+
+TEST(Workloads, SpecsAreInternallyConsistent) {
+  for (const auto& w : workload_registry()) {
+    EXPECT_EQ(w.data.feature_dim, w.model.input_dim) << w.name;
+    EXPECT_EQ(w.data.num_classes, w.model.num_classes) << w.name;
+    EXPECT_GT(w.regime.epochs, 0U) << w.name;
+    EXPECT_GT(w.regime.base_lr, 0.0F) << w.name;
+  }
+}
+
+}  // namespace
+}  // namespace dshuf::data

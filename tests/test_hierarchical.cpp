@@ -1,0 +1,168 @@
+#include "shuffle/hierarchical.hpp"
+
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace dshuf::shuffle {
+namespace {
+
+std::vector<std::vector<SampleId>> make_shards(std::size_t n,
+                                               std::size_t workers) {
+  std::vector<std::vector<SampleId>> shards(workers);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards[i % workers].push_back(static_cast<SampleId>(i));
+  }
+  return shards;
+}
+
+// The balance property must survive the hierarchical constraint: each
+// round is still a permutation of all ranks.
+class HierBalance
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(HierBalance, EveryRoundIsAPermutation) {
+  const auto [groups, group_size, intra] = GetParam();
+  const int m = groups * group_size;
+  const std::size_t quota = 12;
+  const HierarchicalExchangePlan plan(7, 1, groups, group_size, quota,
+                                      intra);
+  EXPECT_EQ(plan.rounds(), quota);
+  for (std::size_t i = 0; i < quota; ++i) {
+    std::vector<bool> hit(m, false);
+    for (int r = 0; r < m; ++r) {
+      const int d = plan.dest(i, r);
+      ASSERT_GE(d, 0);
+      ASSERT_LT(d, m);
+      EXPECT_FALSE(hit[d]);
+      hit[d] = true;
+      EXPECT_EQ(plan.source(i, d), r);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HierBalance,
+    ::testing::Combine(::testing::Values(1, 2, 4, 16),
+                       ::testing::Values(1, 4, 8),
+                       ::testing::Values(0.0, 0.5, 1.0)));
+
+TEST(HierarchicalPlan, IntraRoundsStayWithinGroups) {
+  const HierarchicalExchangePlan plan(3, 0, 4, 8, 10, /*intra=*/1.0);
+  for (std::size_t i = 0; i < plan.rounds(); ++i) {
+    EXPECT_FALSE(plan.round_is_inter_group(i));
+    for (int r = 0; r < plan.workers(); ++r) {
+      EXPECT_EQ(plan.group_of(plan.dest(i, r)), plan.group_of(r));
+    }
+  }
+  EXPECT_DOUBLE_EQ(plan.intra_group_traffic_fraction(), 1.0);
+}
+
+TEST(HierarchicalPlan, InterRoundsPermuteGroupsAsBlocks) {
+  const HierarchicalExchangePlan plan(3, 0, 4, 8, 10, /*intra=*/0.0);
+  for (std::size_t i = 0; i < plan.rounds(); ++i) {
+    // All ranks of a group send to the same destination group.
+    for (int g = 0; g < 4; ++g) {
+      const int dg = plan.group_of(plan.dest(i, g * 8));
+      for (int s = 1; s < 8; ++s) {
+        EXPECT_EQ(plan.group_of(plan.dest(i, g * 8 + s)), dg);
+      }
+    }
+  }
+}
+
+TEST(HierarchicalPlan, IntraFractionSplitsRounds) {
+  const HierarchicalExchangePlan plan(3, 0, 4, 4, 10, /*intra=*/0.5);
+  std::size_t inter = 0;
+  for (std::size_t i = 0; i < plan.rounds(); ++i) {
+    if (plan.round_is_inter_group(i)) ++inter;
+  }
+  EXPECT_EQ(inter, 5U);
+  // Traffic locality: intra rounds are fully local; inter rounds mostly
+  // cross (a group can map to itself), so locality is at least the intra
+  // share.
+  EXPECT_GE(plan.intra_group_traffic_fraction(), 0.5);
+  EXPECT_LT(plan.intra_group_traffic_fraction(), 0.9);
+}
+
+TEST(HierarchicalPlan, SingleGroupIsAllIntra) {
+  const HierarchicalExchangePlan plan(3, 0, 1, 16, 8, /*intra=*/0.0);
+  for (std::size_t i = 0; i < plan.rounds(); ++i) {
+    EXPECT_FALSE(plan.round_is_inter_group(i));
+  }
+}
+
+TEST(HierarchicalPlan, DeterministicForSeedAndEpoch) {
+  const HierarchicalExchangePlan a(9, 2, 2, 4, 6, 0.5);
+  const HierarchicalExchangePlan b(9, 2, 2, 4, 6, 0.5);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (int r = 0; r < 8; ++r) EXPECT_EQ(a.dest(i, r), b.dest(i, r));
+  }
+}
+
+TEST(HierarchicalShuffler, ConservesSamples) {
+  const std::size_t n = 96;
+  HierarchicalPartialShuffler hs(make_shards(n, 8), 0.3, /*groups=*/2, 5);
+  std::multiset<SampleId> expected;
+  for (std::size_t i = 0; i < n; ++i) {
+    expected.insert(static_cast<SampleId>(i));
+  }
+  for (std::size_t e = 0; e < 4; ++e) {
+    hs.begin_epoch(e);
+    std::multiset<SampleId> got;
+    for (int w = 0; w < 8; ++w) {
+      got.insert(hs.local_order(w).begin(), hs.local_order(w).end());
+    }
+    EXPECT_EQ(got, expected) << "epoch " << e;
+  }
+}
+
+TEST(HierarchicalShuffler, BalancedVolumesAndStorageBound) {
+  HierarchicalPartialShuffler hs(make_shards(120, 6), 0.25, /*groups=*/3, 5);
+  hs.begin_epoch(0);
+  const auto* stats = hs.last_stats();
+  const std::size_t quota = exchange_quota(20, 0.25);
+  for (std::size_t w = 0; w < 6; ++w) {
+    EXPECT_EQ(stats->sent_per_worker[w], quota);
+    EXPECT_EQ(stats->received_per_worker[w], quota);
+    EXPECT_LE(stats->peak_occupancy_per_worker[w], 20 + quota);
+  }
+}
+
+TEST(HierarchicalShuffler, ReportsTrafficLocality) {
+  HierarchicalPartialShuffler hs(make_shards(128, 8), 0.5, /*groups=*/4, 5,
+                                 /*intra_fraction=*/0.75);
+  hs.begin_epoch(0);
+  EXPECT_GE(hs.last_intra_fraction(), 0.75);
+}
+
+TEST(HierarchicalShuffler, MixesAcrossGroupsEventually) {
+  const std::size_t n = 128;
+  auto shards = make_shards(n, 8);
+  const std::set<SampleId> w0(shards[0].begin(), shards[0].end());
+  HierarchicalPartialShuffler hs(std::move(shards), 0.3, /*groups=*/4, 5,
+                                 /*intra_fraction=*/0.5);
+  for (std::size_t e = 0; e < 12; ++e) hs.begin_epoch(e);
+  // Worker 6 is in a different group than worker 0; inter-group rounds
+  // must have carried some of worker 0's original samples there.
+  std::size_t migrated = 0;
+  for (int w = 2; w < 8; ++w) {
+    for (auto id : hs.local_order(w)) migrated += w0.count(id);
+  }
+  EXPECT_GT(migrated, 0U);
+}
+
+TEST(HierarchicalShuffler, RejectsIndivisibleGroups) {
+  EXPECT_THROW(
+      HierarchicalPartialShuffler(make_shards(60, 6), 0.3, /*groups=*/4, 5),
+      CheckError);
+}
+
+TEST(HierarchicalShuffler, LabelEncodesGroups) {
+  HierarchicalPartialShuffler hs(make_shards(32, 4), 0.5, 2, 5);
+  EXPECT_EQ(hs.label(), "partial-0.5-hier2");
+}
+
+}  // namespace
+}  // namespace dshuf::shuffle

@@ -1,0 +1,116 @@
+#include "shuffle/mixing.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "shuffle/shuffler.hpp"
+
+namespace dshuf::shuffle {
+namespace {
+
+struct Fixture {
+  data::InMemoryDataset dataset;
+  std::vector<std::vector<SampleId>> shards;
+
+  explicit Fixture(std::size_t workers = 8)
+      : dataset(data::make_class_clusters({.num_classes = 8,
+                                           .samples_per_class = 32,
+                                           .feature_dim = 4,
+                                           .seed = 3})) {
+    Rng rng(5);
+    shards = data::partition_dataset(dataset, workers,
+                                     data::PartitionScheme::kClassSorted,
+                                     rng);
+  }
+};
+
+TEST(Mixing, LocalShufflingNeverMixes) {
+  Fixture f;
+  LocalShuffler ls(f.shards, 7);
+  const auto trace = measure_mixing(ls, f.dataset, 8);
+  // Skew stays at the initial (maximal) level; coverage stays at 1 shard.
+  for (double s : trace.skew_per_epoch) EXPECT_GT(s, 0.8);
+  for (double c : trace.coverage_per_epoch) EXPECT_DOUBLE_EQ(c, 1.0);
+  EXPECT_NEAR(trace.skew_contraction, 1.0, 0.02);
+}
+
+TEST(Mixing, GlobalShufflingIsInstantlyMixed) {
+  Fixture f;
+  GlobalShuffler gs(f.dataset.size(), 8, 7);
+  const auto trace = measure_mixing(gs, f.dataset, 4);
+  // A fresh global permutation gives near-representative shards at once.
+  for (double s : trace.skew_per_epoch) EXPECT_LT(s, 0.35);
+  // Coverage grows past one shard immediately.
+  EXPECT_GT(trace.coverage_per_epoch.back(), 2.0);
+}
+
+TEST(Mixing, PartialSkewContractsGeometricallyWithQ) {
+  // Replacement theory predicts a contraction of (1 - Q) per epoch; the
+  // measured rate is a little FASTER (the random picks add sampling
+  // diffusion on top of pure replacement), so we pin the bracket
+  // [(1-Q)^2, (1-Q)] and monotonicity in Q. Rate estimation needs a
+  // larger population than the other tests: 32 workers over 32 classes.
+  const auto dataset = data::make_class_clusters({.num_classes = 32,
+                                                  .samples_per_class = 32,
+                                                  .feature_dim = 4,
+                                                  .seed = 3});
+  double prev = 1.0;
+  for (double q : {0.1, 0.3, 0.7}) {
+    Rng rng(5);
+    auto shards = data::partition_dataset(
+        dataset, 32, data::PartitionScheme::kClassSorted, rng);
+    PartialLocalShuffler pls(std::move(shards), q, 7);
+    const auto trace = measure_mixing(pls, dataset, 14);
+    EXPECT_LE(trace.skew_contraction, (1.0 - q) + 0.05) << "q=" << q;
+    EXPECT_GE(trace.skew_contraction, (1.0 - q) * (1.0 - q) - 0.05)
+        << "q=" << q;
+    EXPECT_LT(trace.skew_contraction, prev) << "q=" << q;
+    prev = trace.skew_contraction;
+    // The trace decays toward its finite-sample floor (32 samples over 32
+    // classes leave ~0.35 TV even when perfectly mixed), so compare
+    // excess-above-floor, not raw values.
+    double floor = trace.skew_per_epoch.front();
+    for (double s : trace.skew_per_epoch) floor = std::min(floor, s);
+    EXPECT_LT(trace.skew_per_epoch.back() - floor,
+              0.5 * (trace.skew_per_epoch.front() - floor) + 1e-9)
+        << "q=" << q;
+  }
+}
+
+TEST(Mixing, HigherQMixesFaster) {
+  Fixture f1;
+  Fixture f2;
+  PartialLocalShuffler slow(f1.shards, 0.1, 7);
+  PartialLocalShuffler fast(f2.shards, 0.5, 7);
+  const auto ts = measure_mixing(slow, f1.dataset, 10);
+  const auto tf = measure_mixing(fast, f2.dataset, 10);
+  EXPECT_LT(tf.skew_per_epoch.back(), ts.skew_per_epoch.back());
+  EXPECT_GT(tf.coverage_per_epoch.back(), ts.coverage_per_epoch.back());
+}
+
+TEST(Mixing, CoverageIsMonotone) {
+  Fixture f;
+  PartialLocalShuffler pls(f.shards, 0.25, 7);
+  const auto trace = measure_mixing(pls, f.dataset, 10);
+  for (std::size_t e = 1; e < trace.coverage_per_epoch.size(); ++e) {
+    EXPECT_GE(trace.coverage_per_epoch[e],
+              trace.coverage_per_epoch[e - 1] - 1e-12);
+  }
+}
+
+TEST(Mixing, ExpectedSkewClosedForm) {
+  EXPECT_DOUBLE_EQ(expected_skew(1.0, 0.3, 0), 1.0);
+  EXPECT_NEAR(expected_skew(0.9, 0.3, 5), 0.9 * std::pow(0.7, 5), 1e-12);
+}
+
+TEST(Mixing, RejectsZeroEpochs) {
+  Fixture f;
+  LocalShuffler ls(f.shards, 7);
+  EXPECT_THROW(measure_mixing(ls, f.dataset, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace dshuf::shuffle

@@ -1,0 +1,135 @@
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.hpp"
+
+namespace dshuf::nn {
+namespace {
+
+TEST(Linear, ForwardComputesAffineMap) {
+  Rng rng(1);
+  Linear l(2, 3, rng);
+  // Overwrite weights to a known value: W[in, out], b.
+  auto params = l.params();
+  params[0]->value = Tensor({2, 3}, {1, 2, 3, 4, 5, 6});
+  params[1]->value = Tensor({3}, {0.5F, -0.5F, 1.0F});
+  const Tensor x({1, 2}, {1, 2});
+  const Tensor y = l.forward(x, true);
+  // y = [1*1+2*4, 1*2+2*5, 1*3+2*6] + b = [9.5, 11.5, 16]
+  EXPECT_FLOAT_EQ(y.at(0, 0), 9.5F);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 11.5F);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 16.0F);
+}
+
+TEST(Linear, GradientsMatchFiniteDifferences) {
+  Rng rng(2);
+  Linear l(4, 3, rng);
+  Tensor x = Tensor::randn({5, 4}, rng);
+  testing::check_gradients(l, x, 5 * 3, rng);
+}
+
+TEST(Linear, GradientsAccumulateAcrossBackwards) {
+  Rng rng(3);
+  Linear l(2, 2, rng);
+  const Tensor x = Tensor::randn({3, 2}, rng);
+  Tensor ones({3, 2});
+  ones.fill(1.0F);
+  l.forward(x, true);
+  l.backward(ones);
+  const Tensor g1 = l.params()[0]->grad;
+  l.forward(x, true);
+  l.backward(ones);
+  const Tensor& g2 = l.params()[0]->grad;
+  for (std::size_t i = 0; i < g1.size(); ++i) {
+    EXPECT_FLOAT_EQ(g2.at(i), 2.0F * g1.at(i));
+  }
+}
+
+TEST(Linear, HeInitialisationScale) {
+  Rng rng(4);
+  Linear l(256, 64, rng);
+  const Tensor& w = l.params()[0]->value;
+  double s2 = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) s2 += w.at(i) * w.at(i);
+  // Var ~= 2 / 256.
+  EXPECT_NEAR(s2 / static_cast<double>(w.size()), 2.0 / 256.0,
+              0.2 * 2.0 / 256.0);
+  // Bias starts at zero.
+  EXPECT_FLOAT_EQ(l.params()[1]->value.sum(), 0.0F);
+}
+
+TEST(Linear, RejectsWrongInputWidth) {
+  Rng rng(5);
+  Linear l(4, 2, rng);
+  Tensor x({1, 3});
+  EXPECT_THROW(l.forward(x, true), CheckError);
+}
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU r;
+  const Tensor x({1, 4}, {-1.0F, 0.0F, 2.0F, -3.0F});
+  const Tensor y = r.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0), 0.0F);
+  EXPECT_FLOAT_EQ(y.at(1), 0.0F);
+  EXPECT_FLOAT_EQ(y.at(2), 2.0F);
+  EXPECT_FLOAT_EQ(y.at(3), 0.0F);
+}
+
+TEST(ReLU, BackwardMasksGradient) {
+  ReLU r;
+  const Tensor x({1, 3}, {-1.0F, 1.0F, 2.0F});
+  r.forward(x, true);
+  const Tensor g({1, 3}, {5.0F, 5.0F, 5.0F});
+  const Tensor gi = r.backward(g);
+  EXPECT_FLOAT_EQ(gi.at(0), 0.0F);
+  EXPECT_FLOAT_EQ(gi.at(1), 5.0F);
+  EXPECT_FLOAT_EQ(gi.at(2), 5.0F);
+}
+
+TEST(Tanh, GradientsMatchFiniteDifferences) {
+  Rng rng(6);
+  Tanh t;
+  Tensor x = Tensor::randn({3, 4}, rng, 0.5F);
+  testing::check_gradients(t, x, 12, rng);
+}
+
+TEST(Dropout, EvalIsIdentity) {
+  Rng rng(7);
+  Dropout d(0.5, rng);
+  Tensor x = Tensor::randn({2, 8}, rng);
+  const Tensor y = d.forward(x, /*training=*/false);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_FLOAT_EQ(y.at(i), x.at(i));
+  }
+}
+
+TEST(Dropout, TrainingPreservesExpectedValue) {
+  Rng rng(8);
+  Dropout d(0.3, rng);
+  Tensor x = Tensor::full({1, 20000}, 1.0F);
+  const Tensor y = d.forward(x, true);
+  EXPECT_NEAR(y.sum() / 20000.0F, 1.0F, 0.03F);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Rng rng(9);
+  Dropout d(0.5, rng);
+  Tensor x = Tensor::full({1, 100}, 1.0F);
+  const Tensor y = d.forward(x, true);
+  Tensor ones({1, 100});
+  ones.fill(1.0F);
+  const Tensor g = d.backward(ones);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_FLOAT_EQ(g.at(i), y.at(i));  // both are 0 or 1/(1-p)
+  }
+}
+
+TEST(Dropout, RejectsInvalidProbability) {
+  Rng rng(10);
+  EXPECT_THROW(Dropout(1.0, rng), CheckError);
+  EXPECT_THROW(Dropout(-0.1, rng), CheckError);
+}
+
+}  // namespace
+}  // namespace dshuf::nn

@@ -1,0 +1,161 @@
+#include "nn/norm.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.hpp"
+
+namespace dshuf::nn {
+namespace {
+
+TEST(BatchNorm, NormalisesBatchStatistics) {
+  BatchNorm1d bn(2);
+  const Tensor x({4, 2}, {1, 10, 2, 20, 3, 30, 4, 40});
+  const Tensor y = bn.forward(x, true);
+  // Each column should have ~zero mean and ~unit variance (biased).
+  for (std::size_t c = 0; c < 2; ++c) {
+    double mean = 0;
+    double var = 0;
+    for (std::size_t i = 0; i < 4; ++i) mean += y.at(i, c);
+    mean /= 4;
+    for (std::size_t i = 0; i < 4; ++i) {
+      var += (y.at(i, c) - mean) * (y.at(i, c) - mean);
+    }
+    var /= 4;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, GammaBetaApplied) {
+  BatchNorm1d bn(1);
+  bn.params()[0]->value = Tensor({1}, {2.0F});  // gamma
+  bn.params()[1]->value = Tensor({1}, {5.0F});  // beta
+  const Tensor x({2, 1}, {-1, 1});
+  const Tensor y = bn.forward(x, true);
+  // xhat = {-1, 1} (up to eps), y = 2*xhat + 5.
+  EXPECT_NEAR(y.at(0, 0), 3.0F, 1e-2F);
+  EXPECT_NEAR(y.at(1, 0), 7.0F, 1e-2F);
+}
+
+TEST(BatchNorm, RunningStatsConvergeToDataStats) {
+  BatchNorm1d bn(1, /*momentum=*/0.5F);
+  Rng rng(1);
+  for (int step = 0; step < 60; ++step) {
+    Tensor x({64, 1});
+    for (std::size_t i = 0; i < 64; ++i) {
+      x.vec()[i] = static_cast<float>(rng.normal(3.0, 2.0));
+    }
+    bn.forward(x, true);
+  }
+  EXPECT_NEAR(bn.running_mean().at(0), 3.0F, 0.5F);
+  EXPECT_NEAR(bn.running_var().at(0), 4.0F, 1.0F);
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  BatchNorm1d bn(1, /*momentum=*/1.0F);  // running <- batch exactly
+  const Tensor train_x({4, 1}, {0, 2, 4, 6});  // mean 3, var(unbiased) ~6.67
+  bn.forward(train_x, true);
+  const Tensor x({1, 1}, {3.0F});
+  const Tensor y = bn.forward(x, /*training=*/false);
+  EXPECT_NEAR(y.at(0, 0), 0.0F, 1e-3F);  // (3 - 3)/sqrt(var)
+}
+
+TEST(BatchNorm, EvalDoesNotTouchRunningStats) {
+  BatchNorm1d bn(2);
+  const Tensor x({3, 2}, {1, 2, 3, 4, 5, 6});
+  const auto mean_before = bn.running_mean();
+  bn.forward(x, false);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_FLOAT_EQ(bn.running_mean().at(i), mean_before.at(i));
+  }
+}
+
+TEST(BatchNorm, GradientsMatchFiniteDifferences) {
+  Rng rng(2);
+  BatchNorm1d bn(3);
+  // Larger gamma/beta diversity so the check exercises all paths.
+  bn.params()[0]->value = Tensor({3}, {1.5F, 0.7F, 2.0F});
+  bn.params()[1]->value = Tensor({3}, {0.1F, -0.2F, 0.3F});
+  Tensor x = Tensor::randn({6, 3}, rng, 2.0F);
+  testing::GradCheckOptions opt;
+  opt.epsilon = 5e-3F;
+  opt.tolerance = 5e-2F;
+  testing::check_gradients(bn, x, 18, rng, opt);
+}
+
+TEST(BatchNorm, RejectsBatchOfOneInTraining) {
+  BatchNorm1d bn(2);
+  Tensor x({1, 2});
+  EXPECT_THROW(bn.forward(x, true), CheckError);
+}
+
+// The property the whole paper leans on: batch statistics depend on the
+// batch COMPOSITION. The same sample normalises differently depending on
+// what it is batched with — this is the mechanism by which class-skewed
+// local shards hurt accuracy (Section IV-A-1).
+TEST(BatchNorm, OutputDependsOnBatchComposition) {
+  BatchNorm1d bn(1);
+  const Tensor batch_a({2, 1}, {1.0F, 3.0F});
+  const Tensor batch_b({2, 1}, {1.0F, -5.0F});
+  const float ya = bn.forward(batch_a, true).at(0, 0);
+  const float yb = bn.forward(batch_b, true).at(0, 0);
+  EXPECT_GT(std::fabs(ya - yb), 0.5F);
+}
+
+TEST(GroupNorm, NormalisesPerSamplePerGroup) {
+  GroupNorm gn(4, 2);
+  Rng rng(3);
+  const Tensor x = Tensor::randn({3, 4}, rng, 3.0F);
+  const Tensor y = gn.forward(x, true);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t g = 0; g < 2; ++g) {
+      const double a = y.at(i, g * 2);
+      const double b = y.at(i, g * 2 + 1);
+      EXPECT_NEAR(a + b, 0.0, 1e-4);          // zero mean per group
+      EXPECT_NEAR(a * a + b * b, 2.0, 0.05);  // unit variance per group
+    }
+  }
+}
+
+// GroupNorm's counter-property: per-sample statistics make the output
+// INDEPENDENT of batch composition — the paper's suggested remedy.
+TEST(GroupNorm, OutputIndependentOfBatchComposition) {
+  GroupNorm gn(4, 2);
+  Rng rng(4);
+  const Tensor probe = Tensor::randn({1, 4}, rng);
+  Tensor batch_a({2, 4});
+  Tensor batch_b({2, 4});
+  for (std::size_t c = 0; c < 4; ++c) {
+    batch_a.at(0, c) = probe.at(0, c);
+    batch_b.at(0, c) = probe.at(0, c);
+    batch_a.at(1, c) = 10.0F;
+    batch_b.at(1, c) = -7.0F;
+  }
+  const Tensor ya = gn.forward(batch_a, true);
+  const Tensor yb = gn.forward(batch_b, true);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_FLOAT_EQ(ya.at(0, c), yb.at(0, c));
+  }
+}
+
+TEST(GroupNorm, GradientsMatchFiniteDifferences) {
+  Rng rng(5);
+  GroupNorm gn(4, 2);
+  gn.params()[0]->value = Tensor({4}, {1.2F, 0.8F, 1.5F, 0.5F});
+  gn.params()[1]->value = Tensor({4}, {0.0F, 0.1F, -0.1F, 0.2F});
+  Tensor x = Tensor::randn({3, 4}, rng, 2.0F);
+  testing::GradCheckOptions opt;
+  opt.epsilon = 5e-3F;
+  opt.tolerance = 5e-2F;
+  testing::check_gradients(gn, x, 12, rng, opt);
+}
+
+TEST(GroupNorm, RejectsIndivisibleGroups) {
+  EXPECT_THROW(GroupNorm(5, 2), CheckError);
+  EXPECT_THROW(GroupNorm(4, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace dshuf::nn

@@ -1,0 +1,145 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.hpp"
+
+namespace dshuf::nn {
+namespace {
+
+/// One-parameter model for hand-checkable optimiser math.
+Model tiny_model(Rng& rng, float w0) {
+  Model m;
+  m.add(std::make_unique<Linear>(1, 1, rng));
+  auto* p = m.params()[0];
+  p->value = Tensor({1, 1}, {w0});
+  m.params()[1]->value = Tensor({1}, {0.0F});
+  return m;
+}
+
+void set_grad(Model& m, float gw) {
+  m.params()[0]->grad = Tensor({1, 1}, {gw});
+}
+
+TEST(Sgd, VanillaStep) {
+  Rng rng(1);
+  Model m = tiny_model(rng, 1.0F);
+  Sgd opt(m, SgdConfig{.lr = 0.1F, .momentum = 0.0F, .weight_decay = 0.0F});
+  set_grad(m, 2.0F);
+  opt.step();
+  EXPECT_NEAR(m.params()[0]->value.at(0), 1.0F - 0.1F * 2.0F, 1e-6F);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Rng rng(2);
+  Model m = tiny_model(rng, 0.0F);
+  Sgd opt(m, SgdConfig{.lr = 1.0F, .momentum = 0.5F, .weight_decay = 0.0F});
+  set_grad(m, 1.0F);
+  opt.step();  // v = 1, w = -1
+  EXPECT_NEAR(m.params()[0]->value.at(0), -1.0F, 1e-6F);
+  set_grad(m, 1.0F);
+  opt.step();  // v = 1.5, w = -2.5
+  EXPECT_NEAR(m.params()[0]->value.at(0), -2.5F, 1e-6F);
+}
+
+TEST(Sgd, WeightDecayActsAsL2) {
+  Rng rng(3);
+  Model m = tiny_model(rng, 2.0F);
+  Sgd opt(m, SgdConfig{.lr = 0.1F, .momentum = 0.0F, .weight_decay = 0.5F});
+  set_grad(m, 0.0F);
+  opt.step();  // effective grad = 0 + 0.5*2 = 1 => w = 2 - 0.1
+  EXPECT_NEAR(m.params()[0]->value.at(0), 1.9F, 1e-6F);
+}
+
+TEST(Sgd, WeightDecaySkipsExcludedParams) {
+  Rng rng(4);
+  Model m = tiny_model(rng, 1.0F);
+  // The bias param is decay-excluded by construction.
+  auto* bias = m.params()[1];
+  bias->value = Tensor({1}, {3.0F});
+  Sgd opt(m, SgdConfig{.lr = 0.1F, .momentum = 0.0F, .weight_decay = 1.0F});
+  set_grad(m, 0.0F);
+  bias->grad = Tensor({1}, {0.0F});
+  opt.step();
+  EXPECT_NEAR(bias->value.at(0), 3.0F, 1e-6F);   // untouched
+  EXPECT_NEAR(m.params()[0]->value.at(0), 0.9F, 1e-6F);  // decayed
+}
+
+TEST(Sgd, NesterovLooksAhead) {
+  Rng rng(5);
+  Model m = tiny_model(rng, 0.0F);
+  Sgd opt(m, SgdConfig{.lr = 1.0F,
+                       .momentum = 0.5F,
+                       .weight_decay = 0.0F,
+                       .nesterov = true});
+  set_grad(m, 1.0F);
+  opt.step();  // v = 1, update = 0.5*1 + 1 = 1.5
+  EXPECT_NEAR(m.params()[0]->value.at(0), -1.5F, 1e-6F);
+}
+
+TEST(Sgd, LarsScalesByTrustRatio) {
+  Rng rng(6);
+  Model m = tiny_model(rng, 4.0F);
+  SgdConfig cfg;
+  cfg.lr = 1.0F;
+  cfg.momentum = 0.0F;
+  cfg.weight_decay = 0.0F;
+  cfg.lars_trust = 0.1F;
+  Sgd opt(m, cfg);
+  set_grad(m, 2.0F);
+  opt.step();
+  // local_lr = 1.0 * 0.1 * |4| / |2| = 0.2 => w = 4 - 0.2*2 = 3.6.
+  EXPECT_NEAR(m.params()[0]->value.at(0), 3.6F, 1e-5F);
+}
+
+TEST(Sgd, LarsFallsBackWhenNormsVanish) {
+  Rng rng(7);
+  Model m = tiny_model(rng, 0.0F);  // zero weight norm
+  SgdConfig cfg;
+  cfg.lr = 0.5F;
+  cfg.momentum = 0.0F;
+  cfg.lars_trust = 0.1F;
+  Sgd opt(m, cfg);
+  set_grad(m, 1.0F);
+  opt.step();  // plain SGD step
+  EXPECT_NEAR(m.params()[0]->value.at(0), -0.5F, 1e-6F);
+}
+
+TEST(Schedule, ConstantLr) {
+  ConstantLr s(0.3F);
+  EXPECT_FLOAT_EQ(s.lr_at(0.0), 0.3F);
+  EXPECT_FLOAT_EQ(s.lr_at(100.0), 0.3F);
+}
+
+TEST(Schedule, MultiStepDecaysAtMilestones) {
+  MultiStepLr s(1.0F, {10, 20}, 0.1F);
+  EXPECT_FLOAT_EQ(s.lr_at(0.0), 1.0F);
+  EXPECT_FLOAT_EQ(s.lr_at(9.9), 1.0F);
+  EXPECT_FLOAT_EQ(s.lr_at(10.0), 0.1F);
+  EXPECT_NEAR(s.lr_at(25.0), 0.01F, 1e-7F);
+}
+
+TEST(Schedule, MultiStepWarmupRampsLinearly) {
+  MultiStepLr s(1.0F, {}, 0.1F, /*warmup_epochs=*/4.0,
+                /*warmup_start_factor=*/0.25F);
+  EXPECT_FLOAT_EQ(s.lr_at(0.0), 0.25F);
+  EXPECT_NEAR(s.lr_at(2.0), 0.625F, 1e-6F);
+  EXPECT_FLOAT_EQ(s.lr_at(4.0), 1.0F);
+}
+
+TEST(Schedule, CosineDecaysToZero) {
+  CosineLr s(1.0F, 10.0);
+  EXPECT_NEAR(s.lr_at(0.0), 1.0F, 1e-5F);
+  EXPECT_NEAR(s.lr_at(5.0), 0.5F, 1e-5F);
+  EXPECT_NEAR(s.lr_at(10.0), 0.0F, 1e-5F);
+  EXPECT_NEAR(s.lr_at(15.0), 0.0F, 1e-5F);  // clamped past the horizon
+}
+
+TEST(Schedule, CosineWithWarmup) {
+  CosineLr s(2.0F, 10.0, 2.0);
+  EXPECT_LT(s.lr_at(0.0), 0.1F);
+  EXPECT_NEAR(s.lr_at(2.0), 2.0F, 0.05F);
+}
+
+}  // namespace
+}  // namespace dshuf::nn

@@ -1,0 +1,183 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+
+namespace dshuf::data {
+namespace {
+
+InMemoryDataset small_dataset() {
+  ClassClusterSpec spec{.num_classes = 8,
+                        .samples_per_class = 16,
+                        .feature_dim = 4,
+                        .seed = 3};
+  return make_class_clusters(spec);
+}
+
+// Property sweep: every scheme x worker count must produce a partition
+// (exact cover, near-equal sizes).
+class PartitionProperty
+    : public ::testing::TestWithParam<std::tuple<PartitionScheme, int>> {};
+
+TEST_P(PartitionProperty, CoversDatasetExactlyWithBalancedShards) {
+  const auto [scheme, workers] = GetParam();
+  const auto ds = small_dataset();
+  Rng rng(7);
+  const auto shards = partition_dataset(ds, workers, scheme, rng);
+  ASSERT_EQ(shards.size(), static_cast<std::size_t>(workers));
+
+  std::set<SampleId> seen;
+  std::size_t min_sz = ds.size();
+  std::size_t max_sz = 0;
+  for (const auto& s : shards) {
+    min_sz = std::min(min_sz, s.size());
+    max_sz = std::max(max_sz, s.size());
+    for (auto id : s) {
+      EXPECT_LT(id, ds.size());
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate sample " << id;
+    }
+  }
+  EXPECT_EQ(seen.size(), ds.size());
+  EXPECT_LE(max_sz - min_sz, 1U);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndScales, PartitionProperty,
+    ::testing::Combine(::testing::Values(PartitionScheme::kContiguous,
+                                         PartitionScheme::kClassSorted,
+                                         PartitionScheme::kStrided,
+                                         PartitionScheme::kRandom),
+                       ::testing::Values(1, 2, 7, 16, 128)));
+
+TEST(Partition, ClassSortedGroupsByLabel) {
+  const auto ds = small_dataset();
+  Rng rng(7);
+  const auto shards =
+      partition_dataset(ds, 8, PartitionScheme::kClassSorted, rng);
+  // 8 classes x 16 samples over 8 workers: each worker gets exactly one
+  // class.
+  for (const auto& s : shards) {
+    std::set<std::uint32_t> labels;
+    for (auto id : s) labels.insert(ds.label(id));
+    EXPECT_EQ(labels.size(), 1U);
+  }
+}
+
+TEST(Partition, StridedIsNearlyRepresentative) {
+  const auto ds = small_dataset();
+  Rng rng(7);
+  const auto strided =
+      partition_dataset(ds, 8, PartitionScheme::kStrided, rng);
+  const auto sorted =
+      partition_dataset(ds, 8, PartitionScheme::kClassSorted, rng);
+  EXPECT_LT(partition_skew(ds, strided), 0.2);
+  EXPECT_GT(partition_skew(ds, sorted), 0.8);
+  EXPECT_LT(partition_skew(ds, strided), partition_skew(ds, sorted));
+}
+
+TEST(Partition, RandomSchemeIsSeedStable) {
+  const auto ds = small_dataset();
+  Rng a(42);
+  Rng b(42);
+  const auto s1 = partition_dataset(ds, 4, PartitionScheme::kRandom, a);
+  const auto s2 = partition_dataset(ds, 4, PartitionScheme::kRandom, b);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Partition, SingleWorkerGetsEverything) {
+  const auto ds = small_dataset();
+  Rng rng(1);
+  const auto shards =
+      partition_dataset(ds, 1, PartitionScheme::kRandom, rng);
+  EXPECT_EQ(shards[0].size(), ds.size());
+}
+
+TEST(Partition, RejectsDegenerateInputs) {
+  const auto ds = small_dataset();
+  Rng rng(1);
+  EXPECT_THROW(partition_dataset(ds, 0, PartitionScheme::kRandom, rng),
+               CheckError);
+  EXPECT_THROW(
+      partition_dataset(ds, ds.size() + 1, PartitionScheme::kRandom, rng),
+      CheckError);
+}
+
+TEST(Partition, SchemeStringsRoundTrip) {
+  for (auto s : {PartitionScheme::kContiguous, PartitionScheme::kClassSorted,
+                 PartitionScheme::kStrided, PartitionScheme::kRandom}) {
+    EXPECT_EQ(parse_partition_scheme(to_string(s)), s);
+  }
+  EXPECT_THROW(parse_partition_scheme("bogus"), CheckError);
+}
+
+class DirichletProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(DirichletProperty, CoversDatasetWithBalancedShards) {
+  const double alpha = GetParam();
+  const auto ds = small_dataset();
+  Rng rng(11);
+  const auto shards = partition_dataset_dirichlet(ds, 8, alpha, rng);
+  ASSERT_EQ(shards.size(), 8U);
+  std::set<SampleId> seen;
+  std::size_t mn = ds.size();
+  std::size_t mx = 0;
+  for (const auto& s : shards) {
+    mn = std::min(mn, s.size());
+    mx = std::max(mx, s.size());
+    for (auto id : s) EXPECT_TRUE(seen.insert(id).second);
+  }
+  EXPECT_EQ(seen.size(), ds.size());
+  EXPECT_LE(mx - mn, 1U);
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, DirichletProperty,
+                         ::testing::Values(0.05, 0.3, 1.0, 10.0, 100.0));
+
+TEST(Partition, DirichletSkewDecreasesWithAlpha) {
+  const auto ds = small_dataset();
+  Rng r1(3);
+  Rng r2(3);
+  const auto sharp = partition_dataset_dirichlet(ds, 8, 0.05, r1);
+  const auto smooth = partition_dataset_dirichlet(ds, 8, 50.0, r2);
+  EXPECT_GT(partition_skew(ds, sharp), partition_skew(ds, smooth));
+  // Extremes bracket the named schemes.
+  Rng r3(3);
+  const auto sorted =
+      partition_dataset(ds, 8, PartitionScheme::kClassSorted, r3);
+  EXPECT_LT(partition_skew(ds, smooth), 0.3);
+  EXPECT_GT(partition_skew(ds, sorted), partition_skew(ds, sharp) - 0.2);
+}
+
+TEST(Partition, DirichletIsSeedStable) {
+  const auto ds = small_dataset();
+  Rng a(9);
+  Rng b(9);
+  EXPECT_EQ(partition_dataset_dirichlet(ds, 4, 0.5, a),
+            partition_dataset_dirichlet(ds, 4, 0.5, b));
+}
+
+TEST(Partition, DirichletRejectsBadAlpha) {
+  const auto ds = small_dataset();
+  Rng rng(1);
+  EXPECT_THROW(partition_dataset_dirichlet(ds, 4, 0.0, rng), CheckError);
+  EXPECT_THROW(partition_dataset_dirichlet(ds, 4, -1.0, rng), CheckError);
+}
+
+TEST(Partition, SkewIsZeroForPerfectlyRepresentativeShards) {
+  // 2 classes in pairs; strided over 2 workers gives each worker indices
+  // {0,2,4,6} / {1,3,5,7} => labels {0,1,0,1} each: the exact global
+  // distribution.
+  Tensor f({8, 1});
+  InMemoryDataset ds(std::move(f), {0, 0, 1, 1, 0, 0, 1, 1}, 2);
+  Rng rng(1);
+  const auto shards = partition_dataset(ds, 2, PartitionScheme::kStrided, rng);
+  EXPECT_NEAR(partition_skew(ds, shards), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dshuf::data

@@ -1,0 +1,165 @@
+#include "perf/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dshuf::perf {
+namespace {
+
+using shuffle::Strategy;
+
+EpochModel abci_resnet() {
+  return EpochModel(io::abci_profile(), resnet50_profile());
+}
+
+WorkloadShape imagenet(std::size_t workers, std::size_t batch = 32) {
+  return WorkloadShape{.dataset_samples = 1'200'000,
+                       .workers = workers,
+                       .local_batch = batch};
+}
+
+TEST(PerfModel, GlobalIsSlowerThanLocal) {
+  const auto model = abci_resnet();
+  for (std::size_t m : {64U, 128U, 512U, 2048U}) {
+    const auto gs = model.epoch(imagenet(m), Strategy::kGlobal, 0);
+    const auto ls = model.epoch(imagenet(m), Strategy::kLocal, 0);
+    EXPECT_GT(gs.total(), 1.5 * ls.total()) << "m=" << m;
+  }
+}
+
+TEST(PerfModel, GlobalToLocalGapGrowsWithScale) {
+  const auto model = abci_resnet();
+  const auto r128 = model.epoch(imagenet(128), Strategy::kGlobal, 0).total() /
+                    model.epoch(imagenet(128), Strategy::kLocal, 0).total();
+  const auto r2048 =
+      model.epoch(imagenet(2048), Strategy::kGlobal, 0).total() /
+      model.epoch(imagenet(2048), Strategy::kLocal, 0).total();
+  EXPECT_GT(r128, 2.0);   // the paper reports ~5x at 128
+  EXPECT_GT(r2048, r128);  // contention worsens with readers
+}
+
+TEST(PerfModel, PartialLowQMatchesLocalAtModerateScale) {
+  // Fig. 9: partial-0.1 ~ local up to 512 workers.
+  const auto model = abci_resnet();
+  for (std::size_t m : {128U, 512U}) {
+    const auto ls = model.epoch(imagenet(m), Strategy::kLocal, 0);
+    const auto pls = model.epoch(imagenet(m), Strategy::kPartial, 0.1);
+    EXPECT_LT(pls.total(), 1.25 * ls.total()) << "m=" << m;
+  }
+}
+
+TEST(PerfModel, PartialDegradesAtExtremeScale) {
+  // Fig. 9: partial-0.1 visibly degrades at 1024-2048 (fewer iterations to
+  // overlap with + all-to-all congestion).
+  const auto model = abci_resnet();
+  const auto shape = imagenet(2048);
+  const auto ls = model.epoch(shape, Strategy::kLocal, 0);
+  const auto pls = model.epoch(shape, Strategy::kPartial, 0.1);
+  EXPECT_GT(pls.exchange_s, 0.0);
+  EXPECT_GT(pls.total(), 1.1 * ls.total());
+}
+
+TEST(PerfModel, OverlapHidesPartOfTheExchange) {
+  const auto model = abci_resnet();
+  const auto pls = model.epoch(imagenet(64), Strategy::kPartial, 0.1);
+  EXPECT_GT(pls.exchange_raw_s, 0.0);
+  EXPECT_GT(pls.exchange_s, 0.0);
+  EXPECT_LT(pls.exchange_s, pls.exchange_raw_s);  // some of it hides
+  // With many iterations per epoch, the hidden share approaches the
+  // model's overlap ceiling; with one iteration nothing can hide.
+  const WorkloadShape one_iter{.dataset_samples = 64 * 32,
+                               .workers = 64,
+                               .local_batch = 32};
+  const auto tight = model.epoch(one_iter, Strategy::kPartial, 0.1);
+  EXPECT_DOUBLE_EQ(tight.exchange_s, tight.exchange_raw_s);
+}
+
+TEST(PerfModel, StragglerSpreadMatchesPaperAt512) {
+  // DenseNet161 @ 512 workers (Fig. 10): mean ~19.6 s, min ~11.9 s,
+  // max ~142 s. Shape tolerance: right order of magnitude and skew.
+  EpochModel model(io::abci_profile(), densenet161_profile());
+  const auto gs = model.epoch(imagenet(512), Strategy::kGlobal, 0);
+  EXPECT_GT(gs.io_s, 12.0);
+  EXPECT_LT(gs.io_s, 30.0);
+  EXPECT_GT(gs.io_max_s, 80.0);
+  EXPECT_LT(gs.io_max_s, 260.0);
+  EXPECT_GT(gs.io_min_s, 8.0);
+  EXPECT_LT(gs.io_min_s, 16.0);
+  // Local I/O ~8 s with tight spread.
+  const auto ls = model.epoch(imagenet(512), Strategy::kLocal, 0);
+  EXPECT_NEAR(ls.io_s, 8.0, 2.5);
+  EXPECT_LT(ls.io_max_s / ls.io_s, 1.6);
+}
+
+TEST(PerfModel, GradientExchangeInflatedByStragglers) {
+  EpochModel model(io::abci_profile(), densenet161_profile());
+  const auto gs = model.epoch(imagenet(512), Strategy::kGlobal, 0);
+  const auto ls = model.epoch(imagenet(512), Strategy::kLocal, 0);
+  // Fig. 10: GE reaches ~70 s under global vs ~a few seconds local.
+  EXPECT_GT(gs.gewu_s, 5.0 * ls.gewu_s);
+  EXPECT_GT(gs.gewu_s, 40.0);
+  EXPECT_LT(gs.gewu_s, 160.0);
+}
+
+TEST(PerfModel, FwBwIndependentOfStrategy) {
+  const auto model = abci_resnet();
+  const auto shape = imagenet(512);
+  const auto gs = model.epoch(shape, Strategy::kGlobal, 0);
+  const auto ls = model.epoch(shape, Strategy::kLocal, 0);
+  const auto pls = model.epoch(shape, Strategy::kPartial, 0.5);
+  EXPECT_DOUBLE_EQ(gs.fwbw_s, ls.fwbw_s);
+  EXPECT_DOUBLE_EQ(ls.fwbw_s, pls.fwbw_s);
+}
+
+TEST(PerfModel, PartialCostGrowsModeratelyWithQ) {
+  // Fig. 10: partial slows down by up to ~1.37x as Q -> 0.7 vs local.
+  const auto model = abci_resnet();
+  const auto shape = imagenet(512);
+  const auto ls = model.epoch(shape, Strategy::kLocal, 0).total();
+  double prev = ls;
+  for (double q : {0.1, 0.3, 0.5, 0.7}) {
+    const double t = model.epoch(shape, Strategy::kPartial, q).total();
+    EXPECT_GE(t, prev * 0.999) << "q=" << q;  // monotone non-decreasing
+    prev = t;
+  }
+  const double t07 = model.epoch(shape, Strategy::kPartial, 0.7).total();
+  EXPECT_LT(t07 / ls, 2.0);
+  // Partial reads only (1-Q) of the shard from disk, so its I/O is below
+  // local's.
+  const auto p05 = model.epoch(shape, Strategy::kPartial, 0.5);
+  const auto l = model.epoch(shape, Strategy::kLocal, 0);
+  EXPECT_LT(p05.io_s, l.io_s);
+}
+
+TEST(PerfModel, PfsLowerBoundScalesWithDatasetSize) {
+  EpochModel model(io::abci_profile(), deepcam_profile());
+  const WorkloadShape small{.dataset_samples = 61'000, .workers = 1024,
+                            .local_batch = 2};
+  const WorkloadShape big{.dataset_samples = 122'000, .workers = 1024,
+                          .local_batch = 2};
+  EXPECT_NEAR(model.pfs_global_lower_bound(big) /
+                  model.pfs_global_lower_bound(small),
+              2.0, 1e-9);
+}
+
+TEST(PerfModel, DeterministicAcrossCalls) {
+  const auto model = abci_resnet();
+  const auto a = model.epoch(imagenet(256), Strategy::kGlobal, 0);
+  const auto b = model.epoch(imagenet(256), Strategy::kGlobal, 0);
+  EXPECT_DOUBLE_EQ(a.total(), b.total());
+  EXPECT_DOUBLE_EQ(a.io_max_s, b.io_max_s);
+}
+
+TEST(PerfModel, RejectsDegenerateShapes) {
+  const auto model = abci_resnet();
+  EXPECT_THROW((void)model.epoch({.dataset_samples = 10, .workers = 0,
+                            .local_batch = 1},
+                           Strategy::kLocal, 0),
+               CheckError);
+  EXPECT_THROW((void)model.epoch({.dataset_samples = 10, .workers = 20,
+                            .local_batch = 1},
+                           Strategy::kLocal, 0),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace dshuf::perf

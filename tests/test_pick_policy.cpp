@@ -1,0 +1,131 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/workloads.hpp"
+#include "shuffle/shuffler.hpp"
+#include "sim/trainer.hpp"
+
+namespace dshuf::shuffle {
+namespace {
+
+std::vector<std::vector<SampleId>> make_shards(std::size_t n,
+                                               std::size_t workers) {
+  std::vector<std::vector<SampleId>> shards(workers);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards[i % workers].push_back(static_cast<SampleId>(i));
+  }
+  return shards;
+}
+
+TEST(PickPolicy, HighLossExportsTopScoredSamples) {
+  const std::size_t n = 32;
+  PartialLocalShuffler pls(make_shards(n, 2), 0.25, 7);
+  pls.set_pick_policy(PickPolicy::kHighLoss);
+  // Score = id: worker 0 holds even ids, its top-4 are 30, 28, 26, 24.
+  std::vector<float> scores(n);
+  for (std::size_t i = 0; i < n; ++i) scores[i] = static_cast<float>(i);
+  pls.set_sample_scores(scores);
+  pls.begin_epoch(0);
+  // The exported samples left worker 0's shard (unless bounced back by a
+  // self-send, which cannot happen for all four across distinct rounds
+  // with M = 2... it can; instead verify via received side: union check).
+  // Strongest direct check: worker 0 no longer holds {24, 26, 28, 30}
+  // except any that were routed straight back to it.
+  std::size_t still_held = 0;
+  for (auto id : pls.local_order(0)) {
+    if (id == 24 || id == 26 || id == 28 || id == 30) ++still_held;
+  }
+  // With M = 2 roughly half the rounds are self-sends in expectation;
+  // verify at least one top sample actually moved.
+  EXPECT_LT(still_held, 4U);
+}
+
+TEST(PickPolicy, HighAndLowSelectOppositeEnds) {
+  const std::size_t n = 40;
+  std::vector<float> scores(n);
+  for (std::size_t i = 0; i < n; ++i) scores[i] = static_cast<float>(i % 10);
+
+  auto run = [&](PickPolicy p) {
+    PartialLocalShuffler pls(make_shards(n, 4), 0.2, 7);
+    pls.set_pick_policy(p);
+    pls.set_sample_scores(scores);
+    pls.begin_epoch(0);
+    return pls;
+  };
+  // Both policies keep the exchange balanced and conserve samples.
+  for (auto p : {PickPolicy::kHighLoss, PickPolicy::kLowLoss}) {
+    auto pls = run(p);
+    std::multiset<SampleId> all;
+    for (int w = 0; w < 4; ++w) {
+      all.insert(pls.local_order(w).begin(), pls.local_order(w).end());
+    }
+    EXPECT_EQ(all.size(), n);
+    EXPECT_EQ(std::set<SampleId>(all.begin(), all.end()).size(), n);
+    const auto* stats = pls.last_stats();
+    for (auto s : stats->sent_per_worker) EXPECT_EQ(s, 2U);
+  }
+}
+
+TEST(PickPolicy, WithoutScoresFallsBackToUniform) {
+  PartialLocalShuffler a(make_shards(64, 4), 0.25, 9);
+  PartialLocalShuffler b(make_shards(64, 4), 0.25, 9);
+  b.set_pick_policy(PickPolicy::kHighLoss);  // no scores provided
+  a.begin_epoch(0);
+  b.begin_epoch(0);
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_EQ(a.local_order(w), b.local_order(w));
+  }
+}
+
+TEST(PickPolicy, DeterministicTieBreakById) {
+  const std::size_t n = 24;
+  std::vector<float> same(n, 1.0F);  // all-equal scores
+  auto run = [&] {
+    PartialLocalShuffler pls(make_shards(n, 2), 0.5, 3);
+    pls.set_pick_policy(PickPolicy::kHighLoss);
+    pls.set_sample_scores(same);
+    pls.begin_epoch(0);
+    std::vector<std::vector<SampleId>> out;
+    for (int w = 0; w < 2; ++w) out.push_back(pls.local_order(w));
+    return out;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(PickPolicy, ToString) {
+  EXPECT_EQ(to_string(PickPolicy::kUniform), "uniform");
+  EXPECT_EQ(to_string(PickPolicy::kHighLoss), "high-loss");
+  EXPECT_EQ(to_string(PickPolicy::kLowLoss), "low-loss");
+}
+
+TEST(PickPolicy, TrainerIntegrationRunsAndExchanges) {
+  data::Workload w = data::find_workload("imagenet1k-resnet50");
+  w.data.num_classes = 8;
+  w.data.samples_per_class = 32;
+  w.data.feature_dim = 12;
+  w.model.input_dim = 12;
+  w.model.num_classes = 8;
+  w.model.hidden = {16};
+  w.regime.epochs = 4;
+  w.regime.reference_batch = 32;
+
+  for (auto policy :
+       {shuffle::PickPolicy::kHighLoss, shuffle::PickPolicy::kLowLoss}) {
+    sim::SimConfig cfg;
+    cfg.workers = 4;
+    cfg.local_batch = 8;
+    cfg.strategy = Strategy::kPartial;
+    cfg.q = 0.25;
+    cfg.seed = 5;
+    cfg.max_eval_samples = 0;
+    cfg.pick_policy = policy;
+    const auto res = sim::run_workload_experiment(w, cfg);
+    EXPECT_EQ(res.epochs.size(), 4U);
+    for (const auto& e : res.epochs) EXPECT_GT(e.samples_exchanged, 0U);
+    EXPECT_GT(res.best_top1, 0.2);  // still learns
+  }
+}
+
+}  // namespace
+}  // namespace dshuf::shuffle

@@ -1,0 +1,163 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dshuf {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ForkIsDeterministicAndDoesNotAdvanceParent) {
+  Rng parent(7);
+  const auto before = Rng(7).next();
+  Rng c1 = parent.fork(1, 2, 3);
+  Rng c2 = parent.fork(1, 2, 3);
+  EXPECT_EQ(c1.next(), c2.next());
+  EXPECT_EQ(parent.next(), before);
+}
+
+TEST(Rng, ForkTagsProduceIndependentStreams) {
+  Rng parent(7);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, UniformU64RespectsBound) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform_u64(17), 17U);
+  }
+}
+
+TEST(Rng, UniformU64IsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_u64(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 7 dof; 99.9th percentile ~ 24.3.
+  EXPECT_LT(chi2, 24.3);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(-2, 2));
+  EXPECT_EQ(seen.size(), 5U);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  constexpr int kDraws = 50000;
+  double sum = 0;
+  double sum2 = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum2 / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, PermutationIsBijective) {
+  Rng rng(17);
+  const auto p = rng.permutation(257);
+  std::vector<bool> seen(257, false);
+  for (auto v : p) {
+    ASSERT_LT(v, 257U);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Rng, PermutationActuallyShuffles) {
+  Rng rng(19);
+  const auto p = rng.permutation(100);
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] == i) ++fixed;
+  }
+  EXPECT_LT(fixed, 10U);  // expected ~1 fixed point
+}
+
+TEST(Rng, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(23);
+  const auto s = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(s.size(), 20U);
+  std::set<std::uint32_t> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 20U);
+  for (auto v : s) EXPECT_LT(v, 50U);
+}
+
+TEST(Rng, SampleWithoutReplacementFullPopulation) {
+  Rng rng(29);
+  const auto s = rng.sample_without_replacement(10, 10);
+  std::set<std::uint32_t> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 10U);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(31);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), CheckError);
+}
+
+TEST(Rng, ShuffleIsSeedStable) {
+  std::vector<int> a{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> b = a;
+  Rng r1(99);
+  Rng r2(99);
+  r1.shuffle(a);
+  r2.shuffle(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, UniformU64RejectsZeroBound) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_u64(0), CheckError);
+}
+
+}  // namespace
+}  // namespace dshuf

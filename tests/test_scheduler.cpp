@@ -1,0 +1,137 @@
+#include "shuffle/scheduler.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "shuffle/shuffler.hpp"
+
+namespace dshuf::shuffle {
+namespace {
+
+std::vector<std::vector<SampleId>> make_shards(std::size_t n,
+                                               std::size_t workers) {
+  std::vector<std::vector<SampleId>> shards(workers);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards[i % workers].push_back(static_cast<SampleId>(i));
+  }
+  return shards;
+}
+
+void run_epoch(Scheduler& s, std::size_t epoch) {
+  s.scheduling(epoch);
+  const std::size_t iters = s.iterations_per_epoch();
+  for (std::size_t it = 0; it < iters; ++it) {
+    const auto chunk = s.communicate(it);
+    s.synchronize(chunk);
+  }
+  s.clean_local_storage();
+}
+
+TEST(Scheduler, LifecycleMatchesPaperProtocol) {
+  Scheduler s(make_shards(80, 4), 0.25, /*local_batch=*/5, /*seed=*/7);
+  EXPECT_EQ(s.iterations_per_epoch(), 4U);  // 20 / 5
+  run_epoch(s, 0);
+  const auto& stats = s.last_stats();
+  const std::size_t quota = exchange_quota(20, 0.25);
+  for (std::size_t w = 0; w < 4; ++w) {
+    EXPECT_EQ(stats.sent_per_worker[w], quota);
+    EXPECT_EQ(stats.received_per_worker[w], quota);
+  }
+}
+
+// The equivalence the Scheduler promises: after each epoch, shard CONTENTS
+// (id multisets per worker) match PartialLocalShuffler for the same
+// (seed, epoch, Q).
+TEST(Scheduler, ShardContentsMatchPartialLocalShuffler) {
+  const double q = 0.3;
+  const std::uint64_t seed = 55;
+  Scheduler sched(make_shards(96, 6), q, 4, seed);
+  PartialLocalShuffler pls(make_shards(96, 6), q, seed);
+  for (std::size_t e = 0; e < 4; ++e) {
+    run_epoch(sched, e);
+    pls.begin_epoch(e);
+    for (std::size_t w = 0; w < 6; ++w) {
+      const auto& a = sched.stores()[w].ids();
+      const auto& b = pls.stores()[w].ids();
+      EXPECT_EQ(std::multiset<SampleId>(a.begin(), a.end()),
+                std::multiset<SampleId>(b.begin(), b.end()))
+          << "worker " << w << " epoch " << e;
+    }
+  }
+}
+
+TEST(Scheduler, ChunksDeliverQTimesBatchPerIteration) {
+  // Q = 0.5, b = 4 => 2 rounds per iteration; quota 10 over 5 iterations.
+  Scheduler s(make_shards(80, 4), 0.5, 4, 7);
+  s.scheduling(0);
+  std::size_t total = 0;
+  for (std::size_t it = 0; it < s.iterations_per_epoch(); ++it) {
+    const auto chunk = s.communicate(it);
+    EXPECT_LE(chunk.num_rounds, 2U);
+    total += chunk.num_rounds;
+    s.synchronize(chunk);
+  }
+  EXPECT_EQ(total, exchange_quota(20, 0.5));
+  s.clean_local_storage();
+}
+
+TEST(Scheduler, CleanFlushesUndeliveredRounds) {
+  // Never call communicate(): clean_local_storage must still complete the
+  // exchange (Algorithm 1 line 7).
+  Scheduler s(make_shards(40, 4), 0.5, 5, 7);
+  s.scheduling(0);
+  s.clean_local_storage();
+  const auto& stats = s.last_stats();
+  for (std::size_t w = 0; w < 4; ++w) {
+    EXPECT_EQ(stats.sent_per_worker[w], exchange_quota(10, 0.5));
+  }
+}
+
+TEST(Scheduler, CurrentEpochOrderIsPreExchange) {
+  // Fig. 4 semantics: the samples trained on in epoch e are the shard as
+  // of the START of epoch e.
+  auto shards = make_shards(40, 4);
+  const std::set<SampleId> w0(shards[0].begin(), shards[0].end());
+  Scheduler s(std::move(shards), 1.0, 5, 7);
+  s.scheduling(0);
+  for (auto id : s.local_order(0)) {
+    EXPECT_TRUE(w0.count(id)) << "trained on a sample received mid-epoch";
+  }
+}
+
+TEST(Scheduler, ConservationAcrossEpochs) {
+  Scheduler s(make_shards(60, 5), 0.4, 3, 21);
+  std::multiset<SampleId> expected;
+  for (std::size_t i = 0; i < 60; ++i) {
+    expected.insert(static_cast<SampleId>(i));
+  }
+  for (std::size_t e = 0; e < 4; ++e) {
+    run_epoch(s, e);
+    std::multiset<SampleId> got;
+    for (const auto& store : s.stores()) {
+      got.insert(store.ids().begin(), store.ids().end());
+    }
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(Scheduler, MisuseIsRejected) {
+  Scheduler s(make_shards(40, 4), 0.5, 5, 7);
+  EXPECT_THROW(s.communicate(0), CheckError);          // before scheduling
+  EXPECT_THROW(s.clean_local_storage(), CheckError);   // before scheduling
+  s.scheduling(0);
+  EXPECT_THROW(s.scheduling(1), CheckError);           // double-open
+  s.clean_local_storage();
+  EXPECT_NO_THROW(s.scheduling(1));
+  s.clean_local_storage();
+}
+
+TEST(Scheduler, QZeroIsPureLocal) {
+  Scheduler s(make_shards(40, 4), 0.0, 5, 7);
+  run_epoch(s, 0);
+  EXPECT_EQ(s.last_stats().total_sent(), 0U);
+}
+
+}  // namespace
+}  // namespace dshuf::shuffle

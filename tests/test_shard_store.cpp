@@ -1,0 +1,78 @@
+#include "shuffle/shard_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dshuf::shuffle {
+namespace {
+
+TEST(ShardStore, InitialisesWithShard) {
+  ShardStore s({1, 2, 3}, 5);
+  EXPECT_EQ(s.size(), 3U);
+  EXPECT_EQ(s.capacity(), 5U);
+  EXPECT_EQ(s.peak_occupancy(), 3U);
+}
+
+TEST(ShardStore, AddTracksPeak) {
+  ShardStore s({1, 2}, 4);
+  s.add(3);
+  s.add(4);
+  EXPECT_EQ(s.peak_occupancy(), 4U);
+  s.remove_id(1);
+  s.remove_id(2);
+  EXPECT_EQ(s.size(), 2U);
+  EXPECT_EQ(s.peak_occupancy(), 4U);  // peak is sticky
+  s.reset_peak();
+  EXPECT_EQ(s.peak_occupancy(), 2U);
+}
+
+TEST(ShardStore, EnforcesCapacity) {
+  ShardStore s({1, 2, 3}, 4);
+  s.add(4);
+  EXPECT_THROW(s.add(5), CheckError);
+}
+
+TEST(ShardStore, ZeroCapacityMeansUnlimited) {
+  ShardStore s({1}, 0);
+  for (SampleId id = 2; id < 100; ++id) s.add(id);
+  EXPECT_EQ(s.size(), 99U);
+  EXPECT_FALSE(s.over_capacity());
+}
+
+TEST(ShardStore, RemoveSlotSwapsWithLast) {
+  ShardStore s({10, 20, 30}, 0);
+  s.remove_slot(0);
+  EXPECT_EQ(s.size(), 2U);
+  EXPECT_EQ(s.ids()[0], 30U);  // last element moved into the hole
+  EXPECT_THROW(s.remove_slot(5), CheckError);
+}
+
+TEST(ShardStore, RemoveIdRequiresPresence) {
+  ShardStore s({10, 20}, 0);
+  s.remove_id(10);
+  EXPECT_EQ(s.size(), 1U);
+  EXPECT_THROW(s.remove_id(10), CheckError);
+}
+
+TEST(ShardStore, DuplicateIdsRemoveOneInstance) {
+  // Self-sends transiently duplicate an id: add then remove must leave one.
+  ShardStore s({7}, 0);
+  s.add(7);
+  EXPECT_EQ(s.size(), 2U);
+  s.remove_id(7);
+  EXPECT_EQ(s.size(), 1U);
+  EXPECT_EQ(s.ids()[0], 7U);
+}
+
+TEST(ShardStore, RejectsInitialOverCapacity) {
+  EXPECT_THROW(ShardStore({1, 2, 3}, 2), CheckError);
+}
+
+TEST(PlsCapacity, MatchesShardPlusQuota) {
+  EXPECT_EQ(pls_capacity(100, 0.0), 100U);
+  EXPECT_EQ(pls_capacity(100, 0.1), 110U);
+  EXPECT_EQ(pls_capacity(100, 1.0), 200U);
+  EXPECT_EQ(pls_capacity(3, 0.5), 5U);  // ceil(1.5) = 2 extra
+}
+
+}  // namespace
+}  // namespace dshuf::shuffle

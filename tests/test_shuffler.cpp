@@ -1,0 +1,248 @@
+#include "shuffle/shuffler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace dshuf::shuffle {
+namespace {
+
+std::vector<std::vector<SampleId>> make_shards(std::size_t n,
+                                               std::size_t workers) {
+  std::vector<std::vector<SampleId>> shards(workers);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards[i % workers].push_back(static_cast<SampleId>(i));
+  }
+  return shards;
+}
+
+std::multiset<SampleId> all_ids(const Shuffler& s) {
+  std::multiset<SampleId> ids;
+  for (int w = 0; w < s.workers(); ++w) {
+    for (auto id : s.local_order(w)) ids.insert(id);
+  }
+  return ids;
+}
+
+// ---------------------------------------------------------------- Global --
+
+TEST(GlobalShuffler, EachEpochIsAPermutationOfTheDataset) {
+  GlobalShuffler gs(100, 7, 5);
+  for (std::size_t e = 0; e < 3; ++e) {
+    gs.begin_epoch(e);
+    const auto ids = all_ids(gs);
+    EXPECT_EQ(ids.size(), 100U);
+    EXPECT_EQ(std::set<SampleId>(ids.begin(), ids.end()).size(), 100U);
+  }
+}
+
+TEST(GlobalShuffler, EpochsDiffer) {
+  GlobalShuffler gs(64, 4, 5);
+  gs.begin_epoch(0);
+  const auto o0 = gs.local_order(0);
+  gs.begin_epoch(1);
+  EXPECT_NE(gs.local_order(0), o0);
+}
+
+TEST(GlobalShuffler, WorkerAssignmentsChangeAcrossEpochs) {
+  // The whole point of global shuffling: a worker sees different samples
+  // each epoch.
+  GlobalShuffler gs(1000, 10, 5);
+  gs.begin_epoch(0);
+  std::set<SampleId> w0_e0(gs.local_order(0).begin(),
+                           gs.local_order(0).end());
+  gs.begin_epoch(1);
+  std::size_t common = 0;
+  for (auto id : gs.local_order(0)) common += w0_e0.count(id);
+  EXPECT_LT(common, 40U);  // ~10 expected from 100 draws over 1000
+}
+
+TEST(GlobalShuffler, StridedDealBalances) {
+  GlobalShuffler gs(103, 10, 5);  // non-divisible
+  gs.begin_epoch(0);
+  std::size_t mn = SIZE_MAX;
+  std::size_t mx = 0;
+  for (int w = 0; w < 10; ++w) {
+    mn = std::min(mn, gs.local_order(w).size());
+    mx = std::max(mx, gs.local_order(w).size());
+  }
+  EXPECT_LE(mx - mn, 1U);
+}
+
+// ----------------------------------------------------------------- Local --
+
+TEST(LocalShuffler, ShardMultisetNeverChanges) {
+  auto shards = make_shards(60, 5);
+  const auto shard2 = std::set<SampleId>(shards[2].begin(), shards[2].end());
+  LocalShuffler ls(std::move(shards), 5);
+  for (std::size_t e = 0; e < 4; ++e) {
+    ls.begin_epoch(e);
+    const auto& order = ls.local_order(2);
+    EXPECT_EQ(std::set<SampleId>(order.begin(), order.end()), shard2);
+  }
+}
+
+TEST(LocalShuffler, OrderChangesAcrossEpochs) {
+  LocalShuffler ls(make_shards(60, 2), 5);
+  ls.begin_epoch(0);
+  const auto o0 = ls.local_order(0);
+  ls.begin_epoch(1);
+  EXPECT_NE(ls.local_order(0), o0);
+}
+
+// --------------------------------------------------------------- Partial --
+
+// Conservation property, swept over (workers, Q): the union of all shards
+// is invariant under any number of exchange epochs — no sample is lost or
+// duplicated.
+class ConservationProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ConservationProperty, SampleMultisetInvariantOverEpochs) {
+  const auto [workers, q] = GetParam();
+  const std::size_t n = 96;
+  PartialLocalShuffler pls(make_shards(n, workers), q, 11);
+  std::multiset<SampleId> expected;
+  for (std::size_t i = 0; i < n; ++i) {
+    expected.insert(static_cast<SampleId>(i));
+  }
+  for (std::size_t e = 0; e < 5; ++e) {
+    pls.begin_epoch(e);
+    EXPECT_EQ(all_ids(pls), expected) << "epoch " << e;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkersAndQ, ConservationProperty,
+    ::testing::Combine(::testing::Values(1, 2, 4, 12, 32),
+                       ::testing::Values(0.0, 0.05, 0.3, 0.7, 1.0)));
+
+TEST(PartialLocalShuffler, ShardSizesStayBalanced) {
+  PartialLocalShuffler pls(make_shards(100, 8), 0.4, 3);
+  for (std::size_t e = 0; e < 4; ++e) {
+    pls.begin_epoch(e);
+    for (int w = 0; w < 8; ++w) {
+      const auto sz = pls.local_order(w).size();
+      EXPECT_TRUE(sz == 12 || sz == 13) << "worker " << w << " size " << sz;
+    }
+  }
+}
+
+TEST(PartialLocalShuffler, StatsReportBalancedVolumes) {
+  PartialLocalShuffler pls(make_shards(120, 6), 0.25, 3);
+  pls.begin_epoch(0);
+  const auto* stats = pls.last_stats();
+  ASSERT_NE(stats, nullptr);
+  const std::size_t quota = exchange_quota(20, 0.25);  // 5
+  for (std::size_t w = 0; w < 6; ++w) {
+    EXPECT_EQ(stats->sent_per_worker[w], quota);
+    EXPECT_EQ(stats->received_per_worker[w], quota);
+    EXPECT_EQ(stats->local_reads_per_worker[w], 20 - quota);
+  }
+}
+
+TEST(PartialLocalShuffler, StorageBoundIsOnePlusQ) {
+  const double q = 0.3;
+  PartialLocalShuffler pls(make_shards(80, 4), q, 3);
+  for (std::size_t e = 0; e < 3; ++e) {
+    pls.begin_epoch(e);
+    const auto* stats = pls.last_stats();
+    for (std::size_t w = 0; w < 4; ++w) {
+      EXPECT_LE(stats->peak_occupancy_per_worker[w], pls_capacity(20, q));
+      // The (1+Q) window is actually reached (adds before removes).
+      EXPECT_EQ(stats->peak_occupancy_per_worker[w], 20 + 6);
+    }
+  }
+}
+
+TEST(PartialLocalShuffler, QZeroNeverExchanges) {
+  PartialLocalShuffler pls(make_shards(40, 4), 0.0, 3);
+  const auto initial = make_shards(40, 4);
+  for (std::size_t e = 0; e < 3; ++e) {
+    pls.begin_epoch(e);
+    EXPECT_EQ(pls.last_stats()->total_sent(), 0U);
+    for (int w = 0; w < 4; ++w) {
+      const auto& order = pls.local_order(w);
+      EXPECT_EQ(std::set<SampleId>(order.begin(), order.end()),
+                std::set<SampleId>(initial[w].begin(), initial[w].end()));
+    }
+  }
+}
+
+TEST(PartialLocalShuffler, QOneExchangesEverySample) {
+  PartialLocalShuffler pls(make_shards(48, 4), 1.0, 3);
+  pls.begin_epoch(0);
+  const auto* stats = pls.last_stats();
+  for (std::size_t w = 0; w < 4; ++w) {
+    EXPECT_EQ(stats->sent_per_worker[w], 12U);
+    EXPECT_EQ(stats->local_reads_per_worker[w], 0U);
+  }
+}
+
+TEST(PartialLocalShuffler, ShardsActuallyMixOverEpochs) {
+  const std::size_t n = 128;
+  auto shards = make_shards(n, 8);
+  const std::set<SampleId> w0_initial(shards[0].begin(), shards[0].end());
+  PartialLocalShuffler pls(std::move(shards), 0.2, 7);
+  for (std::size_t e = 0; e < 10; ++e) pls.begin_epoch(e);
+  const auto& order = pls.local_order(0);
+  std::size_t still_original = 0;
+  for (auto id : order) still_original += w0_initial.count(id);
+  // After 10 epochs of 20% exchange, most of the original shard is gone.
+  EXPECT_LT(still_original, 10U);
+}
+
+TEST(PartialLocalShuffler, DeterministicForSeed) {
+  PartialLocalShuffler a(make_shards(64, 4), 0.25, 99);
+  PartialLocalShuffler b(make_shards(64, 4), 0.25, 99);
+  for (std::size_t e = 0; e < 3; ++e) {
+    a.begin_epoch(e);
+    b.begin_epoch(e);
+    for (int w = 0; w < 4; ++w) {
+      EXPECT_EQ(a.local_order(w), b.local_order(w));
+    }
+  }
+}
+
+TEST(PartialLocalShuffler, LabelReflectsQ) {
+  PartialLocalShuffler pls(make_shards(16, 2), 0.25, 1);
+  EXPECT_EQ(pls.label(), "partial-0.25");
+}
+
+TEST(PartialLocalShuffler, SingleWorkerDegeneratesToLocal) {
+  PartialLocalShuffler pls(make_shards(16, 1), 0.5, 1);
+  pls.begin_epoch(0);
+  EXPECT_EQ(pls.local_order(0).size(), 16U);
+  EXPECT_EQ(pls.last_stats()->total_sent(), 0U);
+}
+
+TEST(PartialLocalShuffler, RejectsInvalidQ) {
+  EXPECT_THROW(PartialLocalShuffler(make_shards(16, 2), 1.5, 1), CheckError);
+  EXPECT_THROW(PartialLocalShuffler(make_shards(16, 2), -0.1, 1), CheckError);
+}
+
+TEST(Factory, BuildsAllStrategies) {
+  auto g = make_shuffler(Strategy::kGlobal, 0, 32, make_shards(32, 4), 1);
+  auto l = make_shuffler(Strategy::kLocal, 0, 32, make_shards(32, 4), 1);
+  auto p = make_shuffler(Strategy::kPartial, 0.5, 32, make_shards(32, 4), 1);
+  EXPECT_EQ(g->label(), "global");
+  EXPECT_EQ(l->label(), "local");
+  EXPECT_EQ(p->label(), "partial-0.5");
+  for (auto* s : {g.get(), l.get(), p.get()}) {
+    s->begin_epoch(0);
+    EXPECT_EQ(all_ids(*s).size(), 32U);
+  }
+}
+
+TEST(StrategyStrings, RoundTrip) {
+  for (auto s : {Strategy::kGlobal, Strategy::kLocal, Strategy::kPartial}) {
+    EXPECT_EQ(parse_strategy(to_string(s)), s);
+  }
+  EXPECT_THROW(parse_strategy("bogus"), CheckError);
+}
+
+}  // namespace
+}  // namespace dshuf::shuffle

@@ -1,0 +1,138 @@
+#include "shuffle/shuffling_error.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace dshuf::shuffle {
+namespace {
+
+TEST(LogSigma, FiniteAndPositiveForPracticalSettings) {
+  const double s = log_sigma(1.2e6, 512, 0.1);
+  EXPECT_TRUE(std::isfinite(s));
+  EXPECT_GT(s, 0.0);
+}
+
+TEST(LogSigma, StaysBelowLogTotalPermutationsAtScale) {
+  // In the regime the paper argues about (large N, moderate Q) sigma is a
+  // vanishing fraction of N!. NOTE: the paper's Equation 9 is a loose
+  // COUNT that overcounts for small N (sigma can exceed N!; e.g. n = 8,
+  // m = 2, q = 0.5 gives sigma = 82944 > 8! = 40320) — shuffling_error()
+  // clamps the resulting ratio, and this test pins the regime where the
+  // bound is meaningful.
+  for (double n : {1e5, 1.2e6}) {
+    for (double m : {64.0, 512.0, 4096.0}) {
+      EXPECT_LT(log_sigma(n, m, 0.1), log_total_permutations(n))
+          << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(LogSigma, PaperEquationOvercountsForTinyDatasets) {
+  // Documents the small-N looseness explicitly (see note above).
+  EXPECT_GT(log_sigma(8, 2, 0.5), log_total_permutations(8));
+  EXPECT_NEAR(shuffling_error(8, 2, 0.5), 0.0, 1e-12);  // clamped
+}
+
+TEST(ShufflingError, IsInUnitInterval) {
+  for (double q : {0.0, 0.3, 1.0}) {
+    const double e = shuffling_error(1000, 10, q);
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 1.0);
+  }
+}
+
+// The paper's Section IV-B conclusion: for ImageNet-scale N and any
+// practical M, the shuffling error is ~1.
+TEST(ShufflingError, ApproachesOneForPracticalSettings) {
+  // NOTE: the paper claims this for 4 <= M <= 100,000, but its Equation 9
+  // overcounts for very small M (sigma > N! already at M = 4 for
+  // ImageNet-scale N, where the clamp yields 0) — we pin the claim where
+  // the count is meaningful, M >= 64.
+  const double n = 1.2e6;
+  for (double m : {64.0, 512.0, 4096.0, 100000.0}) {
+    EXPECT_GT(shuffling_error(n, m, 0.1), 0.999) << "m=" << m;
+  }
+}
+
+TEST(ShufflingError, SingleWorkerFullShuffleHasZeroError) {
+  // m = 1, q arbitrary: sigma = (N/1)! * 1 * 1 * 0! = N! => error 0.
+  EXPECT_NEAR(shuffling_error(50, 1, 0.0), 0.0, 1e-9);
+  EXPECT_NEAR(shuffling_error(50, 1, 1.0), 0.0, 1e-9);
+}
+
+TEST(ShufflingError, GrowsWithWorkerCountForSmallN) {
+  // With a tiny dataset the error is measurably below 1 and increases as
+  // the partition count grows (fewer consistent permutations).
+  const double e2 = shuffling_error(8, 2, 0.5);
+  const double e4 = shuffling_error(8, 4, 0.5);
+  EXPECT_LT(e2, e4);
+}
+
+TEST(ShufflingError, TinyCaseAgainstHandComputation) {
+  // n = 4, m = 2, q = 0.5: per = 2, rest = 2, ex = 1.
+  // log sigma = log(2!) + log(2!/1!) + log(2!/1!) + log(2!)
+  //           = log 2 + log 2 + log 2 + log 2 = log 16.
+  EXPECT_NEAR(log_sigma(4, 2, 0.5), std::log(16.0), 1e-9);
+  // error = 1 - 16/24 = 1/3.
+  EXPECT_NEAR(shuffling_error(4, 2, 0.5), 1.0 / 3.0, 1e-9);
+}
+
+TEST(DominationThreshold, MatchesFormula) {
+  EXPECT_NEAR(domination_threshold(1.2e6, 512, 32),
+              std::sqrt(32.0 * 512.0 / 1.2e6), 1e-12);
+}
+
+TEST(ErrorDominates, TrueForImagenetScale) {
+  // The paper: error ~ 1 dominates the bound whenever the global minibatch
+  // is below 100K (M >= 64 per the Equation-9 looseness note above).
+  for (double m : {64.0, 512.0, 100000.0}) {
+    ErrorParams p{.n = 1.2e6, .m = m, .q = 0.1, .b = 32};
+    if (p.b * p.m < 100000) {
+      EXPECT_TRUE(error_dominates(p)) << "m=" << m;
+    }
+  }
+}
+
+TEST(ErrorDominates, FalseForSingleWorker) {
+  ErrorParams p{.n = 1000, .m = 1, .q = 1.0, .b = 32};
+  EXPECT_FALSE(error_dominates(p));
+}
+
+TEST(BoundTerms, AllFiniteAndOrderedAsExpected) {
+  ErrorParams p{.n = 1.2e6, .m = 512, .q = 0.1, .b = 32};
+  const auto t = bound_terms(p, 90);
+  EXPECT_TRUE(std::isfinite(t.statistical));
+  EXPECT_TRUE(std::isfinite(t.optimization));
+  EXPECT_TRUE(std::isfinite(t.shuffling));
+  // With error ~ 1 the shuffling term dominates both other terms — the
+  // paper's core theoretical observation.
+  EXPECT_GT(t.shuffling, t.statistical);
+  EXPECT_GT(t.shuffling, t.optimization);
+}
+
+TEST(ShufflingError, RejectsInvalidInputs) {
+  EXPECT_THROW(log_sigma(0, 2, 0.5), CheckError);
+  EXPECT_THROW(log_sigma(10, 0.5, 0.5), CheckError);
+  EXPECT_THROW(log_sigma(10, 2, 1.5), CheckError);
+}
+
+TEST(MathX, LogFactorialMatchesExactSmallValues) {
+  EXPECT_NEAR(log_factorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-9);
+  EXPECT_NEAR(log_falling_factorial(5, 2), std::log(20.0), 1e-9);
+  EXPECT_THROW(log_falling_factorial(3, 4), CheckError);
+}
+
+TEST(MathX, ExpLogRatioHandlesExtremes) {
+  EXPECT_DOUBLE_EQ(exp_log_ratio(0.0, 0.0), 1.0);
+  EXPECT_EQ(exp_log_ratio(0.0, 1e6), 0.0);          // underflow -> 0
+  EXPECT_GT(exp_log_ratio(1e6, 0.0), 1e300);        // saturates, no inf
+  EXPECT_TRUE(std::isfinite(exp_log_ratio(1e6, 0.0)));
+}
+
+}  // namespace
+}  // namespace dshuf::shuffle

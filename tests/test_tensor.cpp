@@ -1,0 +1,161 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dshuf {
+namespace {
+
+TEST(Tensor, ZeroInitialisedWithShape) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2U);
+  EXPECT_EQ(t.rows(), 2U);
+  EXPECT_EQ(t.cols(), 3U);
+  EXPECT_EQ(t.size(), 6U);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.at(i), 0.0F);
+}
+
+TEST(Tensor, AdoptDataChecksSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), CheckError);
+}
+
+TEST(Tensor, FullAndFill) {
+  auto t = Tensor::full({3}, 2.5F);
+  EXPECT_EQ(t.at(1), 2.5F);
+  t.fill(-1.0F);
+  EXPECT_EQ(t.at(2), -1.0F);
+}
+
+TEST(Tensor, RandnUsesStddev) {
+  Rng rng(5);
+  auto t = Tensor::randn({1000}, rng, 0.1F);
+  double s2 = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) s2 += t.at(i) * t.at(i);
+  EXPECT_NEAR(s2 / 1000.0, 0.01, 0.002);
+}
+
+TEST(Tensor, At2DIndexing) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 0), 1.0F);
+  EXPECT_EQ(t.at(1, 2), 6.0F);
+  EXPECT_THROW(t.at(2, 0), CheckError);
+  EXPECT_THROW(t.at(0, 3), CheckError);
+}
+
+TEST(Tensor, ReshapePreservesCount) {
+  Tensor t({2, 3});
+  t.reshape({3, 2});
+  EXPECT_EQ(t.rows(), 3U);
+  EXPECT_THROW(t.reshape({4, 2}), CheckError);
+}
+
+TEST(Tensor, AxpyAndScale) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a.axpy(0.5F, b);
+  EXPECT_EQ(a.at(0), 6.0F);
+  EXPECT_EQ(a.at(2), 18.0F);
+  a.scale(2.0F);
+  EXPECT_EQ(a.at(1), 24.0F);
+}
+
+TEST(Tensor, AxpyRejectsMismatchedSizes) {
+  Tensor a({3});
+  Tensor b({4});
+  EXPECT_THROW(a.axpy(1.0F, b), CheckError);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, {1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(t.sum(), -2.0F);
+  EXPECT_FLOAT_EQ(t.l2_norm(), std::sqrt(30.0F));
+  EXPECT_FLOAT_EQ(t.max_abs(), 4.0F);
+}
+
+TEST(Gemm, MatchesManualResult) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  Tensor out({2, 2});
+  gemm(a, b, out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 19.0F);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 22.0F);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 43.0F);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 50.0F);
+}
+
+TEST(Gemm, AccumulateAddsIntoOutput) {
+  Tensor a({1, 1}, {2});
+  Tensor b({1, 1}, {3});
+  Tensor out({1, 1}, {10});
+  gemm(a, b, out, /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 16.0F);
+  gemm(a, b, out, /*accumulate=*/false);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 6.0F);
+}
+
+TEST(Gemm, RejectsIncompatibleShapes) {
+  Tensor a({2, 3});
+  Tensor b({4, 2});
+  Tensor out({2, 2});
+  EXPECT_THROW(gemm(a, b, out), CheckError);
+}
+
+// Property: gemm_at_b(a, b) == gemm(transpose(a), b) over random matrices.
+TEST(Gemm, AtBMatchesExplicitTranspose) {
+  Rng rng(7);
+  const std::size_t K = 5;
+  const std::size_t M = 4;
+  const std::size_t N = 3;
+  Tensor a = Tensor::randn({K, M}, rng);
+  Tensor b = Tensor::randn({K, N}, rng);
+  Tensor at({M, K});
+  for (std::size_t i = 0; i < K; ++i) {
+    for (std::size_t j = 0; j < M; ++j) at.at(j, i) = a.at(i, j);
+  }
+  Tensor expected({M, N});
+  gemm(at, b, expected);
+  Tensor got({M, N});
+  gemm_at_b(a, b, got);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.at(i), expected.at(i), 1e-4F);
+  }
+}
+
+TEST(Gemm, ABtMatchesExplicitTranspose) {
+  Rng rng(9);
+  const std::size_t M = 4;
+  const std::size_t K = 5;
+  const std::size_t N = 3;
+  Tensor a = Tensor::randn({M, K}, rng);
+  Tensor b = Tensor::randn({N, K}, rng);
+  Tensor bt({K, N});
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = 0; j < K; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  Tensor expected({M, N});
+  gemm(a, bt, expected);
+  Tensor got({M, N});
+  gemm_a_bt(a, b, got);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.at(i), expected.at(i), 1e-4F);
+  }
+}
+
+TEST(Tensor, ArgmaxRows) {
+  Tensor m({2, 3}, {0.1F, 0.9F, 0.3F, 2.0F, -1.0F, 1.5F});
+  const auto idx = argmax_rows(m);
+  ASSERT_EQ(idx.size(), 2U);
+  EXPECT_EQ(idx[0], 1U);
+  EXPECT_EQ(idx[1], 0U);
+}
+
+TEST(Tensor, ShapeStr) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.shape_str(), "[2, 3, 4]");
+}
+
+}  // namespace
+}  // namespace dshuf

@@ -1,0 +1,190 @@
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "io/file_store.hpp"
+#include "io/storage.hpp"
+#include "shuffle/traffic.hpp"
+
+namespace dshuf {
+namespace {
+
+constexpr double kMiB = 1024.0 * 1024.0;
+constexpr double kGiB = 1024.0 * kMiB;
+constexpr double kTiB = 1024.0 * kGiB;
+
+// Section III-B's worked example: Q = 0.1, 512 workers, ImageNet-21K
+// (1.1 TiB) => send 225 MiB, read ~2 GiB locally; global shuffling reads
+// 2.2 GiB from the PFS.
+TEST(Traffic, PaperWorkedExample) {
+  const auto r = shuffle::compute_traffic(
+      {.dataset_bytes = 1.1 * kTiB, .workers = 512, .q = 0.1});
+  EXPECT_NEAR(r.sent_per_worker / kMiB, 225.0, 5.0);
+  EXPECT_NEAR(r.local_read_per_worker / kGiB, 2.0, 0.05);
+  EXPECT_NEAR(r.pfs_read_per_worker_gs / kGiB, 2.2, 0.05);
+}
+
+// The paper's headline storage number: 4,096 Fugaku workers at Q = 0.1
+// each store ~0.03% of the dataset ((1 + 0.1) / 4096).
+TEST(Traffic, FugakuStorageFraction) {
+  const auto r = shuffle::compute_traffic(
+      {.dataset_bytes = 140e9, .workers = 4096, .q = 0.1});
+  EXPECT_NEAR(r.pls_fraction_of_dataset, 1.1 / 4096.0, 1e-9);
+  EXPECT_LT(r.pls_fraction_of_dataset, 0.0003);
+  EXPECT_GT(r.pls_fraction_of_dataset, 0.0002);
+}
+
+TEST(Traffic, StorageOrderingAcrossStrategies) {
+  const auto r = shuffle::compute_traffic(
+      {.dataset_bytes = 1e12, .workers = 128, .q = 0.3});
+  EXPECT_LT(r.storage_local, r.storage_pls);
+  EXPECT_LT(r.storage_pls, r.storage_global);
+  EXPECT_NEAR(r.storage_pls / r.storage_local, 1.3, 1e-9);
+}
+
+TEST(Traffic, QOneSendsWholeShardAndReadsNothing) {
+  const auto r = shuffle::compute_traffic(
+      {.dataset_bytes = 1e9, .workers = 8, .q = 1.0});
+  EXPECT_DOUBLE_EQ(r.sent_per_worker, r.shard_bytes);
+  EXPECT_DOUBLE_EQ(r.local_read_per_worker, 0.0);
+}
+
+TEST(Traffic, RejectsInvalidParams) {
+  EXPECT_THROW(
+      shuffle::compute_traffic({.dataset_bytes = 0, .workers = 8, .q = 0.1}),
+      CheckError);
+  EXPECT_THROW(
+      shuffle::compute_traffic({.dataset_bytes = 1, .workers = 0, .q = 0.1}),
+      CheckError);
+  EXPECT_THROW(
+      shuffle::compute_traffic({.dataset_bytes = 1, .workers = 8, .q = 2.0}),
+      CheckError);
+}
+
+// ------------------------------------------------------------ io module --
+
+TEST(Storage, ProfilesHaveSaneTiers) {
+  for (const auto& p : {io::abci_profile(), io::fugaku_profile()}) {
+    EXPECT_GT(p.pfs.shared_backend_bps, 0.0) << p.name;
+    EXPECT_GT(p.node_local.bandwidth_bps, 0.0) << p.name;
+    EXPECT_GT(p.network_injection_bps, 0.0) << p.name;
+    // PFS has far more capacity but node-local has lower latency.
+    EXPECT_GT(p.pfs.capacity_bytes, p.node_local.capacity_bytes) << p.name;
+    EXPECT_LT(p.node_local.per_file_latency_s, p.pfs.per_file_latency_s)
+        << p.name;
+    // PFS congestion variance dominates local variance (the Fig. 10
+    // straggler story).
+    EXPECT_GT(p.pfs.straggler_sigma, p.node_local.straggler_sigma) << p.name;
+  }
+}
+
+TEST(Storage, Figure1DataIsPlausible) {
+  const auto& systems = io::top500_systems();
+  EXPECT_EQ(systems.size(), 15U);
+  EXPECT_EQ(systems.front().name, "Fugaku");
+  std::size_t with_storage = 0;
+  std::size_t dl_designed = 0;
+  for (const auto& s : systems) {
+    if (s.node_local_bytes > 0) ++with_storage;
+    if (s.dl_designed) ++dl_designed;
+  }
+  // The paper's point: many top systems have little or no local storage.
+  EXPECT_LT(with_storage, systems.size());
+  EXPECT_GE(dl_designed, 2U);
+
+  const auto& datasets = io::figure1_datasets();
+  EXPECT_GE(datasets.size(), 9U);
+  // Sorted largest-first and spanning ~GBs to tens of TBs.
+  for (std::size_t i = 1; i < datasets.size(); ++i) {
+    EXPECT_GE(datasets[i - 1].bytes, datasets[i].bytes);
+  }
+  EXPECT_GT(datasets.front().bytes, 1e13);
+  EXPECT_LT(datasets.back().bytes, 1e12);
+}
+
+TEST(Storage, StagingCostShrinksByMWithSharding) {
+  const auto sys = io::abci_profile();
+  const double d = 1e12;
+  const auto repl = io::staging_cost(sys, d, 512, /*replicate_full=*/true);
+  const auto shard = io::staging_cost(sys, d, 512, /*replicate_full=*/false);
+  EXPECT_DOUBLE_EQ(repl.bytes_per_worker, d);
+  EXPECT_NEAR(shard.bytes_per_worker, d / 512, 1e-3);
+  EXPECT_NEAR(repl.aggregate_pfs_bytes / shard.aggregate_pfs_bytes, 512.0,
+              1e-9);
+  EXPECT_GT(repl.time_s, 100.0 * shard.time_s);
+  // PLS pays the (1+Q) factor only.
+  const auto pls = io::staging_cost(sys, d, 512, false, 0.1);
+  EXPECT_NEAR(pls.bytes_per_worker / shard.bytes_per_worker, 1.1, 1e-9);
+}
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dshuf_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileStoreTest, SaveLoadRoundTrip) {
+  io::FileSampleStore store(dir_);
+  const std::vector<std::byte> payload{std::byte{1}, std::byte{2},
+                                       std::byte{3}};
+  store.save(7, payload);
+  EXPECT_TRUE(store.contains(7));
+  EXPECT_EQ(store.load(7), payload);
+}
+
+TEST_F(FileStoreTest, RemoveDeletesFile) {
+  io::FileSampleStore store(dir_);
+  store.save(1, std::vector<std::byte>(4, std::byte{9}));
+  store.remove(1);
+  EXPECT_FALSE(store.contains(1));
+  EXPECT_THROW(store.load(1), CheckError);
+  EXPECT_THROW(store.remove(1), CheckError);
+}
+
+TEST_F(FileStoreTest, ListAndDiskBytes) {
+  io::FileSampleStore store(dir_);
+  store.save(3, std::vector<std::byte>(10));
+  store.save(1, std::vector<std::byte>(20));
+  store.save(2, std::vector<std::byte>(30));
+  const auto ids = store.list();
+  EXPECT_EQ(ids, (std::vector<data::SampleId>{1, 2, 3}));
+  EXPECT_EQ(store.disk_bytes(), 60U);
+}
+
+TEST_F(FileStoreTest, OverwriteReplacesPayload) {
+  io::FileSampleStore store(dir_);
+  store.save(5, std::vector<std::byte>(10, std::byte{0}));
+  store.save(5, std::vector<std::byte>(2, std::byte{1}));
+  EXPECT_EQ(store.load(5).size(), 2U);
+  EXPECT_EQ(store.disk_bytes(), 2U);
+}
+
+TEST_F(FileStoreTest, SampleSerialisationRoundTrip) {
+  data::ClassClusterSpec spec{.num_classes = 3,
+                              .samples_per_class = 4,
+                              .feature_dim = 6,
+                              .seed = 2};
+  const auto ds = data::make_class_clusters(spec);
+  io::FileSampleStore store(dir_);
+  for (data::SampleId id = 0; id < 5; ++id) {
+    store.save(id, io::serialize_sample(ds, id));
+  }
+  for (data::SampleId id = 0; id < 5; ++id) {
+    const auto s = io::deserialize_sample(store.load(id));
+    EXPECT_EQ(s.label, ds.label(id));
+    ASSERT_EQ(s.features.size(), 6U);
+    for (std::size_t k = 0; k < 6; ++k) {
+      EXPECT_FLOAT_EQ(s.features[k], ds.features().at(id, k));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dshuf

@@ -1,0 +1,97 @@
+#include "shuffle/uncontrolled.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dshuf::shuffle {
+namespace {
+
+std::vector<std::vector<SampleId>> make_shards(std::size_t n,
+                                               std::size_t workers) {
+  std::vector<std::vector<SampleId>> shards(workers);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards[i % workers].push_back(static_cast<SampleId>(i));
+  }
+  return shards;
+}
+
+TEST(Uncontrolled, ConservesSamples) {
+  const std::size_t n = 120;
+  UncontrolledShuffler us(make_shards(n, 8), 0.3, 5);
+  std::multiset<SampleId> expected;
+  for (std::size_t i = 0; i < n; ++i) {
+    expected.insert(static_cast<SampleId>(i));
+  }
+  for (std::size_t e = 0; e < 6; ++e) {
+    us.begin_epoch(e);
+    std::multiset<SampleId> got;
+    for (int w = 0; w < 8; ++w) {
+      got.insert(us.local_order(w).begin(), us.local_order(w).end());
+    }
+    EXPECT_EQ(got, expected) << "epoch " << e;
+  }
+}
+
+TEST(Uncontrolled, ReceiveCountsAreImbalanced) {
+  // The defining defect of the baseline: with independent destinations,
+  // some worker receives more than it sent (and shard sizes drift).
+  UncontrolledShuffler us(make_shards(512, 16), 0.5, 7);
+  us.begin_epoch(0);
+  const auto* stats = us.last_stats();
+  std::size_t mn = SIZE_MAX;
+  std::size_t mx = 0;
+  for (auto r : stats->received_per_worker) {
+    mn = std::min(mn, r);
+    mx = std::max(mx, r);
+  }
+  EXPECT_GT(mx, mn) << "imbalance should appear with high probability";
+  EXPECT_GT(us.shard_imbalance(), 1.0);
+}
+
+TEST(Uncontrolled, ImbalanceDriftsOverEpochs) {
+  UncontrolledShuffler us(make_shards(512, 16), 0.5, 7);
+  us.begin_epoch(0);
+  for (std::size_t e = 1; e < 10; ++e) us.begin_epoch(e);
+  // After several epochs the smallest shard is measurably below fair share.
+  EXPECT_LT(us.min_shard(), 32U);
+  EXPECT_GT(us.max_shard(), 32U);
+}
+
+TEST(Uncontrolled, QZeroIsPureLocal) {
+  auto shards = make_shards(64, 4);
+  const auto original = shards;
+  UncontrolledShuffler us(std::move(shards), 0.0, 7);
+  us.begin_epoch(0);
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_EQ(std::multiset<SampleId>(us.local_order(w).begin(),
+                                      us.local_order(w).end()),
+              std::multiset<SampleId>(original[w].begin(),
+                                      original[w].end()));
+  }
+  EXPECT_DOUBLE_EQ(us.shard_imbalance(), 1.0);
+}
+
+TEST(Uncontrolled, DeterministicForSeed) {
+  UncontrolledShuffler a(make_shards(96, 6), 0.4, 11);
+  UncontrolledShuffler b(make_shards(96, 6), 0.4, 11);
+  for (std::size_t e = 0; e < 3; ++e) {
+    a.begin_epoch(e);
+    b.begin_epoch(e);
+    for (int w = 0; w < 6; ++w) {
+      EXPECT_EQ(a.local_order(w), b.local_order(w));
+    }
+  }
+}
+
+TEST(Uncontrolled, FactoryAndLabels) {
+  auto s = make_shuffler(Strategy::kUncontrolled, 0.25, 64,
+                         make_shards(64, 4), 3);
+  EXPECT_EQ(s->label(), "uncontrolled-0.25");
+  s->begin_epoch(0);
+  EXPECT_EQ(parse_strategy("uncontrolled"), Strategy::kUncontrolled);
+  EXPECT_EQ(to_string(Strategy::kUncontrolled), "uncontrolled");
+}
+
+}  // namespace
+}  // namespace dshuf::shuffle
