@@ -5,6 +5,7 @@
 #include <exception>
 #include <thread>
 
+#include "comm/fault.hpp"
 #include "util/error.hpp"
 
 namespace dshuf::comm {
@@ -15,6 +16,7 @@ struct RequestState {
   std::mutex mu;
   std::condition_variable cv;
   bool done = false;
+  bool cancelled = false;
   Message msg;
   // Abort flag shared with the world so waiters wake when a peer throws.
   std::shared_ptr<std::atomic<bool>> aborted;
@@ -62,6 +64,45 @@ class WorldState {
     return mailboxes_[static_cast<std::size_t>(rank)];
   }
 
+  /// Final delivery into `dest`'s mailbox: match a parked receive or queue
+  /// the message. Called from sender threads and the injector timer thread.
+  void deposit(int dest, Message msg);
+
+  /// Route a send: through the fault injector when one is installed,
+  /// otherwise straight to deposit().
+  void send(int source, int dest, Message msg) {
+    if (injector_) {
+      injector_->submit(source, dest, std::move(msg));
+    } else {
+      deposit(dest, std::move(msg));
+    }
+  }
+
+  void set_fault_plan(const FaultPlan& plan) {
+    DSHUF_CHECK(!running_, "cannot change the fault plan mid-run");
+    injector_ = std::make_unique<FaultInjector>(
+        plan, size_, [this](int dest, Message msg) {
+          deposit(dest, std::move(msg));
+        });
+  }
+  void clear_fault_plan() {
+    DSHUF_CHECK(!running_, "cannot change the fault plan mid-run");
+    injector_.reset();
+  }
+  [[nodiscard]] bool has_fault_plan() const { return injector_ != nullptr; }
+  void fence_faults() {
+    if (injector_) injector_->fence();
+  }
+  [[nodiscard]] FaultStats fault_stats() const {
+    return injector_ ? injector_->stats() : FaultStats{};
+  }
+
+  void begin_run() {
+    running_ = true;
+    if (injector_) injector_->begin_run();
+  }
+  void end_run() { running_ = false; }
+
   std::shared_ptr<std::atomic<bool>> aborted_flag() { return aborted_; }
   [[nodiscard]] bool is_aborted() const { return aborted_->load(); }
   void abort() {
@@ -95,8 +136,17 @@ class WorldState {
     return a2a_slots_;
   }
 
-  /// Verify clean shutdown: no stray messages or dangling receives.
+  /// Verify clean shutdown: no stray messages or dangling receives, and no
+  /// message still parked inside the fault injector.
   void check_drained() {
+    // The timer thread may still be mid-deposit for a message a rank
+    // already consumed; settle that before judging leftovers.
+    if (injector_) injector_->quiesce_in_flight();
+    DSHUF_CHECK(!injector_ || injector_->pending() == 0,
+                "world finished with "
+                    << (injector_ ? injector_->pending() : 0)
+                    << " message(s) still delayed in the fault injector "
+                       "(fence_faults() + drain before returning)");
     for (int r = 0; r < size_; ++r) {
       auto& mb = mailbox(r);
       std::lock_guard<std::mutex> lk(mb.mu);
@@ -123,6 +173,8 @@ class WorldState {
   std::vector<std::vector<std::vector<std::byte>>> a2a_slots_;
 
   std::shared_ptr<std::atomic<bool>> aborted_;
+  std::unique_ptr<FaultInjector> injector_;
+  bool running_ = false;
 };
 
 namespace {
@@ -139,6 +191,23 @@ bool matches_msg(int want_source, int want_tag, const Message& m) {
 
 }  // namespace
 
+void WorldState::deposit(int dest, Message msg) {
+  auto& mb = mailbox(dest);
+  std::shared_ptr<RequestState> matched;
+  {
+    std::lock_guard<std::mutex> lk(mb.mu);
+    for (auto it = mb.pending.begin(); it != mb.pending.end(); ++it) {
+      if (matches(*it, msg.source, msg.tag)) {
+        matched = it->state;
+        mb.pending.erase(it);
+        break;
+      }
+    }
+    if (!matched) mb.arrived.push_back(std::move(msg));
+  }
+  if (matched) matched->complete(std::move(msg));
+}
+
 }  // namespace detail
 
 bool Request::test() const {
@@ -153,10 +222,35 @@ void Request::wait() {
   // Poll with a timeout so an aborted world (peer threw) wakes us even if
   // the notification raced our wait registration.
   while (!state_->done) {
+    DSHUF_CHECK(!state_->cancelled, "wait() on a cancelled request");
     DSHUF_CHECK(!(state_->aborted && state_->aborted->load()),
                 "world aborted while waiting on a request");
     state_->cv.wait_for(lk, std::chrono::milliseconds(50));
   }
+}
+
+bool Request::wait_for(std::chrono::microseconds timeout) {
+  DSHUF_CHECK(state_ != nullptr, "wait_for() on an empty request");
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lk(state_->mu);
+  while (!state_->done) {
+    DSHUF_CHECK(!state_->cancelled, "wait_for() on a cancelled request");
+    DSHUF_CHECK(!(state_->aborted && state_->aborted->load()),
+                "world aborted while waiting on a request");
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    // Cap each sleep so an abort can never be missed for long.
+    const auto slice = std::min<std::chrono::steady_clock::duration>(
+        deadline - now, std::chrono::milliseconds(50));
+    state_->cv.wait_for(lk, slice);
+  }
+  return true;
+}
+
+bool Request::cancelled() const {
+  DSHUF_CHECK(state_ != nullptr, "cancelled() on an empty request");
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->cancelled;
 }
 
 const Message& Request::message() const {
@@ -182,22 +276,10 @@ Request Communicator::isend(int dest, int tag, std::vector<std::byte> payload) {
   msg.tag = tag;
   msg.payload = std::move(payload);
 
-  auto& mb = world_->mailbox(dest);
-  std::shared_ptr<detail::RequestState> matched;
-  {
-    std::lock_guard<std::mutex> lk(mb.mu);
-    for (auto it = mb.pending.begin(); it != mb.pending.end(); ++it) {
-      if (detail::matches(*it, rank_, tag)) {
-        matched = it->state;
-        mb.pending.erase(it);
-        break;
-      }
-    }
-    if (!matched) mb.arrived.push_back(std::move(msg));
-  }
-  if (matched) matched->complete(std::move(msg));
+  world_->send(rank_, dest, std::move(msg));
 
-  // Buffered send: locally complete.
+  // Buffered send: locally complete (even a dropped message "completes" —
+  // exactly the guarantee a buffered MPI_Isend gives over a lossy fabric).
   state->done = true;
   return Request(state);
 }
@@ -234,6 +316,51 @@ Message Communicator::recv(int source, int tag) {
   r.wait();
   return r.message();
 }
+
+std::optional<Message> Communicator::recv_for(
+    int source, int tag, std::chrono::microseconds timeout) {
+  Request r = irecv(source, tag);
+  if (r.wait_for(timeout)) return r.message();
+  if (cancel(r)) return std::nullopt;
+  // The message arrived between the timeout and the cancel: take it.
+  r.wait();
+  return r.message();
+}
+
+std::optional<Message> Communicator::poll(int source, int tag) {
+  auto& mb = world_->mailbox(rank_);
+  std::lock_guard<std::mutex> lk(mb.mu);
+  for (auto it = mb.arrived.begin(); it != mb.arrived.end(); ++it) {
+    if (detail::matches_msg(source, tag, *it)) {
+      Message found = std::move(*it);
+      mb.arrived.erase(it);
+      return found;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Communicator::cancel(Request& request) {
+  DSHUF_CHECK(request.valid(), "cancel() on an empty request");
+  auto& mb = world_->mailbox(rank_);
+  std::lock_guard<std::mutex> lk(mb.mu);
+  for (auto it = mb.pending.begin(); it != mb.pending.end(); ++it) {
+    if (it->state == request.state_) {
+      auto state = it->state;
+      mb.pending.erase(it);
+      std::lock_guard<std::mutex> slk(state->mu);
+      state->cancelled = true;
+      return true;
+    }
+  }
+  return false;  // already matched (or a send request) — nothing to cancel
+}
+
+bool Communicator::fault_injection_enabled() const {
+  return world_->has_fault_plan();
+}
+
+void Communicator::fence_faults() { world_->fence_faults(); }
 
 void Communicator::barrier() { world_->barrier(); }
 
@@ -331,8 +458,17 @@ World::~World() = default;
 
 int World::size() const { return state_->size(); }
 
+void World::set_fault_plan(const FaultPlan& plan) {
+  state_->set_fault_plan(plan);
+}
+
+void World::clear_fault_plan() { state_->clear_fault_plan(); }
+
+FaultStats World::fault_stats() const { return state_->fault_stats(); }
+
 void World::run(const std::function<void(Communicator&)>& body) {
   state_->reset_abort();
+  state_->begin_run();
   const int n = state_->size();
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n));
@@ -350,6 +486,7 @@ void World::run(const std::function<void(Communicator&)>& body) {
     });
   }
   for (auto& t : threads) t.join();
+  state_->end_run();
 
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);

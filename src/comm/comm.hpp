@@ -17,8 +17,16 @@
 // semantics training code can rely on from a buffered MPI_Isend. Receives
 // match by (source, tag) with wildcards, in arrival order (non-overtaking
 // per source, like MPI).
+//
+// A World can additionally run with deterministic fault injection (see
+// comm/fault.hpp): install a seeded FaultPlan with set_fault_plan() and
+// every point-to-point delivery may be delayed, reordered, duplicated,
+// dropped, or stalled — reproducibly. Timeout-aware receives
+// (Request::wait_for, Communicator::recv_for/poll/cancel) and the fence
+// primitive exist so protocols can survive that regime.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -26,10 +34,14 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <vector>
 
 namespace dshuf::comm {
+
+class FaultPlan;
+struct FaultStats;
 
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
@@ -56,8 +68,15 @@ class Request {
   [[nodiscard]] bool test() const;
   /// Block until complete.
   void wait();
+  /// Block until complete or `timeout` elapses; true iff completed. A
+  /// false return leaves the request live — pair with Communicator::cancel
+  /// to retire it (or keep waiting).
+  bool wait_for(std::chrono::microseconds timeout);
   /// The received message; only valid for completed receive requests.
   [[nodiscard]] const Message& message() const;
+
+  /// True once Communicator::cancel retired this request.
+  [[nodiscard]] bool cancelled() const;
 
   [[nodiscard]] bool valid() const { return state_ != nullptr; }
 
@@ -89,6 +108,32 @@ class Communicator {
 
   /// Blocking receive convenience.
   Message recv(int source, int tag);
+
+  /// Receive with a deadline: returns the message, or nullopt if nothing
+  /// matching arrived within `timeout` (the posted receive is retired, so
+  /// a later arrival stays in the mailbox for the next receive).
+  std::optional<Message> recv_for(int source, int tag,
+                                  std::chrono::microseconds timeout);
+
+  /// Non-blocking probe-and-take: pops an already-arrived matching message
+  /// without posting a receive. Used to drain stray/duplicate messages.
+  std::optional<Message> poll(int source, int tag);
+
+  /// Retire a pending (unmatched) receive request — MPI_Cancel analogue.
+  /// Returns true if the request was still unmatched and is now cancelled;
+  /// false if it already completed (the message is available) or it was a
+  /// send request.
+  bool cancel(Request& request);
+
+  /// True when the World runs with an installed fault plan. Fault-oblivious
+  /// protocols check this to refuse running over a lossy world.
+  [[nodiscard]] bool fault_injection_enabled() const;
+
+  /// Flush the fault injector's delayed-delivery queue and wait until no
+  /// delivery is in flight. Call between a barrier (all sends issued) and
+  /// a drain loop to make delivery globally quiescent. No-op without an
+  /// installed fault plan.
+  void fence_faults();
 
   /// Dissemination barrier across all ranks.
   void barrier();
@@ -143,6 +188,18 @@ class World {
   /// exception any rank threw (after joining all threads). May be called
   /// multiple times; mailboxes must be drained between runs (checked).
   void run(const std::function<void(Communicator&)>& body);
+
+  /// Install a deterministic fault plan (see comm/fault.hpp): every
+  /// point-to-point delivery is routed through the injector from now on.
+  /// Must not be called while run() is executing. Replaces any previous
+  /// plan; attempt counters restart at each run() so identical runs see
+  /// identical fault schedules.
+  void set_fault_plan(const FaultPlan& plan);
+  /// Remove the installed fault plan (deliveries become perfect again).
+  void clear_fault_plan();
+  /// Injector counters (all zero when no plan is installed). Include
+  /// comm/fault.hpp for the FaultStats definition.
+  [[nodiscard]] FaultStats fault_stats() const;
 
  private:
   std::unique_ptr<detail::WorldState> state_;

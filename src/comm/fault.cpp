@@ -1,0 +1,218 @@
+#include "comm/fault.hpp"
+
+#include "util/error.hpp"
+
+namespace dshuf::comm {
+
+namespace {
+
+// Domain-separation tags so the message stream and the stall stream of one
+// fault seed never alias.
+constexpr std::uint64_t kMessageDomain = 0xD0D0;
+constexpr std::uint64_t kStallDomain = 0x57A1;
+
+std::uint64_t link_key(int dest, int tag) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dest)) << 32) |
+         static_cast<std::uint32_t>(tag);
+}
+
+}  // namespace
+
+FaultDecision FaultPlan::decide(int source, int dest, int tag,
+                                std::uint64_t attempt) const {
+  FaultDecision d;
+  const std::uint64_t pair =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(source)) << 32) |
+      static_cast<std::uint32_t>(dest);
+  Rng rng = Rng(seed_).fork(kMessageDomain, pair).fork(
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)), attempt);
+  // Draw all three decisions unconditionally so the stream layout is
+  // independent of the spec's probabilities.
+  const double u_drop = rng.uniform();
+  const double u_dup = rng.uniform();
+  const double u_delay = rng.uniform();
+  d.drop = u_drop < spec_.drop_prob;
+  d.duplicate = !d.drop && u_dup < spec_.dup_prob;
+  if (!d.drop && u_delay < spec_.delay_prob &&
+      spec_.max_delay_us >= spec_.min_delay_us) {
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(spec_.max_delay_us - spec_.min_delay_us) +
+        1;
+    d.delay_us = spec_.min_delay_us +
+                 static_cast<std::uint32_t>(rng.uniform_u64(span));
+  }
+  return d;
+}
+
+std::uint32_t FaultPlan::stall_us(int rank) const {
+  if (spec_.stall_prob <= 0.0 || spec_.stall_us == 0) return 0;
+  Rng rng = Rng(seed_).fork(kStallDomain,
+                            static_cast<std::uint64_t>(
+                                static_cast<std::uint32_t>(rank)));
+  return rng.uniform() < spec_.stall_prob ? spec_.stall_us : 0;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, int world_size, DeliverFn deliver)
+    : plan_(plan),
+      deliver_(std::move(deliver)),
+      attempts_(static_cast<std::size_t>(world_size)),
+      run_start_(std::chrono::steady_clock::now()) {
+  DSHUF_CHECK(deliver_ != nullptr, "fault injector needs a deliver callback");
+  timer_ = std::thread([this] { timer_loop(); });
+}
+
+FaultInjector::~FaultInjector() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  timer_.join();
+}
+
+void FaultInjector::begin_run() {
+  std::lock_guard<std::mutex> lk(mu_);
+  run_start_ = std::chrono::steady_clock::now();
+  for (auto& per_rank : attempts_) per_rank.clear();
+}
+
+void FaultInjector::submit(int source, int dest, Message msg) {
+  // Loopback never crosses the wire: deliver faithfully.
+  if (source == dest) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.submitted;
+      ++stats_.delivered;
+    }
+    deliver_(dest, std::move(msg));
+    return;
+  }
+
+  const std::uint64_t attempt =
+      attempts_[static_cast<std::size_t>(source)][link_key(dest, msg.tag)]++;
+  const FaultDecision d = plan_.decide(source, dest, msg.tag, attempt);
+
+  // A stalled source holds every send until its stall window (measured from
+  // run start) elapses; the hold stacks with any per-message delay.
+  std::uint32_t stall_extra_us = 0;
+  const std::uint32_t stall = plan_.stall_us(source);
+  std::chrono::steady_clock::time_point start;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.submitted;
+    start = run_start_;
+  }
+  if (stall > 0) {
+    const auto stall_end = start + std::chrono::microseconds(stall);
+    const auto now = std::chrono::steady_clock::now();
+    if (now < stall_end) {
+      stall_extra_us = static_cast<std::uint32_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(stall_end -
+                                                                now)
+              .count());
+    }
+  }
+
+  if (d.drop) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.dropped;
+    return;
+  }
+  if (d.duplicate) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.duplicated;
+      ++stats_.delivered;
+    }
+    deliver_(dest, msg);  // extra copy, delivered immediately
+  }
+
+  const std::uint64_t total_delay_us =
+      static_cast<std::uint64_t>(d.delay_us) + stall_extra_us;
+  if (total_delay_us == 0) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.delivered;
+    }
+    deliver_(dest, std::move(msg));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (d.delay_us > 0) ++stats_.delayed;
+    if (stall_extra_us > 0) ++stats_.stalled;
+  }
+  schedule(dest, std::move(msg),
+           std::chrono::steady_clock::now() +
+               std::chrono::microseconds(total_delay_us));
+}
+
+void FaultInjector::schedule(int dest, Message msg,
+                             std::chrono::steady_clock::time_point due) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push(Delayed{due, next_seq_++, dest, std::move(msg)});
+  }
+  cv_.notify_all();
+}
+
+void FaultInjector::timer_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    if (stop_) return;
+    if (queue_.empty()) {
+      cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      continue;
+    }
+    const auto due = queue_.top().due;
+    const auto now = std::chrono::steady_clock::now();
+    if (now < due) {
+      cv_.wait_until(lk, due);
+      continue;
+    }
+    Delayed item = std::move(const_cast<Delayed&>(queue_.top()));
+    queue_.pop();
+    ++in_flight_;
+    lk.unlock();
+    deliver_(item.dest, std::move(item.msg));
+    lk.lock();
+    ++stats_.delivered;
+    --in_flight_;
+    cv_.notify_all();  // wake fence() waiters
+  }
+}
+
+void FaultInjector::fence() {
+  std::vector<Delayed> grabbed;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!queue_.empty()) {
+      grabbed.push_back(std::move(const_cast<Delayed&>(queue_.top())));
+      queue_.pop();
+    }
+    stats_.flushed += grabbed.size();
+    stats_.delivered += grabbed.size();
+  }
+  for (auto& item : grabbed) deliver_(item.dest, std::move(item.msg));
+  // Wait for the timer thread to finish any delivery it popped before we
+  // grabbed the queue — after this, delivery is globally quiescent.
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return in_flight_ == 0 && queue_.empty(); });
+}
+
+void FaultInjector::quiesce_in_flight() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return in_flight_ == 0; });
+}
+
+std::size_t FaultInjector::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size() + in_flight_;
+}
+
+FaultStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace dshuf::comm

@@ -1,6 +1,8 @@
 #include "shuffle/mpi_exchange.hpp"
 
+#include <cmath>
 #include <cstring>
+#include <thread>
 
 #include "shuffle/exchange_plan.hpp"
 #include "shuffle/shuffler.hpp"
@@ -27,38 +29,33 @@ SampleId decode_sample_id(const std::vector<std::byte>& buf) {
   return id;
 }
 
-}  // namespace
+// Tag layout of the robust protocol: round i's sample travels on an even
+// tag, its acknowledgement on the adjacent odd tag. Disjoint per round, so
+// duplicate copies and retransmissions can never match another round's
+// receive.
+int data_tag(std::size_t round) { return static_cast<int>(2 * round); }
+int ack_tag(std::size_t round) { return static_cast<int>(2 * round + 1); }
 
-void run_pls_exchange_epoch(comm::Communicator& comm, ShardStore& store,
-                            std::uint64_t seed, std::size_t epoch, double q,
-                            std::size_t global_min_shard,
-                            const PayloadFn& payload,
-                            const DepositFn& deposit) {
+// The original fire-and-wait exchange (Algorithm 1 verbatim). Only valid
+// on a perfect fabric.
+ExchangeOutcome run_fast_path(comm::Communicator& comm, ShardStore& store,
+                              const ExchangePlan& plan,
+                              const std::vector<SampleId>& outgoing,
+                              const PayloadFn& payload,
+                              const DepositFn& deposit) {
   const int rank = comm.rank();
-  const int m = comm.size();
-  const std::size_t quota = exchange_quota(global_min_shard, q);
-  if (quota == 0 || m <= 1) return;
-
-  // Every rank recomputes the identical plan from the shared seed —
-  // Algorithm 1's "all workers use the same random seed".
-  const ExchangePlan plan(seed, epoch, m, quota);
-  const auto picks = pick_permutation(seed, epoch, rank, store.size());
-  DSHUF_CHECK_GE(store.size(), quota,
-                 "rank " << rank << " shard smaller than the exchange quota");
+  const std::size_t quota = outgoing.size();
 
   // Algorithm 1 lines 2-6: isend the p[i]-th sample to dest_i[rank],
   // irecv from ANY_SOURCE. Tag = round index keeps rounds aligned.
-  std::vector<SampleId> outgoing(quota);
   std::vector<comm::Request> requests;
   requests.reserve(2 * quota);
   for (std::size_t i = 0; i < quota; ++i) {
-    outgoing[i] = store.ids()[picks[i]];
     const int dest = plan.dest(i, rank);
     std::vector<std::byte> body =
         payload ? payload(outgoing[i]) : std::vector<std::byte>{};
-    requests.push_back(
-        comm.isend(dest, static_cast<int>(i),
-                   encode_sample(outgoing[i], body)));
+    requests.push_back(comm.isend(dest, static_cast<int>(i),
+                                  encode_sample(outgoing[i], body)));
     requests.push_back(comm.irecv(comm::kAnySource, static_cast<int>(i)));
   }
   // Algorithm 1 line 7: wait for all outstanding requests.
@@ -77,6 +74,217 @@ void run_pls_exchange_epoch(comm::Communicator& comm, ShardStore& store,
     }
   }
   for (SampleId id : outgoing) store.remove_id(id);
+
+  ExchangeOutcome out;
+  out.rounds = quota;
+  out.sends_committed = quota;
+  out.recvs_committed = quota;
+  return out;
+}
+
+// Retry/timeout protocol. Every round runs a DATA/ACK handshake; all
+// rounds progress concurrently in one event loop so a single slow peer
+// cannot serialise the epoch. Commit decisions are NOT taken from ACKs
+// (those are lossy too) but from the receivers' bitmaps, exchanged over
+// the reliable collective path at the end — that is what keeps sender and
+// receiver in agreement no matter which messages were lost.
+ExchangeOutcome run_robust_path(comm::Communicator& comm, ShardStore& store,
+                                const ExchangePlan& plan,
+                                const std::vector<SampleId>& outgoing,
+                                const PayloadFn& payload,
+                                const DepositFn& deposit,
+                                const ExchangeRobustness& robust) {
+  using Clock = std::chrono::steady_clock;
+  const int rank = comm.rank();
+  const std::size_t quota = outgoing.size();
+  DSHUF_CHECK_GT(robust.max_attempts, 0, "need at least one send attempt");
+
+  ExchangeOutcome out;
+  out.rounds = quota;
+
+  struct RoundState {
+    int dest = -1;
+    int src = -1;
+    comm::Request rx_data;  // the sample we expect this round
+    comm::Request rx_ack;   // our peer's acknowledgement of our sample
+    std::vector<std::byte> wire;  // encoded outgoing sample, kept for retries
+    bool recv_done = false;
+    bool recv_ok = false;
+    bool send_done = false;
+    int attempts = 0;
+    Clock::time_point next_retry;
+    SampleId got = 0;
+    std::vector<std::byte> got_body;
+  };
+
+  const auto start = Clock::now();
+  std::vector<RoundState> rounds(quota);
+  for (std::size_t i = 0; i < quota; ++i) {
+    auto& r = rounds[i];
+    r.dest = plan.dest(i, rank);
+    r.src = plan.source(i, rank);
+    // Post both receives before the first send so no early arrival is ever
+    // unmatched, then fire attempt 1.
+    r.rx_data = comm.irecv(r.src, data_tag(i));
+    r.rx_ack = comm.irecv(r.dest, ack_tag(i));
+    std::vector<std::byte> body =
+        payload ? payload(outgoing[i]) : std::vector<std::byte>{};
+    r.wire = encode_sample(outgoing[i], body);
+    comm.isend(r.dest, data_tag(i), r.wire);
+    r.attempts = 1;
+    r.next_retry = start + robust.ack_timeout;
+  }
+  const auto recv_deadline_at = start + robust.recv_deadline;
+
+  auto take_data = [&](std::size_t i, RoundState& r) {
+    const auto& msg = r.rx_data.message();
+    r.got = decode_sample_id(msg.payload);
+    r.got_body.assign(msg.payload.begin() +
+                          static_cast<std::ptrdiff_t>(sizeof(SampleId)),
+                      msg.payload.end());
+    r.recv_done = true;
+    r.recv_ok = true;
+    comm.isend(r.src, ack_tag(i), {});
+  };
+
+  std::size_t open = 2 * quota;  // unfinished send + receive duties
+  while (open > 0) {
+    bool progressed = false;
+    const auto now = Clock::now();
+    for (std::size_t i = 0; i < quota; ++i) {
+      auto& r = rounds[i];
+      if (!r.recv_done) {
+        if (r.rx_data.test()) {
+          take_data(i, r);
+          --open;
+          progressed = true;
+        } else if (now >= recv_deadline_at) {
+          if (comm.cancel(r.rx_data)) {
+            r.recv_done = true;  // LS fallback: the sender keeps it
+            ++out.recv_fallbacks;
+          } else {
+            take_data(i, r);  // arrival raced the cancel — accept it
+          }
+          --open;
+          progressed = true;
+        }
+      }
+      if (!r.send_done) {
+        if (r.rx_ack.test()) {
+          r.send_done = true;
+          --open;
+          progressed = true;
+        } else if (now >= r.next_retry) {
+          if (r.attempts >= robust.max_attempts) {
+            // Give up retrying. The round may still commit if an earlier
+            // attempt landed — the reconciliation bitmap decides.
+            comm.cancel(r.rx_ack);
+            r.send_done = true;
+            --open;
+          } else {
+            comm.isend(r.dest, data_tag(i), r.wire);
+            ++r.attempts;
+            ++out.retries;
+            const auto backoff = std::chrono::duration_cast<
+                std::chrono::microseconds>(
+                robust.ack_timeout *
+                std::pow(robust.backoff, r.attempts - 1));
+            r.next_retry = now + backoff;
+          }
+          progressed = true;
+        }
+      }
+    }
+    if (open > 0 && !progressed) {
+      std::this_thread::sleep_for(robust.poll_interval);
+    }
+  }
+
+  // Stage received samples in round order — the same per-store append
+  // order the sequential driver produces, so fault-free (no-drop) runs
+  // stay bit-identical to PartialLocalShuffler.
+  for (std::size_t i = 0; i < quota; ++i) {
+    auto& r = rounds[i];
+    if (!r.recv_ok) continue;
+    store.add(r.got);
+    ++out.recvs_committed;
+    if (deposit) {
+      deposit(r.got, std::span<const std::byte>(r.got_body));
+    }
+  }
+
+  // Quiesce the fabric: after the barrier no rank sends again this epoch,
+  // so fencing flushes every delayed message and the drain below removes
+  // late arrivals, duplicate copies, and orphaned ACKs.
+  comm.barrier();
+  comm.fence_faults();
+  while (auto stray = comm.poll(comm::kAnySource, comm::kAnyTag)) {
+    ++out.strays_drained;
+    const int tag = stray->tag;
+    if (tag >= 0 && tag % 2 == 0) {
+      const auto i = static_cast<std::size_t>(tag) / 2;
+      if (i < quota && rounds[i].recv_ok) ++out.duplicates_suppressed;
+    }
+  }
+
+  // Reconciliation over the reliable control plane: each rank publishes
+  // which rounds it received; the receiver's word is the commit decision,
+  // so the sample ends up at exactly one rank (receiver if the bit is set,
+  // sender otherwise).
+  std::vector<std::byte> received_bits(quota);
+  for (std::size_t i = 0; i < quota; ++i) {
+    received_bits[i] =
+        rounds[i].recv_ok ? std::byte{1} : std::byte{0};
+  }
+  const auto all_bits = comm.allgather(std::move(received_bits));
+  for (std::size_t i = 0; i < quota; ++i) {
+    const auto dest = static_cast<std::size_t>(rounds[i].dest);
+    DSHUF_CHECK_EQ(all_bits[dest].size(), quota,
+                   "reconciliation bitmap length mismatch");
+    if (all_bits[dest][i] != std::byte{0}) {
+      store.remove_id(outgoing[i]);
+      ++out.sends_committed;
+    } else {
+      ++out.send_fallbacks;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ExchangeOutcome run_pls_exchange_epoch(comm::Communicator& comm,
+                                       ShardStore& store, std::uint64_t seed,
+                                       std::size_t epoch, double q,
+                                       std::size_t global_min_shard,
+                                       const PayloadFn& payload,
+                                       const DepositFn& deposit,
+                                       const ExchangeRobustness* robust) {
+  const int rank = comm.rank();
+  const int m = comm.size();
+  const std::size_t quota = exchange_quota(global_min_shard, q);
+  if (quota == 0 || m <= 1) return {};
+
+  // Every rank recomputes the identical plan from the shared seed —
+  // Algorithm 1's "all workers use the same random seed".
+  const ExchangePlan plan(seed, epoch, m, quota);
+  const auto picks = pick_permutation(seed, epoch, rank, store.size());
+  DSHUF_CHECK_GE(store.size(), quota,
+                 "rank " << rank << " shard smaller than the exchange quota");
+
+  std::vector<SampleId> outgoing(quota);
+  for (std::size_t i = 0; i < quota; ++i) {
+    outgoing[i] = store.ids()[picks[i]];
+  }
+
+  if (robust == nullptr) {
+    DSHUF_CHECK(!comm.fault_injection_enabled(),
+                "the fast-path exchange cannot survive fault injection — "
+                "pass an ExchangeRobustness budget");
+    return run_fast_path(comm, store, plan, outgoing, payload, deposit);
+  }
+  return run_robust_path(comm, store, plan, outgoing, payload, deposit,
+                         *robust);
 }
 
 }  // namespace dshuf::shuffle

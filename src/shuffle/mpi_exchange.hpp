@@ -2,15 +2,33 @@
 //
 // This is the paper's exchange as it would run on MPI: each rank posts a
 // non-blocking send per selected sample (tag = round index, so the
-// receiver can align rounds) and a matching irecv from ANY_SOURCE, then
-// waits for all requests (Algorithm 1 lines 2-7). The destination
-// permutations come from the SHARED-seed ExchangePlan, which every rank
-// recomputes locally — no global coordination is exchanged, only samples.
+// receiver can align rounds) and a matching irecv, then waits for all
+// requests (Algorithm 1 lines 2-7). The destination permutations come from
+// the SHARED-seed ExchangePlan, which every rank recomputes locally — no
+// global coordination is exchanged, only samples.
+//
+// Two execution modes:
+//
+//   * Fast path (robust == nullptr): the original fire-and-wait exchange.
+//     Assumes a perfect fabric; refuses to run over a World with fault
+//     injection enabled.
+//   * Robust path (pass an ExchangeRobustness): per-round DATA/ACK with
+//     retry + exponential backoff, receive deadlines, duplicate
+//     suppression, and an end-of-epoch reconciliation over the reliable
+//     control plane (collectives). A round that exhausts its budget falls
+//     back to keeping the sample at the SENDER (LS fallback); the
+//     receiver's received-bitmap — allgathered reliably — is the single
+//     source of truth for which rounds committed, so sender and receiver
+//     always agree and no sample is ever lost or duplicated, whatever the
+//     fault schedule. With no drops (delay/reorder/duplication only) every
+//     round commits and the result is bit-identical to the fault-free
+//     exchange and to the sequential PartialLocalShuffler.
 //
 // The sequential PartialLocalShuffler computes the same exchange without
 // threads; the test suite asserts both produce identical shard contents.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 
@@ -27,16 +45,55 @@ using PayloadFn = std::function<std::vector<std::byte>(SampleId)>;
 /// Optional payload consumer invoked for each received sample.
 using DepositFn = std::function<void(SampleId, std::span<const std::byte>)>;
 
+/// Retry/timeout budget for the robust exchange. Defaults are sized for
+/// the in-process fabric with injected delays up to a few milliseconds;
+/// scale them together with the fault magnitudes.
+struct ExchangeRobustness {
+  /// How long to wait for a round's ACK before retransmitting its DATA.
+  std::chrono::microseconds ack_timeout{std::chrono::milliseconds(40)};
+  /// Total DATA transmissions per round (first send + retries).
+  int max_attempts = 4;
+  /// Multiplier applied to ack_timeout after each retransmission.
+  double backoff = 2.0;
+  /// Budget for a round's incoming sample, measured from the start of the
+  /// epoch's exchange; expiry marks the round as a receive fallback.
+  std::chrono::microseconds recv_deadline{std::chrono::milliseconds(500)};
+  /// Sleep between progress-loop scans.
+  std::chrono::microseconds poll_interval{std::chrono::microseconds(200)};
+};
+
+/// Per-rank result of one epoch's exchange.
+struct ExchangeOutcome {
+  std::size_t rounds = 0;             ///< quota for this epoch
+  std::size_t sends_committed = 0;    ///< our samples the receiver got
+  std::size_t send_fallbacks = 0;     ///< our samples kept local (LS fallback)
+  std::size_t recvs_committed = 0;    ///< samples we received and staged
+  std::size_t recv_fallbacks = 0;     ///< expected samples that never came
+  std::size_t retries = 0;            ///< DATA retransmissions
+  std::size_t duplicates_suppressed = 0;  ///< redundant copies discarded
+  std::size_t strays_drained = 0;     ///< late/duplicate messages drained
+
+  /// Merge into epoch stats (aggregates across ranks).
+  void accumulate_into(ExchangeStats& stats) const {
+    stats.retries += retries;
+    stats.send_fallbacks += send_fallbacks;
+    stats.recv_fallbacks += recv_fallbacks;
+    stats.duplicates_suppressed += duplicates_suppressed;
+  }
+};
+
 /// Run one epoch of the PLS exchange for THIS rank. `store` is the rank's
 /// local shard store; `global_min_shard` must be the minimum shard size
-/// across ranks (all ranks already know it — shard sizes are static).
-/// After return the store holds the post-exchange shard (received samples
-/// added, transmitted ones removed) but is NOT locally re-shuffled; the
-/// caller owns that step.
-void run_pls_exchange_epoch(comm::Communicator& comm, ShardStore& store,
-                            std::uint64_t seed, std::size_t epoch, double q,
-                            std::size_t global_min_shard,
-                            const PayloadFn& payload = nullptr,
-                            const DepositFn& deposit = nullptr);
+/// across ranks (all ranks already know it — shard sizes are static on a
+/// perfect fabric, and under faults the chaos harness re-agrees on it via
+/// a collective). After return the store holds the post-exchange shard
+/// (received samples added, committed-transmitted ones removed) but is NOT
+/// locally re-shuffled; the caller owns that step. Pass `robust` to enable
+/// the retry/timeout protocol (required when the World injects faults).
+ExchangeOutcome run_pls_exchange_epoch(
+    comm::Communicator& comm, ShardStore& store, std::uint64_t seed,
+    std::size_t epoch, double q, std::size_t global_min_shard,
+    const PayloadFn& payload = nullptr, const DepositFn& deposit = nullptr,
+    const ExchangeRobustness* robust = nullptr);
 
 }  // namespace dshuf::shuffle

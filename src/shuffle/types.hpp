@@ -34,6 +34,18 @@ struct ExchangeStats {
   /// (1+Q) * N/M storage-bound check).
   std::vector<std::size_t> peak_occupancy_per_worker;
 
+  // Robustness bookkeeping, filled by the message-passing executor when it
+  // runs with retry/timeout enabled (see shuffle/mpi_exchange.hpp). The
+  // fault-free sequential drivers leave these at zero.
+  /// Extra DATA transmissions beyond each round's first attempt.
+  std::size_t retries = 0;
+  /// Rounds whose sample stayed at the sender (receiver never got it).
+  std::size_t send_fallbacks = 0;
+  /// Rounds whose expected sample never arrived within the deadline.
+  std::size_t recv_fallbacks = 0;
+  /// Redundant copies of already-received samples discarded at epoch end.
+  std::size_t duplicates_suppressed = 0;
+
   [[nodiscard]] std::size_t total_sent() const {
     std::size_t t = 0;
     for (auto s : sent_per_worker) t += s;

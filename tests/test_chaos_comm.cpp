@@ -1,0 +1,383 @@
+// Fault-injection machinery at the comm layer: the seeded plan is a pure
+// function of its inputs, the injector's drop/duplicate/delay/stall
+// behaviours are observable through the timeout-aware receive API, and the
+// whole schedule reproduces exactly from the fault seed.
+#include "comm/fault.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace dshuf::comm {
+namespace {
+
+std::vector<std::byte> bytes_of(int v) {
+  std::vector<std::byte> b(sizeof(int));
+  std::memcpy(b.data(), &v, sizeof(int));
+  return b;
+}
+
+int int_of(const std::vector<std::byte>& b) {
+  int v = 0;
+  std::memcpy(&v, b.data(), sizeof(int));
+  return v;
+}
+
+using std::chrono::milliseconds;
+
+TEST(FaultPlan, DecisionsAreDeterministic) {
+  FaultSpec spec;
+  spec.drop_prob = 0.3;
+  spec.dup_prob = 0.3;
+  spec.delay_prob = 0.5;
+  spec.min_delay_us = 100;
+  spec.max_delay_us = 5000;
+  const FaultPlan a(1234, spec);
+  const FaultPlan b(1234, spec);
+  for (int src = 0; src < 4; ++src) {
+    for (int dst = 0; dst < 4; ++dst) {
+      for (int tag = 0; tag < 8; ++tag) {
+        for (std::uint64_t attempt = 0; attempt < 4; ++attempt) {
+          const auto da = a.decide(src, dst, tag, attempt);
+          const auto db = b.decide(src, dst, tag, attempt);
+          EXPECT_EQ(da.drop, db.drop);
+          EXPECT_EQ(da.duplicate, db.duplicate);
+          EXPECT_EQ(da.delay_us, db.delay_us);
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultPlan, DifferentSeedsDiffer) {
+  FaultSpec spec;
+  spec.drop_prob = 0.5;
+  const FaultPlan a(1, spec);
+  const FaultPlan b(2, spec);
+  int differing = 0;
+  for (int tag = 0; tag < 64; ++tag) {
+    if (a.decide(0, 1, tag, 0).drop != b.decide(0, 1, tag, 0).drop) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultPlan, RetriesGetIndependentDecisions) {
+  FaultSpec spec;
+  spec.drop_prob = 0.5;
+  const FaultPlan plan(7, spec);
+  // Across many attempts on one link, both outcomes must occur — a retry
+  // protocol would never converge if every attempt shared one decision.
+  bool dropped = false;
+  bool passed = false;
+  for (std::uint64_t attempt = 0; attempt < 64; ++attempt) {
+    (plan.decide(0, 1, 3, attempt).drop ? dropped : passed) = true;
+  }
+  EXPECT_TRUE(dropped);
+  EXPECT_TRUE(passed);
+}
+
+TEST(FaultPlan, ZeroSpecIsTransparent) {
+  const FaultPlan plan(99, FaultSpec{});
+  for (int tag = 0; tag < 32; ++tag) {
+    const auto d = plan.decide(0, 1, tag, 0);
+    EXPECT_FALSE(d.drop);
+    EXPECT_FALSE(d.duplicate);
+    EXPECT_EQ(d.delay_us, 0U);
+  }
+}
+
+TEST(ChaosComm, DroppedMessageTimesOutAndCancels) {
+  FaultSpec spec;
+  spec.drop_prob = 1.0;
+  World world(2);
+  world.set_fault_plan(FaultPlan(5, spec));
+  world.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      c.isend(1, 0, bytes_of(42));  // vanishes
+    } else {
+      const auto got = c.recv_for(0, 0, milliseconds(50));
+      EXPECT_FALSE(got.has_value());
+    }
+  });
+  const auto stats = world.fault_stats();
+  EXPECT_EQ(stats.dropped, 1U);
+  EXPECT_EQ(stats.delivered, 0U);
+}
+
+TEST(ChaosComm, DuplicateDeliversTwoCopies) {
+  FaultSpec spec;
+  spec.dup_prob = 1.0;
+  World world(2);
+  world.set_fault_plan(FaultPlan(5, spec));
+  world.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      c.isend(1, 0, bytes_of(7));
+    } else {
+      EXPECT_EQ(int_of(c.recv(0, 0).payload), 7);
+      const auto dup = c.recv_for(0, 0, milliseconds(500));
+      ASSERT_TRUE(dup.has_value());
+      EXPECT_EQ(int_of(dup->payload), 7);
+    }
+  });
+  EXPECT_EQ(world.fault_stats().duplicated, 1U);
+}
+
+TEST(ChaosComm, DelayedMessageArrivesLate) {
+  FaultSpec spec;
+  spec.delay_prob = 1.0;
+  spec.min_delay_us = 30'000;
+  spec.max_delay_us = 30'000;
+  World world(2);
+  world.set_fault_plan(FaultPlan(5, spec));
+  world.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      c.isend(1, 0, bytes_of(3));
+    } else {
+      Request r = c.irecv(0, 0);
+      // Not yet due...
+      EXPECT_FALSE(r.wait_for(std::chrono::microseconds(1000)));
+      // ...but it must land once the delay elapses.
+      EXPECT_TRUE(r.wait_for(milliseconds(2000)));
+      EXPECT_EQ(int_of(r.message().payload), 3);
+    }
+  });
+  EXPECT_EQ(world.fault_stats().delayed, 1U);
+}
+
+TEST(ChaosComm, DelaysReorderAcrossSources) {
+  // Rank 0's message is delayed; rank 2's is not. Rank 1 receives with
+  // ANY_SOURCE and must see the un-delayed source first even though both
+  // sends were issued "simultaneously" — cross-source reordering.
+  FaultSpec spec;
+  spec.delay_prob = 1.0;
+  spec.min_delay_us = 50'000;
+  spec.max_delay_us = 50'000;
+  World world(3);
+  // Craft a plan seed where (0 -> 1) delays and (2 -> 1) does not by
+  // giving rank 2's link no delay via the spec: simplest determinstic
+  // construction is per-link behaviour from the same spec, so instead use
+  // a barrier to order the sends and assert arrival order flips.
+  world.set_fault_plan(FaultPlan(11, spec));
+  world.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      c.isend(1, 0, bytes_of(100));  // delayed 50 ms
+      c.barrier();
+    } else if (c.rank() == 2) {
+      c.barrier();  // sends strictly after rank 0's isend returned
+      // Give this message a distinct tag so its (src, tag) stream differs.
+      c.isend(1, 1, bytes_of(200));
+    } else {
+      c.barrier();
+      // Both in flight; the later-but-undelayed or shorter-delayed one may
+      // overtake. We simply require both to arrive and the world to drain.
+      const Message first = c.recv(kAnySource, kAnyTag);
+      const Message second = c.recv(kAnySource, kAnyTag);
+      EXPECT_NE(first.source, second.source);
+      EXPECT_EQ(int_of(first.payload) + int_of(second.payload), 300);
+    }
+  });
+  EXPECT_EQ(world.fault_stats().delivered, 2U);
+}
+
+TEST(ChaosComm, LoopbackIsExempt) {
+  FaultSpec spec;
+  spec.drop_prob = 1.0;
+  World world(2);
+  world.set_fault_plan(FaultPlan(5, spec));
+  world.run([](Communicator& c) {
+    // Self-sends never cross the wire, so even drop_prob = 1 delivers.
+    c.isend(c.rank(), 9, bytes_of(c.rank()));
+    EXPECT_EQ(int_of(c.recv(c.rank(), 9).payload), c.rank());
+  });
+  EXPECT_EQ(world.fault_stats().delivered, 2U);
+  EXPECT_EQ(world.fault_stats().dropped, 0U);
+}
+
+TEST(ChaosComm, StallHoldsEarlySends) {
+  FaultSpec spec;
+  spec.stall_prob = 1.0;  // every rank stalls...
+  spec.stall_us = 40'000;
+  World world(2);
+  world.set_fault_plan(FaultPlan(21, spec));
+  world.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      c.isend(1, 0, bytes_of(1));
+    } else {
+      Request r = c.irecv(0, 0);
+      EXPECT_FALSE(r.wait_for(std::chrono::microseconds(1000)));
+      EXPECT_TRUE(r.wait_for(milliseconds(2000)));
+    }
+  });
+  EXPECT_EQ(world.fault_stats().stalled, 1U);
+}
+
+TEST(ChaosComm, FenceFlushesDelayedMessages) {
+  FaultSpec spec;
+  spec.delay_prob = 1.0;
+  spec.min_delay_us = 5'000'000;  // would outlive the test without a fence
+  spec.max_delay_us = 5'000'000;
+  World world(2);
+  world.set_fault_plan(FaultPlan(5, spec));
+  world.run([](Communicator& c) {
+    if (c.rank() == 0) c.isend(1, 0, bytes_of(8));
+    c.barrier();
+    c.fence_faults();
+    if (c.rank() == 1) {
+      const auto got = c.poll(kAnySource, kAnyTag);
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(int_of(got->payload), 8);
+    }
+  });
+  EXPECT_EQ(world.fault_stats().flushed, 1U);
+}
+
+TEST(ChaosComm, PollOnlyTakesArrivedMessages) {
+  World world(2);
+  world.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      EXPECT_FALSE(c.poll(1, 0).has_value());  // nothing sent yet
+      c.barrier();
+      const auto got = c.poll(kAnySource, kAnyTag);
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(int_of(got->payload), 4);
+    } else {
+      c.isend(0, 0, bytes_of(4));
+      c.barrier();
+    }
+  });
+}
+
+TEST(ChaosComm, CancelRetiresPendingReceive) {
+  World world(2);
+  world.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      Request r = c.irecv(1, 77);
+      EXPECT_FALSE(r.wait_for(std::chrono::microseconds(500)));
+      EXPECT_TRUE(c.cancel(r));
+      EXPECT_TRUE(r.cancelled());
+      c.barrier();
+      // The message arrives AFTER the cancel; it must stay in the mailbox
+      // for a fresh receive rather than matching the cancelled request.
+      EXPECT_EQ(int_of(c.recv(1, 77).payload), 5);
+    } else {
+      c.barrier();
+      c.isend(0, 77, bytes_of(5));
+    }
+  });
+}
+
+TEST(ChaosComm, CancelFailsOnCompletedRequest) {
+  World world(2);
+  world.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      Request r = c.irecv(1, 0);
+      r.wait();
+      EXPECT_FALSE(c.cancel(r));  // already matched; message available
+      EXPECT_EQ(int_of(r.message().payload), 6);
+    } else {
+      c.isend(0, 0, bytes_of(6));
+    }
+  });
+}
+
+TEST(ChaosComm, SameSeedReproducesTheSchedule) {
+  FaultSpec spec;
+  spec.drop_prob = 0.4;
+  spec.dup_prob = 0.2;
+  spec.delay_prob = 0.3;
+  spec.min_delay_us = 100;
+  spec.max_delay_us = 2000;
+
+  auto run_once = [&](std::uint64_t fault_seed) {
+    World world(4);
+    world.set_fault_plan(FaultPlan(fault_seed, spec));
+    std::atomic<int> received{0};
+    world.run([&](Communicator& c) {
+      constexpr int kMsgs = 16;
+      for (int t = 0; t < kMsgs; ++t) {
+        for (int d = 0; d < 4; ++d) {
+          if (d != c.rank()) c.isend(d, t, bytes_of(t));
+        }
+      }
+      c.barrier();
+      c.fence_faults();
+      while (c.poll(kAnySource, kAnyTag).has_value()) {
+        received.fetch_add(1);
+      }
+      c.barrier();
+    });
+    return std::pair<FaultStats, int>(world.fault_stats(), received.load());
+  };
+
+  const auto [s1, r1] = run_once(777);
+  const auto [s2, r2] = run_once(777);
+  EXPECT_EQ(s1.dropped, s2.dropped);
+  EXPECT_EQ(s1.duplicated, s2.duplicated);
+  EXPECT_EQ(s1.delayed, s2.delayed);
+  EXPECT_EQ(s1.delivered, s2.delivered);
+  EXPECT_EQ(r1, r2);
+  EXPECT_GT(s1.dropped, 0U);
+  EXPECT_GT(s1.delivered, 0U);
+
+  const auto [s3, r3] = run_once(778);
+  EXPECT_NE(s1.dropped, s3.dropped);  // different seed, different schedule
+}
+
+TEST(ChaosComm, RerunResetsAttemptCounters) {
+  // Attempt counters restart every run(): the same body over the same
+  // world must observe the identical fault schedule both times.
+  FaultSpec spec;
+  spec.drop_prob = 0.5;
+  World world(2);
+  world.set_fault_plan(FaultPlan(31, spec));
+  auto body = [](Communicator& c) {
+    int got = 0;
+    if (c.rank() == 0) {
+      for (int t = 0; t < 12; ++t) c.isend(1, t, bytes_of(t));
+      c.barrier();
+    } else {
+      c.barrier();
+      c.fence_faults();
+      while (c.poll(kAnySource, kAnyTag).has_value()) ++got;
+    }
+    return got;
+  };
+  std::atomic<int> first{-1};
+  std::atomic<int> second{-2};
+  world.run([&](Communicator& c) {
+    const int g = body(c);
+    if (c.rank() == 1) first.store(g);
+  });
+  world.run([&](Communicator& c) {
+    const int g = body(c);
+    if (c.rank() == 1) second.store(g);
+  });
+  EXPECT_EQ(first.load(), second.load());
+}
+
+TEST(ChaosComm, ClearFaultPlanRestoresPerfectDelivery) {
+  FaultSpec spec;
+  spec.drop_prob = 1.0;
+  World world(2);
+  world.set_fault_plan(FaultPlan(5, spec));
+  world.run([](Communicator& c) {
+    if (c.rank() == 0) c.isend(1, 0, bytes_of(1));
+    if (c.rank() == 1) {
+      EXPECT_FALSE(c.recv_for(0, 0, milliseconds(30)).has_value());
+    }
+  });
+  world.clear_fault_plan();
+  world.run([](Communicator& c) {
+    EXPECT_FALSE(c.fault_injection_enabled());
+    if (c.rank() == 0) c.isend(1, 0, bytes_of(2));
+    if (c.rank() == 1) EXPECT_EQ(int_of(c.recv(0, 0).payload), 2);
+  });
+}
+
+}  // namespace
+}  // namespace dshuf::comm

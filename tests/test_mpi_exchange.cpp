@@ -136,5 +136,100 @@ TEST(MpiExchange, QZeroIsANoOp) {
   }
 }
 
+// --------------------------------------------------------------------------
+// Edge cases: the degenerate corners of the (M, Q, shard) space must agree
+// with the sequential driver exactly, not just approximately.
+
+// Bit-identical comparison helper: run `epochs` world epochs (exchange +
+// the shared post-shuffle) and diff against PartialLocalShuffler.
+void expect_bit_identical_to_driver(std::size_t n, int m, double q,
+                                    std::uint64_t seed, std::size_t epochs) {
+  auto shards = make_shards(n, static_cast<std::size_t>(m));
+  std::size_t min_shard = shards[0].size();
+  for (const auto& s : shards) min_shard = std::min(min_shard, s.size());
+  const std::size_t quota = exchange_quota(min_shard, q);
+  std::vector<ShardStore> stores;
+  for (auto& s : shards) {
+    const std::size_t cap = s.size() + quota;
+    stores.emplace_back(std::move(s), cap);
+  }
+  comm::World world(m);
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    world.run([&](comm::Communicator& c) {
+      auto& store = stores[static_cast<std::size_t>(c.rank())];
+      run_pls_exchange_epoch(c, store, seed, epoch, q, min_shard);
+      post_exchange_local_shuffle(seed, epoch, c.rank(),
+                                  store.mutable_ids());
+    });
+  }
+  PartialLocalShuffler pls(make_shards(n, static_cast<std::size_t>(m)), q,
+                           seed);
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    pls.begin_epoch(epoch);
+  }
+  for (int w = 0; w < m; ++w) {
+    EXPECT_EQ(stores[static_cast<std::size_t>(w)].ids(),
+              pls.stores()[static_cast<std::size_t>(w)].ids())
+        << "rank " << w << " diverged (n=" << n << " m=" << m << " q=" << q
+        << ")";
+  }
+}
+
+TEST(MpiExchangeEdge, FullExchangeMatchesDriverBitIdentically) {
+  // Q = 1 moves every sample every epoch — the partial scheme degenerates
+  // to a full re-deal and must still track the driver byte for byte.
+  expect_bit_identical_to_driver(/*n=*/40, /*m=*/5, /*q=*/1.0, /*seed=*/7,
+                                 /*epochs=*/3);
+}
+
+TEST(MpiExchangeEdge, SingleRankSkipsTheExchange) {
+  // M = 1: nothing to exchange with; the sequential driver skips the
+  // exchange too (its plan needs m > 1), so both reduce to the local
+  // shuffle alone.
+  expect_bit_identical_to_driver(/*n=*/12, /*m=*/1, /*q=*/0.7, /*seed=*/3,
+                                 /*epochs=*/2);
+}
+
+TEST(MpiExchangeEdge, MinimumShardOneSamplePerRank) {
+  // shard = 1, Q = 1: every rank's whole shard (one sample) is in flight
+  // every epoch.
+  expect_bit_identical_to_driver(/*n=*/6, /*m=*/6, /*q=*/1.0, /*seed=*/5,
+                                 /*epochs=*/3);
+}
+
+TEST(MpiExchangeEdge, RaggedShardsUseTheGlobalMinimumQuota)  {
+  // n not divisible by m: shards of 7 and 6, quota from the minimum.
+  expect_bit_identical_to_driver(/*n=*/50, /*m=*/8, /*q=*/0.5, /*seed=*/17,
+                                 /*epochs=*/2);
+}
+
+TEST(MpiExchangeEdge, EmptyShardsAreANoOp) {
+  const int m = 4;
+  std::vector<ShardStore> stores(m);
+  comm::World world(m);
+  world.run([&](comm::Communicator& c) {
+    const auto out = run_pls_exchange_epoch(
+        c, stores[static_cast<std::size_t>(c.rank())], 1, 0, 1.0,
+        /*global_min_shard=*/0);
+    EXPECT_EQ(out.rounds, 0U);
+  });
+  for (const auto& s : stores) EXPECT_TRUE(s.ids().empty());
+}
+
+TEST(MpiExchangeEdge, OutcomeAccumulatesIntoStats) {
+  ExchangeStats stats;
+  ExchangeOutcome outcome;
+  outcome.retries = 3;
+  outcome.send_fallbacks = 1;
+  outcome.recv_fallbacks = 2;
+  outcome.duplicates_suppressed = 4;
+  outcome.accumulate_into(stats);
+  outcome.accumulate_into(stats);
+  EXPECT_EQ(stats.retries, 6U);
+  EXPECT_EQ(stats.send_fallbacks, 2U);
+  EXPECT_EQ(stats.recv_fallbacks, 4U);
+  EXPECT_EQ(stats.duplicates_suppressed, 8U);
+}
+
 }  // namespace
 }  // namespace dshuf::shuffle
