@@ -190,12 +190,24 @@ void FaultInjector::fence() {
       grabbed.push_back(std::move(const_cast<Delayed&>(queue_.top())));
       queue_.pop();
     }
-    stats_.flushed += grabbed.size();
-    stats_.delivered += grabbed.size();
+    // Count the grabbed batch as in flight while it is delivered outside
+    // the lock: a concurrent fence() must not observe queue_.empty() &&
+    // in_flight_ == 0 and return before these deposits land.
+    in_flight_ += grabbed.size();
   }
-  for (auto& item : grabbed) deliver_(item.dest, std::move(item.msg));
-  // Wait for the timer thread to finish any delivery it popped before we
-  // grabbed the queue — after this, delivery is globally quiescent.
+  for (auto& item : grabbed) {
+    deliver_(item.dest, std::move(item.msg));
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.flushed;
+      ++stats_.delivered;
+      --in_flight_;
+    }
+    cv_.notify_all();
+  }
+  // Wait until no delivery is outstanding anywhere — neither on the timer
+  // thread nor in another rank's concurrent fence() — and nothing new is
+  // queued. After this, delivery is globally quiescent.
   std::unique_lock<std::mutex> lk(mu_);
   cv_.wait(lk, [&] { return in_flight_ == 0 && queue_.empty(); });
 }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <thread>
 
 #include "shuffle/exchange_plan.hpp"
@@ -29,12 +30,21 @@ SampleId decode_sample_id(const std::vector<std::byte>& buf) {
   return id;
 }
 
-// Tag layout of the robust protocol: round i's sample travels on an even
-// tag, its acknowledgement on the adjacent odd tag. Disjoint per round, so
-// duplicate copies and retransmissions can never match another round's
-// receive.
-int data_tag(std::size_t round) { return static_cast<int>(2 * round); }
-int ack_tag(std::size_t round) { return static_cast<int>(2 * round + 1); }
+// Tag layout of the robust protocol: tags are namespaced per epoch
+// (base = 2 * epoch * quota), round i's sample travels on the even tag
+// base + 2i, its acknowledgement on the adjacent odd tag. Disjoint per
+// round AND per epoch, so duplicate copies, retransmissions, and stale
+// messages that escape an epoch's drain can never match another round's
+// or a later epoch's receive — an escapee is caught by check_drained
+// instead of silently corrupting the exchange.
+std::uint64_t epoch_tag_base(std::size_t epoch, std::size_t quota) {
+  const std::uint64_t base = 2ull * epoch * quota;
+  DSHUF_CHECK_LE(base + 2 * quota,
+                 static_cast<std::uint64_t>(
+                     std::numeric_limits<int>::max()),
+                 "exchange tag space exhausted (epoch * quota too large)");
+  return base;
+}
 
 // The original fire-and-wait exchange (Algorithm 1 verbatim). Only valid
 // on a perfect fabric.
@@ -89,7 +99,7 @@ ExchangeOutcome run_fast_path(comm::Communicator& comm, ShardStore& store,
 // the reliable collective path at the end — that is what keeps sender and
 // receiver in agreement no matter which messages were lost.
 ExchangeOutcome run_robust_path(comm::Communicator& comm, ShardStore& store,
-                                const ExchangePlan& plan,
+                                const ExchangePlan& plan, std::size_t epoch,
                                 const std::vector<SampleId>& outgoing,
                                 const PayloadFn& payload,
                                 const DepositFn& deposit,
@@ -98,6 +108,13 @@ ExchangeOutcome run_robust_path(comm::Communicator& comm, ShardStore& store,
   const int rank = comm.rank();
   const std::size_t quota = outgoing.size();
   DSHUF_CHECK_GT(robust.max_attempts, 0, "need at least one send attempt");
+  const std::uint64_t tag_base = epoch_tag_base(epoch, quota);
+  const auto data_tag = [tag_base](std::size_t round) {
+    return static_cast<int>(tag_base + 2 * round);
+  };
+  const auto ack_tag = [tag_base](std::size_t round) {
+    return static_cast<int>(tag_base + 2 * round + 1);
+  };
 
   ExchangeOutcome out;
   out.rounds = quota;
@@ -220,10 +237,11 @@ ExchangeOutcome run_robust_path(comm::Communicator& comm, ShardStore& store,
   comm.fence_faults();
   while (auto stray = comm.poll(comm::kAnySource, comm::kAnyTag)) {
     ++out.strays_drained;
-    const int tag = stray->tag;
-    if (tag >= 0 && tag % 2 == 0) {
-      const auto i = static_cast<std::size_t>(tag) / 2;
-      if (i < quota && rounds[i].recv_ok) ++out.duplicates_suppressed;
+    const auto tag = static_cast<std::uint64_t>(stray->tag);
+    if (stray->tag >= 0 && tag >= tag_base && tag < tag_base + 2 * quota &&
+        (tag - tag_base) % 2 == 0) {
+      const auto i = static_cast<std::size_t>((tag - tag_base) / 2);
+      if (rounds[i].recv_ok) ++out.duplicates_suppressed;
     }
   }
 
@@ -283,7 +301,7 @@ ExchangeOutcome run_pls_exchange_epoch(comm::Communicator& comm,
                 "pass an ExchangeRobustness budget");
     return run_fast_path(comm, store, plan, outgoing, payload, deposit);
   }
-  return run_robust_path(comm, store, plan, outgoing, payload, deposit,
+  return run_robust_path(comm, store, plan, epoch, outgoing, payload, deposit,
                          *robust);
 }
 
