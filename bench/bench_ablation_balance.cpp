@@ -38,7 +38,10 @@ int main() {
       for (auto c : v) mean += static_cast<double>(c);
       mean /= static_cast<double>(v.size());
       double ss = 0;
-      for (auto c : v) ss += (c - mean) * (c - mean);
+      for (auto c : v) {
+        const double d = static_cast<double>(c) - mean;
+        ss += d * d;
+      }
       const double sd = std::sqrt(ss / static_cast<double>(v.size()));
       return std::tuple<std::size_t, std::size_t, double>{mn, mx, sd};
     };

@@ -78,7 +78,8 @@ int main() {
       }
     }
     const double minutes =
-        reached ? epochs_needed * out.epoch_time / 60.0 : -1;
+        reached ? static_cast<double>(epochs_needed) * out.epoch_time / 60.0
+                : -1;
     if (out.label == "global") global_minutes = minutes;
     t.row({out.label,
            reached ? std::to_string(epochs_needed) : "never",

@@ -77,7 +77,8 @@ int main(int argc, char** argv) {
     const float lr0 = workload.regime.base_lr *
                       static_cast<float>(ranks * b) /
                       static_cast<float>(workload.regime.reference_batch);
-    nn::MultiStepLr schedule(lr0, {epochs * 0.6, epochs * 0.85}, 0.1F,
+    const auto epochs_d = static_cast<double>(epochs);
+    nn::MultiStepLr schedule(lr0, {epochs_d * 0.6, epochs_d * 0.85}, 0.1F,
                              workload.regime.warmup_epochs);
     nn::Sgd opt(model, {.lr = lr0,
                         .momentum = workload.regime.momentum,

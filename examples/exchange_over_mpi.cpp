@@ -114,7 +114,7 @@ int main(int argc, char** argv) {
     for (auto p : peak_files) max_peak = std::max(max_peak, p);
     t.row({std::to_string(epoch), std::to_string(quota * ranks),
            fmt_bytes(static_cast<double>(quota) *
-                     dataset.bytes_per_sample()),
+                     static_cast<double>(dataset.bytes_per_sample())),
            std::to_string(max_peak), std::to_string(shard + quota)});
   }
   t.print(std::cout);

@@ -7,14 +7,15 @@
 
 #include "comm/fault.hpp"
 #include "util/error.hpp"
+#include "util/ranked_mutex.hpp"
 
 namespace dshuf::comm {
 
 namespace detail {
 
 struct RequestState {
-  std::mutex mu;
-  std::condition_variable cv;
+  RankedMutex mu{LockRank::kCommRequest, "comm.request"};
+  std::condition_variable_any cv;
   bool done = false;
   bool cancelled = false;
   Message msg;
@@ -23,7 +24,7 @@ struct RequestState {
 
   void complete(Message m) {
     {
-      std::lock_guard<std::mutex> lk(mu);
+      std::lock_guard<RankedMutex> lk(mu);
       msg = std::move(m);
       done = true;
     }
@@ -38,7 +39,7 @@ struct PendingRecv {
 };
 
 struct RankMailbox {
-  std::mutex mu;
+  RankedMutex mu{LockRank::kCommMailbox, "comm.mailbox"};
   std::deque<Message> arrived;
   std::deque<PendingRecv> pending;
 };
@@ -110,14 +111,14 @@ class WorldState {
     barrier_cv_.notify_all();
     // Wake any parked receive requests.
     for (auto& mb : mailboxes_) {
-      std::lock_guard<std::mutex> lk(mb.mu);
+      std::lock_guard<RankedMutex> lk(mb.mu);
       for (auto& pr : mb.pending) pr.state->cv.notify_all();
     }
   }
   void reset_abort() { aborted_->store(false); }
 
   void barrier() {
-    std::unique_lock<std::mutex> lk(barrier_mu_);
+    std::unique_lock<RankedMutex> lk(barrier_mu_);
     const std::uint64_t gen = barrier_gen_;
     if (++barrier_count_ == size_) {
       barrier_count_ = 0;
@@ -149,7 +150,7 @@ class WorldState {
                        "(fence_faults() + drain before returning)");
     for (int r = 0; r < size_; ++r) {
       auto& mb = mailbox(r);
-      std::lock_guard<std::mutex> lk(mb.mu);
+      std::lock_guard<RankedMutex> lk(mb.mu);
       DSHUF_CHECK(mb.arrived.empty(),
                   "rank " << r << " finished with " << mb.arrived.size()
                           << " unreceived message(s)");
@@ -163,8 +164,8 @@ class WorldState {
   int size_;
   std::vector<RankMailbox> mailboxes_;
 
-  std::mutex barrier_mu_;
-  std::condition_variable barrier_cv_;
+  RankedMutex barrier_mu_{LockRank::kCommBarrier, "comm.barrier"};
+  std::condition_variable_any barrier_cv_;
   int barrier_count_ = 0;
   std::uint64_t barrier_gen_ = 0;
 
@@ -195,7 +196,7 @@ void WorldState::deposit(int dest, Message msg) {
   auto& mb = mailbox(dest);
   std::shared_ptr<RequestState> matched;
   {
-    std::lock_guard<std::mutex> lk(mb.mu);
+    std::lock_guard<RankedMutex> lk(mb.mu);
     for (auto it = mb.pending.begin(); it != mb.pending.end(); ++it) {
       if (matches(*it, msg.source, msg.tag)) {
         matched = it->state;
@@ -212,13 +213,13 @@ void WorldState::deposit(int dest, Message msg) {
 
 bool Request::test() const {
   DSHUF_CHECK(state_ != nullptr, "test() on an empty request");
-  std::lock_guard<std::mutex> lk(state_->mu);
+  std::lock_guard<RankedMutex> lk(state_->mu);
   return state_->done;
 }
 
 void Request::wait() {
   DSHUF_CHECK(state_ != nullptr, "wait() on an empty request");
-  std::unique_lock<std::mutex> lk(state_->mu);
+  std::unique_lock<RankedMutex> lk(state_->mu);
   // Poll with a timeout so an aborted world (peer threw) wakes us even if
   // the notification raced our wait registration.
   while (!state_->done) {
@@ -232,7 +233,7 @@ void Request::wait() {
 bool Request::wait_for(std::chrono::microseconds timeout) {
   DSHUF_CHECK(state_ != nullptr, "wait_for() on an empty request");
   const auto deadline = std::chrono::steady_clock::now() + timeout;
-  std::unique_lock<std::mutex> lk(state_->mu);
+  std::unique_lock<RankedMutex> lk(state_->mu);
   while (!state_->done) {
     DSHUF_CHECK(!state_->cancelled, "wait_for() on a cancelled request");
     DSHUF_CHECK(!(state_->aborted && state_->aborted->load()),
@@ -249,13 +250,13 @@ bool Request::wait_for(std::chrono::microseconds timeout) {
 
 bool Request::cancelled() const {
   DSHUF_CHECK(state_ != nullptr, "cancelled() on an empty request");
-  std::lock_guard<std::mutex> lk(state_->mu);
+  std::lock_guard<RankedMutex> lk(state_->mu);
   return state_->cancelled;
 }
 
 const Message& Request::message() const {
   DSHUF_CHECK(state_ != nullptr, "message() on an empty request");
-  std::lock_guard<std::mutex> lk(state_->mu);
+  std::lock_guard<RankedMutex> lk(state_->mu);
   DSHUF_CHECK(state_->done, "message() before completion");
   return state_->msg;
 }
@@ -294,7 +295,7 @@ Request Communicator::irecv(int source, int tag) {
   bool completed = false;
   Message found;
   {
-    std::lock_guard<std::mutex> lk(mb.mu);
+    std::lock_guard<RankedMutex> lk(mb.mu);
     for (auto it = mb.arrived.begin(); it != mb.arrived.end(); ++it) {
       if (detail::matches_msg(source, tag, *it)) {
         found = std::move(*it);
@@ -329,7 +330,7 @@ std::optional<Message> Communicator::recv_for(
 
 std::optional<Message> Communicator::poll(int source, int tag) {
   auto& mb = world_->mailbox(rank_);
-  std::lock_guard<std::mutex> lk(mb.mu);
+  std::lock_guard<RankedMutex> lk(mb.mu);
   for (auto it = mb.arrived.begin(); it != mb.arrived.end(); ++it) {
     if (detail::matches_msg(source, tag, *it)) {
       Message found = std::move(*it);
@@ -343,12 +344,12 @@ std::optional<Message> Communicator::poll(int source, int tag) {
 bool Communicator::cancel(Request& request) {
   DSHUF_CHECK(request.valid(), "cancel() on an empty request");
   auto& mb = world_->mailbox(rank_);
-  std::lock_guard<std::mutex> lk(mb.mu);
+  std::lock_guard<RankedMutex> lk(mb.mu);
   for (auto it = mb.pending.begin(); it != mb.pending.end(); ++it) {
     if (it->state == request.state_) {
       auto state = it->state;
       mb.pending.erase(it);
-      std::lock_guard<std::mutex> slk(state->mu);
+      std::lock_guard<RankedMutex> slk(state->mu);
       state->cancelled = true;
       return true;
     }

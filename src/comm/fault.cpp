@@ -63,7 +63,7 @@ FaultInjector::FaultInjector(FaultPlan plan, int world_size, DeliverFn deliver)
 
 FaultInjector::~FaultInjector() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<RankedMutex> lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -71,7 +71,7 @@ FaultInjector::~FaultInjector() {
 }
 
 void FaultInjector::begin_run() {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<RankedMutex> lk(mu_);
   run_start_ = std::chrono::steady_clock::now();
   for (auto& per_rank : attempts_) per_rank.clear();
 }
@@ -80,7 +80,7 @@ void FaultInjector::submit(int source, int dest, Message msg) {
   // Loopback never crosses the wire: deliver faithfully.
   if (source == dest) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      std::lock_guard<RankedMutex> lk(mu_);
       ++stats_.submitted;
       ++stats_.delivered;
     }
@@ -98,7 +98,7 @@ void FaultInjector::submit(int source, int dest, Message msg) {
   const std::uint32_t stall = plan_.stall_us(source);
   std::chrono::steady_clock::time_point start;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<RankedMutex> lk(mu_);
     ++stats_.submitted;
     start = run_start_;
   }
@@ -114,13 +114,13 @@ void FaultInjector::submit(int source, int dest, Message msg) {
   }
 
   if (d.drop) {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<RankedMutex> lk(mu_);
     ++stats_.dropped;
     return;
   }
   if (d.duplicate) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      std::lock_guard<RankedMutex> lk(mu_);
       ++stats_.duplicated;
       ++stats_.delivered;
     }
@@ -131,14 +131,14 @@ void FaultInjector::submit(int source, int dest, Message msg) {
       static_cast<std::uint64_t>(d.delay_us) + stall_extra_us;
   if (total_delay_us == 0) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      std::lock_guard<RankedMutex> lk(mu_);
       ++stats_.delivered;
     }
     deliver_(dest, std::move(msg));
     return;
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<RankedMutex> lk(mu_);
     if (d.delay_us > 0) ++stats_.delayed;
     if (stall_extra_us > 0) ++stats_.stalled;
   }
@@ -150,14 +150,14 @@ void FaultInjector::submit(int source, int dest, Message msg) {
 void FaultInjector::schedule(int dest, Message msg,
                              std::chrono::steady_clock::time_point due) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<RankedMutex> lk(mu_);
     queue_.push(Delayed{due, next_seq_++, dest, std::move(msg)});
   }
   cv_.notify_all();
 }
 
 void FaultInjector::timer_loop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  std::unique_lock<RankedMutex> lk(mu_);
   while (true) {
     if (stop_) return;
     if (queue_.empty()) {
@@ -185,7 +185,7 @@ void FaultInjector::timer_loop() {
 void FaultInjector::fence() {
   std::vector<Delayed> grabbed;
   {
-    std::unique_lock<std::mutex> lk(mu_);
+    std::unique_lock<RankedMutex> lk(mu_);
     while (!queue_.empty()) {
       grabbed.push_back(std::move(const_cast<Delayed&>(queue_.top())));
       queue_.pop();
@@ -198,7 +198,7 @@ void FaultInjector::fence() {
   for (auto& item : grabbed) {
     deliver_(item.dest, std::move(item.msg));
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      std::lock_guard<RankedMutex> lk(mu_);
       ++stats_.flushed;
       ++stats_.delivered;
       --in_flight_;
@@ -208,22 +208,22 @@ void FaultInjector::fence() {
   // Wait until no delivery is outstanding anywhere — neither on the timer
   // thread nor in another rank's concurrent fence() — and nothing new is
   // queued. After this, delivery is globally quiescent.
-  std::unique_lock<std::mutex> lk(mu_);
+  std::unique_lock<RankedMutex> lk(mu_);
   cv_.wait(lk, [&] { return in_flight_ == 0 && queue_.empty(); });
 }
 
 void FaultInjector::quiesce_in_flight() {
-  std::unique_lock<std::mutex> lk(mu_);
+  std::unique_lock<RankedMutex> lk(mu_);
   cv_.wait(lk, [&] { return in_flight_ == 0; });
 }
 
 std::size_t FaultInjector::pending() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<RankedMutex> lk(mu_);
   return queue_.size() + in_flight_;
 }
 
 FaultStats FaultInjector::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<RankedMutex> lk(mu_);
   return stats_;
 }
 

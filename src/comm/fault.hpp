@@ -28,13 +28,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <queue>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "comm/comm.hpp"
+#include "util/ranked_mutex.hpp"
 #include "util/rng.hpp"
 
 namespace dshuf::comm {
@@ -156,11 +157,14 @@ class FaultInjector {
 
   // Per-source attempt counters keyed by (dest, tag). Each slot is touched
   // only by its own rank's thread, so no lock is needed and the counts are
-  // reproducible (a rank's send sequence is deterministic).
-  std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> attempts_;
+  // reproducible (a rank's send sequence is deterministic). Ordered map so
+  // no observable behaviour (stats drains, debug dumps, future snapshots)
+  // can ever depend on hash-bucket iteration order — fault-schedule replay
+  // must be a pure function of the seed.
+  std::vector<std::map<std::uint64_t, std::uint64_t>> attempts_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable RankedMutex mu_{LockRank::kFault, "comm.fault"};
+  std::condition_variable_any cv_;
   std::priority_queue<Delayed, std::vector<Delayed>, Later> queue_;
   std::uint64_t next_seq_ = 0;
   std::size_t in_flight_ = 0;  // popped but not yet deposited

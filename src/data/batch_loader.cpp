@@ -16,7 +16,7 @@ BatchLoader::BatchLoader(const InMemoryDataset& dataset,
 
 BatchLoader::~BatchLoader() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<RankedMutex> lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -33,7 +33,7 @@ void BatchLoader::producer_loop() {
     batch.features = dataset_->gather(ids);
     batch.labels = dataset_->gather_labels(ids);
 
-    std::unique_lock<std::mutex> lk(mu_);
+    std::unique_lock<RankedMutex> lk(mu_);
     cv_.wait(lk, [&] {
       return stop_ || queue_.size() < prefetch_depth_;
     });
@@ -46,7 +46,7 @@ void BatchLoader::producer_loop() {
 }
 
 std::optional<BatchLoader::Batch> BatchLoader::next() {
-  std::unique_lock<std::mutex> lk(mu_);
+  std::unique_lock<RankedMutex> lk(mu_);
   if (consumed_ >= num_batches_) return std::nullopt;
   cv_.wait(lk, [&] { return !queue_.empty(); });
   Batch batch = std::move(queue_.front());

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "util/ranked_mutex.hpp"
 
 namespace dshuf::data {
 
@@ -50,8 +51,8 @@ class BatchLoader {
   std::size_t prefetch_depth_;
   std::size_t num_batches_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
+  RankedMutex mu_{LockRank::kBatchLoader, "data.batch_loader"};
+  std::condition_variable_any cv_;
   std::deque<Batch> queue_;
   std::size_t produced_ = 0;
   std::size_t consumed_ = 0;

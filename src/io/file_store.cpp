@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include <mutex>
+
 #include "util/error.hpp"
 
 namespace dshuf::io {
@@ -20,6 +22,7 @@ fs::path FileSampleStore::path_for(data::SampleId id) const {
 
 void FileSampleStore::save(data::SampleId id,
                            std::span<const std::byte> payload) {
+  std::lock_guard<RankedMutex> lk(mu_);
   std::ofstream f(path_for(id), std::ios::binary | std::ios::trunc);
   DSHUF_CHECK(f.good(), "cannot open " << path_for(id) << " for writing");
   f.write(reinterpret_cast<const char*>(payload.data()),
@@ -28,6 +31,7 @@ void FileSampleStore::save(data::SampleId id,
 }
 
 std::vector<std::byte> FileSampleStore::load(data::SampleId id) const {
+  std::lock_guard<RankedMutex> lk(mu_);
   const auto p = path_for(id);
   std::ifstream f(p, std::ios::binary | std::ios::ate);
   DSHUF_CHECK(f.good(), "sample " << id << " not found in " << dir_);
@@ -41,16 +45,19 @@ std::vector<std::byte> FileSampleStore::load(data::SampleId id) const {
 }
 
 void FileSampleStore::remove(data::SampleId id) {
+  std::lock_guard<RankedMutex> lk(mu_);
   const auto p = path_for(id);
   DSHUF_CHECK(fs::exists(p), "remove: sample " << id << " not stored");
   fs::remove(p);
 }
 
 bool FileSampleStore::contains(data::SampleId id) const {
+  std::lock_guard<RankedMutex> lk(mu_);
   return fs::exists(path_for(id));
 }
 
 std::vector<data::SampleId> FileSampleStore::list() const {
+  std::lock_guard<RankedMutex> lk(mu_);
   std::vector<data::SampleId> ids;
   for (const auto& entry : fs::directory_iterator(dir_)) {
     if (!entry.is_regular_file()) continue;
@@ -62,6 +69,7 @@ std::vector<data::SampleId> FileSampleStore::list() const {
 }
 
 std::size_t FileSampleStore::disk_bytes() const {
+  std::lock_guard<RankedMutex> lk(mu_);
   std::size_t total = 0;
   for (const auto& entry : fs::directory_iterator(dir_)) {
     if (entry.is_regular_file()) {

@@ -10,17 +10,31 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "util/ranked_mutex.hpp"
 
 namespace dshuf::io {
 
 class FileSampleStore {
  public:
-  /// Creates `dir` (and parents) if needed.
+  /// Creates `dir` (and parents) if needed. All operations are serialised
+  /// by an internal LockRank::kFileStore mutex, so the exchange's deposit
+  /// callback and a concurrent reader (disk_bytes/list audits) are safe.
   explicit FileSampleStore(std::filesystem::path dir);
+
+  /// Movable so stores pack into per-rank vectors; the internal mutex is
+  /// not moved (each store gets a fresh one). Only valid while no other
+  /// thread is using either store — move during setup, not mid-exchange.
+  FileSampleStore(FileSampleStore&& other) noexcept
+      : dir_(std::move(other.dir_)) {}
+  FileSampleStore& operator=(FileSampleStore&& other) noexcept {
+    dir_ = std::move(other.dir_);
+    return *this;
+  }
 
   /// Persist a sample's payload (save hook). Overwrites silently — an
   /// arriving sample replaces any stale copy.
@@ -46,6 +60,7 @@ class FileSampleStore {
  private:
   [[nodiscard]] std::filesystem::path path_for(data::SampleId id) const;
   std::filesystem::path dir_;
+  mutable RankedMutex mu_{LockRank::kFileStore, "io.file_store"};
 };
 
 /// Serialize one dataset row (features + label) to bytes and back —

@@ -1,0 +1,59 @@
+// Per-epoch tag-space helpers for the PLS exchange.
+//
+// Tag layout: tags are namespaced per epoch (base = 2 * epoch * quota);
+// round i's sample travels on the even tag base + 2i, its acknowledgement
+// on the adjacent odd tag. Disjoint per round AND per epoch, so duplicate
+// copies, retransmissions, and stale messages that escape an epoch's drain
+// can never match another round's or a later epoch's receive — an escapee
+// is caught by World::check_drained instead of silently corrupting the
+// exchange.
+//
+// Every isend/irecv in exchange code must derive its tag through these
+// helpers; dshuf_lint (tools/dshuf_lint) rejects raw tag literals.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace dshuf::shuffle {
+
+/// First tag of `epoch`'s window when each epoch exchanges `quota` rounds.
+/// Checks the whole window still fits in the (int-typed) tag space.
+[[nodiscard]] inline std::uint64_t epoch_tag_base(std::size_t epoch,
+                                                  std::size_t quota) {
+  const std::uint64_t base = 2ull * epoch * quota;
+  DSHUF_CHECK_LE(base + 2 * quota,
+                 static_cast<std::uint64_t>(std::numeric_limits<int>::max()),
+                 "exchange tag space exhausted (epoch * quota too large)");
+  return base;
+}
+
+/// Tag carrying round `round`'s sample payload.
+[[nodiscard]] inline int data_tag(std::uint64_t tag_base, std::size_t round) {
+  return static_cast<int>(tag_base + 2 * round);
+}
+
+/// Tag carrying round `round`'s acknowledgement.
+[[nodiscard]] inline int ack_tag(std::uint64_t tag_base, std::size_t round) {
+  return static_cast<int>(tag_base + 2 * round + 1);
+}
+
+/// True iff `tag` is a DATA tag inside this epoch's window; used by the
+/// stray drain to classify late duplicates.
+[[nodiscard]] inline bool is_epoch_data_tag(int tag, std::uint64_t tag_base,
+                                            std::size_t quota) {
+  if (tag < 0) return false;
+  const auto t = static_cast<std::uint64_t>(tag);
+  return t >= tag_base && t < tag_base + 2 * quota && (t - tag_base) % 2 == 0;
+}
+
+/// Round index of a DATA tag; only valid when is_epoch_data_tag(tag, ...).
+[[nodiscard]] inline std::size_t round_of_data_tag(int tag,
+                                                   std::uint64_t tag_base) {
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(tag) - tag_base) / 2);
+}
+
+}  // namespace dshuf::shuffle

@@ -70,7 +70,8 @@ MixingTrace measure_mixing(Shuffler& shuffler,
       ++count;
     }
   }
-  trace.skew_contraction = count > 0 ? std::exp(log_sum / count) : 1.0;
+  trace.skew_contraction =
+      count > 0 ? std::exp(log_sum / static_cast<double>(count)) : 1.0;
   return trace;
 }
 

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "shuffle/exchange_plan.hpp"
+#include "shuffle/exchange_tags.hpp"
 #include "shuffle/shuffler.hpp"
 
 namespace dshuf::shuffle {
@@ -30,31 +31,18 @@ SampleId decode_sample_id(const std::vector<std::byte>& buf) {
   return id;
 }
 
-// Tag layout of the robust protocol: tags are namespaced per epoch
-// (base = 2 * epoch * quota), round i's sample travels on the even tag
-// base + 2i, its acknowledgement on the adjacent odd tag. Disjoint per
-// round AND per epoch, so duplicate copies, retransmissions, and stale
-// messages that escape an epoch's drain can never match another round's
-// or a later epoch's receive — an escapee is caught by check_drained
-// instead of silently corrupting the exchange.
-std::uint64_t epoch_tag_base(std::size_t epoch, std::size_t quota) {
-  const std::uint64_t base = 2ull * epoch * quota;
-  DSHUF_CHECK_LE(base + 2 * quota,
-                 static_cast<std::uint64_t>(
-                     std::numeric_limits<int>::max()),
-                 "exchange tag space exhausted (epoch * quota too large)");
-  return base;
-}
-
 // The original fire-and-wait exchange (Algorithm 1 verbatim). Only valid
-// on a perfect fabric.
+// on a perfect fabric. Tags come from the shared per-epoch tag-space
+// helpers (shuffle/exchange_tags.hpp) so a stale message from one epoch
+// can never match another epoch's receive.
 ExchangeOutcome run_fast_path(comm::Communicator& comm, ShardStore& store,
-                              const ExchangePlan& plan,
+                              const ExchangePlan& plan, std::size_t epoch,
                               const std::vector<SampleId>& outgoing,
                               const PayloadFn& payload,
                               const DepositFn& deposit) {
   const int rank = comm.rank();
   const std::size_t quota = outgoing.size();
+  const std::uint64_t tag_base = epoch_tag_base(epoch, quota);
 
   // Algorithm 1 lines 2-6: isend the p[i]-th sample to dest_i[rank],
   // irecv from ANY_SOURCE. Tag = round index keeps rounds aligned.
@@ -64,9 +52,9 @@ ExchangeOutcome run_fast_path(comm::Communicator& comm, ShardStore& store,
     const int dest = plan.dest(i, rank);
     std::vector<std::byte> body =
         payload ? payload(outgoing[i]) : std::vector<std::byte>{};
-    requests.push_back(comm.isend(dest, static_cast<int>(i),
+    requests.push_back(comm.isend(dest, data_tag(tag_base, i),
                                   encode_sample(outgoing[i], body)));
-    requests.push_back(comm.irecv(comm::kAnySource, static_cast<int>(i)));
+    requests.push_back(comm.irecv(comm::kAnySource, data_tag(tag_base, i)));
   }
   // Algorithm 1 line 7: wait for all outstanding requests.
   comm::wait_all(requests);
@@ -109,12 +97,6 @@ ExchangeOutcome run_robust_path(comm::Communicator& comm, ShardStore& store,
   const std::size_t quota = outgoing.size();
   DSHUF_CHECK_GT(robust.max_attempts, 0, "need at least one send attempt");
   const std::uint64_t tag_base = epoch_tag_base(epoch, quota);
-  const auto data_tag = [tag_base](std::size_t round) {
-    return static_cast<int>(tag_base + 2 * round);
-  };
-  const auto ack_tag = [tag_base](std::size_t round) {
-    return static_cast<int>(tag_base + 2 * round + 1);
-  };
 
   ExchangeOutcome out;
   out.rounds = quota;
@@ -142,12 +124,12 @@ ExchangeOutcome run_robust_path(comm::Communicator& comm, ShardStore& store,
     r.src = plan.source(i, rank);
     // Post both receives before the first send so no early arrival is ever
     // unmatched, then fire attempt 1.
-    r.rx_data = comm.irecv(r.src, data_tag(i));
-    r.rx_ack = comm.irecv(r.dest, ack_tag(i));
+    r.rx_data = comm.irecv(r.src, data_tag(tag_base, i));
+    r.rx_ack = comm.irecv(r.dest, ack_tag(tag_base, i));
     std::vector<std::byte> body =
         payload ? payload(outgoing[i]) : std::vector<std::byte>{};
     r.wire = encode_sample(outgoing[i], body);
-    comm.isend(r.dest, data_tag(i), r.wire);
+    comm.isend(r.dest, data_tag(tag_base, i), r.wire);
     r.attempts = 1;
     r.next_retry = start + robust.ack_timeout;
   }
@@ -161,7 +143,7 @@ ExchangeOutcome run_robust_path(comm::Communicator& comm, ShardStore& store,
                       msg.payload.end());
     r.recv_done = true;
     r.recv_ok = true;
-    comm.isend(r.src, ack_tag(i), {});
+    comm.isend(r.src, ack_tag(tag_base, i), {});
   };
 
   std::size_t open = 2 * quota;  // unfinished send + receive duties
@@ -199,7 +181,7 @@ ExchangeOutcome run_robust_path(comm::Communicator& comm, ShardStore& store,
             r.send_done = true;
             --open;
           } else {
-            comm.isend(r.dest, data_tag(i), r.wire);
+            comm.isend(r.dest, data_tag(tag_base, i), r.wire);
             ++r.attempts;
             ++out.retries;
             const auto backoff = std::chrono::duration_cast<
@@ -237,10 +219,8 @@ ExchangeOutcome run_robust_path(comm::Communicator& comm, ShardStore& store,
   comm.fence_faults();
   while (auto stray = comm.poll(comm::kAnySource, comm::kAnyTag)) {
     ++out.strays_drained;
-    const auto tag = static_cast<std::uint64_t>(stray->tag);
-    if (stray->tag >= 0 && tag >= tag_base && tag < tag_base + 2 * quota &&
-        (tag - tag_base) % 2 == 0) {
-      const auto i = static_cast<std::size_t>((tag - tag_base) / 2);
+    if (is_epoch_data_tag(stray->tag, tag_base, quota)) {
+      const auto i = round_of_data_tag(stray->tag, tag_base);
       if (rounds[i].recv_ok) ++out.duplicates_suppressed;
     }
   }
@@ -299,7 +279,8 @@ ExchangeOutcome run_pls_exchange_epoch(comm::Communicator& comm,
     DSHUF_CHECK(!comm.fault_injection_enabled(),
                 "the fast-path exchange cannot survive fault injection — "
                 "pass an ExchangeRobustness budget");
-    return run_fast_path(comm, store, plan, outgoing, payload, deposit);
+    return run_fast_path(comm, store, plan, epoch, outgoing, payload,
+                         deposit);
   }
   return run_robust_path(comm, store, plan, epoch, outgoing, payload, deposit,
                          *robust);

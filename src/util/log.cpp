@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "util/error.hpp"
+#include "util/ranked_mutex.hpp"
 
 namespace dshuf {
 
@@ -27,8 +28,12 @@ namespace detail {
 
 void emit_log_line(LogLevel level, const std::string& line) {
   static const char* kNames[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
+  // kLog is the highest rank, so logging is legal whatever locks the
+  // caller holds; the guard keeps concurrent lines from interleaving.
+  static RankedMutex mu(LockRank::kLog, "util.log");
   std::ostream& os =
       level >= LogLevel::kWarn ? std::cerr : std::clog;
+  std::lock_guard<RankedMutex> lk(mu);
   os << "[" << kNames[static_cast<int>(level)] << "] " << line << '\n';
 }
 

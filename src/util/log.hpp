@@ -1,8 +1,9 @@
 // Minimal leveled logger.
 //
 // Global level is process-wide; benches default to Info, tests to Warn.
-// Not thread-synchronised beyond a single line (each LOG call formats into
-// one string and writes it with a single stream insertion).
+// Each LOG call formats into one string; emission is serialised by a
+// LockRank::kLog ranked mutex (the highest rank, so logging is safe while
+// holding any other project lock — see util/ranked_mutex.hpp).
 #pragma once
 
 #include <iostream>

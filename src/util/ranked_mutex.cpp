@@ -1,0 +1,71 @@
+#include "util/ranked_mutex.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace dshuf {
+
+namespace {
+
+// Oldest acquisition first. Ranks along the chain are strictly ascending
+// by construction, so back() is always the maximum held rank.
+thread_local std::vector<HeldLock> t_held;
+
+void default_handler(const LockRankViolation& v) {
+  const std::string report = v.describe();
+  std::fprintf(stderr, "dshuf: %s\n", report.c_str());
+  std::abort();
+}
+
+std::atomic<LockRankViolationHandler> g_handler{&default_handler};
+
+}  // namespace
+
+std::string LockRankViolation::describe() const {
+  std::ostringstream oss;
+  oss << "lock-rank violation: acquiring '" << attempted_name << "' (rank "
+      << static_cast<int>(attempted_rank) << ") while holding";
+  for (std::size_t i = held.size(); i-- > 0;) {
+    oss << (i + 1 == held.size() ? " " : " <- ") << "'" << held[i].name
+        << "' (rank " << static_cast<int>(held[i].rank) << ")";
+  }
+  oss << "; the documented order (DESIGN.md §8) requires strictly "
+         "ascending ranks";
+  return oss.str();
+}
+
+LockRankViolationHandler set_lock_rank_violation_handler(
+    LockRankViolationHandler handler) {
+  return g_handler.exchange(handler != nullptr ? handler : &default_handler);
+}
+
+std::vector<HeldLock> current_lock_chain() { return t_held; }
+
+namespace detail {
+
+void note_acquire(LockRank rank, const char* name) {
+  if (!t_held.empty() && rank <= t_held.back().rank) {
+    LockRankViolation v;
+    v.attempted_rank = rank;
+    v.attempted_name = name;
+    v.held = t_held;
+    g_handler.load()(v);
+    // A handler that returns opted into continuing (e.g. log-only mode);
+    // fall through and record the acquisition so unlock stays balanced.
+  }
+  t_held.push_back(HeldLock{rank, name});
+}
+
+void note_release(LockRank rank, const char* name) {
+  for (std::size_t i = t_held.size(); i-- > 0;) {
+    if (t_held[i].rank == rank && t_held[i].name == name) {
+      t_held.erase(t_held.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace dshuf

@@ -2,6 +2,8 @@
 // function of its inputs, the injector's drop/duplicate/delay/stall
 // behaviours are observable through the timeout-aware receive API, and the
 // whole schedule reproduces exactly from the fault seed.
+// lint:tag-ok-file: exercises the raw transport — tags here name
+// transport-level channels under test, not PLS exchange rounds.
 #include "comm/fault.hpp"
 
 #include <atomic>
@@ -375,7 +377,9 @@ TEST(ChaosComm, ClearFaultPlanRestoresPerfectDelivery) {
   world.run([](Communicator& c) {
     EXPECT_FALSE(c.fault_injection_enabled());
     if (c.rank() == 0) c.isend(1, 0, bytes_of(2));
-    if (c.rank() == 1) EXPECT_EQ(int_of(c.recv(0, 0).payload), 2);
+    if (c.rank() == 1) {
+      EXPECT_EQ(int_of(c.recv(0, 0).payload), 2);
+    }
   });
 }
 

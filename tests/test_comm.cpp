@@ -1,3 +1,5 @@
+// lint:tag-ok-file: exercises the raw transport — tags here name
+// transport-level channels under test, not PLS exchange rounds.
 #include "comm/comm.hpp"
 
 #include <atomic>

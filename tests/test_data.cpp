@@ -127,7 +127,8 @@ TEST(Synthetic, ClassesAreSeparated) {
     }
     if (arg == ds.labels()[i]) ++correct;
   }
-  EXPECT_GT(static_cast<double>(correct) / ds.size(), 0.9);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(ds.size()),
+            0.9);
 }
 
 TEST(Synthetic, SplitProducesIndependentValSet) {
@@ -188,7 +189,8 @@ TEST(Taxonomy, FineClustersNestInsideCoarse) {
   }
   ASSERT_GT(wn, 0U);
   ASSERT_GT(bn, 0U);
-  EXPECT_LT(within / wn, between / bn);
+  EXPECT_LT(within / static_cast<double>(wn),
+            between / static_cast<double>(bn));
 }
 
 TEST(Climate, ImbalancedClasses) {
@@ -196,7 +198,9 @@ TEST(Climate, ImbalancedClasses) {
   const auto split = make_climate_proxy(spec);
   const auto h = split.train.class_histogram();
   ASSERT_EQ(h.size(), 3U);
-  EXPECT_NEAR(static_cast<double>(h[0]) / split.train.size(), 0.8, 0.02);
+  EXPECT_NEAR(
+      static_cast<double>(h[0]) / static_cast<double>(split.train.size()),
+      0.8, 0.02);
   EXPECT_GT(h[1], h[2]);  // cyclones more common than rivers
 }
 

@@ -1,0 +1,22 @@
+// Fixture: hash-order iteration in a determinism-critical namespace, plus
+// an annotation that violates the justification contract. Never compiled.
+#include <cstdint>
+#include <unordered_map>
+
+namespace dshuf::comm {
+
+std::uint64_t hash_order_dependent() {
+  std::unordered_map<std::uint64_t, std::uint64_t> counters;
+  counters[1] = 2;
+  std::uint64_t mix = 0;
+  for (const auto& [k, v] : counters) {  // order is bucket-dependent
+    mix = mix * 31 + k + v;
+  }
+  // lint:ordered-ok
+  for (const auto& [k, v] : counters) {  // annotated but no justification
+    mix ^= k;
+  }
+  return mix;
+}
+
+}  // namespace dshuf::comm

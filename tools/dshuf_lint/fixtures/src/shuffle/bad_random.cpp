@@ -1,0 +1,15 @@
+// Fixture: every entropy primitive dshuf bans. Never compiled — exists so
+// the lint_fixture_flags ctest proves dshuf_lint still rejects these.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace dshuf::shuffle {
+
+int banned_everywhere() {
+  std::srand(static_cast<unsigned>(time(nullptr)));  // wall-clock seed
+  std::random_device rd;                             // hardware entropy
+  return std::rand() + static_cast<int>(rd());       // unseeded global PRNG
+}
+
+}  // namespace dshuf::shuffle

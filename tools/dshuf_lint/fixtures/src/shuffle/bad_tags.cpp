@@ -1,0 +1,13 @@
+// Fixture: exchange traffic on raw tag literals instead of the per-epoch
+// helpers from shuffle/exchange_tags.hpp. Never compiled.
+#include "comm/comm.hpp"
+
+namespace dshuf::shuffle {
+
+void raw_tag_exchange(comm::Communicator& comm) {
+  comm.isend(0, 7, {});              // raw literal collides across epochs
+  auto r = comm.irecv(comm::kAnySource, 7);
+  r.wait();
+}
+
+}  // namespace dshuf::shuffle

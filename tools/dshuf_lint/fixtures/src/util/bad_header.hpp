@@ -1,0 +1,9 @@
+#ifndef DSHUF_FIXTURE_BAD_HEADER
+#define DSHUF_FIXTURE_BAD_HEADER
+// Fixture: include-hygiene violations (guard macro instead of pragma once,
+// a ../ relative include, and a namespace dump). Never compiled.
+#include "../util/error.hpp"
+
+using namespace std;
+
+#endif
