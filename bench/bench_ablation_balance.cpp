@@ -12,7 +12,10 @@
 #include "shuffle/exchange_plan.hpp"
 #include "util/table.hpp"
 
-int main() {
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const dshuf::bench::ObsSession obs_session(argc, argv);
   using namespace dshuf;
   using namespace dshuf::shuffle;
 

@@ -8,7 +8,10 @@
 #include "perf/perf_model.hpp"
 #include "util/table.hpp"
 
-int main() {
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const dshuf::bench::ObsSession obs_session(argc, argv);
   using namespace dshuf;
   using shuffle::Strategy;
 

@@ -10,7 +10,8 @@
 #include "data/partition.hpp"
 #include "util/stopwatch.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const dshuf::bench::ObsSession obs_session(argc, argv);
   using namespace dshuf;
   using namespace dshuf::bench;
 

@@ -6,17 +6,19 @@
 #include <chrono>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "comm/comm.hpp"
 #include "comm/fault.hpp"
+#include "obs/trace.hpp"
 #include "shuffle/exchange_plan.hpp"
 #include "shuffle/mpi_exchange.hpp"
 #include "shuffle/shuffler.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dshuf;
   using namespace dshuf::shuffle;
-  using Clock = std::chrono::steady_clock;
+  bench::ObsSession session(argc, argv);
 
   std::cout << "\n==================================================\n"
             << "Chaos — robust exchange cost vs injected drop rate\n"
@@ -63,15 +65,15 @@ int main() {
     comm::World world(m);
     world.set_fault_plan(comm::FaultPlan(fault_seed, spec));
     std::vector<ExchangeOutcome> outcomes(static_cast<std::size_t>(m));
-    const auto t0 = Clock::now();
+    obs::SpanGuard row_span("bench.chaos_row",
+                            {{"drop", fmt_double(drop, 2)}});
     world.run([&](comm::Communicator& c) {
       auto& store = stores[static_cast<std::size_t>(c.rank())];
       outcomes[static_cast<std::size_t>(c.rank())] = run_pls_exchange_epoch(
           c, store, seed, 0, q, shard, nullptr, nullptr, &robust);
       post_exchange_local_shuffle(seed, 0, c.rank(), store.mutable_ids());
     });
-    const double wall_ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    const double wall_ms = static_cast<double>(row_span.finish()) / 1e3;
 
     ExchangeStats stats;
     std::size_t committed = 0;

@@ -1,10 +1,66 @@
 #include "bench_common.hpp"
 
 #include <iostream>
+#include <string_view>
 
-#include "util/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dshuf::bench {
+
+namespace {
+
+/// Value of `--<name>=v` / `--<name> v` anywhere in argv; "" when absent.
+std::string scan_flag(int argc, const char* const* argv,
+                      std::string_view name) {
+  const std::string eq = "--" + std::string(name) + "=";
+  const std::string bare = "--" + std::string(name);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind(eq, 0) == 0) return std::string(arg.substr(eq.size()));
+    if (arg == bare && i + 1 < argc) return argv[i + 1];
+  }
+  return "";
+}
+
+}  // namespace
+
+ObsSession::ObsSession(int argc, const char* const* argv)
+    : trace_out_(scan_flag(argc, argv, "trace-out")),
+      metrics_out_(scan_flag(argc, argv, "metrics-out")) {
+  if (!trace_out_.empty()) {
+    obs::Tracer::instance().set_enabled(true);
+  }
+}
+
+ObsSession::~ObsSession() {
+  auto& tracer = obs::Tracer::instance();
+  if (!trace_out_.empty()) {
+    if (tracer.write_chrome_trace(trace_out_)) {
+      std::cout << "(trace written to " << trace_out_ << ")\n";
+    } else {
+      std::cerr << "failed to write trace to " << trace_out_ << "\n";
+    }
+    const std::string epochs_csv = trace_out_ + ".epochs.csv";
+    if (tracer.write_epoch_report_csv(epochs_csv)) {
+      std::cout << "(epoch report written to " << epochs_csv << ")\n";
+    }
+    tracer.set_enabled(false);
+  }
+  if (!metrics_out_.empty()) {
+    const auto snap = obs::Registry::instance().snapshot();
+    const bool csv = metrics_out_.size() >= 4 &&
+                     metrics_out_.compare(metrics_out_.size() - 4, 4,
+                                          ".csv") == 0;
+    const bool ok = csv ? snap.write_csv(metrics_out_)
+                        : snap.write_json(metrics_out_);
+    if (ok) {
+      std::cout << "(metrics written to " << metrics_out_ << ")\n";
+    } else {
+      std::cerr << "failed to write metrics to " << metrics_out_ << "\n";
+    }
+  }
+}
 
 void print_header(const std::string& figure, const std::string& title,
                   const std::string& paper_claim) {
@@ -44,9 +100,12 @@ std::vector<ArmResult> run_panel(const PanelSpec& spec) {
       cfg.seed = spec.seed;
       cfg.epochs = spec.epochs;
 
-      Stopwatch sw;
+      obs::SpanGuard arm_span("bench.arm",
+                              {{"figure", spec.figure},
+                               {"scale", scale.paper_scale}});
       auto result = sim::run_workload_experiment(spec.workload, cfg);
-      const double wall = sw.seconds();
+      arm_span.attr("label", result.label);
+      const double wall = static_cast<double>(arm_span.finish()) / 1e6;
 
       header.push_back(result.label);
       std::vector<std::string> col;

@@ -54,4 +54,29 @@ std::vector<ArmResult> run_panel(const PanelSpec& spec);
 void print_header(const std::string& figure, const std::string& title,
                   const std::string& paper_claim);
 
+/// Per-bench observability session. Scans argv for
+///
+///   --trace-out=<path>    (or: --trace-out <path>)
+///   --metrics-out=<path>  (or: --metrics-out <path>)
+///
+/// ignoring every other flag, so it composes with each bench's own
+/// ArgParser. When --trace-out is given the tracer is enabled for the
+/// bench's lifetime; on destruction the session writes the Chrome trace
+/// JSON there, a per-epoch CSV next to it (<path>.epochs.csv), and — when
+/// --metrics-out is given — the metrics snapshot (JSON, or CSV when the
+/// path ends in .csv). Construct it first thing in main().
+class ObsSession {
+ public:
+  ObsSession(int argc, const char* const* argv);
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+  ~ObsSession();
+
+  [[nodiscard]] bool tracing() const { return !trace_out_.empty(); }
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+};
+
 }  // namespace dshuf::bench

@@ -10,7 +10,10 @@
 #include "shuffle/traffic.hpp"
 #include "util/table.hpp"
 
-int main() {
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const dshuf::bench::ObsSession obs_session(argc, argv);
   using namespace dshuf;
 
   std::cout << "\n==================================================\n"

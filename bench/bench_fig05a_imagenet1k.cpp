@@ -8,7 +8,8 @@
 // (many classes/worker at the small scale, ~2 at the large one).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const dshuf::bench::ObsSession obs_session(argc, argv);
   using namespace dshuf;
   using namespace dshuf::bench;
 

@@ -3,7 +3,8 @@
 // (the paper saw no gap for DenseNet up to 1,024 GPUs).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const dshuf::bench::ObsSession obs_session(argc, argv);
   using namespace dshuf;
   using namespace dshuf::bench;
 

@@ -3,7 +3,8 @@
 // workers x ~390 samples each).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const dshuf::bench::ObsSession obs_session(argc, argv);
   using namespace dshuf;
   using namespace dshuf::bench;
 

@@ -7,7 +7,8 @@
 #include "bench_common.hpp"
 #include "util/stopwatch.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const dshuf::bench::ObsSession obs_session(argc, argv);
   using namespace dshuf;
   using namespace dshuf::bench;
 

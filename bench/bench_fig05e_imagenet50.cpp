@@ -4,7 +4,8 @@
 // accuracy at the larger scale.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const dshuf::bench::ObsSession obs_session(argc, argv);
   using namespace dshuf;
   using namespace dshuf::bench;
 

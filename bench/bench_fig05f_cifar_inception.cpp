@@ -4,7 +4,8 @@
 // local shuffling and needs partial-0.3 to recover.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const dshuf::bench::ObsSession obs_session(argc, argv);
   using namespace dshuf;
   using namespace dshuf::bench;
 

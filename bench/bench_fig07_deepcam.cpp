@@ -9,7 +9,8 @@
 #include "perf/perf_model.hpp"
 #include "util/stopwatch.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const dshuf::bench::ObsSession obs_session(argc, argv);
   using namespace dshuf;
   using namespace dshuf::bench;
 

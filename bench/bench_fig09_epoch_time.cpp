@@ -4,39 +4,110 @@
 // local at 128 workers and the gap grows with scale; partial-0.1 tracks
 // local up to 512 workers and degrades at 1,024-2,048 (fewer iterations to
 // overlap with + all-to-all congestion).
+//
+// Phase timings flow through the span tracer: each modeled epoch is
+// emitted as epoch.io / epoch.exchange / epoch.fwbw / epoch.gewu spans
+// over a virtual clock advanced by the analytic model, and the printed
+// table is aggregated back from the tracer snapshot — so a --trace-out
+// artifact always matches the table exactly.
+#include <cmath>
+#include <cstdint>
 #include <iostream>
+#include <map>
+#include <string>
 
+#include "bench_common.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
 #include "perf/perf_model.hpp"
 #include "util/table.hpp"
 
-int main() {
-  using namespace dshuf;
+namespace {
+
+using namespace dshuf;
+
+std::string span_attr(const obs::SpanEvent& e, const std::string& key) {
+  for (const auto& [k, v] : e.attrs) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+void emit_epoch_spans(obs::VirtualClock& clock, const std::string& scale,
+                      const std::string& label,
+                      const perf::EpochBreakdown& b) {
+  const auto phase = [&](const char* name, double seconds) {
+    obs::SpanGuard span(name, {{"scale", scale}, {"strategy", label}});
+    clock.advance_us(
+        static_cast<std::uint64_t>(std::llround(seconds * 1e6)));
+  };
+  phase("epoch.io", b.io_s);
+  phase("epoch.exchange", b.exchange_s);
+  phase("epoch.fwbw", b.fwbw_s);
+  phase("epoch.gewu", b.gewu_s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using shuffle::Strategy;
+  bench::ObsSession session(argc, argv);
 
   std::cout << "\n==================================================\n"
             << "Fig. 9 — epoch time vs workers (ResNet50 / ImageNet-1K,\n"
             << "ABCI profile, b = 32)\n"
             << "==================================================\n";
 
+  obs::VirtualClock clock;
+  obs::set_obs_clock(&clock);
+  auto& tracer = obs::Tracer::instance();
+  tracer.set_enabled(true);  // the table below is built FROM the trace
+
   const perf::EpochModel model(io::abci_profile(),
                                perf::resnet50_profile());
 
-  TextTable t("Fig. 9 epoch time (seconds)");
-  t.header({"workers", "global", "local", "partial-0.1", "GS/LS ratio",
-            "partial/LS ratio"});
-  for (std::size_t m : {64U, 128U, 256U, 512U, 1024U, 2048U}) {
+  const std::vector<std::pair<Strategy, double>> arms = {
+      {Strategy::kGlobal, 0.0},
+      {Strategy::kLocal, 0.0},
+      {Strategy::kPartial, 0.1},
+  };
+  const std::vector<std::string> arm_labels = {"global", "local",
+                                               "partial-0.1"};
+  const std::vector<std::size_t> worker_counts = {64,  128,  256,
+                                                  512, 1024, 2048};
+
+  for (std::size_t m : worker_counts) {
     const perf::WorkloadShape shape{.dataset_samples = 1'200'000,
                                     .workers = m,
                                     .local_batch = 32};
-    const double gs = model.epoch(shape, Strategy::kGlobal, 0).total();
-    const double ls = model.epoch(shape, Strategy::kLocal, 0).total();
-    const double pls = model.epoch(shape, Strategy::kPartial, 0.1).total();
-    t.row({std::to_string(m), fmt_double(gs, 1), fmt_double(ls, 1),
-           fmt_double(pls, 1), fmt_double(gs / ls, 2),
-           fmt_double(pls / ls, 2)});
+    for (std::size_t a = 0; a < arms.size(); ++a) {
+      emit_epoch_spans(clock, std::to_string(m), arm_labels[a],
+                       model.epoch(shape, arms[a].first, arms[a].second));
+    }
+  }
+
+  // Aggregate (scale, strategy) -> total seconds from the recorded spans.
+  std::map<std::pair<std::string, std::string>, double> totals;
+  for (const auto& e : tracer.snapshot()) {
+    totals[{span_attr(e, "scale"), span_attr(e, "strategy")}] +=
+        static_cast<double>(e.dur_us) / 1e6;
+  }
+
+  TextTable t("Fig. 9 epoch time (seconds, from span tracer)");
+  t.header({"workers", "global", "local", "partial-0.1", "GS/LS ratio",
+            "partial/LS ratio"});
+  for (std::size_t m : worker_counts) {
+    const std::string scale = std::to_string(m);
+    const double gs = totals[{scale, "global"}];
+    const double ls = totals[{scale, "local"}];
+    const double pls = totals[{scale, "partial-0.1"}];
+    t.row({scale, fmt_double(gs, 1), fmt_double(ls, 1), fmt_double(pls, 1),
+           fmt_double(gs / ls, 2), fmt_double(pls / ls, 2)});
   }
   t.print(std::cout);
   std::cout << "Paper: GS ~5x slower than LS at 128 workers; partial-0.1\n"
                "~= LS up to 512, visibly degrading at 1,024-2,048.\n";
+
+  obs::set_obs_clock(nullptr);
   return 0;
 }

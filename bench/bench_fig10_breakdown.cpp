@@ -4,39 +4,103 @@
 // DenseNet161: local I/O ~8 s vs global ~19.6 s mean with an 11.9-142 s
 // straggler spread; GE inflated to ~70 s under global shuffling; partial
 // degrades epoch time by at most ~1.37x as Q grows.
+//
+// Phase timings flow through the span tracer: each (model, strategy) arm
+// emits epoch.io / epoch.exchange / epoch.fwbw / epoch.gewu spans over a
+// virtual clock advanced by the analytic model, and the printed breakdown
+// is aggregated back from the tracer snapshot. Run with --trace-out=t.json
+// to get the same numbers as a Perfetto-loadable Chrome trace.
+#include <cmath>
+#include <cstdint>
 #include <iostream>
+#include <map>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
 #include "perf/perf_model.hpp"
 #include "util/table.hpp"
 
 namespace {
 
-void breakdown_for(const dshuf::perf::ComputeProfile& profile) {
-  using namespace dshuf;
-  using shuffle::Strategy;
+using namespace dshuf;
+using shuffle::Strategy;
 
+std::string span_attr(const obs::SpanEvent& e, const std::string& key) {
+  for (const auto& [k, v] : e.attrs) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+struct PhaseTotals {
+  double io_s = 0;
+  double exchange_s = 0;
+  double fwbw_s = 0;
+  double gewu_s = 0;
+
+  [[nodiscard]] double total() const {
+    return io_s + exchange_s + fwbw_s + gewu_s;
+  }
+};
+
+void breakdown_for(obs::VirtualClock& clock,
+                   const perf::ComputeProfile& profile) {
   const perf::EpochModel model(io::abci_profile(), profile);
   const perf::WorkloadShape shape{.dataset_samples = 1'200'000,
                                   .workers = 512,
                                   .local_batch = 32};
 
+  std::vector<std::pair<std::string, perf::EpochBreakdown>> arm_rows;
+  arm_rows.emplace_back("local", model.epoch(shape, Strategy::kLocal, 0));
+  for (double q : {0.1, 0.3, 0.5, 0.7}) {
+    arm_rows.emplace_back(shuffle::strategy_label(Strategy::kPartial, q),
+                          model.epoch(shape, Strategy::kPartial, q));
+  }
+  arm_rows.emplace_back("global", model.epoch(shape, Strategy::kGlobal, 0));
+
+  // Emit every arm's modeled epoch as phase spans on the virtual clock.
+  auto& tracer = obs::Tracer::instance();
+  for (const auto& [label, b] : arm_rows) {
+    const auto phase = [&](const char* name, double seconds) {
+      obs::SpanGuard span(
+          name, {{"model", profile.model_name}, {"strategy", label}});
+      clock.advance_us(
+          static_cast<std::uint64_t>(std::llround(seconds * 1e6)));
+    };
+    phase("epoch.io", b.io_s);
+    phase("epoch.exchange", b.exchange_s);
+    phase("epoch.fwbw", b.fwbw_s);
+    phase("epoch.gewu", b.gewu_s);
+  }
+
+  // Aggregate this model's spans back out of the tracer; the table is the
+  // trace, so a --trace-out artifact can never drift from what we print.
+  std::map<std::string, PhaseTotals> totals;
+  for (const auto& e : tracer.snapshot()) {
+    if (span_attr(e, "model") != profile.model_name) continue;
+    auto& row = totals[span_attr(e, "strategy")];
+    const double s = static_cast<double>(e.dur_us) / 1e6;
+    if (e.name == "epoch.io") row.io_s += s;
+    if (e.name == "epoch.exchange") row.exchange_s += s;
+    if (e.name == "epoch.fwbw") row.fwbw_s += s;
+    if (e.name == "epoch.gewu") row.gewu_s += s;
+  }
+
   TextTable t("Fig. 10 breakdown — " + profile.model_name +
-              " @ 512 workers (seconds)");
+              " @ 512 workers (seconds, from span tracer)");
   t.header({"strategy", "IO", "EXCHANGE", "FW+BW", "GE+WU", "total",
             "vs local"});
-  const double ls_total = model.epoch(shape, Strategy::kLocal, 0).total();
-  auto add_row = [&](Strategy s, double q, const std::string& label) {
-    const auto b = model.epoch(shape, s, q);
+  const double ls_total = totals["local"].total();
+  for (const auto& [label, unused] : arm_rows) {
+    (void)unused;
+    const PhaseTotals& b = totals[label];
     t.row({label, fmt_double(b.io_s, 1), fmt_double(b.exchange_s, 1),
            fmt_double(b.fwbw_s, 1), fmt_double(b.gewu_s, 1),
            fmt_double(b.total(), 1), fmt_double(b.total() / ls_total, 2)});
-  };
-  add_row(Strategy::kLocal, 0, "local");
-  for (double q : {0.1, 0.3, 0.5, 0.7}) {
-    add_row(Strategy::kPartial, q, shuffle::strategy_label(
-                                       Strategy::kPartial, q));
   }
-  add_row(Strategy::kGlobal, 0, "global");
   t.print(std::cout);
 
   const auto gs = model.epoch(shape, Strategy::kGlobal, 0);
@@ -49,15 +113,24 @@ void breakdown_for(const dshuf::perf::ComputeProfile& profile) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsSession session(argc, argv);
+
   std::cout << "\n==================================================\n"
             << "Fig. 10 — epoch-time breakdown vs exchange rate\n"
             << "(512 workers, ABCI profile)\n"
             << "==================================================\n";
-  breakdown_for(dshuf::perf::resnet50_profile());
-  breakdown_for(dshuf::perf::densenet161_profile());
+
+  obs::VirtualClock clock;
+  obs::set_obs_clock(&clock);
+  obs::Tracer::instance().set_enabled(true);  // the table is built FROM it
+
+  breakdown_for(clock, perf::resnet50_profile());
+  breakdown_for(clock, perf::densenet161_profile());
   std::cout << "Paper: FW+BW constant across strategies; partial cost grows\n"
                "mildly with Q (<= ~1.37x); global pays PFS I/O + straggler-\n"
                "inflated gradient exchange.\n";
+
+  obs::set_obs_clock(nullptr);
   return 0;
 }

@@ -7,7 +7,10 @@
 #include "nn/builder.hpp"
 #include "util/table.hpp"
 
-int main() {
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const dshuf::bench::ObsSession obs_session(argc, argv);
   using namespace dshuf;
 
   std::cout << "\n==================================================\n"

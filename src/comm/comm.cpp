@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "comm/fault.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/ranked_mutex.hpp"
 
@@ -276,6 +277,8 @@ Request Communicator::isend(int dest, int tag, std::vector<std::byte> payload) {
   msg.source = rank_;
   msg.tag = tag;
   msg.payload = std::move(payload);
+  DSHUF_COUNTER("comm.isend").add();
+  DSHUF_COUNTER("comm.bytes_sent").add(msg.payload.size());
 
   world_->send(rank_, dest, std::move(msg));
 
@@ -363,7 +366,10 @@ bool Communicator::fault_injection_enabled() const {
 
 void Communicator::fence_faults() { world_->fence_faults(); }
 
-void Communicator::barrier() { world_->barrier(); }
+void Communicator::barrier() {
+  DSHUF_COUNTER("comm.barrier").add();
+  world_->barrier();
+}
 
 std::vector<double> Communicator::allreduce_sum(
     std::span<const double> contribution) {

@@ -1,6 +1,11 @@
 #include "comm/fault.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
+
+// The DSHUF_COUNTER("comm.fault.*") calls below mirror FaultStats in
+// lockstep at every ++stats_ site; tests assert exact equality between
+// the struct and the registry.
 
 namespace dshuf::comm {
 
@@ -83,6 +88,8 @@ void FaultInjector::submit(int source, int dest, Message msg) {
       std::lock_guard<RankedMutex> lk(mu_);
       ++stats_.submitted;
       ++stats_.delivered;
+      DSHUF_COUNTER("comm.fault.submitted").add();
+      DSHUF_COUNTER("comm.fault.delivered").add();
     }
     deliver_(dest, std::move(msg));
     return;
@@ -100,6 +107,7 @@ void FaultInjector::submit(int source, int dest, Message msg) {
   {
     std::lock_guard<RankedMutex> lk(mu_);
     ++stats_.submitted;
+    DSHUF_COUNTER("comm.fault.submitted").add();
     start = run_start_;
   }
   if (stall > 0) {
@@ -116,6 +124,7 @@ void FaultInjector::submit(int source, int dest, Message msg) {
   if (d.drop) {
     std::lock_guard<RankedMutex> lk(mu_);
     ++stats_.dropped;
+    DSHUF_COUNTER("comm.fault.dropped").add();
     return;
   }
   if (d.duplicate) {
@@ -123,6 +132,8 @@ void FaultInjector::submit(int source, int dest, Message msg) {
       std::lock_guard<RankedMutex> lk(mu_);
       ++stats_.duplicated;
       ++stats_.delivered;
+      DSHUF_COUNTER("comm.fault.duplicated").add();
+      DSHUF_COUNTER("comm.fault.delivered").add();
     }
     deliver_(dest, msg);  // extra copy, delivered immediately
   }
@@ -133,14 +144,21 @@ void FaultInjector::submit(int source, int dest, Message msg) {
     {
       std::lock_guard<RankedMutex> lk(mu_);
       ++stats_.delivered;
+      DSHUF_COUNTER("comm.fault.delivered").add();
     }
     deliver_(dest, std::move(msg));
     return;
   }
   {
     std::lock_guard<RankedMutex> lk(mu_);
-    if (d.delay_us > 0) ++stats_.delayed;
-    if (stall_extra_us > 0) ++stats_.stalled;
+    if (d.delay_us > 0) {
+      ++stats_.delayed;
+      DSHUF_COUNTER("comm.fault.delayed").add();
+    }
+    if (stall_extra_us > 0) {
+      ++stats_.stalled;
+      DSHUF_COUNTER("comm.fault.stalled").add();
+    }
   }
   schedule(dest, std::move(msg),
            std::chrono::steady_clock::now() +
@@ -177,6 +195,7 @@ void FaultInjector::timer_loop() {
     deliver_(item.dest, std::move(item.msg));
     lk.lock();
     ++stats_.delivered;
+    DSHUF_COUNTER("comm.fault.delivered").add();
     --in_flight_;
     cv_.notify_all();  // wake fence() waiters
   }
@@ -201,6 +220,8 @@ void FaultInjector::fence() {
       std::lock_guard<RankedMutex> lk(mu_);
       ++stats_.flushed;
       ++stats_.delivered;
+      DSHUF_COUNTER("comm.fault.flushed").add();
+      DSHUF_COUNTER("comm.fault.delivered").add();
       --in_flight_;
     }
     cv_.notify_all();

@@ -1,5 +1,8 @@
 #include "data/batch_loader.hpp"
 
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+
 namespace dshuf::data {
 
 BatchLoader::BatchLoader(const InMemoryDataset& dataset,
@@ -26,12 +29,15 @@ BatchLoader::~BatchLoader() {
 void BatchLoader::producer_loop() {
   for (std::size_t b = 0; b < num_batches_; ++b) {
     // Assemble outside the lock — this is the work being overlapped.
+    const std::uint64_t assemble_start = obs::obs_clock().now_us();
     const std::span<const SampleId> ids(order_.data() + b * batch_size_,
                                         batch_size_);
     Batch batch;
     batch.index = b;
     batch.features = dataset_->gather(ids);
     batch.labels = dataset_->gather_labels(ids);
+    DSHUF_HISTOGRAM_US("data.batch_loader.assemble_us")
+        .observe(obs::obs_clock().now_us() - assemble_start);
 
     std::unique_lock<RankedMutex> lk(mu_);
     cv_.wait(lk, [&] {
@@ -40,20 +46,27 @@ void BatchLoader::producer_loop() {
     if (stop_) return;
     queue_.push_back(std::move(batch));
     ++produced_;
+    DSHUF_GAUGE("data.batch_loader.queue_depth")
+        .set(static_cast<std::int64_t>(queue_.size()));
     lk.unlock();
     cv_.notify_all();
   }
 }
 
 std::optional<BatchLoader::Batch> BatchLoader::next() {
+  const std::uint64_t wait_start = obs::obs_clock().now_us();
   std::unique_lock<RankedMutex> lk(mu_);
   if (consumed_ >= num_batches_) return std::nullopt;
   cv_.wait(lk, [&] { return !queue_.empty(); });
   Batch batch = std::move(queue_.front());
   queue_.pop_front();
   ++consumed_;
+  DSHUF_GAUGE("data.batch_loader.queue_depth")
+      .set(static_cast<std::int64_t>(queue_.size()));
   lk.unlock();
   cv_.notify_all();
+  DSHUF_HISTOGRAM_US("data.batch_loader.wait_us")
+      .observe(obs::obs_clock().now_us() - wait_start);
   return batch;
 }
 

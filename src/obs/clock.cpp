@@ -1,0 +1,38 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+
+namespace dshuf::obs {
+
+std::uint64_t SteadyClock::now_us() {
+  using Steady = std::chrono::steady_clock;
+  static const Steady::time_point origin = Steady::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Steady::now() -
+                                                            origin)
+          .count());
+}
+
+namespace {
+
+std::atomic<Clock*>& clock_slot() {
+  static std::atomic<Clock*> slot{nullptr};
+  return slot;
+}
+
+}  // namespace
+
+Clock& obs_clock() {
+  Clock* installed = clock_slot().load(std::memory_order_acquire);
+  if (installed != nullptr) return *installed;
+  // Leaked on purpose: instrumented code may tick during static
+  // destruction of other objects.
+  static SteadyClock* fallback = new SteadyClock();
+  return *fallback;
+}
+
+Clock* set_obs_clock(Clock* clock) {
+  return clock_slot().exchange(clock, std::memory_order_acq_rel);
+}
+
+}  // namespace dshuf::obs

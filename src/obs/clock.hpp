@@ -1,0 +1,62 @@
+// Injectable time source for the observability layer.
+//
+// Spans and latency histograms must be meaningful on real hardware
+// (steady_clock) yet byte-identical across runs in simulator tests; the
+// process-wide clock pointer makes both possible. The default is a
+// monotonic SteadyClock anchored at process start; tests and model-driven
+// benches install a VirtualClock and advance it deterministically, so two
+// runs with the same seeds emit the exact same timestamps (the trace
+// golden-file test relies on this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace dshuf::obs {
+
+/// Microsecond time source consulted by every span/histogram measurement.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonic microseconds since an arbitrary per-clock origin.
+  virtual std::uint64_t now_us() = 0;
+};
+
+/// Wall time: std::chrono::steady_clock anchored at first use, so traces
+/// start near ts = 0 instead of at an opaque boot offset.
+class SteadyClock final : public Clock {
+ public:
+  std::uint64_t now_us() override;
+};
+
+/// Manually advanced clock for deterministic traces. Thread-safe: the
+/// harness advances it from one thread while instrumented worker threads
+/// read it.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(std::uint64_t start_us = 0) : now_us_(start_us) {}
+
+  std::uint64_t now_us() override {
+    return now_us_.load(std::memory_order_acquire);
+  }
+  void advance_us(std::uint64_t us) {
+    now_us_.fetch_add(us, std::memory_order_acq_rel);
+  }
+  void set_us(std::uint64_t us) {
+    now_us_.store(us, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_us_;
+};
+
+/// The process-wide clock (SteadyClock unless one was installed).
+Clock& obs_clock();
+
+/// Install `clock` as the process-wide clock (nullptr restores the
+/// default SteadyClock). Returns the previously installed clock (nullptr
+/// when the default was active). The caller keeps ownership and must keep
+/// the clock alive until it is uninstalled.
+Clock* set_obs_clock(Clock* clock);
+
+}  // namespace dshuf::obs

@@ -1,0 +1,227 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dshuf::obs {
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  DSHUF_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+              "histogram bounds must be ascending");
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(std::uint64_t v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::span<const std::uint64_t> default_latency_bounds_us() {
+  // Powers of four: 1us .. ~16.8s, 13 buckets + overflow.
+  static const std::vector<std::uint64_t> bounds = [] {
+    std::vector<std::uint64_t> b;
+    for (std::uint64_t v = 1; v <= 16'777'216; v *= 4) b.push_back(v);
+    return b;
+  }();
+  return bounds;
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out;
+  out += "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    append_json_escaped(out, counters[i].first);
+    out += "\": " + std::to_string(counters[i].second);
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    append_json_escaped(out, gauges[i].first);
+    out += "\": " + std::to_string(gauges[i].second);
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const auto& h = histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    append_json_escaped(out, h.name);
+    out += "\": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + std::to_string(h.sum) + ", \"bounds\": [";
+    for (std::size_t j = 0; j < h.bounds.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += std::to_string(h.bounds[j]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t j = 0; j < h.counts.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += std::to_string(h.counts[j]);
+    }
+    out += "]}";
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::ostringstream out;
+  out << "kind,name,field,value\n";
+  for (const auto& [name, v] : counters) {
+    out << "counter," << name << ",value," << v << "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    out << "gauge," << name << ",value," << v << "\n";
+  }
+  for (const auto& h : histograms) {
+    out << "histogram," << h.name << ",count," << h.count << "\n";
+    out << "histogram," << h.name << ",sum," << h.sum << "\n";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      out << "histogram," << h.name << ",le_"
+          << (i < h.bounds.size() ? std::to_string(h.bounds[i]) : "inf")
+          << "," << h.counts[i] << "\n";
+    }
+  }
+  return out.str();
+}
+
+bool MetricsSnapshot::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) return false;
+  out << to_json();
+  return out.good();
+}
+
+bool MetricsSnapshot::write_csv(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) return false;
+  out << to_csv();
+  return out.good();
+}
+
+Registry& Registry::instance() {
+  // Leaked: instrumented code may still tick during static destruction.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<RankedMutex> lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<RankedMutex> lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const std::uint64_t> bounds) {
+  std::lock_guard<RankedMutex> lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    std::vector<std::uint64_t> b(bounds.begin(), bounds.end());
+    if (b.empty()) {
+      const auto d = default_latency_bounds_us();
+      b.assign(d.begin(), d.end());
+    }
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(b)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<RankedMutex> lk(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::Hist hs;
+    hs.name = name;
+    hs.bounds = h->bounds();
+    hs.counts = h->bucket_counts();
+    hs.count = h->count();
+    hs.sum = h->sum();
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<RankedMutex> lk(mu_);
+  for (auto& kv : counters_) kv.second->reset();
+  for (auto& kv : gauges_) kv.second->reset();
+  for (auto& kv : histograms_) kv.second->reset();
+}
+
+}  // namespace dshuf::obs

@@ -1,0 +1,166 @@
+// Process-wide metrics registry: counters, gauges, fixed-bucket
+// histograms.
+//
+// Updates are the hot path and are lock-free: every instrument is a bundle
+// of relaxed atomics, and call sites cache the instrument reference behind
+// a function-local static so the name lookup happens once per site:
+//
+//   DSHUF_COUNTER("exchange.retries").add(out.retries);
+//   DSHUF_GAUGE("data.batch_loader.queue_depth").set(depth);
+//   DSHUF_HISTOGRAM_US("data.batch_loader.assemble_us").observe(dur_us);
+//
+// Registration and snapshotting serialise on a RankedMutex at
+// LockRank::kObs — above every instrumented module's lock and below the
+// logger, so a first-touch registration is legal whatever the caller
+// holds (see util/ranked_mutex.hpp). Instruments live forever once
+// registered (the registry is leaked at exit); references never dangle.
+//
+// Snapshots are ordered by name, so every export (JSON/CSV) is
+// deterministic given deterministic instrument values.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/ranked_mutex.hpp"
+
+namespace dshuf::obs {
+
+/// Monotonic event count. add() is lock-free and thread-safe.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous level (queue depth, bytes held). Signed so transient
+/// dips below a racing reader's zero don't wrap.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i], the
+/// last (implicit) bucket counts everything above bounds.back(). Bounds
+/// are fixed at registration; observe() is lock-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  void observe(std::uint64_t v);
+
+  [[nodiscard]] const std::vector<std::uint64_t>& bounds() const {
+    return bounds_;
+  }
+  /// Per-bucket counts, bounds().size() + 1 entries (last = overflow).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Default microsecond latency bounds: 1us .. ~16s in powers of four.
+std::span<const std::uint64_t> default_latency_bounds_us();
+
+/// Point-in-time copy of every registered instrument, sorted by name.
+struct MetricsSnapshot {
+  struct Hist {
+    std::string name;
+    std::vector<std::uint64_t> bounds;
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<Hist> histograms;
+
+  /// Deterministic JSON document (objects keyed by metric name).
+  [[nodiscard]] std::string to_json() const;
+  /// `kind,name,value` rows (histograms add count/sum/bucket rows).
+  [[nodiscard]] std::string to_csv() const;
+  /// Write to_json() / to_csv() to a file; false on I/O failure.
+  bool write_json(const std::string& path) const;
+  bool write_csv(const std::string& path) const;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry (leaked at exit, like the logger).
+  static Registry& instance();
+
+  /// Find-or-create by name. The returned reference is valid for the
+  /// process lifetime. Re-registering a histogram ignores `bounds`.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       std::span<const std::uint64_t> bounds = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every instrument (identities survive — cached references at
+  /// call sites stay valid). For tests and bench arms.
+  void reset();
+
+ private:
+  Registry() = default;
+
+  mutable RankedMutex mu_{LockRank::kObs, "obs.registry"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace dshuf::obs
+
+// One registry lookup per call site, lock-free updates thereafter.
+#define DSHUF_COUNTER(name)                                              \
+  ([]() -> ::dshuf::obs::Counter& {                                      \
+    static ::dshuf::obs::Counter& c =                                    \
+        ::dshuf::obs::Registry::instance().counter(name);                \
+    return c;                                                            \
+  }())
+#define DSHUF_GAUGE(name)                                                \
+  ([]() -> ::dshuf::obs::Gauge& {                                        \
+    static ::dshuf::obs::Gauge& g =                                      \
+        ::dshuf::obs::Registry::instance().gauge(name);                  \
+    return g;                                                            \
+  }())
+#define DSHUF_HISTOGRAM_US(name)                                         \
+  ([]() -> ::dshuf::obs::Histogram& {                                    \
+    static ::dshuf::obs::Histogram& h =                                  \
+        ::dshuf::obs::Registry::instance().histogram(                    \
+            name, ::dshuf::obs::default_latency_bounds_us());            \
+    return h;                                                            \
+  }())

@@ -1,0 +1,133 @@
+// RAII span tracer with Chrome trace-event export.
+//
+// A span measures one named region of one thread:
+//
+//   {
+//     DSHUF_SPAN("exchange.epoch", {{"epoch", std::to_string(epoch)}});
+//     ... work ...
+//   }  // span recorded on scope exit
+//
+// or, when the guard needs attributes computed inside the region:
+//
+//   obs::SpanGuard span("exchange.fence");
+//   ... work ...
+//   span.attr("strays", std::to_string(n));
+//   const std::uint64_t dur_us = span.finish();
+//
+// Design points (DESIGN.md §9):
+//
+//   * Recording is OFF by default; SpanGuard still measures (two clock
+//     reads) so callers can use finish() as a timer, but nothing is
+//     stored until Tracer::set_enabled(true).
+//   * Completed spans append to a per-thread buffer (no lock); buffers
+//     flush into the tracer under LockRank::kObs when they grow large and
+//     when the owning thread exits. snapshot() therefore sees every span
+//     of joined threads plus the calling thread's — export after
+//     World::run has joined its rank threads.
+//   * Timestamps come from obs_clock() (obs/clock.hpp): steady_clock in
+//     production, a VirtualClock in determinism tests, which together
+//     with the deterministic snapshot ordering makes trace exports
+//     byte-identical across runs of a seeded scenario.
+//   * Rank threads label themselves with set_thread_track(rank); tracks
+//     become Chrome trace tids, so Perfetto shows one lane per rank.
+//
+// Export formats: Chrome trace-event JSON ("X" complete events —
+// load the file at ui.perfetto.dev or chrome://tracing) and a compact
+// per-epoch CSV aggregating spans that carry an "epoch" attribute.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dshuf::obs {
+
+/// One completed span. `track` maps to the Chrome trace tid.
+struct SpanEvent {
+  std::string name;
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  int track = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+class Tracer {
+ public:
+  /// The process-wide tracer (leaked at exit, like the registry).
+  static Tracer& instance();
+
+  /// Recording toggle; cheap atomic read on the span path.
+  void set_enabled(bool enabled);
+  [[nodiscard]] bool enabled() const;
+
+  /// Drop every recorded span (calling thread's buffer included).
+  void clear();
+
+  /// Label the calling thread's spans with `track` (Chrome trace tid).
+  /// Rank threads pass their rank; unlabelled threads get stable
+  /// arbitrary ids >= 1000 in first-use order.
+  static void set_thread_track(int track);
+  [[nodiscard]] static int thread_track();
+
+  /// Append one completed span to the calling thread's buffer.
+  void record(SpanEvent ev);
+
+  /// Flush the calling thread's buffer and return every span recorded by
+  /// this thread and by threads that have exited, in a deterministic
+  /// order (sorted by track, start, duration, name, attributes).
+  [[nodiscard]] std::vector<SpanEvent> snapshot();
+
+  /// Chrome trace-event JSON document over snapshot().
+  [[nodiscard]] std::string chrome_trace_json();
+  bool write_chrome_trace(const std::string& path);
+
+  /// Compact per-epoch report: `epoch,span,count,total_us` rows over the
+  /// spans carrying an "epoch" attribute, sorted by (epoch, span).
+  [[nodiscard]] std::string epoch_report_csv();
+  bool write_epoch_report_csv(const std::string& path);
+
+  // Internal: move a dying thread's buffer into the flushed store.
+  void absorb(std::vector<SpanEvent>&& events);
+
+ private:
+  Tracer() = default;
+};
+
+/// RAII span. Always measures (start captured at construction); records
+/// into the tracer only if recording was enabled when constructed.
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name);
+  SpanGuard(const char* name,
+            std::initializer_list<std::pair<const char*, std::string>> attrs);
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+  ~SpanGuard() { finish(); }
+
+  /// Attach a key/value attribute (no-op when not recording).
+  SpanGuard& attr(const char* key, std::string value);
+
+  /// Close the span now (idempotent): records it if enabled and returns
+  /// the measured duration in microseconds.
+  std::uint64_t finish();
+
+ private:
+  const char* name_;
+  std::uint64_t start_us_;
+  std::uint64_t dur_us_ = 0;
+  bool recording_;
+  bool open_ = true;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+};
+
+}  // namespace dshuf::obs
+
+#define DSHUF_OBS_CONCAT_INNER(a, b) a##b
+#define DSHUF_OBS_CONCAT(a, b) DSHUF_OBS_CONCAT_INNER(a, b)
+/// Scope-level span: DSHUF_SPAN("name") or
+/// DSHUF_SPAN("name", {{"key", value}, ...}).
+#define DSHUF_SPAN(...)            \
+  ::dshuf::obs::SpanGuard DSHUF_OBS_CONCAT(dshuf_span_guard_, \
+                                           __LINE__)(__VA_ARGS__)

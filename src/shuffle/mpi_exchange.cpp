@@ -5,9 +5,12 @@
 #include <limits>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "shuffle/exchange_plan.hpp"
 #include "shuffle/exchange_tags.hpp"
 #include "shuffle/shuffler.hpp"
+#include "util/log.hpp"
 
 namespace dshuf::shuffle {
 
@@ -48,12 +51,15 @@ ExchangeOutcome run_fast_path(comm::Communicator& comm, ShardStore& store,
   // irecv from ANY_SOURCE. Tag = round index keeps rounds aligned.
   std::vector<comm::Request> requests;
   requests.reserve(2 * quota);
+  std::size_t bytes_sent = 0;
   for (std::size_t i = 0; i < quota; ++i) {
     const int dest = plan.dest(i, rank);
     std::vector<std::byte> body =
         payload ? payload(outgoing[i]) : std::vector<std::byte>{};
-    requests.push_back(comm.isend(dest, data_tag(tag_base, i),
-                                  encode_sample(outgoing[i], body)));
+    std::vector<std::byte> wire = encode_sample(outgoing[i], body);
+    bytes_sent += wire.size();
+    requests.push_back(
+        comm.isend(dest, data_tag(tag_base, i), std::move(wire)));
     requests.push_back(comm.irecv(comm::kAnySource, data_tag(tag_base, i)));
   }
   // Algorithm 1 line 7: wait for all outstanding requests.
@@ -77,6 +83,8 @@ ExchangeOutcome run_fast_path(comm::Communicator& comm, ShardStore& store,
   out.rounds = quota;
   out.sends_committed = quota;
   out.recvs_committed = quota;
+  out.bytes_sent = bytes_sent;
+  out.bytes_offered = bytes_sent;
   return out;
 }
 
@@ -130,6 +138,8 @@ ExchangeOutcome run_robust_path(comm::Communicator& comm, ShardStore& store,
         payload ? payload(outgoing[i]) : std::vector<std::byte>{};
     r.wire = encode_sample(outgoing[i], body);
     comm.isend(r.dest, data_tag(tag_base, i), r.wire);
+    out.bytes_sent += r.wire.size();
+    out.bytes_offered += r.wire.size();
     r.attempts = 1;
     r.next_retry = start + robust.ack_timeout;
   }
@@ -161,6 +171,8 @@ ExchangeOutcome run_robust_path(comm::Communicator& comm, ShardStore& store,
           if (comm.cancel(r.rx_data)) {
             r.recv_done = true;  // LS fallback: the sender keeps it
             ++out.recv_fallbacks;
+            LOG_DEBUG << "round " << i << " recv deadline expired; "
+                      << "expected sample stays with rank " << r.src;
           } else {
             take_data(i, r);  // arrival raced the cancel — accept it
           }
@@ -180,8 +192,12 @@ ExchangeOutcome run_robust_path(comm::Communicator& comm, ShardStore& store,
             comm.cancel(r.rx_ack);
             r.send_done = true;
             --open;
+            LOG_DEBUG << "round " << i << " exhausted " << r.attempts
+                      << " attempts to rank " << r.dest
+                      << "; reconciliation decides";
           } else {
             comm.isend(r.dest, data_tag(tag_base, i), r.wire);
+            out.bytes_sent += r.wire.size();
             ++r.attempts;
             ++out.retries;
             const auto backoff = std::chrono::duration_cast<
@@ -215,20 +231,25 @@ ExchangeOutcome run_robust_path(comm::Communicator& comm, ShardStore& store,
   // Quiesce the fabric: after the barrier no rank sends again this epoch,
   // so fencing flushes every delayed message and the drain below removes
   // late arrivals, duplicate copies, and orphaned ACKs.
-  comm.barrier();
-  comm.fence_faults();
-  while (auto stray = comm.poll(comm::kAnySource, comm::kAnyTag)) {
-    ++out.strays_drained;
-    if (is_epoch_data_tag(stray->tag, tag_base, quota)) {
-      const auto i = round_of_data_tag(stray->tag, tag_base);
-      if (rounds[i].recv_ok) ++out.duplicates_suppressed;
+  {
+    obs::SpanGuard fence_span("exchange.fence");
+    comm.barrier();
+    comm.fence_faults();
+    while (auto stray = comm.poll(comm::kAnySource, comm::kAnyTag)) {
+      ++out.strays_drained;
+      if (is_epoch_data_tag(stray->tag, tag_base, quota)) {
+        const auto i = round_of_data_tag(stray->tag, tag_base);
+        if (rounds[i].recv_ok) ++out.duplicates_suppressed;
+      }
     }
+    DSHUF_HISTOGRAM_US("exchange.fence_wait_us").observe(fence_span.finish());
   }
 
   // Reconciliation over the reliable control plane: each rank publishes
   // which rounds it received; the receiver's word is the commit decision,
   // so the sample ends up at exactly one rank (receiver if the bit is set,
   // sender otherwise).
+  DSHUF_SPAN("exchange.reconcile");
   std::vector<std::byte> received_bits(quota);
   for (std::size_t i = 0; i < quota; ++i) {
     received_bits[i] =
@@ -244,6 +265,8 @@ ExchangeOutcome run_robust_path(comm::Communicator& comm, ShardStore& store,
       ++out.sends_committed;
     } else {
       ++out.send_fallbacks;
+      LOG_DEBUG << "round " << i << " not received by rank "
+                << rounds[i].dest << "; keeping sample locally";
     }
   }
   return out;
@@ -263,6 +286,14 @@ ExchangeOutcome run_pls_exchange_epoch(comm::Communicator& comm,
   const std::size_t quota = exchange_quota(global_min_shard, q);
   if (quota == 0 || m <= 1) return {};
 
+  // Spans from this rank thread land on their own trace lane, and every
+  // log line it emits carries the (rank, epoch) it was working for.
+  obs::Tracer::set_thread_track(rank);
+  ScopedLogContext log_ctx(rank, static_cast<std::int64_t>(epoch));
+  obs::SpanGuard epoch_span("exchange.epoch",
+                            {{"epoch", std::to_string(epoch)},
+                             {"rank", std::to_string(rank)}});
+
   // Every rank recomputes the identical plan from the shared seed —
   // Algorithm 1's "all workers use the same random seed".
   const ExchangePlan plan(seed, epoch, m, quota);
@@ -275,15 +306,36 @@ ExchangeOutcome run_pls_exchange_epoch(comm::Communicator& comm,
     outgoing[i] = store.ids()[picks[i]];
   }
 
+  ExchangeOutcome out;
   if (robust == nullptr) {
     DSHUF_CHECK(!comm.fault_injection_enabled(),
                 "the fast-path exchange cannot survive fault injection — "
                 "pass an ExchangeRobustness budget");
-    return run_fast_path(comm, store, plan, epoch, outgoing, payload,
-                         deposit);
+    out = run_fast_path(comm, store, plan, epoch, outgoing, payload, deposit);
+  } else {
+    out = run_robust_path(comm, store, plan, epoch, outgoing, payload,
+                          deposit, *robust);
   }
-  return run_robust_path(comm, store, plan, epoch, outgoing, payload, deposit,
-                         *robust);
+
+  // Fold the outcome into the process-wide registry; the per-field names
+  // mirror ExchangeOutcome so ExchangeStats aggregates and counters can be
+  // cross-checked exactly.
+  DSHUF_COUNTER("exchange.epochs").add();
+  DSHUF_COUNTER("exchange.rounds").add(out.rounds);
+  DSHUF_COUNTER("exchange.sends_committed").add(out.sends_committed);
+  DSHUF_COUNTER("exchange.send_fallbacks").add(out.send_fallbacks);
+  DSHUF_COUNTER("exchange.recvs_committed").add(out.recvs_committed);
+  DSHUF_COUNTER("exchange.recv_fallbacks").add(out.recv_fallbacks);
+  DSHUF_COUNTER("exchange.retries").add(out.retries);
+  DSHUF_COUNTER("exchange.duplicates_suppressed")
+      .add(out.duplicates_suppressed);
+  DSHUF_COUNTER("exchange.strays_drained").add(out.strays_drained);
+  DSHUF_COUNTER("exchange.bytes_sent").add(out.bytes_sent);
+
+  // bytes_offered is fault-schedule independent, so this attribute is
+  // stable across reruns; retransmitted bytes live in the counter above.
+  epoch_span.attr("bytes", std::to_string(out.bytes_offered));
+  return out;
 }
 
 }  // namespace dshuf::shuffle

@@ -72,6 +72,10 @@ struct ExchangeOutcome {
   std::size_t retries = 0;            ///< DATA retransmissions
   std::size_t duplicates_suppressed = 0;  ///< redundant copies discarded
   std::size_t strays_drained = 0;     ///< late/duplicate messages drained
+  std::size_t bytes_sent = 0;  ///< DATA bytes on the wire, retransmits included
+  /// First-attempt DATA bytes only (quota x wire size). Independent of the
+  /// fault schedule, so trace attributes built from it are reproducible.
+  std::size_t bytes_offered = 0;
 
   /// Merge into epoch stats (aggregates across ranks).
   void accumulate_into(ExchangeStats& stats) const {

@@ -5,6 +5,8 @@
 
 #include "nn/loss.hpp"
 #include "nn/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace dshuf::sim {
@@ -121,14 +123,21 @@ SimResult train_model(nn::Model& model, const data::InMemoryDataset& train,
   result.workers = M;
 
   for (std::size_t epoch = 0; epoch < regime.epochs; ++epoch) {
+    obs::SpanGuard epoch_span("sim.epoch",
+                              {{"epoch", std::to_string(epoch)}});
     if (track_losses && epoch > 0) pls->set_sample_scores(ema_loss);
-    shuffler->begin_epoch(epoch);
+    {
+      DSHUF_SPAN("sim.epoch.shuffle", {{"epoch", std::to_string(epoch)}});
+      shuffler->begin_epoch(epoch);
+    }
     const std::size_t iters = iterations_per_epoch(*shuffler, b);
     DSHUF_CHECK_GT(iters, 0U,
                    "shards too small for the batch size (shard "
                        << shuffler->local_order(0).size() << ", batch " << b
                        << ")");
 
+    obs::SpanGuard compute_span("sim.epoch.compute",
+                                {{"epoch", std::to_string(epoch)}});
     double loss_sum = 0;
     std::size_t loss_count = 0;
     for (std::size_t it = 0; it < iters; ++it) {
@@ -174,6 +183,7 @@ SimResult train_model(nn::Model& model, const data::InMemoryDataset& train,
       }
       opt.step();
     }
+    compute_span.finish();
 
     EpochRecord rec;
     rec.epoch = epoch;
@@ -182,6 +192,7 @@ SimResult train_model(nn::Model& model, const data::InMemoryDataset& train,
     rec.lr = opt.lr();
     if (const auto* stats = shuffler->last_stats()) {
       rec.samples_exchanged = stats->total_sent();
+      DSHUF_COUNTER("sim.samples_exchanged").add(rec.samples_exchanged);
       for (std::size_t w = 0; w < stats->peak_occupancy_per_worker.size();
            ++w) {
         const auto shard_sz = shuffler->local_order(static_cast<int>(w)).size();
@@ -197,6 +208,7 @@ SimResult train_model(nn::Model& model, const data::InMemoryDataset& train,
                            == 0) ||
                           epoch + 1 == regime.epochs;
     if (eval_now && val.size() > 0) {
+      DSHUF_SPAN("sim.epoch.eval", {{"epoch", std::to_string(epoch)}});
       rec.val_top1 =
           evaluate(model, val, config.max_eval_samples, config.seed ^ 0xEF);
       result.best_top1 = std::max(result.best_top1, rec.val_top1);

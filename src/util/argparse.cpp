@@ -106,9 +106,11 @@ std::vector<double> ArgParser::get_double_list(const std::string& name) const {
 }
 
 void ArgParser::print_usage() const {
+  // lint:stdout-ok --help output is user-facing CLI text, not a log line
   std::cout << program_ << " — " << description_ << "\n\nFlags:\n";
   for (const auto& name : order_) {
     const auto& f = flags_.at(name);
+    // lint:stdout-ok --help output is user-facing CLI text, not a log line
     std::cout << "  --" << name << " (default: " << f.default_value << ")\n"
               << "      " << f.help << "\n";
   }

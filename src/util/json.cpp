@@ -1,0 +1,293 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace dshuf::json {
+
+bool Value::as_bool() const {
+  DSHUF_CHECK(kind_ == Kind::kBool, "json: not a bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  DSHUF_CHECK(kind_ == Kind::kNumber, "json: not a number");
+  return num_;
+}
+
+std::int64_t Value::as_int() const {
+  const double d = as_number();
+  DSHUF_CHECK(std::nearbyint(d) == d, "json: number is not integral: " << d);
+  return static_cast<std::int64_t>(d);
+}
+
+const std::string& Value::as_string() const {
+  DSHUF_CHECK(kind_ == Kind::kString, "json: not a string");
+  return str_;
+}
+
+const Array& Value::as_array() const {
+  DSHUF_CHECK(kind_ == Kind::kArray, "json: not an array");
+  return *arr_;
+}
+
+const std::vector<std::string>& Value::keys() const {
+  DSHUF_CHECK(kind_ == Kind::kObject, "json: not an object");
+  return obj_->order;
+}
+
+bool Value::has(const std::string& key) const {
+  return kind_ == Kind::kObject &&
+         obj_->members.find(key) != obj_->members.end();
+}
+
+const Value& Value::at(const std::string& key) const {
+  DSHUF_CHECK(kind_ == Kind::kObject, "json: not an object");
+  const auto it = obj_->members.find(key);
+  DSHUF_CHECK(it != obj_->members.end(), "json: missing key '" << key << "'");
+  return it->second;
+}
+
+Value Value::make_null() { return {}; }
+
+Value Value::make_bool(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::make_number(double d) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+Value Value::make_string(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::make_array(Array a) {
+  Value v;
+  v.kind_ = Kind::kArray;
+  v.arr_ = std::make_shared<Array>(std::move(a));
+  return v;
+}
+
+Value Value::make_object() {
+  Value v;
+  v.kind_ = Kind::kObject;
+  v.obj_ = std::make_shared<Object>();
+  return v;
+}
+
+void Value::set(std::string key, Value v) {
+  DSHUF_CHECK(kind_ == Kind::kObject, "json: set() on a non-object");
+  if (obj_->members.find(key) == obj_->members.end()) {
+    obj_->order.push_back(key);
+  }
+  obj_->members[std::move(key)] = std::move(v);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    skip_ws();
+    Value v = parse_value();
+    skip_ws();
+    DSHUF_CHECK(pos_ == text_.size(),
+                "json: trailing garbage at offset " << pos_);
+    return v;
+  }
+
+ private:
+  [[nodiscard]] char peek() const {
+    DSHUF_CHECK(pos_ < text_.size(),
+                "json: unexpected end of input at offset " << pos_);
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    DSHUF_CHECK(peek() == c, "json: expected '" << c << "' at offset "
+                                                << pos_ << ", got '"
+                                                << peek() << "'");
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    std::size_t n = 0;
+    while (word[n] != '\0') ++n;
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value::make_string(parse_string());
+      case 't':
+        DSHUF_CHECK(literal("true"), "json: bad literal at offset " << pos_);
+        return Value::make_bool(true);
+      case 'f':
+        DSHUF_CHECK(literal("false"), "json: bad literal at offset " << pos_);
+        return Value::make_bool(false);
+      case 'n':
+        DSHUF_CHECK(literal("null"), "json: bad literal at offset " << pos_);
+        return Value::make_null();
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value obj = Value::make_object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      obj.set(std::move(key), parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') return obj;
+      DSHUF_CHECK(c == ',', "json: expected ',' or '}' at offset "
+                                << (pos_ - 1));
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value::make_array(std::move(items));
+    }
+    while (true) {
+      skip_ws();
+      items.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') return Value::make_array(std::move(items));
+      DSHUF_CHECK(c == ',', "json: expected ',' or ']' at offset "
+                                << (pos_ - 1));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              DSHUF_CHECK(false, "json: bad \\u escape at offset " << pos_);
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogates passed through
+          // as-is is fine for our own exporters, which never emit them).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          DSHUF_CHECK(false, "json: bad escape '\\" << esc << "' at offset "
+                                                    << pos_);
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    DSHUF_CHECK(pos_ > start, "json: expected a value at offset " << start);
+    const std::string tok = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    DSHUF_CHECK(end != nullptr && *end == '\0',
+                "json: bad number '" << tok << "' at offset " << start);
+    return Value::make_number(d);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace dshuf::json

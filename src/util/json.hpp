@@ -1,0 +1,70 @@
+// Minimal JSON document model and recursive-descent parser.
+//
+// Exists so tools/dshuf_trace can read back the observability artifacts
+// (Chrome trace-event JSON, metrics snapshots) without an external
+// dependency. Objects preserve insertion order and look up by key;
+// numbers are doubles (trace timestamps fit well inside the 2^53 exact
+// range). Parsing a malformed document throws CheckError with the byte
+// offset; this is a validator as much as a reader (dshuf_trace --check).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dshuf::json {
+
+class Value;
+using Array = std::vector<Value>;
+
+enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class Value {
+ public:
+  Value() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+
+  /// Object access: keys in document order.
+  [[nodiscard]] const std::vector<std::string>& keys() const;
+  /// True when this is an object containing `key`.
+  [[nodiscard]] bool has(const std::string& key) const;
+  /// Member lookup; throws CheckError when absent or not an object.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+
+  static Value make_null();
+  static Value make_bool(bool b);
+  static Value make_number(double d);
+  static Value make_string(std::string s);
+  static Value make_array(Array a);
+  static Value make_object();
+  /// Appends (object must have been created with make_object).
+  void set(std::string key, Value v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  struct Object {
+    std::vector<std::string> order;
+    std::map<std::string, Value> members;
+  };
+  std::shared_ptr<Object> obj_;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Throws CheckError on malformed input.
+Value parse(const std::string& text);
+
+}  // namespace dshuf::json

@@ -24,6 +24,46 @@ LogLevel parse_log_level(const std::string& s) {
   DSHUF_CHECK(false, "unknown log level: " << s);
 }
 
+namespace {
+
+struct LogContext {
+  bool active = false;
+  int rank = 0;
+  std::int64_t epoch = 0;
+};
+
+LogContext& thread_log_context() {
+  thread_local LogContext ctx;
+  return ctx;
+}
+
+}  // namespace
+
+void log_context(int rank, std::int64_t epoch) {
+  auto& ctx = thread_log_context();
+  ctx.active = true;
+  ctx.rank = rank;
+  ctx.epoch = epoch;
+}
+
+void clear_log_context() { thread_log_context().active = false; }
+
+ScopedLogContext::ScopedLogContext(int rank, std::int64_t epoch) {
+  const auto& ctx = thread_log_context();
+  had_previous_ = ctx.active;
+  previous_rank_ = ctx.rank;
+  previous_epoch_ = ctx.epoch;
+  log_context(rank, epoch);
+}
+
+ScopedLogContext::~ScopedLogContext() {
+  if (had_previous_) {
+    log_context(previous_rank_, previous_epoch_);
+  } else {
+    clear_log_context();
+  }
+}
+
 namespace detail {
 
 void emit_log_line(LogLevel level, const std::string& line) {
@@ -33,8 +73,11 @@ void emit_log_line(LogLevel level, const std::string& line) {
   static RankedMutex mu(LockRank::kLog, "util.log");
   std::ostream& os =
       level >= LogLevel::kWarn ? std::cerr : std::clog;
+  const auto& ctx = thread_log_context();
   std::lock_guard<RankedMutex> lk(mu);
-  os << "[" << kNames[static_cast<int>(level)] << "] " << line << '\n';
+  os << "[" << kNames[static_cast<int>(level)] << "] ";
+  if (ctx.active) os << "[r" << ctx.rank << " e" << ctx.epoch << "] ";
+  os << line << '\n';
 }
 
 }  // namespace detail

@@ -4,8 +4,14 @@
 // Each LOG call formats into one string; emission is serialised by a
 // LockRank::kLog ranked mutex (the highest rank, so logging is safe while
 // holding any other project lock — see util/ranked_mutex.hpp).
+//
+// Threads that act for a (rank, epoch) — the comm rank threads during an
+// exchange — install a per-thread log context; every line they emit is
+// then prefixed "[r3 e5]", so interleaved multi-rank output stays
+// attributable without each call site threading rank/epoch through.
 #pragma once
 
+#include <cstdint>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -19,6 +25,26 @@ LogLevel& global_log_level();
 
 /// Parse "debug"/"info"/"warn"/"error" (case-insensitive); throws on junk.
 LogLevel parse_log_level(const std::string& s);
+
+/// Prefix every line the calling thread logs with "[r<rank> e<epoch>]"
+/// until cleared. Thread-local; other threads are unaffected.
+void log_context(int rank, std::int64_t epoch);
+void clear_log_context();
+
+/// RAII log context: installs (rank, epoch) for the calling thread and
+/// restores the previous context on scope exit.
+class ScopedLogContext {
+ public:
+  ScopedLogContext(int rank, std::int64_t epoch);
+  ScopedLogContext(const ScopedLogContext&) = delete;
+  ScopedLogContext& operator=(const ScopedLogContext&) = delete;
+  ~ScopedLogContext();
+
+ private:
+  bool had_previous_;
+  int previous_rank_;
+  std::int64_t previous_epoch_;
+};
 
 namespace detail {
 

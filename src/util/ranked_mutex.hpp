@@ -7,7 +7,7 @@
 // The project-wide order, documented in DESIGN.md §8, is
 //
 //   comm.mailbox < comm.request < comm.barrier < comm.fault
-//       < data.batch_loader < io.file_store < util.log
+//       < data.batch_loader < io.file_store < obs.registry < util.log
 //
 // i.e. the comm layer is lowest (its locks are the innermost) and the
 // logger is highest (logging is always safe, whatever you hold).
@@ -40,6 +40,10 @@ enum class LockRank : int {
   kFault = 20,         ///< comm::FaultInjector queue/stats
   kBatchLoader = 30,   ///< data::BatchLoader prefetch queue
   kFileStore = 40,     ///< io::FileSampleStore directory ops
+  kObs = 45,           ///< obs metrics registry / tracer buffers — above
+                       ///< every instrumented module so metric
+                       ///< registration and span flushes are legal while
+                       ///< holding any project lock below the logger
   kLog = 50,           ///< util log line serialisation
 };
 

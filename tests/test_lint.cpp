@@ -74,6 +74,15 @@ TEST(LintClassify, DeterminismCriticalNamespaces) {
   EXPECT_FALSE(classify_path("tests/test_comm.cpp").determinism_critical);
 }
 
+TEST(LintClassify, SrcTreeAndLogModule) {
+  EXPECT_TRUE(classify_path("src/shuffle/mixing.cpp").src_tree);
+  EXPECT_TRUE(classify_path("/root/repo/src/util/argparse.cpp").src_tree);
+  EXPECT_FALSE(classify_path("bench/bench_fig09.cpp").src_tree);
+  EXPECT_FALSE(classify_path("tests/test_comm.cpp").src_tree);
+  EXPECT_TRUE(classify_path("src/util/log.cpp").log_module);
+  EXPECT_FALSE(classify_path("src/util/log.hpp").log_module);
+}
+
 TEST(LintClassify, RngModuleAndHeaders) {
   EXPECT_TRUE(classify_path("src/util/rng.hpp").rng_module);
   EXPECT_TRUE(classify_path("src/util/rng.cpp").rng_module);
@@ -250,6 +259,64 @@ TEST(LintTags, DeclarationsAreNotCalls) {
       "Request irecv(int source, int tag);\n";
   const auto fs = scan_file(classify_path("src/comm/comm.hpp"), code);
   EXPECT_FALSE(has_rule(fs, "raw-tag-literal"));
+}
+
+// ---------------------------------------------------------- raw-stdout
+
+TEST(LintStdout, FlagsCoutAndCerrInSrc) {
+  const std::string code =
+      "#include <iostream>\n"
+      "void f(int rank) {\n"
+      "  std::cout << rank << '\\n';\n"
+      "  std::cerr << \"bad\\n\";\n"
+      "}\n";
+  const auto fs = scan_file(classify_path("src/shuffle/x.cpp"), code);
+  int raw = 0;
+  for (const auto& f : fs) {
+    if (f.rule == "raw-stdout") ++raw;
+  }
+  EXPECT_EQ(raw, 2);
+}
+
+TEST(LintStdout, BenchesAndTestsAreExempt) {
+  const std::string code = "void f() { std::cout << \"table\\n\"; }\n";
+  EXPECT_FALSE(has_rule(scan_file(classify_path("bench/bench_x.cpp"), code),
+                        "raw-stdout"));
+  EXPECT_FALSE(has_rule(scan_file(classify_path("tests/test_x.cpp"), code),
+                        "raw-stdout"));
+}
+
+TEST(LintStdout, LogModuleIsExempt) {
+  const std::string code =
+      "void emit() { (true ? std::cerr : std::clog) << \"line\\n\"; }\n";
+  const auto fs = scan_file(classify_path("src/util/log.cpp"), code);
+  EXPECT_FALSE(has_rule(fs, "raw-stdout"));
+}
+
+TEST(LintStdout, JustifiedAnnotationSuppresses) {
+  const std::string code =
+      "// lint:stdout-ok --help output is CLI text, not a log line\n"
+      "void f() { std::cout << \"usage\\n\"; }\n";
+  const auto fs = scan_file(classify_path("src/util/argparse.cpp"), code);
+  EXPECT_FALSE(has_rule(fs, "raw-stdout"));
+  EXPECT_FALSE(has_rule(fs, "stdout-ok-justification"));
+}
+
+TEST(LintStdout, BareAnnotationDemandsJustification) {
+  const std::string code =
+      "void f() { std::cout << \"usage\\n\"; }  // lint:stdout-ok\n";
+  const auto fs = scan_file(classify_path("src/util/argparse.cpp"), code);
+  EXPECT_FALSE(has_rule(fs, "raw-stdout"));
+  EXPECT_TRUE(has_rule(fs, "stdout-ok-justification"));
+}
+
+TEST(LintStdout, IdentifiersContainingCoutPass) {
+  // `cout`/`cerr` match as whole words only: scout/concerrns etc. pass.
+  const auto fs = scan_file(classify_path("src/data/x.cpp"),
+                            "int scout_count(int cerrtainly) {\n"
+                            "  return cerrtainly;\n"
+                            "}\n");
+  EXPECT_FALSE(has_rule(fs, "raw-stdout"));
 }
 
 // ------------------------------------------------------ include hygiene

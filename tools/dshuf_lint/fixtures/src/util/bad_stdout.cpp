@@ -1,0 +1,13 @@
+// Fixture: raw stream writes inside src/. Never compiled — exists so the
+// lint_fixture_flags ctest proves dshuf_lint still rejects these.
+#include <iostream>
+
+namespace dshuf {
+
+void banned_streams(int rank) {
+  std::cout << "rank " << rank << " done\n";  // bypasses util/log.hpp
+  // lint:stdout-ok
+  std::cerr << "oops\n";  // annotation above has no justification
+}
+
+}  // namespace dshuf

@@ -349,6 +349,38 @@ void check_raw_tags(const FileInfo& info, const std::string& text,
   }
 }
 
+// --- rule: raw-stdout ------------------------------------------------------
+
+void check_raw_stdout(const FileInfo& info,
+                      const std::vector<std::string>& lines,
+                      const std::vector<std::string>& raw_lines,
+                      std::vector<Finding>& out) {
+  if (!info.src_tree || info.log_module) return;
+  const std::string marker = "lint:stdout-ok";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& l = lines[i];
+    std::string stream;
+    for (const char* s : {"cout", "cerr"}) {
+      if (contains_word(l, s)) stream = s;
+    }
+    if (stream.empty()) continue;
+    if (annotated(raw_lines, i, marker)) {
+      const std::size_t al = annotation_line(raw_lines, i, marker);
+      if (annotation_justification(raw_lines[al], marker).size() < 3) {
+        out.push_back({info.path, al + 1, "stdout-ok-justification",
+                       "lint:stdout-ok requires a justification "
+                       "(why can this site not log through util/log.hpp?)"});
+      }
+      continue;
+    }
+    out.push_back(
+        {info.path, i + 1, "raw-stdout",
+         "std::" + stream + " write in src/ — route output through "
+         "util/log.hpp (LOG_* lines carry the [rank epoch] context) or "
+         "annotate `// lint:stdout-ok <why>`"});
+  }
+}
+
 // --- rule: include hygiene -----------------------------------------------
 
 void check_include_hygiene(const FileInfo& info,
@@ -404,6 +436,8 @@ FileInfo classify_path(const std::string& path) {
   info.determinism_critical =
       has("src/shuffle/") || has("src/comm/") || has("src/sim/");
   info.rng_module = has("util/rng.hpp") || has("util/rng.cpp");
+  info.src_tree = has("src/");
+  info.log_module = has("util/log.cpp");
   return info;
 }
 
@@ -515,6 +549,7 @@ std::vector<Finding> scan_file(const FileInfo& info,
   check_banned_random(info, lines, out);
   check_unordered_iteration(info, lines, raw_lines, out);
   check_raw_tags(info, scrubbed, line_starts, raw_lines, out);
+  check_raw_stdout(info, lines, raw_lines, out);
   check_include_hygiene(info, lines, raw_lines, out);
 
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {

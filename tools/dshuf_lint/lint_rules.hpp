@@ -30,6 +30,15 @@
 //                       channels).
 //   tag-ok-justification  a lint:tag-ok[-file] annotation with no
 //                       justification text.
+//   raw-stdout          a direct std::cout / std::cerr write inside src/
+//                       (everything under src/ must log through
+//                       util/log.hpp so lines carry the [rank epoch]
+//                       context; util/log.cpp itself is the one module
+//                       allowed to own the streams). Suppress a deliberate
+//                       site with `// lint:stdout-ok <why>` on the same or
+//                       the preceding line. Benches and tests are exempt.
+//   stdout-ok-justification  a lint:stdout-ok annotation with no
+//                       justification text.
 //   pragma-once         a header whose first content line is not
 //                       `#pragma once`.
 //   relative-include    `#include "..."` using a ../ path (all project
@@ -59,6 +68,11 @@ struct FileInfo {
   bool determinism_critical = false;
   /// util/rng.* — the one module allowed to name entropy primitives.
   bool rng_module = false;
+  /// Under a src/ tree — the namespaces where raw stream writes are
+  /// banned in favour of util/log.hpp.
+  bool src_tree = false;
+  /// util/log.cpp — the one module allowed to own std::cout/std::cerr.
+  bool log_module = false;
 };
 
 /// Derive FileInfo from a (relative or absolute) path.
