@@ -1,10 +1,14 @@
 // Google-benchmark microbenchmarks for the core primitives: exchange-plan
 // construction, full partial-local epochs, global permutation dealing,
-// GEMM, and one simulated training iteration.
+// GEMM and Conv1d under both kernel backends, and one simulated training
+// iteration (MLP and CNN). The *Ref variants pin the retained naive
+// kernels so blocked-vs-reference speedups can be read off one run;
+// tools/dshuf_bench records the same comparison as JSON.
 #include <benchmark/benchmark.h>
 
 #include "data/synthetic.hpp"
 #include "nn/builder.hpp"
+#include "nn/conv.hpp"
 #include "nn/loss.hpp"
 #include "shuffle/shuffler.hpp"
 
@@ -65,30 +69,102 @@ void BM_GlobalEpoch(benchmark::State& state) {
 }
 BENCHMARK(BM_GlobalEpoch)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
-void BM_Gemm(benchmark::State& state) {
+void run_gemm(benchmark::State& state, KernelBackend backend,
+              void (*op)(const Tensor&, const Tensor&, Tensor&, bool)) {
+  const ScopedKernelBackend scoped(backend);
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(3);
   const Tensor a = Tensor::randn({n, n}, rng);
   const Tensor b = Tensor::randn({n, n}, rng);
   Tensor out({n, n});
   for (auto _ : state) {
-    gemm(a, b, out);
+    op(a, b, out, false);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * n * n * n));
 }
+
+void BM_Gemm(benchmark::State& state) {
+  run_gemm(state, KernelBackend::kBlocked, gemm);
+}
 BENCHMARK(BM_Gemm)->Arg(32)->Arg(128)->Arg(256);
 
-void BM_TrainIteration(benchmark::State& state) {
-  data::ClassClusterSpec dspec{.num_classes = 16,
-                               .samples_per_class = 64,
-                               .feature_dim = 32,
-                               .seed = 5};
-  const auto ds = data::make_class_clusters(dspec);
-  nn::MlpSpec mspec{.input_dim = 32, .hidden = {96, 64}, .num_classes = 16};
-  Rng rng(5);
-  nn::Model model = nn::make_mlp(mspec, rng);
+void BM_GemmRef(benchmark::State& state) {
+  run_gemm(state, KernelBackend::kReference, gemm);
+}
+BENCHMARK(BM_GemmRef)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_GemmAtB(benchmark::State& state) {
+  run_gemm(state, KernelBackend::kBlocked, gemm_at_b);
+}
+BENCHMARK(BM_GemmAtB)->Arg(128)->Arg(256);
+
+void BM_GemmABt(benchmark::State& state) {
+  run_gemm(state, KernelBackend::kBlocked, gemm_a_bt);
+}
+BENCHMARK(BM_GemmABt)->Arg(128)->Arg(256);
+
+// One Conv1d block at the CNN proxy's working size (batch 32, 8 -> 16
+// channels over length 32). Items = output scalars per pass.
+nn::Conv1d make_bench_conv(Rng& rng) {
+  return nn::Conv1d(/*in_channels=*/8, /*out_channels=*/16, /*length=*/32,
+                    /*kernel=*/3, rng);
+}
+
+void run_conv_forward(benchmark::State& state, KernelBackend backend) {
+  const ScopedKernelBackend scoped(backend);
+  Rng rng(7);
+  nn::Conv1d conv = make_bench_conv(rng);
+  const Tensor x = Tensor::randn({32, 8 * 32}, rng);
+  Tensor y;
+  for (auto _ : state) {
+    conv.forward_into(x, y, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(32 * 16 * 32));
+}
+
+void BM_Conv1dForward(benchmark::State& state) {
+  run_conv_forward(state, KernelBackend::kBlocked);
+}
+BENCHMARK(BM_Conv1dForward);
+
+void BM_Conv1dForwardRef(benchmark::State& state) {
+  run_conv_forward(state, KernelBackend::kReference);
+}
+BENCHMARK(BM_Conv1dForwardRef);
+
+void run_conv_backward(benchmark::State& state, KernelBackend backend) {
+  const ScopedKernelBackend scoped(backend);
+  Rng rng(7);
+  nn::Conv1d conv = make_bench_conv(rng);
+  const Tensor x = Tensor::randn({32, 8 * 32}, rng);
+  const Tensor g = Tensor::randn({32, 16 * 32}, rng);
+  Tensor y;
+  Tensor gi;
+  conv.forward_into(x, y, true);
+  for (auto _ : state) {
+    conv.backward_into(g, gi);
+    benchmark::DoNotOptimize(gi.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(32 * 16 * 32));
+}
+
+void BM_Conv1dBackward(benchmark::State& state) {
+  run_conv_backward(state, KernelBackend::kBlocked);
+}
+BENCHMARK(BM_Conv1dBackward);
+
+void BM_Conv1dBackwardRef(benchmark::State& state) {
+  run_conv_backward(state, KernelBackend::kReference);
+}
+BENCHMARK(BM_Conv1dBackwardRef);
+
+void run_train_iteration(benchmark::State& state, nn::Model model,
+                         const data::InMemoryDataset& ds) {
   nn::SoftmaxCrossEntropy ce;
   std::vector<data::SampleId> batch(32);
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -98,15 +174,38 @@ void BM_TrainIteration(benchmark::State& state) {
   const auto y = ds.gather_labels(batch);
   for (auto _ : state) {
     model.zero_grad();
-    const Tensor logits = model.forward(x, true);
+    const Tensor& logits = model.forward(x, true);
     const float loss = ce.forward(logits, y);
     benchmark::DoNotOptimize(loss);
-    model.backward(ce.backward());
+    model.backward(ce.grad());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch.size()));
 }
+
+void BM_TrainIteration(benchmark::State& state) {
+  data::ClassClusterSpec dspec{.num_classes = 16,
+                               .samples_per_class = 64,
+                               .feature_dim = 32,
+                               .seed = 5};
+  const auto ds = data::make_class_clusters(dspec);
+  nn::MlpSpec mspec{.input_dim = 32, .hidden = {96, 64}, .num_classes = 16};
+  Rng rng(5);
+  run_train_iteration(state, nn::make_mlp(mspec, rng), ds);
+}
 BENCHMARK(BM_TrainIteration);
+
+void BM_TrainIterationCnn(benchmark::State& state) {
+  data::ClassClusterSpec dspec{.num_classes = 10,
+                               .samples_per_class = 64,
+                               .feature_dim = 32,
+                               .seed = 5};
+  const auto ds = data::make_class_clusters(dspec);
+  nn::CnnSpec cspec;  // defaults match feature_dim 32
+  Rng rng(5);
+  run_train_iteration(state, nn::make_cnn(cspec, rng), ds);
+}
+BENCHMARK(BM_TrainIterationCnn);
 
 }  // namespace
 

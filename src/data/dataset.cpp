@@ -17,24 +17,36 @@ InMemoryDataset::InMemoryDataset(Tensor features,
 }
 
 Tensor InMemoryDataset::gather(std::span<const SampleId> ids) const {
-  const std::size_t D = feature_dim();
-  Tensor out({ids.size(), D});
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    DSHUF_CHECK_LT(ids[i], size(), "sample id out of range");
-    const float* src = features_.data() + static_cast<std::size_t>(ids[i]) * D;
-    std::copy(src, src + D, out.data() + i * D);
-  }
+  Tensor out;
+  gather_into(ids, out);
   return out;
 }
 
 std::vector<std::uint32_t> InMemoryDataset::gather_labels(
     std::span<const SampleId> ids) const {
-  std::vector<std::uint32_t> out(ids.size());
+  std::vector<std::uint32_t> out;
+  gather_labels_into(ids, out);
+  return out;
+}
+
+void InMemoryDataset::gather_into(std::span<const SampleId> ids,
+                                  Tensor& out) const {
+  const std::size_t D = feature_dim();
+  out.resize2(ids.size(), D);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    DSHUF_CHECK_LT(ids[i], size(), "sample id out of range");
+    const float* src = features_.data() + static_cast<std::size_t>(ids[i]) * D;
+    std::copy(src, src + D, out.data() + i * D);
+  }
+}
+
+void InMemoryDataset::gather_labels_into(
+    std::span<const SampleId> ids, std::vector<std::uint32_t>& out) const {
+  out.resize(ids.size());
   for (std::size_t i = 0; i < ids.size(); ++i) {
     DSHUF_CHECK_LT(ids[i], size(), "sample id out of range");
     out[i] = labels_[ids[i]];
   }
-  return out;
 }
 
 std::vector<std::size_t> InMemoryDataset::class_histogram() const {

@@ -46,6 +46,12 @@ class InMemoryDataset {
   [[nodiscard]] std::vector<std::uint32_t> gather_labels(
       std::span<const SampleId> ids) const;
 
+  /// Allocation-free variants: the outputs are resized in place (capacity
+  /// reused), so a training loop can keep one batch buffer per worker.
+  void gather_into(std::span<const SampleId> ids, Tensor& out) const;
+  void gather_labels_into(std::span<const SampleId> ids,
+                          std::vector<std::uint32_t>& out) const;
+
   /// Nominal serialized size of one sample in bytes (features as float32 +
   /// label); used by the I/O and exchange volume models.
   [[nodiscard]] std::size_t bytes_per_sample() const {

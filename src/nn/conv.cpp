@@ -4,6 +4,9 @@
 
 #include "nn/layers.hpp"
 #include "nn/norm.hpp"
+#include "tensor/gemm_kernel.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/kernel_ref.hpp"
 
 namespace dshuf::nn {
 
@@ -13,7 +16,6 @@ Conv1d::Conv1d(std::size_t in_channels, std::size_t out_channels,
       out_channels_(out_channels),
       length_(length),
       kernel_(kernel),
-      pad_(kernel / 2),
       weight_("conv.weight",
               Tensor::randn({out_channels, in_channels, kernel}, rng,
                             std::sqrt(2.0F / static_cast<float>(
@@ -27,80 +29,103 @@ Conv1d::Conv1d(std::size_t in_channels, std::size_t out_channels,
   DSHUF_CHECK_LE(kernel, length, "kernel cannot exceed the signal length");
 }
 
-Tensor Conv1d::forward(const Tensor& x, bool /*training*/) {
+void Conv1d::forward_into(const Tensor& x, Tensor& y, bool /*training*/) {
   DSHUF_CHECK_EQ(x.cols(), in_channels_ * length_,
                  "Conv1d input feature mismatch");
-  cached_input_ = x;
   const std::size_t N = x.rows();
-  Tensor out({N, out_channels_ * length_});
-  const float* px = x.data();
-  float* po = out.data();
-  const float* b = bias_.value.data();
+  cached_in_ = &x;
+  cached_batch_ = N;
+  y.resize2(N, out_channels_ * length_);
 
-  for (std::size_t n = 0; n < N; ++n) {
-    const float* row = px + n * in_channels_ * length_;
-    float* orow = po + n * out_channels_ * length_;
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      for (std::size_t t = 0; t < length_; ++t) {
-        double acc = b[oc];
-        for (std::size_t ic = 0; ic < in_channels_; ++ic) {
-          for (std::size_t k = 0; k < kernel_; ++k) {
-            const std::ptrdiff_t src =
-                static_cast<std::ptrdiff_t>(t + k) -
-                static_cast<std::ptrdiff_t>(pad_);
-            if (src < 0 || src >= static_cast<std::ptrdiff_t>(length_)) {
-              continue;  // zero padding
-            }
-            acc += wval(oc, ic, k) *
-                   row[ic * length_ + static_cast<std::size_t>(src)];
-          }
-        }
-        orow[oc * length_ + t] = static_cast<float>(acc);
-      }
+  if (kernel_backend() == KernelBackend::kReference) {
+    kernel_ref::conv1d_forward_ref(x.data(), weight_.value.data(),
+                                   bias_.value.data(), y.data(), N,
+                                   in_channels_, out_channels_, length_,
+                                   kernel_);
+    return;
+  }
+
+  // Lower to a column matrix, then the whole convolution is one GEMM:
+  //   out_big[oc, n*L + t] = W[oc, ic*k] * cols[ic*k, n*L + t].
+  const std::size_t nl = N * length_;
+  const std::size_t ck = in_channels_ * kernel_;
+  Tensor& cols = scratch(kColsSlot);
+  kernel::im2col_1d(x.data(), N, in_channels_, length_, kernel_, cols);
+  Tensor& out_big = scratch(kOutBigSlot);
+  out_big.resize2(out_channels_, nl);
+  kernel::gemm_blocked(weight_.value.data(), cols.data(), out_big.data(),
+                       out_channels_, nl, ck, /*a_transposed=*/false,
+                       /*b_transposed=*/false, /*accumulate=*/false);
+
+  // Scatter back to the layer's [N, out_c * L] layout with the bias fused.
+  const float* b = bias_.value.data();
+  for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+    const float* src = out_big.data() + oc * nl;
+    const float bv = b[oc];
+    for (std::size_t n = 0; n < N; ++n) {
+      float* dst = y.data() + n * out_channels_ * length_ + oc * length_;
+      const float* s = src + n * length_;
+      for (std::size_t t = 0; t < length_; ++t) dst[t] = s[t] + bv;
     }
   }
-  return out;
 }
 
-Tensor Conv1d::backward(const Tensor& grad_out) {
-  const std::size_t N = cached_input_.rows();
+void Conv1d::backward_into(const Tensor& grad_out, Tensor& grad_in) {
+  DSHUF_CHECK(cached_in_ != nullptr, "Conv1d backward before forward");
+  const std::size_t N = cached_batch_;
   DSHUF_CHECK_EQ(grad_out.rows(), N, "Conv1d grad batch mismatch");
   DSHUF_CHECK_EQ(grad_out.cols(), out_channels_ * length_,
                  "Conv1d grad feature mismatch");
-  Tensor grad_in({N, in_channels_ * length_});
-  const float* px = cached_input_.data();
-  const float* pg = grad_out.data();
-  float* pgi = grad_in.data();
-  float* dw = weight_.grad.data();
-  float* db = bias_.grad.data();
+  grad_in.resize2(N, in_channels_ * length_);
+  grad_in.zero();
 
-  for (std::size_t n = 0; n < N; ++n) {
-    const float* row = px + n * in_channels_ * length_;
-    const float* grow = pg + n * out_channels_ * length_;
-    float* girow = pgi + n * in_channels_ * length_;
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+  if (kernel_backend() == KernelBackend::kReference) {
+    kernel_ref::conv1d_backward_ref(
+        cached_in_->data(), weight_.value.data(), grad_out.data(),
+        grad_in.data(), weight_.grad.data(), bias_.grad.data(), N,
+        in_channels_, out_channels_, length_, kernel_);
+    return;
+  }
+
+  const std::size_t nl = N * length_;
+  const std::size_t ck = in_channels_ * kernel_;
+
+  // Gather dY into the GEMM layout, accumulating the bias gradient
+  // (db[oc] = sum over n, t of dY) on the way through.
+  Tensor& g_big = scratch(kGradBigSlot);
+  g_big.resize2(out_channels_, nl);
+  float* db = bias_.grad.data();
+  for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+    float* dst = g_big.data() + oc * nl;
+    double bsum = 0.0;
+    for (std::size_t n = 0; n < N; ++n) {
+      const float* src =
+          grad_out.data() + n * out_channels_ * length_ + oc * length_;
+      float* d = dst + n * length_;
       for (std::size_t t = 0; t < length_; ++t) {
-        const float g = grow[oc * length_ + t];
-        if (g == 0.0F) continue;
-        db[oc] += g;
-        for (std::size_t ic = 0; ic < in_channels_; ++ic) {
-          for (std::size_t k = 0; k < kernel_; ++k) {
-            const std::ptrdiff_t src =
-                static_cast<std::ptrdiff_t>(t + k) -
-                static_cast<std::ptrdiff_t>(pad_);
-            if (src < 0 || src >= static_cast<std::ptrdiff_t>(length_)) {
-              continue;
-            }
-            const auto s = static_cast<std::size_t>(src);
-            dw[(oc * in_channels_ + ic) * kernel_ + k] +=
-                g * row[ic * length_ + s];
-            girow[ic * length_ + s] += g * wval(oc, ic, k);
-          }
-        }
+        d[t] = src[t];
+        bsum += src[t];
       }
     }
+    db[oc] += static_cast<float>(bsum);
   }
-  return grad_in;
+
+  // dW += dY_big * cols^T — cols still holds this batch's im2col from the
+  // forward pass (backward-follows-forward contract).
+  const Tensor& cols = scratch(kColsSlot);
+  DSHUF_CHECK_EQ(cols.cols(), nl, "Conv1d backward without matching forward");
+  kernel::gemm_blocked(g_big.data(), cols.data(), weight_.grad.data(),
+                       out_channels_, ck, nl, /*a_transposed=*/false,
+                       /*b_transposed=*/true, /*accumulate=*/true);
+
+  // dcols = W^T * dY_big, then the adjoint scatter back to signal layout.
+  Tensor& dcols = scratch(kDColsSlot);
+  dcols.resize2(ck, nl);
+  kernel::gemm_blocked(weight_.value.data(), g_big.data(), dcols.data(), ck,
+                       nl, out_channels_, /*a_transposed=*/true,
+                       /*b_transposed=*/false, /*accumulate=*/false);
+  kernel::col2im_1d(dcols, N, in_channels_, length_, kernel_,
+                    grad_in.data());
 }
 
 MaxPool1d::MaxPool1d(std::size_t channels, std::size_t length,
@@ -111,16 +136,16 @@ MaxPool1d::MaxPool1d(std::size_t channels, std::size_t length,
                  "pool window must divide the signal length");
 }
 
-Tensor MaxPool1d::forward(const Tensor& x, bool /*training*/) {
+void MaxPool1d::forward_into(const Tensor& x, Tensor& y, bool /*training*/) {
   DSHUF_CHECK_EQ(x.cols(), channels_ * length_,
                  "MaxPool1d input feature mismatch");
   const std::size_t N = x.rows();
   const std::size_t out_len = length_ / window_;
   cached_batch_ = N;
   argmax_.assign(N * channels_ * out_len, 0);
-  Tensor out({N, channels_ * out_len});
+  y.resize2(N, channels_ * out_len);
   const float* px = x.data();
-  float* po = out.data();
+  float* po = y.data();
   for (std::size_t n = 0; n < N; ++n) {
     for (std::size_t c = 0; c < channels_; ++c) {
       for (std::size_t o = 0; o < out_len; ++o) {
@@ -137,22 +162,21 @@ Tensor MaxPool1d::forward(const Tensor& x, bool /*training*/) {
       }
     }
   }
-  return out;
 }
 
-Tensor MaxPool1d::backward(const Tensor& grad_out) {
+void MaxPool1d::backward_into(const Tensor& grad_out, Tensor& grad_in) {
   const std::size_t out_len = length_ / window_;
   DSHUF_CHECK_EQ(grad_out.rows(), cached_batch_,
                  "MaxPool1d grad batch mismatch");
   DSHUF_CHECK_EQ(grad_out.cols(), channels_ * out_len,
                  "MaxPool1d grad feature mismatch");
-  Tensor grad_in({cached_batch_, channels_ * length_});
+  grad_in.resize2(cached_batch_, channels_ * length_);
+  grad_in.zero();
   const float* pg = grad_out.data();
   float* pgi = grad_in.data();
   for (std::size_t i = 0; i < argmax_.size(); ++i) {
     pgi[argmax_[i]] += pg[i];
   }
-  return grad_in;
 }
 
 Model make_cnn(const CnnSpec& spec, Rng& rng) {

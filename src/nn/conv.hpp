@@ -7,6 +7,12 @@
 // 1). Together with MaxPool1d and the make_cnn builder this gives the
 // proxies genuine architectural structure (weight sharing, locality)
 // where the paper's models differ architecturally.
+//
+// Conv1d is computed as im2col + GEMM (tensor/im2col.hpp feeding the
+// blocked kernel), with the bias fused into the scatter back to the
+// layer's [N, out_c * L] layout. The pre-overhaul scalar loops survive as
+// kernel_ref::conv1d_*_ref and are used when the process-wide
+// KernelBackend is kReference.
 #pragma once
 
 #include "nn/builder.hpp"
@@ -22,8 +28,8 @@ class Conv1d : public Layer {
   Conv1d(std::size_t in_channels, std::size_t out_channels,
          std::size_t length, std::size_t kernel, Rng& rng);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& y, bool training) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   [[nodiscard]] std::string name() const override { return "Conv1d"; }
 
@@ -32,20 +38,21 @@ class Conv1d : public Layer {
   }
 
  private:
+  // Scratch slot ids (see Layer::scratch): the im2col matrix persists
+  // from forward to backward; the rest are per-pass staging.
+  static constexpr int kColsSlot = 0;   // [in_c * k, N * L]
+  static constexpr int kOutBigSlot = 1;  // [out_c, N * L] forward staging
+  static constexpr int kGradBigSlot = 2;  // [out_c, N * L] backward staging
+  static constexpr int kDColsSlot = 3;  // [in_c * k, N * L]
+
   std::size_t in_channels_;
   std::size_t out_channels_;
   std::size_t length_;
   std::size_t kernel_;
-  std::size_t pad_;
   Param weight_;  // [out_c, in_c, k] flattened
   Param bias_;    // [out_c]
-  Tensor cached_input_;
-
-  [[nodiscard]] float wval(std::size_t oc, std::size_t ic,
-                           std::size_t k) const {
-    return weight_.value
-        .vec()[(oc * in_channels_ + ic) * kernel_ + k];
-  }
+  const Tensor* cached_in_ = nullptr;
+  std::size_t cached_batch_ = 0;
 };
 
 /// Non-overlapping max pooling along the length axis of channel-major
@@ -54,8 +61,8 @@ class MaxPool1d : public Layer {
  public:
   MaxPool1d(std::size_t channels, std::size_t length, std::size_t window);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& y, bool training) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
   [[nodiscard]] std::string name() const override { return "MaxPool1d"; }
 
   [[nodiscard]] std::size_t out_features() const {

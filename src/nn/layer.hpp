@@ -1,11 +1,19 @@
 // Layer abstraction for the training substrate.
 //
-// Layers own their parameters (value + gradient). backward() must be called
-// immediately after the forward() whose activations it differentiates
-// (caches are single-buffered). Gradients ACCUMULATE across backward calls
-// until zero_grad() — this is what lets the simulator run M virtual
-// workers' backward passes against one shared model and end up with the
-// summed (then averaged) synchronous-SGD gradient.
+// Layers own their parameters (value + gradient). backward_into() must be
+// called immediately after the forward_into() whose activations it
+// differentiates (caches are single-buffered, and layers may cache the
+// input by reference — the input tensor must stay alive and unmodified
+// until backward completes; Model guarantees this by staging activations
+// in its workspace). Gradients ACCUMULATE across backward calls until
+// zero_grad() — this is what lets the simulator run M virtual workers'
+// backward passes against one shared model and end up with the summed
+// (then averaged) synchronous-SGD gradient.
+//
+// The _into entry points write results into caller-provided tensors whose
+// capacity is reused across iterations, so a steady-state training loop
+// does no heap allocation (see tensor/workspace.hpp). The by-value
+// forward()/backward() wrappers remain for tests and one-off use.
 #pragma once
 
 #include <memory>
@@ -13,6 +21,7 @@
 #include <vector>
 
 #include "tensor/tensor.hpp"
+#include "tensor/workspace.hpp"
 
 namespace dshuf::nn {
 
@@ -36,12 +45,26 @@ class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// Forward pass. `training` toggles batch-stat collection / dropout.
-  virtual Tensor forward(const Tensor& x, bool training) = 0;
+  /// Forward pass into y (resized in place, capacity reused; y must not
+  /// alias x). `training` toggles batch-stat collection / dropout.
+  virtual void forward_into(const Tensor& x, Tensor& y, bool training) = 0;
 
-  /// Backward pass given dLoss/dOutput; returns dLoss/dInput and
-  /// accumulates parameter gradients.
-  virtual Tensor backward(const Tensor& grad_out) = 0;
+  /// Backward pass given dLoss/dOutput: writes dLoss/dInput into grad_in
+  /// (resized in place; must not alias grad_out) and accumulates
+  /// parameter gradients.
+  virtual void backward_into(const Tensor& grad_out, Tensor& grad_in) = 0;
+
+  /// Convenience by-value wrappers over the _into core (these allocate).
+  Tensor forward(const Tensor& x, bool training) {
+    Tensor y;
+    forward_into(x, y, training);
+    return y;
+  }
+  Tensor backward(const Tensor& grad_out) {
+    Tensor grad_in;
+    backward_into(grad_out, grad_in);
+    return grad_in;
+  }
 
   /// Parameters of this layer (possibly empty).
   virtual std::vector<Param*> params() { return {}; }
@@ -52,6 +75,21 @@ class Layer {
 
   /// Layer type name for diagnostics.
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Attach a shared scratch arena (Model does this on add()); nullptr
+  /// reverts to the layer's private arena.
+  void set_workspace(Workspace* ws) { ws_ = ws; }
+
+ protected:
+  /// This layer's scratch slot `id` in the attached (or private)
+  /// workspace. Same id => same tensor every call; capacity persists.
+  Tensor& scratch(int id) {
+    return (ws_ != nullptr ? *ws_ : local_ws_).slot(this, id);
+  }
+
+ private:
+  Workspace* ws_ = nullptr;
+  Workspace local_ws_;
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

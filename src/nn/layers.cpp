@@ -13,106 +13,117 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
               /*decay=*/true),
       bias_("linear.bias", Tensor({out_features}), /*decay=*/false) {}
 
-Tensor Linear::forward(const Tensor& x, bool /*training*/) {
+void Linear::forward_into(const Tensor& x, Tensor& y, bool /*training*/) {
   DSHUF_CHECK_EQ(x.cols(), in_, "Linear input feature mismatch");
-  cached_input_ = x;
-  Tensor w_view = weight_.value;  // [in, out]
-  Tensor out({x.rows(), out_});
-  gemm(x, w_view, out);
+  cached_in_ = &x;
+  y.resize2(x.rows(), out_);
+  gemm(x, weight_.value, y);
   const float* b = bias_.value.data();
-  for (std::size_t i = 0; i < out.rows(); ++i) {
-    float* row = out.data() + i * out_;
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    float* row = y.data() + i * out_;
     for (std::size_t j = 0; j < out_; ++j) row[j] += b[j];
   }
-  return out;
 }
 
-Tensor Linear::backward(const Tensor& grad_out) {
+void Linear::backward_into(const Tensor& grad_out, Tensor& grad_in) {
+  DSHUF_CHECK(cached_in_ != nullptr, "Linear backward before forward");
   DSHUF_CHECK_EQ(grad_out.cols(), out_, "Linear grad feature mismatch");
-  DSHUF_CHECK_EQ(grad_out.rows(), cached_input_.rows(),
+  DSHUF_CHECK_EQ(grad_out.rows(), cached_in_->rows(),
                  "Linear grad batch mismatch");
   // dW += X^T dY ; db += column-sum(dY) ; dX = dY W^T
-  gemm_at_b(cached_input_, grad_out, weight_.grad, /*accumulate=*/true);
+  gemm_at_b(*cached_in_, grad_out, weight_.grad, /*accumulate=*/true);
   float* db = bias_.grad.data();
   for (std::size_t i = 0; i < grad_out.rows(); ++i) {
     const float* row = grad_out.data() + i * out_;
     for (std::size_t j = 0; j < out_; ++j) db[j] += row[j];
   }
-  Tensor grad_in({grad_out.rows(), in_});
-  // weight is [in, out]; dX(MxIn) = dY(MxOut) * W^T — W^T is out x in, and
-  // gemm_a_bt expects b stored as NxK = in x out... weight is stored
-  // [in, out], i.e. rows=in, cols=out, so b stored as NxK with N=in, K=out.
+  grad_in.resize2(grad_out.rows(), in_);
+  // weight is [in, out] = NxK as gemm_a_bt expects (N=in, K=out), so
+  // dX(MxIn) = dY(MxOut) * W^T comes out directly.
   gemm_a_bt(grad_out, weight_.value, grad_in);
-  return grad_in;
 }
 
-Tensor ReLU::forward(const Tensor& x, bool /*training*/) {
-  cached_input_ = x;
-  Tensor out = x;
-  for (auto& v : out.vec()) v = v > 0.0F ? v : 0.0F;
-  return out;
+void ReLU::forward_into(const Tensor& x, Tensor& y, bool /*training*/) {
+  cached_in_ = &x;
+  y.resize_like(x);
+  const float* px = x.data();
+  float* py = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    py[i] = px[i] > 0.0F ? px[i] : 0.0F;
+  }
 }
 
-Tensor ReLU::backward(const Tensor& grad_out) {
-  DSHUF_CHECK_EQ(grad_out.size(), cached_input_.size(),
+void ReLU::backward_into(const Tensor& grad_out, Tensor& grad_in) {
+  DSHUF_CHECK(cached_in_ != nullptr, "ReLU backward before forward");
+  DSHUF_CHECK_EQ(grad_out.size(), cached_in_->size(),
                  "ReLU grad size mismatch");
-  Tensor grad_in = grad_out;
-  const float* x = cached_input_.data();
+  grad_in.resize_like(grad_out);
+  const float* x = cached_in_->data();
+  const float* go = grad_out.data();
   float* g = grad_in.data();
   for (std::size_t i = 0; i < grad_in.size(); ++i) {
-    if (x[i] <= 0.0F) g[i] = 0.0F;
+    g[i] = x[i] > 0.0F ? go[i] : 0.0F;
   }
-  return grad_in;
 }
 
-Tensor Tanh::forward(const Tensor& x, bool /*training*/) {
-  Tensor out = x;
-  for (auto& v : out.vec()) v = std::tanh(v);
-  cached_output_ = out;
-  return out;
+void Tanh::forward_into(const Tensor& x, Tensor& y, bool /*training*/) {
+  y.resize_like(x);
+  const float* px = x.data();
+  float* py = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) py[i] = std::tanh(px[i]);
+  // Backward needs tanh(x), and y's storage belongs to the caller — keep
+  // our own copy in scratch.
+  copy_into(y, scratch(0));
 }
 
-Tensor Tanh::backward(const Tensor& grad_out) {
-  DSHUF_CHECK_EQ(grad_out.size(), cached_output_.size(),
+void Tanh::backward_into(const Tensor& grad_out, Tensor& grad_in) {
+  const Tensor& cached_out = scratch(0);
+  DSHUF_CHECK_EQ(grad_out.size(), cached_out.size(),
                  "Tanh grad size mismatch");
-  Tensor grad_in = grad_out;
-  const float* y = cached_output_.data();
+  grad_in.resize_like(grad_out);
+  const float* y = cached_out.data();
+  const float* go = grad_out.data();
   float* g = grad_in.data();
   for (std::size_t i = 0; i < grad_in.size(); ++i) {
-    g[i] *= 1.0F - y[i] * y[i];
+    g[i] = go[i] * (1.0F - y[i] * y[i]);
   }
-  return grad_in;
 }
 
 Dropout::Dropout(double p, Rng& rng) : p_(p), rng_(&rng) {
   DSHUF_CHECK(p >= 0.0 && p < 1.0, "dropout probability must be in [0, 1)");
 }
 
-Tensor Dropout::forward(const Tensor& x, bool training) {
+void Dropout::forward_into(const Tensor& x, Tensor& y, bool training) {
   last_training_ = training;
-  if (!training || p_ == 0.0) return x;
-  Tensor out = x;
+  if (!training || p_ == 0.0) {
+    copy_into(x, y);
+    return;
+  }
+  y.resize_like(x);
   mask_.assign(x.size(), 0.0F);
   const auto keep = static_cast<float>(1.0 / (1.0 - p_));
-  float* o = out.data();
-  for (std::size_t i = 0; i < out.size(); ++i) {
+  const float* px = x.data();
+  float* o = y.data();
+  for (std::size_t i = 0; i < y.size(); ++i) {
     if (rng_->uniform() >= p_) {
       mask_[i] = keep;
-      o[i] *= keep;
+      o[i] = px[i] * keep;
     } else {
       o[i] = 0.0F;
     }
   }
-  return out;
 }
 
-Tensor Dropout::backward(const Tensor& grad_out) {
-  if (!last_training_ || p_ == 0.0) return grad_out;
+void Dropout::backward_into(const Tensor& grad_out, Tensor& grad_in) {
+  if (!last_training_ || p_ == 0.0) {
+    copy_into(grad_out, grad_in);
+    return;
+  }
   DSHUF_CHECK_EQ(grad_out.size(), mask_.size(), "Dropout grad size mismatch");
-  Tensor grad_in = grad_out;
+  grad_in.resize_like(grad_out);
+  const float* go = grad_out.data();
   float* g = grad_in.data();
-  for (std::size_t i = 0; i < grad_in.size(); ++i) g[i] *= mask_[i];
-  return grad_in;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) g[i] = go[i] * mask_[i];
 }
 
 }  // namespace dshuf::nn

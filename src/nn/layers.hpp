@@ -12,8 +12,8 @@ class Linear : public Layer {
   /// He-style initialisation: W ~ N(0, sqrt(2/in)), b = 0.
   Linear(std::size_t in_features, std::size_t out_features, Rng& rng);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& y, bool training) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   [[nodiscard]] std::string name() const override { return "Linear"; }
 
@@ -25,29 +25,28 @@ class Linear : public Layer {
   std::size_t out_;
   Param weight_;
   Param bias_;
-  Tensor cached_input_;
+  // Input of the last forward, by reference (see the Layer lifetime
+  // contract) — no per-iteration deep copy.
+  const Tensor* cached_in_ = nullptr;
 };
 
 /// Rectified linear unit.
 class ReLU : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& y, bool training) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
   [[nodiscard]] std::string name() const override { return "ReLU"; }
 
  private:
-  Tensor cached_input_;
+  const Tensor* cached_in_ = nullptr;
 };
 
 /// Hyperbolic tangent activation.
 class Tanh : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& y, bool training) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
   [[nodiscard]] std::string name() const override { return "Tanh"; }
-
- private:
-  Tensor cached_output_;
 };
 
 /// Inverted dropout: scales kept activations by 1/(1-p) during training,
@@ -57,8 +56,8 @@ class Dropout : public Layer {
   /// `rng` must outlive the layer.
   Dropout(double p, Rng& rng);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& y, bool training) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
   [[nodiscard]] std::string name() const override { return "Dropout"; }
 
  private:

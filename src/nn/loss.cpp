@@ -13,8 +13,8 @@ float SoftmaxCrossEntropy::forward(const Tensor& logits,
                  "labels must match logits batch size");
   const std::size_t N = logits.rows();
   const std::size_t C = logits.cols();
-  probs_ = Tensor({N, C});
-  labels_ = labels;
+  probs_.resize2(N, C);
+  labels_.assign(labels.begin(), labels.end());
   sample_losses_.assign(N, 0.0F);
   double total = 0.0;
   for (std::size_t i = 0; i < N; ++i) {
@@ -51,6 +51,20 @@ Tensor SoftmaxCrossEntropy::backward() const {
     for (std::size_t j = 0; j < C; ++j) row[j] *= inv_n;
   }
   return grad;
+}
+
+const Tensor& SoftmaxCrossEntropy::grad() {
+  DSHUF_CHECK(!probs_.empty(), "grad() before forward()");
+  copy_into(probs_, grad_);
+  const std::size_t N = grad_.rows();
+  const std::size_t C = grad_.cols();
+  const auto inv_n = 1.0F / static_cast<float>(N);
+  for (std::size_t i = 0; i < N; ++i) {
+    float* row = grad_.data() + i * C;
+    row[labels_[i]] -= 1.0F;
+    for (std::size_t j = 0; j < C; ++j) row[j] *= inv_n;
+  }
+  return grad_;
 }
 
 }  // namespace dshuf::nn

@@ -19,6 +19,11 @@ class SoftmaxCrossEntropy {
   /// Gradient of the mean loss w.r.t. the logits passed to the last forward.
   [[nodiscard]] Tensor backward() const;
 
+  /// Allocation-free variant of backward(): computes into a member tensor
+  /// whose capacity is reused. The reference stays valid until the next
+  /// grad() call; the training hot path uses this.
+  [[nodiscard]] const Tensor& grad();
+
   /// Softmax probabilities from the last forward ([N, C]).
   [[nodiscard]] const Tensor& probs() const { return probs_; }
 
@@ -30,6 +35,7 @@ class SoftmaxCrossEntropy {
 
  private:
   Tensor probs_;
+  Tensor grad_;
   std::vector<std::uint32_t> labels_;
   std::vector<float> sample_losses_;
 };

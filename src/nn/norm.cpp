@@ -13,18 +13,20 @@ BatchNorm1d::BatchNorm1d(std::size_t features, float momentum, float eps)
       running_mean_({features}),
       running_var_(Tensor::full({features}, 1.0F)) {}
 
-Tensor BatchNorm1d::forward(const Tensor& x, bool training) {
+void BatchNorm1d::forward_into(const Tensor& x, Tensor& y, bool training) {
   DSHUF_CHECK_EQ(x.cols(), features_, "BatchNorm feature mismatch");
   const std::size_t N = x.rows();
   const std::size_t C = features_;
-  Tensor out({N, C});
-  cached_xhat_ = Tensor({N, C});
-  cached_inv_std_ = Tensor({C});
+  y.resize2(N, C);
+  Tensor& xhat = scratch(kXhatSlot);
+  xhat.resize2(N, C);
+  Tensor& inv_std_t = scratch(kInvStdSlot);
+  inv_std_t.resize1(C);
   cached_batch_ = N;
 
   const float* px = x.data();
-  float* pxh = cached_xhat_.data();
-  float* po = out.data();
+  float* pxh = xhat.data();
+  float* po = y.data();
   const float* g = gamma_.value.data();
   const float* b = beta_.value.data();
 
@@ -54,24 +56,26 @@ Tensor BatchNorm1d::forward(const Tensor& x, bool training) {
       var = running_var_.vec()[j];
     }
     const float inv_std = 1.0F / std::sqrt(var + eps_);
-    cached_inv_std_.vec()[j] = inv_std;
+    inv_std_t.vec()[j] = inv_std;
     for (std::size_t i = 0; i < N; ++i) {
-      const float xhat = (px[i * C + j] - mean) * inv_std;
-      pxh[i * C + j] = xhat;
-      po[i * C + j] = g[j] * xhat + b[j];
+      const float xh = (px[i * C + j] - mean) * inv_std;
+      pxh[i * C + j] = xh;
+      po[i * C + j] = g[j] * xh + b[j];
     }
   }
-  return out;
 }
 
-Tensor BatchNorm1d::backward(const Tensor& grad_out) {
+void BatchNorm1d::backward_into(const Tensor& grad_out, Tensor& grad_in) {
   const std::size_t N = cached_batch_;
   const std::size_t C = features_;
   DSHUF_CHECK_EQ(grad_out.rows(), N, "BatchNorm grad batch mismatch");
   DSHUF_CHECK_EQ(grad_out.cols(), C, "BatchNorm grad feature mismatch");
-  Tensor grad_in({N, C});
+  grad_in.resize2(N, C);
+  const Tensor& xhat = scratch(kXhatSlot);
+  const Tensor& inv_std_t = scratch(kInvStdSlot);
+  DSHUF_CHECK_EQ(xhat.size(), N * C, "BatchNorm backward before forward");
   const float* dy = grad_out.data();
-  const float* xh = cached_xhat_.data();
+  const float* xh = xhat.data();
   float* dx = grad_in.data();
   const float* g = gamma_.value.data();
   float* dg = gamma_.grad.data();
@@ -87,7 +91,7 @@ Tensor BatchNorm1d::backward(const Tensor& grad_out) {
     }
     dg[j] += static_cast<float>(sum_dy_xhat);
     db[j] += static_cast<float>(sum_dy);
-    const float inv_std = cached_inv_std_.vec()[j];
+    const float inv_std = inv_std_t.vec()[j];
     const auto mdy = static_cast<float>(sum_dy / n);
     const auto mdyx = static_cast<float>(sum_dy_xhat / n);
     for (std::size_t i = 0; i < N; ++i) {
@@ -96,7 +100,6 @@ Tensor BatchNorm1d::backward(const Tensor& grad_out) {
           g[j] * inv_std * (dy[i * C + j] - mdy - xh[i * C + j] * mdyx);
     }
   }
-  return grad_in;
 }
 
 GroupNorm::GroupNorm(std::size_t features, std::size_t groups, float eps)
@@ -111,19 +114,21 @@ GroupNorm::GroupNorm(std::size_t features, std::size_t groups, float eps)
                  "GroupNorm features must divide evenly into groups");
 }
 
-Tensor GroupNorm::forward(const Tensor& x, bool /*training*/) {
+void GroupNorm::forward_into(const Tensor& x, Tensor& y, bool /*training*/) {
   DSHUF_CHECK_EQ(x.cols(), features_, "GroupNorm feature mismatch");
   const std::size_t N = x.rows();
   const std::size_t C = features_;
   const std::size_t G = groups_;
   const std::size_t GS = group_size_;
-  Tensor out({N, C});
-  cached_xhat_ = Tensor({N, C});
-  cached_inv_std_ = Tensor({N, G});
+  y.resize2(N, C);
+  Tensor& xhat = scratch(kXhatSlot);
+  xhat.resize2(N, C);
+  Tensor& inv_std_t = scratch(kInvStdSlot);
+  inv_std_t.resize2(N, G);
 
   const float* px = x.data();
-  float* pxh = cached_xhat_.data();
-  float* po = out.data();
+  float* pxh = xhat.data();
+  float* po = y.data();
   const float* g = gamma_.value.data();
   const float* b = beta_.value.data();
 
@@ -141,27 +146,29 @@ Tensor GroupNorm::forward(const Tensor& x, bool /*training*/) {
       }
       const auto var = static_cast<float>(ss / static_cast<double>(GS));
       const float inv_std = 1.0F / std::sqrt(var + eps_);
-      cached_inv_std_.at(i, grp) = inv_std;
+      inv_std_t.at(i, grp) = inv_std;
       for (std::size_t c = c0; c < c0 + GS; ++c) {
-        const float xhat = (row[c] - mean) * inv_std;
-        pxh[i * C + c] = xhat;
-        po[i * C + c] = g[c] * xhat + b[c];
+        const float xh = (row[c] - mean) * inv_std;
+        pxh[i * C + c] = xh;
+        po[i * C + c] = g[c] * xh + b[c];
       }
     }
   }
-  return out;
 }
 
-Tensor GroupNorm::backward(const Tensor& grad_out) {
-  const std::size_t N = cached_xhat_.rows();
+void GroupNorm::backward_into(const Tensor& grad_out, Tensor& grad_in) {
+  const Tensor& xhat = scratch(kXhatSlot);
+  const Tensor& inv_std_t = scratch(kInvStdSlot);
+  DSHUF_CHECK_GT(xhat.size(), 0U, "GroupNorm backward before forward");
+  const std::size_t N = xhat.rows();
   const std::size_t C = features_;
   const std::size_t G = groups_;
   const std::size_t GS = group_size_;
   DSHUF_CHECK_EQ(grad_out.rows(), N, "GroupNorm grad batch mismatch");
   DSHUF_CHECK_EQ(grad_out.cols(), C, "GroupNorm grad feature mismatch");
-  Tensor grad_in({N, C});
+  grad_in.resize2(N, C);
   const float* dy = grad_out.data();
-  const float* xh = cached_xhat_.data();
+  const float* xh = xhat.data();
   float* dx = grad_in.data();
   const float* g = gamma_.value.data();
   float* dg = gamma_.grad.data();
@@ -189,7 +196,7 @@ Tensor GroupNorm::backward(const Tensor& grad_out) {
         sum_t += t;
         sum_t_xhat += t * xh[i * C + c];
       }
-      const float inv_std = cached_inv_std_.at(i, grp);
+      const float inv_std = inv_std_t.at(i, grp);
       const auto mt = static_cast<float>(sum_t / gs);
       const auto mtx = static_cast<float>(sum_t_xhat / gs);
       for (std::size_t c = c0; c < c0 + GS; ++c) {
@@ -198,7 +205,6 @@ Tensor GroupNorm::backward(const Tensor& grad_out) {
       }
     }
   }
-  return grad_in;
 }
 
 }  // namespace dshuf::nn

@@ -20,8 +20,8 @@ class BatchNorm1d : public Layer {
   explicit BatchNorm1d(std::size_t features, float momentum = 0.1F,
                        float eps = 1e-5F);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& y, bool training) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
   std::vector<Tensor*> buffers() override {
     return {&running_mean_, &running_var_};
@@ -34,6 +34,10 @@ class BatchNorm1d : public Layer {
   Tensor& running_var() { return running_var_; }
 
  private:
+  // Scratch slots for the forward caches backward reads.
+  static constexpr int kXhatSlot = 0;     // [N, C]
+  static constexpr int kInvStdSlot = 1;   // [C]
+
   std::size_t features_;
   float momentum_;
   float eps_;
@@ -41,9 +45,6 @@ class BatchNorm1d : public Layer {
   Param beta_;
   Tensor running_mean_;
   Tensor running_var_;
-  // Forward caches for backward.
-  Tensor cached_xhat_;
-  Tensor cached_inv_std_;  // [C]
   std::size_t cached_batch_ = 0;
 };
 
@@ -54,20 +55,21 @@ class GroupNorm : public Layer {
  public:
   GroupNorm(std::size_t features, std::size_t groups, float eps = 1e-5F);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  void forward_into(const Tensor& x, Tensor& y, bool training) override;
+  void backward_into(const Tensor& grad_out, Tensor& grad_in) override;
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
   [[nodiscard]] std::string name() const override { return "GroupNorm"; }
 
  private:
+  static constexpr int kXhatSlot = 0;     // [N, C]
+  static constexpr int kInvStdSlot = 1;   // [N, G]
+
   std::size_t features_;
   std::size_t groups_;
   std::size_t group_size_;
   float eps_;
   Param gamma_;
   Param beta_;
-  Tensor cached_xhat_;
-  Tensor cached_inv_std_;  // [N, G]
 };
 
 }  // namespace dshuf::nn

@@ -7,13 +7,13 @@
 namespace dshuf::nn {
 
 Sgd::Sgd(Model& model, SgdConfig config) : model_(&model), config_(config) {
-  for (Param* p : model_->params()) {
+  for (Param* p : model_->param_refs()) {
     velocity_.emplace_back(p->value.shape());
   }
 }
 
 void Sgd::step() {
-  const auto params = model_->params();
+  const auto& params = model_->param_refs();
   DSHUF_CHECK_EQ(params.size(), velocity_.size(),
                  "model parameter set changed after optimiser construction");
   for (std::size_t pi = 0; pi < params.size(); ++pi) {

@@ -41,13 +41,15 @@ double evaluate(nn::Model& model, const data::InMemoryDataset& val,
   }
   nn::AccuracyMeter meter;
   constexpr std::size_t kChunk = 512;
+  Tensor xbuf;
+  std::vector<std::uint32_t> ybuf;
   for (std::size_t off = 0; off < ids.size(); off += kChunk) {
     const std::size_t n = std::min(kChunk, ids.size() - off);
     const std::span<const data::SampleId> chunk(ids.data() + off, n);
-    const Tensor x = val.gather(chunk);
-    const auto y = val.gather_labels(chunk);
-    const Tensor logits = model.forward(x, /*training=*/false);
-    meter.update(logits, y);
+    val.gather_into(chunk, xbuf);
+    val.gather_labels_into(chunk, ybuf);
+    const Tensor& logits = model.forward(xbuf, /*training=*/false);
+    meter.update(logits, ybuf);
   }
   return meter.value();
 }
@@ -140,6 +142,12 @@ SimResult train_model(nn::Model& model, const data::InMemoryDataset& train,
                                 {{"epoch", std::to_string(epoch)}});
     double loss_sum = 0;
     std::size_t loss_count = 0;
+    // Batch staging buffers live outside the loops: after the first
+    // iteration every gather reuses their capacity, so the steady state
+    // of the training loop is allocation-free.
+    Tensor xbuf;
+    std::vector<std::uint32_t> ybuf;
+    std::vector<data::SampleId> fused;
     for (std::size_t it = 0; it < iters; ++it) {
       const double frac_epoch =
           static_cast<double>(epoch) +
@@ -150,33 +158,33 @@ SimResult train_model(nn::Model& model, const data::InMemoryDataset& train,
       if (config.sync_batchnorm) {
         // Fused global batch: identical averaged gradient, global batch
         // statistics (the paper's suggested BN remedy, Section IV-A-1).
-        std::vector<data::SampleId> fused;
+        fused.clear();
         fused.reserve(M * b);
         for (std::size_t w = 0; w < M; ++w) {
           const auto& order = shuffler->local_order(static_cast<int>(w));
           fused.insert(fused.end(), order.begin() + static_cast<std::ptrdiff_t>(it * b),
                        order.begin() + static_cast<std::ptrdiff_t>((it + 1) * b));
         }
-        const Tensor x = train.gather(fused);
-        const auto y = train.gather_labels(fused);
-        const Tensor logits = model.forward(x, /*training=*/true);
-        loss_sum += ce.forward(logits, y);
+        train.gather_into(fused, xbuf);
+        train.gather_labels_into(fused, ybuf);
+        const Tensor& logits = model.forward(xbuf, /*training=*/true);
+        loss_sum += ce.forward(logits, ybuf);
         ++loss_count;
         if (track_losses) update_ema(fused, ce.per_sample_losses());
-        model.backward(ce.backward());
+        model.backward(ce.grad());
         // Mean over the fused M*b batch == average of per-worker means.
       } else {
         for (std::size_t w = 0; w < M; ++w) {
           const auto& order = shuffler->local_order(static_cast<int>(w));
           const std::span<const data::SampleId> batch(order.data() + it * b,
                                                       b);
-          const Tensor x = train.gather(batch);
-          const auto y = train.gather_labels(batch);
-          const Tensor logits = model.forward(x, /*training=*/true);
-          loss_sum += ce.forward(logits, y);
+          train.gather_into(batch, xbuf);
+          train.gather_labels_into(batch, ybuf);
+          const Tensor& logits = model.forward(xbuf, /*training=*/true);
+          loss_sum += ce.forward(logits, ybuf);
           ++loss_count;
           if (track_losses) update_ema(batch, ce.per_sample_losses());
-          model.backward(ce.backward());
+          model.backward(ce.grad());
         }
         // Gradient-averaging allreduce.
         model.scale_grad(1.0F / static_cast<float>(M));
@@ -184,6 +192,8 @@ SimResult train_model(nn::Model& model, const data::InMemoryDataset& train,
       opt.step();
     }
     compute_span.finish();
+    DSHUF_GAUGE("nn.workspace.bytes")
+        .set(static_cast<std::int64_t>(model.workspace().bytes_reserved()));
 
     EpochRecord rec;
     rec.epoch = epoch;

@@ -1,0 +1,143 @@
+#include "tensor/gemm_kernel.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dshuf::kernel {
+
+namespace {
+
+/// ap: K x kMR micro-panel (k-major), bp: K x kNR micro-panel (k-major).
+/// acc receives the kMR x kNR tile. The local array keeps the whole tile
+/// in registers across the K loop; each acc element is one ascending-k
+/// accumulator chain (the determinism contract in the header).
+void micro_kernel(std::size_t k_dim, const float* ap, const float* bp,
+                  float* acc) {
+  float c[kMR][kNR] = {};
+  for (std::size_t k = 0; k < k_dim; ++k) {
+    const float* a = ap + k * kMR;
+    const float* b = bp + k * kNR;
+    for (std::size_t r = 0; r < kMR; ++r) {
+      const float av = a[r];
+      for (std::size_t j = 0; j < kNR; ++j) {
+        c[r][j] += av * b[j];
+      }
+    }
+  }
+  std::memcpy(acc, c, sizeof(c));
+}
+
+std::size_t round_up(std::size_t v, std::size_t to) {
+  return (v + to - 1) / to * to;
+}
+
+/// Pack `mb` rows of A starting at row `ic` into k-major kMR micro-panels,
+/// zero-padding the last panel's missing rows. When transposed, A is
+/// stored K x M and a[k*m + i] is element (i, k).
+void pack_a(const float* a, std::size_t m, std::size_t k_dim, std::size_t ic,
+            std::size_t mb, bool transposed, float* dst) {
+  for (std::size_t i0 = 0; i0 < mb; i0 += kMR) {
+    const std::size_t iw = std::min(kMR, mb - i0);
+    float* panel = dst + i0 * k_dim;
+    if (transposed) {
+      for (std::size_t k = 0; k < k_dim; ++k) {
+        const float* src = a + k * m + ic + i0;
+        float* out = panel + k * kMR;
+        for (std::size_t r = 0; r < iw; ++r) out[r] = src[r];
+        for (std::size_t r = iw; r < kMR; ++r) out[r] = 0.0F;
+      }
+    } else {
+      for (std::size_t k = 0; k < k_dim; ++k) {
+        float* out = panel + k * kMR;
+        for (std::size_t r = 0; r < iw; ++r) {
+          out[r] = a[(ic + i0 + r) * k_dim + k];
+        }
+        for (std::size_t r = iw; r < kMR; ++r) out[r] = 0.0F;
+      }
+    }
+  }
+}
+
+/// Pack `nb` columns of B starting at column `jc` into k-major kNR
+/// micro-panels, zero-padding the last panel's missing columns. When
+/// transposed, B is stored N x K and b[j*k + k] is element (k, j).
+void pack_b(const float* b, std::size_t n, std::size_t k_dim, std::size_t jc,
+            std::size_t nb, bool transposed, float* dst) {
+  for (std::size_t j0 = 0; j0 < nb; j0 += kNR) {
+    const std::size_t jw = std::min(kNR, nb - j0);
+    float* panel = dst + j0 * k_dim;
+    if (transposed) {
+      for (std::size_t k = 0; k < k_dim; ++k) {
+        float* out = panel + k * kNR;
+        for (std::size_t j = 0; j < jw; ++j) {
+          out[j] = b[(jc + j0 + j) * k_dim + k];
+        }
+        for (std::size_t j = jw; j < kNR; ++j) out[j] = 0.0F;
+      }
+    } else {
+      for (std::size_t k = 0; k < k_dim; ++k) {
+        const float* src = b + k * n + jc + j0;
+        float* out = panel + k * kNR;
+        for (std::size_t j = 0; j < jw; ++j) out[j] = src[j];
+        for (std::size_t j = jw; j < kNR; ++j) out[j] = 0.0F;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_blocked(const float* a, const float* b, float* c, std::size_t m,
+                  std::size_t n, std::size_t k, bool a_transposed,
+                  bool b_transposed, bool accumulate,
+                  const BlockConfig& cfg) {
+  DSHUF_CHECK_GT(cfg.mc, 0U, "block config mc must be positive");
+  DSHUF_CHECK_GT(cfg.nc, 0U, "block config nc must be positive");
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+    return;
+  }
+
+  // Pack buffers persist across calls (allocation-free steady state); one
+  // worker per thread matches the simulator's execution model.
+  static thread_local std::vector<float> a_pack;
+  static thread_local std::vector<float> b_pack;
+  alignas(64) float acc[kMR * kNR];
+
+  for (std::size_t jc = 0; jc < n; jc += cfg.nc) {
+    const std::size_t nb = std::min(cfg.nc, n - jc);
+    b_pack.resize(k * round_up(nb, kNR));
+    pack_b(b, n, k, jc, nb, b_transposed, b_pack.data());
+
+    for (std::size_t ic = 0; ic < m; ic += cfg.mc) {
+      const std::size_t mb = std::min(cfg.mc, m - ic);
+      a_pack.resize(k * round_up(mb, kMR));
+      pack_a(a, m, k, ic, mb, a_transposed, a_pack.data());
+
+      for (std::size_t j0 = 0; j0 < nb; j0 += kNR) {
+        const std::size_t jw = std::min(kNR, nb - j0);
+        for (std::size_t i0 = 0; i0 < mb; i0 += kMR) {
+          const std::size_t iw = std::min(kMR, mb - i0);
+          micro_kernel(k, a_pack.data() + i0 * k, b_pack.data() + j0 * k,
+                       acc);
+          // Merge the tile, dropping zero-padded edge lanes.
+          for (std::size_t r = 0; r < iw; ++r) {
+            float* crow = c + (ic + i0 + r) * n + jc + j0;
+            const float* arow = acc + r * kNR;
+            if (accumulate) {
+              for (std::size_t j = 0; j < jw; ++j) crow[j] += arow[j];
+            } else {
+              for (std::size_t j = 0; j < jw; ++j) crow[j] = arow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dshuf::kernel

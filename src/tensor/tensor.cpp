@@ -1,7 +1,13 @@
 #include "tensor/tensor.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <sstream>
+
+#include "obs/metrics.hpp"
+#include "tensor/gemm_kernel.hpp"
+#include "tensor/kernel_ref.hpp"
 
 namespace dshuf {
 
@@ -39,6 +45,28 @@ void Tensor::reshape(std::vector<std::size_t> shape) {
   DSHUF_CHECK_EQ(shape_numel(shape), data_.size(),
                  "reshape must preserve element count");
   shape_ = std::move(shape);
+}
+
+void Tensor::resize1(std::size_t n) {
+  shape_.assign({n});
+  data_.resize(n);
+}
+
+void Tensor::resize2(std::size_t rows, std::size_t cols) {
+  shape_.assign({rows, cols});
+  data_.resize(rows * cols);
+}
+
+void Tensor::resize_like(const Tensor& other) {
+  shape_.assign(other.shape_.begin(), other.shape_.end());
+  data_.resize(other.data_.size());
+}
+
+void copy_into(const Tensor& src, Tensor& dst) {
+  if (&src == &dst) return;
+  dst.resize_like(src);
+  const auto& sv = src.vec();
+  std::copy(sv.begin(), sv.end(), dst.vec().begin());
 }
 
 void Tensor::fill(float v) {
@@ -92,7 +120,35 @@ void check_matrix(const Tensor& t, const char* name) {
   DSHUF_CHECK_EQ(t.rank(), 2U, name << " must be a matrix");
 }
 
+// Relaxed atomic: the backend is only flipped from test/bench setup code,
+// but worker threads read it, and a plain global would trip TSan.
+std::atomic<KernelBackend> g_kernel_backend{KernelBackend::kBlocked};
+
+/// Shared tail of the three gemm entry points: counts the call, then
+/// routes to the blocked production kernel or the retained reference.
+void gemm_dispatch(const float* a, const float* b, float* out, std::size_t m,
+                   std::size_t n, std::size_t k, bool a_transposed,
+                   bool b_transposed, bool accumulate) {
+  DSHUF_COUNTER("tensor.gemm.calls").add(1);
+  DSHUF_COUNTER("tensor.gemm.flops").add(2ULL * m * n * k);
+  if (kernel_backend() == KernelBackend::kBlocked) {
+    kernel::gemm_blocked(a, b, out, m, n, k, a_transposed, b_transposed,
+                         accumulate);
+  } else {
+    kernel_ref::gemm_ref(a, b, out, m, n, k, a_transposed, b_transposed,
+                         accumulate);
+  }
+}
+
 }  // namespace
+
+KernelBackend kernel_backend() {
+  return g_kernel_backend.load(std::memory_order_relaxed);
+}
+
+void set_kernel_backend(KernelBackend backend) {
+  g_kernel_backend.store(backend, std::memory_order_relaxed);
+}
 
 void gemm(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
   check_matrix(a, "a");
@@ -104,22 +160,8 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
   DSHUF_CHECK_EQ(b.rows(), K, "gemm inner dimensions must match");
   DSHUF_CHECK_EQ(out.rows(), M, "gemm output rows mismatch");
   DSHUF_CHECK_EQ(out.cols(), N, "gemm output cols mismatch");
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  if (!accumulate) out.zero();
-  // ikj order: streams through b and out rows; good cache behaviour for the
-  // small-to-medium matrices in this workload without a full blocked kernel.
-  for (std::size_t i = 0; i < M; ++i) {
-    const float* arow = pa + i * K;
-    float* orow = po + i * N;
-    for (std::size_t k = 0; k < K; ++k) {
-      const float aik = arow[k];
-      if (aik == 0.0F) continue;
-      const float* brow = pb + k * N;
-      for (std::size_t j = 0; j < N; ++j) orow[j] += aik * brow[j];
-    }
-  }
+  gemm_dispatch(a.data(), b.data(), out.data(), M, N, K,
+                /*a_transposed=*/false, /*b_transposed=*/false, accumulate);
 }
 
 void gemm_at_b(const Tensor& a, const Tensor& b, Tensor& out,
@@ -133,20 +175,8 @@ void gemm_at_b(const Tensor& a, const Tensor& b, Tensor& out,
   DSHUF_CHECK_EQ(b.rows(), K, "gemm_at_b batch dimensions must match");
   DSHUF_CHECK_EQ(out.rows(), M, "gemm_at_b output rows mismatch");
   DSHUF_CHECK_EQ(out.cols(), N, "gemm_at_b output cols mismatch");
-  if (!accumulate) out.zero();
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  for (std::size_t k = 0; k < K; ++k) {
-    const float* arow = pa + k * M;
-    const float* brow = pb + k * N;
-    for (std::size_t i = 0; i < M; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0F) continue;
-      float* orow = po + i * N;
-      for (std::size_t j = 0; j < N; ++j) orow[j] += aki * brow[j];
-    }
-  }
+  gemm_dispatch(a.data(), b.data(), out.data(), M, N, K,
+                /*a_transposed=*/true, /*b_transposed=*/false, accumulate);
 }
 
 void gemm_a_bt(const Tensor& a, const Tensor& b, Tensor& out,
@@ -160,20 +190,8 @@ void gemm_a_bt(const Tensor& a, const Tensor& b, Tensor& out,
   DSHUF_CHECK_EQ(b.cols(), K, "gemm_a_bt inner dimensions must match");
   DSHUF_CHECK_EQ(out.rows(), M, "gemm_a_bt output rows mismatch");
   DSHUF_CHECK_EQ(out.cols(), N, "gemm_a_bt output cols mismatch");
-  if (!accumulate) out.zero();
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  for (std::size_t i = 0; i < M; ++i) {
-    const float* arow = pa + i * K;
-    float* orow = po + i * N;
-    for (std::size_t j = 0; j < N; ++j) {
-      const float* brow = pb + j * K;
-      double acc = 0.0;
-      for (std::size_t k = 0; k < K; ++k) acc += arow[k] * brow[k];
-      orow[j] += static_cast<float>(acc);
-    }
-  }
+  gemm_dispatch(a.data(), b.data(), out.data(), M, N, K,
+                /*a_transposed=*/false, /*b_transposed=*/true, accumulate);
 }
 
 std::vector<std::uint32_t> argmax_rows(const Tensor& m) {

@@ -89,6 +89,15 @@ class Tensor {
   /// Reinterpret the shape without touching the data; sizes must match.
   void reshape(std::vector<std::size_t> shape);
 
+  /// Reshape to [n] / [rows, cols] / `shape`, resizing the storage.
+  /// Existing element values are NOT preserved meaningfully; capacity is
+  /// reused, so shrinking and re-growing within a previous high-water mark
+  /// never reallocates. These are the workhorses of the allocation-free
+  /// training steady state (see tensor/workspace.hpp).
+  void resize1(std::size_t n);
+  void resize2(std::size_t rows, std::size_t cols);
+  void resize_like(const Tensor& other);
+
   void fill(float v);
   void zero() { fill(0.0F); }
 
@@ -113,7 +122,36 @@ class Tensor {
 /// tensor, but {1} style scalars have size 1).
 std::size_t shape_numel(const std::vector<std::size_t>& shape);
 
+/// dst becomes a copy of src, reusing dst's capacity — allocation-free
+/// once dst has held a tensor at least this large.
+void copy_into(const Tensor& src, Tensor& dst);
+
 // --- BLAS-like free functions (row-major) ---------------------------------
+
+/// Which dense-compute implementation the gemm/conv entry points use.
+/// kBlocked is the packed, register-tiled production kernel; kReference is
+/// the retained naive kernel, kept for equivalence testing and for
+/// before/after measurement (tools/dshuf_bench). Process-wide; intended
+/// for tests and benches only — experiments always run kBlocked.
+enum class KernelBackend { kBlocked, kReference };
+
+[[nodiscard]] KernelBackend kernel_backend();
+void set_kernel_backend(KernelBackend backend);
+
+/// RAII helper: switch the backend for a scope (tests/benches).
+class ScopedKernelBackend {
+ public:
+  explicit ScopedKernelBackend(KernelBackend backend)
+      : prev_(kernel_backend()) {
+    set_kernel_backend(backend);
+  }
+  ScopedKernelBackend(const ScopedKernelBackend&) = delete;
+  ScopedKernelBackend& operator=(const ScopedKernelBackend&) = delete;
+  ~ScopedKernelBackend() { set_kernel_backend(prev_); }
+
+ private:
+  KernelBackend prev_;
+};
 
 /// out = a(MxK) * b(KxN). out must be pre-shaped MxN; accumulate=false
 /// overwrites, true adds into out.

@@ -1,0 +1,30 @@
+#include "tensor/workspace.hpp"
+
+namespace dshuf {
+
+Tensor& Workspace::slot(const void* owner, int id) {
+  return slots_[std::make_pair(owner, id)];
+}
+
+Tensor& Workspace::slot1(const void* owner, int id, std::size_t n) {
+  Tensor& t = slot(owner, id);
+  t.resize1(n);
+  return t;
+}
+
+Tensor& Workspace::slot2(const void* owner, int id, std::size_t rows,
+                         std::size_t cols) {
+  Tensor& t = slot(owner, id);
+  t.resize2(rows, cols);
+  return t;
+}
+
+std::size_t Workspace::bytes_reserved() const {
+  std::size_t bytes = 0;
+  for (const auto& [key, t] : slots_) {
+    bytes += t.vec().capacity() * sizeof(float);
+  }
+  return bytes;
+}
+
+}  // namespace dshuf

@@ -1,0 +1,56 @@
+// Reusable scratch-tensor arena for the training hot path.
+//
+// A Workspace owns named tensor slots keyed by (owner pointer, slot id).
+// Slots are created on first use and keep their heap capacity forever
+// after, so re-acquiring a slot with the same (or a smaller) shape every
+// iteration is allocation-free: the steady state of a training loop does
+// zero heap traffic through the workspace (asserted by the operator-new
+// counting test in tests/test_workspace.cpp). One workspace per model /
+// worker; layers reach it through Layer::scratch().
+//
+// Not thread-safe: a workspace belongs to exactly one (virtual) worker,
+// matching the simulator's sequential-workers execution model.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+
+#include "tensor/tensor.hpp"
+
+namespace dshuf {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+  Workspace(Workspace&&) = default;
+  Workspace& operator=(Workspace&&) = default;
+
+  /// Find-or-create the slot (owner, id); shape is left as-is (the caller
+  /// resizes). The reference stays valid until clear().
+  Tensor& slot(const void* owner, int id);
+
+  /// Slot shaped to [n] / [rows, cols], reusing capacity.
+  Tensor& slot1(const void* owner, int id, std::size_t n);
+  Tensor& slot2(const void* owner, int id, std::size_t rows,
+                std::size_t cols);
+
+  /// Number of live slots.
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+
+  /// Total float capacity held across slots, in bytes (the arena's
+  /// steady-state footprint; exported as an obs gauge by the trainer).
+  [[nodiscard]] std::size_t bytes_reserved() const;
+
+  /// Drop every slot (and its capacity).
+  void clear() { slots_.clear(); }
+
+ private:
+  // Ordered map: deterministic iteration for bytes_reserved(), and
+  // find() on the hot path never allocates.
+  std::map<std::pair<const void*, int>, Tensor> slots_;
+};
+
+}  // namespace dshuf
