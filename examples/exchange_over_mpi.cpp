@@ -88,7 +88,9 @@ int main(int argc, char** argv) {
       shuffle::run_pls_exchange_epoch(
           c, store, seed, epoch, q, shard,
           /*payload=*/
-          [&](shuffle::SampleId id) { return file_store.load(id); },
+          [&](shuffle::SampleId id, std::vector<std::byte>& out) {
+            file_store.load_into(id, out);
+          },
           /*deposit=*/
           [&](shuffle::SampleId id, std::span<const std::byte> body) {
             file_store.save(id, body);

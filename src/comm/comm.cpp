@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/ranked_mutex.hpp"
+#include "util/ring_queue.hpp"
 
 namespace dshuf::comm {
 
@@ -34,15 +35,19 @@ struct RequestState {
 };
 
 struct PendingRecv {
-  int source;
-  int tag;
+  int source = kAnySource;
+  int tag = kAnyTag;
   std::shared_ptr<RequestState> state;
 };
 
+// Queues are RingQueues, not deques: libstdc++'s deque churns heap nodes
+// under steady push/pop, which would break the zero-allocation exchange
+// steady state. `cv` wakes blocking recv() when a message is queued.
 struct RankMailbox {
   RankedMutex mu{LockRank::kCommMailbox, "comm.mailbox"};
-  std::deque<Message> arrived;
-  std::deque<PendingRecv> pending;
+  std::condition_variable_any cv;
+  RingQueue<Message> arrived;
+  RingQueue<PendingRecv> pending;
 };
 
 class WorldState {
@@ -50,6 +55,7 @@ class WorldState {
   explicit WorldState(int num_ranks)
       : size_(num_ranks),
         mailboxes_(static_cast<std::size_t>(num_ranks)),
+        pools_(static_cast<std::size_t>(num_ranks)),
         reduce_slots_(static_cast<std::size_t>(num_ranks)),
         bcast_slots_(static_cast<std::size_t>(num_ranks)),
         a2a_slots_(static_cast<std::size_t>(num_ranks)),
@@ -64,6 +70,10 @@ class WorldState {
   [[nodiscard]] RankMailbox& mailbox(int rank) {
     DSHUF_CHECK(rank >= 0 && rank < size_, "rank out of range: " << rank);
     return mailboxes_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] BufferPool& pool(int rank) {
+    DSHUF_CHECK(rank >= 0 && rank < size_, "rank out of range: " << rank);
+    return pools_[static_cast<std::size_t>(rank)];
   }
 
   /// Final delivery into `dest`'s mailbox: match a parked receive or queue
@@ -110,10 +120,15 @@ class WorldState {
   void abort() {
     aborted_->store(true);
     barrier_cv_.notify_all();
-    // Wake any parked receive requests.
+    // Wake any parked receive requests and any blocking recv() waiter.
     for (auto& mb : mailboxes_) {
-      std::lock_guard<RankedMutex> lk(mb.mu);
-      for (auto& pr : mb.pending) pr.state->cv.notify_all();
+      {
+        std::lock_guard<RankedMutex> lk(mb.mu);
+        for (std::size_t i = 0; i < mb.pending.size(); ++i) {
+          mb.pending[i].state->cv.notify_all();
+        }
+      }
+      mb.cv.notify_all();
     }
   }
   void reset_abort() { aborted_->store(false); }
@@ -164,6 +179,7 @@ class WorldState {
  private:
   int size_;
   std::vector<RankMailbox> mailboxes_;
+  std::vector<BufferPool> pools_;
 
   RankedMutex barrier_mu_{LockRank::kCommBarrier, "comm.barrier"};
   std::condition_variable_any barrier_cv_;
@@ -198,16 +214,19 @@ void WorldState::deposit(int dest, Message msg) {
   std::shared_ptr<RequestState> matched;
   {
     std::lock_guard<RankedMutex> lk(mb.mu);
-    for (auto it = mb.pending.begin(); it != mb.pending.end(); ++it) {
-      if (matches(*it, msg.source, msg.tag)) {
-        matched = it->state;
-        mb.pending.erase(it);
+    for (std::size_t i = 0; i < mb.pending.size(); ++i) {
+      if (matches(mb.pending[i], msg.source, msg.tag)) {
+        matched = mb.pending.take(i).state;
         break;
       }
     }
     if (!matched) mb.arrived.push_back(std::move(msg));
   }
-  if (matched) matched->complete(std::move(msg));
+  if (matched) {
+    matched->complete(std::move(msg));
+  } else {
+    mb.cv.notify_all();  // wake a blocking recv() scanning `arrived`
+  }
 }
 
 }  // namespace detail
@@ -269,23 +288,24 @@ void wait_all(std::span<Request> requests) {
 int Communicator::size() const { return world_->size(); }
 
 Request Communicator::isend(int dest, int tag, std::vector<std::byte> payload) {
-  DSHUF_CHECK(dest >= 0 && dest < size(), "isend destination out of range");
+  // Buffered send: locally complete (even a dropped message "completes" —
+  // exactly the guarantee a buffered MPI_Isend gives over a lossy fabric).
   auto state = std::make_shared<detail::RequestState>();
   state->aborted = world_->aborted_flag();
+  send(dest, tag, std::move(payload));
+  state->done = true;
+  return Request(state);
+}
 
+void Communicator::send(int dest, int tag, std::vector<std::byte> payload) {
+  DSHUF_CHECK(dest >= 0 && dest < size(), "send destination out of range");
   Message msg;
   msg.source = rank_;
   msg.tag = tag;
   msg.payload = std::move(payload);
   DSHUF_COUNTER("comm.isend").add();
   DSHUF_COUNTER("comm.bytes_sent").add(msg.payload.size());
-
   world_->send(rank_, dest, std::move(msg));
-
-  // Buffered send: locally complete (even a dropped message "completes" —
-  // exactly the guarantee a buffered MPI_Isend gives over a lossy fabric).
-  state->done = true;
-  return Request(state);
 }
 
 Request Communicator::irecv(int source, int tag) {
@@ -299,10 +319,9 @@ Request Communicator::irecv(int source, int tag) {
   Message found;
   {
     std::lock_guard<RankedMutex> lk(mb.mu);
-    for (auto it = mb.arrived.begin(); it != mb.arrived.end(); ++it) {
-      if (detail::matches_msg(source, tag, *it)) {
-        found = std::move(*it);
-        mb.arrived.erase(it);
+    for (std::size_t i = 0; i < mb.arrived.size(); ++i) {
+      if (detail::matches_msg(source, tag, mb.arrived[i])) {
+        found = mb.arrived.take(i);
         completed = true;
         break;
       }
@@ -316,9 +335,25 @@ Request Communicator::irecv(int source, int tag) {
 }
 
 Message Communicator::recv(int source, int tag) {
-  Request r = irecv(source, tag);
-  r.wait();
-  return r.message();
+  // Scan-and-wait over the mailbox directly, not irecv + wait: a blocking
+  // receive needs no Request object, so the exchange's steady state can
+  // receive without allocating. Earlier-posted irecvs still win — deposit
+  // matches parked receives before queueing into `arrived`.
+  DSHUF_CHECK(source == kAnySource || (source >= 0 && source < size()),
+              "recv source out of range");
+  auto& mb = world_->mailbox(rank_);
+  std::unique_lock<RankedMutex> lk(mb.mu);
+  for (;;) {
+    for (std::size_t i = 0; i < mb.arrived.size(); ++i) {
+      if (detail::matches_msg(source, tag, mb.arrived[i])) {
+        return mb.arrived.take(i);
+      }
+    }
+    DSHUF_CHECK(!world_->is_aborted(), "world aborted while in recv");
+    // Poll with a timeout so an aborted world (peer threw) wakes us even
+    // if the notification raced our wait registration.
+    mb.cv.wait_for(lk, std::chrono::milliseconds(50));
+  }
 }
 
 std::optional<Message> Communicator::recv_for(
@@ -334,11 +369,9 @@ std::optional<Message> Communicator::recv_for(
 std::optional<Message> Communicator::poll(int source, int tag) {
   auto& mb = world_->mailbox(rank_);
   std::lock_guard<RankedMutex> lk(mb.mu);
-  for (auto it = mb.arrived.begin(); it != mb.arrived.end(); ++it) {
-    if (detail::matches_msg(source, tag, *it)) {
-      Message found = std::move(*it);
-      mb.arrived.erase(it);
-      return found;
+  for (std::size_t i = 0; i < mb.arrived.size(); ++i) {
+    if (detail::matches_msg(source, tag, mb.arrived[i])) {
+      return mb.arrived.take(i);
     }
   }
   return std::nullopt;
@@ -348,10 +381,9 @@ bool Communicator::cancel(Request& request) {
   DSHUF_CHECK(request.valid(), "cancel() on an empty request");
   auto& mb = world_->mailbox(rank_);
   std::lock_guard<RankedMutex> lk(mb.mu);
-  for (auto it = mb.pending.begin(); it != mb.pending.end(); ++it) {
-    if (it->state == request.state_) {
-      auto state = it->state;
-      mb.pending.erase(it);
+  for (std::size_t i = 0; i < mb.pending.size(); ++i) {
+    if (mb.pending[i].state == request.state_) {
+      auto state = mb.pending.take(i).state;
       std::lock_guard<RankedMutex> slk(state->mu);
       state->cancelled = true;
       return true;
@@ -359,6 +391,8 @@ bool Communicator::cancel(Request& request) {
   }
   return false;  // already matched (or a send request) — nothing to cancel
 }
+
+BufferPool& Communicator::pool() { return world_->pool(rank_); }
 
 bool Communicator::fault_injection_enabled() const {
   return world_->has_fault_plan();

@@ -30,13 +30,14 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
+
+#include "comm/buffer_pool.hpp"
 
 namespace dshuf::comm {
 
@@ -101,6 +102,12 @@ class Communicator {
   /// the destination; the returned request is for interface parity.
   Request isend(int dest, int tag, std::vector<std::byte> payload);
 
+  /// Buffered send without a completion handle. Identical delivery
+  /// semantics to isend (which is buffered and completes locally anyway),
+  /// minus the per-call Request allocation — the exchange hot path uses
+  /// this together with pool() so a steady-state send touches no heap.
+  void send(int dest, int tag, std::vector<std::byte> payload);
+
   /// Non-blocking receive matching (source, tag); kAnySource / kAnyTag
   /// wildcards allowed. Matches already-arrived messages first, otherwise
   /// parks until a matching message arrives.
@@ -164,6 +171,13 @@ class Communicator {
   /// Root distributes per_dest[d] to rank d; returns this rank's share.
   std::vector<std::byte> scatter(int root,
                                  std::vector<std::vector<std::byte>> per_dest);
+
+  /// This rank's payload-buffer pool (see comm/buffer_pool.hpp). Only the
+  /// owning rank's thread may touch it; buffers released here came either
+  /// from this pool or from a received message (buffers migrate with the
+  /// traffic). Pools persist across World::run calls, so a warmed-up
+  /// exchange stays allocation-free in later epochs.
+  [[nodiscard]] BufferPool& pool();
 
  private:
   friend class World;

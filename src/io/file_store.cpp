@@ -31,17 +31,24 @@ void FileSampleStore::save(data::SampleId id,
 }
 
 std::vector<std::byte> FileSampleStore::load(data::SampleId id) const {
+  std::vector<std::byte> out;
+  load_into(id, out);
+  return out;
+}
+
+void FileSampleStore::load_into(data::SampleId id,
+                                std::vector<std::byte>& out) const {
   std::lock_guard<RankedMutex> lk(mu_);
   const auto p = path_for(id);
   std::ifstream f(p, std::ios::binary | std::ios::ate);
   DSHUF_CHECK(f.good(), "sample " << id << " not found in " << dir_);
   const auto size = static_cast<std::size_t>(f.tellg());
   f.seekg(0);
-  std::vector<std::byte> out(size);
-  f.read(reinterpret_cast<char*>(out.data()),
+  const std::size_t prefix = out.size();
+  out.resize(prefix + size);
+  f.read(reinterpret_cast<char*>(out.data() + prefix),
          static_cast<std::streamsize>(size));
   DSHUF_CHECK(f.good(), "short read from " << p);
-  return out;
 }
 
 void FileSampleStore::remove(data::SampleId id) {
@@ -81,14 +88,21 @@ std::size_t FileSampleStore::disk_bytes() const {
 
 std::vector<std::byte> serialize_sample(const data::InMemoryDataset& ds,
                                         data::SampleId id) {
+  std::vector<std::byte> out;
+  serialize_sample_into(ds, id, out);
+  return out;
+}
+
+void serialize_sample_into(const data::InMemoryDataset& ds, data::SampleId id,
+                           std::vector<std::byte>& out) {
   DSHUF_CHECK_LT(id, ds.size(), "sample id out of range");
   const std::size_t d = ds.feature_dim();
-  std::vector<std::byte> out(sizeof(std::uint32_t) + d * sizeof(float));
+  const std::size_t prefix = out.size();
+  out.resize(prefix + sizeof(std::uint32_t) + d * sizeof(float));
   const std::uint32_t label = ds.label(id);
-  std::memcpy(out.data(), &label, sizeof(label));
+  std::memcpy(out.data() + prefix, &label, sizeof(label));
   const float* row = ds.features().data() + static_cast<std::size_t>(id) * d;
-  std::memcpy(out.data() + sizeof(label), row, d * sizeof(float));
-  return out;
+  std::memcpy(out.data() + prefix + sizeof(label), row, d * sizeof(float));
 }
 
 DeserializedSample deserialize_sample(std::span<const std::byte> payload) {

@@ -43,6 +43,11 @@ class FileSampleStore {
   /// Read a sample's payload back; throws if absent.
   [[nodiscard]] std::vector<std::byte> load(data::SampleId id) const;
 
+  /// load() APPENDED to `out` (existing contents preserved) — the shape
+  /// the exchange's PayloadFn wants, so a sample streams from disk
+  /// straight into the wire frame without an intermediate vector.
+  void load_into(data::SampleId id, std::vector<std::byte>& out) const;
+
   /// Delete a sample file (remove hook / clean_local_storage); throws if
   /// absent — removing a sample that was never stored is a logic error.
   void remove(data::SampleId id);
@@ -67,6 +72,11 @@ class FileSampleStore {
 /// the payload format moved by the exchange.
 std::vector<std::byte> serialize_sample(const data::InMemoryDataset& ds,
                                         data::SampleId id);
+
+/// serialize_sample APPENDED to `out` (existing contents preserved); the
+/// exchange packs rows into pooled wire frames through this overload.
+void serialize_sample_into(const data::InMemoryDataset& ds, data::SampleId id,
+                           std::vector<std::byte>& out);
 
 struct DeserializedSample {
   std::vector<float> features;

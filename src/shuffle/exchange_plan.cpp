@@ -7,20 +7,25 @@
 namespace dshuf::shuffle {
 
 ExchangePlan::ExchangePlan(std::uint64_t seed, std::size_t epoch, int workers,
-                           std::size_t per_worker_quota, bool allow_self)
-    : workers_(workers) {
+                           std::size_t per_worker_quota, bool allow_self) {
+  rebuild(seed, epoch, workers, per_worker_quota, allow_self);
+}
+
+void ExchangePlan::rebuild(std::uint64_t seed, std::size_t epoch, int workers,
+                           std::size_t per_worker_quota, bool allow_self) {
   DSHUF_CHECK_GT(workers, 0, "exchange plan needs at least one worker");
+  workers_ = workers;
   Rng base(seed);
   // One independent stream per epoch: every worker derives the identical
   // stream, which is what synchronises the permutations without any
   // communication.
   Rng rng = base.fork(0xE9C4ULL, epoch);
 
-  rounds_.reserve(per_worker_quota);
+  rounds_.resize(per_worker_quota);
   const auto m = static_cast<std::size_t>(workers);
   for (std::size_t i = 0; i < per_worker_quota; ++i) {
-    Round round;
-    auto perm = rng.permutation(m);
+    Round& round = rounds_[i];
+    rng.permutation_into(m, perm_);
     if (!allow_self && workers > 1) {
       // Re-draw until the permutation is a derangement. Expected ~e tries.
       auto has_fixed_point = [&](const std::vector<std::uint32_t>& p) {
@@ -29,15 +34,14 @@ ExchangePlan::ExchangePlan(std::uint64_t seed, std::size_t epoch, int workers,
         }
         return false;
       };
-      while (has_fixed_point(perm)) perm = rng.permutation(m);
+      while (has_fixed_point(perm_)) rng.permutation_into(m, perm_);
     }
     round.dest.resize(m);
     round.src.resize(m);
     for (std::size_t r = 0; r < m; ++r) {
-      round.dest[r] = static_cast<int>(perm[r]);
-      round.src[perm[r]] = static_cast<int>(r);
+      round.dest[r] = static_cast<int>(perm_[r]);
+      round.src[perm_[r]] = static_cast<int>(r);
     }
-    rounds_.push_back(std::move(round));
   }
 }
 

@@ -25,12 +25,23 @@ namespace dshuf::shuffle {
 
 class ExchangePlan {
  public:
+  /// Empty plan; fill it with rebuild(). Exists so steady-state callers
+  /// can keep one plan in scratch storage and rebuild it in place each
+  /// epoch without reallocating the round tables.
+  ExchangePlan() = default;
+
   /// Build the plan for one epoch. `per_worker_quota` is k, the number of
   /// samples each worker contributes (already scaled by Q by the caller).
   /// `allow_self` keeps the paper's behaviour of permitting a worker to
   /// "send to itself" when the permutation fixes its rank (a no-op
   /// transfer); disabling it re-draws fixed points for an ablation.
   ExchangePlan(std::uint64_t seed, std::size_t epoch, int workers,
+               std::size_t per_worker_quota, bool allow_self = true);
+
+  /// Recompute the plan in place. Identical RNG draw sequence to the
+  /// constructor (same (seed, epoch, workers, quota) => same plan, bit for
+  /// bit); with unchanged workers/quota no storage is reallocated.
+  void rebuild(std::uint64_t seed, std::size_t epoch, int workers,
                std::size_t per_worker_quota, bool allow_self = true);
 
   [[nodiscard]] int workers() const { return workers_; }
@@ -55,8 +66,9 @@ class ExchangePlan {
     std::vector<int> src;   // inverse permutation
   };
 
-  int workers_;
+  int workers_ = 0;
   std::vector<Round> rounds_;
+  std::vector<std::uint32_t> perm_;  // rebuild scratch (capacity reused)
 };
 
 /// Quota k = ceil(Q * shard_size), clamped to the shard size. Q outside

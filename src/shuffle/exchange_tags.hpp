@@ -1,11 +1,22 @@
 // Per-epoch tag-space helpers for the PLS exchange.
 //
-// Tag layout: tags are namespaced per epoch (base = 2 * epoch * quota);
-// round i's sample travels on the even tag base + 2i, its acknowledgement
-// on the adjacent odd tag. Disjoint per round AND per epoch, so duplicate
-// copies, retransmissions, and stale messages that escape an epoch's drain
-// can never match another round's or a later epoch's receive — an escapee
-// is caught by World::check_drained instead of silently corrupting the
+// Tag layout: each epoch owns a disjoint window of 2 * (quota + workers)
+// tags starting at epoch_tag_base(). The window has two regions:
+//
+//   * per-sample region (ExchangeWire::kPerSample): round i's sample
+//     travels on the even tag base + 2i, its acknowledgement on the
+//     adjacent odd tag;
+//   * per-peer frame region (ExchangeWire::kCoalesced): the coalesced
+//     frame ORIGINATING at rank p travels on base + 2*quota + 2p, its
+//     acknowledgement on the adjacent odd tag. Keying frame tags by the
+//     DATA frame's origin (not the destination) lets the receiver match
+//     "the frame from peer p" with a plain (source, tag) receive, and the
+//     sender match p's ACK of its own frame the same way.
+//
+// Disjoint per round, per peer AND per epoch, so duplicate copies,
+// retransmissions, and stale messages that escape an epoch's drain can
+// never match another round's, peer's, or epoch's receive — an escapee is
+// caught by World::check_drained instead of silently corrupting the
 // exchange.
 //
 // Every isend/irecv in exchange code must derive its tag through these
@@ -19,29 +30,54 @@
 
 namespace dshuf::shuffle {
 
-/// First tag of `epoch`'s window when each epoch exchanges `quota` rounds.
-/// Checks the whole window still fits in the (int-typed) tag space.
+/// Width of one epoch's tag window: 2*quota per-sample tags followed by
+/// 2*workers per-peer frame tags.
+[[nodiscard]] inline std::uint64_t epoch_tag_span(std::size_t quota,
+                                                  int workers) {
+  return 2ull * (quota + static_cast<std::uint64_t>(workers));
+}
+
+/// First tag of `epoch`'s window. Checks the whole window still fits in
+/// the (int-typed) tag space.
 [[nodiscard]] inline std::uint64_t epoch_tag_base(std::size_t epoch,
-                                                  std::size_t quota) {
-  const std::uint64_t base = 2ull * epoch * quota;
-  DSHUF_CHECK_LE(base + 2 * quota,
+                                                  std::size_t quota,
+                                                  int workers) {
+  const std::uint64_t span = epoch_tag_span(quota, workers);
+  const std::uint64_t base = epoch * span;
+  DSHUF_CHECK_LE(base + span,
                  static_cast<std::uint64_t>(std::numeric_limits<int>::max()),
                  "exchange tag space exhausted (epoch * quota too large)");
   return base;
 }
 
-/// Tag carrying round `round`'s sample payload.
+/// Tag carrying round `round`'s sample payload (per-sample wire mode).
 [[nodiscard]] inline int data_tag(std::uint64_t tag_base, std::size_t round) {
   return static_cast<int>(tag_base + 2 * round);
 }
 
-/// Tag carrying round `round`'s acknowledgement.
+/// Tag carrying round `round`'s acknowledgement (per-sample wire mode).
 [[nodiscard]] inline int ack_tag(std::uint64_t tag_base, std::size_t round) {
   return static_cast<int>(tag_base + 2 * round + 1);
 }
 
-/// True iff `tag` is a DATA tag inside this epoch's window; used by the
-/// stray drain to classify late duplicates.
+/// Tag carrying the coalesced DATA frame that rank `origin` sends this
+/// epoch (one frame per destination peer, all on the origin's tag — the
+/// receiver disambiguates by source rank).
+[[nodiscard]] inline int frame_data_tag(std::uint64_t tag_base,
+                                        std::size_t quota, int origin) {
+  return static_cast<int>(tag_base + 2 * quota +
+                          2 * static_cast<std::uint64_t>(origin));
+}
+
+/// Tag acknowledging rank `origin`'s coalesced frame (sent back to the
+/// origin by the frame's receiver).
+[[nodiscard]] inline int frame_ack_tag(std::uint64_t tag_base,
+                                       std::size_t quota, int origin) {
+  return frame_data_tag(tag_base, quota, origin) + 1;
+}
+
+/// True iff `tag` is a per-sample DATA tag inside this epoch's window;
+/// used by the stray drain to classify late duplicates.
 [[nodiscard]] inline bool is_epoch_data_tag(int tag, std::uint64_t tag_base,
                                             std::size_t quota) {
   if (tag < 0) return false;
@@ -49,11 +85,34 @@ namespace dshuf::shuffle {
   return t >= tag_base && t < tag_base + 2 * quota && (t - tag_base) % 2 == 0;
 }
 
-/// Round index of a DATA tag; only valid when is_epoch_data_tag(tag, ...).
+/// Round index of a per-sample DATA tag; only valid when
+/// is_epoch_data_tag(tag, ...).
 [[nodiscard]] inline std::size_t round_of_data_tag(int tag,
                                                    std::uint64_t tag_base) {
   return static_cast<std::size_t>(
       (static_cast<std::uint64_t>(tag) - tag_base) / 2);
+}
+
+/// True iff `tag` is a coalesced-frame DATA tag inside this epoch's
+/// window.
+[[nodiscard]] inline bool is_epoch_frame_data_tag(int tag,
+                                                  std::uint64_t tag_base,
+                                                  std::size_t quota,
+                                                  int workers) {
+  if (tag < 0) return false;
+  const auto t = static_cast<std::uint64_t>(tag);
+  const std::uint64_t lo = tag_base + 2 * quota;
+  const std::uint64_t hi = tag_base + epoch_tag_span(quota, workers);
+  return t >= lo && t < hi && (t - lo) % 2 == 0;
+}
+
+/// Origin rank of a coalesced-frame DATA tag; only valid when
+/// is_epoch_frame_data_tag(tag, ...).
+[[nodiscard]] inline int origin_of_frame_data_tag(int tag,
+                                                  std::uint64_t tag_base,
+                                                  std::size_t quota) {
+  return static_cast<int>(
+      (static_cast<std::uint64_t>(tag) - tag_base - 2 * quota) / 2);
 }
 
 }  // namespace dshuf::shuffle

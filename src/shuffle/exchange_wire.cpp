@@ -1,0 +1,120 @@
+#include "shuffle/exchange_wire.hpp"
+
+#include <atomic>
+#include <cstring>
+
+namespace dshuf::shuffle {
+
+namespace {
+
+// Relaxed atomics: rank threads read the mode set before World::run; the
+// thread spawn/join in World::run provides the ordering that matters.
+std::atomic<ExchangeWire> g_wire{ExchangeWire::kCoalesced};
+
+void put_u32(std::vector<std::byte>& buf, std::size_t at, std::uint32_t v) {
+  std::memcpy(buf.data() + at, &v, sizeof(v));
+}
+
+void append_u32(std::vector<std::byte>& buf, std::uint32_t v) {
+  const std::size_t at = buf.size();
+  buf.resize(at + sizeof(v));
+  std::memcpy(buf.data() + at, &v, sizeof(v));
+}
+
+std::uint32_t read_u32(const std::byte* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+ExchangeWire exchange_wire() {
+  return g_wire.load(std::memory_order_relaxed);
+}
+
+void set_exchange_wire(ExchangeWire wire) {
+  g_wire.store(wire, std::memory_order_relaxed);
+}
+
+const char* to_string(ExchangeWire wire) {
+  return wire == ExchangeWire::kPerSample ? "per-sample" : "coalesced";
+}
+
+FrameWriter::FrameWriter(std::vector<std::byte>& buf, std::uint64_t epoch,
+                         std::uint32_t count)
+    : buf_(&buf), count_(count) {
+  buf.resize(frame_header_bytes(count));
+  std::memcpy(buf.data(), &epoch, sizeof(epoch));
+  put_u32(buf, sizeof(std::uint64_t), count);
+  // The offset table is patched in finish(); zero it now so a frame that
+  // skips finish() is caught by parse_frame's monotonicity check.
+  std::memset(buf.data() + sizeof(std::uint64_t) + sizeof(std::uint32_t), 0,
+              sizeof(std::uint32_t) * (count + 1));
+}
+
+void FrameWriter::begin_sample(SampleId id) {
+  DSHUF_CHECK_LT(next_, count_, "FrameWriter: more samples than declared");
+  const auto body_off =
+      static_cast<std::uint32_t>(buf_->size() - frame_header_bytes(count_));
+  put_u32(*buf_,
+          sizeof(std::uint64_t) + sizeof(std::uint32_t) +
+              sizeof(std::uint32_t) * next_,
+          body_off);
+  append_u32(*buf_, id);
+  ++next_;
+}
+
+void FrameWriter::finish() {
+  DSHUF_CHECK_EQ(next_, count_, "FrameWriter: fewer samples than declared");
+  const auto body_size =
+      static_cast<std::uint32_t>(buf_->size() - frame_header_bytes(count_));
+  put_u32(*buf_,
+          sizeof(std::uint64_t) + sizeof(std::uint32_t) +
+              sizeof(std::uint32_t) * count_,
+          body_size);
+}
+
+std::uint32_t FrameView::offset(std::uint32_t j) const {
+  return read_u32(offsets_ + sizeof(std::uint32_t) * j);
+}
+
+SampleId FrameView::id(std::uint32_t j) const {
+  DSHUF_CHECK_LT(j, count_, "frame sample index out of range");
+  return read_u32(body_ + offset(j));
+}
+
+std::span<const std::byte> FrameView::payload(std::uint32_t j) const {
+  DSHUF_CHECK_LT(j, count_, "frame sample index out of range");
+  const std::uint32_t lo = offset(j);
+  const std::uint32_t hi = offset(j + 1);
+  return {body_ + lo + sizeof(SampleId), hi - lo - sizeof(SampleId)};
+}
+
+FrameView parse_frame(std::span<const std::byte> frame) {
+  DSHUF_CHECK_GE(frame.size(), frame_header_bytes(0),
+                 "truncated exchange frame: short header");
+  FrameView v;
+  std::memcpy(&v.epoch_, frame.data(), sizeof(v.epoch_));
+  v.count_ = read_u32(frame.data() + sizeof(std::uint64_t));
+  const std::size_t header = frame_header_bytes(v.count_);
+  DSHUF_CHECK_GE(frame.size(), header,
+                 "truncated exchange frame: offset table cut off");
+  v.offsets_ = frame.data() + sizeof(std::uint64_t) + sizeof(std::uint32_t);
+  v.body_ = frame.data() + header;
+  v.body_size_ = frame.size() - header;
+  DSHUF_CHECK_EQ(static_cast<std::size_t>(v.offset(0)), 0U,
+                 "corrupt exchange frame: first offset not zero");
+  DSHUF_CHECK_EQ(static_cast<std::size_t>(v.offset(v.count_)), v.body_size_,
+                 "truncated exchange frame: body size mismatch");
+  for (std::uint32_t j = 0; j < v.count_; ++j) {
+    DSHUF_CHECK(v.offset(j) + sizeof(SampleId) <= v.offset(j + 1) &&
+                    v.offset(j + 1) <= v.body_size_,
+                "corrupt exchange frame: sample " << j << " offsets ["
+                    << v.offset(j) << ", " << v.offset(j + 1)
+                    << ") invalid for body of " << v.body_size_ << " bytes");
+  }
+  return v;
+}
+
+}  // namespace dshuf::shuffle

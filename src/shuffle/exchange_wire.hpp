@@ -1,0 +1,127 @@
+// Wire formats for the PLS exchange, and the runtime switch between them.
+//
+// ExchangeWire::kPerSample is the original encoding: every round travels
+// as its own message (4-byte SampleId + payload), costing `quota` messages
+// per peer-pair per epoch. ExchangeWire::kCoalesced packs ALL of an
+// epoch's rounds bound for peer p into ONE frame, so the per-message costs
+// (mailbox hop, matching scan, allocation) are paid once per PEER instead
+// of once per SAMPLE. The switch mirrors the KernelBackend pattern
+// (tensor/tensor.hpp): a process-wide mode with a scoped override, so the
+// equivalence suite can run the same exchange under both wires and assert
+// bit-identical shards.
+//
+// Coalesced frame layout (little-endian, no padding):
+//
+//   offset  size            field
+//   ------  --------------  ------------------------------------------
+//   0       8               epoch     (u64; cross-checked on receive)
+//   8       4               count     (u32; samples in this frame)
+//   12      4 * (count+1)   offsets   (u32 each, relative to body start;
+//                                      offsets[0] == 0, offsets[count]
+//                                      == body size — sample j's bytes
+//                                      are body[offsets[j], offsets[j+1]))
+//   ...     body            per sample: SampleId (u32) + payload bytes
+//
+// The offsets table makes every sample's bytes addressable without
+// parsing its predecessors, so the deposit path hands out std::span views
+// straight into the received frame — zero copies, zero allocations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "shuffle/types.hpp"
+#include "util/error.hpp"
+
+namespace dshuf::shuffle {
+
+enum class ExchangeWire {
+  kPerSample,  ///< one message per round (the original encoding)
+  kCoalesced,  ///< one frame per peer per epoch (default)
+};
+
+/// Process-wide wire mode used by run_pls_exchange_epoch.
+[[nodiscard]] ExchangeWire exchange_wire();
+void set_exchange_wire(ExchangeWire wire);
+[[nodiscard]] const char* to_string(ExchangeWire wire);
+
+/// RAII override, restoring the previous mode on destruction. Set it
+/// BEFORE World::run — rank threads read the global mode.
+class ScopedExchangeWire {
+ public:
+  explicit ScopedExchangeWire(ExchangeWire wire) : prev_(exchange_wire()) {
+    set_exchange_wire(wire);
+  }
+  ~ScopedExchangeWire() { set_exchange_wire(prev_); }
+  ScopedExchangeWire(const ScopedExchangeWire&) = delete;
+  ScopedExchangeWire& operator=(const ScopedExchangeWire&) = delete;
+
+ private:
+  ExchangeWire prev_;
+};
+
+/// Fixed part of a frame: epoch + count + the (count+1)-entry offset table.
+[[nodiscard]] constexpr std::size_t frame_header_bytes(std::size_t count) {
+  return sizeof(std::uint64_t) + sizeof(std::uint32_t) +
+         sizeof(std::uint32_t) * (count + 1);
+}
+
+/// Incremental frame encoder writing into a caller-provided buffer
+/// (typically one acquired from comm::BufferPool). Usage:
+///
+///   FrameWriter w(buf, epoch, count);
+///   for each sample: w.begin_sample(id); payload_fn(id, buf);
+///   w.finish();
+///
+/// begin_sample records the running offset and appends the id; any bytes
+/// the caller appends to `buf` before the next begin_sample/finish belong
+/// to that sample's payload. finish() patches the offset table. Appends
+/// within the buffer's reserved capacity never reallocate.
+class FrameWriter {
+ public:
+  FrameWriter(std::vector<std::byte>& buf, std::uint64_t epoch,
+              std::uint32_t count);
+
+  /// Start sample `next` (must be called exactly `count` times).
+  void begin_sample(SampleId id);
+
+  /// Patch the offset table; the frame in `buf` is complete after this.
+  void finish();
+
+ private:
+  std::vector<std::byte>* buf_;
+  std::uint32_t count_;
+  std::uint32_t next_ = 0;
+};
+
+/// Parsed view over a received frame. Does not own the bytes — keep the
+/// backing buffer alive while using it.
+class FrameView {
+ public:
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::uint32_t count() const { return count_; }
+
+  /// SampleId of sample `j`.
+  [[nodiscard]] SampleId id(std::uint32_t j) const;
+  /// Payload bytes of sample `j` (view into the frame; may be empty).
+  [[nodiscard]] std::span<const std::byte> payload(std::uint32_t j) const;
+
+ private:
+  friend FrameView parse_frame(std::span<const std::byte> frame);
+  std::uint64_t epoch_ = 0;
+  std::uint32_t count_ = 0;
+  const std::byte* offsets_ = nullptr;  // start of the offset table
+  const std::byte* body_ = nullptr;     // start of the packed samples
+  std::size_t body_size_ = 0;
+
+  [[nodiscard]] std::uint32_t offset(std::uint32_t j) const;
+};
+
+/// Validate and parse a frame. Truncated or inconsistent frames (short
+/// header, offsets out of range or non-monotonic, sample shorter than its
+/// SampleId) fail a DSHUF_CHECK — a corrupt frame must never be staged.
+[[nodiscard]] FrameView parse_frame(std::span<const std::byte> frame);
+
+}  // namespace dshuf::shuffle

@@ -2,12 +2,10 @@
 
 #include <cmath>
 #include <cstring>
-#include <limits>
 #include <thread>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "shuffle/exchange_plan.hpp"
 #include "shuffle/exchange_tags.hpp"
 #include "shuffle/shuffler.hpp"
 #include "util/log.hpp"
@@ -16,15 +14,14 @@ namespace dshuf::shuffle {
 
 namespace {
 
-std::vector<std::byte> encode_sample(SampleId id,
-                                     const std::vector<std::byte>& payload) {
-  std::vector<std::byte> out(sizeof(SampleId) + payload.size());
-  std::memcpy(out.data(), &id, sizeof(SampleId));
-  if (!payload.empty()) {
-    std::memcpy(out.data() + sizeof(SampleId), payload.data(),
-                payload.size());
-  }
-  return out;
+// Per-sample wire encoding: 4-byte SampleId followed by the payload,
+// appended by the PayloadFn straight into the (pooled) wire buffer — one
+// buffer per message, no intermediate payload vector.
+void encode_sample_into(SampleId id, const PayloadFn& payload,
+                        std::vector<std::byte>& wire) {
+  wire.resize(sizeof(SampleId));
+  std::memcpy(wire.data(), &id, sizeof(SampleId));
+  if (payload) payload(id, wire);
 }
 
 SampleId decode_sample_id(const std::vector<std::byte>& buf) {
@@ -34,41 +31,189 @@ SampleId decode_sample_id(const std::vector<std::byte>& buf) {
   return id;
 }
 
-// The original fire-and-wait exchange (Algorithm 1 verbatim). Only valid
-// on a perfect fabric. Tags come from the shared per-epoch tag-space
-// helpers (shuffle/exchange_tags.hpp) so a stale message from one epoch
-// can never match another epoch's receive.
-ExchangeOutcome run_fast_path(comm::Communicator& comm, ShardStore& store,
-                              const ExchangePlan& plan, std::size_t epoch,
-                              const std::vector<SampleId>& outgoing,
-                              const PayloadFn& payload,
-                              const DepositFn& deposit) {
-  const int rank = comm.rank();
-  const std::size_t quota = outgoing.size();
-  const std::uint64_t tag_base = epoch_tag_base(epoch, quota);
-
-  // Algorithm 1 lines 2-6: isend the p[i]-th sample to dest_i[rank],
-  // irecv from ANY_SOURCE. Tag = round index keeps rounds aligned.
-  std::vector<comm::Request> requests;
-  requests.reserve(2 * quota);
-  std::size_t bytes_sent = 0;
-  for (std::size_t i = 0; i < quota; ++i) {
-    const int dest = plan.dest(i, rank);
-    std::vector<std::byte> body =
-        payload ? payload(outgoing[i]) : std::vector<std::byte>{};
-    std::vector<std::byte> wire = encode_sample(outgoing[i], body);
-    bytes_sent += wire.size();
-    requests.push_back(
-        comm.isend(dest, data_tag(tag_base, i), std::move(wire)));
-    requests.push_back(comm.irecv(comm::kAnySource, data_tag(tag_base, i)));
+// Group the epoch's rounds by peer: send_rounds[p] / recv_rounds[p] list
+// the round indices whose sample goes to / comes from rank p, in round
+// order. This is the coalescing map — one frame per non-empty entry.
+void build_peer_routing(const ExchangePlan& plan, int rank, int m,
+                        std::size_t quota, ExchangeScratch& s) {
+  s.send_rounds.resize(static_cast<std::size_t>(m));
+  s.recv_rounds.resize(static_cast<std::size_t>(m));
+  for (int p = 0; p < m; ++p) {
+    auto& sr = s.send_rounds[static_cast<std::size_t>(p)];
+    auto& rr = s.recv_rounds[static_cast<std::size_t>(p)];
+    sr.clear();
+    rr.clear();
+    // A peer can receive at most `quota` rounds; reserving the bound keeps
+    // the steady state reallocation-free whatever the plan draws.
+    if (sr.capacity() < quota) sr.reserve(quota);
+    if (rr.capacity() < quota) rr.reserve(quota);
   }
-  // Algorithm 1 line 7: wait for all outstanding requests.
-  comm::wait_all(requests);
-
-  // Stage received samples (receive requests are the odd entries), then
-  // clean transmitted ones from local storage — the (1+Q)-capacity window.
   for (std::size_t i = 0; i < quota; ++i) {
-    const auto& msg = requests[2 * i + 1].message();
+    s.send_rounds[static_cast<std::size_t>(plan.dest(i, rank))].push_back(i);
+    s.recv_rounds[static_cast<std::size_t>(plan.source(i, rank))].push_back(i);
+  }
+}
+
+// Capacity hint for a pooled frame buffer: the largest frame this epoch
+// could produce (all quota rounds to one peer, every payload at the high
+// water mark). Acquiring at this bound means a steady-state epoch never
+// outgrows its buffer, so packing never reallocates.
+std::size_t frame_capacity_bound(std::size_t quota, std::size_t payload_high) {
+  return frame_header_bytes(quota) +
+         quota * (sizeof(SampleId) + payload_high);
+}
+
+// Pack this rank's frame for peer `p` into `buf` and account the bytes.
+// Returns the number of samples packed.
+std::size_t pack_frame_for_peer(std::vector<std::byte>& buf, std::size_t epoch,
+                                const std::vector<std::size_t>& rounds,
+                                const PayloadFn& payload, ExchangeScratch& s,
+                                ExchangeOutcome& out) {
+  FrameWriter writer(buf, static_cast<std::uint64_t>(epoch),
+                     static_cast<std::uint32_t>(rounds.size()));
+  for (std::size_t i : rounds) {
+    writer.begin_sample(s.outgoing[i]);
+    const std::size_t before = buf.size();
+    if (payload) payload(s.outgoing[i], buf);
+    const std::size_t body = buf.size() - before;
+    if (body > s.payload_high_water) s.payload_high_water = body;
+    out.bytes_body += body;
+  }
+  writer.finish();
+  out.bytes_header +=
+      frame_header_bytes(rounds.size()) + rounds.size() * sizeof(SampleId);
+  return rounds.size();
+}
+
+// Parse + sanity-check a received frame before anything is staged.
+FrameView checked_frame_view(const comm::Message& msg, std::size_t epoch,
+                             std::size_t expected_count, int peer) {
+  FrameView view = parse_frame(msg.payload);
+  DSHUF_CHECK_EQ(view.epoch(), static_cast<std::uint64_t>(epoch),
+                 "frame from rank " << peer << " belongs to another epoch");
+  DSHUF_CHECK_EQ(static_cast<std::size_t>(view.count()), expected_count,
+                 "frame from rank " << peer
+                                    << " disagrees with the exchange plan");
+  return view;
+}
+
+// Stage every received sample into the store in ROUND order — the same
+// per-store append order the sequential driver produces — handing the
+// deposit a span view into the frame. Cursor[p] walks peer p's frame in
+// lockstep because recv_rounds[p] is itself in round order.
+std::size_t stage_frames_in_round_order(ShardStore& store, std::size_t quota,
+                                        int rank, const DepositFn& deposit,
+                                        ExchangeScratch& s,
+                                        const std::vector<bool>* frame_ok) {
+  std::size_t staged = 0;
+  s.cursor.assign(s.views.size(), 0);
+  for (std::size_t i = 0; i < quota; ++i) {
+    const auto src = static_cast<std::size_t>(s.plan.source(i, rank));
+    if (frame_ok != nullptr && !(*frame_ok)[src]) continue;
+    const std::uint32_t j = s.cursor[src]++;
+    const SampleId got = s.views[src].id(j);
+    store.add(got);
+    ++staged;
+    if (deposit) deposit(got, s.views[src].payload(j));
+  }
+  return staged;
+}
+
+// ------------------------------------------------------------ fast paths --
+
+// Fire-and-wait, one frame per peer (Algorithm 1 with coalesced wire).
+// With a warmed-up scratch + pool this path performs no heap allocation:
+// frames pack into pooled buffers, receives block on the mailbox without a
+// Request, and deposits are span views into the received frame.
+ExchangeOutcome run_fast_coalesced(comm::Communicator& comm, ShardStore& store,
+                                   std::size_t epoch, const PayloadFn& payload,
+                                   const DepositFn& deposit,
+                                   ExchangeScratch& s) {
+  const int rank = comm.rank();
+  const int m = comm.size();
+  const std::size_t quota = s.outgoing.size();
+  const std::uint64_t tag_base = epoch_tag_base(epoch, quota, m);
+
+  ExchangeOutcome out;
+  out.rounds = quota;
+  build_peer_routing(s.plan, rank, m, quota, s);
+
+  const std::size_t cap = frame_capacity_bound(quota, s.payload_high_water);
+  for (int p = 0; p < m; ++p) {
+    const auto& rounds = s.send_rounds[static_cast<std::size_t>(p)];
+    if (rounds.empty()) continue;
+    auto buf = comm.pool().acquire(cap);
+    pack_frame_for_peer(buf, epoch, rounds, payload, s, out);
+    out.bytes_sent += buf.size();
+    out.bytes_offered += buf.size();
+    ++out.msgs_sent;
+    comm.send(p, frame_data_tag(tag_base, quota, rank), std::move(buf));
+  }
+
+  // One blocking receive per sending peer; arrival order is free because
+  // each frame parks in the mailbox until its (source, tag) receive runs.
+  s.frames.resize(static_cast<std::size_t>(m));
+  s.views.resize(static_cast<std::size_t>(m));
+  for (int p = 0; p < m; ++p) {
+    const auto& rounds = s.recv_rounds[static_cast<std::size_t>(p)];
+    if (rounds.empty()) continue;
+    s.frames[static_cast<std::size_t>(p)] =
+        comm.recv(p, frame_data_tag(tag_base, quota, p));
+    s.views[static_cast<std::size_t>(p)] = checked_frame_view(
+        s.frames[static_cast<std::size_t>(p)], epoch, rounds.size(), p);
+  }
+
+  out.recvs_committed =
+      stage_frames_in_round_order(store, quota, rank, deposit, s, nullptr);
+  for (SampleId id : s.outgoing) store.remove_id(id);
+  out.sends_committed = quota;
+
+  // Frames are fully staged — recycle their buffers.
+  for (int p = 0; p < m; ++p) {
+    auto& frame = s.frames[static_cast<std::size_t>(p)];
+    if (s.recv_rounds[static_cast<std::size_t>(p)].empty()) continue;
+    comm.pool().release(std::move(frame.payload));
+  }
+  return out;
+}
+
+// Fire-and-wait, one message per round (the original wire). Rewritten on
+// the pooled-buffer data path: each message's buffer comes from the pool
+// and returns to the receiver's pool after staging.
+ExchangeOutcome run_fast_per_sample(comm::Communicator& comm,
+                                    ShardStore& store, std::size_t epoch,
+                                    const PayloadFn& payload,
+                                    const DepositFn& deposit,
+                                    ExchangeScratch& s) {
+  const int rank = comm.rank();
+  const int m = comm.size();
+  const std::size_t quota = s.outgoing.size();
+  const std::uint64_t tag_base = epoch_tag_base(epoch, quota, m);
+
+  ExchangeOutcome out;
+  out.rounds = quota;
+
+  // Algorithm 1 lines 2-6: send the p[i]-th sample to dest_i[rank]. Tag =
+  // round index keeps rounds aligned across ranks.
+  for (std::size_t i = 0; i < quota; ++i) {
+    const int dest = s.plan.dest(i, rank);
+    auto wire = comm.pool().acquire(sizeof(SampleId) + s.payload_high_water);
+    encode_sample_into(s.outgoing[i], payload, wire);
+    const std::size_t body = wire.size() - sizeof(SampleId);
+    if (body > s.payload_high_water) s.payload_high_water = body;
+    out.bytes_header += sizeof(SampleId);
+    out.bytes_body += body;
+    out.bytes_sent += wire.size();
+    out.bytes_offered += wire.size();
+    ++out.msgs_sent;
+    comm.send(dest, data_tag(tag_base, i), std::move(wire));
+  }
+
+  // Line 7: collect each round's sample (blocking; sends above already
+  // completed locally, so no rank can deadlock here) and stage it in round
+  // order — identical store-append order to the sequential driver.
+  for (std::size_t i = 0; i < quota; ++i) {
+    comm::Message msg = comm.recv(comm::kAnySource, data_tag(tag_base, i));
     const SampleId got = decode_sample_id(msg.payload);
     store.add(got);
     if (deposit) {
@@ -76,35 +221,35 @@ ExchangeOutcome run_fast_path(comm::Communicator& comm, ShardStore& store,
                        msg.payload.data() + sizeof(SampleId),
                        msg.payload.size() - sizeof(SampleId)));
     }
+    comm.pool().release(std::move(msg.payload));
   }
-  for (SampleId id : outgoing) store.remove_id(id);
+  for (SampleId id : s.outgoing) store.remove_id(id);
 
-  ExchangeOutcome out;
-  out.rounds = quota;
   out.sends_committed = quota;
   out.recvs_committed = quota;
-  out.bytes_sent = bytes_sent;
-  out.bytes_offered = bytes_sent;
   return out;
 }
 
-// Retry/timeout protocol. Every round runs a DATA/ACK handshake; all
-// rounds progress concurrently in one event loop so a single slow peer
-// cannot serialise the epoch. Commit decisions are NOT taken from ACKs
-// (those are lossy too) but from the receivers' bitmaps, exchanged over
-// the reliable collective path at the end — that is what keeps sender and
-// receiver in agreement no matter which messages were lost.
-ExchangeOutcome run_robust_path(comm::Communicator& comm, ShardStore& store,
-                                const ExchangePlan& plan, std::size_t epoch,
-                                const std::vector<SampleId>& outgoing,
-                                const PayloadFn& payload,
-                                const DepositFn& deposit,
-                                const ExchangeRobustness& robust) {
+// ---------------------------------------------------------- robust paths --
+
+// Retry/timeout protocol, per-sample wire. Every round runs a DATA/ACK
+// handshake; all rounds progress concurrently in one event loop so a
+// single slow peer cannot serialise the epoch. Commit decisions are NOT
+// taken from ACKs (those are lossy too) but from the receivers' bitmaps,
+// exchanged over the reliable collective path at the end — that is what
+// keeps sender and receiver in agreement no matter which messages were
+// lost.
+ExchangeOutcome run_robust_per_sample(comm::Communicator& comm,
+                                      ShardStore& store, std::size_t epoch,
+                                      const PayloadFn& payload,
+                                      const DepositFn& deposit,
+                                      const ExchangeRobustness& robust,
+                                      ExchangeScratch& s) {
   using Clock = std::chrono::steady_clock;
   const int rank = comm.rank();
-  const std::size_t quota = outgoing.size();
+  const std::size_t quota = s.outgoing.size();
   DSHUF_CHECK_GT(robust.max_attempts, 0, "need at least one send attempt");
-  const std::uint64_t tag_base = epoch_tag_base(epoch, quota);
+  const std::uint64_t tag_base = epoch_tag_base(epoch, quota, comm.size());
 
   ExchangeOutcome out;
   out.rounds = quota;
@@ -128,16 +273,17 @@ ExchangeOutcome run_robust_path(comm::Communicator& comm, ShardStore& store,
   std::vector<RoundState> rounds(quota);
   for (std::size_t i = 0; i < quota; ++i) {
     auto& r = rounds[i];
-    r.dest = plan.dest(i, rank);
-    r.src = plan.source(i, rank);
+    r.dest = s.plan.dest(i, rank);
+    r.src = s.plan.source(i, rank);
     // Post both receives before the first send so no early arrival is ever
     // unmatched, then fire attempt 1.
     r.rx_data = comm.irecv(r.src, data_tag(tag_base, i));
     r.rx_ack = comm.irecv(r.dest, ack_tag(tag_base, i));
-    std::vector<std::byte> body =
-        payload ? payload(outgoing[i]) : std::vector<std::byte>{};
-    r.wire = encode_sample(outgoing[i], body);
-    comm.isend(r.dest, data_tag(tag_base, i), r.wire);
+    encode_sample_into(s.outgoing[i], payload, r.wire);
+    comm.send(r.dest, data_tag(tag_base, i), r.wire);
+    ++out.msgs_sent;
+    out.bytes_header += sizeof(SampleId);
+    out.bytes_body += r.wire.size() - sizeof(SampleId);
     out.bytes_sent += r.wire.size();
     out.bytes_offered += r.wire.size();
     r.attempts = 1;
@@ -153,7 +299,8 @@ ExchangeOutcome run_robust_path(comm::Communicator& comm, ShardStore& store,
                       msg.payload.end());
     r.recv_done = true;
     r.recv_ok = true;
-    comm.isend(r.src, ack_tag(tag_base, i), {});
+    comm.send(r.src, ack_tag(tag_base, i), {});
+    ++out.msgs_sent;
   };
 
   std::size_t open = 2 * quota;  // unfinished send + receive duties
@@ -196,7 +343,8 @@ ExchangeOutcome run_robust_path(comm::Communicator& comm, ShardStore& store,
                       << " attempts to rank " << r.dest
                       << "; reconciliation decides";
           } else {
-            comm.isend(r.dest, data_tag(tag_base, i), r.wire);
+            comm.send(r.dest, data_tag(tag_base, i), r.wire);
+            ++out.msgs_sent;
             out.bytes_sent += r.wire.size();
             ++r.attempts;
             ++out.retries;
@@ -261,13 +409,208 @@ ExchangeOutcome run_robust_path(comm::Communicator& comm, ShardStore& store,
     DSHUF_CHECK_EQ(all_bits[dest].size(), quota,
                    "reconciliation bitmap length mismatch");
     if (all_bits[dest][i] != std::byte{0}) {
-      store.remove_id(outgoing[i]);
+      store.remove_id(s.outgoing[i]);
       ++out.sends_committed;
     } else {
       ++out.send_fallbacks;
       LOG_DEBUG << "round " << i << " not received by rank "
                 << rounds[i].dest << "; keeping sample locally";
     }
+  }
+  return out;
+}
+
+// Retry/timeout protocol, coalesced wire: the DATA/ACK handshake runs per
+// PEER FRAME instead of per round. This is failure-equivalent to the
+// per-sample handshake because commits still come from the receivers'
+// reconciliation bitmap, not from ACKs — a lost frame simply falls back a
+// whole peer's worth of rounds at once (each round still reconciles
+// independently through its own bit... the bitmap below is per ORIGIN
+// rank, which decides exactly the same set because a frame carries all of
+// an origin's rounds or none of them).
+ExchangeOutcome run_robust_coalesced(comm::Communicator& comm,
+                                     ShardStore& store, std::size_t epoch,
+                                     const PayloadFn& payload,
+                                     const DepositFn& deposit,
+                                     const ExchangeRobustness& robust,
+                                     ExchangeScratch& s) {
+  using Clock = std::chrono::steady_clock;
+  const int rank = comm.rank();
+  const int m = comm.size();
+  const std::size_t quota = s.outgoing.size();
+  DSHUF_CHECK_GT(robust.max_attempts, 0, "need at least one send attempt");
+  const std::uint64_t tag_base = epoch_tag_base(epoch, quota, m);
+
+  ExchangeOutcome out;
+  out.rounds = quota;
+  build_peer_routing(s.plan, rank, m, quota, s);
+
+  struct PeerState {
+    bool expect_frame = false;  // this peer sends us a frame this epoch
+    bool sending = false;       // we send this peer a frame this epoch
+    bool recv_done = false;
+    bool recv_ok = false;
+    bool send_done = false;
+    int attempts = 0;
+    Clock::time_point next_retry;
+  };
+  std::vector<PeerState> peers(static_cast<std::size_t>(m));
+  std::vector<bool> frame_ok(static_cast<std::size_t>(m), false);
+  // Master copies of our outgoing frames, kept for retransmission; each
+  // transmission memcpys the master into a fresh pooled buffer.
+  std::vector<std::vector<std::byte>> wires(static_cast<std::size_t>(m));
+  s.frames.resize(static_cast<std::size_t>(m));
+  s.views.resize(static_cast<std::size_t>(m));
+
+  const std::size_t cap = frame_capacity_bound(quota, s.payload_high_water);
+  const auto start = Clock::now();
+  std::size_t open = 0;  // unfinished send + receive duties (per peer)
+  for (int p = 0; p < m; ++p) {
+    auto& ps = peers[static_cast<std::size_t>(p)];
+    ps.expect_frame = !s.recv_rounds[static_cast<std::size_t>(p)].empty();
+    ps.sending = !s.send_rounds[static_cast<std::size_t>(p)].empty();
+    if (ps.expect_frame) ++open;
+    if (!ps.sending) continue;
+    ++open;
+    auto& wire = wires[static_cast<std::size_t>(p)];
+    wire.reserve(cap);
+    pack_frame_for_peer(wire, epoch, s.send_rounds[static_cast<std::size_t>(p)],
+                        payload, s, out);
+    out.bytes_offered += wire.size();
+    auto buf = comm.pool().acquire(wire.size());
+    buf.assign(wire.begin(), wire.end());
+    comm.send(p, frame_data_tag(tag_base, quota, rank), std::move(buf));
+    ++out.msgs_sent;
+    out.bytes_sent += wire.size();
+    ps.attempts = 1;
+    ps.next_retry = start + robust.ack_timeout;
+  }
+  const auto recv_deadline_at = start + robust.recv_deadline;
+
+  while (open > 0) {
+    bool progressed = false;
+    const auto now = Clock::now();
+    for (int p = 0; p < m; ++p) {
+      auto& ps = peers[static_cast<std::size_t>(p)];
+      if (ps.expect_frame && !ps.recv_done) {
+        if (auto msg = comm.poll(p, frame_data_tag(tag_base, quota, p))) {
+          s.frames[static_cast<std::size_t>(p)] = std::move(*msg);
+          s.views[static_cast<std::size_t>(p)] = checked_frame_view(
+              s.frames[static_cast<std::size_t>(p)], epoch,
+              s.recv_rounds[static_cast<std::size_t>(p)].size(), p);
+          ps.recv_done = true;
+          ps.recv_ok = true;
+          frame_ok[static_cast<std::size_t>(p)] = true;
+          comm.send(p, frame_ack_tag(tag_base, quota, p), {});
+          ++out.msgs_sent;
+          --open;
+          progressed = true;
+        } else if (now >= recv_deadline_at) {
+          // LS fallback for every round this peer owed us; a late frame
+          // drains as a stray after the fence.
+          ps.recv_done = true;
+          out.recv_fallbacks +=
+              s.recv_rounds[static_cast<std::size_t>(p)].size();
+          LOG_DEBUG << "frame from rank " << p << " missed the deadline; "
+                    << "its samples stay with the sender";
+          --open;
+          progressed = true;
+        }
+      }
+      if (ps.sending && !ps.send_done) {
+        if (comm.poll(p, frame_ack_tag(tag_base, quota, rank))) {
+          ps.send_done = true;
+          --open;
+          progressed = true;
+        } else if (now >= ps.next_retry) {
+          if (ps.attempts >= robust.max_attempts) {
+            // Give up retrying. The frame may still commit if an earlier
+            // attempt landed — the reconciliation bitmap decides.
+            ps.send_done = true;
+            --open;
+            LOG_DEBUG << "frame to rank " << p << " exhausted " << ps.attempts
+                      << " attempts; reconciliation decides";
+          } else {
+            const auto& wire = wires[static_cast<std::size_t>(p)];
+            auto buf = comm.pool().acquire(wire.size());
+            buf.assign(wire.begin(), wire.end());
+            comm.send(p, frame_data_tag(tag_base, quota, rank),
+                      std::move(buf));
+            ++out.msgs_sent;
+            out.bytes_sent += wire.size();
+            ++ps.attempts;
+            ++out.retries;
+            const auto backoff = std::chrono::duration_cast<
+                std::chrono::microseconds>(
+                robust.ack_timeout *
+                std::pow(robust.backoff, ps.attempts - 1));
+            ps.next_retry = now + backoff;
+          }
+          progressed = true;
+        }
+      }
+    }
+    if (open > 0 && !progressed) {
+      std::this_thread::sleep_for(robust.poll_interval);
+    }
+  }
+
+  // Stage whatever arrived, in round order (skipping rounds whose frame
+  // fell back) — identical append order to the per-sample robust path
+  // under the same commit pattern.
+  out.recvs_committed =
+      stage_frames_in_round_order(store, quota, rank, deposit, s, &frame_ok);
+
+  // Quiesce the fabric, then drain late arrivals and duplicate frames.
+  {
+    obs::SpanGuard fence_span("exchange.fence");
+    comm.barrier();
+    comm.fence_faults();
+    while (auto stray = comm.poll(comm::kAnySource, comm::kAnyTag)) {
+      ++out.strays_drained;
+      if (is_epoch_frame_data_tag(stray->tag, tag_base, quota, m)) {
+        const int origin = origin_of_frame_data_tag(stray->tag, tag_base,
+                                                    quota);
+        if (origin >= 0 && origin < m &&
+            peers[static_cast<std::size_t>(origin)].recv_ok) {
+          // A duplicate copy of a frame we already staged: every sample in
+          // it is a suppressed duplicate (the per-sample wire counts the
+          // same samples one message at a time).
+          out.duplicates_suppressed += parse_frame(stray->payload).count();
+        }
+      }
+    }
+    DSHUF_HISTOGRAM_US("exchange.fence_wait_us").observe(fence_span.finish());
+  }
+
+  // Reconciliation: one received-bit per ORIGIN rank. A frame carries all
+  // of an origin's rounds or none, so the per-origin bit decides exactly
+  // the same commits the per-round bitmap would.
+  DSHUF_SPAN("exchange.reconcile");
+  std::vector<std::byte> received_bits(static_cast<std::size_t>(m));
+  for (int p = 0; p < m; ++p) {
+    received_bits[static_cast<std::size_t>(p)] =
+        peers[static_cast<std::size_t>(p)].recv_ok ? std::byte{1}
+                                                   : std::byte{0};
+  }
+  const auto all_bits = comm.allgather(std::move(received_bits));
+  for (std::size_t i = 0; i < quota; ++i) {
+    const auto dest = static_cast<std::size_t>(s.plan.dest(i, rank));
+    DSHUF_CHECK_EQ(all_bits[dest].size(), static_cast<std::size_t>(m),
+                   "reconciliation bitmap length mismatch");
+    if (all_bits[dest][static_cast<std::size_t>(rank)] != std::byte{0}) {
+      store.remove_id(s.outgoing[i]);
+      ++out.sends_committed;
+    } else {
+      ++out.send_fallbacks;
+      LOG_DEBUG << "round " << i << " not received by rank "
+                << s.plan.dest(i, rank) << "; keeping sample locally";
+    }
+  }
+
+  for (int p = 0; p < m; ++p) {
+    if (!frame_ok[static_cast<std::size_t>(p)]) continue;
+    comm.pool().release(std::move(s.frames[static_cast<std::size_t>(p)].payload));
   }
   return out;
 }
@@ -280,7 +623,8 @@ ExchangeOutcome run_pls_exchange_epoch(comm::Communicator& comm,
                                        std::size_t global_min_shard,
                                        const PayloadFn& payload,
                                        const DepositFn& deposit,
-                                       const ExchangeRobustness* robust) {
+                                       const ExchangeRobustness* robust,
+                                       ExchangeScratch* scratch) {
   const int rank = comm.rank();
   const int m = comm.size();
   const std::size_t quota = exchange_quota(global_min_shard, q);
@@ -295,26 +639,35 @@ ExchangeOutcome run_pls_exchange_epoch(comm::Communicator& comm,
                              {"rank", std::to_string(rank)}});
 
   // Every rank recomputes the identical plan from the shared seed —
-  // Algorithm 1's "all workers use the same random seed".
-  const ExchangePlan plan(seed, epoch, m, quota);
-  const auto picks = pick_permutation(seed, epoch, rank, store.size());
+  // Algorithm 1's "all workers use the same random seed". The scratch (a
+  // caller-provided one in the steady state) reuses last epoch's tables.
+  ExchangeScratch local_scratch;
+  ExchangeScratch& s = scratch != nullptr ? *scratch : local_scratch;
+  s.plan.rebuild(seed, epoch, m, quota);
+  pick_permutation_into(seed, epoch, rank, store.size(), s.picks);
   DSHUF_CHECK_GE(store.size(), quota,
                  "rank " << rank << " shard smaller than the exchange quota");
 
-  std::vector<SampleId> outgoing(quota);
+  s.outgoing.resize(quota);
   for (std::size_t i = 0; i < quota; ++i) {
-    outgoing[i] = store.ids()[picks[i]];
+    s.outgoing[i] = store.ids()[s.picks[i]];
   }
 
+  const ExchangeWire wire = exchange_wire();
   ExchangeOutcome out;
   if (robust == nullptr) {
     DSHUF_CHECK(!comm.fault_injection_enabled(),
                 "the fast-path exchange cannot survive fault injection — "
                 "pass an ExchangeRobustness budget");
-    out = run_fast_path(comm, store, plan, epoch, outgoing, payload, deposit);
+    out = wire == ExchangeWire::kCoalesced
+              ? run_fast_coalesced(comm, store, epoch, payload, deposit, s)
+              : run_fast_per_sample(comm, store, epoch, payload, deposit, s);
   } else {
-    out = run_robust_path(comm, store, plan, epoch, outgoing, payload,
-                          deposit, *robust);
+    out = wire == ExchangeWire::kCoalesced
+              ? run_robust_coalesced(comm, store, epoch, payload, deposit,
+                                     *robust, s)
+              : run_robust_per_sample(comm, store, epoch, payload, deposit,
+                                      *robust, s);
   }
 
   // Fold the outcome into the process-wide registry; the per-field names
@@ -330,6 +683,9 @@ ExchangeOutcome run_pls_exchange_epoch(comm::Communicator& comm,
   DSHUF_COUNTER("exchange.duplicates_suppressed")
       .add(out.duplicates_suppressed);
   DSHUF_COUNTER("exchange.strays_drained").add(out.strays_drained);
+  DSHUF_COUNTER("exchange.msgs").add(out.msgs_sent);
+  DSHUF_COUNTER("exchange.bytes.header").add(out.bytes_header);
+  DSHUF_COUNTER("exchange.bytes.body").add(out.bytes_body);
   DSHUF_COUNTER("exchange.bytes_sent").add(out.bytes_sent);
 
   // bytes_offered is fault-schedule independent, so this attribute is

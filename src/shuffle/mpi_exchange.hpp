@@ -1,28 +1,42 @@
 // Message-passing execution of Algorithm 1.
 //
-// This is the paper's exchange as it would run on MPI: each rank posts a
-// non-blocking send per selected sample (tag = round index, so the
-// receiver can align rounds) and a matching irecv, then waits for all
-// requests (Algorithm 1 lines 2-7). The destination permutations come from
-// the SHARED-seed ExchangePlan, which every rank recomputes locally — no
-// global coordination is exchanged, only samples.
+// This is the paper's exchange as it would run on MPI: the destination
+// permutations come from the SHARED-seed ExchangePlan, which every rank
+// recomputes locally — no global coordination is exchanged, only samples.
+//
+// Two wire formats (see shuffle/exchange_wire.hpp, runtime-switchable):
+//
+//   * ExchangeWire::kCoalesced (default): all of an epoch's rounds bound
+//     for peer p travel as ONE frame (header + packed ids + payloads), so
+//     an epoch costs O(peers) messages instead of O(quota). Frames pack
+//     into pooled comm buffers and the deposit path hands out span views
+//     into the received frame — with a warmed-up ExchangeScratch the fast
+//     path performs zero heap allocations per epoch.
+//   * ExchangeWire::kPerSample: the original encoding — each round is its
+//     own message (tag = round index, receiver aligns rounds by tag).
+//
+// Both wires produce bit-identical post-epoch shard contents; the
+// equivalence suite asserts it across seeds and quotas.
 //
 // Two execution modes:
 //
-//   * Fast path (robust == nullptr): the original fire-and-wait exchange.
-//     Assumes a perfect fabric; refuses to run over a World with fault
-//     injection enabled.
-//   * Robust path (pass an ExchangeRobustness): per-round DATA/ACK with
-//     retry + exponential backoff, receive deadlines, duplicate
-//     suppression, and an end-of-epoch reconciliation over the reliable
-//     control plane (collectives). A round that exhausts its budget falls
-//     back to keeping the sample at the SENDER (LS fallback); the
-//     receiver's received-bitmap — allgathered reliably — is the single
-//     source of truth for which rounds committed, so sender and receiver
-//     always agree and no sample is ever lost or duplicated, whatever the
-//     fault schedule. With no drops (delay/reorder/duplication only) every
-//     round commits and the result is bit-identical to the fault-free
-//     exchange and to the sequential PartialLocalShuffler.
+//   * Fast path (robust == nullptr): fire-and-wait (Algorithm 1 lines
+//     2-7). Assumes a perfect fabric; refuses to run over a World with
+//     fault injection enabled.
+//   * Robust path (pass an ExchangeRobustness): DATA/ACK with retry +
+//     exponential backoff, receive deadlines, duplicate suppression, and
+//     an end-of-epoch reconciliation over the reliable control plane
+//     (collectives). Per-sample wire ACKs/retries each round; coalesced
+//     wire ACKs/retries each per-peer frame — failure-equivalent, because
+//     commit decisions are NOT taken from ACKs (those are lossy too) but
+//     from the receivers' received-bitmaps, allgathered reliably at epoch
+//     end. A round/frame that exhausts its budget falls back to keeping
+//     the sample(s) at the SENDER (LS fallback); the receiver's word is
+//     the single source of truth, so sender and receiver always agree and
+//     no sample is ever lost or duplicated, whatever the fault schedule.
+//     With no drops (delay/reorder/duplication only) every round commits
+//     and the result is bit-identical to the fault-free exchange and to
+//     the sequential PartialLocalShuffler.
 //
 // The sequential PartialLocalShuffler computes the same exchange without
 // threads; the test suite asserts both produce identical shard contents.
@@ -33,30 +47,36 @@
 #include <functional>
 
 #include "comm/comm.hpp"
+#include "shuffle/exchange_plan.hpp"
+#include "shuffle/exchange_wire.hpp"
 #include "shuffle/shard_store.hpp"
 #include "shuffle/types.hpp"
 
 namespace dshuf::shuffle {
 
-/// Optional payload provider: returns the serialized bytes of a sample so
-/// the exchange moves real data (e.g. from a file-backed store). When
-/// null, messages carry only the 4-byte sample id.
-using PayloadFn = std::function<std::vector<std::byte>(SampleId)>;
-/// Optional payload consumer invoked for each received sample.
+/// Optional payload provider: APPENDS the serialized bytes of a sample to
+/// `out` (which already holds the wire prefix — never resize it
+/// downward). Writing into the caller's buffer lets the exchange pack
+/// frames without an intermediate vector per sample. When null, messages
+/// carry only the 4-byte sample id.
+using PayloadFn = std::function<void(SampleId, std::vector<std::byte>& out)>;
+/// Optional payload consumer invoked for each received sample. The span
+/// points into the received wire buffer — copy it out if it must outlive
+/// the call.
 using DepositFn = std::function<void(SampleId, std::span<const std::byte>)>;
 
 /// Retry/timeout budget for the robust exchange. Defaults are sized for
 /// the in-process fabric with injected delays up to a few milliseconds;
 /// scale them together with the fault magnitudes.
 struct ExchangeRobustness {
-  /// How long to wait for a round's ACK before retransmitting its DATA.
+  /// How long to wait for a DATA message's ACK before retransmitting it.
   std::chrono::microseconds ack_timeout{std::chrono::milliseconds(40)};
-  /// Total DATA transmissions per round (first send + retries).
+  /// Total DATA transmissions per round/frame (first send + retries).
   int max_attempts = 4;
   /// Multiplier applied to ack_timeout after each retransmission.
   double backoff = 2.0;
-  /// Budget for a round's incoming sample, measured from the start of the
-  /// epoch's exchange; expiry marks the round as a receive fallback.
+  /// Budget for incoming samples, measured from the start of the epoch's
+  /// exchange; expiry marks the round(s) as receive fallbacks.
   std::chrono::microseconds recv_deadline{std::chrono::milliseconds(500)};
   /// Sleep between progress-loop scans.
   std::chrono::microseconds poll_interval{std::chrono::microseconds(200)};
@@ -69,12 +89,22 @@ struct ExchangeOutcome {
   std::size_t send_fallbacks = 0;     ///< our samples kept local (LS fallback)
   std::size_t recvs_committed = 0;    ///< samples we received and staged
   std::size_t recv_fallbacks = 0;     ///< expected samples that never came
-  std::size_t retries = 0;            ///< DATA retransmissions
-  std::size_t duplicates_suppressed = 0;  ///< redundant copies discarded
+  std::size_t retries = 0;            ///< DATA retransmissions (per message)
+  std::size_t duplicates_suppressed = 0;  ///< redundant sample copies discarded
   std::size_t strays_drained = 0;     ///< late/duplicate messages drained
+  /// Point-to-point messages sent (DATA first attempts + retransmits +
+  /// ACKs) — in lockstep with the comm.isend counter.
+  std::size_t msgs_sent = 0;
+  /// First-attempt wire framing bytes: frame headers/offset tables and the
+  /// 4-byte sample ids (per-sample wire: just the ids).
+  std::size_t bytes_header = 0;
+  /// First-attempt sample payload bytes — the quantity the analytic
+  /// traffic model (shuffle/traffic.hpp) prices as Q * D / M per worker.
+  std::size_t bytes_body = 0;
   std::size_t bytes_sent = 0;  ///< DATA bytes on the wire, retransmits included
-  /// First-attempt DATA bytes only (quota x wire size). Independent of the
-  /// fault schedule, so trace attributes built from it are reproducible.
+  /// First-attempt DATA bytes only (== bytes_header + bytes_body).
+  /// Independent of the fault schedule, so trace attributes built from it
+  /// are reproducible.
   std::size_t bytes_offered = 0;
 
   /// Merge into epoch stats (aggregates across ranks).
@@ -86,6 +116,25 @@ struct ExchangeOutcome {
   }
 };
 
+/// Reusable per-rank working storage for run_pls_exchange_epoch. Optional:
+/// passing the same instance every epoch lets the exchange reuse the plan
+/// tables, routing lists, and staging cursors, which — together with the
+/// comm buffer pool — is what makes the steady-state fast path
+/// allocation-free (tests/test_exchange_alloc.cpp asserts the zero).
+struct ExchangeScratch {
+  ExchangePlan plan;
+  std::vector<std::uint32_t> picks;
+  std::vector<SampleId> outgoing;
+  std::vector<std::vector<std::size_t>> send_rounds;  ///< [peer] -> rounds
+  std::vector<std::vector<std::size_t>> recv_rounds;  ///< [peer] -> rounds
+  std::vector<comm::Message> frames;                  ///< received, [peer]
+  std::vector<FrameView> views;                       ///< parsed, [peer]
+  std::vector<std::uint32_t> cursor;                  ///< staging, [peer]
+  /// Largest per-sample payload seen; sizes the pooled-buffer capacity
+  /// hint so a steady-state epoch can never outgrow its frame buffer.
+  std::size_t payload_high_water = 0;
+};
+
 /// Run one epoch of the PLS exchange for THIS rank. `store` is the rank's
 /// local shard store; `global_min_shard` must be the minimum shard size
 /// across ranks (all ranks already know it — shard sizes are static on a
@@ -93,11 +142,13 @@ struct ExchangeOutcome {
 /// a collective). After return the store holds the post-exchange shard
 /// (received samples added, committed-transmitted ones removed) but is NOT
 /// locally re-shuffled; the caller owns that step. Pass `robust` to enable
-/// the retry/timeout protocol (required when the World injects faults).
+/// the retry/timeout protocol (required when the World injects faults) and
+/// `scratch` to reuse working storage across epochs.
 ExchangeOutcome run_pls_exchange_epoch(
     comm::Communicator& comm, ShardStore& store, std::uint64_t seed,
     std::size_t epoch, double q, std::size_t global_min_shard,
     const PayloadFn& payload = nullptr, const DepositFn& deposit = nullptr,
-    const ExchangeRobustness* robust = nullptr);
+    const ExchangeRobustness* robust = nullptr,
+    ExchangeScratch* scratch = nullptr);
 
 }  // namespace dshuf::shuffle

@@ -7,9 +7,18 @@
 // incoming ones — that transient peak is exactly why PLS needs the
 // (1+Q)-fold capacity, and the store records it so tests and benches can
 // verify the bound.
+//
+// Removal is indexed: an open-addressing id -> (first index, count) table
+// makes remove_id amortized O(1) instead of a linear scan, while keeping
+// the observable ids() sequence bit-identical to the scan-based removal
+// (first occurrence replaced by the last element). Handing out
+// mutable_ids() invalidates the index; it rebuilds lazily — in place, so
+// a steady-state epoch (shuffle, add quota, remove quota) costs one O(n)
+// rebuild plus O(1) per operation and no allocation.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "shuffle/types.hpp"
@@ -27,13 +36,20 @@ class ShardStore {
   [[nodiscard]] std::size_t size() const { return ids_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] const std::vector<SampleId>& ids() const { return ids_; }
-  std::vector<SampleId>& mutable_ids() { return ids_; }
+  /// Direct mutable access (the post-exchange local shuffle permutes the
+  /// shard in place). Invalidates the removal index until its next use.
+  std::vector<SampleId>& mutable_ids() {
+    index_dirty_ = true;
+    return ids_;
+  }
 
   /// Stage a received sample (appends; counts toward occupancy).
   void add(SampleId id);
   /// Remove the sample at `slot` (swap-with-last; order holders beware).
   void remove_slot(std::size_t slot);
-  /// Remove by value; the id must be present.
+  /// Remove by value; the id must be present. Removes the FIRST occurrence
+  /// (ids can transiently duplicate when a self-round stages a copy before
+  /// the original is cleaned up), exactly like the linear scan it replaced.
   void remove_id(SampleId id);
 
   /// Highest occupancy observed since construction / reset_peak().
@@ -47,6 +63,17 @@ class ShardStore {
   }
 
  private:
+  // Open-addressing (linear probe, tombstones) entry of the removal index.
+  struct IndexEntry {
+    SampleId id = 0;
+    std::uint32_t first = 0;  // index in ids_ of the first occurrence
+    std::uint32_t count = 0;  // live occurrences; 0 on empty/tombstone
+    std::uint8_t state = 0;   // kEmpty / kUsed / kTombstone
+  };
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kUsed = 1;
+  static constexpr std::uint8_t kTombstone = 2;
+
   void note_occupancy() {
     if (ids_.size() > peak_) peak_ = ids_.size();
     DSHUF_CHECK(capacity_ == 0 || ids_.size() <= capacity_,
@@ -54,9 +81,21 @@ class ShardStore {
                     << capacity_ << " (occupancy " << ids_.size() << ")");
   }
 
+  void ensure_index();
+  void rehash(std::size_t min_slots);
+  [[nodiscard]] IndexEntry* find_entry(SampleId id);
+  void index_add(SampleId id, std::size_t pos);
+  /// Swap-with-last removal of ids_[j] with full index maintenance.
+  void remove_at(std::size_t j);
+
   std::vector<SampleId> ids_;
   std::size_t capacity_ = 0;
   std::size_t peak_ = 0;
+
+  std::vector<IndexEntry> index_;
+  std::size_t index_used_ = 0;
+  std::size_t index_tombstones_ = 0;
+  bool index_dirty_ = true;
 };
 
 /// The paper's PLS capacity bound: floor((1 + q) * shard) rounded up by the

@@ -233,9 +233,17 @@ std::unique_ptr<Shuffler> make_shuffler(
 std::vector<std::uint32_t> pick_permutation(std::uint64_t seed,
                                             std::size_t epoch, int worker,
                                             std::size_t shard_size) {
+  std::vector<std::uint32_t> out;
+  pick_permutation_into(seed, epoch, worker, shard_size, out);
+  return out;
+}
+
+void pick_permutation_into(std::uint64_t seed, std::size_t epoch, int worker,
+                           std::size_t shard_size,
+                           std::vector<std::uint32_t>& out) {
   Rng rng = Rng(seed).fork(kPickTag, epoch,
                            static_cast<std::uint64_t>(worker));
-  return rng.permutation(shard_size);
+  rng.permutation_into(shard_size, out);
 }
 
 void post_exchange_local_shuffle(std::uint64_t seed, std::size_t epoch,

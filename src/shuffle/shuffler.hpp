@@ -172,6 +172,13 @@ std::vector<std::uint32_t> pick_permutation(std::uint64_t seed,
                                             std::size_t epoch, int worker,
                                             std::size_t shard_size);
 
+/// pick_permutation written into `out` (resized; capacity reused). Same
+/// draw sequence — the steady-state exchange uses this to avoid the
+/// per-epoch allocation.
+void pick_permutation_into(std::uint64_t seed, std::size_t epoch, int worker,
+                           std::size_t shard_size,
+                           std::vector<std::uint32_t>& out);
+
 /// The end-of-epoch local shuffle applied to a worker's shard ids. All
 /// drivers (PartialLocalShuffler, Scheduler, and callers of
 /// run_pls_exchange_epoch) must apply this same stream for their stores to

@@ -20,4 +20,9 @@ TrafficReport compute_traffic(const TrafficParams& p) {
   return r;
 }
 
+std::size_t pls_exchange_payload_bytes(std::size_t quota,
+                                       std::size_t bytes_per_sample) {
+  return quota * bytes_per_sample;
+}
+
 }  // namespace dshuf::shuffle

@@ -32,4 +32,15 @@ struct TrafficReport {
 
 TrafficReport compute_traffic(const TrafficParams& p);
 
+/// Exact integer form of `sent_per_worker` for one epoch of the real
+/// exchange: `quota` samples of `bytes_per_sample` payload bytes each.
+/// This is precisely what ExchangeOutcome::bytes_body measures (wire
+/// framing is accounted separately in bytes_header), so the analytic model
+/// and the executed exchange compare with ==, not a tolerance. With
+/// quota = exchange_quota(shard, q) and uniform sample size it equals
+/// ceil(q * shard) * bytes_per_sample, the integer refinement of
+/// Q * D / M.
+std::size_t pls_exchange_payload_bytes(std::size_t quota,
+                                       std::size_t bytes_per_sample);
+
 }  // namespace dshuf::shuffle

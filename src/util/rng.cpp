@@ -24,10 +24,15 @@ double Rng::normal() {
 }
 
 std::vector<std::uint32_t> Rng::permutation(std::size_t n) {
-  std::vector<std::uint32_t> p(n);
-  std::iota(p.begin(), p.end(), 0U);
-  shuffle(p);
+  std::vector<std::uint32_t> p;
+  permutation_into(n, p);
   return p;
+}
+
+void Rng::permutation_into(std::size_t n, std::vector<std::uint32_t>& out) {
+  out.resize(n);
+  std::iota(out.begin(), out.end(), 0U);
+  shuffle(out);
 }
 
 std::vector<std::uint32_t> Rng::sample_without_replacement(std::size_t n,

@@ -133,6 +133,11 @@ class Rng {
   /// Random permutation of [0, n).
   std::vector<std::uint32_t> permutation(std::size_t n);
 
+  /// Random permutation of [0, n) written into `out` (resized in place, so
+  /// steady-state callers reuse capacity). Draws the exact same sequence as
+  /// permutation(): iota followed by the Fisher–Yates shuffle above.
+  void permutation_into(std::size_t n, std::vector<std::uint32_t>& out);
+
   /// Sample k distinct indices from [0, n) (unordered, via partial
   /// Fisher–Yates). Requires k <= n.
   std::vector<std::uint32_t> sample_without_replacement(std::size_t n,

@@ -236,6 +236,82 @@ TEST(ChaosExchange, SameSeedsReproduceExactly) {
   EXPECT_NE(a.faults.dropped, c.faults.dropped);
 }
 
+// ---------------------------------------------------------------------------
+// Wire modes: every chaos invariant must hold under BOTH encodings. For
+// fault schedules that never drop, both wires must match the sequential
+// driver (and therefore each other) bit-for-bit. Under drops the wires
+// carry different tag streams, so the injector makes different per-message
+// decisions and the shards legitimately diverge across modes — there the
+// bar is per-mode determinism plus conservation.
+
+TEST(ChaosExchangeWire, NoDropFaultsMatchSequentialUnderBothWires) {
+  std::vector<std::size_t> msgs_by_mode;
+  for (const shuffle::ExchangeWire wire :
+       {shuffle::ExchangeWire::kPerSample,
+        shuffle::ExchangeWire::kCoalesced}) {
+    SCOPED_TRACE(shuffle::to_string(wire));
+    ChaosConfig cfg;
+    cfg.m = 4;
+    cfg.n = 48;
+    cfg.q = 0.5;
+    cfg.epochs = 2;
+    cfg.fault_seed = 21;
+    cfg.spec = no_drop_spec();
+    cfg.wire = wire;
+    const auto result = run_chaos_exchange(cfg);
+    // The sequential reference knows nothing about wires; matching it
+    // under both modes proves the modes match each other too.
+    EXPECT_EQ(result.shards, sequential_reference(cfg));
+    expect_conservation(result.shards, cfg.n);
+    std::size_t msgs = 0;
+    for (const auto& per_rank : result.outcomes) {
+      for (const auto& o : per_rank) msgs += o.msgs_sent;
+    }
+    msgs_by_mode.push_back(msgs);
+  }
+  // Coalescing is the point: same work, strictly fewer messages.
+  ASSERT_EQ(msgs_by_mode.size(), 2U);
+  EXPECT_LT(msgs_by_mode[1], msgs_by_mode[0]);
+}
+
+TEST(ChaosExchangeWire, DropsConserveAndReplayUnderBothWires) {
+  for (const shuffle::ExchangeWire wire :
+       {shuffle::ExchangeWire::kPerSample,
+        shuffle::ExchangeWire::kCoalesced}) {
+    SCOPED_TRACE(shuffle::to_string(wire));
+    ChaosConfig cfg;
+    cfg.m = 4;
+    cfg.n = 48;
+    cfg.q = 0.5;
+    cfg.epochs = 3;
+    cfg.fault_seed = 31;
+    cfg.spec.drop_prob = 0.3;
+    cfg.spec.dup_prob = 0.2;
+    cfg.unlimited_capacity = true;
+    cfg.wire = wire;
+    const auto a = run_chaos_exchange(cfg);
+    expect_conservation(a.shards, cfg.n);
+    expect_balance_bound(a);
+    // Same seeds, same wire -> exact replay, bookkeeping included.
+    const auto b = run_chaos_exchange(cfg);
+    EXPECT_EQ(a.shards, b.shards);
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (std::size_t e = 0; e < a.outcomes.size(); ++e) {
+      for (std::size_t w = 0; w < a.outcomes[e].size(); ++w) {
+        EXPECT_EQ(a.outcomes[e][w].sends_committed,
+                  b.outcomes[e][w].sends_committed);
+        EXPECT_EQ(a.outcomes[e][w].send_fallbacks,
+                  b.outcomes[e][w].send_fallbacks);
+        EXPECT_EQ(a.outcomes[e][w].recvs_committed,
+                  b.outcomes[e][w].recvs_committed);
+        EXPECT_EQ(a.outcomes[e][w].recv_fallbacks,
+                  b.outcomes[e][w].recv_fallbacks);
+        EXPECT_EQ(a.outcomes[e][w].retries, b.outcomes[e][w].retries);
+      }
+    }
+  }
+}
+
 // The exchange also carries real payloads; faults must not corrupt the
 // id -> payload association.
 TEST(ChaosExchange, PayloadsFollowTheirSamples) {
@@ -254,10 +330,9 @@ TEST(ChaosExchange, PayloadsFollowTheirSamples) {
       deposited(m);
   world.run([&](comm::Communicator& c) {
     auto& store = stores[static_cast<std::size_t>(c.rank())];
-    auto payload = [](shuffle::SampleId id) {
+    auto payload = [](shuffle::SampleId id, std::vector<std::byte>& out) {
       // One marker byte derived from the id.
-      return std::vector<std::byte>{std::byte{static_cast<std::uint8_t>(
-          id * 7 + 3)}};
+      out.push_back(std::byte{static_cast<std::uint8_t>(id * 7 + 3)});
     };
     auto deposit = [&](shuffle::SampleId id,
                        std::span<const std::byte> body) {

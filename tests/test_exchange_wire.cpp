@@ -1,0 +1,275 @@
+// Wire-format contract of the coalesced exchange frame: golden bytes
+// (little-endian layout is part of the format, not an implementation
+// detail), round-trips through FrameWriter/parse_frame including the
+// degenerate corners, rejection of truncated or inconsistent frames, and
+// the bit-identity of the two wire modes end to end.
+#include "shuffle/exchange_wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "shuffle/mpi_exchange.hpp"
+#include "shuffle/shuffler.hpp"
+#include "util/error.hpp"
+
+namespace dshuf::shuffle {
+namespace {
+
+std::vector<std::byte> bytes_from(std::initializer_list<unsigned> raw) {
+  std::vector<std::byte> out;
+  for (unsigned v : raw) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+// ------------------------------------------------------------------ codec --
+
+TEST(ExchangeWireFormat, GoldenFrameBytes) {
+  // Two samples: id 7 with payload {0xAA, 0xBB}, id 0xFFFFFFFF (the
+  // maximum SampleId) with an empty payload. Every byte below is pinned:
+  // changing the layout must break this test.
+  std::vector<std::byte> buf;
+  FrameWriter w(buf, /*epoch=*/5, /*count=*/2);
+  w.begin_sample(7);
+  buf.push_back(std::byte{0xAA});
+  buf.push_back(std::byte{0xBB});
+  w.begin_sample(0xFFFFFFFFU);
+  w.finish();
+
+  const auto golden = bytes_from({
+      0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // epoch = 5 (u64 LE)
+      0x02, 0x00, 0x00, 0x00,                          // count = 2
+      0x00, 0x00, 0x00, 0x00,                          // offsets[0] = 0
+      0x06, 0x00, 0x00, 0x00,                          // offsets[1] = 6
+      0x0A, 0x00, 0x00, 0x00,                          // offsets[2] = 10
+      0x07, 0x00, 0x00, 0x00, 0xAA, 0xBB,              // sample 0
+      0xFF, 0xFF, 0xFF, 0xFF,                          // sample 1 (no body)
+  });
+  EXPECT_EQ(buf, golden);
+  EXPECT_EQ(buf.size(), frame_header_bytes(2) + 10);
+
+  const FrameView v = parse_frame(buf);
+  EXPECT_EQ(v.epoch(), 5U);
+  EXPECT_EQ(v.count(), 2U);
+  EXPECT_EQ(v.id(0), 7U);
+  EXPECT_EQ(v.id(1), 0xFFFFFFFFU);
+  ASSERT_EQ(v.payload(0).size(), 2U);
+  EXPECT_EQ(v.payload(0)[0], std::byte{0xAA});
+  EXPECT_EQ(v.payload(0)[1], std::byte{0xBB});
+  EXPECT_TRUE(v.payload(1).empty());
+}
+
+TEST(ExchangeWireFormat, ZeroCountFrameRoundTrips) {
+  // A zero-quota epoch never sends frames, but the format still defines
+  // the empty frame: header only, offsets = {0}.
+  std::vector<std::byte> buf;
+  FrameWriter w(buf, /*epoch=*/0, /*count=*/0);
+  w.finish();
+  EXPECT_EQ(buf.size(), frame_header_bytes(0));
+  const FrameView v = parse_frame(buf);
+  EXPECT_EQ(v.epoch(), 0U);
+  EXPECT_EQ(v.count(), 0U);
+}
+
+TEST(ExchangeWireFormat, AllEmptyPayloadsRoundTrip) {
+  std::vector<std::byte> buf;
+  const std::uint32_t count = 17;
+  FrameWriter w(buf, /*epoch=*/42, count);
+  for (std::uint32_t j = 0; j < count; ++j) w.begin_sample(j * 3 + 1);
+  w.finish();
+  EXPECT_EQ(buf.size(),
+            frame_header_bytes(count) + count * sizeof(SampleId));
+  const FrameView v = parse_frame(buf);
+  ASSERT_EQ(v.count(), count);
+  for (std::uint32_t j = 0; j < count; ++j) {
+    EXPECT_EQ(v.id(j), j * 3 + 1);
+    EXPECT_TRUE(v.payload(j).empty());
+  }
+}
+
+TEST(ExchangeWireFormat, VariableLengthPayloadsRoundTrip) {
+  std::vector<std::byte> buf;
+  const std::uint32_t count = 9;
+  FrameWriter w(buf, /*epoch=*/1234567, count);
+  for (std::uint32_t j = 0; j < count; ++j) {
+    w.begin_sample(1000 + j);
+    // Sample j carries j bytes of payload — mixed sizes in one frame.
+    for (std::uint32_t b = 0; b < j; ++b) {
+      buf.push_back(static_cast<std::byte>(j ^ b));
+    }
+  }
+  w.finish();
+  const FrameView v = parse_frame(buf);
+  ASSERT_EQ(v.count(), count);
+  for (std::uint32_t j = 0; j < count; ++j) {
+    EXPECT_EQ(v.id(j), 1000 + j);
+    ASSERT_EQ(v.payload(j).size(), j);
+    for (std::uint32_t b = 0; b < j; ++b) {
+      EXPECT_EQ(v.payload(j)[b], static_cast<std::byte>(j ^ b));
+    }
+  }
+}
+
+TEST(ExchangeWireFormat, TruncatedFramesAreRejected) {
+  std::vector<std::byte> buf;
+  FrameWriter w(buf, /*epoch=*/5, /*count=*/2);
+  w.begin_sample(7);
+  buf.push_back(std::byte{0xAA});
+  w.begin_sample(8);
+  w.finish();
+
+  // Any strict prefix must be rejected: short body, short offset table,
+  // short fixed header, empty frame.
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    EXPECT_THROW(
+        (void)parse_frame(std::span<const std::byte>(buf.data(), len)),
+        CheckError)
+        << "prefix of " << len << " bytes parsed";
+  }
+  // The full frame parses.
+  EXPECT_NO_THROW((void)parse_frame(buf));
+}
+
+TEST(ExchangeWireFormat, CorruptOffsetTablesAreRejected) {
+  const auto make = [] {
+    std::vector<std::byte> buf;
+    FrameWriter w(buf, /*epoch=*/1, /*count=*/2);
+    w.begin_sample(1);
+    buf.push_back(std::byte{0x11});
+    w.begin_sample(2);
+    w.finish();
+    return buf;
+  };
+
+  {
+    // offsets[0] != 0.
+    auto buf = make();
+    buf[12] = std::byte{1};
+    EXPECT_THROW((void)parse_frame(buf), CheckError);
+  }
+  {
+    // Non-monotonic interior offset (sample shorter than its SampleId).
+    auto buf = make();
+    buf[16] = std::byte{2};
+    EXPECT_THROW((void)parse_frame(buf), CheckError);
+  }
+  {
+    // offsets[count] disagrees with the actual body size.
+    auto buf = make();
+    buf.push_back(std::byte{0x99});
+    EXPECT_THROW((void)parse_frame(buf), CheckError);
+  }
+}
+
+TEST(ExchangeWireFormat, WriterEnforcesTheDeclaredCount) {
+  std::vector<std::byte> buf;
+  FrameWriter w(buf, /*epoch=*/1, /*count=*/1);
+  w.begin_sample(3);
+  EXPECT_THROW(w.begin_sample(4), CheckError);  // one too many
+
+  std::vector<std::byte> buf2;
+  FrameWriter w2(buf2, /*epoch=*/1, /*count=*/2);
+  w2.begin_sample(3);
+  EXPECT_THROW(w2.finish(), CheckError);  // one too few
+}
+
+// ----------------------------------------------------------------- switch --
+
+TEST(ExchangeWireMode, ScopedOverrideRestores) {
+  const ExchangeWire before = exchange_wire();
+  {
+    ScopedExchangeWire scoped(ExchangeWire::kPerSample);
+    EXPECT_EQ(exchange_wire(), ExchangeWire::kPerSample);
+    {
+      ScopedExchangeWire nested(ExchangeWire::kCoalesced);
+      EXPECT_EQ(exchange_wire(), ExchangeWire::kCoalesced);
+    }
+    EXPECT_EQ(exchange_wire(), ExchangeWire::kPerSample);
+  }
+  EXPECT_EQ(exchange_wire(), before);
+  EXPECT_STREQ(to_string(ExchangeWire::kPerSample), "per-sample");
+  EXPECT_STREQ(to_string(ExchangeWire::kCoalesced), "coalesced");
+}
+
+// ---------------------------------------------------- cross-mode identity --
+
+std::vector<std::vector<SampleId>> make_shards(std::size_t n, int workers) {
+  std::vector<std::vector<SampleId>> shards(
+      static_cast<std::size_t>(workers));
+  for (std::size_t i = 0; i < n; ++i) {
+    shards[i % static_cast<std::size_t>(workers)].push_back(
+        static_cast<SampleId>(i));
+  }
+  return shards;
+}
+
+// Run `epochs` fast-path exchange epochs (with payloads and the shared
+// post-shuffle) under `wire` and return the final shards.
+std::vector<std::vector<SampleId>> run_fast_epochs(ExchangeWire wire,
+                                                   std::size_t n, int m,
+                                                   double q,
+                                                   std::uint64_t seed,
+                                                   std::size_t epochs) {
+  ScopedExchangeWire mode(wire);
+  auto shards = make_shards(n, m);
+  std::size_t min_shard = shards[0].size();
+  for (const auto& s : shards) min_shard = std::min(min_shard, s.size());
+  const std::size_t quota = exchange_quota(min_shard, q);
+  std::vector<ShardStore> stores;
+  for (auto& s : shards) {
+    const std::size_t cap = s.size() + quota;
+    stores.emplace_back(std::move(s), cap);
+  }
+  comm::World world(m);
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    world.run([&](comm::Communicator& c) {
+      auto& store = stores[static_cast<std::size_t>(c.rank())];
+      run_pls_exchange_epoch(
+          c, store, seed, epoch, q, min_shard,
+          /*payload=*/
+          [](SampleId id, std::vector<std::byte>& out) {
+            out.insert(out.end(), (id % 5) + 1,
+                       static_cast<std::byte>(id & 0xFF));
+          },
+          /*deposit=*/
+          [](SampleId id, std::span<const std::byte> body) {
+            ASSERT_EQ(body.size(), (id % 5) + 1);
+            for (auto b : body) {
+              ASSERT_EQ(b, static_cast<std::byte>(id & 0xFF));
+            }
+          });
+      post_exchange_local_shuffle(seed, epoch, c.rank(),
+                                  store.mutable_ids());
+    });
+  }
+  std::vector<std::vector<SampleId>> out;
+  for (const auto& s : stores) out.push_back(s.ids());
+  return out;
+}
+
+TEST(ExchangeWireEquivalence, FastPathsBitIdenticalAcrossSeedsAndQuotas) {
+  // The coalesced frame is a pure re-encoding: for every (seed, Q, M) the
+  // post-epoch shard SEQUENCES (not just sets) must match the per-sample
+  // wire exactly.
+  const struct {
+    std::size_t n;
+    int m;
+    double q;
+    std::uint64_t seed;
+  } cases[] = {
+      {48, 6, 0.25, 3},
+      {48, 6, 1.0, 4},
+      {40, 5, 0.5, 99},
+      {16, 4, 0.1, 7},
+      {6, 6, 1.0, 11},  // shard = 1: every sample in flight
+  };
+  for (const auto& c : cases) {
+    const auto a =
+        run_fast_epochs(ExchangeWire::kPerSample, c.n, c.m, c.q, c.seed, 3);
+    const auto b =
+        run_fast_epochs(ExchangeWire::kCoalesced, c.n, c.m, c.q, c.seed, 3);
+    EXPECT_EQ(a, b) << "wires diverged at n=" << c.n << " m=" << c.m
+                    << " q=" << c.q << " seed=" << c.seed;
+  }
+}
+
+}  // namespace
+}  // namespace dshuf::shuffle

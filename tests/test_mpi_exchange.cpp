@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
 #include "shuffle/shuffler.hpp"
+#include "shuffle/traffic.hpp"
 
 namespace dshuf::shuffle {
 namespace {
@@ -98,9 +100,8 @@ TEST(MpiExchange, MovesPayloadBytes) {
     run_pls_exchange_epoch(
         c, stores[static_cast<std::size_t>(c.rank())], 13, 0, 1.0, n / m,
         /*payload=*/
-        [](SampleId id) {
-          std::vector<std::byte> p(3, static_cast<std::byte>(id & 0xFF));
-          return p;
+        [](SampleId id, std::vector<std::byte>& out) {
+          out.insert(out.end(), 3, static_cast<std::byte>(id & 0xFF));
         },
         /*deposit=*/
         [&](SampleId id, std::span<const std::byte> body) {
@@ -214,6 +215,92 @@ TEST(MpiExchangeEdge, EmptyShardsAreANoOp) {
     EXPECT_EQ(out.rounds, 0U);
   });
   for (const auto& s : stores) EXPECT_TRUE(s.ids().empty());
+}
+
+// The three byte ledgers — the analytic traffic model, ExchangeOutcome,
+// and the comm.* counters — must agree to the byte, not a tolerance.
+// With a uniform payload of P bytes: bytes_body is exactly the traffic
+// model's Q * D / M (integer form pls_exchange_payload_bytes); every
+// offered byte is either framing or payload; and the outcome's
+// msgs_sent / bytes_sent march in lockstep with the comm layer's own
+// isend / bytes_sent counters.
+TEST(MpiExchangeEdge, BytesAccountingMatchesTrafficModelAndCommCounters) {
+  const std::size_t n = 48;
+  const int m = 6;
+  const double q = 0.5;
+  const std::size_t kPayloadBytes = 24;
+  const std::size_t shard = n / static_cast<std::size_t>(m);
+  const std::size_t quota = exchange_quota(shard, q);
+  const std::size_t epochs = 2;
+
+  for (const ExchangeWire wire :
+       {ExchangeWire::kPerSample, ExchangeWire::kCoalesced}) {
+    SCOPED_TRACE(to_string(wire));
+    ScopedExchangeWire mode(wire);
+
+    auto shards = make_shards(n, static_cast<std::size_t>(m));
+    std::vector<ShardStore> stores;
+    for (auto& s : shards) stores.emplace_back(std::move(s), shard + quota);
+
+    std::vector<ExchangeOutcome> outcomes(
+        static_cast<std::size_t>(m) * epochs);
+    auto& isend_counter = obs::Registry::instance().counter("comm.isend");
+    auto& bytes_counter =
+        obs::Registry::instance().counter("comm.bytes_sent");
+    const std::uint64_t isend_before = isend_counter.value();
+    const std::uint64_t bytes_before = bytes_counter.value();
+
+    comm::World world(m);
+    world.run([&](comm::Communicator& c) {
+      const auto r = static_cast<std::size_t>(c.rank());
+      for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+        outcomes[r * epochs + epoch] = run_pls_exchange_epoch(
+            c, stores[r], /*seed=*/17, epoch, q, shard,
+            [&](SampleId id, std::vector<std::byte>& out) {
+              out.insert(out.end(), kPayloadBytes,
+                         static_cast<std::byte>(id & 0xFF));
+            });
+        post_exchange_local_shuffle(17, epoch, c.rank(),
+                                    stores[r].mutable_ids());
+      }
+    });
+
+    // Fast path, no faults: no retransmits, so the outcome's bytes_sent
+    // is exactly the offered bytes, and the analytic model prices the
+    // payload portion of every rank's epoch.
+    const std::size_t model_body =
+        pls_exchange_payload_bytes(quota, kPayloadBytes);
+    TrafficParams tp;
+    tp.dataset_bytes =
+        static_cast<double>(n) * static_cast<double>(kPayloadBytes);
+    tp.workers = static_cast<std::size_t>(m);
+    tp.q = q;
+    // ceil(q * shard) == q * shard here, so the double model is exact too.
+    EXPECT_EQ(compute_traffic(tp).sent_per_worker,
+              static_cast<double>(model_body));
+
+    std::size_t sum_msgs = 0;
+    std::size_t sum_bytes_sent = 0;
+    for (const auto& o : outcomes) {
+      EXPECT_EQ(o.rounds, quota);
+      EXPECT_EQ(o.bytes_body, model_body);
+      EXPECT_EQ(o.bytes_header + o.bytes_body, o.bytes_offered);
+      EXPECT_EQ(o.bytes_sent, o.bytes_offered);
+      if (wire == ExchangeWire::kPerSample) {
+        EXPECT_EQ(o.msgs_sent, quota);
+        EXPECT_EQ(o.bytes_header, quota * sizeof(SampleId));
+      } else {
+        // One frame per distinct destination (self included — the plan
+        // may route rounds back to the sender).
+        EXPECT_LE(o.msgs_sent, static_cast<std::size_t>(m));
+        EXPECT_GE(o.msgs_sent, 1U);
+      }
+      sum_msgs += o.msgs_sent;
+      sum_bytes_sent += o.bytes_sent;
+    }
+    EXPECT_EQ(isend_counter.value() - isend_before, sum_msgs);
+    EXPECT_EQ(bytes_counter.value() - bytes_before, sum_bytes_sent);
+  }
 }
 
 TEST(MpiExchangeEdge, OutcomeAccumulatesIntoStats) {

@@ -283,7 +283,11 @@ TEST(ObsGolden, ExchangeOutcomesMatchRegistryCounters) {
       sum.retries += o.retries;
       sum.duplicates_suppressed += o.duplicates_suppressed;
       sum.strays_drained += o.strays_drained;
+      sum.msgs_sent += o.msgs_sent;
+      sum.bytes_header += o.bytes_header;
+      sum.bytes_body += o.bytes_body;
       sum.bytes_sent += o.bytes_sent;
+      sum.bytes_offered += o.bytes_offered;
     }
   }
 
@@ -303,7 +307,12 @@ TEST(ObsGolden, ExchangeOutcomesMatchRegistryCounters) {
             sum.duplicates_suppressed);
   EXPECT_EQ(counter_of(snap, "exchange.strays_drained"),
             sum.strays_drained);
+  EXPECT_EQ(counter_of(snap, "exchange.msgs"), sum.msgs_sent);
+  EXPECT_EQ(counter_of(snap, "exchange.bytes.header"), sum.bytes_header);
+  EXPECT_EQ(counter_of(snap, "exchange.bytes.body"), sum.bytes_body);
   EXPECT_EQ(counter_of(snap, "exchange.bytes_sent"), sum.bytes_sent);
+  // Framing + payload accounts for every first-attempt byte, exactly.
+  EXPECT_EQ(sum.bytes_header + sum.bytes_body, sum.bytes_offered);
 }
 
 TEST(ObsGolden, FaultStatsMatchRegistryCounters) {

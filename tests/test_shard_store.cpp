@@ -1,6 +1,10 @@
 #include "shuffle/shard_store.hpp"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
+
+#include "util/rng.hpp"
 
 namespace dshuf::shuffle {
 namespace {
@@ -65,6 +69,91 @@ TEST(ShardStore, DuplicateIdsRemoveOneInstance) {
 
 TEST(ShardStore, RejectsInitialOverCapacity) {
   EXPECT_THROW(ShardStore({1, 2, 3}, 2), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// The indexed remove_id must be OBSERVABLY identical to the linear scan it
+// replaced: find the first occurrence, overwrite it with the last element,
+// shrink. The reference below IS that scan; a long randomised op sequence
+// (adds, duplicate adds, removals, slot removals, and external permutation
+// through mutable_ids) must keep the full ids() sequences equal.
+
+class ReferenceStore {
+ public:
+  explicit ReferenceStore(std::vector<SampleId> initial)
+      : ids_(std::move(initial)) {}
+
+  void add(SampleId id) { ids_.push_back(id); }
+  void remove_slot(std::size_t slot) {
+    ids_[slot] = ids_.back();
+    ids_.pop_back();
+  }
+  void remove_id(SampleId id) {
+    auto it = std::find(ids_.begin(), ids_.end(), id);
+    ASSERT_NE(it, ids_.end());
+    *it = ids_.back();
+    ids_.pop_back();
+  }
+  std::vector<SampleId>& mutable_ids() { return ids_; }
+  [[nodiscard]] const std::vector<SampleId>& ids() const { return ids_; }
+
+ private:
+  std::vector<SampleId> ids_;
+};
+
+TEST(ShardStoreIndex, MatchesLinearScanReferenceUnderRandomOps) {
+  Rng rng(77);
+  std::vector<SampleId> initial;
+  for (SampleId id = 0; id < 64; ++id) initial.push_back(id);
+  ShardStore store(initial, 0);
+  ReferenceStore ref(initial);
+
+  for (int step = 0; step < 30000; ++step) {
+    ASSERT_EQ(store.ids(), ref.ids()) << "diverged at step " << step;
+    const auto op = rng.uniform_u64(8);
+    const std::size_t n = ref.ids().size();
+    if (op < 3 || n == 0) {
+      // Mix fresh ids with copies of held ones so duplicates are common.
+      const SampleId id =
+          (n > 0 && rng.uniform_u64(2) == 0)
+              ? ref.ids()[static_cast<std::size_t>(rng.uniform_u64(n))]
+              : static_cast<SampleId>(rng.uniform_u64(512));
+      store.add(id);
+      ref.add(id);
+    } else if (op < 6) {
+      const auto pick = static_cast<std::size_t>(rng.uniform_u64(n));
+      const SampleId id = ref.ids()[pick];
+      store.remove_id(id);
+      ref.remove_id(id);
+    } else if (op == 6) {
+      const auto slot = static_cast<std::size_t>(rng.uniform_u64(n));
+      store.remove_slot(slot);
+      ref.remove_slot(slot);
+    } else {
+      // External permutation through mutable_ids (the post-exchange local
+      // shuffle does exactly this) — invalidates the index mid-sequence.
+      Rng perm_rng(static_cast<std::uint64_t>(step));
+      perm_rng.shuffle(store.mutable_ids());
+      Rng perm_rng2(static_cast<std::uint64_t>(step));
+      perm_rng2.shuffle(ref.mutable_ids());
+    }
+  }
+}
+
+TEST(ShardStoreIndex, ManyDuplicatesOfOneId) {
+  ShardStore s({5, 9, 5}, 0);
+  s.add(5);
+  s.add(5);  // ids: 5 9 5 5 5
+  s.remove_id(5);  // first occurrence replaced by last: 5 9 5 5
+  EXPECT_EQ(s.ids(), (std::vector<SampleId>{5, 9, 5, 5}));
+  s.remove_id(5);
+  EXPECT_EQ(s.ids(), (std::vector<SampleId>{5, 9, 5}));
+  s.remove_id(9);
+  EXPECT_EQ(s.ids(), (std::vector<SampleId>{5, 5}));
+  s.remove_id(5);
+  s.remove_id(5);
+  EXPECT_TRUE(s.ids().empty());
+  EXPECT_THROW(s.remove_id(5), CheckError);
 }
 
 TEST(PlsCapacity, MatchesShardPlusQuota) {
