@@ -11,6 +11,8 @@
 #include "nn/conv.hpp"
 #include "nn/loss.hpp"
 #include "shuffle/shuffler.hpp"
+#include "sim/overlap.hpp"
+#include "task/scheduler.hpp"
 
 namespace {
 
@@ -94,6 +96,53 @@ void BM_GemmRef(benchmark::State& state) {
   run_gemm(state, KernelBackend::kReference, gemm);
 }
 BENCHMARK(BM_GemmRef)->Arg(32)->Arg(128)->Arg(256);
+
+// Blocked GEMM under the task scheduler at 1/2/4/8 workers (256^3, the
+// size tools/dshuf_bench records as multicore GF/s). Results are
+// bit-identical across worker counts — only throughput moves, and only
+// when the host actually has the cores.
+void BM_GemmMulticore(benchmark::State& state) {
+  const task::ScopedTaskWorkers scoped(
+      static_cast<std::size_t>(state.range(0)));
+  const ScopedKernelBackend backend(KernelBackend::kBlocked);
+  constexpr std::size_t n = 256;
+  Rng rng(3);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  Tensor out({n, n});
+  for (auto _ : state) {
+    gemm(a, b, out, false);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmMulticore)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// One overlapped exchange+compute epoch (sim/overlap.hpp) per worker
+// count: the epoch-time row of BENCH_micro.json. Spawns a 4-rank World
+// each iteration, so items = the epoch's exchanged dataset.
+void BM_TrainEpochOverlap(benchmark::State& state) {
+  const task::ScopedTaskWorkers scoped(
+      static_cast<std::size_t>(state.range(0)));
+  sim::OverlapConfig cfg;
+  cfg.n = 256;
+  cfg.ranks = 4;
+  cfg.q = 0.3;
+  cfg.epochs = 1;
+  cfg.seed = 11;
+  cfg.compute_gemm_n = 128;
+  cfg.compute_reps = 2;
+  std::uint64_t seed = 11;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    const auto res = sim::run_overlapped_epochs(cfg);
+    benchmark::DoNotOptimize(res.shards.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.n));
+}
+BENCHMARK(BM_TrainEpochOverlap)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_GemmAtB(benchmark::State& state) {
   run_gemm(state, KernelBackend::kBlocked, gemm_at_b);

@@ -118,7 +118,14 @@ class WorldState {
   std::shared_ptr<std::atomic<bool>> aborted_flag() { return aborted_; }
   [[nodiscard]] bool is_aborted() const { return aborted_->load(); }
   void abort() {
-    aborted_->store(true);
+    {
+      // The flag must flip under barrier_mu_: a rank between evaluating
+      // the barrier predicate and blocking would otherwise miss this
+      // notify and sleep forever (the barrier wait, unlike request/recv
+      // waits, has no poll timeout to rescue it).
+      std::lock_guard<RankedMutex> lk(barrier_mu_);
+      aborted_->store(true);
+    }
     barrier_cv_.notify_all();
     // Wake any parked receive requests and any blocking recv() waiter.
     for (auto& mb : mailboxes_) {

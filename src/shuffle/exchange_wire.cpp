@@ -7,8 +7,9 @@ namespace dshuf::shuffle {
 
 namespace {
 
-// Relaxed atomics: rank threads read the mode set before World::run; the
-// thread spawn/join in World::run provides the ordering that matters.
+// Acquire/release atomic (see the thread-model note in exchange_wire.hpp):
+// the flip publishes with release and every epoch reads it exactly once
+// at dispatch with acquire, so one exchange epoch never straddles a flip.
 std::atomic<ExchangeWire> g_wire{ExchangeWire::kCoalesced};
 
 void put_u32(std::vector<std::byte>& buf, std::size_t at, std::uint32_t v) {
@@ -30,11 +31,11 @@ std::uint32_t read_u32(const std::byte* p) {
 }  // namespace
 
 ExchangeWire exchange_wire() {
-  return g_wire.load(std::memory_order_relaxed);
+  return g_wire.load(std::memory_order_acquire);
 }
 
 void set_exchange_wire(ExchangeWire wire) {
-  g_wire.store(wire, std::memory_order_relaxed);
+  g_wire.store(wire, std::memory_order_release);
 }
 
 const char* to_string(ExchangeWire wire) {

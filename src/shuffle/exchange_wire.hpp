@@ -43,12 +43,27 @@ enum class ExchangeWire {
 };
 
 /// Process-wide wire mode used by run_pls_exchange_epoch.
+///
+/// Thread model: an atomic with release/acquire semantics, mirroring
+/// KernelBackend (tensor/tensor.hpp). run_pls_exchange_epoch reads the
+/// mode exactly ONCE at entry, so a single epoch's exchange never tears
+/// across a concurrent flip — every rank that started epoch e under wire
+/// W completes it under W. A flip is only OBSERVED at a deterministic
+/// point when ranks agree on it, so flip between epochs from the driving
+/// thread (e.g. before World::run, whose spawn gives the happens-before
+/// edge); flipping mid-epoch from an unrelated thread is memory-safe but
+/// different ranks may then run different wires within one epoch, which
+/// the frame parser rejects — and, without the robust protocol, a rank
+/// can be left waiting for a message its mixed-wire peer never sent, so
+/// liveness under such flips additionally requires an
+/// ExchangeRobustness recv deadline.
 [[nodiscard]] ExchangeWire exchange_wire();
 void set_exchange_wire(ExchangeWire wire);
 [[nodiscard]] const char* to_string(ExchangeWire wire);
 
 /// RAII override, restoring the previous mode on destruction. Set it
-/// BEFORE World::run — rank threads read the global mode.
+/// BEFORE World::run — rank threads read the global mode (see the thread
+/// model above).
 class ScopedExchangeWire {
  public:
   explicit ScopedExchangeWire(ExchangeWire wire) : prev_(exchange_wire()) {

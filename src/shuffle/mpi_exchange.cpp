@@ -121,62 +121,6 @@ std::size_t stage_frames_in_round_order(ShardStore& store, std::size_t quota,
 
 // ------------------------------------------------------------ fast paths --
 
-// Fire-and-wait, one frame per peer (Algorithm 1 with coalesced wire).
-// With a warmed-up scratch + pool this path performs no heap allocation:
-// frames pack into pooled buffers, receives block on the mailbox without a
-// Request, and deposits are span views into the received frame.
-ExchangeOutcome run_fast_coalesced(comm::Communicator& comm, ShardStore& store,
-                                   std::size_t epoch, const PayloadFn& payload,
-                                   const DepositFn& deposit,
-                                   ExchangeScratch& s) {
-  const int rank = comm.rank();
-  const int m = comm.size();
-  const std::size_t quota = s.outgoing.size();
-  const std::uint64_t tag_base = epoch_tag_base(epoch, quota, m);
-
-  ExchangeOutcome out;
-  out.rounds = quota;
-  build_peer_routing(s.plan, rank, m, quota, s);
-
-  const std::size_t cap = frame_capacity_bound(quota, s.payload_high_water);
-  for (int p = 0; p < m; ++p) {
-    const auto& rounds = s.send_rounds[static_cast<std::size_t>(p)];
-    if (rounds.empty()) continue;
-    auto buf = comm.pool().acquire(cap);
-    pack_frame_for_peer(buf, epoch, rounds, payload, s, out);
-    out.bytes_sent += buf.size();
-    out.bytes_offered += buf.size();
-    ++out.msgs_sent;
-    comm.send(p, frame_data_tag(tag_base, quota, rank), std::move(buf));
-  }
-
-  // One blocking receive per sending peer; arrival order is free because
-  // each frame parks in the mailbox until its (source, tag) receive runs.
-  s.frames.resize(static_cast<std::size_t>(m));
-  s.views.resize(static_cast<std::size_t>(m));
-  for (int p = 0; p < m; ++p) {
-    const auto& rounds = s.recv_rounds[static_cast<std::size_t>(p)];
-    if (rounds.empty()) continue;
-    s.frames[static_cast<std::size_t>(p)] =
-        comm.recv(p, frame_data_tag(tag_base, quota, p));
-    s.views[static_cast<std::size_t>(p)] = checked_frame_view(
-        s.frames[static_cast<std::size_t>(p)], epoch, rounds.size(), p);
-  }
-
-  out.recvs_committed =
-      stage_frames_in_round_order(store, quota, rank, deposit, s, nullptr);
-  for (SampleId id : s.outgoing) store.remove_id(id);
-  out.sends_committed = quota;
-
-  // Frames are fully staged — recycle their buffers.
-  for (int p = 0; p < m; ++p) {
-    auto& frame = s.frames[static_cast<std::size_t>(p)];
-    if (s.recv_rounds[static_cast<std::size_t>(p)].empty()) continue;
-    comm.pool().release(std::move(frame.payload));
-  }
-  return out;
-}
-
 // Fire-and-wait, one message per round (the original wire). Rewritten on
 // the pooled-buffer data path: each message's buffer comes from the pool
 // and returns to the receiver's pool after staging.
@@ -420,96 +364,233 @@ ExchangeOutcome run_robust_per_sample(comm::Communicator& comm,
   return out;
 }
 
+// Fold the outcome into the process-wide registry; the per-field names
+// mirror ExchangeOutcome so ExchangeStats aggregates and counters can be
+// cross-checked exactly.
+void fold_outcome_counters(const ExchangeOutcome& out) {
+  DSHUF_COUNTER("exchange.epochs").add();
+  DSHUF_COUNTER("exchange.rounds").add(out.rounds);
+  DSHUF_COUNTER("exchange.sends_committed").add(out.sends_committed);
+  DSHUF_COUNTER("exchange.send_fallbacks").add(out.send_fallbacks);
+  DSHUF_COUNTER("exchange.recvs_committed").add(out.recvs_committed);
+  DSHUF_COUNTER("exchange.recv_fallbacks").add(out.recv_fallbacks);
+  DSHUF_COUNTER("exchange.retries").add(out.retries);
+  DSHUF_COUNTER("exchange.duplicates_suppressed")
+      .add(out.duplicates_suppressed);
+  DSHUF_COUNTER("exchange.strays_drained").add(out.strays_drained);
+  DSHUF_COUNTER("exchange.msgs").add(out.msgs_sent);
+  DSHUF_COUNTER("exchange.bytes.header").add(out.bytes_header);
+  DSHUF_COUNTER("exchange.bytes.body").add(out.bytes_body);
+  DSHUF_COUNTER("exchange.bytes_sent").add(out.bytes_sent);
+}
+
+}  // namespace
+
+// ------------------------------------------------- split-phase coalesced --
+
+PlsEpochExchange::PlsEpochExchange(comm::Communicator& comm,
+                                   ShardStore& store, std::uint64_t seed,
+                                   std::size_t epoch, double q,
+                                   std::size_t global_min_shard,
+                                   const PayloadFn* payload,
+                                   const DepositFn* deposit,
+                                   const ExchangeRobustness* robust,
+                                   ExchangeScratch* scratch)
+    : comm_(comm),
+      store_(store),
+      epoch_(epoch),
+      payload_(payload),
+      deposit_(deposit),
+      robust_(robust),
+      s_(scratch != nullptr ? scratch : &own_scratch_) {
+  DSHUF_CHECK(exchange_wire() == ExchangeWire::kCoalesced,
+              "PlsEpochExchange drives the coalesced wire; use "
+              "run_pls_exchange_epoch for the per-sample wire");
+  rank_ = comm.rank();
+  m_ = comm.size();
+  quota_ = exchange_quota(global_min_shard, q);
+  trivial_ = quota_ == 0 || m_ <= 1;
+  if (trivial_) return;
+
+  if (robust_ == nullptr) {
+    DSHUF_CHECK(!comm.fault_injection_enabled(),
+                "the fast-path exchange cannot survive fault injection — "
+                "pass an ExchangeRobustness budget");
+  } else {
+    DSHUF_CHECK_GT(robust_->max_attempts, 0, "need at least one send attempt");
+  }
+
+  // Spans from this rank thread land on their own trace lane, and every
+  // log line it emits carries the (rank, epoch) it was working for. The
+  // epoch span stays open until finish() — in an overlapped epoch it
+  // brackets the whole in-flight window (see the header note).
+  obs::Tracer::set_thread_track(rank_);
+  log_ctx_.emplace(rank_, static_cast<std::int64_t>(epoch));
+  epoch_span_.emplace("exchange.epoch");
+  epoch_span_->attr("epoch", std::to_string(epoch))
+      .attr("rank", std::to_string(rank_));
+
+  // Every rank recomputes the identical plan from the shared seed —
+  // Algorithm 1's "all workers use the same random seed". The scratch (a
+  // caller-provided one in the steady state) reuses last epoch's tables.
+  ExchangeScratch& s = *s_;
+  s.plan.rebuild(seed, epoch, m_, quota_);
+  pick_permutation_into(seed, epoch, rank_, store.size(), s.picks);
+  DSHUF_CHECK_GE(store.size(), quota_,
+                 "rank " << rank_
+                         << " shard smaller than the exchange quota");
+  s.outgoing.resize(quota_);
+  for (std::size_t i = 0; i < quota_; ++i) {
+    s.outgoing[i] = store.ids()[s.picks[i]];
+  }
+
+  tag_base_ = epoch_tag_base(epoch, quota_, m_);
+  out_.rounds = quota_;
+  build_peer_routing(s.plan, rank_, m_, quota_, s);
+  frame_cap_ = frame_capacity_bound(quota_, s.payload_high_water);
+  s.frames.resize(static_cast<std::size_t>(m_));
+  s.views.resize(static_cast<std::size_t>(m_));
+  if (robust_ != nullptr) {
+    peers_.assign(static_cast<std::size_t>(m_), PeerState{});
+    frame_ok_.assign(static_cast<std::size_t>(m_), false);
+    wires_.resize(static_cast<std::size_t>(m_));
+  }
+}
+
+const PayloadFn& PlsEpochExchange::payload_fn() const {
+  static const PayloadFn kNoPayload;
+  return payload_ != nullptr ? *payload_ : kNoPayload;
+}
+
+const DepositFn& PlsEpochExchange::deposit_fn() const {
+  static const DepositFn kNoDeposit;
+  return deposit_ != nullptr ? *deposit_ : kNoDeposit;
+}
+
+void PlsEpochExchange::post() {
+  DSHUF_CHECK(!posted_, "PlsEpochExchange::post() called twice");
+  posted_ = true;
+  if (trivial_) return;
+  obs::SpanGuard post_span("exchange.post");
+  post_span.attr("epoch", std::to_string(epoch_))
+      .attr("rank", std::to_string(rank_));
+  ExchangeScratch& s = *s_;
+  const PayloadFn& payload = payload_fn();
+
+  if (robust_ == nullptr) {
+    // Fire-and-forget frames into pooled buffers (Algorithm 1 lines 2-6
+    // with the coalesced wire); finish() blocks on the matching receives.
+    for (int p = 0; p < m_; ++p) {
+      const auto& rounds = s.send_rounds[static_cast<std::size_t>(p)];
+      if (rounds.empty()) continue;
+      auto buf = comm_.pool().acquire(frame_cap_);
+      pack_frame_for_peer(buf, epoch_, rounds, payload, s, out_);
+      out_.bytes_sent += buf.size();
+      out_.bytes_offered += buf.size();
+      ++out_.msgs_sent;
+      comm_.send(p, frame_data_tag(tag_base_, quota_, rank_),
+                 std::move(buf));
+    }
+    return;
+  }
+
+  // Robust mode: keep a master copy of each frame for retransmission and
+  // fire attempt 1. Retry/deadline clocks are anchored at finish() entry
+  // (see the header note), so nothing times out under a long compute.
+  for (int p = 0; p < m_; ++p) {
+    auto& ps = peers_[static_cast<std::size_t>(p)];
+    ps.expect_frame = !s.recv_rounds[static_cast<std::size_t>(p)].empty();
+    ps.sending = !s.send_rounds[static_cast<std::size_t>(p)].empty();
+    if (!ps.sending) continue;
+    auto& wire = wires_[static_cast<std::size_t>(p)];
+    wire.clear();
+    wire.reserve(frame_cap_);
+    pack_frame_for_peer(wire, epoch_,
+                        s.send_rounds[static_cast<std::size_t>(p)], payload,
+                        s, out_);
+    out_.bytes_offered += wire.size();
+    auto buf = comm_.pool().acquire(wire.size());
+    buf.assign(wire.begin(), wire.end());
+    comm_.send(p, frame_data_tag(tag_base_, quota_, rank_), std::move(buf));
+    ++out_.msgs_sent;
+    out_.bytes_sent += wire.size();
+    ps.attempts = 1;
+  }
+}
+
+void PlsEpochExchange::finish_fast() {
+  ExchangeScratch& s = *s_;
+  // One blocking receive per sending peer; arrival order is free because
+  // each frame parks in the mailbox until its (source, tag) receive runs.
+  for (int p = 0; p < m_; ++p) {
+    const auto& rounds = s.recv_rounds[static_cast<std::size_t>(p)];
+    if (rounds.empty()) continue;
+    s.frames[static_cast<std::size_t>(p)] =
+        comm_.recv(p, frame_data_tag(tag_base_, quota_, p));
+    s.views[static_cast<std::size_t>(p)] = checked_frame_view(
+        s.frames[static_cast<std::size_t>(p)], epoch_, rounds.size(), p);
+  }
+
+  out_.recvs_committed = stage_frames_in_round_order(
+      store_, quota_, rank_, deposit_fn(), s, nullptr);
+  for (SampleId id : s.outgoing) store_.remove_id(id);
+  out_.sends_committed = quota_;
+
+  // Frames are fully staged — recycle their buffers.
+  for (int p = 0; p < m_; ++p) {
+    auto& frame = s.frames[static_cast<std::size_t>(p)];
+    if (s.recv_rounds[static_cast<std::size_t>(p)].empty()) continue;
+    comm_.pool().release(std::move(frame.payload));
+  }
+}
+
 // Retry/timeout protocol, coalesced wire: the DATA/ACK handshake runs per
 // PEER FRAME instead of per round. This is failure-equivalent to the
 // per-sample handshake because commits still come from the receivers'
 // reconciliation bitmap, not from ACKs — a lost frame simply falls back a
-// whole peer's worth of rounds at once (each round still reconciles
-// independently through its own bit... the bitmap below is per ORIGIN
-// rank, which decides exactly the same set because a frame carries all of
-// an origin's rounds or none of them).
-ExchangeOutcome run_robust_coalesced(comm::Communicator& comm,
-                                     ShardStore& store, std::size_t epoch,
-                                     const PayloadFn& payload,
-                                     const DepositFn& deposit,
-                                     const ExchangeRobustness& robust,
-                                     ExchangeScratch& s) {
+// whole peer's worth of rounds at once (the bitmap is per ORIGIN rank,
+// which decides exactly the same set because a frame carries all of an
+// origin's rounds or none of them).
+void PlsEpochExchange::finish_robust() {
   using Clock = std::chrono::steady_clock;
-  const int rank = comm.rank();
-  const int m = comm.size();
-  const std::size_t quota = s.outgoing.size();
-  DSHUF_CHECK_GT(robust.max_attempts, 0, "need at least one send attempt");
-  const std::uint64_t tag_base = epoch_tag_base(epoch, quota, m);
+  ExchangeScratch& s = *s_;
+  const ExchangeRobustness& robust = *robust_;
 
-  ExchangeOutcome out;
-  out.rounds = quota;
-  build_peer_routing(s.plan, rank, m, quota, s);
-
-  struct PeerState {
-    bool expect_frame = false;  // this peer sends us a frame this epoch
-    bool sending = false;       // we send this peer a frame this epoch
-    bool recv_done = false;
-    bool recv_ok = false;
-    bool send_done = false;
-    int attempts = 0;
-    Clock::time_point next_retry;
-  };
-  std::vector<PeerState> peers(static_cast<std::size_t>(m));
-  std::vector<bool> frame_ok(static_cast<std::size_t>(m), false);
-  // Master copies of our outgoing frames, kept for retransmission; each
-  // transmission memcpys the master into a fresh pooled buffer.
-  std::vector<std::vector<std::byte>> wires(static_cast<std::size_t>(m));
-  s.frames.resize(static_cast<std::size_t>(m));
-  s.views.resize(static_cast<std::size_t>(m));
-
-  const std::size_t cap = frame_capacity_bound(quota, s.payload_high_water);
-  const auto start = Clock::now();
+  const auto fstart = Clock::now();
+  const auto recv_deadline_at = fstart + robust.recv_deadline;
   std::size_t open = 0;  // unfinished send + receive duties (per peer)
-  for (int p = 0; p < m; ++p) {
-    auto& ps = peers[static_cast<std::size_t>(p)];
-    ps.expect_frame = !s.recv_rounds[static_cast<std::size_t>(p)].empty();
-    ps.sending = !s.send_rounds[static_cast<std::size_t>(p)].empty();
+  for (int p = 0; p < m_; ++p) {
+    auto& ps = peers_[static_cast<std::size_t>(p)];
     if (ps.expect_frame) ++open;
-    if (!ps.sending) continue;
-    ++open;
-    auto& wire = wires[static_cast<std::size_t>(p)];
-    wire.reserve(cap);
-    pack_frame_for_peer(wire, epoch, s.send_rounds[static_cast<std::size_t>(p)],
-                        payload, s, out);
-    out.bytes_offered += wire.size();
-    auto buf = comm.pool().acquire(wire.size());
-    buf.assign(wire.begin(), wire.end());
-    comm.send(p, frame_data_tag(tag_base, quota, rank), std::move(buf));
-    ++out.msgs_sent;
-    out.bytes_sent += wire.size();
-    ps.attempts = 1;
-    ps.next_retry = start + robust.ack_timeout;
+    if (ps.sending) {
+      ++open;
+      ps.next_retry = fstart + robust.ack_timeout;
+    }
   }
-  const auto recv_deadline_at = start + robust.recv_deadline;
 
   while (open > 0) {
     bool progressed = false;
     const auto now = Clock::now();
-    for (int p = 0; p < m; ++p) {
-      auto& ps = peers[static_cast<std::size_t>(p)];
+    for (int p = 0; p < m_; ++p) {
+      auto& ps = peers_[static_cast<std::size_t>(p)];
       if (ps.expect_frame && !ps.recv_done) {
-        if (auto msg = comm.poll(p, frame_data_tag(tag_base, quota, p))) {
+        if (auto msg = comm_.poll(p, frame_data_tag(tag_base_, quota_, p))) {
           s.frames[static_cast<std::size_t>(p)] = std::move(*msg);
           s.views[static_cast<std::size_t>(p)] = checked_frame_view(
-              s.frames[static_cast<std::size_t>(p)], epoch,
+              s.frames[static_cast<std::size_t>(p)], epoch_,
               s.recv_rounds[static_cast<std::size_t>(p)].size(), p);
           ps.recv_done = true;
           ps.recv_ok = true;
-          frame_ok[static_cast<std::size_t>(p)] = true;
-          comm.send(p, frame_ack_tag(tag_base, quota, p), {});
-          ++out.msgs_sent;
+          frame_ok_[static_cast<std::size_t>(p)] = true;
+          comm_.send(p, frame_ack_tag(tag_base_, quota_, p), {});
+          ++out_.msgs_sent;
           --open;
           progressed = true;
         } else if (now >= recv_deadline_at) {
           // LS fallback for every round this peer owed us; a late frame
           // drains as a stray after the fence.
           ps.recv_done = true;
-          out.recv_fallbacks +=
+          out_.recv_fallbacks +=
               s.recv_rounds[static_cast<std::size_t>(p)].size();
           LOG_DEBUG << "frame from rank " << p << " missed the deadline; "
                     << "its samples stay with the sender";
@@ -518,7 +599,7 @@ ExchangeOutcome run_robust_coalesced(comm::Communicator& comm,
         }
       }
       if (ps.sending && !ps.send_done) {
-        if (comm.poll(p, frame_ack_tag(tag_base, quota, rank))) {
+        if (comm_.poll(p, frame_ack_tag(tag_base_, quota_, rank_))) {
           ps.send_done = true;
           --open;
           progressed = true;
@@ -528,22 +609,22 @@ ExchangeOutcome run_robust_coalesced(comm::Communicator& comm,
             // attempt landed — the reconciliation bitmap decides.
             ps.send_done = true;
             --open;
-            LOG_DEBUG << "frame to rank " << p << " exhausted " << ps.attempts
-                      << " attempts; reconciliation decides";
+            LOG_DEBUG << "frame to rank " << p << " exhausted "
+                      << ps.attempts << " attempts; reconciliation decides";
           } else {
-            const auto& wire = wires[static_cast<std::size_t>(p)];
-            auto buf = comm.pool().acquire(wire.size());
+            const auto& wire = wires_[static_cast<std::size_t>(p)];
+            auto buf = comm_.pool().acquire(wire.size());
             buf.assign(wire.begin(), wire.end());
-            comm.send(p, frame_data_tag(tag_base, quota, rank),
-                      std::move(buf));
-            ++out.msgs_sent;
-            out.bytes_sent += wire.size();
+            comm_.send(p, frame_data_tag(tag_base_, quota_, rank_),
+                       std::move(buf));
+            ++out_.msgs_sent;
+            out_.bytes_sent += wire.size();
             ++ps.attempts;
-            ++out.retries;
-            const auto backoff = std::chrono::duration_cast<
-                std::chrono::microseconds>(
-                robust.ack_timeout *
-                std::pow(robust.backoff, ps.attempts - 1));
+            ++out_.retries;
+            const auto backoff =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    robust.ack_timeout *
+                    std::pow(robust.backoff, ps.attempts - 1));
             ps.next_retry = now + backoff;
           }
           progressed = true;
@@ -558,25 +639,25 @@ ExchangeOutcome run_robust_coalesced(comm::Communicator& comm,
   // Stage whatever arrived, in round order (skipping rounds whose frame
   // fell back) — identical append order to the per-sample robust path
   // under the same commit pattern.
-  out.recvs_committed =
-      stage_frames_in_round_order(store, quota, rank, deposit, s, &frame_ok);
+  out_.recvs_committed = stage_frames_in_round_order(
+      store_, quota_, rank_, deposit_fn(), s, &frame_ok_);
 
   // Quiesce the fabric, then drain late arrivals and duplicate frames.
   {
     obs::SpanGuard fence_span("exchange.fence");
-    comm.barrier();
-    comm.fence_faults();
-    while (auto stray = comm.poll(comm::kAnySource, comm::kAnyTag)) {
-      ++out.strays_drained;
-      if (is_epoch_frame_data_tag(stray->tag, tag_base, quota, m)) {
-        const int origin = origin_of_frame_data_tag(stray->tag, tag_base,
-                                                    quota);
-        if (origin >= 0 && origin < m &&
-            peers[static_cast<std::size_t>(origin)].recv_ok) {
+    comm_.barrier();
+    comm_.fence_faults();
+    while (auto stray = comm_.poll(comm::kAnySource, comm::kAnyTag)) {
+      ++out_.strays_drained;
+      if (is_epoch_frame_data_tag(stray->tag, tag_base_, quota_, m_)) {
+        const int origin =
+            origin_of_frame_data_tag(stray->tag, tag_base_, quota_);
+        if (origin >= 0 && origin < m_ &&
+            peers_[static_cast<std::size_t>(origin)].recv_ok) {
           // A duplicate copy of a frame we already staged: every sample in
           // it is a suppressed duplicate (the per-sample wire counts the
           // same samples one message at a time).
-          out.duplicates_suppressed += parse_frame(stray->payload).count();
+          out_.duplicates_suppressed += parse_frame(stray->payload).count();
         }
       }
     }
@@ -587,35 +668,54 @@ ExchangeOutcome run_robust_coalesced(comm::Communicator& comm,
   // of an origin's rounds or none, so the per-origin bit decides exactly
   // the same commits the per-round bitmap would.
   DSHUF_SPAN("exchange.reconcile");
-  std::vector<std::byte> received_bits(static_cast<std::size_t>(m));
-  for (int p = 0; p < m; ++p) {
+  std::vector<std::byte> received_bits(static_cast<std::size_t>(m_));
+  for (int p = 0; p < m_; ++p) {
     received_bits[static_cast<std::size_t>(p)] =
-        peers[static_cast<std::size_t>(p)].recv_ok ? std::byte{1}
-                                                   : std::byte{0};
+        peers_[static_cast<std::size_t>(p)].recv_ok ? std::byte{1}
+                                                    : std::byte{0};
   }
-  const auto all_bits = comm.allgather(std::move(received_bits));
-  for (std::size_t i = 0; i < quota; ++i) {
-    const auto dest = static_cast<std::size_t>(s.plan.dest(i, rank));
-    DSHUF_CHECK_EQ(all_bits[dest].size(), static_cast<std::size_t>(m),
+  const auto all_bits = comm_.allgather(std::move(received_bits));
+  for (std::size_t i = 0; i < quota_; ++i) {
+    const auto dest = static_cast<std::size_t>(s.plan.dest(i, rank_));
+    DSHUF_CHECK_EQ(all_bits[dest].size(), static_cast<std::size_t>(m_),
                    "reconciliation bitmap length mismatch");
-    if (all_bits[dest][static_cast<std::size_t>(rank)] != std::byte{0}) {
-      store.remove_id(s.outgoing[i]);
-      ++out.sends_committed;
+    if (all_bits[dest][static_cast<std::size_t>(rank_)] != std::byte{0}) {
+      store_.remove_id(s.outgoing[i]);
+      ++out_.sends_committed;
     } else {
-      ++out.send_fallbacks;
+      ++out_.send_fallbacks;
       LOG_DEBUG << "round " << i << " not received by rank "
-                << s.plan.dest(i, rank) << "; keeping sample locally";
+                << s.plan.dest(i, rank_) << "; keeping sample locally";
     }
   }
 
-  for (int p = 0; p < m; ++p) {
-    if (!frame_ok[static_cast<std::size_t>(p)]) continue;
-    comm.pool().release(std::move(s.frames[static_cast<std::size_t>(p)].payload));
+  for (int p = 0; p < m_; ++p) {
+    if (!frame_ok_[static_cast<std::size_t>(p)]) continue;
+    comm_.pool().release(
+        std::move(s.frames[static_cast<std::size_t>(p)].payload));
   }
-  return out;
 }
 
-}  // namespace
+ExchangeOutcome PlsEpochExchange::finish() {
+  DSHUF_CHECK(posted_, "PlsEpochExchange::finish() before post()");
+  DSHUF_CHECK(!finished_, "PlsEpochExchange::finish() called twice");
+  finished_ = true;
+  if (trivial_) return {};
+
+  if (robust_ == nullptr) {
+    finish_fast();
+  } else {
+    finish_robust();
+  }
+
+  fold_outcome_counters(out_);
+  // bytes_offered is fault-schedule independent, so this attribute is
+  // stable across reruns; retransmitted bytes live in the counter above.
+  epoch_span_->attr("bytes", std::to_string(out_.bytes_offered));
+  epoch_span_->finish();
+  log_ctx_.reset();
+  return out_;
+}
 
 ExchangeOutcome run_pls_exchange_epoch(comm::Communicator& comm,
                                        ShardStore& store, std::uint64_t seed,
@@ -625,6 +725,17 @@ ExchangeOutcome run_pls_exchange_epoch(comm::Communicator& comm,
                                        const DepositFn& deposit,
                                        const ExchangeRobustness* robust,
                                        ExchangeScratch* scratch) {
+  // Read the wire mode exactly once so this epoch cannot tear across a
+  // concurrent flip (see exchange_wire.hpp's thread model).
+  const ExchangeWire wire = exchange_wire();
+  if (wire == ExchangeWire::kCoalesced) {
+    // The split-phase object run back-to-back IS the monolithic epoch.
+    PlsEpochExchange exchange(comm, store, seed, epoch, q, global_min_shard,
+                              &payload, &deposit, robust, scratch);
+    exchange.post();
+    return exchange.finish();
+  }
+
   const int rank = comm.rank();
   const int m = comm.size();
   const std::size_t quota = exchange_quota(global_min_shard, q);
@@ -653,40 +764,18 @@ ExchangeOutcome run_pls_exchange_epoch(comm::Communicator& comm,
     s.outgoing[i] = store.ids()[s.picks[i]];
   }
 
-  const ExchangeWire wire = exchange_wire();
   ExchangeOutcome out;
   if (robust == nullptr) {
     DSHUF_CHECK(!comm.fault_injection_enabled(),
                 "the fast-path exchange cannot survive fault injection — "
                 "pass an ExchangeRobustness budget");
-    out = wire == ExchangeWire::kCoalesced
-              ? run_fast_coalesced(comm, store, epoch, payload, deposit, s)
-              : run_fast_per_sample(comm, store, epoch, payload, deposit, s);
+    out = run_fast_per_sample(comm, store, epoch, payload, deposit, s);
   } else {
-    out = wire == ExchangeWire::kCoalesced
-              ? run_robust_coalesced(comm, store, epoch, payload, deposit,
-                                     *robust, s)
-              : run_robust_per_sample(comm, store, epoch, payload, deposit,
-                                      *robust, s);
+    out = run_robust_per_sample(comm, store, epoch, payload, deposit,
+                                *robust, s);
   }
 
-  // Fold the outcome into the process-wide registry; the per-field names
-  // mirror ExchangeOutcome so ExchangeStats aggregates and counters can be
-  // cross-checked exactly.
-  DSHUF_COUNTER("exchange.epochs").add();
-  DSHUF_COUNTER("exchange.rounds").add(out.rounds);
-  DSHUF_COUNTER("exchange.sends_committed").add(out.sends_committed);
-  DSHUF_COUNTER("exchange.send_fallbacks").add(out.send_fallbacks);
-  DSHUF_COUNTER("exchange.recvs_committed").add(out.recvs_committed);
-  DSHUF_COUNTER("exchange.recv_fallbacks").add(out.recv_fallbacks);
-  DSHUF_COUNTER("exchange.retries").add(out.retries);
-  DSHUF_COUNTER("exchange.duplicates_suppressed")
-      .add(out.duplicates_suppressed);
-  DSHUF_COUNTER("exchange.strays_drained").add(out.strays_drained);
-  DSHUF_COUNTER("exchange.msgs").add(out.msgs_sent);
-  DSHUF_COUNTER("exchange.bytes.header").add(out.bytes_header);
-  DSHUF_COUNTER("exchange.bytes.body").add(out.bytes_body);
-  DSHUF_COUNTER("exchange.bytes_sent").add(out.bytes_sent);
+  fold_outcome_counters(out);
 
   // bytes_offered is fault-schedule independent, so this attribute is
   // stable across reruns; retransmitted bytes live in the counter above.

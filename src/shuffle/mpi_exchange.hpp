@@ -45,12 +45,15 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "comm/comm.hpp"
+#include "obs/trace.hpp"
 #include "shuffle/exchange_plan.hpp"
 #include "shuffle/exchange_wire.hpp"
 #include "shuffle/shard_store.hpp"
 #include "shuffle/types.hpp"
+#include "util/log.hpp"
 
 namespace dshuf::shuffle {
 
@@ -150,5 +153,92 @@ ExchangeOutcome run_pls_exchange_epoch(
     const PayloadFn& payload = nullptr, const DepositFn& deposit = nullptr,
     const ExchangeRobustness* robust = nullptr,
     ExchangeScratch* scratch = nullptr);
+
+/// Split-phase epoch exchange (coalesced wire only) — the overlap
+/// primitive: post() fires this rank's outgoing frames, the caller runs
+/// its batch compute, and finish() collects/reconciles once the compute
+/// is done, so frame transit hides under compute instead of serialising
+/// after it (the paper's "shuffling cost judged against its overlap with
+/// training"). run_pls_exchange_epoch is exactly construct + post +
+/// finish back-to-back, and both produce bit-identical shards.
+///
+/// Thread contract: construct and finish() on the RANK's thread (they
+/// touch the rank's log context, trace track, and blocking receives);
+/// post() may run anywhere — typically submitted to the task scheduler as
+/// a comm task — but must have RETURNED before finish() is called (the
+/// driver waits on its task group). The payload/deposit/robust/scratch
+/// pointers are borrowed: the caller keeps them alive until finish()
+/// returns. Robust retry/deadline clocks are anchored at finish() entry,
+/// not at post(), so a long compute phase between the two never burns the
+/// retry budget or expires the receive deadline.
+///
+/// The "exchange.epoch" span opens at construction and closes at
+/// finish(), so in an overlapped epoch it brackets the whole in-flight
+/// window — which is precisely what the dshuf_trace overlap report
+/// intersects with compute spans to measure hidden exchange time.
+class PlsEpochExchange {
+ public:
+  PlsEpochExchange(comm::Communicator& comm, ShardStore& store,
+                   std::uint64_t seed, std::size_t epoch, double q,
+                   std::size_t global_min_shard,
+                   const PayloadFn* payload = nullptr,
+                   const DepositFn* deposit = nullptr,
+                   const ExchangeRobustness* robust = nullptr,
+                   ExchangeScratch* scratch = nullptr);
+  PlsEpochExchange(const PlsEpochExchange&) = delete;
+  PlsEpochExchange& operator=(const PlsEpochExchange&) = delete;
+
+  /// Pack and fire this rank's outgoing frames (first attempts only).
+  void post();
+
+  /// Collect incoming frames, stage them, reconcile (robust mode), fold
+  /// the obs counters, and return the epoch's outcome. Must follow
+  /// post().
+  ExchangeOutcome finish();
+
+  /// True when the epoch exchanges nothing (quota 0 or a single rank);
+  /// post()/finish() are then no-ops returning a default outcome.
+  [[nodiscard]] bool trivial() const { return trivial_; }
+
+ private:
+  struct PeerState {
+    bool expect_frame = false;  // this peer sends us a frame this epoch
+    bool sending = false;       // we send this peer a frame this epoch
+    bool recv_done = false;
+    bool recv_ok = false;
+    bool send_done = false;
+    int attempts = 0;
+    std::chrono::steady_clock::time_point next_retry;
+  };
+
+  void finish_fast();
+  void finish_robust();
+  [[nodiscard]] const PayloadFn& payload_fn() const;
+  [[nodiscard]] const DepositFn& deposit_fn() const;
+
+  comm::Communicator& comm_;
+  ShardStore& store_;
+  std::size_t epoch_;
+  int rank_ = 0;
+  int m_ = 0;
+  std::size_t quota_ = 0;
+  std::uint64_t tag_base_ = 0;
+  std::size_t frame_cap_ = 0;
+  const PayloadFn* payload_;
+  const DepositFn* deposit_;
+  const ExchangeRobustness* robust_;
+  ExchangeScratch own_scratch_;  // used only when the caller passes none
+  ExchangeScratch* s_;
+  ExchangeOutcome out_;
+  std::optional<ScopedLogContext> log_ctx_;
+  std::optional<obs::SpanGuard> epoch_span_;
+  // Robust-mode state (left empty on the fast path).
+  std::vector<PeerState> peers_;
+  std::vector<bool> frame_ok_;
+  std::vector<std::vector<std::byte>> wires_;  // retransmission masters
+  bool trivial_ = true;
+  bool posted_ = false;
+  bool finished_ = false;
+};
 
 }  // namespace dshuf::shuffle

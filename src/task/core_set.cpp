@@ -1,0 +1,103 @@
+#include "task/core_set.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace dshuf::task {
+
+namespace {
+
+std::string_view strip(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+int parse_core_id(std::string_view tok) {
+  DSHUF_CHECK(!tok.empty(), "DSHUF_CORES: empty core id");
+  int v = 0;
+  for (const char c : tok) {
+    DSHUF_CHECK(c >= '0' && c <= '9',
+                "DSHUF_CORES: bad core id '" << std::string(tok) << "'");
+    v = v * 10 + (c - '0');
+    DSHUF_CHECK_LT(v, 1 << 20, "DSHUF_CORES: core id out of range");
+  }
+  return v;
+}
+
+}  // namespace
+
+CoreSet CoreSet::parse(std::string_view spec) {
+  CoreSet set;
+  spec = strip(spec);
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    std::string_view tok = strip(spec.substr(0, comma));
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                          : spec.substr(comma + 1);
+    if (tok.empty()) continue;
+    const std::size_t dash = tok.find('-');
+    if (dash == std::string_view::npos) {
+      set.cores_.push_back(parse_core_id(tok));
+    } else {
+      const int lo = parse_core_id(strip(tok.substr(0, dash)));
+      const int hi = parse_core_id(strip(tok.substr(dash + 1)));
+      DSHUF_CHECK_LE(lo, hi, "DSHUF_CORES: descending range "
+                                 << lo << "-" << hi);
+      for (int c = lo; c <= hi; ++c) set.cores_.push_back(c);
+    }
+  }
+  return set;
+}
+
+CoreSet CoreSet::from_env() {
+  const char* spec = std::getenv("DSHUF_CORES");
+  return spec == nullptr ? CoreSet{} : parse(spec);
+}
+
+int CoreSet::core_for(std::size_t worker_index) const {
+  if (cores_.empty()) return -1;
+  return cores_[worker_index % cores_.size()];
+}
+
+std::string CoreSet::describe() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    if (i != 0) oss << ",";
+    // Collapse a run of consecutive ids into "lo-hi".
+    std::size_t j = i;
+    while (j + 1 < cores_.size() && cores_[j + 1] == cores_[j] + 1) ++j;
+    if (j > i + 1) {
+      oss << cores_[i] << "-" << cores_[j];
+      i = j;
+    } else {
+      oss << cores_[i];
+    }
+  }
+  return oss.str();
+}
+
+bool pin_current_thread(int cpu) {
+  if (cpu < 0) return false;
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  CPU_SET(static_cast<unsigned>(cpu), &mask);
+  return pthread_setaffinity_np(pthread_self(), sizeof(mask), &mask) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace dshuf::task

@@ -1,0 +1,53 @@
+// Core-affinity description for the task runtime's workers.
+//
+// A CoreSet is an ordered list of CPU ids parsed from a spec like
+// "0,2,4-7". Workers ask `core_for(worker_index)` for their pin target
+// (round-robin over the listed cores) and call `pin_current_thread` at
+// startup; an empty CoreSet means "no pinning" and every call is a no-op,
+// which is also the graceful fallback on platforms without a thread
+// affinity API. The default comes from the DSHUF_CORES environment
+// variable so runs can be pinned without recompiling.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dshuf::task {
+
+class CoreSet {
+ public:
+  /// Empty set: no pinning.
+  CoreSet() = default;
+
+  /// Parse "0,2,4-7" (comma-separated ids and inclusive ranges).
+  /// Whitespace around tokens is ignored; an empty spec yields the empty
+  /// set. Malformed specs are a DSHUF_CHECK failure.
+  static CoreSet parse(std::string_view spec);
+
+  /// CoreSet::parse(getenv("DSHUF_CORES")), empty when unset.
+  static CoreSet from_env();
+
+  [[nodiscard]] bool empty() const { return cores_.empty(); }
+  [[nodiscard]] std::size_t size() const { return cores_.size(); }
+  [[nodiscard]] const std::vector<int>& cores() const { return cores_; }
+
+  /// Pin target for the worker at `worker_index` (round-robin), -1 when
+  /// the set is empty.
+  [[nodiscard]] int core_for(std::size_t worker_index) const;
+
+  /// "0,2,4-7"-style canonical rendering (ids in listed order).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<int> cores_;
+};
+
+/// Pin the calling thread to `cpu`. Returns true on success; false when
+/// pinning is unsupported on this platform, `cpu` is negative, or the
+/// kernel rejected the mask (e.g. the cpu does not exist) — callers treat
+/// failure as "run unpinned", never as an error.
+bool pin_current_thread(int cpu);
+
+}  // namespace dshuf::task

@@ -1,0 +1,267 @@
+#include "task/scheduler.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dshuf::task {
+
+namespace {
+
+/// Which scheduler (if any) the calling thread is a worker of.
+struct WorkerIdentity {
+  const Scheduler* scheduler = nullptr;
+  std::size_t index = SIZE_MAX;
+};
+thread_local WorkerIdentity t_worker;
+
+}  // namespace
+
+Scheduler::Scheduler(const Config& config)
+    : workers_(config.workers),
+      injection_(config.injection_capacity),
+      cores_(config.cores) {
+  DSHUF_CHECK_GT(workers_, 0U, "Scheduler needs at least one worker");
+  // Two-phase start: every deque must exist before any thread can steal.
+  const std::size_t threads = workers_ - 1;
+  states_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    states_.push_back(std::make_unique<WorkerState>());
+  }
+  for (std::size_t i = 0; i < threads; ++i) {
+    states_[i]->thread = std::thread([this, i] { worker_main(i); });
+  }
+  DSHUF_GAUGE("task.workers").set(static_cast<std::int64_t>(workers_));
+}
+
+Scheduler::~Scheduler() {
+  {
+    const std::lock_guard<RankedMutex> lk(mu_);
+    stopping_ = true;
+    ++work_version_;
+  }
+  cv_.notify_all();
+  for (auto& s : states_) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+}
+
+std::size_t Scheduler::this_worker_index() const {
+  return t_worker.scheduler == this ? t_worker.index : SIZE_MAX;
+}
+
+void Scheduler::notify_all_workers() {
+  {
+    const std::lock_guard<RankedMutex> lk(mu_);
+    ++work_version_;
+  }
+  cv_.notify_all();
+}
+
+void Scheduler::submit(Task* t, TaskGroup& group) {
+  t->group = &group;
+  group.pending_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t self = this_worker_index();
+  if (self != SIZE_MAX) {
+    states_[self]->deque.push(t);
+  } else {
+    // External thread: injection queue. On the rare full queue, make
+    // progress by running one injected task inline, then retry.
+    while (!injection_.try_push(t)) {
+      if (const auto other = injection_.try_pop()) run_task(*other);
+    }
+    DSHUF_COUNTER("task.injected").add(1);
+  }
+  DSHUF_COUNTER("task.submitted").add(1);
+  notify_all_workers();
+}
+
+void Scheduler::run_task(Task* t) {
+  // The task object may be owned by a waiter whose group drains the
+  // moment we decrement, so read everything we need first.
+  TaskGroup* group = t->group;
+  try {
+    t->fn(t);
+  } catch (...) {
+    // Never let a throw escape here: on a pool worker it would
+    // std::terminate the process, and skipping the decrement below would
+    // strand every waiter on this group in a spin. Park the exception on
+    // the group; wait() rethrows it on the waiter's thread.
+    group->record_error(std::current_exception());
+    DSHUF_COUNTER("task.failed").add(1);
+  }
+  DSHUF_COUNTER("task.executed").add(1);
+  // release: the waiter's done() acquire-load must see the task's writes
+  // (and any recorded error).
+  group->pending_.fetch_sub(1, std::memory_order_release);
+}
+
+Task* Scheduler::try_acquire(std::size_t self) {
+  if (self != SIZE_MAX) {
+    if (auto t = states_[self]->deque.pop()) return *t;
+  }
+  if (auto t = injection_.try_pop()) return *t;
+  const std::size_t n = states_.size();
+  if (n != 0) {
+    const std::size_t start = self == SIZE_MAX ? 0 : self + 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t victim = (start + i) % n;
+      if (victim == self) continue;
+      if (auto t = states_[victim]->deque.steal()) {
+        DSHUF_COUNTER("task.steals").add(1);
+        return *t;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void Scheduler::wait(TaskGroup& group) {
+  const std::size_t self = this_worker_index();
+  int idle_spins = 0;
+  while (!group.done()) {
+    if (Task* t = try_acquire(self)) {
+      run_task(t);
+      idle_spins = 0;
+      continue;
+    }
+    // Nothing to help with: another thread is finishing our tasks. Spin
+    // briefly, then yield — on a single hardware core the yield is what
+    // lets the finishing thread run at all.
+    if (++idle_spins > 64) {
+      std::this_thread::yield();
+    }
+  }
+  group.rethrow_if_error();
+}
+
+void Scheduler::worker_main(std::size_t index) {
+  t_worker = WorkerIdentity{this, index};
+  pin_current_thread(cores_.core_for(index));
+  for (;;) {
+    if (Task* t = try_acquire(index)) {
+      run_task(t);
+      continue;
+    }
+    // Dry scan: park until the work version moves. Re-scan after reading
+    // the version so a submit landing between the scan and the wait is
+    // never missed (its notify bumps the version we compare against).
+    std::unique_lock<RankedMutex> lk(mu_);
+    if (stopping_) return;
+    const std::uint64_t seen = work_version_;
+    lk.unlock();
+    if (Task* t = try_acquire(index)) {
+      run_task(t);
+      continue;
+    }
+    lk.lock();
+    cv_.wait(lk, [&] { return stopping_ || work_version_ != seen; });
+    if (stopping_) return;
+  }
+}
+
+void Scheduler::parallel_for_impl(std::size_t begin, std::size_t end,
+                                  std::size_t grain, void* ctx,
+                                  detail::ChunkFn invoke) {
+  const std::size_t total = end > begin ? end - begin : 0;
+  if (total == 0) return;
+  if (grain == 0) grain = 1;
+  constexpr std::size_t kMaxChunks = 64;
+  const std::size_t chunks =
+      std::min({workers_, kMaxChunks, (total + grain - 1) / grain});
+  if (chunks <= 1) {
+    invoke(ctx, begin, end);
+    return;
+  }
+
+  DSHUF_COUNTER("task.parallel_for").add(1);
+  obs::SpanGuard span("task.parallel_for");
+  span.attr("chunks", std::to_string(chunks));
+  span.attr("items", std::to_string(total));
+
+  struct ChunkTask : Task {
+    void* ctx = nullptr;
+    detail::ChunkFn invoke = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  std::array<ChunkTask, kMaxChunks> tasks;
+  TaskGroup group;
+  const std::size_t base = total / chunks;
+  const std::size_t extra = total % chunks;
+  std::size_t cursor = begin;
+  for (std::size_t i = 0; i < chunks; ++i) {
+    ChunkTask& ct = tasks[i];
+    ct.ctx = ctx;
+    ct.invoke = invoke;
+    ct.begin = cursor;
+    cursor += base + (i < extra ? 1 : 0);
+    ct.end = cursor;
+    ct.fn = [](Task* t) {
+      auto* c = static_cast<ChunkTask*>(t);
+      c->invoke(c->ctx, c->begin, c->end);
+    };
+    submit(&ct, group);
+  }
+  DSHUF_CHECK_EQ(cursor, end, "parallel_for chunking lost iterations");
+  wait(group);
+}
+
+namespace {
+
+std::size_t clamp_worker_count(std::size_t w) {
+  return std::min<std::size_t>(std::max<std::size_t>(w, 1), 256);
+}
+
+/// Holder for the process-wide scheduler. Built eagerly from
+/// DSHUF_WORKERS at first use; destroyed (joining its threads) at exit.
+struct GlobalSched {
+  std::unique_ptr<Scheduler> sched;
+  std::size_t workers = 1;
+
+  GlobalSched() {
+    std::size_t w = 1;
+    if (const char* env = std::getenv("DSHUF_WORKERS")) {
+      char* endp = nullptr;
+      const unsigned long v = std::strtoul(env, &endp, 10);
+      if (endp != env && v >= 1) w = static_cast<std::size_t>(v);
+    }
+    rebuild(w);
+  }
+
+  void rebuild(std::size_t w) {
+    workers = clamp_worker_count(w);
+    sched.reset();  // join old workers before spawning new ones
+    if (workers > 1) {
+      sched = std::make_unique<Scheduler>(Scheduler::Config{
+          .workers = workers,
+          .cores = CoreSet::from_env(),
+          .injection_capacity = 1024,
+      });
+    }
+    DSHUF_GAUGE("task.workers").set(static_cast<std::int64_t>(workers));
+  }
+};
+
+GlobalSched& global_state() {
+  static GlobalSched g;
+  return g;
+}
+
+}  // namespace
+
+Scheduler* global_scheduler() { return global_state().sched.get(); }
+
+std::size_t global_workers() { return global_state().workers; }
+
+void set_global_workers(std::size_t workers) {
+  global_state().rebuild(workers);
+}
+
+}  // namespace dshuf::task

@@ -1,0 +1,235 @@
+// Work-stealing task scheduler (ROADMAP item 1: tasking layer with
+// compute/comm overlap).
+//
+// Model. A Scheduler owns `workers - 1` std::threads (the submitting
+// thread is worker 0 in spirit: it HELPS while waiting, so `workers = 4`
+// means four threads execute tasks, not five). Each worker thread owns a
+// Chase–Lev deque; tasks submitted from a worker go to its own deque
+// (LIFO, cache-hot), tasks submitted from any other thread go through a
+// bounded MPMC injection queue. Idle workers pop their deque, then the
+// injection queue, then steal round-robin from the other deques; when
+// everything is dry they park on a condition variable.
+//
+// Tasks are plain structs (`Task` base + a function pointer), so the
+// steady state allocates nothing: callers stack-allocate `ClosureTask`s
+// or arrays of them, submit, and `wait()` on the group — the submitter
+// OWNS task lifetime and must keep tasks alive until wait() returns.
+// wait() never blocks the caller idly: it runs tasks (its own, injected,
+// or stolen) until the group drains.
+//
+// Lock order. The only lock is the park/wake mutex at
+// LockRank::kTaskScheduler — the LOWEST project rank. It is taken with
+// nothing held (submit's notify, a worker's park) and is never held while
+// a task body runs; consequently submitting a task while holding any
+// project lock trips the rank checker by design (a task body may itself
+// take locks, so a submit-under-lock could invert the documented order).
+//
+// Determinism. The scheduler makes no ordering promises — callers that
+// need bit-identical results must make every task's writes disjoint and
+// every reduction's order schedule-independent (see DESIGN.md §11 for how
+// the tensor kernels achieve this).
+//
+// Instrumentation: task.submitted / task.executed / task.steals /
+// task.injected / task.parallel_for counters, a task.workers gauge, and a
+// "task.parallel_for" span around each parallel loop.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "task/core_set.hpp"
+#include "task/task_queue.hpp"
+#include "util/error.hpp"
+#include "util/ranked_mutex.hpp"
+
+namespace dshuf::task {
+
+class Scheduler;
+class TaskGroup;
+
+/// POD task base. `fn` is invoked with the task itself; derive and
+/// downcast to carry state. The SUBMITTER owns the task object and must
+/// keep it alive until the group it was submitted under has drained.
+struct Task {
+  void (*fn)(Task*) = nullptr;
+  TaskGroup* group = nullptr;  // set by Scheduler::submit
+};
+
+/// Joins a batch of tasks: submit N tasks under one group, then
+/// `scheduler.wait(group)`. Reusable after wait() returns.
+///
+/// A task body that throws does NOT wedge the group: run_task catches the
+/// exception, records the FIRST one here (later ones are dropped, counted
+/// under task.failed), and still decrements pending — so done() always
+/// becomes true and wait() rethrows the stored exception in the WAITER's
+/// context. A throw can never escape on a pool worker thread (which would
+/// std::terminate the process) or strand sibling waiters mid-spin.
+class TaskGroup {
+ public:
+  [[nodiscard]] bool done() const {
+    return pending_.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Rethrow the first exception a task under this group raised, if any,
+  /// clearing it (so the group is reusable afterwards). Called by wait();
+  /// only meaningful once done() is true.
+  void rethrow_if_error() {
+    if (has_error_.load(std::memory_order_acquire)) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      has_error_.store(false, std::memory_order_release);
+      error_claimed_.store(false, std::memory_order_release);
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  friend class Scheduler;
+
+  /// First-wins error slot. The release decrement of pending_ in run_task
+  /// publishes error_ to whoever observes done().
+  void record_error(std::exception_ptr e) {
+    if (!error_claimed_.exchange(true, std::memory_order_acq_rel)) {
+      error_ = std::move(e);
+      has_error_.store(true, std::memory_order_release);
+    }
+  }
+
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<bool> error_claimed_{false};
+  std::atomic<bool> has_error_{false};
+  std::exception_ptr error_;
+};
+
+/// Wraps a callable (typically a lambda) as a stack-allocatable Task.
+/// The callable must stay valid until the group drains (it lives inside
+/// this object, so: keep the ClosureTask alive).
+template <typename F>
+struct ClosureTask : Task {
+  explicit ClosureTask(F f) : body(std::move(f)) {
+    fn = [](Task* t) { static_cast<ClosureTask*>(t)->body(); };
+  }
+  F body;
+};
+
+namespace detail {
+/// Type-erased chunk invoker for parallel_for (keeps the template thin).
+using ChunkFn = void (*)(void* ctx, std::size_t begin, std::size_t end);
+}  // namespace detail
+
+class Scheduler {
+ public:
+  struct Config {
+    std::size_t workers = 1;           ///< total executing threads (>= 1)
+    CoreSet cores = CoreSet::from_env();  ///< pin targets; empty = unpinned
+    std::size_t injection_capacity = 1024;
+  };
+
+  explicit Scheduler(const Config& config);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] std::size_t workers() const { return workers_; }
+
+  /// Enqueue `t` under `group`. From a worker thread of THIS scheduler
+  /// the task goes to that worker's deque; from any other thread it goes
+  /// through the injection queue (spinning on the rare full queue by
+  /// draining one task inline). Do not hold any project lock across this
+  /// call (see lock-order note above).
+  void submit(Task* t, TaskGroup& group);
+
+  /// Run tasks (own deque / injected / stolen) until `group` drains.
+  /// Callable from any thread, including concurrently from several
+  /// threads on distinct groups; re-entrant from inside a task body.
+  void wait(TaskGroup& group);
+
+  /// Chunked parallel loop over [begin, end): splits into at most one
+  /// chunk per worker (and at most 64), each >= grain iterations, and
+  /// runs them under an internal group. `body(chunk_begin, chunk_end)`
+  /// must write disjoint state per chunk. Runs inline when the range
+  /// collapses to one chunk. Blocks until every chunk finished.
+  template <typename F>
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    F&& body) {
+    using Fn = std::remove_reference_t<F>;
+    parallel_for_impl(
+        begin, end, grain,
+        const_cast<void*>(static_cast<const void*>(std::addressof(body))),
+        [](void* ctx, std::size_t b, std::size_t e) {
+          (*static_cast<Fn*>(ctx))(b, e);
+        });
+  }
+
+  /// Worker index of the calling thread within this scheduler, or
+  /// SIZE_MAX for external threads (they may submit + wait, not own a
+  /// deque).
+  [[nodiscard]] std::size_t this_worker_index() const;
+
+ private:
+  struct WorkerState {
+    ChaseLevDeque<Task*> deque;
+    std::thread thread;  // unset for slot 0 (the submitting thread helps)
+  };
+
+  void parallel_for_impl(std::size_t begin, std::size_t end,
+                         std::size_t grain, void* ctx, detail::ChunkFn invoke);
+  void worker_main(std::size_t index);
+  void run_task(Task* t);
+  /// One acquisition attempt: own deque (workers only), injection queue,
+  /// then one full round-robin steal sweep. nullptr when everything is
+  /// dry right now.
+  Task* try_acquire(std::size_t self);
+  void notify_all_workers();
+
+  std::size_t workers_;
+  BoundedMpmcQueue<Task*> injection_;
+  std::vector<std::unique_ptr<WorkerState>> states_;
+  CoreSet cores_;
+
+  // Park/wake. Workers park when a full scan finds nothing; submit bumps
+  // work_version_ under the mutex and notifies, so a version observed
+  // before parking going stale means "rescan" (no lost wakeups).
+  RankedMutex mu_{LockRank::kTaskScheduler, "task.scheduler"};
+  std::condition_variable_any cv_;
+  std::uint64_t work_version_ = 0;
+  bool stopping_ = false;
+};
+
+/// The process-wide scheduler, or nullptr when DSHUF_WORKERS (default 1)
+/// requests single-threaded execution — callers treat nullptr as "run
+/// serially", which keeps the 1-worker configuration byte-identical to
+/// the pre-tasking code path.
+Scheduler* global_scheduler();
+
+/// Worker count the global scheduler was built with (1 when nullptr).
+std::size_t global_workers();
+
+/// Rebuild the global scheduler with `workers` threads. NOT safe while
+/// tasks are in flight on the old scheduler; intended for test setup and
+/// bench arms. workers is clamped to [1, 256].
+void set_global_workers(std::size_t workers);
+
+/// RAII worker-count override (set_global_workers on enter + exit).
+class ScopedTaskWorkers {
+ public:
+  explicit ScopedTaskWorkers(std::size_t workers)
+      : previous_(global_workers()) {
+    set_global_workers(workers);
+  }
+  ~ScopedTaskWorkers() { set_global_workers(previous_); }
+  ScopedTaskWorkers(const ScopedTaskWorkers&) = delete;
+  ScopedTaskWorkers& operator=(const ScopedTaskWorkers&) = delete;
+
+ private:
+  std::size_t previous_;
+};
+
+}  // namespace dshuf::task

@@ -1,0 +1,255 @@
+// Lock-free queues for the work-stealing task runtime.
+//
+// Two structures, matching the classic work-stealing architecture:
+//
+//   * ChaseLevDeque<T> — each worker's private deque (Chase & Lev,
+//     "Dynamic Circular Work-Stealing Deque", SPAA'05). The OWNER pushes
+//     and pops at the bottom (LIFO, cache-hot); THIEVES steal from the top
+//     (FIFO, oldest first). Owner operations are wait-free except when the
+//     array grows; steal is lock-free.
+//   * BoundedMpmcQueue<T> — the scheduler's injection queue for tasks
+//     submitted by threads that are not workers (Vyukov's bounded MPMC
+//     ring: per-cell sequence numbers arbitrate producers and consumers
+//     without a lock).
+//
+// Memory-order notes. The textbook Chase–Lev deque uses standalone
+// seq_cst fences (Lê et al., "Correct and Efficient Work-Stealing for
+// Weak Memory Models", PPoPP'13). ThreadSanitizer does not model
+// standalone fences, so this implementation uses seq_cst operations on
+// top_/bottom_ directly at the two places the fence would go (owner pop's
+// bottom publication + top read, thief's top/bottom read pair). That is
+// strictly stronger than the fence formulation — the proofs carry over —
+// and keeps the `concurrent`-labelled stress tests meaningful under TSan.
+// Cells are relaxed atomics: the value handoff is ordered by the
+// surrounding top/bottom operations, and making the slots atomic keeps
+// the benign owner-store/thief-load overlap out of TSan's race reports.
+//
+// Both queues hold trivially-copyable values (the scheduler stores Task*).
+// Retired deque arrays are kept alive until the deque is destroyed, so a
+// thief holding a stale array pointer always reads valid (and, per the
+// algorithm, still-correct) memory.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dshuf::task {
+
+namespace detail {
+/// Smallest power of two >= n (and >= floor_pow2).
+inline std::size_t pow2_at_least(std::size_t n, std::size_t floor_pow2) {
+  std::size_t cap = floor_pow2;
+  while (cap < n) cap <<= 1U;
+  return cap;
+}
+}  // namespace detail
+
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "deque slots hand values across threads by plain copy");
+
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64) {
+    DSHUF_CHECK_GT(initial_capacity, 0U, "deque capacity must be positive");
+    auto arr =
+        std::make_unique<Array>(detail::pow2_at_least(initial_capacity, 2));
+    array_.store(arr.get(), std::memory_order_relaxed);
+    arrays_.push_back(std::move(arr));
+  }
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// OWNER ONLY: push one item at the bottom. Grows (amortised O(1))
+  /// when full — the only allocating path.
+  void push(T item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(a->cap)) a = grow(t, b);
+    a->put(b, item);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  /// OWNER ONLY: pop the most recently pushed item (LIFO).
+  std::optional<T> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t <= b) {
+      T item = a->get(b);
+      if (t == b) {
+        // Last element: race the thieves for it via top.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          bottom_.store(b + 1, std::memory_order_relaxed);
+          return std::nullopt;  // a thief won
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+      return item;
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return std::nullopt;  // already empty
+  }
+
+  /// ANY THREAD: steal the oldest item (FIFO). nullopt when the deque
+  /// looks empty OR the steal lost a race — callers treat both as "try
+  /// elsewhere".
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t < b) {
+      Array* a = array_.load(std::memory_order_acquire);
+      T item = a->get(t);
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        return std::nullopt;
+      }
+      return item;
+    }
+    return std::nullopt;
+  }
+
+  /// Racy size estimate — scheduling hint only.
+  [[nodiscard]] std::size_t size_hint() const {
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  struct Array {
+    explicit Array(std::size_t c)
+        : cap(c), mask(c - 1),
+          cells(std::make_unique<std::atomic<T>[]>(c)) {}
+    std::size_t cap;
+    std::size_t mask;
+    std::unique_ptr<std::atomic<T>[]> cells;
+
+    [[nodiscard]] T get(std::int64_t i) const {
+      return cells[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T v) {
+      cells[static_cast<std::size_t>(i) & mask].store(
+          v, std::memory_order_relaxed);
+    }
+  };
+
+  /// OWNER ONLY: double the array, copying live entries [t, b). The old
+  /// array is retired, not freed — stale thief reads stay valid.
+  Array* grow(std::int64_t t, std::int64_t b) {
+    Array* old = array_.load(std::memory_order_relaxed);
+    auto bigger = std::make_unique<Array>(old->cap * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    Array* raw = bigger.get();
+    array_.store(raw, std::memory_order_release);
+    arrays_.push_back(std::move(bigger));
+    return raw;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Array*> array_{nullptr};
+  std::vector<std::unique_ptr<Array>> arrays_;  // owner-only; retired + live
+};
+
+template <typename T>
+class BoundedMpmcQueue {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "queue slots hand values across threads by plain copy");
+
+ public:
+  explicit BoundedMpmcQueue(std::size_t capacity) {
+    DSHUF_CHECK_GT(capacity, 0U, "queue capacity must be positive");
+    const std::size_t cap = detail::pow2_at_least(capacity, 2);
+    cells_ = std::make_unique<Cell[]>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// ANY THREAD: enqueue; false when full.
+  bool try_push(T item) {
+    Cell* cell = nullptr;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::int64_t>(seq) -
+                       static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // the cell still holds an unconsumed older item
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = item;
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// ANY THREAD: dequeue; nullopt when empty.
+  std::optional<T> try_pop() {
+    Cell* cell = nullptr;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::int64_t>(seq) -
+                       static_cast<std::int64_t>(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return std::nullopt;  // no producer has filled this cell yet
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    T item = cell->value;
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return item;
+  }
+
+  /// Racy emptiness estimate — scheduling hint only.
+  [[nodiscard]] bool empty_hint() const {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace dshuf::task

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "task/scheduler.hpp"
 #include "util/error.hpp"
 
 namespace dshuf::kernel {
@@ -88,6 +89,48 @@ void pack_b(const float* b, std::size_t n, std::size_t k_dim, std::size_t jc,
   }
 }
 
+/// Per-thread A-pack buffer. Shared by the serial path and every
+/// parallel_for chunk (each executing thread packs its own A block), so
+/// steady-state calls stay allocation-free on every worker.
+thread_local std::vector<float> t_a_pack;
+
+/// Work a contiguous range of M blocks [blk_begin, blk_end) of one
+/// (jc, nb) N block: pack each A block locally, then run the micro-kernel
+/// grid against the caller-packed B panel `bp`. Chunks own disjoint C
+/// rows, so this is the unit parallel_for fans out.
+void run_m_blocks(const float* a, const float* bp, float* c, std::size_t m,
+                  std::size_t n, std::size_t k, bool a_transposed,
+                  bool accumulate, std::size_t jc, std::size_t nb,
+                  std::size_t mc_eff, std::size_t blk_begin,
+                  std::size_t blk_end) {
+  std::vector<float>& a_pack = t_a_pack;
+  alignas(64) float acc[kMR * kNR];
+  for (std::size_t blk = blk_begin; blk < blk_end; ++blk) {
+    const std::size_t ic = blk * mc_eff;
+    const std::size_t mb = std::min(mc_eff, m - ic);
+    a_pack.resize(k * round_up(mb, kMR));
+    pack_a(a, m, k, ic, mb, a_transposed, a_pack.data());
+
+    for (std::size_t j0 = 0; j0 < nb; j0 += kNR) {
+      const std::size_t jw = std::min(kNR, nb - j0);
+      for (std::size_t i0 = 0; i0 < mb; i0 += kMR) {
+        const std::size_t iw = std::min(kMR, mb - i0);
+        micro_kernel(k, a_pack.data() + i0 * k, bp + j0 * k, acc);
+        // Merge the tile, dropping zero-padded edge lanes.
+        for (std::size_t r = 0; r < iw; ++r) {
+          float* crow = c + (ic + i0 + r) * n + jc + j0;
+          const float* arow = acc + r * kNR;
+          if (accumulate) {
+            for (std::size_t j = 0; j < jw; ++j) crow[j] += arow[j];
+          } else {
+            for (std::size_t j = 0; j < jw; ++j) crow[j] = arow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void gemm_blocked(const float* a, const float* b, float* c, std::size_t m,
@@ -102,40 +145,42 @@ void gemm_blocked(const float* a, const float* b, float* c, std::size_t m,
     return;
   }
 
-  // Pack buffers persist across calls (allocation-free steady state); one
-  // worker per thread matches the simulator's execution model.
-  static thread_local std::vector<float> a_pack;
+  // B-pack buffer persists across calls (allocation-free steady state);
+  // it belongs to the calling thread and is shared read-only with chunks.
   static thread_local std::vector<float> b_pack;
-  alignas(64) float acc[kMR * kNR];
+
+  // Fan out only when the scheduler exists and the problem amortises the
+  // submit/steal overhead (the threshold is shape-only so the decision —
+  // though not the result, which is schedule-independent — is
+  // deterministic). ~2 MFLOP ≈ a 100x100x100 GEMM.
+  task::Scheduler* const sched = task::global_scheduler();
+  const bool parallel = sched != nullptr && m > kMR && m * n * k >= (1U << 20);
+
+  // Smaller M blocks for the parallel path so there are ~2 chunks per
+  // worker to steal. Any mc gives bit-identical results (header
+  // contract), so this only changes the work granularity.
+  std::size_t mc_eff = cfg.mc;
+  if (parallel) {
+    const std::size_t workers = sched->workers();
+    const std::size_t target = (m + 2 * workers - 1) / (2 * workers);
+    mc_eff = std::clamp(round_up(target, kMR), kMR, cfg.mc);
+  }
+  const std::size_t m_blocks = (m + mc_eff - 1) / mc_eff;
 
   for (std::size_t jc = 0; jc < n; jc += cfg.nc) {
     const std::size_t nb = std::min(cfg.nc, n - jc);
     b_pack.resize(k * round_up(nb, kNR));
     pack_b(b, n, k, jc, nb, b_transposed, b_pack.data());
+    const float* const bp = b_pack.data();
 
-    for (std::size_t ic = 0; ic < m; ic += cfg.mc) {
-      const std::size_t mb = std::min(cfg.mc, m - ic);
-      a_pack.resize(k * round_up(mb, kMR));
-      pack_a(a, m, k, ic, mb, a_transposed, a_pack.data());
-
-      for (std::size_t j0 = 0; j0 < nb; j0 += kNR) {
-        const std::size_t jw = std::min(kNR, nb - j0);
-        for (std::size_t i0 = 0; i0 < mb; i0 += kMR) {
-          const std::size_t iw = std::min(kMR, mb - i0);
-          micro_kernel(k, a_pack.data() + i0 * k, b_pack.data() + j0 * k,
-                       acc);
-          // Merge the tile, dropping zero-padded edge lanes.
-          for (std::size_t r = 0; r < iw; ++r) {
-            float* crow = c + (ic + i0 + r) * n + jc + j0;
-            const float* arow = acc + r * kNR;
-            if (accumulate) {
-              for (std::size_t j = 0; j < jw; ++j) crow[j] += arow[j];
-            } else {
-              for (std::size_t j = 0; j < jw; ++j) crow[j] = arow[j];
-            }
-          }
-        }
-      }
+    const auto body = [&](std::size_t blk_begin, std::size_t blk_end) {
+      run_m_blocks(a, bp, c, m, n, k, a_transposed, accumulate, jc, nb,
+                   mc_eff, blk_begin, blk_end);
+    };
+    if (parallel && m_blocks > 1) {
+      sched->parallel_for(0, m_blocks, 1, body);
+    } else {
+      body(0, m_blocks);
     }
   }
 }

@@ -14,6 +14,18 @@
 // panels would make the rounding order depend on the block size.
 // tests/test_kernels.cpp asserts both properties.
 //
+// Multicore: when the global task scheduler is active and the problem is
+// large enough, the M-block loop inside each N block fans out as
+// parallel_for chunks. Each chunk owns disjoint C rows and packs its own
+// A block; B is packed once by the caller and shared read-only. Because
+// the per-element accumulator chain is untouched (only WHICH thread runs
+// a given M block changes, never the arithmetic within it), multicore
+// results are bit-identical to the single-core ones for any worker count
+// — tests/test_task_determinism.cpp asserts this. Task bodies submitted
+// to the scheduler must not themselves call gemm_blocked: the shared
+// packed-B panel is thread_local to the caller, and a nested call from a
+// helping thread would resize it mid-use.
+//
 // Pack buffers are thread_local and keep their capacity, so steady-state
 // calls are allocation-free.
 #pragma once

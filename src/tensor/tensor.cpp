@@ -120,8 +120,10 @@ void check_matrix(const Tensor& t, const char* name) {
   DSHUF_CHECK_EQ(t.rank(), 2U, name << " must be a matrix");
 }
 
-// Relaxed atomic: the backend is only flipped from test/bench setup code,
-// but worker threads read it, and a plain global would trip TSan.
+// Acquire/release atomic (see the thread-model note in tensor.hpp): a
+// reader that observes a flip also observes everything the flipping
+// thread wrote before it. gemm_dispatch reads it exactly once per call,
+// so one GEMM never straddles a concurrent flip.
 std::atomic<KernelBackend> g_kernel_backend{KernelBackend::kBlocked};
 
 /// Shared tail of the three gemm entry points: counts the call, then
@@ -143,11 +145,11 @@ void gemm_dispatch(const float* a, const float* b, float* out, std::size_t m,
 }  // namespace
 
 KernelBackend kernel_backend() {
-  return g_kernel_backend.load(std::memory_order_relaxed);
+  return g_kernel_backend.load(std::memory_order_acquire);
 }
 
 void set_kernel_backend(KernelBackend backend) {
-  g_kernel_backend.store(backend, std::memory_order_relaxed);
+  g_kernel_backend.store(backend, std::memory_order_release);
 }
 
 void gemm(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {

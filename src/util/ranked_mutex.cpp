@@ -10,8 +10,20 @@ namespace dshuf {
 namespace {
 
 // Oldest acquisition first. Ranks along the chain are strictly ascending
-// by construction, so back() is always the maximum held rank.
-thread_local std::vector<HeldLock> t_held;
+// by construction, so the top is always the maximum held rank.
+//
+// Deliberately a POD array, NOT a std::vector: a vector's TLS destructor
+// runs at __call_tls_dtors, BEFORE static destructors — and the global
+// task scheduler's static teardown still takes ranked locks (its park
+// lock, while joining workers). A vector here is therefore a use-after-
+// free at every process exit with DSHUF_WORKERS set. POD thread_locals
+// have no destructor, so the stack stays valid for the whole teardown.
+// Depth is bounded by the rank count (strictly-ascending discipline);
+// kMaxHeld leaves headroom for a log-only violation handler that opts
+// into continuing past duplicates.
+constexpr std::size_t kMaxHeld = 16;
+thread_local HeldLock t_held[kMaxHeld];
+thread_local std::size_t t_depth = 0;
 
 void default_handler(const LockRankViolation& v) {
   const std::string report = v.describe();
@@ -41,27 +53,36 @@ LockRankViolationHandler set_lock_rank_violation_handler(
   return g_handler.exchange(handler != nullptr ? handler : &default_handler);
 }
 
-std::vector<HeldLock> current_lock_chain() { return t_held; }
+std::vector<HeldLock> current_lock_chain() {
+  return {t_held, t_held + t_depth};
+}
 
 namespace detail {
 
 void note_acquire(LockRank rank, const char* name) {
-  if (!t_held.empty() && rank <= t_held.back().rank) {
+  if (t_depth > 0 && rank <= t_held[t_depth - 1].rank) {
     LockRankViolation v;
     v.attempted_rank = rank;
     v.attempted_name = name;
-    v.held = t_held;
+    v.held.assign(t_held, t_held + t_depth);
     g_handler.load()(v);
     // A handler that returns opted into continuing (e.g. log-only mode);
     // fall through and record the acquisition so unlock stays balanced.
   }
-  t_held.push_back(HeldLock{rank, name});
+  if (t_depth < kMaxHeld) {
+    t_held[t_depth++] = HeldLock{rank, name};
+  }
+  // Past kMaxHeld (only reachable under a continuing handler) the entry
+  // is dropped; note_release's search-by-identity shrugs that off.
 }
 
 void note_release(LockRank rank, const char* name) {
-  for (std::size_t i = t_held.size(); i-- > 0;) {
+  for (std::size_t i = t_depth; i-- > 0;) {
     if (t_held[i].rank == rank && t_held[i].name == name) {
-      t_held.erase(t_held.begin() + static_cast<std::ptrdiff_t>(i));
+      for (std::size_t j = i + 1; j < t_depth; ++j) {
+        t_held[j - 1] = t_held[j];
+      }
+      --t_depth;
       return;
     }
   }

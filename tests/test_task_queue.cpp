@@ -1,0 +1,318 @@
+// Stress tests for the work-stealing queues and the scheduler's
+// exactly-once execution guarantee. The `concurrent` label puts these
+// under TSan/ASan in CI: the Chase–Lev deque's all-seq_cst formulation
+// (task/task_queue.hpp) exists precisely so these storms are meaningful
+// under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "task/scheduler.hpp"
+#include "task/task_queue.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dshuf::Rng;
+using dshuf::task::BoundedMpmcQueue;
+using dshuf::task::ChaseLevDeque;
+
+TEST(ChaseLevDeque, OwnerPopsLifoThievesStealFifo) {
+  ChaseLevDeque<int> dq(4);
+  for (int i = 0; i < 6; ++i) dq.push(i);
+  // Thief sees the OLDEST item.
+  const auto stolen = dq.steal();
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_EQ(*stolen, 0);
+  // Owner sees the NEWEST.
+  const auto popped = dq.pop();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(*popped, 5);
+  EXPECT_EQ(dq.size_hint(), 4U);
+}
+
+TEST(ChaseLevDeque, EmptyPopAndStealReturnNothing) {
+  ChaseLevDeque<int> dq;
+  EXPECT_FALSE(dq.pop().has_value());
+  EXPECT_FALSE(dq.steal().has_value());
+  dq.push(7);
+  EXPECT_EQ(*dq.pop(), 7);
+  EXPECT_FALSE(dq.pop().has_value());
+}
+
+TEST(ChaseLevDeque, GrowPreservesEveryItem) {
+  // Start at the minimum capacity so pushes cross several growth steps.
+  ChaseLevDeque<int> dq(2);
+  constexpr int kN = 300;
+  for (int i = 0; i < kN; ++i) dq.push(i);
+  // Everything is still there, in order, from the thief's end.
+  for (int i = 0; i < kN; ++i) {
+    const auto v = dq.steal();
+    ASSERT_TRUE(v.has_value()) << "lost item " << i << " across grow";
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(dq.steal().has_value());
+}
+
+TEST(BoundedMpmcQueue, FifoOrderAndCapacity) {
+  BoundedMpmcQueue<int> q(3);  // rounds up to 4
+  EXPECT_EQ(q.capacity(), 4U);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99)) << "push into a full queue must fail";
+  for (int i = 0; i < 4; ++i) {
+    const auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+  // Reusable after wrap-around.
+  EXPECT_TRUE(q.try_push(42));
+  EXPECT_EQ(*q.try_pop(), 42);
+}
+
+/// Owner pushes kN values (randomly popping as it goes) while thieves
+/// steal concurrently; every value must surface exactly once somewhere.
+void chase_lev_storm(std::uint64_t seed, int thieves) {
+  constexpr std::size_t kN = 10'000;
+  ChaseLevDeque<std::size_t> dq(8);
+  std::vector<std::atomic<int>> seen(kN);
+  std::atomic<std::size_t> consumed{0};
+  std::atomic<bool> done_pushing{false};
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(thieves));
+  for (int t = 0; t < thieves; ++t) {
+    pool.emplace_back([&] {
+      while (consumed.load(std::memory_order_acquire) < kN) {
+        if (const auto v = dq.steal()) {
+          seen[*v].fetch_add(1, std::memory_order_relaxed);
+          consumed.fetch_add(1, std::memory_order_acq_rel);
+        } else if (done_pushing.load(std::memory_order_acquire)) {
+          // Owner may still drain its own end; spin politely.
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  Rng rng(seed);
+  for (std::size_t i = 0; i < kN; ++i) {
+    dq.push(i);
+    if (rng.uniform_u64(4) == 0) {
+      if (const auto v = dq.pop()) {
+        seen[*v].fetch_add(1, std::memory_order_relaxed);
+        consumed.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+  }
+  done_pushing.store(true, std::memory_order_release);
+  while (consumed.load(std::memory_order_acquire) < kN) {
+    if (const auto v = dq.pop()) {
+      seen[*v].fetch_add(1, std::memory_order_relaxed);
+      consumed.fetch_add(1, std::memory_order_acq_rel);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  for (auto& t : pool) t.join();
+
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "value " << i << " surfaced "
+                                 << seen[i].load() << " times (seed " << seed
+                                 << ", thieves " << thieves << ")";
+  }
+  EXPECT_FALSE(dq.pop().has_value());
+  EXPECT_FALSE(dq.steal().has_value());
+}
+
+TEST(ChaseLevDeque, StealStormExactlyOnce) {
+  for (const std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+    chase_lev_storm(seed, /*thieves=*/3);
+  }
+  chase_lev_storm(99, /*thieves=*/1);
+}
+
+TEST(BoundedMpmcQueue, MultiProducerMultiConsumerStormExactlyOnce) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kConsumers = 4;
+  constexpr std::size_t kPerProducer = 2'500;
+  constexpr std::size_t kN = kProducers * kPerProducer;
+  BoundedMpmcQueue<std::size_t> q(256);
+  std::vector<std::atomic<int>> seen(kN);
+  std::atomic<std::size_t> consumed{0};
+
+  std::vector<std::thread> pool;
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    pool.emplace_back([&] {
+      while (consumed.load(std::memory_order_acquire) < kN) {
+        if (const auto v = q.try_pop()) {
+          seen[*v].fetch_add(1, std::memory_order_relaxed);
+          consumed.fetch_add(1, std::memory_order_acq_rel);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    pool.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        const std::size_t v = p * kPerProducer + i;
+        while (!q.try_push(v)) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(seen[i].load(), 1)
+        << "value " << i << " surfaced " << seen[i].load() << " times";
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+/// A plain counting task: exactly-once execution shows up as every slot
+/// reading 1 after the storm.
+struct CountTask : dshuf::task::Task {
+  std::atomic<int>* slot = nullptr;
+};
+
+void count_task_fn(dshuf::task::Task* t) {
+  static_cast<CountTask*>(t)->slot->fetch_add(1, std::memory_order_relaxed);
+}
+
+TEST(Scheduler, MultiProducerSubmitStormRunsEveryTaskOnce) {
+  const dshuf::task::ScopedTaskWorkers scoped(4);
+  dshuf::task::Scheduler* const sched = dshuf::task::global_scheduler();
+  ASSERT_NE(sched, nullptr);
+  ASSERT_EQ(sched->workers(), 4U);
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 2'500;
+  constexpr std::size_t kN = kProducers * kPerProducer;
+  std::vector<std::atomic<int>> slots(kN);
+  std::vector<CountTask> tasks(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    tasks[i].fn = count_task_fn;
+    tasks[i].slot = &slots[i];
+  }
+
+  dshuf::task::TaskGroup group;
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        sched->submit(&tasks[p * kPerProducer + i], group);
+      }
+    });
+  }
+  // Join before waiting: the group must only be declared drained once
+  // every producer has finished adding to it.
+  for (auto& t : producers) t.join();
+  sched->wait(group);
+  ASSERT_TRUE(group.done());
+
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(slots[i].load(), 1)
+        << "task " << i << " ran " << slots[i].load() << " times";
+  }
+}
+
+TEST(Scheduler, ParallelForCoversRangeExactlyOnce) {
+  const dshuf::task::ScopedTaskWorkers scoped(4);
+  dshuf::task::Scheduler* const sched = dshuf::task::global_scheduler();
+  ASSERT_NE(sched, nullptr);
+
+  constexpr std::size_t kN = 40'000;
+  std::vector<std::atomic<int>> marks(kN);
+  sched->parallel_for(0, kN, 64, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      marks[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(marks[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Scheduler, SingleWorkerRunsInlineAndGlobalIsNull) {
+  // Default configuration (DSHUF_WORKERS unset): serial semantics.
+  {
+    const dshuf::task::ScopedTaskWorkers scoped(1);
+    EXPECT_EQ(dshuf::task::global_scheduler(), nullptr);
+    EXPECT_EQ(dshuf::task::global_workers(), 1U);
+  }
+  // A 1-worker scheduler object still works, inline.
+  dshuf::task::Scheduler sched(dshuf::task::Scheduler::Config{.workers = 1});
+  EXPECT_EQ(sched.this_worker_index(), SIZE_MAX);
+  std::vector<int> marks(100, 0);
+  sched.parallel_for(0, marks.size(), 1,
+                     [&](std::size_t b, std::size_t e) {
+                       for (std::size_t i = b; i < e; ++i) ++marks[i];
+                     });
+  for (const int m : marks) EXPECT_EQ(m, 1);
+}
+
+// A throwing task body must not terminate a pool worker or strand the
+// group: wait() observes the drain and rethrows on the WAITER's thread,
+// and the scheduler keeps working afterwards.
+TEST(Scheduler, ThrowingTaskRethrowsInWaitAndSchedulerSurvives) {
+  const dshuf::task::ScopedTaskWorkers scoped(4);
+  dshuf::task::Scheduler* const sched = dshuf::task::global_scheduler();
+  ASSERT_NE(sched, nullptr);
+
+  std::atomic<int> ran{0};
+  auto ok_body = [&] { ran.fetch_add(1, std::memory_order_relaxed); };
+  auto bad_body = [] { throw std::runtime_error("task boom"); };
+  std::vector<dshuf::task::ClosureTask<decltype(ok_body)>> ok(
+      16, dshuf::task::ClosureTask<decltype(ok_body)>(ok_body));
+  dshuf::task::ClosureTask<decltype(bad_body)> bad(bad_body);
+
+  dshuf::task::TaskGroup group;
+  for (auto& t : ok) sched->submit(&t, group);
+  sched->submit(&bad, group);
+  EXPECT_THROW(sched->wait(group), std::runtime_error);
+  EXPECT_EQ(ran.load(), 16) << "sibling tasks must still have run";
+
+  // The group cleared its error and the pool is intact.
+  ran.store(0);
+  dshuf::task::TaskGroup again;
+  for (auto& t : ok) sched->submit(&t, again);
+  sched->wait(again);
+  EXPECT_EQ(ran.load(), 16);
+
+  // parallel_for propagates a chunk's throw to the caller too.
+  EXPECT_THROW(sched->parallel_for(0, 1000, 1,
+                                   [](std::size_t b, std::size_t) {
+                                     if (b > 400) {
+                                       throw std::runtime_error("chunk boom");
+                                     }
+                                   }),
+               std::runtime_error);
+  // And still fine afterwards.
+  std::atomic<int> marks{0};
+  sched->parallel_for(0, 1000, 1, [&](std::size_t b, std::size_t e) {
+    marks.fetch_add(static_cast<int>(e - b), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(marks.load(), 1000);
+}
+
+TEST(Scheduler, WaitHelpsFromExternalThread) {
+  const dshuf::task::ScopedTaskWorkers scoped(2);
+  dshuf::task::Scheduler* const sched = dshuf::task::global_scheduler();
+  ASSERT_NE(sched, nullptr);
+  std::atomic<int> ran{0};
+  auto body = [&] { ran.fetch_add(1, std::memory_order_relaxed); };
+  std::vector<dshuf::task::ClosureTask<decltype(body)>> tasks(64, //
+      dshuf::task::ClosureTask<decltype(body)>(body));
+  dshuf::task::TaskGroup group;
+  for (auto& t : tasks) sched->submit(&t, group);
+  sched->wait(group);
+  EXPECT_EQ(ran.load(), 64);
+}
+
+}  // namespace

@@ -3,20 +3,28 @@
 // Times the retained reference kernels against the blocked production
 // kernels (GEMM at several sizes, Conv1d forward/backward, and a full
 // simulated training iteration for the MLP and CNN proxies) in one
-// process, by flipping the KernelBackend switch. --out writes the
-// results as BENCH_micro-style JSON (schema dshuf.bench_micro.v1);
-// --check re-reads a written file with util/json and validates its
-// structure, which is the CI perf-smoke gate.
+// process, by flipping the KernelBackend switch, plus the multicore rows:
+// blocked GEMM under the task scheduler at 1/2/4/8 workers and one
+// overlapped exchange+compute epoch (sim/overlap.hpp) at the same worker
+// counts. --out writes the results as BENCH_micro-style JSON (schema
+// dshuf.bench_micro.v2, which also records hw_threads so readers can
+// judge the scaling rows); --check re-reads a written file with util/json
+// and validates its structure — and, when the recording host had >= 4
+// hardware threads, gates multicore GEMM at 4 workers on >= 2x the
+// 1-worker row. This is the CI perf-smoke gate.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/synthetic.hpp"
 #include "nn/builder.hpp"
 #include "nn/conv.hpp"
 #include "nn/loss.hpp"
+#include "sim/overlap.hpp"
+#include "task/scheduler.hpp"
 #include "tensor/tensor.hpp"
 #include "util/argparse.hpp"
 #include "util/error.hpp"
@@ -118,8 +126,10 @@ int run_check(const std::string& path) {
   std::stringstream buf;
   buf << in.rdbuf();
   const json::Value doc = json::parse(buf.str());
-  DSHUF_CHECK_EQ(doc.at("schema").as_string(), "dshuf.bench_micro.v1",
+  DSHUF_CHECK_EQ(doc.at("schema").as_string(), "dshuf.bench_micro.v2",
                  "unexpected schema in " << path);
+  const std::int64_t hw_threads = doc.at("hw_threads").as_int();
+  DSHUF_CHECK_GE(hw_threads, 1, "bad hw_threads");
   DSHUF_CHECK(!doc.at("gemm").as_array().empty(), "no gemm entries");
   for (const auto& row : doc.at("gemm").as_array()) {
     DSHUF_CHECK_GT(row.at("ref_ms").as_number(), 0.0, "bad ref_ms");
@@ -130,8 +140,40 @@ int run_check(const std::string& path) {
                  "expected conv1d forward+backward");
   DSHUF_CHECK_EQ(doc.at("train_iteration").as_array().size(), 2U,
                  "expected mlp+cnn train iterations");
+  DSHUF_CHECK(!doc.at("gemm_multicore").as_array().empty(),
+              "no gemm_multicore entries");
+  double speedup_at_4 = -1.0;
+  for (const auto& row : doc.at("gemm_multicore").as_array()) {
+    DSHUF_CHECK_GT(row.at("workers").as_int(), 0, "bad workers");
+    DSHUF_CHECK_GT(row.at("ms").as_number(), 0.0, "bad ms");
+    DSHUF_CHECK_GT(row.at("gflops").as_number(), 0.0, "bad gflops");
+    DSHUF_CHECK_GT(row.at("speedup_vs_1").as_number(), 0.0,
+                   "bad speedup_vs_1");
+    if (row.at("workers").as_int() == 4) {
+      speedup_at_4 = row.at("speedup_vs_1").as_number();
+    }
+  }
+  DSHUF_CHECK(!doc.at("epoch_time").as_array().empty(),
+              "no epoch_time entries");
+  for (const auto& row : doc.at("epoch_time").as_array()) {
+    DSHUF_CHECK_GT(row.at("workers").as_int(), 0, "bad workers");
+    DSHUF_CHECK_GT(row.at("ms").as_number(), 0.0, "bad ms");
+  }
+  // The scaling gate only means something when the recording host had the
+  // cores: a 1-core container legitimately shows ~1.0x at any width.
+  if (hw_threads >= 4) {
+    DSHUF_CHECK_GE(speedup_at_4, 2.0,
+                   "multicore GEMM at 4 workers must be >= 2x 1-worker ("
+                       << path << " recorded " << speedup_at_4 << "x on "
+                       << hw_threads << " hw threads)");
+  } else {
+    std::cout << "dshuf_bench: scaling gate skipped (recorded on "
+              << hw_threads << " hw thread(s))\n";
+  }
   std::cout << "dshuf_bench: " << path << " OK ("
-            << doc.at("gemm").as_array().size() << " gemm sizes)\n";
+            << doc.at("gemm").as_array().size() << " gemm sizes, "
+            << doc.at("gemm_multicore").as_array().size()
+            << " multicore rows)\n";
   return 0;
 }
 
@@ -224,10 +266,73 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Multicore rows: blocked GEMM and one overlapped exchange+compute
+  // epoch under the task scheduler at 1/2/4/8 workers. Worker counts
+  // beyond hw_threads still run correctly (bit-identical results); they
+  // just can't speed up — which is why the JSON records hw_threads.
+  struct McRow {
+    std::size_t workers = 0;
+    double ms = 0.0;
+  };
+  const std::size_t mc_n = 256;
+  std::vector<McRow> mc_rows;
+  std::vector<McRow> epoch_rows;
+  {
+    Rng mcrng(3);
+    const Tensor a = Tensor::randn({mc_n, mc_n}, mcrng);
+    const Tensor b = Tensor::randn({mc_n, mc_n}, mcrng);
+    Tensor out({mc_n, mc_n});
+    const ScopedKernelBackend scoped(KernelBackend::kBlocked);
+    for (const std::size_t w :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      const task::ScopedTaskWorkers workers(w);
+      mc_rows.push_back(
+          {w, time_ms([&] { gemm(a, b, out); }, min_seconds, reps)});
+    }
+  }
+  const double mc_ms1 = mc_rows.empty() ? 0.0 : mc_rows.front().ms;
+  const auto mc_gflops = [&](double ms) {
+    const double flops = 2.0 * static_cast<double>(mc_n) *
+                         static_cast<double>(mc_n) *
+                         static_cast<double>(mc_n);
+    return ms > 0.0 ? flops / (ms * 1e6) : 0.0;
+  };
+  for (const auto& row : mc_rows) {
+    std::cout << "gemm_multicore " << mc_n << "^3 @ " << row.workers
+              << " workers: " << fmt(row.ms) << " ms ("
+              << fmt(mc_gflops(row.ms)) << " GF/s, "
+              << fmt(row.ms > 0.0 ? mc_ms1 / row.ms : 0.0) << "x vs 1)\n";
+  }
+  {
+    sim::OverlapConfig ocfg;
+    ocfg.n = 256;
+    ocfg.ranks = 4;
+    ocfg.q = 0.3;
+    ocfg.epochs = 1;
+    ocfg.compute_gemm_n = 128;
+    ocfg.compute_reps = 2;
+    std::uint64_t seed = 11;
+    for (const std::size_t w :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      const task::ScopedTaskWorkers workers(w);
+      epoch_rows.push_back({w, time_ms(
+                                   [&] {
+                                     ocfg.seed = seed++;
+                                     sim::run_overlapped_epochs(ocfg);
+                                   },
+                                   min_seconds, reps)});
+      std::cout << "epoch_time (overlapped, 4 ranks) @ " << w
+                << " workers: " << fmt(epoch_rows.back().ms) << " ms\n";
+    }
+  }
+  const auto hw_threads =
+      std::max(1U, std::thread::hardware_concurrency());
+
   const std::string out_path = args.get("out");
   if (!out_path.empty()) {
     std::ostringstream j;
-    j << "{\n  \"schema\": \"dshuf.bench_micro.v1\",\n  \"gemm\": [\n";
+    j << "{\n  \"schema\": \"dshuf.bench_micro.v2\",\n  \"hw_threads\": "
+      << hw_threads << ",\n  \"gemm\": [\n";
     for (std::size_t i = 0; i < gemm_rows.size(); ++i) {
       const auto& r = gemm_rows[i];
       j << "    {\"m\": " << r.n << ", \"n\": " << r.n << ", \"k\": " << r.n
@@ -255,6 +360,21 @@ int main(int argc, char** argv) {
         << ", \"blocked_ms\": " << fmt(r.t.blocked_ms)
         << ", \"speedup\": " << fmt(r.t.speedup()) << "}"
         << (i + 1 < train_rows.size() ? "," : "") << "\n";
+    }
+    j << "  ],\n  \"gemm_multicore\": [\n";
+    for (std::size_t i = 0; i < mc_rows.size(); ++i) {
+      const auto& r = mc_rows[i];
+      j << "    {\"n\": " << mc_n << ", \"workers\": " << r.workers
+        << ", \"ms\": " << fmt(r.ms)
+        << ", \"gflops\": " << fmt(mc_gflops(r.ms)) << ", \"speedup_vs_1\": "
+        << fmt(r.ms > 0.0 ? mc_ms1 / r.ms : 0.0) << "}"
+        << (i + 1 < mc_rows.size() ? "," : "") << "\n";
+    }
+    j << "  ],\n  \"epoch_time\": [\n";
+    for (std::size_t i = 0; i < epoch_rows.size(); ++i) {
+      const auto& r = epoch_rows[i];
+      j << "    {\"workers\": " << r.workers << ", \"ms\": " << fmt(r.ms)
+        << "}" << (i + 1 < epoch_rows.size() ? "," : "") << "\n";
     }
     j << "  ]\n}\n";
     // Round-trip through the parser before writing: the tool never emits

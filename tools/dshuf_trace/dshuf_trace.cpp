@@ -2,158 +2,41 @@
 //
 // Reads the Chrome trace-event JSON written by --trace-out (and optionally
 // the metrics snapshot written by --metrics-out) and prints a Fig.-10-style
-// breakdown: top spans by self-time, exchange totals per rank, and the
-// fault-injection summary. With --check it validates the artifacts'
-// structure instead and exits non-zero on any malformed input, which is
-// what the CI obs step runs against fresh bench output.
+// breakdown: top spans by self-time, exchange totals per rank, the
+// exchange/compute overlap report, and the fault-injection summary. With
+// --check it validates the artifacts' structure instead and exits non-zero
+// on any malformed input, which is what the CI obs step runs against fresh
+// bench output. --min-overlap=F additionally gates on the overlap report
+// (exit non-zero when the hidden fraction of exchange time is below F) —
+// the CI perf-smoke step holds the overlapped trainer bench to 0.5.
 //
 //   dshuf_trace --trace=trace.json [--metrics=metrics.json] [--top=N]
 //   dshuf_trace --trace=trace.json [--metrics=metrics.json] --check
+//   dshuf_trace --trace=trace.json --min-overlap=0.5
+//
+// Parsing/analysis live in trace_analysis.{hpp,cpp} (dshuf_trace_lib) so
+// tests exercise the same code paths.
 
 #include <algorithm>
 #include <cstdint>
-#include <fstream>
+#include <cstdlib>
 #include <iostream>
 #include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "trace_analysis.hpp"
 #include "util/argparse.hpp"
 #include "util/error.hpp"
-#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace {
 
-using dshuf::json::Value;
-
-struct Ev {
-  std::string name;
-  std::uint64_t ts_us = 0;
-  std::uint64_t dur_us = 0;
-  std::int64_t tid = 0;
-  std::map<std::string, std::string> args;
-};
-
-std::string slurp(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  DSHUF_CHECK(in.good(), "cannot open " << path);
-  std::ostringstream oss;
-  oss << in.rdbuf();
-  return oss.str();
-}
-
-std::uint64_t as_u64(const Value& v, const char* what) {
-  const std::int64_t i = v.as_int();
-  DSHUF_CHECK(i >= 0, what << " must be non-negative, got " << i);
-  return static_cast<std::uint64_t>(i);
-}
-
-/// Parse + structurally validate a Chrome trace document.
-std::vector<Ev> load_trace(const std::string& path) {
-  const Value doc = dshuf::json::parse(slurp(path));
-  DSHUF_CHECK(doc.has("traceEvents"), path << ": missing traceEvents");
-  std::vector<Ev> events;
-  for (const Value& ev : doc.at("traceEvents").as_array()) {
-    Ev e;
-    e.name = ev.at("name").as_string();
-    DSHUF_CHECK(ev.at("ph").as_string() == "X",
-                path << ": expected complete ('X') events only, got '"
-                     << ev.at("ph").as_string() << "' in span '" << e.name
-                     << "'");
-    e.ts_us = as_u64(ev.at("ts"), "ts");
-    e.dur_us = as_u64(ev.at("dur"), "dur");
-    e.tid = ev.at("tid").as_int();
-    if (ev.has("args")) {
-      const Value& args = ev.at("args");
-      for (const std::string& k : args.keys()) {
-        e.args[k] = args.at(k).as_string();
-      }
-    }
-    events.push_back(std::move(e));
-  }
-  return events;
-}
-
-/// Structurally validate a metrics snapshot; returns counter name -> value.
-std::map<std::string, std::uint64_t> load_metrics(const std::string& path) {
-  const Value doc = dshuf::json::parse(slurp(path));
-  std::map<std::string, std::uint64_t> counters;
-  for (const char* section : {"counters", "gauges", "histograms"}) {
-    DSHUF_CHECK(doc.has(section), path << ": missing " << section);
-  }
-  const Value& cs = doc.at("counters");
-  for (const std::string& name : cs.keys()) {
-    counters[name] = as_u64(cs.at(name), "counter");
-  }
-  const Value& hs = doc.at("histograms");
-  for (const std::string& name : hs.keys()) {
-    const Value& h = hs.at(name);
-    const auto& bounds = h.at("bounds").as_array();
-    const auto& bucket_counts = h.at("counts").as_array();
-    DSHUF_CHECK_EQ(bucket_counts.size(), bounds.size() + 1,
-                   path << ": histogram '" << name
-                        << "' counts/bounds size mismatch");
-    std::uint64_t total = 0;
-    for (const Value& c : bucket_counts) total += as_u64(c, "bucket count");
-    DSHUF_CHECK_EQ(total, as_u64(h.at("count"), "count"),
-                   path << ": histogram '" << name
-                        << "' bucket counts do not sum to count");
-  }
-  return counters;
-}
-
-struct SelfAgg {
-  std::uint64_t count = 0;
-  std::uint64_t total_us = 0;
-  std::uint64_t self_us = 0;
-};
-
-/// Per-span-name totals with self-time (duration minus directly nested
-/// child spans on the same track).
-std::map<std::string, SelfAgg> self_time_by_name(std::vector<Ev> events) {
-  // Sort per track by (start asc, duration desc) so a parent precedes the
-  // spans it encloses; a stack then tracks the open ancestry.
-  std::sort(events.begin(), events.end(), [](const Ev& a, const Ev& b) {
-    if (a.tid != b.tid) return a.tid < b.tid;
-    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
-    return a.dur_us > b.dur_us;
-  });
-  std::map<std::string, SelfAgg> agg;
-  struct Open {
-    const Ev* ev;
-    std::uint64_t child_us = 0;
-  };
-  std::vector<Open> stack;
-  const auto close_until = [&](const Ev* next) {
-    while (!stack.empty()) {
-      const Open& top = stack.back();
-      const bool nests = next != nullptr && next->tid == top.ev->tid &&
-                         next->ts_us >= top.ev->ts_us &&
-                         next->ts_us + next->dur_us <=
-                             top.ev->ts_us + top.ev->dur_us;
-      if (nests) return;
-      auto& a = agg[top.ev->name];
-      ++a.count;
-      a.total_us += top.ev->dur_us;
-      a.self_us += top.ev->dur_us - std::min(top.child_us, top.ev->dur_us);
-      if (stack.size() > 1) {
-        stack[stack.size() - 2].child_us += top.ev->dur_us;
-      }
-      stack.pop_back();
-    }
-  };
-  for (const Ev& e : events) {
-    close_until(&e);
-    stack.push_back(Open{&e});
-  }
-  close_until(nullptr);
-  return agg;
-}
+using dshuf::tracetool::Ev;
+using dshuf::tracetool::SelfAgg;
 
 void print_top_spans(const std::vector<Ev>& events, std::size_t top_n) {
-  const auto agg = self_time_by_name(events);
+  const auto agg = dshuf::tracetool::self_time_by_name(events);
   std::uint64_t wall_us = 0;
   for (const auto& [name, a] : agg) wall_us += a.self_us;
   std::vector<std::pair<std::string, SelfAgg>> rows(agg.begin(), agg.end());
@@ -217,15 +100,22 @@ void print_exchange_by_rank(const std::vector<Ev>& events) {
   t.print(std::cout);
 }
 
-void print_counter_group(const std::map<std::string, std::uint64_t>& counters,
-                         const std::string& prefix,
-                         const std::string& title) {
-  dshuf::TextTable t(title);
-  t.header({"counter", "value"});
-  for (const auto& [name, v] : counters) {
-    if (name.rfind(prefix, 0) == 0) t.row({name, std::to_string(v)});
+void print_overlap(const dshuf::obs::OverlapReport& report) {
+  if (report.exchange_spans == 0) {
+    std::cout << "(no exchange spans in trace — overlap not applicable)\n";
+    return;
   }
-  if (t.num_rows() == 0) return;
+  dshuf::TextTable t("Exchange/compute overlap");
+  t.header({"metric", "value"});
+  t.row({"exchange spans", std::to_string(report.exchange_spans)});
+  t.row({"compute spans", std::to_string(report.compute_spans)});
+  t.row({"exchange_ms",
+         dshuf::fmt_double(static_cast<double>(report.exchange_us) / 1e3)});
+  t.row({"hidden_ms",
+         dshuf::fmt_double(static_cast<double>(report.hidden_us) / 1e3)});
+  t.row({"compute_ms",
+         dshuf::fmt_double(static_cast<double>(report.compute_us) / 1e3)});
+  t.row({"efficiency", dshuf::fmt_percent(report.efficiency())});
   t.print(std::cout);
 }
 
@@ -240,15 +130,39 @@ int main(int argc, char** argv) {
   args.flag("metrics", "", "metrics JSON written by --metrics-out (optional)");
   args.flag("top", "12", "rows in the top-spans table");
   args.flag("check", "false", "validate the artifacts and exit");
+  args.flag("min-overlap", "",
+            "fail unless the exchange/compute overlap efficiency is >= "
+            "this fraction (e.g. 0.5)");
   try {
     if (!args.parse(argc, argv)) return 0;
     const std::string trace_path = args.get("trace");
     DSHUF_CHECK(!trace_path.empty(), "--trace is required");
 
-    const std::vector<Ev> events = load_trace(trace_path);
+    const std::vector<Ev> events = dshuf::tracetool::load_trace(trace_path);
     std::map<std::string, std::uint64_t> counters;
     const std::string metrics_path = args.get("metrics");
-    if (!metrics_path.empty()) counters = load_metrics(metrics_path);
+    if (!metrics_path.empty()) {
+      counters = dshuf::tracetool::load_metrics(metrics_path);
+    }
+
+    const std::string min_overlap = args.get("min-overlap");
+    if (!min_overlap.empty()) {
+      const double threshold = std::strtod(min_overlap.c_str(), nullptr);
+      DSHUF_CHECK(threshold >= 0.0 && threshold <= 1.0,
+                  "--min-overlap must be in [0, 1], got " << min_overlap);
+      const auto report = dshuf::tracetool::overlap_report(events);
+      std::cout << "overlap efficiency "
+                << dshuf::fmt_percent(report.efficiency()) << " (hidden "
+                << report.hidden_us << " us of " << report.exchange_us
+                << " us exchange across " << report.exchange_spans
+                << " spans), threshold "
+                << dshuf::fmt_percent(threshold) << "\n";
+      if (report.efficiency() < threshold) {
+        std::cerr << "dshuf_trace: overlap efficiency below threshold\n";
+        return 1;
+      }
+      return 0;
+    }
 
     if (args.get_bool("check")) {
       std::cout << "OK: " << trace_path << " (" << events.size()
@@ -266,11 +180,27 @@ int main(int argc, char** argv) {
                         std::max<std::int64_t>(1, args.get_int("top"))));
     std::cout << "\n";
     print_exchange_by_rank(events);
+    std::cout << "\n";
+    print_overlap(dshuf::tracetool::overlap_report(events));
     if (!counters.empty()) {
       std::cout << "\n";
-      print_counter_group(counters, "exchange.", "Exchange counters");
-      std::cout << "\n";
-      print_counter_group(counters, "comm.fault.", "Fault summary");
+      dshuf::TextTable ex("Exchange counters");
+      ex.header({"counter", "value"});
+      for (const auto& [name, v] : counters) {
+        if (name.rfind("exchange.", 0) == 0) ex.row({name, std::to_string(v)});
+      }
+      if (ex.num_rows() > 0) {
+        ex.print(std::cout);
+        std::cout << "\n";
+      }
+      dshuf::TextTable ft("Fault summary");
+      ft.header({"counter", "value"});
+      for (const auto& [name, v] : counters) {
+        if (name.rfind("comm.fault.", 0) == 0) {
+          ft.row({name, std::to_string(v)});
+        }
+      }
+      if (ft.num_rows() > 0) ft.print(std::cout);
     }
     return 0;
   } catch (const std::exception& e) {

@@ -1,0 +1,132 @@
+#include "trace_analysis.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace dshuf::tracetool {
+
+namespace {
+
+using dshuf::json::Value;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DSHUF_CHECK(in.good(), "cannot open " << path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+std::uint64_t as_u64(const Value& v, const char* what) {
+  const std::int64_t i = v.as_int();
+  DSHUF_CHECK(i >= 0, what << " must be non-negative, got " << i);
+  return static_cast<std::uint64_t>(i);
+}
+
+}  // namespace
+
+std::vector<Ev> load_trace(const std::string& path) {
+  const Value doc = dshuf::json::parse(slurp(path));
+  DSHUF_CHECK(doc.has("traceEvents"), path << ": missing traceEvents");
+  std::vector<Ev> events;
+  for (const Value& ev : doc.at("traceEvents").as_array()) {
+    Ev e;
+    e.name = ev.at("name").as_string();
+    DSHUF_CHECK(ev.at("ph").as_string() == "X",
+                path << ": expected complete ('X') events only, got '"
+                     << ev.at("ph").as_string() << "' in span '" << e.name
+                     << "'");
+    e.ts_us = as_u64(ev.at("ts"), "ts");
+    e.dur_us = as_u64(ev.at("dur"), "dur");
+    e.tid = ev.at("tid").as_int();
+    if (ev.has("args")) {
+      const Value& args = ev.at("args");
+      for (const std::string& k : args.keys()) {
+        e.args[k] = args.at(k).as_string();
+      }
+    }
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+std::map<std::string, std::uint64_t> load_metrics(const std::string& path) {
+  const Value doc = dshuf::json::parse(slurp(path));
+  std::map<std::string, std::uint64_t> counters;
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    DSHUF_CHECK(doc.has(section), path << ": missing " << section);
+  }
+  const Value& cs = doc.at("counters");
+  for (const std::string& name : cs.keys()) {
+    counters[name] = as_u64(cs.at(name), "counter");
+  }
+  const Value& hs = doc.at("histograms");
+  for (const std::string& name : hs.keys()) {
+    const Value& h = hs.at(name);
+    const auto& bounds = h.at("bounds").as_array();
+    const auto& bucket_counts = h.at("counts").as_array();
+    DSHUF_CHECK_EQ(bucket_counts.size(), bounds.size() + 1,
+                   path << ": histogram '" << name
+                        << "' counts/bounds size mismatch");
+    std::uint64_t total = 0;
+    for (const Value& c : bucket_counts) total += as_u64(c, "bucket count");
+    DSHUF_CHECK_EQ(total, as_u64(h.at("count"), "count"),
+                   path << ": histogram '" << name
+                        << "' bucket counts do not sum to count");
+  }
+  return counters;
+}
+
+std::map<std::string, SelfAgg> self_time_by_name(std::vector<Ev> events) {
+  // Sort per track by (start asc, duration desc) so a parent precedes the
+  // spans it encloses; a stack then tracks the open ancestry.
+  std::sort(events.begin(), events.end(), [](const Ev& a, const Ev& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    return a.dur_us > b.dur_us;
+  });
+  std::map<std::string, SelfAgg> agg;
+  struct Open {
+    const Ev* ev;
+    std::uint64_t child_us = 0;
+  };
+  std::vector<Open> stack;
+  const auto close_until = [&](const Ev* next) {
+    while (!stack.empty()) {
+      const Open& top = stack.back();
+      const bool nests = next != nullptr && next->tid == top.ev->tid &&
+                         next->ts_us >= top.ev->ts_us &&
+                         next->ts_us + next->dur_us <=
+                             top.ev->ts_us + top.ev->dur_us;
+      if (nests) return;
+      auto& a = agg[top.ev->name];
+      ++a.count;
+      a.total_us += top.ev->dur_us;
+      a.self_us += top.ev->dur_us - std::min(top.child_us, top.ev->dur_us);
+      if (stack.size() > 1) {
+        stack[stack.size() - 2].child_us += top.ev->dur_us;
+      }
+      stack.pop_back();
+    }
+  };
+  for (const Ev& e : events) {
+    close_until(&e);
+    stack.push_back(Open{&e});
+  }
+  close_until(nullptr);
+  return agg;
+}
+
+obs::OverlapReport overlap_report(const std::vector<Ev>& events) {
+  std::vector<obs::NamedSpan> spans;
+  spans.reserve(events.size());
+  for (const Ev& e : events) spans.push_back({e.name, e.ts_us, e.dur_us});
+  return obs::compute_overlap(std::span<const obs::NamedSpan>(spans));
+}
+
+}  // namespace dshuf::tracetool

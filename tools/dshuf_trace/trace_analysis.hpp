@@ -1,0 +1,50 @@
+// Parsing and analysis core of dshuf_trace, factored into a library so
+// tests can drive the exact code the CLI runs (tests/test_overlap.cpp
+// links it the way test_lint links dshuf_lint_rules).
+//
+// Loads the Chrome trace-event JSON written by --trace-out and the metrics
+// snapshot written by --metrics-out, structurally validating both, and
+// computes the derived views the tool prints: per-span self-time and the
+// exchange/compute overlap report (obs/overlap.hpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/overlap.hpp"
+
+namespace dshuf::tracetool {
+
+/// One complete ("X") trace event.
+struct Ev {
+  std::string name;
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  std::int64_t tid = 0;
+  std::map<std::string, std::string> args;
+};
+
+/// Parse + structurally validate a Chrome trace document. Any malformed
+/// input (missing traceEvents, non-"X" phase, negative ts/dur) fails a
+/// DSHUF_CHECK — the --check CI gate relies on that.
+std::vector<Ev> load_trace(const std::string& path);
+
+/// Structurally validate a metrics snapshot; returns counter name -> value.
+std::map<std::string, std::uint64_t> load_metrics(const std::string& path);
+
+struct SelfAgg {
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;
+  std::uint64_t self_us = 0;
+};
+
+/// Per-span-name totals with self-time (duration minus directly nested
+/// child spans on the same track).
+std::map<std::string, SelfAgg> self_time_by_name(std::vector<Ev> events);
+
+/// Exchange/compute overlap over the loaded events (obs/overlap.hpp).
+obs::OverlapReport overlap_report(const std::vector<Ev>& events);
+
+}  // namespace dshuf::tracetool
