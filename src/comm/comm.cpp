@@ -116,7 +116,9 @@ class WorldState {
   void end_run() { running_ = false; }
 
   std::shared_ptr<std::atomic<bool>> aborted_flag() { return aborted_; }
-  [[nodiscard]] bool is_aborted() const { return aborted_->load(); }
+  [[nodiscard]] bool is_aborted() const {
+    return aborted_->load(std::memory_order_seq_cst);
+  }
   void abort() {
     {
       // The flag must flip under barrier_mu_: a rank between evaluating
@@ -124,7 +126,7 @@ class WorldState {
       // notify and sleep forever (the barrier wait, unlike request/recv
       // waits, has no poll timeout to rescue it).
       std::lock_guard<RankedMutex> lk(barrier_mu_);
-      aborted_->store(true);
+      aborted_->store(true, std::memory_order_seq_cst);
     }
     barrier_cv_.notify_all();
     // Wake any parked receive requests and any blocking recv() waiter.
@@ -138,7 +140,7 @@ class WorldState {
       mb.cv.notify_all();
     }
   }
-  void reset_abort() { aborted_->store(false); }
+  void reset_abort() { aborted_->store(false, std::memory_order_seq_cst); }
 
   void barrier() {
     std::unique_lock<RankedMutex> lk(barrier_mu_);
@@ -251,7 +253,8 @@ void Request::wait() {
   // the notification raced our wait registration.
   while (!state_->done) {
     DSHUF_CHECK(!state_->cancelled, "wait() on a cancelled request");
-    DSHUF_CHECK(!(state_->aborted && state_->aborted->load()),
+    DSHUF_CHECK(!(state_->aborted &&
+                  state_->aborted->load(std::memory_order_seq_cst)),
                 "world aborted while waiting on a request");
     state_->cv.wait_for(lk, std::chrono::milliseconds(50));
   }
@@ -263,7 +266,8 @@ bool Request::wait_for(std::chrono::microseconds timeout) {
   std::unique_lock<RankedMutex> lk(state_->mu);
   while (!state_->done) {
     DSHUF_CHECK(!state_->cancelled, "wait_for() on a cancelled request");
-    DSHUF_CHECK(!(state_->aborted && state_->aborted->load()),
+    DSHUF_CHECK(!(state_->aborted &&
+                  state_->aborted->load(std::memory_order_seq_cst)),
                 "world aborted while waiting on a request");
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) return false;

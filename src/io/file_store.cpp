@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace dshuf::io {
 
@@ -23,6 +24,9 @@ fs::path FileSampleStore::path_for(data::SampleId id) const {
 void FileSampleStore::save(data::SampleId id,
                            std::span<const std::byte> payload) {
   std::lock_guard<RankedMutex> lk(mu_);
+  // Serialized disk I/O is this store's contract; kFileStore is near the
+  // top of the rank order so nothing hot waits on it.
+  // analyze:blocking-ok serialized disk I/O is the store's contract
   std::ofstream f(path_for(id), std::ios::binary | std::ios::trunc);
   DSHUF_CHECK(f.good(), "cannot open " << path_for(id) << " for writing");
   f.write(reinterpret_cast<const char*>(payload.data()),
@@ -40,6 +44,7 @@ void FileSampleStore::load_into(data::SampleId id,
                                 std::vector<std::byte>& out) const {
   std::lock_guard<RankedMutex> lk(mu_);
   const auto p = path_for(id);
+  // analyze:blocking-ok serialized disk I/O is this store's contract
   std::ifstream f(p, std::ios::binary | std::ios::ate);
   DSHUF_CHECK(f.good(), "sample " << id << " not found in " << dir_);
   const auto size = static_cast<std::size_t>(f.tellg());
@@ -66,9 +71,17 @@ bool FileSampleStore::contains(data::SampleId id) const {
 std::vector<data::SampleId> FileSampleStore::list() const {
   std::lock_guard<RankedMutex> lk(mu_);
   std::vector<data::SampleId> ids;
+  // analyze:blocking-ok cold maintenance path; dir walk under lock is fine
   for (const auto& entry : fs::directory_iterator(dir_)) {
     if (!entry.is_regular_file()) continue;
     const auto stem = entry.path().stem().string();
+    // Foreign files (editor swap files, partial downloads) must not crash
+    // the walk: stoul would throw on a non-numeric stem.
+    if (stem.empty() ||
+        stem.find_first_not_of("0123456789") != std::string::npos) {
+      LOG_WARN << "file_store: ignoring foreign file " << entry.path();
+      continue;
+    }
     ids.push_back(static_cast<data::SampleId>(std::stoul(stem)));
   }
   std::sort(ids.begin(), ids.end());
@@ -78,6 +91,7 @@ std::vector<data::SampleId> FileSampleStore::list() const {
 std::size_t FileSampleStore::disk_bytes() const {
   std::lock_guard<RankedMutex> lk(mu_);
   std::size_t total = 0;
+  // analyze:blocking-ok cold observability path; dir walk under lock is fine
   for (const auto& entry : fs::directory_iterator(dir_)) {
     if (entry.is_regular_file()) {
       total += static_cast<std::size_t>(entry.file_size());

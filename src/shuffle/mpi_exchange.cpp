@@ -9,6 +9,7 @@
 #include "shuffle/exchange_tags.hpp"
 #include "shuffle/shuffler.hpp"
 #include "util/log.hpp"
+#include "util/noalloc.hpp"
 
 namespace dshuf::shuffle {
 
@@ -65,7 +66,8 @@ std::size_t frame_capacity_bound(std::size_t quota, std::size_t payload_high) {
 
 // Pack this rank's frame for peer `p` into `buf` and account the bytes.
 // Returns the number of samples packed.
-std::size_t pack_frame_for_peer(std::vector<std::byte>& buf, std::size_t epoch,
+DSHUF_NOALLOC std::size_t pack_frame_for_peer(
+    std::vector<std::byte>& buf, std::size_t epoch,
                                 const std::vector<std::size_t>& rounds,
                                 const PayloadFn& payload, ExchangeScratch& s,
                                 ExchangeOutcome& out) {

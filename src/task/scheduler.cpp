@@ -9,6 +9,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/noalloc.hpp"
 
 namespace dshuf::task {
 
@@ -82,7 +83,7 @@ void Scheduler::submit(Task* t, TaskGroup& group) {
   notify_all_workers();
 }
 
-void Scheduler::run_task(Task* t) {
+DSHUF_NOALLOC void Scheduler::run_task(Task* t) {
   // The task object may be owned by a waiter whose group drains the
   // moment we decrement, so read everything we need first.
   TaskGroup* group = t->group;
@@ -102,7 +103,7 @@ void Scheduler::run_task(Task* t) {
   group->pending_.fetch_sub(1, std::memory_order_release);
 }
 
-Task* Scheduler::try_acquire(std::size_t self) {
+DSHUF_NOALLOC Task* Scheduler::try_acquire(std::size_t self) {
   if (self != SIZE_MAX) {
     if (auto t = states_[self]->deque.pop()) return *t;
   }

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/noalloc.hpp"
 
 namespace dshuf::task {
 
@@ -79,7 +80,7 @@ class ChaseLevDeque {
   }
 
   /// OWNER ONLY: pop the most recently pushed item (LIFO).
-  std::optional<T> pop() {
+  DSHUF_NOALLOC std::optional<T> pop() {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Array* a = array_.load(std::memory_order_relaxed);
     bottom_.store(b, std::memory_order_seq_cst);
@@ -105,7 +106,7 @@ class ChaseLevDeque {
   /// ANY THREAD: steal the oldest item (FIFO). nullopt when the deque
   /// looks empty OR the steal lost a race — callers treat both as "try
   /// elsewhere".
-  std::optional<T> steal() {
+  DSHUF_NOALLOC std::optional<T> steal() {
     std::int64_t t = top_.load(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
     if (t < b) {
@@ -185,7 +186,7 @@ class BoundedMpmcQueue {
   [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
 
   /// ANY THREAD: enqueue; false when full.
-  bool try_push(T item) {
+  DSHUF_NOALLOC bool try_push(T item) {
     Cell* cell = nullptr;
     std::size_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
@@ -210,7 +211,7 @@ class BoundedMpmcQueue {
   }
 
   /// ANY THREAD: dequeue; nullopt when empty.
-  std::optional<T> try_pop() {
+  DSHUF_NOALLOC std::optional<T> try_pop() {
     Cell* cell = nullptr;
     std::size_t pos = head_.load(std::memory_order_relaxed);
     for (;;) {

@@ -50,7 +50,8 @@ std::string LockRankViolation::describe() const {
 
 LockRankViolationHandler set_lock_rank_violation_handler(
     LockRankViolationHandler handler) {
-  return g_handler.exchange(handler != nullptr ? handler : &default_handler);
+  return g_handler.exchange(handler != nullptr ? handler : &default_handler,
+                            std::memory_order_seq_cst);
 }
 
 std::vector<HeldLock> current_lock_chain() {
@@ -65,7 +66,7 @@ void note_acquire(LockRank rank, const char* name) {
     v.attempted_rank = rank;
     v.attempted_name = name;
     v.held.assign(t_held, t_held + t_depth);
-    g_handler.load()(v);
+    g_handler.load(std::memory_order_acquire)(v);
     // A handler that returns opted into continuing (e.g. log-only mode);
     // fall through and record the acquisition so unlock stays balanced.
   }

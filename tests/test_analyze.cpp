@@ -1,0 +1,300 @@
+// Unit tests for the dshuf_analyze cross-TU analyzer (tools/dshuf_analyze).
+//
+// Every "bad" snippet lives inside a string literal, which the analyzer's
+// own scrubber blanks out — so scanning this test file with dshuf_analyze
+// stays clean while the passes are still exercised end to end. Snippets
+// use `src/...` paths because findings only fire for the src tree.
+#include "index.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "passes.hpp"
+#include "report.hpp"
+#include "source_model.hpp"
+
+namespace dshuf::analyze {
+namespace {
+
+ProjectIndex index_of(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  std::vector<SourceFile> sf;
+  for (const auto& [path, content] : files) {
+    sf.push_back(make_source_file(path, content));
+  }
+  return build_index(std::move(sf));
+}
+
+bool has_rule(const std::vector<Finding>& fs, const std::string& rule) {
+  return std::any_of(fs.begin(), fs.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+const Finding* find_rule(const std::vector<Finding>& fs,
+                         const std::string& rule) {
+  for (const Finding& f : fs) {
+    if (f.rule == rule) return &f;
+  }
+  return nullptr;
+}
+
+// The LockRank universe every snippet below shares; parsed from the
+// scanned text itself, exactly as fixtures carry their own.
+const char* kRanks =
+    "enum class LockRank : int {\n"
+    "  kTaskScheduler = 5,\n"
+    "  kCommMailbox = 10,\n"
+    "  kFileStore = 40,\n"
+    "  kLog = 50,\n"
+    "};\n"
+    "class RankedMutex {};\n";
+
+// ------------------------------------------------------------- tokenizer
+
+TEST(AnalyzeTokenize, FusesScopeAndArrowOnly) {
+  const auto toks = tokenize("a::b->c < d >> e");
+  std::vector<std::string> texts;
+  for (const auto& t : toks) texts.push_back(t.text);
+  const std::vector<std::string> want = {"a", "::", "b", "->", "c",
+                                         "<", "d",  ">",  ">",  "e"};
+  EXPECT_EQ(texts, want);
+}
+
+TEST(AnalyzeTokenize, TracksLineNumbers) {
+  const auto toks = tokenize("a\nb\n\nc");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 4);
+}
+
+// ----------------------------------------------------------------- index
+
+TEST(AnalyzeIndex, FindsFunctionsMutexesAndAtomics) {
+  const std::string src = std::string(kRanks) +
+      "std::atomic<bool> stop_{false};\n"
+      "std::condition_variable cv_;\n"
+      "class Store {\n"
+      " public:\n"
+      "  void put() {}\n"
+      "  RankedMutex mu_{LockRank::kFileStore, \"store\"};\n"
+      "};\n"
+      "void Store::get() {}\n"
+      "int free_fn() { return 1; }\n";
+  const ProjectIndex idx = index_of({{"src/x/a.cpp", src}});
+
+  EXPECT_EQ(idx.rank_values.at("kFileStore"), 40);
+  EXPECT_EQ(idx.atomic_names.count("stop_"), 1u);
+  EXPECT_EQ(idx.cv_names.count("cv_"), 1u);
+  ASSERT_EQ(idx.mutexes.size(), 1u);
+  EXPECT_EQ(idx.mutexes[0].owner, "Store");
+  EXPECT_EQ(idx.mutexes[0].rank, 40);
+  EXPECT_EQ(idx.mutexes[0].label, "store");
+
+  std::vector<std::string> names;
+  for (const auto& fn : idx.functions) {
+    names.push_back(fn.qual.empty() ? fn.name : fn.qual + "::" + fn.name);
+  }
+  EXPECT_NE(std::find(names.begin(), names.end(), "Store::put"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Store::get"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "free_fn"), names.end());
+}
+
+TEST(AnalyzeIndex, TypesVariablesButNotFunctionDeclarations) {
+  const std::string src =
+      "class Store {};\n"
+      "Store direct_var;\n"
+      "std::shared_ptr<Store> wrapped_var;\n"
+      "Store ctor_var(1, 2);\n"
+      "Store& accessor() { static Store s; return s; }\n";
+  const ProjectIndex idx = index_of({{"src/x/a.cpp", src}});
+  EXPECT_EQ(idx.var_class.at("direct_var").count("Store"), 1u);
+  EXPECT_EQ(idx.var_class.at("wrapped_var").count("Store"), 1u);
+  EXPECT_EQ(idx.var_class.at("ctor_var").count("Store"), 1u);
+  // `Store& accessor() {` is a function definition, not a variable.
+  EXPECT_EQ(idx.var_class.count("accessor"), 0u);
+}
+
+TEST(AnalyzeIndex, NoallocMarkerAttachesToNextDefinition) {
+  const std::string src =
+      "#define DSHUF_NOALLOC\n"
+      "void cold() {}\n"
+      "DSHUF_NOALLOC void hot() {}\n";
+  const ProjectIndex idx = index_of({{"src/x/a.cpp", src}});
+  for (const auto& fn : idx.functions) {
+    EXPECT_EQ(fn.noalloc, fn.name == "hot") << fn.name;
+  }
+}
+
+TEST(AnalyzeIndex, ResolveCallNeverCrossesTypedReceiver) {
+  const std::string src =
+      "class A { public: void go() {} };\n"
+      "class B { public: void go() {} };\n"
+      "void go() {}\n"
+      "A a_var;\n";
+  const ProjectIndex idx = index_of({{"src/x/a.cpp", src}});
+  // Typed receiver: only A::go, even though B::go and ::go exist.
+  const auto via_a = resolve_call(idx, "go", "a_var", "", 0);
+  ASSERT_EQ(via_a.size(), 1u);
+  EXPECT_EQ(idx.functions[static_cast<std::size_t>(via_a[0])].qual, "A");
+  // Untyped receiver + ambiguous method: resolves to nothing rather than
+  // to the union (documented under-approximation).
+  EXPECT_TRUE(resolve_call(idx, "go", "mystery", "", 0).empty());
+}
+
+// ---------------------------------------------------------------- passes
+
+TEST(AnalyzePasses, LockOrderFlagsDescendingAcquireAcrossFiles) {
+  const std::string lib = std::string(kRanks) +
+      "class Mailbox {\n"
+      " public:\n"
+      "  void deliver();\n"
+      "  RankedMutex mu{LockRank::kCommMailbox, \"mb\"};\n"
+      "};\n"
+      "void Mailbox::deliver() { std::lock_guard<RankedMutex> lk(mu); }\n";
+  const std::string use =
+      "class Walker {\n"
+      " public:\n"
+      "  void walk(Mailbox& box) {\n"
+      "    std::lock_guard<RankedMutex> lk(mu_);\n"
+      "    box.deliver();\n"
+      "  }\n"
+      "  RankedMutex mu_{LockRank::kFileStore, \"walker\"};\n"
+      "};\n";
+  const AnalysisResult res = run_passes(
+      index_of({{"src/x/lib.cpp", lib}, {"src/x/use.cpp", use}}));
+  const Finding* f = find_rule(res.findings, "lock-order");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->file, "src/x/use.cpp");
+  EXPECT_FALSE(f->chain.empty());  // witness through Mailbox::deliver
+  // The 40 -> 10 edge is recorded and marked violating.
+  const bool violating_edge = std::any_of(
+      res.edges.begin(), res.edges.end(), [](const LockOrderEdge& e) {
+        return e.from_rank == 40 && e.to_rank == 10 && e.violation;
+      });
+  EXPECT_TRUE(violating_edge);
+}
+
+TEST(AnalyzePasses, BlockingUnderLockSeesFileIoAndForeignCvWaits) {
+  const std::string src = std::string(kRanks) +
+      "class Loader {\n"
+      " public:\n"
+      "  void bad() {\n"
+      "    std::lock_guard<RankedMutex> lk(mu_);\n"
+      "    std::ifstream in(\"f.txt\");\n"
+      "  }\n"
+      "  void fine() {\n"
+      "    std::unique_lock<RankedMutex> lk(mu_);\n"
+      "    cv_.wait(lk);\n"
+      "  }\n"
+      "  RankedMutex mu_{LockRank::kFileStore, \"loader\"};\n"
+      "  std::condition_variable_any cv_;\n"
+      "};\n";
+  const AnalysisResult res = run_passes(index_of({{"src/x/a.cpp", src}}));
+  // The ifstream under mu_ is a finding; the cv wait is not (it releases
+  // its own guard's mutex and holds nothing else).
+  ASSERT_TRUE(has_rule(res.findings, "blocking-under-lock"));
+  std::size_t count = 0;
+  for (const auto& f : res.findings) {
+    if (f.rule == "blocking-under-lock") ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(AnalyzePasses, AtomicsRequireExplicitProfiledOrders) {
+  const std::string src =
+      "std::atomic<int> n_{0};\n"
+      "void f() {\n"
+      "  n_.store(1);\n"
+      "  n_.store(2, std::memory_order_consume);\n"
+      "  n_.store(3, std::memory_order_seq_cst);\n"
+      "}\n";
+  const AnalysisResult res = run_passes(index_of({{"src/x/a.cpp", src}}));
+  EXPECT_TRUE(has_rule(res.findings, "implicit-memory-order"));
+  EXPECT_TRUE(has_rule(res.findings, "memory-order-profile"));
+  std::size_t atomics = 0;
+  for (const auto& f : res.findings) {
+    if (f.pass == "atomics") ++atomics;
+  }
+  EXPECT_EQ(atomics, 2u);  // the explicit seq_cst store is clean
+}
+
+TEST(AnalyzePasses, NoallocWalksTheCallGraphAndHonoursWaivers) {
+  const std::string src =
+      "#define DSHUF_NOALLOC\n"
+      "void helper(std::vector<int>& v) { v.push_back(1); }\n"
+      "void pooled(std::vector<int>& v) {\n"
+      "  // analyze:alloc-ok buffer reserved ahead of the steady state\n"
+      "  v.push_back(2);\n"
+      "}\n"
+      "DSHUF_NOALLOC void hot(std::vector<int>& v) {\n"
+      "  helper(v);\n"
+      "  pooled(v);\n"
+      "}\n";
+  const AnalysisResult res = run_passes(index_of({{"src/x/a.cpp", src}}));
+  const Finding* f = find_rule(res.findings, "noalloc");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->line, 2u);  // helper's push_back; pooled's is waived
+  std::size_t count = 0;
+  for (const auto& fd : res.findings) {
+    if (fd.rule == "noalloc") ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+// ---------------------------------------------------------------- report
+
+TEST(AnalyzeReport, GoldenJson) {
+  Finding f;
+  f.file = "src/x/a.cpp";
+  f.line = 7;
+  f.pass = "lock-order";
+  f.rule = "lock-order";
+  f.message = "acquires \"b\" while holding a";
+  f.chain = {"A::f (src/x/a.cpp:3)"};
+  LockOrderEdge e;
+  e.from_rank = 40;
+  e.from_name = "kFileStore";
+  e.to_rank = 10;
+  e.to_name = "kCommMailbox";
+  e.via = "A::f (src/x/a.cpp:3)";
+  e.violation = true;
+  const std::string got = render_json({f}, {e}, 2);
+  const std::string want =
+      "{\n"
+      "  \"schema\": \"dshuf.analyze.v1\",\n"
+      "  \"files_scanned\": 2,\n"
+      "  \"findings\": [\n"
+      "    {\"file\": \"src/x/a.cpp\", \"line\": 7, "
+      "\"pass\": \"lock-order\", \"rule\": \"lock-order\", "
+      "\"message\": \"acquires \\\"b\\\" while holding a\", "
+      "\"chain\": [\"A::f (src/x/a.cpp:3)\"]}\n"
+      "  ],\n"
+      "  \"lock_order_edges\": [\n"
+      "    {\"from_rank\": 40, \"from\": \"kFileStore\", "
+      "\"to_rank\": 10, \"to\": \"kCommMailbox\", "
+      "\"via\": \"A::f (src/x/a.cpp:3)\", \"violation\": true}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(got, want);
+}
+
+TEST(AnalyzeReport, BaselineFiltersByRuleFileAndMessage) {
+  Finding f;
+  f.file = "src/x/a.cpp";
+  f.line = 7;
+  f.rule = "noalloc";
+  f.message = "allocation (new)";
+  const Baseline base = {baseline_key(f)};
+  EXPECT_TRUE(apply_baseline({f}, base).empty());
+  f.line = 99;  // line changes must not churn the baseline
+  EXPECT_TRUE(apply_baseline({f}, base).empty());
+  f.message = "allocation (malloc)";
+  EXPECT_EQ(apply_baseline({f}, base).size(), 1u);
+}
+
+}  // namespace
+}  // namespace dshuf::analyze

@@ -1,0 +1,188 @@
+// dshuf_analyze driver: load the given files/directories, run the lexical
+// rules plus the four cross-TU passes (passes.hpp), and report findings.
+//
+//   dshuf_analyze [--format=text|json] [--baseline=FILE]
+//                 [--write-baseline=FILE] <file-or-dir>...
+//
+// Exit 0 = clean, 1 = findings (after baseline), 2 = usage/IO error.
+// Directory walks skip `fixtures/` and `build*/` subtrees — the analyzer's
+// own deliberately-broken fixtures are only scanned when named explicitly
+// (the WILL_FAIL ctest entries do exactly that). Paths are reported
+// repo-relative (from the first src/tools/bench/tests component) so the
+// committed baseline and golden tests are machine-independent.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexical_rules.hpp"
+#include "passes.hpp"
+#include "report.hpp"
+#include "source_model.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool scannable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+bool skipped_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == "fixtures" || name.rfind("build", 0) == 0 ||
+         (!name.empty() && name[0] == '.');
+}
+
+std::vector<fs::path> collect(const std::vector<std::string>& roots) {
+  std::vector<fs::path> files;
+  for (const auto& root : roots) {
+    const fs::path p(root);
+    if (fs::is_regular_file(p)) {
+      if (scannable(p)) files.push_back(p);
+      continue;
+    }
+    if (!fs::is_directory(p)) {
+      std::cerr << "dshuf_analyze: no such file or directory: " << root
+                << "\n";
+      std::exit(2);
+    }
+    fs::recursive_directory_iterator it(p);
+    const fs::recursive_directory_iterator end;
+    while (it != end) {
+      if (it->is_directory() && skipped_dir(it->path())) {
+        it.disable_recursion_pending();
+      } else if (it->is_regular_file() && scannable(it->path())) {
+        files.push_back(it->path());
+      }
+      ++it;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+/// Repo-relative display path: cut at the first src/tools/bench/tests
+/// path component so reports are stable across checkouts.
+std::string normalize(const std::string& generic) {
+  std::size_t best = std::string::npos;
+  for (const char* marker : {"src/", "tools/", "bench/", "tests/"}) {
+    std::size_t pos = 0;
+    while ((pos = generic.find(marker, pos)) != std::string::npos) {
+      if (pos == 0 || generic[pos - 1] == '/') {
+        if (pos < best) best = pos;
+        break;
+      }
+      ++pos;
+    }
+  }
+  return best == std::string::npos ? generic : generic.substr(best);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string format = "text";
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help") {
+      std::cout
+          << "usage: dshuf_analyze [--format=text|json] [--baseline=FILE]\n"
+             "                     [--write-baseline=FILE] <file-or-dir>...\n"
+             "Cross-TU static analysis: lexical lint rules plus lock-order,\n"
+             "blocking-under-lock, atomics-discipline and DSHUF_NOALLOC\n"
+             "reachability passes. Exit 0 = clean, 1 = findings, 2 = usage.\n";
+      return 0;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") {
+        std::cerr << "dshuf_analyze: unknown format: " << format << "\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+      continue;
+    }
+    if (arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline_path = arg.substr(17);
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "dshuf_analyze: unknown option: " << arg << "\n";
+      return 2;
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: dshuf_analyze [--format=text|json] "
+                 "[--baseline=FILE] <file-or-dir>...\n";
+    return 2;
+  }
+
+  std::vector<dshuf::analyze::SourceFile> files;
+  for (const auto& file : collect(roots)) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in.good()) {
+      std::cerr << "dshuf_analyze: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    files.push_back(dshuf::analyze::make_source_file(
+        normalize(file.generic_string()), buf.str()));
+  }
+  const std::size_t files_scanned = files.size();
+
+  std::vector<dshuf::analyze::Finding> findings;
+  for (const auto& f : files) {
+    for (auto& fd : dshuf::analyze::scan_lexical(f)) {
+      findings.push_back(std::move(fd));
+    }
+  }
+  const dshuf::analyze::ProjectIndex idx =
+      dshuf::analyze::build_index(std::move(files));
+  dshuf::analyze::AnalysisResult res = dshuf::analyze::run_passes(idx);
+  findings.insert(findings.end(),
+                  std::make_move_iterator(res.findings.begin()),
+                  std::make_move_iterator(res.findings.end()));
+  std::sort(findings.begin(), findings.end(),
+            [](const dshuf::analyze::Finding& a,
+               const dshuf::analyze::Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.pass != b.pass) return a.pass < b.pass;
+              return a.message < b.message;
+            });
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    if (!out) {
+      std::cerr << "dshuf_analyze: cannot write " << write_baseline_path
+                << "\n";
+      return 2;
+    }
+    out << dshuf::analyze::render_baseline(findings);
+  }
+  if (!baseline_path.empty()) {
+    findings = dshuf::analyze::apply_baseline(
+        std::move(findings), dshuf::analyze::load_baseline(baseline_path));
+  }
+
+  const std::string rendered =
+      format == "json"
+          ? dshuf::analyze::render_json(findings, res.edges, files_scanned)
+          : dshuf::analyze::render_text(findings, res.edges, files_scanned);
+  std::cout << rendered;
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,39 @@
+// Fixture: lock-order inversion the analyzer must flag (WILL_FAIL test).
+// Self-contained rank universe — the indexer parses `enum class LockRank`
+// out of whichever file defines it, so this fixture never sees the real
+// src/util/ranked_mutex.hpp ranks.
+//
+// The inversion is cross-function: on_timeout() holds rank 20 and calls
+// deliver(), whose body (an out-of-line definition, exercising the
+// qualified-name indexing path) acquires rank 10. Only the transitive
+// may-acquire relation sees it.
+#include <mutex>
+
+namespace fix {
+
+enum class LockRank { kTaskScheduler = 5, kCommMailbox = 10, kFault = 20 };
+
+class RankedMutex {};
+
+class Mailbox {
+ public:
+  RankedMutex mu{LockRank::kCommMailbox, "fix.mailbox"};
+  void deliver();
+};
+
+class FaultTracker {
+ public:
+  RankedMutex mu_{LockRank::kFault, "fix.fault"};
+  Mailbox box;
+
+  void on_timeout() {
+    std::lock_guard<RankedMutex> hold(mu_);  // rank 20 held...
+    box.deliver();                           // ...while reaching rank 10
+  }
+};
+
+void Mailbox::deliver() {
+  std::lock_guard<RankedMutex> lk(mu);  // rank 10: the inverted acquire
+}
+
+}  // namespace fix

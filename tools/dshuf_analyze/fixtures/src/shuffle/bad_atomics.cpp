@@ -1,0 +1,18 @@
+// Fixture: atomics-discipline violations (WILL_FAIL test). This file has
+// no entry in the profile table, so only explicit seq_cst is acceptable:
+// the implicit-order load() and the exotic consume order must both flag.
+#include <atomic>
+
+namespace fix {
+
+class StopFlag {
+ public:
+  [[nodiscard]] bool read() const { return stop_.load(); }  // implicit order
+
+  void set() { stop_.store(true, std::memory_order_consume); }  // off-profile
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace fix

@@ -1,0 +1,37 @@
+// Fixture: blocking primitives reachable under a lock (WILL_FAIL test).
+// Three distinct hazards: a sleep under a lock, file I/O under a lock, and
+// a transitive condition-variable wait — wait_ready() itself is clean (the
+// wait releases its own mutex), but calling it with queue_mu_ held is not.
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+namespace fix {
+
+enum class LockRank { kTaskScheduler = 5, kBatchLoader = 30 };
+
+class RankedMutex {};
+
+class Loader {
+ public:
+  void wait_ready() {
+    std::unique_lock<RankedMutex> lk(mu_);
+    cv_.wait(lk);  // releases mu_: no other rank held, so clean here
+  }
+
+  void drain() {
+    std::lock_guard<RankedMutex> outer(queue_mu_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // hazard 1
+    std::ifstream in("manifest.txt");                           // hazard 2
+    wait_ready();  // hazard 3: cv wait while queue_mu_ is held
+  }
+
+ private:
+  RankedMutex mu_{LockRank::kBatchLoader, "fix.loader"};
+  RankedMutex queue_mu_{LockRank::kTaskScheduler, "fix.queue"};
+  std::condition_variable_any cv_;
+};
+
+}  // namespace fix

@@ -1,0 +1,28 @@
+// Fixture: DSHUF_NOALLOC violations (WILL_FAIL test). hot_loop() is
+// declared allocation-free but both allocates directly (`new`) and reaches
+// a growing std::vector through Queue::record — the reachability pass must
+// report the callee's push_back with a witness chain.
+#include <cstddef>
+#include <vector>
+
+#define DSHUF_NOALLOC
+
+namespace fix {
+
+class Queue {
+ public:
+  void record(int v) { log_.push_back(v); }  // grows under the hood
+
+ private:
+  std::vector<int> log_;
+};
+
+DSHUF_NOALLOC void hot_loop(Queue& q, std::size_t n) {
+  int* scratch = new int[4];  // direct allocation on the hot path
+  for (std::size_t i = 0; i < n; ++i) {
+    q.record(static_cast<int>(i));  // transitive allocation
+  }
+  delete[] scratch;
+}
+
+}  // namespace fix

@@ -1,0 +1,94 @@
+// Project-wide symbol index for dshuf_analyze.
+//
+// Built from the token streams of every scanned file, the index holds the
+// facts the cross-TU passes reason over:
+//
+//   - function definitions (free functions, out-of-line `A::f` members,
+//     and inline in-class methods), each with its body token range;
+//   - `RankedMutex` declarations with their declared `LockRank` (the enum
+//     itself is parsed out of whichever scanned file defines it, so
+//     fixtures can carry their own rank universe);
+//   - `std::condition_variable[_any]` and `std::atomic<...>` variable
+//     names;
+//   - a name → class map for variables/members whose declared type is a
+//     project class, used to disambiguate `obj.method(...)` calls and
+//     `obj.mu`-style mutex references by receiver.
+//
+// Everything is heuristic — see DESIGN.md §12 for the soundness limits —
+// but deliberately conservative in the direction that matters: an
+// unresolvable call contributes nothing (documented under-approximation),
+// while an ambiguous name resolves to the union of its candidates.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "source_model.hpp"
+
+namespace dshuf::analyze {
+
+struct FunctionDef {
+  int file = -1;         // index into ProjectIndex::files
+  int line = 1;          // 1-based line of the definition
+  std::string name;      // unqualified
+  std::string qual;      // enclosing class ("" for free functions)
+  std::size_t body_begin = 0;  // token index just past the opening '{'
+  std::size_t body_end = 0;    // token index of the closing '}'
+  bool noalloc = false;        // carried a DSHUF_NOALLOC marker
+};
+
+struct MutexDecl {
+  int file = -1;
+  int line = 1;
+  std::string name;       // variable name (mu_, mu, ...)
+  std::string owner;      // enclosing class ("" for locals/globals)
+  std::string rank_name;  // kCommMailbox, ...
+  std::string label;      // the human-readable name string, if present
+  int rank = -1;          // resolved numeric rank (-1 if enum unseen)
+};
+
+struct ProjectIndex {
+  std::vector<SourceFile> files;
+  std::vector<FunctionDef> functions;
+  std::map<std::string, std::vector<int>> functions_by_name;
+  std::vector<MutexDecl> mutexes;
+  std::map<std::string, int> rank_values;  // kName -> numeric rank
+  std::set<std::string> cv_names;          // condition variable var names
+  std::set<std::string> atomic_names;      // std::atomic<...> var names
+  std::set<std::string> class_names;
+  // var/member name -> set of project classes it was declared as.
+  std::map<std::string, std::set<std::string>> var_class;
+};
+
+/// Build the index over all files. `files` is moved in.
+ProjectIndex build_index(std::vector<SourceFile> files);
+
+/// Resolve the mutex expression tokens [b, e) (the argument of a lock
+/// guard) to the set of possible numeric ranks, with `file` as the file
+/// holding the expression and `owner` the enclosing class of the guard
+/// site ("" for free functions). Returns the matched declarations; empty
+/// when nothing resolves. Resolution order: receiver class member, the
+/// enclosing class's own member, same file, header/source sibling (same
+/// path stem), globally unique name.
+std::vector<const MutexDecl*> resolve_mutex(const ProjectIndex& idx,
+                                            int file,
+                                            const std::string& owner,
+                                            const std::vector<Token>& toks,
+                                            std::size_t b, std::size_t e);
+
+/// Candidate functions for a call `recv.name(...)` / `Class::name(...)` /
+/// `name(...)` made from `caller_file`. Resolution order, first match
+/// wins: `class_hint`'s methods (explicit qualifier), the receiver's
+/// declared class (when unique), definitions in the caller's own file,
+/// then a project-wide match only when the name is unambiguous (a name
+/// with several unrelated definitions resolves to nothing — a documented
+/// under-approximation, DESIGN.md §12).
+std::vector<int> resolve_call(const ProjectIndex& idx,
+                              const std::string& name,
+                              const std::string& receiver,
+                              const std::string& class_hint,
+                              int caller_file);
+
+}  // namespace dshuf::analyze

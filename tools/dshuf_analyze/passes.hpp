@@ -1,0 +1,57 @@
+// The four cross-TU passes of dshuf_analyze (DESIGN.md §12):
+//
+//   lock-order   May-acquire-while-holding, transitively over the call
+//                graph. Every edge `held rank R -> acquired rank S` is
+//                collected; edges with S <= R violate the LockRank
+//                discipline and become findings with a witness chain.
+//   blocking     Blocking primitives (cv waits, sleeps, thread joins,
+//                file streams / filesystem walks) reachable while any
+//                lock is held. A cv.wait(lk) releases only lk's own
+//                mutex, so it still counts when other ranks are held.
+//   atomics      Every std::atomic operation must spell its memory order
+//                explicitly, and the order must come from the per-file
+//                profile table (e.g. obs/metrics.hpp is relaxed-only,
+//                comm/comm.cpp is seq_cst-only).
+//   noalloc      Functions marked DSHUF_NOALLOC (util/noalloc.hpp) must
+//                not reach `new`, malloc-family calls, std::to_string,
+//                make_unique/make_shared, or growth operations on
+//                standard containers. Failure paths (catch blocks,
+//                DSHUF_CHECK) are exempt; `// analyze:alloc-ok <why>`
+//                waives a site with a justification.
+//
+// Waiver markers, same-line or line-above, justification >= 3 chars:
+//   // analyze:lock-ok <why>      // analyze:blocking-ok <why>
+//   // analyze:atomic-ok <why>    // analyze:alloc-ok <why>
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "index.hpp"
+#include "source_model.hpp"
+
+namespace dshuf::analyze {
+
+/// One observed (held -> acquired) rank pair, deduplicated project-wide.
+/// `via` names a function exhibiting the edge.
+struct LockOrderEdge {
+  int from_rank = -1;
+  std::string from_name;  // kFileStore, ...
+  int to_rank = -1;
+  std::string to_name;
+  std::string via;  // "Class::func (file:line)"
+  bool violation = false;
+};
+
+struct AnalysisResult {
+  std::vector<Finding> findings;
+  std::vector<LockOrderEdge> edges;
+};
+
+/// Run the four concurrency/steady-state passes over the indexed project.
+/// Findings are only emitted for files whose FileClass is src_tree (which
+/// includes the analyzer's own fixtures/src/ tree); the call graph and
+/// fixpoints still span every indexed file.
+AnalysisResult run_passes(const ProjectIndex& idx);
+
+}  // namespace dshuf::analyze

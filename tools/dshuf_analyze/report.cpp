@@ -1,0 +1,138 @@
+#include "report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace dshuf::analyze {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string baseline_key(const Finding& f) {
+  return f.rule + "\t" + f.file + "\t" + f.message;
+}
+
+Baseline load_baseline(const std::string& path) {
+  Baseline out;
+  std::ifstream in(path);
+  if (!in) return out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    out.insert(t);
+  }
+  return out;
+}
+
+std::string render_baseline(const std::vector<Finding>& findings) {
+  std::set<std::string> keys;
+  for (const Finding& f : findings) keys.insert(baseline_key(f));
+  std::ostringstream out;
+  out << "# dshuf_analyze baseline — rule<TAB>file<TAB>message per line.\n"
+      << "# Ratchet: this file may only shrink (DESIGN.md §12).\n";
+  for (const std::string& k : keys) out << k << "\n";
+  return out.str();
+}
+
+std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                    const Baseline& baseline) {
+  if (baseline.empty()) return findings;
+  std::vector<Finding> out;
+  out.reserve(findings.size());
+  for (Finding& f : findings) {
+    if (baseline.count(baseline_key(f)) == 0) out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::string render_text(const std::vector<Finding>& findings,
+                        const std::vector<LockOrderEdge>& edges,
+                        std::size_t files_scanned) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ": [" << f.pass;
+    if (f.rule != f.pass) out << "/" << f.rule;
+    out << "] " << f.message << "\n";
+    for (const std::string& hop : f.chain) {
+      out << "    via " << hop << "\n";
+    }
+  }
+  std::size_t violations = 0;
+  for (const LockOrderEdge& e : edges) {
+    if (e.violation) ++violations;
+  }
+  out << "dshuf_analyze: " << findings.size() << " finding(s), "
+      << edges.size() << " lock-order edge(s) (" << violations
+      << " violating), " << files_scanned << " file(s) scanned\n";
+  return out.str();
+}
+
+std::string render_json(const std::vector<Finding>& findings,
+                        const std::vector<LockOrderEdge>& edges,
+                        std::size_t files_scanned) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"dshuf.analyze.v1\",\n  \"files_scanned\": "
+      << files_scanned << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"file\": \"" << json_escape(f.file) << "\", \"line\": "
+        << f.line << ", \"pass\": \"" << json_escape(f.pass)
+        << "\", \"rule\": \"" << json_escape(f.rule)
+        << "\", \"message\": \"" << json_escape(f.message)
+        << "\", \"chain\": [";
+    for (std::size_t j = 0; j < f.chain.size(); ++j) {
+      if (j != 0) out << ", ";
+      out << "\"" << json_escape(f.chain[j]) << "\"";
+    }
+    out << "]}";
+  }
+  out << (findings.empty() ? "],\n" : "\n  ],\n");
+  out << "  \"lock_order_edges\": [";
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const LockOrderEdge& e = edges[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"from_rank\": " << e.from_rank << ", \"from\": \""
+        << json_escape(e.from_name) << "\", \"to_rank\": " << e.to_rank
+        << ", \"to\": \"" << json_escape(e.to_name) << "\", \"via\": \""
+        << json_escape(e.via) << "\", \"violation\": "
+        << (e.violation ? "true" : "false") << "}";
+  }
+  out << (edges.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace dshuf::analyze

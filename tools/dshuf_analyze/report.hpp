@@ -1,0 +1,46 @@
+// Rendering and baseline handling for dshuf_analyze.
+//
+// Baseline format (tools/dshuf_analyze/baseline.txt): one waived finding
+// per line, `rule<TAB>file<TAB>message`, '#' comments and blank lines
+// ignored. Line numbers are deliberately absent so unrelated edits do not
+// churn the baseline. The ratchet policy (DESIGN.md §12): the committed
+// baseline may only shrink — new findings are fixed or annotated at the
+// site, never baselined.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "passes.hpp"
+#include "source_model.hpp"
+
+namespace dshuf::analyze {
+
+using Baseline = std::set<std::string>;
+
+/// Key used for baseline matching: "rule\tfile\tmessage".
+std::string baseline_key(const Finding& f);
+
+/// Load a baseline file. Returns an empty set when the file is absent.
+Baseline load_baseline(const std::string& path);
+
+/// Serialise findings as a baseline document (sorted, unique).
+std::string render_baseline(const std::vector<Finding>& findings);
+
+/// Drop findings present in the baseline.
+std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                    const Baseline& baseline);
+
+/// Human-readable report: one line per finding plus witness-chain lines,
+/// then a summary with the scanned-file and edge counts.
+std::string render_text(const std::vector<Finding>& findings,
+                        const std::vector<LockOrderEdge>& edges,
+                        std::size_t files_scanned);
+
+/// Machine-readable report, schema "dshuf.analyze.v1".
+std::string render_json(const std::vector<Finding>& findings,
+                        const std::vector<LockOrderEdge>& edges,
+                        std::size_t files_scanned);
+
+}  // namespace dshuf::analyze

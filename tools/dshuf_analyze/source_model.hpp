@@ -1,0 +1,117 @@
+// Shared scanning core for dshuf's static-analysis tools.
+//
+// Both `dshuf_lint` (per-file lexical rules) and `dshuf_analyze` (the
+// cross-TU concurrency/steady-state analyzer) sit on this layer:
+//
+//   - scrub():        blanks comments, string/char/raw-string literals in
+//                     place while preserving newlines, so downstream scans
+//                     can never match inside a literal or comment.
+//   - tokenize():     a real C++ token stream (identifiers, numbers,
+//                     string/char literal markers, punctuation) over the
+//                     scrubbed text, with 1-based line numbers.
+//   - classify_path(): path-based file policy (src tree, determinism-
+//                     critical namespaces, rng/log module exemptions).
+//   - annotation helpers: the `// lint:<tag> <why>` / `// analyze:<tag>
+//                     <why>` waiver contract, including the justification
+//                     requirement.
+//
+// Keeping one implementation here is what makes the two tools agree: a
+// construct the linter ignores because it sits in a comment is invisible
+// to the analyzer for the same reason, by the same code.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dshuf::analyze {
+
+/// Path-derived scanning policy for one file. Mirrors (and now backs)
+/// dshuf::lint::FileInfo.
+struct FileClass {
+  std::string path;
+  bool is_header = false;
+  bool determinism_critical = false;  // src/shuffle|src/comm|src/sim
+  bool rng_module = false;            // util/rng.* may name entropy sources
+  bool src_tree = false;              // under src/ (includes fixture trees)
+  bool log_module = false;            // util/log.cpp may write to streams
+};
+
+FileClass classify_path(const std::string& path);
+
+/// Replace comments and string/char literal contents with spaces,
+/// preserving length and newlines so offsets map 1:1 onto the original.
+std::string scrub(const std::string& content);
+
+// ------------------------------------------------------------------ tokens
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kChar, kPunct };
+  Kind kind;
+  std::string text;  // identifier/number/punct spelling; empty for literals
+  int line;          // 1-based
+};
+
+/// Tokenize scrubbed C++ text. Multi-character punctuation is split except
+/// for `::` and `->`, which the index needs whole; `<`/`>` are always
+/// single tokens so template-argument balancing can treat them uniformly.
+std::vector<Token> tokenize(const std::string& scrubbed);
+
+// ------------------------------------------------------------- line utils
+
+std::vector<std::string> split_lines(const std::string& s);
+std::string trim(const std::string& s);
+std::string lower(std::string s);
+
+bool is_ident_char(char c);
+
+/// Whole-word occurrence of `word` in `s` at `pos` or later; npos if absent.
+std::size_t find_word(const std::string& s, const std::string& word,
+                      std::size_t pos = 0);
+bool contains_word(const std::string& s, const std::string& word);
+
+// ------------------------------------------------------------ annotations
+
+/// Justification text following an annotation marker: everything after the
+/// marker with leading separators (: - whitespace) stripped. Empty when the
+/// author wrote the marker alone.
+std::string annotation_justification(const std::string& raw_line,
+                                     const std::string& marker);
+
+/// True when `marker` appears on raw line `idx` (0-based) or the line above.
+bool annotated(const std::vector<std::string>& raw_lines, std::size_t idx,
+               const std::string& marker);
+
+/// The raw line (same or previous) carrying `marker`, or npos.
+std::size_t annotation_line(const std::vector<std::string>& raw_lines,
+                            std::size_t idx, const std::string& marker);
+
+// -------------------------------------------------------------- findings
+
+/// One reported defect. `pass` groups findings by analysis ("lint",
+/// "lock-order", "blocking", "atomics", "noalloc"); `chain` is the witness
+/// call path for cross-function findings (empty for direct ones).
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string pass;
+  std::string rule;
+  std::string message;
+  std::vector<std::string> chain;  // "qual::name (file:line)" hops
+};
+
+/// One file loaded for scanning: raw text plus the derived views every
+/// rule consumes. Built once, shared by the lexical rules and the index.
+struct SourceFile {
+  FileClass cls;
+  std::string raw;
+  std::string scrubbed;
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> lines;  // scrubbed, split
+  std::vector<Token> toks;
+};
+
+SourceFile make_source_file(const std::string& path,
+                            const std::string& content);
+
+}  // namespace dshuf::analyze

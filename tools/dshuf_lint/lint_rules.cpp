@@ -1,560 +1,55 @@
+// dshuf_lint rule engine — now a thin adapter over the shared scanning
+// core in tools/dshuf_analyze (source_model + lexical_rules). The rules
+// themselves moved there so dshuf_lint and dshuf_analyze agree byte-for-
+// byte on scrubbing, tokenization and the annotation contract; this file
+// only converts between the two tools' (intentionally stable) public
+// types. See lexical_rules.hpp for the rule catalogue.
 #include "lint_rules.hpp"
 
-#include <algorithm>
-#include <cctype>
+#include "lexical_rules.hpp"
+#include "source_model.hpp"
 
 namespace dshuf::lint {
 
 namespace {
 
-bool is_ident(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Whole-word occurrence of `word` in `s` starting at `pos` or later;
-/// returns npos when absent.
-std::size_t find_word(const std::string& s, const std::string& word,
-                      std::size_t pos = 0) {
-  while ((pos = s.find(word, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !is_ident(s[pos - 1]);
-    const std::size_t end = pos + word.size();
-    const bool right_ok = end >= s.size() || !is_ident(s[end]);
-    if (left_ok && right_ok) return pos;
-    pos = end;
-  }
-  return std::string::npos;
-}
-
-bool contains_word(const std::string& s, const std::string& word) {
-  return find_word(s, word) != std::string::npos;
-}
-
-std::string lower(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
-    return static_cast<char>(std::tolower(c));
-  });
-  return s;
-}
-
-std::vector<std::string> split_lines(const std::string& s) {
-  std::vector<std::string> lines;
-  std::size_t start = 0;
-  while (start <= s.size()) {
-    const std::size_t nl = s.find('\n', start);
-    if (nl == std::string::npos) {
-      lines.push_back(s.substr(start));
-      break;
-    }
-    lines.push_back(s.substr(start, nl - start));
-    start = nl + 1;
-  }
-  return lines;
-}
-
-std::string trim(const std::string& s) {
-  std::size_t b = 0;
-  std::size_t e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
-  return s.substr(b, e - b);
-}
-
-/// Justification text following an annotation marker: everything after the
-/// marker with leading separators (:- and dashes) stripped. Empty when the
-/// author wrote the marker alone.
-std::string annotation_justification(const std::string& raw_line,
-                                     const std::string& marker) {
-  const std::size_t pos = raw_line.find(marker);
-  if (pos == std::string::npos) return {};
-  std::string rest = raw_line.substr(pos + marker.size());
-  std::size_t b = 0;
-  while (b < rest.size() &&
-         (rest[b] == ':' || rest[b] == '-' || rest[b] == ' ' ||
-          rest[b] == '\t')) {
-    ++b;
-  }
-  return trim(rest.substr(b));
-}
-
-/// True when `marker` appears on raw line `idx` or the line above it.
-bool annotated(const std::vector<std::string>& raw_lines, std::size_t idx,
-               const std::string& marker) {
-  if (idx < raw_lines.size() &&
-      raw_lines[idx].find(marker) != std::string::npos) {
-    return true;
-  }
-  return idx > 0 && raw_lines[idx - 1].find(marker) != std::string::npos;
-}
-
-/// The raw line (same or previous) carrying `marker`, or npos.
-std::size_t annotation_line(const std::vector<std::string>& raw_lines,
-                            std::size_t idx, const std::string& marker) {
-  if (idx < raw_lines.size() &&
-      raw_lines[idx].find(marker) != std::string::npos) {
-    return idx;
-  }
-  if (idx > 0 && raw_lines[idx - 1].find(marker) != std::string::npos) {
-    return idx - 1;
-  }
-  return std::string::npos;
-}
-
-// --- rule: banned-random -------------------------------------------------
-
-void check_banned_random(const FileInfo& info,
-                         const std::vector<std::string>& lines,
-                         std::vector<Finding>& out) {
-  if (info.rng_module) return;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& l = lines[i];
-    auto flag = [&](const std::string& what) {
-      out.push_back({info.path, i + 1, "banned-random",
-                     what + " — all randomness must flow through "
-                           "dshuf::Rng (util/rng.hpp)"});
-    };
-    if (contains_word(l, "random_device")) {
-      flag("std::random_device is a nondeterministic entropy source");
-      continue;
-    }
-    std::size_t p;
-    if ((p = find_word(l, "srand")) != std::string::npos &&
-        l.find('(', p) != std::string::npos) {
-      flag("srand() seeds the global C PRNG");
-      continue;
-    }
-    if ((p = find_word(l, "rand")) != std::string::npos) {
-      std::size_t q = p + 4;
-      while (q < l.size() && l[q] == ' ') ++q;
-      if (q < l.size() && l[q] == '(') {
-        flag("rand() draws from unseeded global state");
-        continue;
-      }
-    }
-    // Wall-clock seeding: time(NULL/nullptr/0) or a time_since_epoch()
-    // value flowing into anything named *seed*.
-    if ((p = find_word(l, "time")) != std::string::npos) {
-      std::size_t q = p + 4;
-      while (q < l.size() && l[q] == ' ') ++q;
-      if (q < l.size() && l[q] == '(') {
-        const std::string inner = trim(l.substr(
-            q + 1, l.find(')', q) == std::string::npos
-                       ? std::string::npos
-                       : l.find(')', q) - q - 1));
-        if (inner == "NULL" || inner == "nullptr" || inner == "0") {
-          flag("time(" + inner + ") is a wall-clock seed");
-          continue;
-        }
-      }
-    }
-    if (l.find("time_since_epoch") != std::string::npos &&
-        lower(l).find("seed") != std::string::npos) {
-      flag("seeding from time_since_epoch() is wall-clock dependent");
-    }
-  }
-}
-
-// --- rule: unordered-iteration -------------------------------------------
-
-/// Names declared (in this file) with an unordered container type.
-std::vector<std::string> unordered_decl_names(
-    const std::vector<std::string>& lines) {
-  std::vector<std::string> names;
-  for (const std::string& l : lines) {
-    for (const char* kw : {"unordered_map", "unordered_set"}) {
-      std::size_t p = 0;
-      while ((p = find_word(l, kw, p)) != std::string::npos) {
-        std::size_t q = p + std::string(kw).size();
-        if (q >= l.size() || l[q] != '<') {
-          p = q;
-          continue;
-        }
-        int depth = 0;
-        while (q < l.size()) {
-          if (l[q] == '<') ++depth;
-          if (l[q] == '>') {
-            --depth;
-            if (depth == 0) break;
-          }
-          ++q;
-        }
-        if (q >= l.size()) break;  // template args span lines — give up
-        ++q;
-        while (q < l.size() && (l[q] == ' ' || l[q] == '&' || l[q] == '*')) {
-          ++q;
-        }
-        std::size_t e = q;
-        while (e < l.size() && is_ident(l[e])) ++e;
-        if (e > q) names.push_back(l.substr(q, e - q));
-        p = e;
-      }
-    }
-  }
-  return names;
-}
-
-void check_unordered_iteration(const FileInfo& info,
-                               const std::vector<std::string>& lines,
-                               const std::vector<std::string>& raw_lines,
-                               std::vector<Finding>& out) {
-  if (!info.determinism_critical) return;
-  const auto names = unordered_decl_names(lines);
-  const std::string marker = "lint:ordered-ok";
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& l = lines[i];
-    bool iterates = false;
-    std::string detail;
-    // Range-for whose range expression names an unordered container (or
-    // constructs one inline).
-    const std::size_t fp = find_word(l, "for");
-    if (fp != std::string::npos) {
-      const std::size_t colon = l.find(" : ", fp);
-      if (colon != std::string::npos) {
-        const std::string range = l.substr(colon + 3);
-        if (range.find("unordered_map") != std::string::npos ||
-            range.find("unordered_set") != std::string::npos) {
-          iterates = true;
-          detail = "range-for over an unordered container";
-        }
-        for (const auto& n : names) {
-          if (contains_word(range, n)) {
-            iterates = true;
-            detail = "range-for over unordered container '" + n + "'";
-          }
-        }
-      }
-    }
-    // Explicit iterator walks.
-    for (const auto& n : names) {
-      for (const char* m : {".begin(", ".cbegin(", "->begin(", "->cbegin("}) {
-        const std::size_t p = l.find(n + m);
-        if (p != std::string::npos &&
-            (p == 0 || !is_ident(l[p - 1]))) {
-          iterates = true;
-          detail = "iterator walk over unordered container '" + n + "'";
-        }
-      }
-    }
-    if (!iterates) continue;
-    if (annotated(raw_lines, i, marker)) {
-      const std::size_t al = annotation_line(raw_lines, i, marker);
-      if (annotation_justification(raw_lines[al], marker).size() < 3) {
-        out.push_back({info.path, al + 1, "ordered-ok-justification",
-                       "lint:ordered-ok requires a justification "
-                       "(why is iteration order irrelevant here?)"});
-      }
-      continue;
-    }
-    out.push_back(
-        {info.path, i + 1, "unordered-iteration",
-         detail + " in a determinism-critical namespace — iteration order "
-                  "is hash-dependent; use an ordered container, sort "
-                  "before iterating, or annotate `// lint:ordered-ok "
-                  "<why>`"});
-  }
-}
-
-// --- rule: raw-tag-literal -----------------------------------------------
-
-/// Split the argument list starting at `open` (index of '(') into
-/// top-level comma-separated pieces. Returns empty when unbalanced (e.g.
-/// the call spans a scrubbed region) — callers skip those.
-std::vector<std::string> call_args(const std::string& text,
-                                   std::size_t open) {
-  std::vector<std::string> args;
-  int depth = 0;
-  std::string cur;
-  for (std::size_t i = open; i < text.size(); ++i) {
-    const char c = text[i];
-    if (c == '(' || c == '[' || c == '{') {
-      ++depth;
-      if (depth == 1) continue;  // the call's own '('
-    } else if (c == ')' || c == ']' || c == '}') {
-      --depth;
-      if (depth == 0) {
-        args.push_back(cur);
-        return args;
-      }
-    } else if (c == ',' && depth == 1) {
-      args.push_back(cur);
-      cur.clear();
-      continue;
-    }
-    cur += c;
-  }
-  return {};
-}
-
-void check_raw_tags(const FileInfo& info, const std::string& text,
-                    const std::vector<std::size_t>& line_starts,
-                    const std::vector<std::string>& raw_lines,
-                    std::vector<Finding>& out) {
-  const std::string file_marker = "lint:tag-ok-file";
-  const std::string line_marker = "lint:tag-ok";
-  std::size_t file_marker_line = std::string::npos;
-  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
-    if (raw_lines[i].find(file_marker) != std::string::npos) {
-      file_marker_line = i;
-      break;
-    }
-  }
-  if (file_marker_line != std::string::npos &&
-      annotation_justification(raw_lines[file_marker_line], file_marker)
-              .size() < 3) {
-    out.push_back({info.path, file_marker_line + 1, "tag-ok-justification",
-                   "lint:tag-ok-file requires a justification"});
-  }
-
-  auto line_of = [&](std::size_t off) {
-    const auto it =
-        std::upper_bound(line_starts.begin(), line_starts.end(), off);
-    return static_cast<std::size_t>(it - line_starts.begin());  // 1-based
-  };
-
-  for (const char* fn : {"isend", "irecv"}) {
-    std::size_t p = 0;
-    while ((p = find_word(text, fn, p)) != std::string::npos) {
-      std::size_t q = p + 5;
-      while (q < text.size() && (text[q] == ' ' || text[q] == '\n')) ++q;
-      if (q >= text.size() || text[q] != '(') {
-        p = q;
-        continue;
-      }
-      const auto args = call_args(text, q);
-      p = q;
-      // isend(dest, tag, payload) / irecv(source, tag): the tag is always
-      // argument #2. Declarations pass too ("int tag" mentions tag).
-      if (args.size() < 2) continue;
-      const std::string tag_arg = lower(trim(args[1]));
-      if (tag_arg.find("tag") != std::string::npos) continue;
-      const std::size_t lineno = line_of(p);  // 1-based
-      const std::size_t idx = lineno - 1;
-      if (file_marker_line != std::string::npos) continue;
-      if (annotated(raw_lines, idx, line_marker)) {
-        const std::size_t al = annotation_line(raw_lines, idx, line_marker);
-        if (annotation_justification(raw_lines[al], line_marker).size() <
-            3) {
-          out.push_back({info.path, al + 1, "tag-ok-justification",
-                         "lint:tag-ok requires a justification"});
-        }
-        continue;
-      }
-      out.push_back(
-          {info.path, lineno, "raw-tag-literal",
-           std::string(fn) +
-               " tag '" + trim(args[1]) +
-               "' does not reference a tag helper — derive it from the "
-               "per-epoch helpers in shuffle/exchange_tags.hpp (or "
-               "annotate `// lint:tag-ok <why>`)"});
-    }
-  }
-}
-
-// --- rule: raw-stdout ------------------------------------------------------
-
-void check_raw_stdout(const FileInfo& info,
-                      const std::vector<std::string>& lines,
-                      const std::vector<std::string>& raw_lines,
-                      std::vector<Finding>& out) {
-  if (!info.src_tree || info.log_module) return;
-  const std::string marker = "lint:stdout-ok";
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& l = lines[i];
-    std::string stream;
-    for (const char* s : {"cout", "cerr"}) {
-      if (contains_word(l, s)) stream = s;
-    }
-    if (stream.empty()) continue;
-    if (annotated(raw_lines, i, marker)) {
-      const std::size_t al = annotation_line(raw_lines, i, marker);
-      if (annotation_justification(raw_lines[al], marker).size() < 3) {
-        out.push_back({info.path, al + 1, "stdout-ok-justification",
-                       "lint:stdout-ok requires a justification "
-                       "(why can this site not log through util/log.hpp?)"});
-      }
-      continue;
-    }
-    out.push_back(
-        {info.path, i + 1, "raw-stdout",
-         "std::" + stream + " write in src/ — route output through "
-         "util/log.hpp (LOG_* lines carry the [rank epoch] context) or "
-         "annotate `// lint:stdout-ok <why>`"});
-  }
-}
-
-// --- rule: include hygiene -----------------------------------------------
-
-void check_include_hygiene(const FileInfo& info,
-                           const std::vector<std::string>& lines,
-                           const std::vector<std::string>& raw_lines,
-                           std::vector<Finding>& out) {
-  if (info.is_header) {
-    bool pragma_first = false;
-    for (const auto& l : lines) {
-      const std::string t = trim(l);
-      if (t.empty()) continue;
-      pragma_first = t.rfind("#pragma once", 0) == 0;
-      break;
-    }
-    if (!pragma_first) {
-      out.push_back({info.path, 1, "pragma-once",
-                     "header must open with #pragma once (before any other "
-                     "content)"});
-    }
-  }
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    // Include paths live inside the quotes the scrubber blanks — inspect
-    // the raw line for preprocessor directives.
-    const std::string rt =
-        i < raw_lines.size() ? trim(raw_lines[i]) : std::string{};
-    if (rt.rfind("#include", 0) == 0 && rt.find('"') != std::string::npos &&
-        rt.find("../") != std::string::npos) {
-      out.push_back({info.path, i + 1, "relative-include",
-                     "quote-includes must be rooted at src/ (no ../)"});
-    }
-    const std::string t = trim(lines[i]);
-    if (contains_word(t, "using") && t.find("namespace std") !=
-                                         std::string::npos) {
-      out.push_back({info.path, i + 1, "using-namespace-std",
-                     "`using namespace std` pollutes every declaration "
-                     "after it"});
-    }
-  }
+analyze::FileClass to_class(const FileInfo& info) {
+  analyze::FileClass cls;
+  cls.path = info.path;
+  cls.is_header = info.is_header;
+  cls.determinism_critical = info.determinism_critical;
+  cls.rng_module = info.rng_module;
+  cls.src_tree = info.src_tree;
+  cls.log_module = info.log_module;
+  return cls;
 }
 
 }  // namespace
 
 FileInfo classify_path(const std::string& path) {
+  const analyze::FileClass cls = analyze::classify_path(path);
   FileInfo info;
-  info.path = path;
-  std::string p = path;
-  std::replace(p.begin(), p.end(), '\\', '/');
-  const auto has = [&](const char* needle) {
-    return p.find(needle) != std::string::npos;
-  };
-  info.is_header = p.size() >= 4 && (p.rfind(".hpp") == p.size() - 4 ||
-                                     p.rfind(".h") == p.size() - 2);
-  info.determinism_critical =
-      has("src/shuffle/") || has("src/comm/") || has("src/sim/");
-  info.rng_module = has("util/rng.hpp") || has("util/rng.cpp");
-  info.src_tree = has("src/");
-  info.log_module = has("util/log.cpp");
+  info.path = cls.path;
+  info.is_header = cls.is_header;
+  info.determinism_critical = cls.determinism_critical;
+  info.rng_module = cls.rng_module;
+  info.src_tree = cls.src_tree;
+  info.log_module = cls.log_module;
   return info;
 }
 
 std::string scrub(const std::string& content) {
-  std::string out = content;
-  enum class St { kCode, kLine, kBlock, kStr, kChar, kRaw };
-  St st = St::kCode;
-  std::string raw_delim;
-  for (std::size_t i = 0; i < content.size(); ++i) {
-    const char c = content[i];
-    const char n = i + 1 < content.size() ? content[i + 1] : '\0';
-    switch (st) {
-      case St::kCode:
-        if (c == '/' && n == '/') {
-          st = St::kLine;
-          out[i] = ' ';
-        } else if (c == '/' && n == '*') {
-          st = St::kBlock;
-          out[i] = ' ';
-        } else if (c == 'R' && n == '"' &&
-                   (i == 0 || !is_ident(content[i - 1]))) {
-          // Raw string: capture the delimiter up to '('.
-          std::size_t j = i + 2;
-          while (j < content.size() && content[j] != '(') ++j;
-          raw_delim = ")" + content.substr(i + 2, j - i - 2) + "\"";
-          st = St::kRaw;
-          // Keep R"...( visible length but blank it.
-          for (std::size_t k = i; k <= j && k < content.size(); ++k) {
-            if (content[k] != '\n') out[k] = ' ';
-          }
-          i = j;
-        } else if (c == '"') {
-          st = St::kStr;
-        } else if (c == '\'') {
-          st = St::kChar;
-        }
-        break;
-      case St::kLine:
-        if (c == '\n') {
-          st = St::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case St::kBlock:
-        if (c == '*' && n == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          st = St::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::kStr:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (n != '\n') {
-            if (i + 1 < out.size()) out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '"') {
-          st = St::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < out.size() && n != '\n') {
-            out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '\'') {
-          st = St::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::kRaw:
-        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (std::size_t k = 0; k < raw_delim.size(); ++k) {
-            if (out[i + k] != '\n') out[i + k] = ' ';
-          }
-          i += raw_delim.size() - 1;
-          st = St::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
+  return analyze::scrub(content);
 }
 
 std::vector<Finding> scan_file(const FileInfo& info,
                                const std::string& content) {
+  analyze::SourceFile f = analyze::make_source_file(info.path, content);
+  f.cls = to_class(info);  // honour caller-overridden classifications
   std::vector<Finding> out;
-  const std::string scrubbed = scrub(content);
-  const auto lines = split_lines(scrubbed);
-  const auto raw_lines = split_lines(content);
-  std::vector<std::size_t> line_starts;
-  line_starts.push_back(0);
-  for (std::size_t i = 0; i < scrubbed.size(); ++i) {
-    if (scrubbed[i] == '\n') line_starts.push_back(i + 1);
+  for (const analyze::Finding& fd : analyze::scan_lexical(f)) {
+    out.push_back(Finding{fd.file, fd.line, fd.rule, fd.message});
   }
-
-  check_banned_random(info, lines, out);
-  check_unordered_iteration(info, lines, raw_lines, out);
-  check_raw_tags(info, scrubbed, line_starts, raw_lines, out);
-  check_raw_stdout(info, lines, raw_lines, out);
-  check_include_hygiene(info, lines, raw_lines, out);
-
-  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
-    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
-  });
   return out;
 }
 
