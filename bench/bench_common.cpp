@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace dshuf::bench {
@@ -27,9 +28,15 @@ std::string scan_flag(int argc, const char* const* argv,
 
 ObsSession::ObsSession(int argc, const char* const* argv)
     : trace_out_(scan_flag(argc, argv, "trace-out")),
-      metrics_out_(scan_flag(argc, argv, "metrics-out")) {
+      metrics_out_(scan_flag(argc, argv, "metrics-out")),
+      timeseries_out_(scan_flag(argc, argv, "timeseries-out")) {
   if (!trace_out_.empty()) {
     obs::Tracer::instance().set_enabled(true);
+  }
+  if (!timeseries_out_.empty()) {
+    auto& sampler = obs::TimeseriesSampler::instance();
+    sampler.set_enabled(true);
+    sampler.reset();  // window deltas start from the bench's entry state
   }
 }
 
@@ -46,6 +53,19 @@ ObsSession::~ObsSession() {
       std::cout << "(epoch report written to " << epochs_csv << ")\n";
     }
     tracer.set_enabled(false);
+  }
+  if (!timeseries_out_.empty()) {
+    auto& sampler = obs::TimeseriesSampler::instance();
+    // Close out whatever ran after the last per-epoch tick (teardown,
+    // final evals) so the export always covers the full session.
+    sampler.sample_window("final");
+    if (sampler.write_json(timeseries_out_)) {
+      std::cout << "(timeseries written to " << timeseries_out_ << ")\n";
+    } else {
+      std::cerr << "failed to write timeseries to " << timeseries_out_
+                << "\n";
+    }
+    sampler.set_enabled(false);
   }
   if (!metrics_out_.empty()) {
     const auto snap = obs::Registry::instance().snapshot();

@@ -56,15 +56,20 @@ void print_header(const std::string& figure, const std::string& title,
 
 /// Per-bench observability session. Scans argv for
 ///
-///   --trace-out=<path>    (or: --trace-out <path>)
-///   --metrics-out=<path>  (or: --metrics-out <path>)
+///   --trace-out=<path>       (or: --trace-out <path>)
+///   --metrics-out=<path>     (or: --metrics-out <path>)
+///   --timeseries-out=<path>  (or: --timeseries-out <path>)
 ///
 /// ignoring every other flag, so it composes with each bench's own
 /// ArgParser. When --trace-out is given the tracer is enabled for the
 /// bench's lifetime; on destruction the session writes the Chrome trace
 /// JSON there, a per-epoch CSV next to it (<path>.epochs.csv), and — when
 /// --metrics-out is given — the metrics snapshot (JSON, or CSV when the
-/// path ends in .csv). Construct it first thing in main().
+/// path ends in .csv). --timeseries-out arms the windowed telemetry
+/// sampler (one window per simulated epoch, plus a trailing "final"
+/// window for whatever ran after the last tick) and writes the
+/// dshuf.timeseries.v1 JSON on destruction. Construct it first thing in
+/// main().
 class ObsSession {
  public:
   ObsSession(int argc, const char* const* argv);
@@ -77,6 +82,7 @@ class ObsSession {
  private:
   std::string trace_out_;
   std::string metrics_out_;
+  std::string timeseries_out_;
 };
 
 }  // namespace dshuf::bench

@@ -7,6 +7,7 @@
 
 #include "comm/fault.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/ranked_mutex.hpp"
 #include "util/ring_queue.hpp"
@@ -529,6 +530,13 @@ void World::run(const std::function<void(Communicator&)>& body) {
   for (int r = 0; r < n; ++r) {
     threads.emplace_back([this, r, &body, &errors] {
       try {
+        // Rank threads own trace lane r; naming the lane up front means
+        // every World body (not just exchanges) renders as "rank r" in
+        // merged Chrome traces.
+        obs::Tracer::set_thread_track(r);
+        if (obs::Tracer::instance().enabled()) {
+          obs::Tracer::set_thread_name("rank " + std::to_string(r));
+        }
         Communicator c(state_.get(), r);
         body(c);
       } catch (...) {

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -8,6 +9,13 @@
 #include "util/error.hpp"
 
 namespace dshuf::obs {
+
+Histogram::Histogram()
+    : bounds_(log2_latency_bounds_us().begin(), log2_latency_bounds_us().end()),
+      counts_(new std::atomic<std::uint64_t>[bounds_.size() + 1]),
+      log2_(true) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
 
 Histogram::Histogram(std::vector<std::uint64_t> bounds)
     : bounds_(std::move(bounds)),
@@ -18,8 +26,17 @@ Histogram::Histogram(std::vector<std::uint64_t> bounds)
 }
 
 void Histogram::observe(std::uint64_t v) {
-  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  std::size_t bucket;
+  if (log2_) {
+    // bounds_[i] == 2^i with inclusive upper edges, so the bucket of v is
+    // bit_width(v - 1): v in (2^(i-1), 2^i] -> i. Branch-free except the
+    // v<=1 floor and the overflow clamp.
+    bucket = v <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(v - 1));
+    if (bucket > bounds_.size()) bucket = bounds_.size();
+  } else {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    bucket = static_cast<std::size_t>(it - bounds_.begin());
+  }
   counts_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
@@ -41,11 +58,11 @@ void Histogram::reset() {
   sum_.store(0, std::memory_order_relaxed);
 }
 
-std::span<const std::uint64_t> default_latency_bounds_us() {
-  // Powers of four: 1us .. ~16.8s, 13 buckets + overflow.
+std::span<const std::uint64_t> log2_latency_bounds_us() {
+  // Powers of two: 1us .. 2^39us (~6.4 days), 40 bounds + overflow.
   static const std::vector<std::uint64_t> bounds = [] {
     std::vector<std::uint64_t> b;
-    for (std::uint64_t v = 1; v <= 16'777'216; v *= 4) b.push_back(v);
+    for (int i = 0; i < 40; ++i) b.push_back(1ull << i);
     return b;
   }();
   return bounds;
@@ -183,15 +200,11 @@ Histogram& Registry::histogram(std::string_view name,
   std::lock_guard<RankedMutex> lk(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
-    std::vector<std::uint64_t> b(bounds.begin(), bounds.end());
-    if (b.empty()) {
-      const auto d = default_latency_bounds_us();
-      b.assign(d.begin(), d.end());
-    }
-    it = histograms_
-             .emplace(std::string(name),
-                      std::make_unique<Histogram>(std::move(b)))
-             .first;
+    auto h = bounds.empty()
+                 ? std::make_unique<Histogram>()
+                 : std::make_unique<Histogram>(std::vector<std::uint64_t>(
+                       bounds.begin(), bounds.end()));
+    it = histograms_.emplace(std::string(name), std::move(h)).first;
   }
   return *it->second;
 }

@@ -1,5 +1,5 @@
-// Process-wide metrics registry: counters, gauges, fixed-bucket
-// histograms.
+// Process-wide metrics registry: counters, gauges, and histograms
+// (log2-bucketed by default, explicit bounds on request).
 //
 // Updates are the hot path and are lock-free: every instrument is a bundle
 // of relaxed atomics, and call sites cache the instrument reference behind
@@ -61,15 +61,41 @@ class Gauge {
   std::atomic<std::int64_t> v_{0};
 };
 
-/// Fixed-bucket histogram: bucket i counts observations <= bounds[i], the
+/// Bucketed histogram: bucket i counts observations <= bounds[i], the
 /// last (implicit) bucket counts everything above bounds.back(). Bounds
 /// are fixed at registration; observe() is lock-free.
+///
+/// Two bucket layouts:
+///   * log2 (the default, and what DSHUF_HISTOGRAM_US registers): bounds
+///     are 2^0 .. 2^39, so observe() is a branch-free bit_width — no
+///     binary search — and quantiles can be estimated from the counts
+///     with relative error bounded by one octave (DESIGN.md §13).
+///   * explicit bounds: arbitrary ascending bounds, observe() via
+///     lower_bound. For instruments whose scale is known a priori.
+///
+/// Snapshot-during-reset semantics: every field is an independent relaxed
+/// atomic, and reset() zeroes them one store at a time, so a snapshot
+/// racing a reset may see a *torn* state — e.g. count() already zeroed
+/// while some bucket counts are not, or sum() from the old epoch next to
+/// counts from the new one. Likewise an observe() racing a reset may land
+/// partially in each epoch (bucket zeroed after the increment, count
+/// before it). This is by design: readers that need the
+/// count==sum-of-buckets invariant must not snapshot concurrently with
+/// reset() (benches reset between arms, then snapshot after joining).
+/// Concurrent observe()+snapshot() without reset is always safe and every
+/// access stays data-race-free (TSan-clean) — see the histogram storm
+/// test.
 class Histogram {
  public:
+  /// Log2-bucketed histogram (bounds 2^0 .. 2^39 microseconds-ish scale;
+  /// values above 2^39 land in the overflow bucket).
+  Histogram();
+  /// Explicit ascending bounds.
   explicit Histogram(std::vector<std::uint64_t> bounds);
 
   void observe(std::uint64_t v);
 
+  [[nodiscard]] bool log2_buckets() const { return log2_; }
   [[nodiscard]] const std::vector<std::uint64_t>& bounds() const {
     return bounds_;
   }
@@ -88,10 +114,11 @@ class Histogram {
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
+  bool log2_ = false;
 };
 
-/// Default microsecond latency bounds: 1us .. ~16s in powers of four.
-std::span<const std::uint64_t> default_latency_bounds_us();
+/// The log2 bucket bounds (2^0 .. 2^39) used by default histograms.
+std::span<const std::uint64_t> log2_latency_bounds_us();
 
 /// Point-in-time copy of every registered instrument, sorted by name.
 struct MetricsSnapshot {
@@ -121,7 +148,8 @@ class Registry {
   static Registry& instance();
 
   /// Find-or-create by name. The returned reference is valid for the
-  /// process lifetime. Re-registering a histogram ignores `bounds`.
+  /// process lifetime. Re-registering a histogram ignores `bounds`;
+  /// empty bounds register a log2-bucketed histogram.
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name,
@@ -160,7 +188,6 @@ class Registry {
 #define DSHUF_HISTOGRAM_US(name)                                         \
   ([]() -> ::dshuf::obs::Histogram& {                                    \
     static ::dshuf::obs::Histogram& h =                                  \
-        ::dshuf::obs::Registry::instance().histogram(                    \
-            name, ::dshuf::obs::default_latency_bounds_us());            \
+        ::dshuf::obs::Registry::instance().histogram(name);              \
     return h;                                                            \
   }())

@@ -1,0 +1,221 @@
+#include "obs/timeseries.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/clock.hpp"
+
+namespace dshuf::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Deterministic double formatting for the JSON export: %.6g prints
+/// integers without a trailing ".0" and keeps sub-octave interpolation
+/// digits, and is a pure function of the bits.
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+double quantile_at(const std::vector<std::uint64_t>& bounds,
+                   const std::vector<std::uint64_t>& counts,
+                   std::uint64_t total, double q) {
+  // Target rank in [1, total]: the smallest r with cumulative >= r covers
+  // fraction q of the observations.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(total) + 0.5);
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (cum + counts[i] < rank) {
+      cum += counts[i];
+      continue;
+    }
+    const double lo =
+        i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+    const double hi = i < bounds.size()
+                          ? static_cast<double>(bounds[i])
+                          : 2.0 * static_cast<double>(bounds.back());
+    const double frac = (static_cast<double>(rank - cum) - 0.5) /
+                        static_cast<double>(counts[i]);
+    return lo + (hi - lo) * frac;
+  }
+  return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+}
+
+}  // namespace
+
+Quantiles estimate_quantiles(const std::vector<std::uint64_t>& bounds,
+                             const std::vector<std::uint64_t>& counts) {
+  Quantiles q;
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0 || bounds.empty()) return q;
+  q.p50 = quantile_at(bounds, counts, total, 0.50);
+  q.p99 = quantile_at(bounds, counts, total, 0.99);
+  q.p999 = quantile_at(bounds, counts, total, 0.999);
+  return q;
+}
+
+TimeseriesSampler& TimeseriesSampler::instance() {
+  // Leaked: epoch ticks may race static destruction in odd exits.
+  static TimeseriesSampler* s = new TimeseriesSampler();
+  return *s;
+}
+
+void TimeseriesSampler::set_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_release);
+}
+
+bool TimeseriesSampler::enabled() const {
+  return g_enabled.load(std::memory_order_acquire);
+}
+
+void TimeseriesSampler::reset() {
+  // Registry::snapshot() shares LockRank::kObs with mu_, so take it
+  // before locking (never nested).
+  MetricsSnapshot cur = Registry::instance().snapshot();
+  const std::uint64_t now = obs_clock().now_us();
+  std::lock_guard<RankedMutex> lk(mu_);
+  base_ = std::move(cur);
+  base_ts_us_ = now;
+  windows_.clear();
+}
+
+void TimeseriesSampler::sample_window(const std::string& label) {
+  if (!enabled()) return;
+  MetricsSnapshot cur = Registry::instance().snapshot();
+  const std::uint64_t now = obs_clock().now_us();
+  std::lock_guard<RankedMutex> lk(mu_);
+
+  TimeseriesWindow w;
+  w.label = label;
+  w.t_start_us = base_ts_us_;
+  w.t_end_us = now;
+
+  // Both snapshots are sorted by name; walk them in lockstep. A name
+  // missing from the base first appeared this window (delta = total); a
+  // total below the base means the registry was reset mid-window (treat
+  // the new total as the delta).
+  {
+    std::size_t j = 0;
+    for (const auto& [name, v] : cur.counters) {
+      while (j < base_.counters.size() && base_.counters[j].first < name) ++j;
+      std::uint64_t prev = 0;
+      if (j < base_.counters.size() && base_.counters[j].first == name) {
+        prev = base_.counters[j].second;
+      }
+      const std::uint64_t delta = v >= prev ? v - prev : v;
+      if (delta != 0) w.counters.emplace_back(name, delta);
+    }
+  }
+  w.gauges = cur.gauges;
+  {
+    std::size_t j = 0;
+    for (const auto& h : cur.histograms) {
+      while (j < base_.histograms.size() && base_.histograms[j].name < h.name) {
+        ++j;
+      }
+      const MetricsSnapshot::Hist* prev = nullptr;
+      if (j < base_.histograms.size() && base_.histograms[j].name == h.name &&
+          base_.histograms[j].counts.size() == h.counts.size()) {
+        prev = &base_.histograms[j];
+      }
+      std::vector<std::uint64_t> dcounts(h.counts.size(), 0);
+      std::uint64_t dcount = h.count;
+      std::uint64_t dsum = h.sum;
+      bool rolled_back = prev != nullptr && h.count < prev->count;
+      if (prev != nullptr && !rolled_back) {
+        dcount = h.count - prev->count;
+        dsum = h.sum >= prev->sum ? h.sum - prev->sum : h.sum;
+        for (std::size_t i = 0; i < dcounts.size(); ++i) {
+          dcounts[i] = h.counts[i] >= prev->counts[i]
+                           ? h.counts[i] - prev->counts[i]
+                           : h.counts[i];
+        }
+      } else {
+        dcounts = h.counts;
+      }
+      if (dcount == 0) continue;
+      TimeseriesWindow::Hist hw;
+      hw.name = h.name;
+      hw.count = dcount;
+      hw.sum = dsum;
+      hw.q = estimate_quantiles(h.bounds, dcounts);
+      w.histograms.push_back(std::move(hw));
+    }
+  }
+
+  windows_.push_back(std::move(w));
+  base_ = std::move(cur);
+  base_ts_us_ = now;
+}
+
+std::vector<TimeseriesWindow> TimeseriesSampler::windows() const {
+  std::lock_guard<RankedMutex> lk(mu_);
+  return windows_;
+}
+
+std::size_t TimeseriesSampler::window_count() const {
+  std::lock_guard<RankedMutex> lk(mu_);
+  return windows_.size();
+}
+
+std::string TimeseriesSampler::to_json() const {
+  const auto ws = windows();
+  std::string out;
+  out += "{\n  \"schema\": \"dshuf.timeseries.v1\",\n  \"windows\": [";
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    const auto& w = ws[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"index\": " + std::to_string(i) + ", \"label\": \"" +
+           w.label + "\", \"t_start_us\": " + std::to_string(w.t_start_us) +
+           ", \"t_end_us\": " + std::to_string(w.t_end_us) +
+           ",\n     \"counters\": {";
+    for (std::size_t j = 0; j < w.counters.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += "\"" + w.counters[j].first +
+             "\": " + std::to_string(w.counters[j].second);
+    }
+    out += "},\n     \"gauges\": {";
+    for (std::size_t j = 0; j < w.gauges.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += "\"" + w.gauges[j].first +
+             "\": " + std::to_string(w.gauges[j].second);
+    }
+    out += "},\n     \"histograms\": {";
+    for (std::size_t j = 0; j < w.histograms.size(); ++j) {
+      const auto& h = w.histograms[j];
+      if (j > 0) out += ", ";
+      out += "\"" + h.name + "\": {\"count\": " + std::to_string(h.count) +
+             ", \"sum\": " + std::to_string(h.sum) +
+             ", \"p50\": " + fmt_double(h.q.p50) +
+             ", \"p99\": " + fmt_double(h.q.p99) +
+             ", \"p999\": " + fmt_double(h.q.p999) + "}";
+    }
+    out += "}}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool TimeseriesSampler::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) return false;
+  out << to_json();
+  return out.good();
+}
+
+void tick_timeseries_epoch(std::size_t epoch) {
+  auto& sampler = TimeseriesSampler::instance();
+  if (!sampler.enabled()) return;
+  sampler.sample_window("epoch " + std::to_string(epoch));
+}
+
+}  // namespace dshuf::obs

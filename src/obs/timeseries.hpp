@@ -1,0 +1,112 @@
+// Windowed time-series telemetry over the metrics registry.
+//
+// A TimeseriesSampler turns the registry's monotonically-growing totals
+// into per-window deltas: each sample_window() call snapshots every
+// instrument, subtracts the previous window's snapshot, and stores one
+// TimeseriesWindow — "what happened since the last boundary". Benches
+// tick it once per epoch (sim/trainer and sim/overlap call
+// tick_timeseries_epoch()), so the export answers "which epoch was slow"
+// rather than "what was the lifetime total".
+//
+// Histogram windows carry p50/p99/p999 estimated from the per-window
+// bucket deltas. With the default log2 buckets the estimate interpolates
+// linearly inside the bucket that holds the target rank, so the relative
+// error is bounded by one octave (the true value and the estimate share a
+// bucket [2^(i-1), 2^i]; see DESIGN.md §13 for the exact bound).
+//
+// Export: `dshuf.timeseries.v1` JSON, deterministic given deterministic
+// instrument values and clock (windows are sorted by creation, metric
+// names by the registry's snapshot order), so the golden chaos-trace test
+// can pin it byte-for-byte under a VirtualClock.
+//
+// Thread contract: sample_window()/reset() are serialised internally but
+// are meant to be driven from one place (the epoch loop / the bench
+// harness); instruments keep updating lock-free underneath. Like the
+// tracer, sampling is OFF until set_enabled(true).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace dshuf::obs {
+
+/// Quantile estimates from bucketed counts.
+struct Quantiles {
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
+/// Estimate p50/p99/p999 from histogram bucket counts (`counts` has
+/// bounds.size() + 1 entries, last = overflow). The value at rank r is
+/// placed by linear interpolation inside the bucket containing r; the
+/// overflow bucket extrapolates to 2 * bounds.back(). All zeros when the
+/// histogram is empty.
+[[nodiscard]] Quantiles estimate_quantiles(
+    const std::vector<std::uint64_t>& bounds,
+    const std::vector<std::uint64_t>& counts);
+
+/// One closed window: deltas since the previous boundary.
+struct TimeseriesWindow {
+  struct Hist {
+    std::string name;
+    std::uint64_t count = 0;  // observations inside this window
+    std::uint64_t sum = 0;
+    Quantiles q;
+  };
+  std::string label;
+  std::uint64_t t_start_us = 0;
+  std::uint64_t t_end_us = 0;
+  /// Counter deltas, non-zero entries only, registry name order.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  /// Gauges are levels, not totals: point-in-time value at the boundary.
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  /// Histogram windows with at least one observation.
+  std::vector<Hist> histograms;
+};
+
+class TimeseriesSampler {
+ public:
+  /// The process-wide sampler (leaked at exit, like the registry).
+  static TimeseriesSampler& instance();
+
+  /// Sampling toggle; cheap atomic read at the tick sites.
+  void set_enabled(bool enabled);
+  [[nodiscard]] bool enabled() const;
+
+  /// Drop every window and re-anchor the baseline at the registry's
+  /// current totals and the current obs_clock() time.
+  void reset();
+
+  /// Close the current window: snapshot the registry, store the deltas
+  /// since the previous boundary under `label`, and make this snapshot
+  /// the next baseline. No-op when disabled.
+  void sample_window(const std::string& label);
+
+  [[nodiscard]] std::vector<TimeseriesWindow> windows() const;
+  [[nodiscard]] std::size_t window_count() const;
+
+  /// `dshuf.timeseries.v1` JSON document over windows().
+  [[nodiscard]] std::string to_json() const;
+  bool write_json(const std::string& path) const;
+
+ private:
+  TimeseriesSampler() = default;
+
+  // Never held while taking the registry snapshot (same lock rank):
+  // snapshot first, then lock to fold.
+  mutable RankedMutex mu_{LockRank::kObs, "obs.timeseries"};
+  MetricsSnapshot base_;
+  std::uint64_t base_ts_us_ = 0;
+  std::vector<TimeseriesWindow> windows_;
+};
+
+/// Epoch-boundary tick shared by the trainer and the overlap driver:
+/// closes the window `epoch <e>` when the sampler is enabled.
+void tick_timeseries_epoch(std::size_t epoch);
+
+}  // namespace dshuf::obs

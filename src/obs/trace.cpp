@@ -24,6 +24,8 @@ std::atomic<bool> g_enabled{false};
 struct TracerState {
   RankedMutex mu{LockRank::kObs, "obs.tracer"};
   std::vector<SpanEvent> flushed;
+  std::vector<FlowEvent> flushed_flows;
+  std::map<int, std::string> names;  // track -> thread_name label
   std::atomic<int> next_auto_track{1000};
 };
 
@@ -75,6 +77,37 @@ bool span_less(const SpanEvent& a, const SpanEvent& b) {
          std::tie(b.track, b.ts_us, b.dur_us, b.name, b.attrs);
 }
 
+bool flow_less(const FlowEvent& a, const FlowEvent& b) {
+  const int pa = static_cast<int>(a.phase);
+  const int pb = static_cast<int>(b.phase);
+  return std::tie(a.track, a.ts_us, a.id, pa, a.name, a.attrs) <
+         std::tie(b.track, b.ts_us, b.id, pb, b.name, b.attrs);
+}
+
+const char* flow_ph(FlowPhase p) {
+  switch (p) {
+    case FlowPhase::kSend: return "s";
+    case FlowPhase::kStep: return "t";
+    case FlowPhase::kFinish: return "f";
+  }
+  return "s";
+}
+
+void append_attrs_json(
+    std::string& out,
+    const std::vector<std::pair<std::string, std::string>>& attrs) {
+  out += ",\"args\":{";
+  for (std::size_t j = 0; j < attrs.size(); ++j) {
+    if (j > 0) out += ",";
+    out += "\"";
+    append_json_escaped(out, attrs[j].first);
+    out += "\":\"";
+    append_json_escaped(out, attrs[j].second);
+    out += "\"";
+  }
+  out += "}";
+}
+
 }  // namespace
 
 Tracer& Tracer::instance() {
@@ -94,9 +127,29 @@ void Tracer::clear() {
   thread_buf().events.clear();
   std::lock_guard<RankedMutex> lk(state().mu);
   state().flushed.clear();
+  state().flushed_flows.clear();
+}
+
+void Tracer::flush_thread() {
+  auto& buf = thread_buf();
+  if (!buf.events.empty()) {
+    instance().absorb(std::move(buf.events));
+    buf.events.clear();
+  }
 }
 
 void Tracer::set_thread_track(int track) { t_track = track; }
+
+void Tracer::set_thread_name(const std::string& name) {
+  const int track = thread_track();
+  std::lock_guard<RankedMutex> lk(state().mu);
+  state().names[track] = name;
+}
+
+std::vector<std::pair<int, std::string>> Tracer::thread_names() {
+  std::lock_guard<RankedMutex> lk(state().mu);
+  return {state().names.begin(), state().names.end()};
+}
 
 int Tracer::thread_track() {
   if (t_track < 0) {
@@ -112,6 +165,32 @@ void Tracer::record(SpanEvent ev) {
     absorb(std::move(buf.events));
     buf.events.clear();
   }
+}
+
+void Tracer::record_flow(FlowEvent ev) {
+  if (!enabled()) return;
+  // Flows bypass the per-thread buffer: they are rare (one endpoint per
+  // peer per epoch, not per sample) and are often recorded from pool
+  // workers that outlive the export — a thread-local buffer would strand
+  // them invisibly until thread exit, breaking dshuf_trace --check's
+  // send-before-receive invariant on any trace written while the
+  // scheduler is alive.
+  std::lock_guard<RankedMutex> lk(state().mu);
+  state().flushed_flows.push_back(std::move(ev));
+}
+
+void Tracer::flow_point(
+    const char* name, std::uint64_t id, FlowPhase phase,
+    std::vector<std::pair<std::string, std::string>> attrs) {
+  if (!enabled()) return;
+  FlowEvent ev;
+  ev.name = name;
+  ev.id = id;
+  ev.ts_us = obs_clock().now_us();
+  ev.track = thread_track();
+  ev.phase = phase;
+  ev.attrs = std::move(attrs);
+  record_flow(std::move(ev));
 }
 
 void Tracer::absorb(std::vector<SpanEvent>&& events) {
@@ -136,30 +215,62 @@ std::vector<SpanEvent> Tracer::snapshot() {
   return out;
 }
 
+std::vector<FlowEvent> Tracer::flow_snapshot() {
+  std::vector<FlowEvent> out;
+  {
+    std::lock_guard<RankedMutex> lk(state().mu);
+    out = state().flushed_flows;
+  }
+  std::sort(out.begin(), out.end(), flow_less);
+  return out;
+}
+
 std::string Tracer::chrome_trace_json() {
   const auto events = snapshot();
+  const auto flows = flow_snapshot();
+  const auto names = thread_names();
   std::string out;
   out += "{\"traceEvents\":[";
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    const auto& e = events[i];
-    out += i == 0 ? "\n" : ",\n";
+  bool first = true;
+  const auto sep = [&] {
+    out += first ? "\n" : ",\n";
+    first = false;
+  };
+  // Metadata first so viewers label lanes before any slice references
+  // them. A trace with no registered names stays pure-"X"/flow.
+  if (!names.empty()) {
+    sep();
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+           "\"args\":{\"name\":\"dshuf\"}}";
+    for (const auto& [track, name] : names) {
+      sep();
+      out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" +
+             std::to_string(track) + ",\"args\":{\"name\":\"";
+      append_json_escaped(out, name);
+      out += "\"}}";
+    }
+  }
+  for (const auto& e : events) {
+    sep();
     out += "{\"name\":\"";
     append_json_escaped(out, e.name);
     out += "\",\"cat\":\"dshuf\",\"ph\":\"X\",\"ts\":" +
            std::to_string(e.ts_us) + ",\"dur\":" + std::to_string(e.dur_us) +
            ",\"pid\":0,\"tid\":" + std::to_string(e.track);
-    if (!e.attrs.empty()) {
-      out += ",\"args\":{";
-      for (std::size_t j = 0; j < e.attrs.size(); ++j) {
-        if (j > 0) out += ",";
-        out += "\"";
-        append_json_escaped(out, e.attrs[j].first);
-        out += "\":\"";
-        append_json_escaped(out, e.attrs[j].second);
-        out += "\"";
-      }
-      out += "}";
-    }
+    if (!e.attrs.empty()) append_attrs_json(out, e.attrs);
+    out += "}";
+  }
+  for (const auto& f : flows) {
+    sep();
+    out += "{\"name\":\"";
+    append_json_escaped(out, f.name);
+    out += "\",\"cat\":\"dshuf.flow\",\"ph\":\"";
+    out += flow_ph(f.phase);
+    out += "\",\"ts\":" + std::to_string(f.ts_us) +
+           ",\"pid\":0,\"tid\":" + std::to_string(f.track) +
+           ",\"id\":\"" + std::to_string(f.id) + "\"";
+    if (f.phase == FlowPhase::kFinish) out += ",\"bp\":\"e\"";
+    if (!f.attrs.empty()) append_attrs_json(out, f.attrs);
     out += "}";
   }
   out += "\n],\"displayTimeUnit\":\"ms\"}\n";

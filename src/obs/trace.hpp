@@ -20,10 +20,13 @@
 //     reads) so callers can use finish() as a timer, but nothing is
 //     stored until Tracer::set_enabled(true).
 //   * Completed spans append to a per-thread buffer (no lock); buffers
-//     flush into the tracer under LockRank::kObs when they grow large and
-//     when the owning thread exits. snapshot() therefore sees every span
-//     of joined threads plus the calling thread's — export after
-//     World::run has joined its rank threads.
+//     flush into the tracer under LockRank::kObs when they grow large,
+//     when the owning thread exits, and — for scheduler pool workers —
+//     when the worker parks with no work left (Tracer::flush_thread).
+//     snapshot() therefore sees every span of joined threads, idle
+//     workers, and the calling thread — export after World::run has
+//     joined its rank threads. Flow points skip the buffer entirely and
+//     land in the shared store as they are recorded.
 //   * Timestamps come from obs_clock() (obs/clock.hpp): steady_clock in
 //     production, a VirtualClock in determinism tests, which together
 //     with the deterministic snapshot ordering makes trace exports
@@ -31,9 +34,20 @@
 //   * Rank threads label themselves with set_thread_track(rank); tracks
 //     become Chrome trace tids, so Perfetto shows one lane per rank.
 //
-// Export formats: Chrome trace-event JSON ("X" complete events —
-// load the file at ui.perfetto.dev or chrome://tracing) and a compact
-// per-epoch CSV aggregating spans that carry an "epoch" attribute.
+// Cross-rank causality (DESIGN.md §13): besides spans, the tracer records
+// flow points — the send/step/finish endpoints of one logical message
+// identified by a shared 64-bit id. The exchange derives the id purely
+// from (epoch, origin, destination/round), carries it in the coalesced
+// frame header, and re-derives it from the tag namespace on the
+// per-sample wire, so a merged multi-rank trace draws an arrow from every
+// send to its matching receive (retransmits become "step" points on the
+// same arrow). Threads may also label themselves with a human-readable
+// name; names become Chrome thread_name metadata events.
+//
+// Export formats: Chrome trace-event JSON ("X" complete events, "s"/"t"/
+// "f" flow events, "M" thread/process-name metadata — load the file at
+// ui.perfetto.dev or chrome://tracing) and a compact per-epoch CSV
+// aggregating spans that carry an "epoch" attribute.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +67,24 @@ struct SpanEvent {
   std::vector<std::pair<std::string, std::string>> attrs;
 };
 
+/// Which endpoint of a logical message a flow point marks: the original
+/// send ("s"), a retransmission of the same bytes ("t"), or the receive
+/// that consumed it ("f").
+enum class FlowPhase { kSend, kStep, kFinish };
+
+/// One flow point. Points sharing an `id` form one arrow in the Chrome
+/// trace; the id must be a pure function of seeded protocol state
+/// (epoch/origin/destination), never of timing, so golden traces stay
+/// byte-identical.
+struct FlowEvent {
+  std::string name;
+  std::uint64_t id = 0;
+  std::uint64_t ts_us = 0;
+  int track = 0;
+  FlowPhase phase = FlowPhase::kSend;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
 class Tracer {
  public:
   /// The process-wide tracer (leaked at exit, like the registry).
@@ -62,24 +94,56 @@ class Tracer {
   void set_enabled(bool enabled);
   [[nodiscard]] bool enabled() const;
 
-  /// Drop every recorded span (calling thread's buffer included).
+  /// Drop every recorded span and flow point (calling thread's buffers
+  /// included). Thread-name labels persist: they describe live threads,
+  /// not recorded data (scheduler workers outlive a between-arm clear).
   void clear();
 
   /// Label the calling thread's spans with `track` (Chrome trace tid).
-  /// Rank threads pass their rank; unlabelled threads get stable
-  /// arbitrary ids >= 1000 in first-use order.
+  /// Rank threads pass their rank; scheduler workers use
+  /// kWorkerTrackBase + index; unlabelled threads get stable arbitrary
+  /// ids >= 1000 in first-use order.
   static void set_thread_track(int track);
   [[nodiscard]] static int thread_track();
 
+  /// Chrome tid lane for scheduler worker `index` (kept clear of rank
+  /// tracks below and auto tracks at 1000+).
+  static constexpr int kWorkerTrackBase = 500;
+
+  /// Name the calling thread's track; exported as a Chrome thread_name
+  /// metadata event. Re-registering the same track overwrites.
+  static void set_thread_name(const std::string& name);
+
+  /// (track, name) labels registered so far, sorted by track.
+  [[nodiscard]] std::vector<std::pair<int, std::string>> thread_names();
+
   /// Append one completed span to the calling thread's buffer.
   void record(SpanEvent ev);
+
+  /// Record one flow point directly into the shared store (no-op when
+  /// recording is disabled). Unlike spans, flows skip the per-thread
+  /// buffer: they are rare and often emitted from pool workers that
+  /// outlive the export, where buffering would hide them from
+  /// snapshots until thread exit.
+  void record_flow(FlowEvent ev);
+
+  /// Convenience: record a flow point on the calling thread's track at
+  /// the current obs_clock() time.
+  void flow_point(const char* name, std::uint64_t id, FlowPhase phase,
+                  std::vector<std::pair<std::string, std::string>> attrs = {});
 
   /// Flush the calling thread's buffer and return every span recorded by
   /// this thread and by threads that have exited, in a deterministic
   /// order (sorted by track, start, duration, name, attributes).
   [[nodiscard]] std::vector<SpanEvent> snapshot();
 
-  /// Chrome trace-event JSON document over snapshot().
+  /// Flow-point counterpart of snapshot(), sorted by (track, ts, id,
+  /// phase, name, attributes).
+  [[nodiscard]] std::vector<FlowEvent> flow_snapshot();
+
+  /// Chrome trace-event JSON document over snapshot(): thread/process
+  /// name metadata first (only when any thread registered a name), then
+  /// "X" spans, then "s"/"t"/"f" flow events.
   [[nodiscard]] std::string chrome_trace_json();
   bool write_chrome_trace(const std::string& path);
 
@@ -87,6 +151,13 @@ class Tracer {
   /// spans carrying an "epoch" attribute, sorted by (epoch, span).
   [[nodiscard]] std::string epoch_report_csv();
   bool write_epoch_report_csv(const std::string& path);
+
+  /// Drain the calling thread's span buffer into the shared store.
+  /// Long-lived threads that record on behalf of others (scheduler
+  /// workers) call this when going idle so their spans become visible
+  /// to exports without waiting for thread exit. Cheap no-op when the
+  /// buffer is empty.
+  static void flush_thread();
 
   // Internal: move a dying thread's buffer into the flushed store.
   void absorb(std::vector<SpanEvent>&& events);

@@ -46,15 +46,18 @@ const char* to_string(ExchangeWire wire) {
 }
 
 FrameWriter::FrameWriter(std::vector<std::byte>& buf, std::uint64_t epoch,
+                         int origin, std::uint64_t flow_id,
                          std::uint32_t count)
     : buf_(&buf), count_(count) {
   // analyze:alloc-ok frame buffers are reserved to frame_capacity_bound
   buf.resize(frame_header_bytes(count));
-  std::memcpy(buf.data(), &epoch, sizeof(epoch));
-  put_u32(buf, sizeof(std::uint64_t), count);
+  std::memcpy(buf.data() + kFrameEpochOff, &epoch, sizeof(epoch));
+  put_u32(buf, kFrameOriginOff, static_cast<std::uint32_t>(origin));
+  std::memcpy(buf.data() + kFrameFlowIdOff, &flow_id, sizeof(flow_id));
+  put_u32(buf, kFrameCountOff, count);
   // The offset table is patched in finish(); zero it now so a frame that
   // skips finish() is caught by parse_frame's monotonicity check.
-  std::memset(buf.data() + sizeof(std::uint64_t) + sizeof(std::uint32_t), 0,
+  std::memset(buf.data() + kFrameOffsetsOff, 0,
               sizeof(std::uint32_t) * (count + 1));
 }
 
@@ -62,10 +65,7 @@ void FrameWriter::begin_sample(SampleId id) {
   DSHUF_CHECK_LT(next_, count_, "FrameWriter: more samples than declared");
   const auto body_off =
       static_cast<std::uint32_t>(buf_->size() - frame_header_bytes(count_));
-  put_u32(*buf_,
-          sizeof(std::uint64_t) + sizeof(std::uint32_t) +
-              sizeof(std::uint32_t) * next_,
-          body_off);
+  put_u32(*buf_, kFrameOffsetsOff + sizeof(std::uint32_t) * next_, body_off);
   append_u32(*buf_, id);
   ++next_;
 }
@@ -74,10 +74,7 @@ void FrameWriter::finish() {
   DSHUF_CHECK_EQ(next_, count_, "FrameWriter: fewer samples than declared");
   const auto body_size =
       static_cast<std::uint32_t>(buf_->size() - frame_header_bytes(count_));
-  put_u32(*buf_,
-          sizeof(std::uint64_t) + sizeof(std::uint32_t) +
-              sizeof(std::uint32_t) * count_,
-          body_size);
+  put_u32(*buf_, kFrameOffsetsOff + sizeof(std::uint32_t) * count_, body_size);
 }
 
 std::uint32_t FrameView::offset(std::uint32_t j) const {
@@ -100,12 +97,15 @@ FrameView parse_frame(std::span<const std::byte> frame) {
   DSHUF_CHECK_GE(frame.size(), frame_header_bytes(0),
                  "truncated exchange frame: short header");
   FrameView v;
-  std::memcpy(&v.epoch_, frame.data(), sizeof(v.epoch_));
-  v.count_ = read_u32(frame.data() + sizeof(std::uint64_t));
+  std::memcpy(&v.epoch_, frame.data() + kFrameEpochOff, sizeof(v.epoch_));
+  v.origin_ = read_u32(frame.data() + kFrameOriginOff);
+  std::memcpy(&v.flow_id_, frame.data() + kFrameFlowIdOff,
+              sizeof(v.flow_id_));
+  v.count_ = read_u32(frame.data() + kFrameCountOff);
   const std::size_t header = frame_header_bytes(v.count_);
   DSHUF_CHECK_GE(frame.size(), header,
                  "truncated exchange frame: offset table cut off");
-  v.offsets_ = frame.data() + sizeof(std::uint64_t) + sizeof(std::uint32_t);
+  v.offsets_ = frame.data() + kFrameOffsetsOff;
   v.body_ = frame.data() + header;
   v.body_size_ = frame.size() - header;
   DSHUF_CHECK_EQ(static_cast<std::size_t>(v.offset(0)), 0U,

@@ -64,14 +64,17 @@ std::size_t frame_capacity_bound(std::size_t quota, std::size_t payload_high) {
          quota * (sizeof(SampleId) + payload_high);
 }
 
-// Pack this rank's frame for peer `p` into `buf` and account the bytes.
-// Returns the number of samples packed.
+// Pack this rank's frame for peer `dest` into `buf` and account the
+// bytes. The header carries the trace context (origin + flow id), so a
+// retransmission of the same buffer propagates the same context. Returns
+// the number of samples packed.
 DSHUF_NOALLOC std::size_t pack_frame_for_peer(
-    std::vector<std::byte>& buf, std::size_t epoch,
+    std::vector<std::byte>& buf, std::size_t epoch, int origin, int dest,
                                 const std::vector<std::size_t>& rounds,
                                 const PayloadFn& payload, ExchangeScratch& s,
                                 ExchangeOutcome& out) {
-  FrameWriter writer(buf, static_cast<std::uint64_t>(epoch),
+  FrameWriter writer(buf, static_cast<std::uint64_t>(epoch), origin,
+                     frame_flow_id(epoch, origin, dest),
                      static_cast<std::uint32_t>(rounds.size()));
   for (std::size_t i : rounds) {
     writer.begin_sample(s.outgoing[i]);
@@ -87,15 +90,28 @@ DSHUF_NOALLOC std::size_t pack_frame_for_peer(
   return rounds.size();
 }
 
-// Parse + sanity-check a received frame before anything is staged.
+// Parse + sanity-check a received frame before anything is staged, and
+// record the receive endpoint of the frame's flow under the id the sender
+// put on the wire — this is where the propagated trace context closes the
+// cross-rank arrow.
 FrameView checked_frame_view(const comm::Message& msg, std::size_t epoch,
                              std::size_t expected_count, int peer) {
   FrameView view = parse_frame(msg.payload);
   DSHUF_CHECK_EQ(view.epoch(), static_cast<std::uint64_t>(epoch),
                  "frame from rank " << peer << " belongs to another epoch");
+  DSHUF_CHECK_EQ(static_cast<std::size_t>(view.origin()),
+                 static_cast<std::size_t>(peer),
+                 "frame trace context names origin " << view.origin()
+                     << " but arrived from rank " << peer);
   DSHUF_CHECK_EQ(static_cast<std::size_t>(view.count()), expected_count,
                  "frame from rank " << peer
                                     << " disagrees with the exchange plan");
+  auto& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) {
+    tracer.flow_point("exchange.frame", view.flow_id(),
+                      obs::FlowPhase::kFinish,
+                      {{"epoch", std::to_string(epoch)}});
+  }
   return view;
 }
 
@@ -139,6 +155,8 @@ ExchangeOutcome run_fast_per_sample(comm::Communicator& comm,
   ExchangeOutcome out;
   out.rounds = quota;
 
+  auto& tracer = obs::Tracer::instance();
+
   // Algorithm 1 lines 2-6: send the p[i]-th sample to dest_i[rank]. Tag =
   // round index keeps rounds aligned across ranks.
   for (std::size_t i = 0; i < quota; ++i) {
@@ -153,6 +171,11 @@ ExchangeOutcome run_fast_per_sample(comm::Communicator& comm,
     out.bytes_offered += wire.size();
     ++out.msgs_sent;
     comm.send(dest, data_tag(tag_base, i), std::move(wire));
+    if (tracer.enabled()) {
+      tracer.flow_point("exchange.sample", sample_flow_id(tag_base, i, rank),
+                        obs::FlowPhase::kSend,
+                        {{"epoch", std::to_string(epoch)}});
+    }
   }
 
   // Line 7: collect each round's sample (blocking; sends above already
@@ -160,6 +183,14 @@ ExchangeOutcome run_fast_per_sample(comm::Communicator& comm,
   // order — identical store-append order to the sequential driver.
   for (std::size_t i = 0; i < quota; ++i) {
     comm::Message msg = comm.recv(comm::kAnySource, data_tag(tag_base, i));
+    if (tracer.enabled()) {
+      // The per-sample wire carries no context bytes: (source, tag)
+      // re-derive the sender's flow id exactly.
+      tracer.flow_point("exchange.sample",
+                        sample_flow_id(tag_base, i, msg.source),
+                        obs::FlowPhase::kFinish,
+                        {{"epoch", std::to_string(epoch)}});
+    }
     const SampleId got = decode_sample_id(msg.payload);
     store.add(got);
     if (deposit) {
@@ -215,6 +246,7 @@ ExchangeOutcome run_robust_per_sample(comm::Communicator& comm,
     std::vector<std::byte> got_body;
   };
 
+  auto& tracer = obs::Tracer::instance();
   const auto start = Clock::now();
   std::vector<RoundState> rounds(quota);
   for (std::size_t i = 0; i < quota; ++i) {
@@ -227,6 +259,11 @@ ExchangeOutcome run_robust_per_sample(comm::Communicator& comm,
     r.rx_ack = comm.irecv(r.dest, ack_tag(tag_base, i));
     encode_sample_into(s.outgoing[i], payload, r.wire);
     comm.send(r.dest, data_tag(tag_base, i), r.wire);
+    if (tracer.enabled()) {
+      tracer.flow_point("exchange.sample", sample_flow_id(tag_base, i, rank),
+                        obs::FlowPhase::kSend,
+                        {{"epoch", std::to_string(epoch)}});
+    }
     ++out.msgs_sent;
     out.bytes_header += sizeof(SampleId);
     out.bytes_body += r.wire.size() - sizeof(SampleId);
@@ -239,6 +276,14 @@ ExchangeOutcome run_robust_per_sample(comm::Communicator& comm,
 
   auto take_data = [&](std::size_t i, RoundState& r) {
     const auto& msg = r.rx_data.message();
+    if (tracer.enabled()) {
+      // Retries resend the same bytes on the same tag, so whichever
+      // attempt landed, (source, tag) re-derive the sender's flow id.
+      tracer.flow_point("exchange.sample",
+                        sample_flow_id(tag_base, i, msg.source),
+                        obs::FlowPhase::kFinish,
+                        {{"epoch", std::to_string(epoch)}});
+    }
     r.got = decode_sample_id(msg.payload);
     r.got_body.assign(msg.payload.begin() +
                           static_cast<std::ptrdiff_t>(sizeof(SampleId)),
@@ -290,6 +335,12 @@ ExchangeOutcome run_robust_per_sample(comm::Communicator& comm,
                       << "; reconciliation decides";
           } else {
             comm.send(r.dest, data_tag(tag_base, i), r.wire);
+            if (tracer.enabled()) {
+              tracer.flow_point("exchange.sample",
+                                sample_flow_id(tag_base, i, rank),
+                                obs::FlowPhase::kStep,
+                                {{"epoch", std::to_string(epoch)}});
+            }
             ++out.msgs_sent;
             out.bytes_sent += r.wire.size();
             ++r.attempts;
@@ -427,6 +478,9 @@ PlsEpochExchange::PlsEpochExchange(comm::Communicator& comm,
   // epoch span stays open until finish() — in an overlapped epoch it
   // brackets the whole in-flight window (see the header note).
   obs::Tracer::set_thread_track(rank_);
+  if (obs::Tracer::instance().enabled()) {
+    obs::Tracer::set_thread_name("rank " + std::to_string(rank_));
+  }
   log_ctx_.emplace(rank_, static_cast<std::int64_t>(epoch));
   epoch_span_.emplace("exchange.epoch");
   epoch_span_->attr("epoch", std::to_string(epoch))
@@ -479,6 +533,7 @@ void PlsEpochExchange::post() {
   ExchangeScratch& s = *s_;
   const PayloadFn& payload = payload_fn();
 
+  auto& tracer = obs::Tracer::instance();
   if (robust_ == nullptr) {
     // Fire-and-forget frames into pooled buffers (Algorithm 1 lines 2-6
     // with the coalesced wire); finish() blocks on the matching receives.
@@ -486,12 +541,18 @@ void PlsEpochExchange::post() {
       const auto& rounds = s.send_rounds[static_cast<std::size_t>(p)];
       if (rounds.empty()) continue;
       auto buf = comm_.pool().acquire(frame_cap_);
-      pack_frame_for_peer(buf, epoch_, rounds, payload, s, out_);
+      pack_frame_for_peer(buf, epoch_, rank_, p, rounds, payload, s, out_);
       out_.bytes_sent += buf.size();
       out_.bytes_offered += buf.size();
       ++out_.msgs_sent;
       comm_.send(p, frame_data_tag(tag_base_, quota_, rank_),
                  std::move(buf));
+      if (tracer.enabled()) {
+        tracer.flow_point("exchange.frame",
+                          frame_flow_id(epoch_, rank_, p),
+                          obs::FlowPhase::kSend,
+                          {{"epoch", std::to_string(epoch_)}});
+      }
     }
     return;
   }
@@ -507,13 +568,18 @@ void PlsEpochExchange::post() {
     auto& wire = wires_[static_cast<std::size_t>(p)];
     wire.clear();
     wire.reserve(frame_cap_);
-    pack_frame_for_peer(wire, epoch_,
+    pack_frame_for_peer(wire, epoch_, rank_, p,
                         s.send_rounds[static_cast<std::size_t>(p)], payload,
                         s, out_);
     out_.bytes_offered += wire.size();
     auto buf = comm_.pool().acquire(wire.size());
     buf.assign(wire.begin(), wire.end());
     comm_.send(p, frame_data_tag(tag_base_, quota_, rank_), std::move(buf));
+    if (tracer.enabled()) {
+      tracer.flow_point("exchange.frame", frame_flow_id(epoch_, rank_, p),
+                        obs::FlowPhase::kSend,
+                        {{"epoch", std::to_string(epoch_)}});
+    }
     ++out_.msgs_sent;
     out_.bytes_sent += wire.size();
     ps.attempts = 1;
@@ -619,6 +685,15 @@ void PlsEpochExchange::finish_robust() {
             buf.assign(wire.begin(), wire.end());
             comm_.send(p, frame_data_tag(tag_base_, quota_, rank_),
                        std::move(buf));
+            // The retransmitted bytes carry the identical trace context,
+            // so this is a step on the SAME flow, not a new arrow.
+            auto& tracer = obs::Tracer::instance();
+            if (tracer.enabled()) {
+              tracer.flow_point("exchange.frame",
+                                frame_flow_id(epoch_, rank_, p),
+                                obs::FlowPhase::kStep,
+                                {{"epoch", std::to_string(epoch_)}});
+            }
             ++out_.msgs_sent;
             out_.bytes_sent += wire.size();
             ++ps.attempts;
@@ -746,6 +821,9 @@ ExchangeOutcome run_pls_exchange_epoch(comm::Communicator& comm,
   // Spans from this rank thread land on their own trace lane, and every
   // log line it emits carries the (rank, epoch) it was working for.
   obs::Tracer::set_thread_track(rank);
+  if (obs::Tracer::instance().enabled()) {
+    obs::Tracer::set_thread_name("rank " + std::to_string(rank));
+  }
   ScopedLogContext log_ctx(rank, static_cast<std::int64_t>(epoch));
   obs::SpanGuard epoch_span("exchange.epoch",
                             {{"epoch", std::to_string(epoch)},

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "comm/comm.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "shuffle/exchange_wire.hpp"
 #include "shuffle/shuffler.hpp"
@@ -131,6 +132,8 @@ OverlapResult run_overlapped_epochs(const OverlapConfig& cfg) {
                                            store.mutable_ids());
     });
     result.outcomes[epoch] = std::move(per_rank);
+    // One telemetry window per epoch (no-op unless the sampler is on).
+    obs::tick_timeseries_epoch(epoch);
   }
 
   for (auto& s : stores) result.shards.push_back(s.ids());

@@ -6,6 +6,7 @@
 #include "nn/loss.hpp"
 #include "nn/metrics.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "task/scheduler.hpp"
 #include "util/log.hpp"
@@ -288,6 +289,8 @@ SimResult train_model(nn::Model& model, const data::InMemoryDataset& train,
       result.final_top1 = rec.val_top1;
     }
     result.epochs.push_back(rec);
+    // One telemetry window per epoch (no-op unless the sampler is on).
+    obs::tick_timeseries_epoch(epoch);
     LOG_DEBUG << result.label << " epoch " << epoch << " loss "
               << rec.train_loss << " top1 " << rec.val_top1;
     if (prefetch) {

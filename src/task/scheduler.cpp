@@ -145,11 +145,22 @@ void Scheduler::wait(TaskGroup& group) {
 void Scheduler::worker_main(std::size_t index) {
   t_worker = WorkerIdentity{this, index};
   pin_current_thread(cores_.core_for(index));
+  // Deterministic trace lane per worker (index is stable for the
+  // scheduler's lifetime), named so Perfetto and dshuf_trace's per-worker
+  // self-time rows show "task.worker.N" instead of a bare auto tid.
+  obs::Tracer::set_thread_track(obs::Tracer::kWorkerTrackBase +
+                                static_cast<int>(index));
+  obs::Tracer::set_thread_name("task.worker." + std::to_string(index));
   for (;;) {
     if (Task* t = try_acquire(index)) {
       run_task(t);
       continue;
     }
+    // Going idle: drain this worker's trace buffer first. Pool workers
+    // outlive bench exports, so spans parked here would otherwise never
+    // reach write_chrome_trace. Done before taking mu_ (flush locks the
+    // obs mutex).
+    obs::Tracer::flush_thread();
     // Dry scan: park until the work version moves. Re-scan after reading
     // the version so a submit landing between the scan and the wait is
     // never missed (its notify bumps the version we compare against).

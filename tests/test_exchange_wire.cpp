@@ -24,18 +24,24 @@ std::vector<std::byte> bytes_from(std::initializer_list<unsigned> raw) {
 
 TEST(ExchangeWireFormat, GoldenFrameBytes) {
   // Two samples: id 7 with payload {0xAA, 0xBB}, id 0xFFFFFFFF (the
-  // maximum SampleId) with an empty payload. Every byte below is pinned:
-  // changing the layout must break this test.
+  // maximum SampleId) with an empty payload, framed with the v2 trace
+  // context (origin 3, flow id frame_flow_id(5, 3, 1)). Every byte below
+  // is pinned: changing the layout must break this test.
   std::vector<std::byte> buf;
-  FrameWriter w(buf, /*epoch=*/5, /*count=*/2);
+  FrameWriter w(buf, /*epoch=*/5, /*origin=*/3,
+                frame_flow_id(/*epoch=*/5, /*origin=*/3, /*dest=*/1),
+                /*count=*/2);
   w.begin_sample(7);
   buf.push_back(std::byte{0xAA});
   buf.push_back(std::byte{0xBB});
   w.begin_sample(0xFFFFFFFFU);
   w.finish();
 
+  // frame_flow_id(5, 3, 1) = (5 << 26) | (3 << 13) | 1 = 0x14006001.
   const auto golden = bytes_from({
       0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // epoch = 5 (u64 LE)
+      0x03, 0x00, 0x00, 0x00,                          // origin = 3
+      0x01, 0x60, 0x00, 0x14, 0x00, 0x00, 0x00, 0x00,  // flow id (u64 LE)
       0x02, 0x00, 0x00, 0x00,                          // count = 2
       0x00, 0x00, 0x00, 0x00,                          // offsets[0] = 0
       0x06, 0x00, 0x00, 0x00,                          // offsets[1] = 6
@@ -48,6 +54,8 @@ TEST(ExchangeWireFormat, GoldenFrameBytes) {
 
   const FrameView v = parse_frame(buf);
   EXPECT_EQ(v.epoch(), 5U);
+  EXPECT_EQ(v.origin(), 3U);
+  EXPECT_EQ(v.flow_id(), frame_flow_id(5, 3, 1));
   EXPECT_EQ(v.count(), 2U);
   EXPECT_EQ(v.id(0), 7U);
   EXPECT_EQ(v.id(1), 0xFFFFFFFFU);
@@ -57,11 +65,24 @@ TEST(ExchangeWireFormat, GoldenFrameBytes) {
   EXPECT_TRUE(v.payload(1).empty());
 }
 
+TEST(ExchangeWireFormat, FlowIdSpacesAreDisjointAndDeterministic) {
+  // Frame ids are a pure function of (epoch, origin, dest); sample ids of
+  // (tag_base, round, origin). Both endpoints must derive the same value,
+  // and the two id spaces must never collide (bit 63 separates them).
+  EXPECT_EQ(frame_flow_id(5, 3, 1), frame_flow_id(5, 3, 1));
+  EXPECT_NE(frame_flow_id(5, 3, 1), frame_flow_id(5, 1, 3));
+  EXPECT_NE(frame_flow_id(5, 3, 1), frame_flow_id(6, 3, 1));
+  EXPECT_EQ(sample_flow_id(100, 2, 3), sample_flow_id(100, 2, 3));
+  EXPECT_NE(sample_flow_id(100, 2, 3), sample_flow_id(100, 3, 3));
+  EXPECT_TRUE(sample_flow_id(0, 0, 0) & (1ull << 63));
+  EXPECT_FALSE(frame_flow_id(1u << 25, 8191, 8191) & (1ull << 63));
+}
+
 TEST(ExchangeWireFormat, ZeroCountFrameRoundTrips) {
   // A zero-quota epoch never sends frames, but the format still defines
   // the empty frame: header only, offsets = {0}.
   std::vector<std::byte> buf;
-  FrameWriter w(buf, /*epoch=*/0, /*count=*/0);
+  FrameWriter w(buf, /*epoch=*/0, /*origin=*/0, /*flow_id=*/0, /*count=*/0);
   w.finish();
   EXPECT_EQ(buf.size(), frame_header_bytes(0));
   const FrameView v = parse_frame(buf);
@@ -72,7 +93,7 @@ TEST(ExchangeWireFormat, ZeroCountFrameRoundTrips) {
 TEST(ExchangeWireFormat, AllEmptyPayloadsRoundTrip) {
   std::vector<std::byte> buf;
   const std::uint32_t count = 17;
-  FrameWriter w(buf, /*epoch=*/42, count);
+  FrameWriter w(buf, /*epoch=*/42, /*origin=*/2, frame_flow_id(42, 2, 0), count);
   for (std::uint32_t j = 0; j < count; ++j) w.begin_sample(j * 3 + 1);
   w.finish();
   EXPECT_EQ(buf.size(),
@@ -88,7 +109,7 @@ TEST(ExchangeWireFormat, AllEmptyPayloadsRoundTrip) {
 TEST(ExchangeWireFormat, VariableLengthPayloadsRoundTrip) {
   std::vector<std::byte> buf;
   const std::uint32_t count = 9;
-  FrameWriter w(buf, /*epoch=*/1234567, count);
+  FrameWriter w(buf, /*epoch=*/1234567, /*origin=*/1, frame_flow_id(1234567, 1, 2), count);
   for (std::uint32_t j = 0; j < count; ++j) {
     w.begin_sample(1000 + j);
     // Sample j carries j bytes of payload — mixed sizes in one frame.
@@ -110,7 +131,8 @@ TEST(ExchangeWireFormat, VariableLengthPayloadsRoundTrip) {
 
 TEST(ExchangeWireFormat, TruncatedFramesAreRejected) {
   std::vector<std::byte> buf;
-  FrameWriter w(buf, /*epoch=*/5, /*count=*/2);
+  FrameWriter w(buf, /*epoch=*/5, /*origin=*/0, frame_flow_id(5, 0, 1),
+                /*count=*/2);
   w.begin_sample(7);
   buf.push_back(std::byte{0xAA});
   w.begin_sample(8);
@@ -131,7 +153,8 @@ TEST(ExchangeWireFormat, TruncatedFramesAreRejected) {
 TEST(ExchangeWireFormat, CorruptOffsetTablesAreRejected) {
   const auto make = [] {
     std::vector<std::byte> buf;
-    FrameWriter w(buf, /*epoch=*/1, /*count=*/2);
+    FrameWriter w(buf, /*epoch=*/1, /*origin=*/0, /*flow_id=*/0,
+                  /*count=*/2);
     w.begin_sample(1);
     buf.push_back(std::byte{0x11});
     w.begin_sample(2);
@@ -142,13 +165,13 @@ TEST(ExchangeWireFormat, CorruptOffsetTablesAreRejected) {
   {
     // offsets[0] != 0.
     auto buf = make();
-    buf[12] = std::byte{1};
+    buf[kFrameOffsetsOff] = std::byte{1};
     EXPECT_THROW((void)parse_frame(buf), CheckError);
   }
   {
     // Non-monotonic interior offset (sample shorter than its SampleId).
     auto buf = make();
-    buf[16] = std::byte{2};
+    buf[kFrameOffsetsOff + 4] = std::byte{2};
     EXPECT_THROW((void)parse_frame(buf), CheckError);
   }
   {
@@ -161,12 +184,13 @@ TEST(ExchangeWireFormat, CorruptOffsetTablesAreRejected) {
 
 TEST(ExchangeWireFormat, WriterEnforcesTheDeclaredCount) {
   std::vector<std::byte> buf;
-  FrameWriter w(buf, /*epoch=*/1, /*count=*/1);
+  FrameWriter w(buf, /*epoch=*/1, /*origin=*/0, /*flow_id=*/0, /*count=*/1);
   w.begin_sample(3);
   EXPECT_THROW(w.begin_sample(4), CheckError);  // one too many
 
   std::vector<std::byte> buf2;
-  FrameWriter w2(buf2, /*epoch=*/1, /*count=*/2);
+  FrameWriter w2(buf2, /*epoch=*/1, /*origin=*/0, /*flow_id=*/0,
+                 /*count=*/2);
   w2.begin_sample(3);
   EXPECT_THROW(w2.finish(), CheckError);  // one too few
 }

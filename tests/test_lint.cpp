@@ -319,6 +319,63 @@ TEST(LintStdout, IdentifiersContainingCoutPass) {
   EXPECT_FALSE(has_rule(fs, "raw-stdout"));
 }
 
+// ----------------------------------------------------------- metric-name
+
+TEST(LintMetricName, FlagsNamesOutsideDottedLowercase) {
+  const std::string code =
+      "void f(int n) {\n"
+      "  DSHUF_COUNTER(\"Exchange.Bytes\").add(1);\n"
+      "  DSHUF_GAUGE(\"task workers\").set(n);\n"
+      "  DSHUF_HISTOGRAM_US(\"exchange/fence\").observe(1);\n"
+      "}\n";
+  const auto fs = scan_file(classify_path("src/shuffle/x.cpp"), code);
+  int bad = 0;
+  for (const auto& f : fs) {
+    if (f.rule == "metric-name") ++bad;
+  }
+  EXPECT_EQ(bad, 3);
+}
+
+TEST(LintMetricName, AcceptsDottedLowercaseEverywhere) {
+  const std::string code =
+      "void f() {\n"
+      "  DSHUF_COUNTER(\"exchange.bytes_sent\").add(1);\n"
+      "  DSHUF_GAUGE(\"task.workers\").set(2);\n"
+      "  DSHUF_HISTOGRAM_US(\"exchange.fence_wait_us\").observe(7);\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(scan_file(classify_path("src/comm/x.cpp"), code),
+                        "metric-name"));
+  // The rule follows the macros into benches and tests too — names are
+  // global registry keys no matter who registers them.
+  EXPECT_TRUE(has_rule(
+      scan_file(classify_path("tests/test_x.cpp"),
+                "void g() { DSHUF_COUNTER(\"Bad.Name\").add(1); }\n"),
+      "metric-name"));
+}
+
+TEST(LintMetricName, TwoMacrosOnOneLineEachGetTheirOwnLiteral) {
+  const std::string code =
+      "void f() { DSHUF_COUNTER(\"ok.name\").add(1); "
+      "DSHUF_COUNTER(\"BAD\").add(1); }\n";
+  const auto fs = scan_file(classify_path("src/obs/x.cpp"), code);
+  int bad = 0;
+  for (const auto& f : fs) {
+    if (f.rule == "metric-name") ++bad;
+  }
+  EXPECT_EQ(bad, 1);
+}
+
+TEST(LintMetricName, ComputedNamesAndCommentsAreOutOfScope) {
+  // An identifier argument (the registry helper, a macro definition) and
+  // macro names inside comments/strings never trip the rule.
+  const std::string code =
+      "#define DSHUF_COUNTER(name) registry().counter(name)\n"
+      "// DSHUF_COUNTER(\"Not.Code\") in prose\n"
+      "void f(const char* n) { DSHUF_COUNTER(n).add(1); }\n";
+  EXPECT_FALSE(has_rule(scan_file(classify_path("src/obs/x.cpp"), code),
+                        "metric-name"));
+}
+
 // ------------------------------------------------------ include hygiene
 
 TEST(LintHygiene, HeaderWithoutPragmaOnce) {

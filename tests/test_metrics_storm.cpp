@@ -1,0 +1,163 @@
+// Histogram storm: concurrent observe() / snapshot() / reset() on the
+// log2-bucketed default histograms must stay data-race-free (every field
+// is an independent relaxed atomic). Runs under the CI tsan job via the
+// `concurrent` label.
+//
+// Semantics under race (pinned in obs/metrics.hpp): a snapshot racing a
+// reset may be TORN — count() from one epoch next to bucket counts from
+// another — but never invents values, so the only cross-field invariant
+// asserted mid-storm is structural (bucket vector shape). The
+// count == sum-of-buckets invariant is asserted only at quiescence.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+
+namespace dshuf::obs {
+namespace {
+
+TEST(MetricsStorm, ObserveSnapshotResetRaceOnLog2Histogram) {
+  auto& h = Registry::instance().histogram("storm.lat_us");
+  ASSERT_TRUE(h.log2_buckets());
+  h.reset();
+
+  constexpr int kWriters = 4;
+  constexpr int kObservationsPerWriter = 20000;
+  std::atomic<bool> writers_done{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 2);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&h, w] {
+      for (int i = 0; i < kObservationsPerWriter; ++i) {
+        // Spread observations across buckets 0..19.
+        h.observe(std::uint64_t{1} << ((i + w) % 20));
+      }
+    });
+  }
+  threads.emplace_back([&h, &writers_done] {
+    const std::size_t shape = h.bounds().size() + 1;
+    while (!writers_done.load(std::memory_order_acquire)) {
+      const auto counts = h.bucket_counts();
+      ASSERT_EQ(counts.size(), shape);
+      // Torn reads are legal; impossible values are not. No single
+      // bucket can exceed the process-wide observation budget.
+      for (const auto c : counts) {
+        ASSERT_LE(c, std::uint64_t{kWriters} * kObservationsPerWriter);
+      }
+      (void)h.count();
+      (void)h.sum();
+    }
+  });
+  threads.emplace_back([&h, &writers_done] {
+    while (!writers_done.load(std::memory_order_acquire)) {
+      h.reset();
+      std::this_thread::yield();
+    }
+  });
+
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  writers_done.store(true, std::memory_order_release);
+  threads[kWriters].join();
+  threads[kWriters + 1].join();
+
+  // Quiescent: the full invariant set holds again after one last reset.
+  h.reset();
+  for (int i = 0; i < 1000; ++i) h.observe(100);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.sum(), 100000u);
+  const auto counts = h.bucket_counts();
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::uint64_t{0}),
+            1000u);
+}
+
+// Registry-level storm: snapshots (name-ordered copies) racing first-touch
+// registrations and updates across all three instrument kinds.
+TEST(MetricsStorm, RegistrySnapshotRacesRegistrationAndUpdates) {
+  Registry::instance().reset();
+  constexpr int kIters = 5000;
+  std::atomic<bool> done{false};
+
+  std::thread writer([&] {
+    for (int i = 0; i < kIters; ++i) {
+      DSHUF_COUNTER("storm.reg.count").add(1);
+      DSHUF_GAUGE("storm.reg.depth").set(i);
+      DSHUF_HISTOGRAM_US("storm.reg.lat").observe(
+          static_cast<std::uint64_t>(i % 4096 + 1));
+      // A rotating name forces registration while snapshots run.
+      Registry::instance().counter("storm.reg.touch." +
+                                   std::to_string(i % 8));
+    }
+    done.store(true, std::memory_order_release);
+  });
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const MetricsSnapshot snap = Registry::instance().snapshot();
+      for (const auto& hist : snap.histograms) {
+        ASSERT_EQ(hist.counts.size(), hist.bounds.size() + 1);
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+
+  const MetricsSnapshot snap = Registry::instance().snapshot();
+  bool found = false;
+  for (const auto& [name, v] : snap.counters) {
+    if (name == "storm.reg.count") {
+      EXPECT_EQ(v, static_cast<std::uint64_t>(kIters));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// The sampler ticking while instruments update: windows must keep their
+// structural invariants even when deltas are taken mid-update.
+TEST(MetricsStorm, SamplerWindowsStayWellFormedUnderConcurrentUpdates) {
+  auto& sampler = TimeseriesSampler::instance();
+  Registry::instance().reset();
+  sampler.set_enabled(true);
+  sampler.reset();
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 20000; ++i) {
+      DSHUF_COUNTER("storm.win.count").add(1);
+      DSHUF_HISTOGRAM_US("storm.win.lat").observe(
+          static_cast<std::uint64_t>(i % 1024 + 1));
+    }
+    done.store(true, std::memory_order_release);
+  });
+  int windows = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    sampler.sample_window("storm " + std::to_string(windows++));
+    std::this_thread::yield();
+  }
+  writer.join();
+  sampler.sample_window("final");
+  sampler.set_enabled(false);
+
+  std::uint64_t total = 0;
+  for (const auto& w : sampler.windows()) {
+    EXPECT_LE(w.t_start_us, w.t_end_us);
+    for (const auto& [name, v] : w.counters) {
+      EXPECT_FALSE(name.empty());
+      if (name == "storm.win.count") total += v;
+    }
+    for (const auto& hist : w.histograms) {
+      EXPECT_GT(hist.count, 0u);  // zero-delta windows are omitted
+    }
+  }
+  // Deltas over tiling windows sum to the grand total.
+  EXPECT_EQ(total, 20000u);
+}
+
+}  // namespace
+}  // namespace dshuf::obs

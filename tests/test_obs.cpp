@@ -14,6 +14,7 @@
 #include "chaos_harness.hpp"
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -230,24 +231,33 @@ chaos::ChaosConfig golden_config(std::uint64_t fault_seed) {
 struct TracedChaos {
   std::string trace_json;
   std::string epoch_csv;
+  std::string timeseries_json;
   chaos::ChaosResult result;
 };
 
-/// One chaos run with tracing on a fresh virtual clock; the returned
-/// artifacts must be a pure function of (shuffle seed, fault seed).
+/// One chaos run with tracing + the timeseries sampler on a fresh virtual
+/// clock; the returned artifacts must be a pure function of (shuffle
+/// seed, fault seed).
 TracedChaos run_traced_chaos(const chaos::ChaosConfig& cfg) {
   auto& tracer = obs::Tracer::instance();
+  auto& sampler = obs::TimeseriesSampler::instance();
   obs::Registry::instance().reset();
   tracer.clear();
   obs::VirtualClock clock;
   obs::set_obs_clock(&clock);
   tracer.set_enabled(true);
+  sampler.set_enabled(true);
+  sampler.reset();
 
   TracedChaos out;
   out.result = chaos::run_chaos_exchange(cfg);
+  sampler.sample_window("final");
   out.trace_json = tracer.chrome_trace_json();
   out.epoch_csv = tracer.epoch_report_csv();
+  out.timeseries_json = sampler.to_json();
 
+  sampler.set_enabled(false);
+  sampler.reset();
   tracer.set_enabled(false);
   tracer.clear();
   obs::set_obs_clock(nullptr);
@@ -259,11 +269,25 @@ TEST(ObsGolden, ChaosTraceIsByteIdenticalAcrossRuns) {
   const auto b = run_traced_chaos(golden_config(21));
   EXPECT_EQ(a.trace_json, b.trace_json);
   EXPECT_EQ(a.epoch_csv, b.epoch_csv);
+  EXPECT_EQ(a.timeseries_json, b.timeseries_json);
   // Sanity: the artifacts are non-trivial and well-formed JSON.
   const json::Value doc = json::parse(a.trace_json);
   EXPECT_GE(doc.at("traceEvents").as_array().size(),
             golden_config(21).epochs * 3U);  // one epoch span per rank
   EXPECT_NE(a.epoch_csv.find("exchange.epoch"), std::string::npos);
+  // The trace carries the cross-rank causality layer: named rank lanes
+  // and send/finish flow points alongside the spans.
+  EXPECT_NE(a.trace_json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(a.trace_json.find("\"dshuf.flow\""), std::string::npos);
+  EXPECT_NE(a.trace_json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(a.trace_json.find("\"ph\":\"f\""), std::string::npos);
+  // And the timeseries export is a valid v1 document with the exchange
+  // counters in its window.
+  const json::Value ts = json::parse(a.timeseries_json);
+  EXPECT_EQ(ts.at("schema").as_string(), "dshuf.timeseries.v1");
+  ASSERT_GE(ts.at("windows").as_array().size(), 1U);
+  EXPECT_TRUE(ts.at("windows").as_array()[0].at("counters").has(
+      "exchange.epochs"));
 }
 
 TEST(ObsGolden, ExchangeOutcomesMatchRegistryCounters) {

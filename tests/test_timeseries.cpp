@@ -1,0 +1,199 @@
+// Windowed telemetry tests: quantile estimation from bucketed counts,
+// the log2 default histogram layout, and TimeseriesSampler's per-window
+// delta semantics (obs/timeseries.hpp, DESIGN.md §13).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+
+namespace dshuf::obs {
+namespace {
+
+// ------------------------------------------------------------ quantiles --
+
+TEST(Quantiles, EmptyHistogramEstimatesAllZero) {
+  const Quantiles q = estimate_quantiles({10, 20, 30}, {0, 0, 0, 0});
+  EXPECT_EQ(q.p50, 0.0);
+  EXPECT_EQ(q.p99, 0.0);
+  EXPECT_EQ(q.p999, 0.0);
+}
+
+// All mass in one bucket: estimates interpolate linearly inside
+// [bounds[i-1], bounds[i]]. total=4, p50 rank=2 -> frac (2-0.5)/4.
+TEST(Quantiles, InterpolatesLinearlyInsideTheOwningBucket) {
+  const Quantiles q = estimate_quantiles({10, 20, 30}, {0, 4, 0, 0});
+  EXPECT_DOUBLE_EQ(q.p50, 10.0 + 10.0 * (2.0 - 0.5) / 4.0);   // 13.75
+  EXPECT_DOUBLE_EQ(q.p99, 10.0 + 10.0 * (4.0 - 0.5) / 4.0);   // 18.75
+  EXPECT_DOUBLE_EQ(q.p999, q.p99);  // both ranks clamp to total
+}
+
+TEST(Quantiles, OverflowBucketExtrapolatesToTwiceTheLastBound) {
+  // All 3 observations above bounds.back(): the synthetic upper edge is
+  // 2 * 20 = 40, so every estimate lands in (20, 40).
+  const Quantiles q = estimate_quantiles({10, 20}, {0, 0, 3});
+  EXPECT_DOUBLE_EQ(q.p50, 20.0 + 20.0 * (2.0 - 0.5) / 3.0);   // 30
+  EXPECT_GT(q.p999, q.p50);
+  EXPECT_LT(q.p999, 40.0);
+}
+
+TEST(Quantiles, MonotoneAcrossBuckets) {
+  const Quantiles q = estimate_quantiles({1, 2, 4, 8, 16},
+                                         {5, 10, 20, 40, 20, 5});
+  EXPECT_LE(q.p50, q.p99);
+  EXPECT_LE(q.p99, q.p999);
+}
+
+// ---------------------------------------------------- log2 default hist --
+
+TEST(Log2Histogram, DefaultRegistrationUsesLog2Buckets) {
+  auto& h = Registry::instance().histogram("ts.test.log2_layout");
+  ASSERT_TRUE(h.log2_buckets());
+  const auto bounds = log2_latency_bounds_us();
+  ASSERT_EQ(h.bounds().size(), bounds.size());
+  EXPECT_EQ(h.bounds().front(), 1u);
+  EXPECT_EQ(h.bounds().back(), std::uint64_t{1} << 39);
+  // Bucket index is bit_width(v-1): 1000 lands in (512, 1024].
+  h.reset();
+  h.observe(1000);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), bounds.size() + 1);
+  EXPECT_EQ(counts[std::bit_width(std::uint64_t{999})], 1u);
+}
+
+// The one-octave error bound: the estimate shares a bucket with the true
+// value, so it stays within [2^(i-1), 2^i] of any constant input.
+TEST(Log2Histogram, QuantileErrorBoundedByOneOctave) {
+  Histogram h;  // log2 default
+  for (int i = 0; i < 100; ++i) h.observe(1000);
+  const Quantiles q = estimate_quantiles(h.bounds(), h.bucket_counts());
+  for (const double est : {q.p50, q.p99, q.p999}) {
+    EXPECT_GE(est, 512.0);
+    EXPECT_LE(est, 1024.0);
+  }
+}
+
+// -------------------------------------------------------------- sampler --
+
+TEST(TimeseriesSampler, WindowsAreDeltasNotTotals) {
+  auto& sampler = TimeseriesSampler::instance();
+  Registry::instance().reset();
+  sampler.set_enabled(true);
+  sampler.reset();
+
+  DSHUF_COUNTER("ts.test.events").add(5);
+  sampler.sample_window("w0");
+  DSHUF_COUNTER("ts.test.events").add(3);
+  DSHUF_GAUGE("ts.test.depth").set(7);
+  for (int i = 0; i < 3; ++i) DSHUF_HISTOGRAM_US("ts.test.lat").observe(100);
+  sampler.sample_window("w1");
+  sampler.set_enabled(false);
+
+  const auto ws = sampler.windows();
+  ASSERT_EQ(ws.size(), 2u);
+
+  const auto counter_in = [](const TimeseriesWindow& w,
+                             const std::string& name) -> std::int64_t {
+    for (const auto& [n, v] : w.counters) {
+      if (n == name) return static_cast<std::int64_t>(v);
+    }
+    return -1;
+  };
+  EXPECT_EQ(counter_in(ws[0], "ts.test.events"), 5);
+  EXPECT_EQ(counter_in(ws[1], "ts.test.events"), 3);  // delta, not 8
+
+  ASSERT_EQ(ws[1].histograms.size(), 1u);
+  EXPECT_EQ(ws[1].histograms[0].name, "ts.test.lat");
+  EXPECT_EQ(ws[1].histograms[0].count, 3u);
+  EXPECT_EQ(ws[1].histograms[0].sum, 300u);
+  // Window 0 saw no histogram observations — zero-delta entries are
+  // omitted entirely.
+  EXPECT_TRUE(ws[0].histograms.empty());
+
+  // Windows tile the timeline: contiguous, non-overlapping.
+  EXPECT_LE(ws[0].t_start_us, ws[0].t_end_us);
+  EXPECT_EQ(ws[0].t_end_us, ws[1].t_start_us);
+}
+
+TEST(TimeseriesSampler, GaugesExportLevelsAtTheBoundary) {
+  auto& sampler = TimeseriesSampler::instance();
+  Registry::instance().reset();
+  sampler.set_enabled(true);
+  sampler.reset();
+
+  DSHUF_GAUGE("ts.test.level").set(7);
+  sampler.sample_window("w0");
+  DSHUF_GAUGE("ts.test.level").set(2);
+  sampler.sample_window("w1");
+  sampler.set_enabled(false);
+
+  const auto ws = sampler.windows();
+  ASSERT_EQ(ws.size(), 2u);
+  const auto gauge_in = [](const TimeseriesWindow& w,
+                           const std::string& name) -> std::int64_t {
+    for (const auto& [n, v] : w.gauges) {
+      if (n == name) return v;
+    }
+    return INT64_MIN;
+  };
+  EXPECT_EQ(gauge_in(ws[0], "ts.test.level"), 7);
+  EXPECT_EQ(gauge_in(ws[1], "ts.test.level"), 2);  // level, not -5 delta
+}
+
+TEST(TimeseriesSampler, RegistryResetMidWindowDoesNotUnderflow) {
+  auto& sampler = TimeseriesSampler::instance();
+  Registry::instance().reset();
+  sampler.set_enabled(true);
+  sampler.reset();
+
+  DSHUF_COUNTER("ts.test.rollback").add(10);
+  sampler.sample_window("w0");
+  Registry::instance().reset();  // totals drop below the baseline
+  DSHUF_COUNTER("ts.test.rollback").add(4);
+  sampler.sample_window("w1");
+  sampler.set_enabled(false);
+
+  const auto ws = sampler.windows();
+  ASSERT_EQ(ws.size(), 2u);
+  for (const auto& [n, v] : ws[1].counters) {
+    if (n == "ts.test.rollback") {
+      EXPECT_EQ(v, 4u);  // new total, not a wrapped 4 - 10
+      return;
+    }
+  }
+  FAIL() << "ts.test.rollback missing from the post-reset window";
+}
+
+TEST(TimeseriesSampler, DisabledSamplerIgnoresTicks) {
+  auto& sampler = TimeseriesSampler::instance();
+  sampler.set_enabled(true);
+  sampler.reset();
+  sampler.set_enabled(false);
+  const std::size_t before = sampler.window_count();
+  sampler.sample_window("ignored");
+  tick_timeseries_epoch(42);
+  EXPECT_EQ(sampler.window_count(), before);
+}
+
+TEST(TimeseriesSampler, JsonCarriesTheSchemaTagAndWindowLabels) {
+  auto& sampler = TimeseriesSampler::instance();
+  Registry::instance().reset();
+  sampler.set_enabled(true);
+  sampler.reset();
+  DSHUF_COUNTER("ts.test.json").add(1);
+  tick_timeseries_epoch(3);
+  sampler.set_enabled(false);
+
+  const std::string json = sampler.to_json();
+  EXPECT_NE(json.find("\"schema\": \"dshuf.timeseries.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"epoch 3\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts.test.json\": 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dshuf::obs

@@ -1,0 +1,315 @@
+// Causal-DAG analysis tests: critical paths, flow checking, straggler
+// attribution, and the trace/timeseries loaders — driven through
+// dshuf_trace_lib, the exact code the CLI runs (DESIGN.md §13).
+//
+// Synthetic Ev vectors pin the DAG semantics exactly (every duration
+// below is hand-checked); the loader tests round-trip real exports.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "trace_analysis.hpp"
+#include "util/error.hpp"
+
+namespace dshuf::tracetool {
+namespace {
+
+Ev span(const std::string& name, std::int64_t tid, std::uint64_t ts,
+        std::uint64_t dur, const std::string& epoch = "") {
+  Ev e;
+  e.name = name;
+  e.ph = 'X';
+  e.tid = tid;
+  e.ts_us = ts;
+  e.dur_us = dur;
+  if (!epoch.empty()) e.args["epoch"] = epoch;
+  return e;
+}
+
+Ev flow(char ph, std::int64_t tid, std::uint64_t ts, std::uint64_t id,
+        const std::string& epoch = "") {
+  Ev e;
+  e.name = "dshuf.flow";
+  e.ph = ph;
+  e.tid = tid;
+  e.ts_us = ts;
+  e.flow_id = id;
+  if (!epoch.empty()) e.args["epoch"] = epoch;
+  return e;
+}
+
+std::string write_temp(const std::string& name, const std::string& body) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path, std::ios::binary);
+  out << body;
+  return path;
+}
+
+// ------------------------------------------------------- critical paths --
+
+// A single rank doing strictly sequential work: the epoch's critical path
+// is the whole epoch, so path_us must equal wall_us exactly. The nested
+// post/fence spans carry no epoch arg — they are assigned by containment
+// in the enclosing exchange.epoch window.
+TEST(CriticalPath, SingleTrackSequentialEpochEqualsWallClock) {
+  std::vector<Ev> ev;
+  ev.push_back(span("exchange.epoch", 0, 0, 100, "0"));
+  ev.push_back(span("exchange.post", 0, 0, 30));
+  ev.push_back(span("exchange.fence", 0, 30, 70));
+
+  const auto cps = critical_paths(ev);
+  ASSERT_EQ(cps.size(), 1u);
+  EXPECT_EQ(cps[0].label, "epoch 0");
+  EXPECT_EQ(cps[0].wall_us, 100u);
+  EXPECT_EQ(cps[0].path_us, 100u);
+  // The epoch span contributes no self-time (fully covered by children),
+  // so the path is post + fence.
+  ASSERT_EQ(cps[0].steps.size(), 2u);
+  EXPECT_EQ(cps[0].steps[0].name, "exchange.fence");
+  EXPECT_EQ(cps[0].steps[0].us, 70u);
+  EXPECT_EQ(cps[0].steps[1].name, "exchange.post");
+}
+
+// A flow edge lets the path jump tracks: producer prefix (40us to the
+// send point) + wire + consumer suffix (40us from the finish) = 80us,
+// longer than either track alone (50us and 10+40=50us).
+TEST(CriticalPath, FlowEdgeStitchesCrossTrackPath) {
+  std::vector<Ev> ev;
+  ev.push_back(span("produce", 0, 0, 50, "0"));
+  ev.push_back(span("recv.wait", 1, 0, 10, "0"));
+  ev.push_back(span("consume", 1, 60, 40, "0"));
+  ev.push_back(flow('s', 0, 40, 7, "0"));
+  ev.push_back(flow('f', 1, 60, 7, "0"));
+
+  const auto cps = critical_paths(ev);
+  ASSERT_EQ(cps.size(), 1u);
+  EXPECT_EQ(cps[0].wall_us, 100u);
+  EXPECT_EQ(cps[0].path_us, 80u);
+  ASSERT_GE(cps[0].steps.size(), 2u);
+  // Largest contribution first; both sides of the wire are on the path.
+  EXPECT_EQ(cps[0].steps[0].name, "produce");
+  EXPECT_EQ(cps[0].steps[0].tid, 0);
+  EXPECT_EQ(cps[0].steps[1].name, "consume");
+  EXPECT_EQ(cps[0].steps[1].tid, 1);
+}
+
+TEST(CriticalPath, EpochGroupsSortNumericallyNotLexicographically) {
+  std::vector<Ev> ev;
+  ev.push_back(span("exchange.epoch", 0, 1000, 10, "10"));
+  ev.push_back(span("exchange.epoch", 0, 0, 10, "2"));
+
+  const auto cps = critical_paths(ev);
+  ASSERT_EQ(cps.size(), 2u);
+  EXPECT_EQ(cps[0].label, "epoch 2");
+  EXPECT_EQ(cps[1].label, "epoch 10");
+}
+
+TEST(CriticalPath, TraceWithoutEpochArgsFormsOneGroup) {
+  std::vector<Ev> ev;
+  ev.push_back(span("compute", 0, 0, 40));
+  ev.push_back(span("compute", 1, 0, 60));
+
+  const auto cps = critical_paths(ev);
+  ASSERT_EQ(cps.size(), 1u);
+  EXPECT_EQ(cps[0].label, "trace");
+  EXPECT_EQ(cps[0].wall_us, 60u);
+  EXPECT_EQ(cps[0].path_us, 60u);
+}
+
+// ---------------------------------------------------------- flow checks --
+
+TEST(CheckFlows, AcceptsCausallySoundTrace) {
+  std::vector<Ev> ev;
+  ev.push_back(flow('s', 0, 10, 5));
+  ev.push_back(flow('t', 0, 15, 5));  // retransmit after the send: fine
+  ev.push_back(flow('f', 1, 20, 5));
+
+  const auto fc = check_flows(ev);
+  EXPECT_EQ(fc.sends, 1u);
+  EXPECT_EQ(fc.steps, 1u);
+  EXPECT_EQ(fc.finishes, 1u);
+  EXPECT_TRUE(fc.errors.empty());
+}
+
+TEST(CheckFlows, FlagsRecvBeforeSendAndOrphanFinishes) {
+  std::vector<Ev> ev;
+  ev.push_back(flow('s', 0, 10, 5));
+  ev.push_back(flow('f', 1, 5, 5));   // finish before its send
+  ev.push_back(flow('f', 1, 20, 9));  // no send with this id at all
+
+  const auto fc = check_flows(ev);
+  ASSERT_EQ(fc.errors.size(), 2u);
+  EXPECT_NE(fc.errors[0].find("precedes its send"), std::string::npos);
+  EXPECT_NE(fc.errors[1].find("no matching send"), std::string::npos);
+}
+
+TEST(CheckFlows, RetransmitOnlyShiftsNothingWhenFirstSendIsEarliest) {
+  // Two sends of the same id (a retry re-sends): causal soundness is
+  // measured against the FIRST send, so a finish between them is sound.
+  std::vector<Ev> ev;
+  ev.push_back(flow('s', 0, 10, 5));
+  ev.push_back(flow('s', 0, 40, 5));
+  ev.push_back(flow('f', 1, 25, 5));
+  EXPECT_TRUE(check_flows(ev).errors.empty());
+}
+
+// ----------------------------------------------------------- stragglers --
+
+std::vector<Ev> straggler_trace() {
+  std::vector<Ev> ev;
+  // Rank 1 spends half of epoch 3 in the fence.
+  ev.push_back(span("exchange.epoch", 1, 0, 100, "3"));
+  ev.push_back(span("exchange.fence", 1, 50, 50));
+  // Rank 0's frame arrives early; rank 2's arrives last after a
+  // retransmit, so rank 2 is the blocker.
+  ev.push_back(flow('s', 0, 10, 100, "3"));
+  ev.push_back(flow('f', 1, 20, 100, "3"));
+  ev.push_back(flow('s', 2, 15, 200, "3"));
+  ev.push_back(flow('t', 2, 60, 200, "3"));
+  ev.push_back(flow('f', 1, 90, 200, "3"));
+  return ev;
+}
+
+TEST(Stragglers, BlamesTheSenderOfTheLastArrival) {
+  const auto rows = stragglers(straggler_trace(), {});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].epoch, "3");  // from the enclosing exchange.epoch
+  EXPECT_EQ(rows[0].rank, 1);
+  EXPECT_EQ(rows[0].fence_us, 50u);
+  EXPECT_EQ(rows[0].blocking_rank, 2);
+  EXPECT_EQ(rows[0].retransmits, 1u);
+  // No metrics context: the retransmitted blocker is presumed injected.
+  EXPECT_EQ(rows[0].klass, "fault");
+}
+
+TEST(Stragglers, QuietFaultCountersReclassifyRetransmitsAsOrganic) {
+  // A metrics snapshot with no comm.fault.* activity proves nothing was
+  // injected — the same retransmit pattern is plain skew.
+  std::map<std::string, std::uint64_t> counters{
+      {"exchange.epochs", 4}, {"comm.fault.drops", 0}};
+  const auto rows = stragglers(straggler_trace(), counters);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].klass, "organic");
+
+  counters["comm.fault.drops"] = 2;
+  const auto rows2 = stragglers(straggler_trace(), counters);
+  ASSERT_EQ(rows2.size(), 1u);
+  EXPECT_EQ(rows2[0].klass, "fault");
+}
+
+TEST(Stragglers, FenceWithNoArrivalsBlamesNobody) {
+  std::vector<Ev> ev;
+  ev.push_back(span("exchange.epoch", 0, 0, 10, "0"));
+  ev.push_back(span("exchange.fence", 0, 5, 5));
+  const auto rows = stragglers(ev, {});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].blocking_rank, -1);
+  EXPECT_EQ(rows[0].klass, "organic");
+}
+
+// -------------------------------------------------------------- loaders --
+
+TEST(LoadTrace, ParsesSpansFlowsAndMetadata) {
+  const std::string path = write_temp(
+      "dshuf_ta_trace.json",
+      R"({"traceEvents":[
+{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"dshuf"}},
+{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"rank 0"}},
+{"name":"exchange.epoch","ph":"X","ts":0,"dur":100,"pid":0,"tid":0,"args":{"epoch":"0"}},
+{"name":"dshuf.flow","ph":"s","ts":10,"pid":0,"tid":0,"id":"9223372036854775809","args":{"epoch":"0"}},
+{"name":"dshuf.flow","ph":"f","ts":20,"pid":0,"tid":1,"id":"9223372036854775809","bp":"e","args":{"epoch":"0"}}
+]})");
+  const auto events = load_trace(path);
+  ASSERT_EQ(events.size(), 5u);
+  const auto names = thread_names(events);
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names.at(0), "rank 0");
+  // Bit-63 flow ids round-trip through the decimal-string encoding.
+  EXPECT_EQ(events[3].flow_id, 9223372036854775809ull);
+  EXPECT_EQ(events[4].flow_id, 9223372036854775809ull);
+  EXPECT_TRUE(check_flows(events).errors.empty());
+  std::remove(path.c_str());
+}
+
+TEST(LoadTrace, RejectsUnknownPhasesAndIdlessFlows) {
+  const std::string bad_phase = write_temp(
+      "dshuf_ta_badphase.json",
+      R"({"traceEvents":[{"name":"x","ph":"Q","ts":0,"tid":0}]})");
+  EXPECT_THROW((void)load_trace(bad_phase), CheckError);
+  std::remove(bad_phase.c_str());
+
+  const std::string no_id = write_temp(
+      "dshuf_ta_noid.json",
+      R"({"traceEvents":[{"name":"f","ph":"s","ts":0,"tid":0}]})");
+  EXPECT_ANY_THROW((void)load_trace(no_id));
+  std::remove(no_id.c_str());
+}
+
+// The real sampler's export must satisfy the tool's structural checks.
+TEST(LoadTimeseries, RoundTripsARealSamplerExport) {
+  auto& sampler = obs::TimeseriesSampler::instance();
+  obs::Registry::instance().reset();
+  sampler.set_enabled(true);
+  sampler.reset();
+  DSHUF_COUNTER("tracetest.ticks").add(7);
+  for (int i = 0; i < 5; ++i) {
+    DSHUF_HISTOGRAM_US("tracetest.lat_us").observe(100);
+  }
+  obs::tick_timeseries_epoch(0);
+  DSHUF_COUNTER("tracetest.ticks").add(1);
+  sampler.sample_window("final");
+  sampler.set_enabled(false);
+
+  const std::string path = ::testing::TempDir() + "dshuf_ta_ts.json";
+  ASSERT_TRUE(sampler.write_json(path));
+  const auto ws = load_timeseries(path);
+  ASSERT_EQ(ws.size(), 2u);
+  EXPECT_EQ(ws[0].label, "epoch 0");
+  EXPECT_EQ(ws[1].label, "final");
+  EXPECT_GE(ws[0].counters, 1u);
+  EXPECT_EQ(ws[0].histograms, 1u);
+  EXPECT_EQ(ws[1].histograms, 0u);  // nothing observed in the last window
+  std::remove(path.c_str());
+}
+
+TEST(LoadTimeseries, RejectsMalformedDocuments) {
+  const std::string wrong_schema = write_temp(
+      "dshuf_ta_ts_schema.json", R"({"schema":"other","windows":[]})");
+  EXPECT_THROW((void)load_timeseries(wrong_schema), CheckError);
+  std::remove(wrong_schema.c_str());
+
+  const std::string overlap = write_temp(
+      "dshuf_ta_ts_overlap.json",
+      R"({"schema":"dshuf.timeseries.v1","windows":[
+{"label":"a","t_start_us":0,"t_end_us":10,"counters":{},"gauges":{},"histograms":{}},
+{"label":"b","t_start_us":5,"t_end_us":20,"counters":{},"gauges":{},"histograms":{}}
+]})");
+  EXPECT_THROW((void)load_timeseries(overlap), CheckError);
+  std::remove(overlap.c_str());
+
+  const std::string bad_q = write_temp(
+      "dshuf_ta_ts_quantiles.json",
+      R"({"schema":"dshuf.timeseries.v1","windows":[
+{"label":"a","t_start_us":0,"t_end_us":10,"counters":{},"gauges":{},
+ "histograms":{"h":{"count":3,"sum":30,"p50":100,"p99":50,"p999":50}}}
+]})");
+  EXPECT_THROW((void)load_timeseries(bad_q), CheckError);
+  std::remove(bad_q.c_str());
+
+  const std::string zero_count = write_temp(
+      "dshuf_ta_ts_zero.json",
+      R"({"schema":"dshuf.timeseries.v1","windows":[
+{"label":"a","t_start_us":0,"t_end_us":10,"counters":{},"gauges":{},
+ "histograms":{"h":{"count":0,"sum":0,"p50":0,"p99":0,"p999":0}}}
+]})");
+  EXPECT_THROW((void)load_timeseries(zero_count), CheckError);
+  std::remove(zero_count.c_str());
+}
+
+}  // namespace
+}  // namespace dshuf::tracetool

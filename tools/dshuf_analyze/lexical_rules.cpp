@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <map>
 #include <string>
 
 namespace dshuf::analyze {
@@ -320,6 +321,61 @@ void check_raw_stdout(const SourceFile& f, std::vector<Finding>& out) {
   }
 }
 
+// --- rule: metric-name ---------------------------------------------------
+
+/// Registry names must be dotted lowercase ([a-z0-9_.]+): the dashboards,
+/// the timeseries export and dshuf_trace's counter tables all key on the
+/// literal, and one "Exchange.Bytes" next to "exchange.bytes" splits a
+/// metric in two forever. The scrubber blanks literal bodies, so the name
+/// is re-read from the raw line of the macro's string argument.
+void check_metric_names(const SourceFile& f, std::vector<Finding>& out) {
+  const auto is_metric_macro = [](const Token& t) {
+    return t.kind == Token::Kind::kIdent &&
+           (t.text == "DSHUF_COUNTER" || t.text == "DSHUF_GAUGE" ||
+            t.text == "DSHUF_HISTOGRAM_US");
+  };
+  const auto valid_char = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+           c == '.';
+  };
+  // Per-line read cursor so several macros on one raw line each consume
+  // their own literal (tokens arrive in source order).
+  std::map<int, std::size_t> cursor;
+  for (std::size_t t = 0; t + 2 < f.toks.size(); ++t) {
+    if (!is_metric_macro(f.toks[t])) continue;
+    if (!(f.toks[t + 1].kind == Token::Kind::kPunct &&
+          f.toks[t + 1].text == "(")) {
+      continue;
+    }
+    // A computed name (identifier argument, e.g. the macro definition
+    // itself) is outside this rule's reach.
+    if (f.toks[t + 2].kind != Token::Kind::kString) continue;
+    const int line = f.toks[t + 2].line;
+    if (line < 1 ||
+        static_cast<std::size_t>(line) > f.raw_lines.size()) {
+      continue;
+    }
+    const std::string& raw = f.raw_lines[static_cast<std::size_t>(line) - 1];
+    std::size_t& at = cursor[line];
+    const std::size_t open = raw.find('"', at);
+    if (open == std::string::npos) continue;
+    const std::size_t close = raw.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    at = close + 1;
+    const std::string name = raw.substr(open + 1, close - open - 1);
+    const bool ok =
+        !name.empty() && std::all_of(name.begin(), name.end(), valid_char);
+    if (ok) continue;
+    out.push_back({f.cls.path, static_cast<std::size_t>(line), "lint",
+                   "metric-name",
+                   f.toks[t].text + " name \"" + name +
+                       "\" is not dotted lowercase ([a-z0-9_.]+) — mixed "
+                       "case or stray characters split the metric across "
+                       "dashboards and exports",
+                   {}});
+  }
+}
+
 // --- rule: include hygiene -----------------------------------------------
 
 void check_include_hygiene(const SourceFile& f, std::vector<Finding>& out) {
@@ -368,6 +424,7 @@ std::vector<Finding> scan_lexical(const SourceFile& f) {
   check_unordered_iteration(f, out);
   check_raw_tags(f, out);
   check_raw_stdout(f, out);
+  check_metric_names(f, out);
   check_include_hygiene(f, out);
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     return a.line != b.line ? a.line < b.line : a.rule < b.rule;

@@ -9,6 +9,8 @@
 //   raw-tag-literal        isend/irecv tag args that bypass
 //                          shuffle/exchange_tags.hpp (`// lint:tag-ok`)
 //   raw-stdout             std::cout/cerr in src/ (`// lint:stdout-ok`)
+//   metric-name            DSHUF_COUNTER/GAUGE/HISTOGRAM_US name literals
+//                          must be dotted lowercase ([a-z0-9_.]+)
 //   pragma-once, relative-include, using-namespace-std
 //
 // banned-random and raw-stdout now match on the token stream (whole-token

@@ -513,6 +513,7 @@ atomics_profiles() {
            {"seq_cst", "acquire", "release", "acq_rel", "relaxed"}},
           {"src/obs/metrics.hpp", {"relaxed"}},
           {"src/obs/metrics.cpp", {"relaxed"}},
+          {"src/obs/timeseries.cpp", {"acquire", "release"}},
           {"src/obs/trace.cpp", {"acquire", "release", "relaxed"}},
           {"src/obs/trace.hpp", {"acquire", "release", "relaxed"}},
           {"src/obs/clock.hpp", {"acquire", "release", "acq_rel"}},

@@ -6,12 +6,14 @@
 // process, by flipping the KernelBackend switch, plus the multicore rows:
 // blocked GEMM under the task scheduler at 1/2/4/8 workers and one
 // overlapped exchange+compute epoch (sim/overlap.hpp) at the same worker
-// counts. --out writes the results as BENCH_micro-style JSON (schema
-// dshuf.bench_micro.v2, which also records hw_threads so readers can
-// judge the scaling rows); --check re-reads a written file with util/json
-// and validates its structure — and, when the recording host had >= 4
-// hardware threads, gates multicore GEMM at 4 workers on >= 2x the
-// 1-worker row. This is the CI perf-smoke gate.
+// counts, plus the observability tax: the same overlapped epoch with the
+// tracer + timeseries sampler on vs off. --out writes the results as
+// BENCH_micro-style JSON (schema dshuf.bench_micro.v3, which also records
+// hw_threads so readers can judge the scaling rows); --check re-reads a
+// written file with util/json and validates its structure — and, when the
+// recording host had >= 4 hardware threads, gates multicore GEMM at 4
+// workers on >= 2x the 1-worker row, and always gates the tracing
+// overhead at <= 5%. This is the CI perf-smoke gate.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -23,6 +25,8 @@
 #include "nn/builder.hpp"
 #include "nn/conv.hpp"
 #include "nn/loss.hpp"
+#include "obs/trace.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/overlap.hpp"
 #include "task/scheduler.hpp"
 #include "tensor/tensor.hpp"
@@ -126,7 +130,7 @@ int run_check(const std::string& path) {
   std::stringstream buf;
   buf << in.rdbuf();
   const json::Value doc = json::parse(buf.str());
-  DSHUF_CHECK_EQ(doc.at("schema").as_string(), "dshuf.bench_micro.v2",
+  DSHUF_CHECK_EQ(doc.at("schema").as_string(), "dshuf.bench_micro.v3",
                  "unexpected schema in " << path);
   const std::int64_t hw_threads = doc.at("hw_threads").as_int();
   DSHUF_CHECK_GE(hw_threads, 1, "bad hw_threads");
@@ -158,6 +162,18 @@ int run_check(const std::string& path) {
   for (const auto& row : doc.at("epoch_time").as_array()) {
     DSHUF_CHECK_GT(row.at("workers").as_int(), 0, "bad workers");
     DSHUF_CHECK_GT(row.at("ms").as_number(), 0.0, "bad ms");
+  }
+  DSHUF_CHECK(!doc.at("obs_overhead").as_array().empty(),
+              "no obs_overhead entries");
+  for (const auto& row : doc.at("obs_overhead").as_array()) {
+    DSHUF_CHECK_GT(row.at("off_ms").as_number(), 0.0, "bad off_ms");
+    DSHUF_CHECK_GT(row.at("on_ms").as_number(), 0.0, "bad on_ms");
+    // The always-on-able observability stack (tracer + windowed sampler)
+    // must stay under a 5% tax on the overlapped epoch.
+    DSHUF_CHECK_LE(row.at("overhead_frac").as_number(), 0.05,
+                   "tracing+sampling overhead above 5% in "
+                       << path << " (workload "
+                       << row.at("workload").as_string() << ")");
   }
   // The scaling gate only means something when the recording host had the
   // cores: a 1-core container legitimately shows ~1.0x at any width.
@@ -325,13 +341,64 @@ int main(int argc, char** argv) {
                 << " workers: " << fmt(epoch_rows.back().ms) << " ms\n";
     }
   }
+  // Observability tax: the identical overlapped epoch with the tracer and
+  // the timeseries sampler recording vs fully off. clear()/sample_window()
+  // stay inside the timed region — they are part of the per-epoch
+  // lifecycle a traced bench actually pays. The workload is deliberately
+  // heavier than the epoch_time rows (real epochs are long; the per-event
+  // cost is fixed), and the arms alternate per rep so machine-load drift
+  // hits both sides instead of biasing one.
+  double obs_off_ms = 0.0;
+  double obs_on_ms = 0.0;
+  {
+    sim::OverlapConfig ocfg;
+    ocfg.n = 256;
+    ocfg.ranks = 4;
+    ocfg.q = 0.3;
+    ocfg.epochs = 2;
+    ocfg.compute_gemm_n = 256;
+    ocfg.compute_reps = 4;
+    const task::ScopedTaskWorkers workers(4);
+    std::uint64_t seed = 21;
+    auto& tracer = obs::Tracer::instance();
+    auto& sampler = obs::TimeseriesSampler::instance();
+    const auto run_arm = [&](bool on) {
+      tracer.set_enabled(on);
+      sampler.set_enabled(on);
+      if (on) sampler.reset();
+      const double ms = time_ms(
+          [&] {
+            ocfg.seed = seed++;
+            sim::run_overlapped_epochs(ocfg);
+            if (on) tracer.clear();
+          },
+          min_seconds, 1);
+      tracer.set_enabled(false);
+      sampler.set_enabled(false);
+      return ms;
+    };
+    for (int r = 0; r < reps; ++r) {
+      const double off = run_arm(false);
+      const double on = run_arm(true);
+      if (obs_off_ms <= 0.0 || off < obs_off_ms) obs_off_ms = off;
+      if (obs_on_ms <= 0.0 || on < obs_on_ms) obs_on_ms = on;
+    }
+    sampler.reset();
+    tracer.clear();
+  }
+  const double obs_overhead_frac =
+      obs_off_ms > 0.0 ? (obs_on_ms - obs_off_ms) / obs_off_ms : 0.0;
+  std::cout << "obs_overhead (overlapped epoch @ 4 workers): off "
+            << fmt(obs_off_ms) << " ms, on " << fmt(obs_on_ms) << " ms, +"
+            << fmt(obs_overhead_frac * 100.0) << "%\n";
+
   const auto hw_threads =
       std::max(1U, std::thread::hardware_concurrency());
 
   const std::string out_path = args.get("out");
   if (!out_path.empty()) {
     std::ostringstream j;
-    j << "{\n  \"schema\": \"dshuf.bench_micro.v2\",\n  \"hw_threads\": "
+    j << "{\n  \"schema\": \"dshuf.bench_micro.v3\",\n  \"hw_threads\": "
       << hw_threads << ",\n  \"gemm\": [\n";
     for (std::size_t i = 0; i < gemm_rows.size(); ++i) {
       const auto& r = gemm_rows[i];
@@ -376,7 +443,11 @@ int main(int argc, char** argv) {
       j << "    {\"workers\": " << r.workers << ", \"ms\": " << fmt(r.ms)
         << "}" << (i + 1 < epoch_rows.size() ? "," : "") << "\n";
     }
-    j << "  ]\n}\n";
+    j << "  ],\n  \"obs_overhead\": [\n"
+      << "    {\"workload\": \"overlap_epoch\", \"workers\": 4, \"off_ms\": "
+      << fmt(obs_off_ms) << ", \"on_ms\": " << fmt(obs_on_ms)
+      << ", \"overhead_frac\": " << fmt(obs_overhead_frac) << "}\n"
+      << "  ]\n}\n";
     // Round-trip through the parser before writing: the tool never emits
     // a file its own --check would reject.
     json::parse(j.str());

@@ -1,0 +1,13 @@
+// Fixture: malformed metric registry names. Never compiled — exists so
+// the lint_fixture_flags ctest proves dshuf_lint still rejects these.
+#include "obs/metrics.hpp"
+
+namespace dshuf {
+
+void register_bad_metrics(int n) {
+  DSHUF_COUNTER("Exchange.Bytes").add(1);          // mixed case
+  DSHUF_GAUGE("task workers").set(n);              // space
+  DSHUF_HISTOGRAM_US("exchange/fence").observe(1); // slash, not dot
+}
+
+}  // namespace dshuf

@@ -39,6 +39,13 @@
 //                       the preceding line. Benches and tests are exempt.
 //   stdout-ok-justification  a lint:stdout-ok annotation with no
 //                       justification text.
+//   metric-name         a DSHUF_COUNTER / DSHUF_GAUGE /
+//                       DSHUF_HISTOGRAM_US name literal that is not
+//                       dotted lowercase ([a-z0-9_.]+). Registry names
+//                       are keys into the metrics snapshot, timeseries
+//                       export and dshuf_trace tables; "Exchange.Bytes"
+//                       next to "exchange.bytes" splits one metric in
+//                       two forever.
 //   pragma-once         a header whose first content line is not
 //                       `#pragma once`.
 //   relative-include    `#include "..."` using a ../ path (all project

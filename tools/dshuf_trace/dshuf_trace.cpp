@@ -1,18 +1,31 @@
 // dshuf_trace: inspect and validate dshuf observability artifacts.
 //
 // Reads the Chrome trace-event JSON written by --trace-out (and optionally
-// the metrics snapshot written by --metrics-out) and prints a Fig.-10-style
-// breakdown: top spans by self-time, exchange totals per rank, the
+// the metrics snapshot written by --metrics-out and the timeseries export
+// written by --timeseries-out) and prints a Fig.-10-style breakdown: top
+// spans by self-time, per-track utilisation, exchange totals per rank, the
 // exchange/compute overlap report, and the fault-injection summary. With
-// --check it validates the artifacts' structure instead and exits non-zero
-// on any malformed input, which is what the CI obs step runs against fresh
-// bench output. --min-overlap=F additionally gates on the overlap report
-// (exit non-zero when the hidden fraction of exchange time is below F) —
-// the CI perf-smoke step holds the overlapped trainer bench to 0.5.
+// --check it validates the artifacts' structure — including flow-event
+// causality: no receive may precede its send under the trace clock — and
+// exits non-zero on any malformed input, which is what the CI obs step
+// runs against fresh bench output. --min-overlap=F additionally gates on
+// the overlap report (exit non-zero when the hidden fraction of exchange
+// time is below F) — the CI perf-smoke step holds the overlapped trainer
+// bench to 0.5.
 //
 //   dshuf_trace --trace=trace.json [--metrics=metrics.json] [--top=N]
-//   dshuf_trace --trace=trace.json [--metrics=metrics.json] --check
+//   dshuf_trace --trace=trace.json [--timeseries=ts.json] --check
 //   dshuf_trace --trace=trace.json --min-overlap=0.5
+//   dshuf_trace --trace=trace.json --critical-path
+//   dshuf_trace --trace=trace.json [--metrics=metrics.json] --stragglers
+//
+// --critical-path stitches the (possibly multi-rank) trace into one
+// causal DAG per epoch — program order within a track, flow arrows across
+// tracks — and prints each epoch's longest path against its wall clock.
+// --stragglers attributes each rank's exchange.fence wait to the peer
+// whose data arrived last, counting retransmits and splitting organic
+// skew from injected faults (cross-checked against comm.fault.* when
+// --metrics is given).
 //
 // Parsing/analysis live in trace_analysis.{hpp,cpp} (dshuf_trace_lib) so
 // tests exercise the same code paths.
@@ -34,6 +47,12 @@ namespace {
 
 using dshuf::tracetool::Ev;
 using dshuf::tracetool::SelfAgg;
+
+std::string track_label(const std::map<std::int64_t, std::string>& names,
+                        std::int64_t tid) {
+  const auto it = names.find(tid);
+  return it != names.end() ? it->second : std::to_string(tid);
+}
 
 void print_top_spans(const std::vector<Ev>& events, std::size_t top_n) {
   const auto agg = dshuf::tracetool::self_time_by_name(events);
@@ -62,6 +81,20 @@ void print_top_spans(const std::vector<Ev>& events, std::size_t top_n) {
   t.print(std::cout);
 }
 
+void print_tracks(const std::vector<Ev>& events) {
+  const auto agg = dshuf::tracetool::self_time_by_track(events);
+  if (agg.size() < 2) return;  // single lane: nothing to break down
+  const auto names = dshuf::tracetool::thread_names(events);
+  dshuf::TextTable t("Self-time per track");
+  t.header({"track", "spans", "busy_ms"});
+  for (const auto& [tid, a] : agg) {
+    t.row({track_label(names, tid), std::to_string(a.count),
+           dshuf::fmt_double(static_cast<double>(a.self_us) / 1e3)});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
 void print_exchange_by_rank(const std::vector<Ev>& events) {
   struct RankAgg {
     std::uint64_t epochs = 0;
@@ -71,7 +104,7 @@ void print_exchange_by_rank(const std::vector<Ev>& events) {
   };
   std::map<std::int64_t, RankAgg> by_rank;
   for (const Ev& e : events) {
-    if (e.name.rfind("exchange.", 0) != 0) continue;
+    if (e.ph != 'X' || e.name.rfind("exchange.", 0) != 0) continue;
     auto& a = by_rank[e.tid];
     if (e.name == "exchange.epoch") {
       ++a.epochs;
@@ -119,6 +152,60 @@ void print_overlap(const dshuf::obs::OverlapReport& report) {
   t.print(std::cout);
 }
 
+int print_critical_paths(const std::vector<Ev>& events) {
+  const auto paths = dshuf::tracetool::critical_paths(events);
+  if (paths.empty()) {
+    std::cout << "(no spans in trace — no critical path)\n";
+    return 0;
+  }
+  const auto names = dshuf::tracetool::thread_names(events);
+  dshuf::TextTable t("Epoch critical paths");
+  t.header({"epoch", "wall_ms", "path_ms", "path/wall", "dominant step"});
+  for (const auto& p : paths) {
+    std::string dominant = "-";
+    if (!p.steps.empty()) {
+      dominant = p.steps[0].name + " @ " +
+                 track_label(names, p.steps[0].tid) + " (" +
+                 dshuf::fmt_double(static_cast<double>(p.steps[0].us) /
+                                   1e3) +
+                 " ms)";
+    }
+    t.row({p.label,
+           dshuf::fmt_double(static_cast<double>(p.wall_us) / 1e3),
+           dshuf::fmt_double(static_cast<double>(p.path_us) / 1e3),
+           p.wall_us == 0 ? "-"
+                          : dshuf::fmt_percent(
+                                static_cast<double>(p.path_us) /
+                                static_cast<double>(p.wall_us)),
+           dominant});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int print_stragglers(
+    const std::vector<Ev>& events,
+    const std::map<std::string, std::uint64_t>& counters) {
+  const auto rows = dshuf::tracetool::stragglers(events, counters);
+  if (rows.empty()) {
+    std::cout << "(no exchange.fence spans in trace — nothing to "
+                 "attribute)\n";
+    return 0;
+  }
+  const auto names = dshuf::tracetool::thread_names(events);
+  dshuf::TextTable t("Fence-wait attribution (stragglers)");
+  t.header(
+      {"epoch", "rank", "fence_ms", "blocked by", "retransmits", "class"});
+  for (const auto& r : rows) {
+    t.row({r.epoch, track_label(names, r.rank),
+           dshuf::fmt_double(static_cast<double>(r.fence_us) / 1e3),
+           r.blocking_rank < 0 ? "-" : track_label(names, r.blocking_rank),
+           std::to_string(r.retransmits), r.klass});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -128,8 +215,16 @@ int main(int argc, char** argv) {
       "(Fig.-10-style breakdown).");
   args.flag("trace", "", "Chrome trace JSON written by --trace-out");
   args.flag("metrics", "", "metrics JSON written by --metrics-out (optional)");
+  args.flag("timeseries", "",
+            "timeseries JSON written by --timeseries-out (optional)");
   args.flag("top", "12", "rows in the top-spans table");
   args.flag("check", "false", "validate the artifacts and exit");
+  args.flag("critical-path", "false",
+            "print the per-epoch causal critical path (skips the default "
+            "breakdown; composes with --stragglers)");
+  args.flag("stragglers", "false",
+            "print the per-(epoch, rank) fence-wait attribution (skips the "
+            "default breakdown; composes with --critical-path)");
   args.flag("min-overlap", "",
             "fail unless the exchange/compute overlap efficiency is >= "
             "this fraction (e.g. 0.5)");
@@ -143,6 +238,12 @@ int main(int argc, char** argv) {
     const std::string metrics_path = args.get("metrics");
     if (!metrics_path.empty()) {
       counters = dshuf::tracetool::load_metrics(metrics_path);
+    }
+    const std::string timeseries_path = args.get("timeseries");
+    std::size_t ts_windows = 0;
+    if (!timeseries_path.empty()) {
+      ts_windows =
+          dshuf::tracetool::load_timeseries(timeseries_path).size();
     }
 
     const std::string min_overlap = args.get("min-overlap");
@@ -165,20 +266,49 @@ int main(int argc, char** argv) {
     }
 
     if (args.get_bool("check")) {
+      // Structural validation happened in the loaders; on top of that the
+      // flow events must describe a causal order (a receive recorded
+      // before its send means the trace clock or the wire context is
+      // broken).
+      const auto fc = dshuf::tracetool::check_flows(events);
+      for (const std::string& err : fc.errors) {
+        std::cerr << "dshuf_trace: " << trace_path << ": " << err << "\n";
+      }
+      if (!fc.errors.empty()) return 1;
       std::cout << "OK: " << trace_path << " (" << events.size()
-                << " spans)";
+                << " events, " << fc.sends << " flow sends, "
+                << fc.finishes << " finishes, " << fc.steps << " steps)";
       if (!metrics_path.empty()) {
         std::cout << ", " << metrics_path << " (" << counters.size()
                   << " counters)";
       }
+      if (!timeseries_path.empty()) {
+        std::cout << ", " << timeseries_path << " (" << ts_windows
+                  << " windows)";
+      }
       std::cout << "\n";
       return 0;
+    }
+
+    // The focused reports compose: --critical-path --stragglers prints
+    // both and skips the default breakdown.
+    if (args.get_bool("critical-path") || args.get_bool("stragglers")) {
+      int rc = 0;
+      if (args.get_bool("critical-path")) {
+        rc |= print_critical_paths(events);
+      }
+      if (args.get_bool("stragglers")) {
+        if (args.get_bool("critical-path")) std::cout << "\n";
+        rc |= print_stragglers(events, counters);
+      }
+      return rc;
     }
 
     print_top_spans(events,
                     static_cast<std::size_t>(
                         std::max<std::int64_t>(1, args.get_int("top"))));
     std::cout << "\n";
+    print_tracks(events);
     print_exchange_by_rank(events);
     std::cout << "\n";
     print_overlap(dshuf::tracetool::overlap_report(events));

@@ -1,6 +1,7 @@
 #include "trace_analysis.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <utility>
@@ -28,6 +29,84 @@ std::uint64_t as_u64(const Value& v, const char* what) {
   return static_cast<std::uint64_t>(i);
 }
 
+/// Flow ids are serialised as decimal strings (a u64 with bit 63 set
+/// does not fit JSON's double-exact integer range).
+std::uint64_t parse_flow_id(const std::string& s, const std::string& path) {
+  DSHUF_CHECK(!s.empty(), path << ": flow event with empty id");
+  char* end = nullptr;
+  const std::uint64_t id = std::strtoull(s.c_str(), &end, 10);
+  DSHUF_CHECK(end != nullptr && *end == '\0',
+              path << ": flow id '" << s << "' is not a decimal integer");
+  return id;
+}
+
+/// A maximal run of self-time: `name` was the innermost open span on
+/// `tid` throughout [start_us, end_us).
+struct Seg {
+  std::string name;
+  std::int64_t tid = 0;
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+
+  [[nodiscard]] std::uint64_t dur() const { return end_us - start_us; }
+};
+
+/// Split the spans into per-track self-time segments: sort each track by
+/// (start asc, duration desc) so parents precede the spans they enclose,
+/// sweep with an open-ancestry stack, and emit a segment whenever the
+/// innermost span changes. The segments partition each track's busy time
+/// and sum to the spans' self-times.
+std::vector<Seg> self_segments(std::vector<const Ev*> spans) {
+  std::sort(spans.begin(), spans.end(), [](const Ev* a, const Ev* b) {
+    if (a->tid != b->tid) return a->tid < b->tid;
+    if (a->ts_us != b->ts_us) return a->ts_us < b->ts_us;
+    return a->dur_us > b->dur_us;
+  });
+  std::vector<Seg> segs;
+  struct Open {
+    const Ev* ev;
+    std::uint64_t cursor;  // start of the span's current self-time run
+  };
+  std::vector<Open> stack;
+  const auto emit = [&](const Open& o, std::uint64_t upto) {
+    if (upto > o.cursor) {
+      segs.push_back(Seg{o.ev->name, o.ev->tid, o.cursor, upto});
+    }
+  };
+  const auto close_until = [&](const Ev* next) {
+    while (!stack.empty()) {
+      const Open& top = stack.back();
+      const bool nests = next != nullptr && next->tid == top.ev->tid &&
+                         next->ts_us >= top.ev->ts_us &&
+                         next->ts_us + next->dur_us <=
+                             top.ev->ts_us + top.ev->dur_us;
+      if (nests) return;
+      const std::uint64_t end = top.ev->ts_us + top.ev->dur_us;
+      emit(top, end);
+      if (stack.size() > 1) {
+        stack[stack.size() - 2].cursor =
+            std::max(stack[stack.size() - 2].cursor, end);
+      }
+      stack.pop_back();
+    }
+  };
+  for (const Ev* e : spans) {
+    close_until(e);
+    if (!stack.empty()) {
+      emit(stack.back(), e->ts_us);
+      stack.back().cursor = std::max(stack.back().cursor, e->ts_us);
+    }
+    stack.push_back(Open{e, e->ts_us});
+  }
+  close_until(nullptr);
+  return segs;
+}
+
+const std::string* epoch_arg(const Ev& e) {
+  const auto it = e.args.find("epoch");
+  return it == e.args.end() ? nullptr : &it->second;
+}
+
 }  // namespace
 
 std::vector<Ev> load_trace(const std::string& path) {
@@ -37,18 +116,37 @@ std::vector<Ev> load_trace(const std::string& path) {
   for (const Value& ev : doc.at("traceEvents").as_array()) {
     Ev e;
     e.name = ev.at("name").as_string();
-    DSHUF_CHECK(ev.at("ph").as_string() == "X",
-                path << ": expected complete ('X') events only, got '"
-                     << ev.at("ph").as_string() << "' in span '" << e.name
-                     << "'");
-    e.ts_us = as_u64(ev.at("ts"), "ts");
-    e.dur_us = as_u64(ev.at("dur"), "dur");
+    const std::string& ph = ev.at("ph").as_string();
+    DSHUF_CHECK(ph.size() == 1, path << ": bad phase '" << ph
+                                     << "' in event '" << e.name << "'");
+    e.ph = ph[0];
     e.tid = ev.at("tid").as_int();
     if (ev.has("args")) {
       const Value& args = ev.at("args");
       for (const std::string& k : args.keys()) {
         e.args[k] = args.at(k).as_string();
       }
+    }
+    switch (e.ph) {
+      case 'X':
+        e.ts_us = as_u64(ev.at("ts"), "ts");
+        e.dur_us = as_u64(ev.at("dur"), "dur");
+        break;
+      case 's':
+      case 't':
+      case 'f':
+        e.ts_us = as_u64(ev.at("ts"), "ts");
+        e.flow_id = parse_flow_id(ev.at("id").as_string(), path);
+        break;
+      case 'M':
+        DSHUF_CHECK(e.name == "process_name" || e.name == "thread_name",
+                    path << ": unknown metadata event '" << e.name << "'");
+        DSHUF_CHECK(e.args.count("name") != 0,
+                    path << ": metadata event without args.name");
+        break;
+      default:
+        DSHUF_CHECK(false, path << ": unsupported phase '" << e.ph
+                                << "' in event '" << e.name << "'");
     }
     events.push_back(std::move(e));
   }
@@ -82,51 +180,444 @@ std::map<std::string, std::uint64_t> load_metrics(const std::string& path) {
   return counters;
 }
 
-std::map<std::string, SelfAgg> self_time_by_name(std::vector<Ev> events) {
-  // Sort per track by (start asc, duration desc) so a parent precedes the
-  // spans it encloses; a stack then tracks the open ancestry.
-  std::sort(events.begin(), events.end(), [](const Ev& a, const Ev& b) {
-    if (a.tid != b.tid) return a.tid < b.tid;
-    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
-    return a.dur_us > b.dur_us;
-  });
-  std::map<std::string, SelfAgg> agg;
-  struct Open {
-    const Ev* ev;
-    std::uint64_t child_us = 0;
-  };
-  std::vector<Open> stack;
-  const auto close_until = [&](const Ev* next) {
-    while (!stack.empty()) {
-      const Open& top = stack.back();
-      const bool nests = next != nullptr && next->tid == top.ev->tid &&
-                         next->ts_us >= top.ev->ts_us &&
-                         next->ts_us + next->dur_us <=
-                             top.ev->ts_us + top.ev->dur_us;
-      if (nests) return;
-      auto& a = agg[top.ev->name];
-      ++a.count;
-      a.total_us += top.ev->dur_us;
-      a.self_us += top.ev->dur_us - std::min(top.child_us, top.ev->dur_us);
-      if (stack.size() > 1) {
-        stack[stack.size() - 2].child_us += top.ev->dur_us;
-      }
-      stack.pop_back();
-    }
-  };
+std::map<std::int64_t, std::string> thread_names(
+    const std::vector<Ev>& events) {
+  std::map<std::int64_t, std::string> names;
   for (const Ev& e : events) {
-    close_until(&e);
-    stack.push_back(Open{&e});
+    if (e.ph != 'M' || e.name != "thread_name") continue;
+    const auto it = e.args.find("name");
+    if (it != e.args.end()) names[e.tid] = it->second;
   }
-  close_until(nullptr);
+  return names;
+}
+
+std::map<std::string, SelfAgg> self_time_by_name(std::vector<Ev> events) {
+  std::map<std::string, SelfAgg> agg;
+  std::vector<const Ev*> spans;
+  for (const Ev& e : events) {
+    if (e.ph != 'X') continue;
+    spans.push_back(&e);
+    auto& a = agg[e.name];
+    ++a.count;
+    a.total_us += e.dur_us;
+  }
+  for (const Seg& s : self_segments(std::move(spans))) {
+    agg[s.name].self_us += s.dur();
+  }
+  return agg;
+}
+
+std::map<std::int64_t, SelfAgg> self_time_by_track(std::vector<Ev> events) {
+  std::map<std::int64_t, SelfAgg> agg;
+  std::vector<const Ev*> spans;
+  for (const Ev& e : events) {
+    if (e.ph != 'X') continue;
+    spans.push_back(&e);
+    auto& a = agg[e.tid];
+    ++a.count;
+    a.total_us += e.dur_us;
+  }
+  for (const Seg& s : self_segments(std::move(spans))) {
+    agg[s.tid].self_us += s.dur();
+  }
   return agg;
 }
 
 obs::OverlapReport overlap_report(const std::vector<Ev>& events) {
   std::vector<obs::NamedSpan> spans;
   spans.reserve(events.size());
-  for (const Ev& e : events) spans.push_back({e.name, e.ts_us, e.dur_us});
+  for (const Ev& e : events) {
+    if (e.ph != 'X') continue;
+    spans.push_back({e.name, e.ts_us, e.dur_us});
+  }
   return obs::compute_overlap(std::span<const obs::NamedSpan>(spans));
+}
+
+// --------------------------------------------------------------- flows --
+
+FlowCheck check_flows(const std::vector<Ev>& events) {
+  FlowCheck out;
+  // Earliest send and step per flow id: a retransmission legitimately
+  // re-sends after the first attempt, so causal soundness means every
+  // finish is at or after the FIRST send of its id.
+  std::map<std::uint64_t, std::uint64_t> first_send;
+  for (const Ev& e : events) {
+    if (e.ph != 's') continue;
+    ++out.sends;
+    const auto it = first_send.find(e.flow_id);
+    if (it == first_send.end() || e.ts_us < it->second) {
+      first_send[e.flow_id] = e.ts_us;
+    }
+  }
+  for (const Ev& e : events) {
+    if (e.ph == 't') {
+      ++out.steps;
+      const auto it = first_send.find(e.flow_id);
+      if (it == first_send.end()) {
+        out.errors.push_back("flow step '" + e.name + "' id " +
+                             std::to_string(e.flow_id) +
+                             " has no matching send");
+      } else if (e.ts_us < it->second) {
+        out.errors.push_back("flow step '" + e.name + "' id " +
+                             std::to_string(e.flow_id) +
+                             " precedes its send");
+      }
+    } else if (e.ph == 'f') {
+      ++out.finishes;
+      const auto it = first_send.find(e.flow_id);
+      if (it == first_send.end()) {
+        out.errors.push_back("flow finish '" + e.name + "' id " +
+                             std::to_string(e.flow_id) +
+                             " has no matching send (recv without send)");
+      } else if (e.ts_us < it->second) {
+        out.errors.push_back(
+            "flow finish '" + e.name + "' id " + std::to_string(e.flow_id) +
+            " at ts " + std::to_string(e.ts_us) + " precedes its send at " +
+            std::to_string(it->second));
+      }
+    }
+  }
+  return out;
+}
+
+// -------------------------------------------------------- critical path --
+
+namespace {
+
+/// One epoch group: the spans and flow events attributed to it.
+struct Group {
+  std::string label;
+  std::vector<const Ev*> spans;
+  std::vector<const Ev*> flows;
+};
+
+/// Partition the trace into per-epoch groups. Spans/flows carrying an
+/// "epoch" arg go to that epoch; epoch-less spans are assigned by full
+/// containment in the epoch's time window on their own track (so e.g.
+/// exchange.fence lands in the epoch of its enclosing exchange.epoch).
+/// A trace with no epoch args at all forms one "trace" group.
+std::vector<Group> group_by_epoch(const std::vector<Ev>& events) {
+  std::map<std::string, Group> by_epoch;
+  std::vector<const Ev*> unassigned;
+  for (const Ev& e : events) {
+    if (e.ph == 'X') {
+      if (const std::string* ep = epoch_arg(e)) {
+        by_epoch[*ep].spans.push_back(&e);
+      } else {
+        unassigned.push_back(&e);
+      }
+    } else if (e.ph == 's' || e.ph == 't' || e.ph == 'f') {
+      if (const std::string* ep = epoch_arg(e)) {
+        by_epoch[*ep].flows.push_back(&e);
+      }
+    }
+  }
+  std::vector<Group> groups;
+  if (by_epoch.empty()) {
+    Group g;
+    g.label = "trace";
+    g.spans = std::move(unassigned);
+    for (const Ev& e : events) {
+      if (e.ph == 's' || e.ph == 't' || e.ph == 'f') g.flows.push_back(&e);
+    }
+    if (!g.spans.empty()) groups.push_back(std::move(g));
+    return groups;
+  }
+  // Per-(epoch, track) windows from the epoch-annotated spans, then
+  // assign each epoch-less span to every epoch whose window on its track
+  // fully contains it (windows can nest across epochs; full containment
+  // keeps the assignment unambiguous per group).
+  for (auto& [epoch, g] : by_epoch) {
+    std::map<std::int64_t, std::pair<std::uint64_t, std::uint64_t>> windows;
+    for (const Ev* e : g.spans) {
+      auto [it, fresh] = windows.try_emplace(
+          e->tid, e->ts_us, e->ts_us + e->dur_us);
+      if (!fresh) {
+        it->second.first = std::min(it->second.first, e->ts_us);
+        it->second.second =
+            std::max(it->second.second, e->ts_us + e->dur_us);
+      }
+    }
+    for (const Ev* e : unassigned) {
+      const auto it = windows.find(e->tid);
+      if (it == windows.end()) continue;
+      if (e->ts_us >= it->second.first &&
+          e->ts_us + e->dur_us <= it->second.second) {
+        g.spans.push_back(e);
+      }
+    }
+    g.label = "epoch " + epoch;
+    groups.push_back(std::move(g));
+  }
+  // Numeric epoch order where possible (map order is lexicographic).
+  std::sort(groups.begin(), groups.end(), [](const Group& a,
+                                             const Group& b) {
+    const long la = std::strtol(a.label.c_str() + 6, nullptr, 10);
+    const long lb = std::strtol(b.label.c_str() + 6, nullptr, 10);
+    if (la != lb) return la < lb;
+    return a.label < b.label;
+  });
+  return groups;
+}
+
+/// Longest path over one group's segment DAG. Nodes are self-time
+/// segments; edges are (a) program order between consecutive segments on
+/// one track and (b) flow edges from the segment containing a send point
+/// to the segment containing the matching finish. dp values propagate by
+/// round-robin relaxation (track sweep + flow edges) until fixpoint —
+/// flow edges can point "backwards" in start order, so a single sweep is
+/// not enough.
+CriticalPath longest_path(const Group& g) {
+  CriticalPath out;
+  out.label = g.label;
+  std::uint64_t lo = UINT64_MAX;
+  std::uint64_t hi = 0;
+  for (const Ev* e : g.spans) {
+    lo = std::min(lo, e->ts_us);
+    hi = std::max(hi, e->ts_us + e->dur_us);
+  }
+  if (hi <= lo) return out;
+  out.wall_us = hi - lo;
+
+  std::vector<Seg> segs = self_segments(g.spans);
+  if (segs.empty()) return out;
+  // self_segments returns per-track start order; remember each track's
+  // contiguous range of indices.
+  std::map<std::int64_t, std::pair<std::size_t, std::size_t>> track_range;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    auto [it, fresh] = track_range.try_emplace(segs[i].tid, i, i + 1);
+    if (!fresh) it->second.second = i + 1;
+  }
+
+  // Flow edges: (source segment, send ts, target segment, finish ts).
+  struct FlowEdge {
+    std::size_t from, to;
+    std::uint64_t ts_send, ts_fin;
+  };
+  const auto seg_at = [&](std::int64_t tid,
+                          std::uint64_t ts) -> std::size_t {
+    const auto it = track_range.find(tid);
+    if (it == track_range.end()) return SIZE_MAX;
+    for (std::size_t i = it->second.first; i < it->second.second; ++i) {
+      if (segs[i].start_us <= ts && ts < segs[i].end_us) return i;
+    }
+    return SIZE_MAX;
+  };
+  std::map<std::uint64_t, const Ev*> send_of;  // first send per flow id
+  for (const Ev* e : g.flows) {
+    if (e->ph != 's') continue;
+    const auto it = send_of.find(e->flow_id);
+    if (it == send_of.end() || e->ts_us < it->second->ts_us) {
+      send_of[e->flow_id] = e;
+    }
+  }
+  std::vector<FlowEdge> flow_edges;
+  for (const Ev* e : g.flows) {
+    if (e->ph != 'f') continue;
+    const auto it = send_of.find(e->flow_id);
+    if (it == send_of.end() || it->second->ts_us > e->ts_us) continue;
+    const std::size_t from = seg_at(it->second->tid, it->second->ts_us);
+    const std::size_t to = seg_at(e->tid, e->ts_us);
+    if (from == SIZE_MAX || to == SIZE_MAX || from == to) continue;
+    flow_edges.push_back(FlowEdge{from, to, it->second->ts_us, e->ts_us});
+  }
+
+  // dp[i] = longest path ending at the END of segment i; pred[i] the
+  // argmax predecessor (or SIZE_MAX at a path start).
+  std::vector<std::uint64_t> dp(segs.size(), 0);
+  std::vector<std::size_t> pred(segs.size(), SIZE_MAX);
+  for (std::size_t i = 0; i < segs.size(); ++i) dp[i] = segs[i].dur();
+  bool changed = true;
+  for (int iter = 0; changed && iter < 64; ++iter) {
+    changed = false;
+    for (const auto& [tid, range] : track_range) {
+      for (std::size_t i = range.first + 1; i < range.second; ++i) {
+        const std::uint64_t cand = dp[i - 1] + segs[i].dur();
+        if (cand > dp[i]) {
+          dp[i] = cand;
+          pred[i] = i - 1;
+          changed = true;
+        }
+      }
+    }
+    for (const FlowEdge& fe : flow_edges) {
+      // Path reaches the send point partway through `from` (its prefix
+      // up to ts_send), crosses the wire, and resumes at the finish
+      // point inside `to` (its suffix from ts_fin).
+      const std::uint64_t at_send =
+          dp[fe.from] - segs[fe.from].dur() +
+          (fe.ts_send - segs[fe.from].start_us);
+      const std::uint64_t cand =
+          at_send + (segs[fe.to].end_us - fe.ts_fin);
+      if (cand > dp[fe.to]) {
+        dp[fe.to] = cand;
+        pred[fe.to] = fe.from;
+        changed = true;
+      }
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < segs.size(); ++i) {
+    if (dp[i] > dp[best]) best = i;
+  }
+  out.path_us = dp[best];
+
+  // Walk the path, aggregating contributions by (name, track).
+  std::map<std::pair<std::string, std::int64_t>, std::uint64_t> by_step;
+  for (std::size_t i = best; i != SIZE_MAX; i = pred[i]) {
+    by_step[{segs[i].name, segs[i].tid}] += segs[i].dur();
+    if (pred[i] == i) break;  // defensive: never self-loop
+  }
+  for (const auto& [key, us] : by_step) {
+    out.steps.push_back(PathStep{key.first, key.second, us});
+  }
+  std::sort(out.steps.begin(), out.steps.end(),
+            [](const PathStep& a, const PathStep& b) {
+              if (a.us != b.us) return a.us > b.us;
+              if (a.name != b.name) return a.name < b.name;
+              return a.tid < b.tid;
+            });
+  return out;
+}
+
+}  // namespace
+
+std::vector<CriticalPath> critical_paths(const std::vector<Ev>& events) {
+  std::vector<CriticalPath> out;
+  for (const Group& g : group_by_epoch(events)) {
+    out.push_back(longest_path(g));
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- stragglers --
+
+std::vector<StragglerRow> stragglers(
+    const std::vector<Ev>& events,
+    const std::map<std::string, std::uint64_t>& counters) {
+  // Fault context: with a metrics snapshot present, only blame injected
+  // faults when the fault counters actually moved.
+  bool fault_possible = counters.empty();
+  for (const auto& [name, v] : counters) {
+    if (name.rfind("comm.fault.", 0) == 0 && v > 0) fault_possible = true;
+  }
+
+  // Index flow events once: first send and step count per flow id.
+  std::map<std::uint64_t, const Ev*> send_of;
+  std::map<std::uint64_t, std::uint64_t> steps_of;
+  for (const Ev& e : events) {
+    if (e.ph == 's') {
+      const auto it = send_of.find(e.flow_id);
+      if (it == send_of.end() || e.ts_us < it->second->ts_us) {
+        send_of[e.flow_id] = &e;
+      }
+    } else if (e.ph == 't') {
+      ++steps_of[e.flow_id];
+    }
+  }
+
+  std::vector<StragglerRow> rows;
+  for (const Ev& fence : events) {
+    if (fence.ph != 'X' || fence.name != "exchange.fence") continue;
+    // The fence's epoch comes from its enclosing exchange.epoch span on
+    // the same track.
+    const std::string* epoch = nullptr;
+    for (const Ev& outer : events) {
+      if (outer.ph != 'X' || outer.name != "exchange.epoch" ||
+          outer.tid != fence.tid) {
+        continue;
+      }
+      if (outer.ts_us <= fence.ts_us &&
+          fence.ts_us + fence.dur_us <= outer.ts_us + outer.dur_us) {
+        epoch = epoch_arg(outer);
+        break;
+      }
+    }
+    StragglerRow row;
+    row.epoch = epoch != nullptr ? *epoch : "?";
+    row.rank = fence.tid;
+    row.fence_us = fence.dur_us;
+    // Arrivals on this rank for this epoch; the one that lands last is
+    // the flow the fence was waiting on.
+    const Ev* last = nullptr;
+    for (const Ev& f : events) {
+      if (f.ph != 'f' || f.tid != fence.tid) continue;
+      const std::string* fep = epoch_arg(f);
+      if (epoch != nullptr && (fep == nullptr || *fep != *epoch)) continue;
+      if (f.ts_us > fence.ts_us + fence.dur_us) continue;
+      row.retransmits += steps_of.count(f.flow_id) != 0
+                             ? steps_of[f.flow_id]
+                             : 0;
+      if (last == nullptr || f.ts_us > last->ts_us) last = &f;
+    }
+    if (last != nullptr) {
+      const auto it = send_of.find(last->flow_id);
+      if (it != send_of.end()) row.blocking_rank = it->second->tid;
+      const bool blocked_by_retransmit = steps_of.count(last->flow_id) != 0;
+      row.klass =
+          blocked_by_retransmit && fault_possible ? "fault" : "organic";
+    } else {
+      row.klass = "organic";
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const StragglerRow& a, const StragglerRow& b) {
+              const long ea = std::strtol(a.epoch.c_str(), nullptr, 10);
+              const long eb = std::strtol(b.epoch.c_str(), nullptr, 10);
+              if (ea != eb) return ea < eb;
+              return a.rank < b.rank;
+            });
+  return rows;
+}
+
+// ------------------------------------------------------------ timeseries --
+
+std::vector<TsWindow> load_timeseries(const std::string& path) {
+  const Value doc = dshuf::json::parse(slurp(path));
+  DSHUF_CHECK(doc.has("schema") &&
+                  doc.at("schema").as_string() == "dshuf.timeseries.v1",
+              path << ": not a dshuf.timeseries.v1 document");
+  DSHUF_CHECK(doc.has("windows"), path << ": missing windows");
+  std::vector<TsWindow> out;
+  for (const Value& w : doc.at("windows").as_array()) {
+    TsWindow tw;
+    tw.label = w.at("label").as_string();
+    tw.t_start_us = as_u64(w.at("t_start_us"), "t_start_us");
+    tw.t_end_us = as_u64(w.at("t_end_us"), "t_end_us");
+    DSHUF_CHECK(tw.t_start_us <= tw.t_end_us,
+                path << ": window '" << tw.label
+                     << "' has t_start_us > t_end_us");
+    if (!out.empty()) {
+      DSHUF_CHECK(out.back().t_end_us <= tw.t_start_us,
+                  path << ": window '" << tw.label
+                       << "' overlaps its predecessor");
+    }
+    const Value& cs = w.at("counters");
+    tw.counters = cs.keys().size();
+    for (const std::string& k : cs.keys()) {
+      (void)as_u64(cs.at(k), "counter delta");
+    }
+    tw.gauges = w.at("gauges").keys().size();
+    const Value& hs = w.at("histograms");
+    tw.histograms = hs.keys().size();
+    for (const std::string& k : hs.keys()) {
+      const Value& h = hs.at(k);
+      DSHUF_CHECK(as_u64(h.at("count"), "count") > 0,
+                  path << ": histogram '" << k
+                       << "' exported with zero observations");
+      const double p50 = h.at("p50").as_number();
+      const double p99 = h.at("p99").as_number();
+      const double p999 = h.at("p999").as_number();
+      DSHUF_CHECK(p50 <= p99 && p99 <= p999,
+                  path << ": histogram '" << k
+                       << "' quantiles not monotone (p50 " << p50
+                       << ", p99 " << p99 << ", p999 " << p999 << ")");
+    }
+    out.push_back(std::move(tw));
+  }
+  return out;
 }
 
 }  // namespace dshuf::tracetool
