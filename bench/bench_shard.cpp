@@ -1,0 +1,315 @@
+// bench_shard: records the million-sample shard storage baseline.
+//
+// Three arms over identical workloads at n = 10^4, 10^5 and (full runs)
+// 10^6 samples of 128-byte payloads:
+//
+//   * file:          FileSampleStore — one file per sample, the paper's
+//     supported layout. Every load pays an open/read/close metadata round
+//     trip, which is what makes million-sample shards hopeless on it.
+//   * mmap/hash:     MmapSampleStore with the open-addressing slot index —
+//     append-allocated segment files, zero-copy span reads, epoch-based
+//     reclamation.
+//   * mmap/learned:  the same store under the learned (piecewise-linear)
+//     slot index.
+//
+// Per arm and size it measures insert / lookup (load_into, the PayloadFn
+// shape) / sequential scan (read() spans) / remove throughput plus the
+// resident and live-payload footprints. This TU replaces global operator
+// new with a counting wrapper so the lookup column also reports exact heap
+// allocations per op — the mmap arms must show 0 in steady state. --out
+// writes BENCH_shard.json (schema dshuf.bench_shard.v1); --check re-reads
+// a written file and enforces the PR's acceptance floor — every mmap arm
+// must load >= 10x faster than FileSampleStore at the largest recorded
+// size — which is the CI perf-smoke gate. Absolute throughput on shared
+// runners is informational; the ratio is the contract (and on a real PFS
+// the per-file metadata latency only widens it).
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/file_store.hpp"
+#include "io/mmap_store.hpp"
+#include "util/argparse.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace dshuf;
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kPayloadBytes = 128;
+constexpr std::size_t kLookupOps = 100'000;   // sampled, multiplicative hash
+constexpr std::size_t kScanOpsCap = 200'000;  // sequential id prefix
+constexpr std::size_t kRemoveOpsCap = 50'000;
+constexpr std::size_t kWarmupOps = 2'000;
+
+struct ArmResult {
+  std::string arm;
+  std::size_t n = 0;
+  double insert_sps = 0.0;  // samples/s
+  double lookup_sps = 0.0;
+  double lookup_allocs_per_op = 0.0;
+  double scan_sps = 0.0;
+  double remove_sps = 0.0;
+  std::size_t resident_bytes = 0;  // mapped footprint (file arm: disk)
+  std::size_t disk_bytes = 0;      // live payload bytes
+  double load_ratio_vs_file = 0.0;  // filled for the mmap arms
+};
+
+void fill_payload(data::SampleId id, std::vector<std::byte>& buf) {
+  buf.resize(kPayloadBytes);
+  for (std::size_t b = 0; b < kPayloadBytes; ++b) {
+    buf[b] = static_cast<std::byte>((id * 131U + b) & 0xFF);
+  }
+}
+
+/// Runs the full workload against `store` and fills every column except
+/// the arm name and resident_bytes (the caller knows the concrete type).
+void run_workload(io::SampleStore& store, std::size_t n, ArmResult& res) {
+  res.n = n;
+  std::vector<std::byte> buf;
+  buf.reserve(kPayloadBytes);
+
+  Stopwatch sw;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<data::SampleId>(i);
+    fill_payload(id, buf);
+    store.save(id, buf);
+  }
+  res.insert_sps = static_cast<double>(n) / sw.seconds();
+
+  // Lookups: load_into with a reused sink — the exact PayloadFn call
+  // shape the exchange uses to stream a sample into a wire frame.
+  std::vector<std::byte> sink;
+  sink.reserve(kPayloadBytes);
+  std::uint64_t checksum = 0;
+  for (std::size_t i = 0; i < kWarmupOps; ++i) {
+    sink.clear();
+    store.load_into(static_cast<data::SampleId>(i % n), sink);
+    checksum += sink.size();
+  }
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  sw.reset();
+  for (std::size_t i = 0; i < kLookupOps; ++i) {
+    const auto id = static_cast<data::SampleId>((i * 2'654'435'761U) % n);
+    sink.clear();
+    store.load_into(id, sink);
+    checksum += static_cast<std::uint8_t>(sink[0]);
+  }
+  const double lookup_s = sw.seconds();
+  const std::uint64_t allocs_after = g_allocs.load(std::memory_order_relaxed);
+  res.lookup_sps = static_cast<double>(kLookupOps) / lookup_s;
+  res.lookup_allocs_per_op =
+      static_cast<double>(allocs_after - allocs_before) /
+      static_cast<double>(kLookupOps);
+
+  // Sequential scan over an id prefix through the zero-copy read() path.
+  const std::size_t scan_n = std::min(n, kScanOpsCap);
+  sw.reset();
+  for (std::size_t i = 0; i < scan_n; ++i) {
+    store.read(static_cast<data::SampleId>(i),
+               [&checksum](std::span<const std::byte> p) {
+                 checksum += static_cast<std::uint8_t>(p[p.size() - 1]);
+               });
+  }
+  res.scan_sps = static_cast<double>(scan_n) / sw.seconds();
+
+  res.disk_bytes = store.disk_bytes();
+
+  // Removes last — they shrink the store. Spread across the id range so
+  // the mmap arms quarantine from many segments, not one.
+  const std::size_t remove_n = std::min(n, kRemoveOpsCap);
+  const std::size_t stride = n / remove_n;
+  sw.reset();
+  for (std::size_t i = 0; i < remove_n; ++i) {
+    store.remove(static_cast<data::SampleId>(i * stride));
+  }
+  res.remove_sps = static_cast<double>(remove_n) / sw.seconds();
+
+  DSHUF_CHECK_GT(checksum, 0U, "workload optimised away");
+}
+
+ArmResult run_file_arm(const fs::path& dir, std::size_t n) {
+  ArmResult res;
+  res.arm = "file";
+  io::FileSampleStore store(dir);
+  run_workload(store, n, res);
+  res.resident_bytes = store.disk_bytes();
+  return res;
+}
+
+ArmResult run_mmap_arm(const fs::path& dir, std::size_t n,
+                       io::SlotIndexKind kind) {
+  ArmResult res;
+  res.arm = std::string("mmap/") + io::to_string(kind);
+  io::MmapStoreConfig cfg;
+  cfg.dir = dir;
+  cfg.index_kind = kind;
+  io::MmapSampleStore store(cfg);
+  run_workload(store, n, res);
+  store.advance_epoch();  // retire the removed slots' quarantine
+  res.resident_bytes = store.resident_bytes();
+  return res;
+}
+
+std::string fmt(double v) {
+  std::ostringstream oss;
+  oss.precision(6);
+  oss << v;
+  return oss.str();
+}
+
+int run_check(const std::string& path) {
+  std::ifstream in(path);
+  DSHUF_CHECK(in.good(), "cannot open " << path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const json::Value doc = json::parse(buf.str());
+  DSHUF_CHECK_EQ(doc.at("schema").as_string(), "dshuf.bench_shard.v1",
+                 "unexpected schema in " << path);
+  const auto& sizes = doc.at("sizes").as_array();
+  DSHUF_CHECK(!sizes.empty(), "no sizes recorded in " << path);
+  for (const auto& s : sizes) {
+    DSHUF_CHECK_EQ(s.at("arms").as_array().size(), 3U,
+                   "expected file + two mmap arms");
+    for (const auto& a : s.at("arms").as_array()) {
+      DSHUF_CHECK_GT(a.at("insert_sps").as_number(), 0.0, "bad insert_sps");
+      DSHUF_CHECK_GT(a.at("lookup_sps").as_number(), 0.0, "bad lookup_sps");
+    }
+  }
+  // The PR's acceptance floor: at the largest recorded shard size, BOTH
+  // mmap arms must load >= 10x faster than the per-file baseline, and
+  // their steady-state lookups must be allocation-free.
+  const auto& largest = sizes.back();
+  for (const auto& a : largest.at("arms").as_array()) {
+    if (a.at("arm").as_string() == "file") continue;
+    const double r = a.at("load_ratio_vs_file").as_number();
+    DSHUF_CHECK_GE(r, 10.0, a.at("arm").as_string()
+                                << " lost its load-throughput win");
+    DSHUF_CHECK_EQ(a.at("lookup_allocs_per_op").as_number(), 0.0,
+                   a.at("arm").as_string() << " lookups allocate");
+  }
+  std::cout << "bench_shard: " << path << " OK (load ratio >= 10x at n="
+            << largest.at("n").as_number() << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("bench_shard",
+                 "Mmap segment store vs per-file store shard baseline");
+  args.flag("out", "", "write JSON results to this path");
+  args.flag("check", "", "validate a previously written JSON file and exit");
+  args.flag("quick", "false", "cap shard size at 1e5 (CI smoke)");
+  args.flag("dir", "", "scratch directory (default: /dev/shm or $TMPDIR)");
+  if (!args.parse(argc, argv)) return 0;
+
+  if (!args.get("check").empty()) return run_check(args.get("check"));
+
+  const bool quick = args.get_bool("quick");
+  fs::path scratch(args.get("dir"));
+  if (scratch.empty()) {
+    scratch = fs::is_directory("/dev/shm") ? fs::path("/dev/shm")
+                                           : fs::temp_directory_path();
+  }
+  const fs::path root =
+      scratch / ("dshuf_bench_shard_" + std::to_string(::getpid()));
+  fs::remove_all(root);
+
+  std::vector<std::size_t> sizes{10'000, 100'000};
+  if (!quick) sizes.push_back(1'000'000);
+
+  std::vector<std::vector<ArmResult>> results;
+  for (const std::size_t n : sizes) {
+    std::vector<ArmResult> arms;
+    arms.push_back(run_file_arm(root / "file", n));
+    arms.push_back(
+        run_mmap_arm(root / "hash", n, io::SlotIndexKind::kOpenAddressing));
+    arms.push_back(
+        run_mmap_arm(root / "learned", n, io::SlotIndexKind::kLearned));
+    for (ArmResult& a : arms) {
+      if (a.arm != "file") {
+        a.load_ratio_vs_file = a.lookup_sps / arms.front().lookup_sps;
+      }
+      std::cout << "n=" << n << " " << a.arm << ": insert "
+                << fmt(a.insert_sps) << "/s, lookup " << fmt(a.lookup_sps)
+                << "/s (" << fmt(a.lookup_allocs_per_op)
+                << " allocs/op), scan " << fmt(a.scan_sps) << "/s, remove "
+                << fmt(a.remove_sps) << "/s, resident " << a.resident_bytes
+                << " B, live " << a.disk_bytes << " B";
+      if (a.arm != "file") {
+        std::cout << ", load ratio " << fmt(a.load_ratio_vs_file) << "x";
+      }
+      std::cout << "\n";
+    }
+    results.push_back(std::move(arms));
+    fs::remove_all(root);  // cap peak scratch usage between sizes
+  }
+
+  const std::string out_path = args.get("out");
+  if (!out_path.empty()) {
+    std::ostringstream j;
+    j << "{\n  \"schema\": \"dshuf.bench_shard.v1\",\n"
+      << "  \"config\": {\"payload_bytes\": " << kPayloadBytes
+      << ", \"lookup_ops\": " << kLookupOps
+      << ", \"scan_ops_cap\": " << kScanOpsCap
+      << ", \"remove_ops_cap\": " << kRemoveOpsCap
+      << ", \"quick\": " << (quick ? "true" : "false")
+      << "},\n  \"sizes\": [\n";
+    for (std::size_t s = 0; s < results.size(); ++s) {
+      j << "    {\"n\": " << results[s].front().n << ", \"arms\": [\n";
+      for (std::size_t i = 0; i < results[s].size(); ++i) {
+        const ArmResult& a = results[s][i];
+        j << "      {\"arm\": \"" << a.arm
+          << "\", \"insert_sps\": " << fmt(a.insert_sps)
+          << ", \"lookup_sps\": " << fmt(a.lookup_sps)
+          << ", \"lookup_allocs_per_op\": " << fmt(a.lookup_allocs_per_op)
+          << ", \"scan_sps\": " << fmt(a.scan_sps)
+          << ", \"remove_sps\": " << fmt(a.remove_sps)
+          << ", \"resident_bytes\": " << a.resident_bytes
+          << ", \"disk_bytes\": " << a.disk_bytes
+          << ", \"load_ratio_vs_file\": " << fmt(a.load_ratio_vs_file)
+          << "}" << (i + 1 < results[s].size() ? "," : "") << "\n";
+      }
+      j << "    ]}" << (s + 1 < results.size() ? "," : "") << "\n";
+    }
+    j << "  ]\n}\n";
+    // Round-trip through the parser before writing: the tool never emits
+    // a file its own --check would reject.
+    json::parse(j.str());
+    std::ofstream out(out_path);
+    DSHUF_CHECK(out.good(), "cannot write " << out_path);
+    out << j.str();
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return 0;
+}

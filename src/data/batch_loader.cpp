@@ -1,5 +1,7 @@
 #include "data/batch_loader.hpp"
 
+#include <cstring>
+
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"
 
@@ -17,6 +19,20 @@ BatchLoader::BatchLoader(const InMemoryDataset& dataset,
   producer_ = std::thread([this] { producer_loop(); });
 }
 
+BatchLoader::BatchLoader(const SampleSource& source, std::size_t feature_dim,
+                         std::vector<SampleId> order, std::size_t batch_size,
+                         std::size_t prefetch_depth)
+    : source_(&source),
+      feature_dim_(feature_dim),
+      order_(std::move(order)),
+      batch_size_(batch_size),
+      prefetch_depth_(std::max<std::size_t>(1, prefetch_depth)),
+      num_batches_(batch_size == 0 ? 0 : order_.size() / batch_size) {
+  DSHUF_CHECK_GT(batch_size, 0U, "batch size must be positive");
+  DSHUF_CHECK_GT(feature_dim, 0U, "feature dim must be positive");
+  producer_ = std::thread([this] { producer_loop(); });
+}
+
 BatchLoader::~BatchLoader() {
   {
     std::lock_guard<RankedMutex> lk(mu_);
@@ -26,16 +42,44 @@ BatchLoader::~BatchLoader() {
   if (producer_.joinable()) producer_.join();
 }
 
+BatchLoader::Batch BatchLoader::assemble(std::size_t b) const {
+  const std::span<const SampleId> ids(order_.data() + b * batch_size_,
+                                      batch_size_);
+  Batch batch;
+  batch.index = b;
+  if (dataset_ != nullptr) {
+    batch.features = dataset_->gather(ids);
+    batch.labels = dataset_->gather_labels(ids);
+    return batch;
+  }
+  // Store-backed: decode each serialized row (u32 label + floats — the
+  // exchange wire format, mirroring io::deserialize_sample_into, which
+  // dshuf_data cannot link without an io<->data cycle) straight into the
+  // tensor row under the store's zero-copy span read.
+  batch.features = Tensor({batch_size_, feature_dim_});
+  batch.labels.resize(batch_size_);
+  const std::size_t row_bytes =
+      sizeof(std::uint32_t) + feature_dim_ * sizeof(float);
+  for (std::size_t i = 0; i < batch_size_; ++i) {
+    float* row = batch.features.data() + i * feature_dim_;
+    std::uint32_t label = 0;
+    source_->read(ids[i], [&](std::span<const std::byte> p) {
+      DSHUF_CHECK_EQ(p.size(), row_bytes,
+                     "sample " << ids[i] << " payload does not match row");
+      std::memcpy(&label, p.data(), sizeof(label));
+      std::memcpy(row, p.data() + sizeof(label),
+                  feature_dim_ * sizeof(float));
+    });
+    batch.labels[i] = label;
+  }
+  return batch;
+}
+
 void BatchLoader::producer_loop() {
   for (std::size_t b = 0; b < num_batches_; ++b) {
     // Assemble outside the lock — this is the work being overlapped.
     const std::uint64_t assemble_start = obs::obs_clock().now_us();
-    const std::span<const SampleId> ids(order_.data() + b * batch_size_,
-                                        batch_size_);
-    Batch batch;
-    batch.index = b;
-    batch.features = dataset_->gather(ids);
-    batch.labels = dataset_->gather_labels(ids);
+    Batch batch = assemble(b);
     DSHUF_HISTOGRAM_US("data.batch_loader.assemble_us")
         .observe(obs::obs_clock().now_us() - assemble_start);
 

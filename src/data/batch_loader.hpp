@@ -4,6 +4,15 @@
 // of the consumer so batch assembly overlaps with compute (the same
 // pipelining idea the paper's Fig. 4 applies to the sample exchange).
 // Drop-last semantics match the simulator / PyTorch defaults.
+//
+// Two sample sources are supported:
+//   * an InMemoryDataset (rows gathered straight out of the feature
+//     matrix), or
+//   * a data::SampleSource — the worker's local payload store. Each
+//     sample's serialized bytes (u32 label + feature_dim floats, the
+//     exchange's wire format) are decoded DIRECTLY into the batch
+//     tensor's row via the store's zero-copy span read: no per-sample
+//     allocation, and on the mmap-backed store no intermediate copy.
 #pragma once
 
 #include <condition_variable>
@@ -15,6 +24,7 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "data/sample_source.hpp"
 #include "util/ranked_mutex.hpp"
 
 namespace dshuf::data {
@@ -31,6 +41,13 @@ class BatchLoader {
   /// batches the producer may run ahead.
   BatchLoader(const InMemoryDataset& dataset, std::vector<SampleId> order,
               std::size_t batch_size, std::size_t prefetch_depth = 2);
+
+  /// Store-backed loader: rows are read from `source` (which must outlive
+  /// the loader and hold every id in `order`) and decoded from the
+  /// serialized payload format into the batch tensor in place.
+  BatchLoader(const SampleSource& source, std::size_t feature_dim,
+              std::vector<SampleId> order, std::size_t batch_size,
+              std::size_t prefetch_depth = 2);
   ~BatchLoader();
   BatchLoader(const BatchLoader&) = delete;
   BatchLoader& operator=(const BatchLoader&) = delete;
@@ -44,8 +61,11 @@ class BatchLoader {
 
  private:
   void producer_loop();
+  [[nodiscard]] Batch assemble(std::size_t b) const;
 
-  const InMemoryDataset* dataset_;
+  const InMemoryDataset* dataset_ = nullptr;
+  const SampleSource* source_ = nullptr;  // store-backed mode when set
+  std::size_t feature_dim_ = 0;           // row width in store-backed mode
   std::vector<SampleId> order_;
   std::size_t batch_size_;
   std::size_t prefetch_depth_;

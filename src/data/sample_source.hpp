@@ -1,0 +1,38 @@
+// Payload-bearing sample source: the read half of a sample store.
+//
+// BatchLoader can assemble batches straight from serialized sample
+// payloads (the bytes the PLS exchange moves) instead of an in-memory
+// [N, D] matrix. This interface is the seam: io::SampleStore implements
+// it over files or mmap'd segments, and the loader decodes each payload
+// from the span the store hands it — for the mmap store that span points
+// into the mapped segment, so batch assembly is zero-copy from page cache
+// to batch tensor. Declared in data/ (not io/) so data does not depend on
+// io; io already links data.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "data/dataset.hpp"
+#include "util/function_ref.hpp"
+
+namespace dshuf::data {
+
+class SampleSource {
+ public:
+  using ReadFn = FunctionRef<void(std::span<const std::byte>)>;
+
+  virtual ~SampleSource() = default;
+
+  /// Invoke `fn` with the serialized payload of `id`; throws if absent.
+  /// The span is valid only for the duration of the call — implementations
+  /// may hand out views into storage they later reclaim.
+  virtual void read(SampleId id, ReadFn fn) const = 0;
+
+  /// Number of samples currently held.
+  virtual std::size_t size() const = 0;
+
+  [[nodiscard]] virtual bool contains(SampleId id) const = 0;
+};
+
+}  // namespace dshuf::data

@@ -40,6 +40,22 @@ std::vector<std::byte> FileSampleStore::load(data::SampleId id) const {
   return out;
 }
 
+void FileSampleStore::read(data::SampleId id, ReadFn fn) const {
+  std::lock_guard<RankedMutex> lk(mu_);
+  const auto p = path_for(id);
+  // analyze:blocking-ok serialized disk I/O is this store's contract
+  std::ifstream f(p, std::ios::binary | std::ios::ate);
+  DSHUF_CHECK(f.good(), "sample " << id << " not found in " << dir_);
+  const auto size = static_cast<std::size_t>(f.tellg());
+  f.seekg(0);
+  // analyze:alloc-ok scratch grows to the largest payload once, then reuses
+  scratch_.resize(size);
+  f.read(reinterpret_cast<char*>(scratch_.data()),
+         static_cast<std::streamsize>(size));
+  DSHUF_CHECK(f.good(), "short read from " << p);
+  fn(std::span<const std::byte>(scratch_.data(), size));
+}
+
 void FileSampleStore::load_into(data::SampleId id,
                                 std::vector<std::byte>& out) const {
   std::lock_guard<RankedMutex> lk(mu_);
@@ -88,6 +104,16 @@ std::vector<data::SampleId> FileSampleStore::list() const {
   return ids;
 }
 
+std::size_t FileSampleStore::size() const {
+  std::lock_guard<RankedMutex> lk(mu_);
+  std::size_t n = 0;
+  // analyze:blocking-ok cold observability path; dir walk under lock is fine
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.is_regular_file()) ++n;
+  }
+  return n;
+}
+
 std::size_t FileSampleStore::disk_bytes() const {
   std::lock_guard<RankedMutex> lk(mu_);
   std::size_t total = 0;
@@ -117,6 +143,20 @@ void serialize_sample_into(const data::InMemoryDataset& ds, data::SampleId id,
   std::memcpy(out.data() + prefix, &label, sizeof(label));
   const float* row = ds.features().data() + static_cast<std::size_t>(id) * d;
   std::memcpy(out.data() + prefix + sizeof(label), row, d * sizeof(float));
+}
+
+std::uint32_t deserialize_sample_into(std::span<const std::byte> payload,
+                                      std::span<float> features_out) {
+  DSHUF_CHECK_GE(payload.size(), sizeof(std::uint32_t),
+                 "sample payload too short");
+  DSHUF_CHECK_EQ(payload.size() - sizeof(std::uint32_t),
+                 features_out.size() * sizeof(float),
+                 "payload feature bytes do not match the output row");
+  std::uint32_t label = 0;
+  std::memcpy(&label, payload.data(), sizeof(label));
+  std::memcpy(features_out.data(), payload.data() + sizeof(label),
+              features_out.size() * sizeof(float));
+  return label;
 }
 
 DeserializedSample deserialize_sample(std::span<const std::byte> payload) {

@@ -6,6 +6,12 @@
 // sample under a worker-private directory (the paper's supported layout:
 // "datasets that manage each data sample in a single distinct physical
 // file"). The threaded exchange example moves real bytes through it.
+//
+// This is the small-shard implementation of io::SampleStore — simple,
+// debuggable (every sample is an inspectable file) and the differential
+// reference the mmap-backed store is validated against. Beyond ~10^5
+// samples per rank the per-file metadata cost dominates; use
+// MmapSampleStore (io/mmap_store.hpp) there.
 #pragma once
 
 #include <cstdint>
@@ -15,56 +21,78 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "io/storage.hpp"
 #include "util/ranked_mutex.hpp"
 
 namespace dshuf::io {
 
-class FileSampleStore {
+class FileSampleStore final : public SampleStore {
  public:
   /// Creates `dir` (and parents) if needed. All operations are serialised
   /// by an internal LockRank::kFileStore mutex, so the exchange's deposit
   /// callback and a concurrent reader (disk_bytes/list audits) are safe.
   explicit FileSampleStore(std::filesystem::path dir);
 
-  /// Movable so stores pack into per-rank vectors; the internal mutex is
-  /// not moved (each store gets a fresh one). Only valid while no other
-  /// thread is using either store — move during setup, not mid-exchange.
+  /// Movable so stores pack into per-rank vectors; the internal mutex and
+  /// scratch are not moved (each store gets fresh ones). Only valid while
+  /// no other thread is using either store — move during setup, not
+  /// mid-exchange. Contract (pinned by the FileStoreMoveContract test):
+  /// the target adopts the source's directory, the moved-from store is
+  /// left with an EMPTY dir() and must not be used for sample operations
+  /// until reassigned — neither store ever deletes the directory, so a
+  /// move never loses bytes on disk.
   FileSampleStore(FileSampleStore&& other) noexcept
-      : dir_(std::move(other.dir_)) {}
+      : dir_(std::move(other.dir_)) {
+    other.dir_.clear();
+  }
   FileSampleStore& operator=(FileSampleStore&& other) noexcept {
+    if (this == &other) return *this;  // self-move keeps the store intact
     dir_ = std::move(other.dir_);
+    other.dir_.clear();
     return *this;
   }
 
-  /// Persist a sample's payload (save hook). Overwrites silently — an
-  /// arriving sample replaces any stale copy.
-  void save(data::SampleId id, std::span<const std::byte> payload);
+  void save(data::SampleId id, std::span<const std::byte> payload) override;
 
-  /// Read a sample's payload back; throws if absent.
+  /// Read a sample's payload back; throws if absent. Allocates a fresh
+  /// vector per call — hot paths go through load_into/read instead.
+  // analyze:alloc-ok convenience path for tests/tools; hot paths use
+  // load_into into a reused buffer
   [[nodiscard]] std::vector<std::byte> load(data::SampleId id) const;
 
   /// load() APPENDED to `out` (existing contents preserved) — the shape
   /// the exchange's PayloadFn wants, so a sample streams from disk
   /// straight into the wire frame without an intermediate vector.
-  void load_into(data::SampleId id, std::vector<std::byte>& out) const;
+  void load_into(data::SampleId id,
+                 std::vector<std::byte>& out) const override;
+
+  /// Invoke `fn` with the payload bytes, read into an internal scratch
+  /// buffer that is reused across calls (amortised allocation-free). The
+  /// callback runs with the store lock held: it must not reenter the
+  /// store.
+  void read(data::SampleId id, ReadFn fn) const override;
 
   /// Delete a sample file (remove hook / clean_local_storage); throws if
   /// absent — removing a sample that was never stored is a logic error.
-  void remove(data::SampleId id);
+  void remove(data::SampleId id) override;
 
-  [[nodiscard]] bool contains(data::SampleId id) const;
+  [[nodiscard]] bool contains(data::SampleId id) const override;
 
   /// Ids currently on disk, ascending.
-  [[nodiscard]] std::vector<data::SampleId> list() const;
+  [[nodiscard]] std::vector<data::SampleId> list() const override;
+
+  /// Samples currently on disk (counts the directory walk — O(n)).
+  [[nodiscard]] std::size_t size() const override;
 
   /// Total bytes currently stored (for (1+Q)-bound verification on disk).
-  [[nodiscard]] std::size_t disk_bytes() const;
+  [[nodiscard]] std::size_t disk_bytes() const override;
 
   [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
 
  private:
   [[nodiscard]] std::filesystem::path path_for(data::SampleId id) const;
   std::filesystem::path dir_;
+  mutable std::vector<std::byte> scratch_;  // read() staging, reused
   mutable RankedMutex mu_{LockRank::kFileStore, "io.file_store"};
 };
 
@@ -83,5 +111,11 @@ struct DeserializedSample {
   std::uint32_t label = 0;
 };
 DeserializedSample deserialize_sample(std::span<const std::byte> payload);
+
+/// Decode a serialized sample in place: label + feature floats copied
+/// into `features_out` (must hold exactly feature_dim floats). The
+/// allocation-free counterpart of deserialize_sample for batch assembly.
+std::uint32_t deserialize_sample_into(std::span<const std::byte> payload,
+                                      std::span<float> features_out);
 
 }  // namespace dshuf::io

@@ -1,18 +1,60 @@
-// Storage-tier descriptors and system profiles.
+// Sample-store interface, storage-tier descriptors and system profiles.
 //
-// These parameterise the performance model (dshuf::perf) standing in for
-// the paper's testbeds. Bandwidth/latency constants are calibrated so the
-// model reproduces the paper's published measurements (Fig. 9/10: DenseNet
-// global-shuffle I/O 19.6 s vs local 8 s at 512 workers; straggler spread
-// 11.9 s - 142 s; gradient-exchange inflation to ~70 s; 5x epoch-time gap
-// at 128 workers), not to model the physical systems exactly.
+// The first half defines SampleStore — the abstract "predefined storage
+// area" every worker owns (Section III-A): the byte-moving counterpart of
+// shuffle::ShardStore's id bookkeeping. Two implementations exist and are
+// interchangeable behind this interface: FileSampleStore (one file per
+// sample, the paper's supported layout) and MmapSampleStore (segment-based
+// mmap-backed slots with epoch reclamation, for million-sample shards).
+// The differential test suite drives both through identical schedules and
+// asserts bit-identical observable behaviour.
+//
+// The second half parameterises the performance model (dshuf::perf)
+// standing in for the paper's testbeds. Bandwidth/latency constants are
+// calibrated so the model reproduces the paper's published measurements
+// (Fig. 9/10: DenseNet global-shuffle I/O 19.6 s vs local 8 s at 512
+// workers; straggler spread 11.9 s - 142 s; gradient-exchange inflation to
+// ~70 s; 5x epoch-time gap at 128 workers), not to model the physical
+// systems exactly.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "data/sample_source.hpp"
+
 namespace dshuf::io {
+
+/// Per-worker sample payload store. All operations are thread-safe; save
+/// and remove observe a total order against reads. `read` (inherited from
+/// data::SampleSource) is the zero-copy path: the callback's span points
+/// at the store's own bytes and is valid only inside the call.
+class SampleStore : public data::SampleSource {
+ public:
+  /// Persist a sample's payload (save hook). Overwrites silently — an
+  /// arriving sample replaces any stale copy.
+  virtual void save(data::SampleId id, std::span<const std::byte> payload) = 0;
+
+  /// Payload APPENDED to `out` (existing contents preserved) — the shape
+  /// the exchange's PayloadFn wants, so a sample streams from the store
+  /// straight into a wire frame without an intermediate vector.
+  virtual void load_into(data::SampleId id,
+                         std::vector<std::byte>& out) const = 0;
+
+  /// Drop a sample (remove hook / clean_local_storage); throws if absent —
+  /// removing a sample that was never stored is a logic error.
+  virtual void remove(data::SampleId id) = 0;
+
+  /// Ids currently stored, ascending.
+  [[nodiscard]] virtual std::vector<data::SampleId> list() const = 0;
+
+  /// Total live payload bytes stored (for (1+Q)-bound verification on
+  /// disk). Excludes any framing/index overhead the implementation keeps,
+  /// so both stores report the same value for the same contents.
+  [[nodiscard]] virtual std::size_t disk_bytes() const = 0;
+};
 
 enum class TierKind { kPfs, kNodeLocalSsd, kBurstBuffer, kTmpfs };
 

@@ -1,28 +1,20 @@
 #include "shuffle/shard_store.hpp"
 
-#include <algorithm>
-
 #include "shuffle/exchange_plan.hpp"
 
 namespace dshuf::shuffle {
 
 namespace {
 
-// splitmix32 finaliser — cheap, well-mixed hash for dense or sparse ids.
-std::uint32_t hash_id(SampleId id) {
-  std::uint32_t x = id;
-  x ^= x >> 16;
-  x *= 0x7FEB352DU;
-  x ^= x >> 15;
-  x *= 0x846CA68BU;
-  x ^= x >> 16;
-  return x;
+// The index maps id -> (first occurrence << 32) | live count.
+std::uint64_t pack_entry(std::size_t first, std::uint32_t count) {
+  return (static_cast<std::uint64_t>(first) << 32) | count;
 }
-
-std::size_t next_pow2(std::size_t n) {
-  std::size_t p = 16;
-  while (p < n) p *= 2;
-  return p;
+std::uint32_t entry_first(std::uint64_t v) {
+  return static_cast<std::uint32_t>(v >> 32);
+}
+std::uint32_t entry_count(std::uint64_t v) {
+  return static_cast<std::uint32_t>(v);
 }
 
 }  // namespace
@@ -47,52 +39,20 @@ void ShardStore::remove_slot(std::size_t slot) {
 
 void ShardStore::remove_id(SampleId id) {
   ensure_index();
-  IndexEntry* e = find_entry(id);
-  DSHUF_CHECK(e != nullptr, "remove_id: sample " << id << " not held");
-  remove_at(e->first);
-}
-
-ShardStore::IndexEntry* ShardStore::find_entry(SampleId id) {
-  if (index_.empty()) return nullptr;
-  const std::size_t mask = index_.size() - 1;
-  std::size_t slot = hash_id(id) & mask;
-  while (index_[slot].state != kEmpty) {
-    if (index_[slot].state == kUsed && index_[slot].id == id) {
-      return &index_[slot];
-    }
-    slot = (slot + 1) & mask;
-  }
-  return nullptr;
+  std::uint64_t v = 0;
+  DSHUF_CHECK(index_->find(id, v), "remove_id: sample " << id << " not held");
+  remove_at(entry_first(v));
 }
 
 void ShardStore::index_add(SampleId id, std::size_t pos) {
-  // Grow before probing so the 3/4 load bound (used + tombstones) holds;
-  // rehashing also sweeps tombstones out.
-  if (4 * (index_used_ + index_tombstones_ + 1) >= 3 * index_.size()) {
-    rehash(2 * (index_used_ + 1));
-  }
-  const std::size_t mask = index_.size() - 1;
-  std::size_t slot = hash_id(id) & mask;
-  std::size_t insert_at = index_.size();  // first reusable tombstone
-  while (index_[slot].state != kEmpty) {
-    if (index_[slot].state == kUsed && index_[slot].id == id) {
-      // Duplicate copy appended at `pos` > first — first is unchanged.
-      ++index_[slot].count;
-      return;
-    }
-    if (index_[slot].state == kTombstone && insert_at == index_.size()) {
-      insert_at = slot;
-    }
-    slot = (slot + 1) & mask;
-  }
-  if (insert_at == index_.size()) {
-    insert_at = slot;
+  std::uint64_t v = 0;
+  if (index_->find(id, v)) {
+    // Duplicate copy appended at `pos` > first — first is unchanged,
+    // count lives in the low word.
+    index_->put(id, v + 1);
   } else {
-    --index_tombstones_;
+    index_->put(id, pack_entry(pos, 1));
   }
-  index_[insert_at] = IndexEntry{id, static_cast<std::uint32_t>(pos), 1,
-                                 kUsed};
-  ++index_used_;
 }
 
 void ShardStore::remove_at(std::size_t j) {
@@ -100,72 +60,60 @@ void ShardStore::remove_at(std::size_t j) {
   const std::size_t last_idx = ids_.size() - 1;
   const SampleId last = ids_[last_idx];
 
-  IndexEntry* e = find_entry(id);
-  DSHUF_CHECK(e != nullptr, "removal index lost sample " << id);
-  const bool was_first = e->first == j;
-  --e->count;
+  std::uint64_t v = 0;
+  DSHUF_CHECK(index_->find(id, v), "removal index lost sample " << id);
+  std::uint32_t first = entry_first(v);
+  const std::uint32_t count = entry_count(v) - 1;
+  const bool was_first = first == j;
 
   // Identical observable mutation to the scan-based removal: overwrite the
   // removed slot with the last element, shrink by one.
   ids_[j] = last;
   ids_.pop_back();
 
-  if (e->count == 0) {
-    e->state = kTombstone;
-    --index_used_;
-    ++index_tombstones_;
-  } else if (was_first) {
-    // Remaining copies all sat past j (j WAS the first) — and the moved
-    // last element may itself be another copy of id, now at j. The next
-    // occurrence at/after j is the new first.
-    std::size_t k = j;
-    while (k < ids_.size() && ids_[k] != id) ++k;
-    DSHUF_CHECK_LT(k, ids_.size(), "removal index count out of sync");
-    e->first = static_cast<std::uint32_t>(k);
+  if (count == 0) {
+    index_->erase(id);
+  } else {
+    if (was_first) {
+      // Remaining copies all sat past j (j WAS the first) — and the moved
+      // last element may itself be another copy of id, now at j. The next
+      // occurrence at/after j is the new first.
+      std::size_t k = j;
+      while (k < ids_.size() && ids_[k] != id) ++k;
+      DSHUF_CHECK_LT(k, ids_.size(), "removal index count out of sync");
+      first = static_cast<std::uint32_t>(k);
+    }
+    index_->put(id, pack_entry(first, count));
   }
 
   if (j != last_idx && last != id) {
-    IndexEntry* le = find_entry(last);
-    DSHUF_CHECK(le != nullptr, "removal index lost sample " << last);
+    std::uint64_t lv = 0;
+    DSHUF_CHECK(index_->find(last, lv), "removal index lost sample " << last);
     // The copy that lived at last_idx now lives at j; if that beats the
     // recorded first occurrence (including when it WAS the first), track
     // it. Copies strictly before j are unaffected.
-    if (j < le->first) le->first = static_cast<std::uint32_t>(j);
+    if (j < entry_first(lv)) {
+      index_->put(last, pack_entry(j, entry_count(lv)));
+    }
   }
 }
 
 void ShardStore::ensure_index() {
-  if (!index_dirty_) return;
-  const std::size_t needed = next_pow2(2 * ids_.size());
-  if (index_.size() < needed) {
-    index_.assign(needed, IndexEntry{});
-  } else {
-    // Steady state: same table, wiped in place — no allocation.
-    std::fill(index_.begin(), index_.end(), IndexEntry{});
+  // A ScopedSlotIndex switch takes effect at the next lazy rebuild: the
+  // backend is replaced, not mutated mid-schedule.
+  const io::SlotIndexKind want = io::slot_index_kind();
+  if (index_ == nullptr || index_->kind() != want) {
+    index_ = io::make_slot_index(want);
+    index_dirty_ = true;
   }
-  index_used_ = 0;
-  index_tombstones_ = 0;
+  if (!index_dirty_) return;
+  // Steady state: clear() retains backend capacity — no allocation.
+  index_->clear();
   index_dirty_ = false;
   for (std::size_t i = 0; i < ids_.size(); ++i) {
     // Ascending i, so the first insert of each id records its first
     // occurrence and duplicates only bump the count.
     index_add(ids_[i], i);
-  }
-}
-
-void ShardStore::rehash(std::size_t min_slots) {
-  const std::size_t size = next_pow2(min_slots * 2);
-  std::vector<IndexEntry> old = std::move(index_);
-  index_.assign(size, IndexEntry{});
-  index_used_ = 0;
-  index_tombstones_ = 0;
-  const std::size_t mask = index_.size() - 1;
-  for (const IndexEntry& e : old) {
-    if (e.state != kUsed) continue;
-    std::size_t slot = hash_id(e.id) & mask;
-    while (index_[slot].state != kEmpty) slot = (slot + 1) & mask;
-    index_[slot] = e;
-    ++index_used_;
   }
 }
 

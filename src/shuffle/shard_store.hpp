@@ -8,19 +8,24 @@
 // (1+Q)-fold capacity, and the store records it so tests and benches can
 // verify the bound.
 //
-// Removal is indexed: an open-addressing id -> (first index, count) table
-// makes remove_id amortized O(1) instead of a linear scan, while keeping
-// the observable ids() sequence bit-identical to the scan-based removal
-// (first occurrence replaced by the last element). Handing out
-// mutable_ids() invalidates the index; it rebuilds lazily — in place, so
-// a steady-state epoch (shuffle, add quota, remove quota) costs one O(n)
-// rebuild plus O(1) per operation and no allocation.
+// Removal is indexed: a pluggable io::SlotIndex mapping id -> packed
+// (first index << 32 | count) makes remove_id amortized O(1) instead of
+// a linear scan, while keeping the observable ids() sequence
+// bit-identical to the scan-based removal (first occurrence replaced by
+// the last element). The backend follows the process-wide
+// io::slot_index_kind() — open-addressing by default, or the learned
+// piecewise-linear index under ScopedSlotIndex — and is (re)built lazily:
+// handing out mutable_ids() invalidates it, so a steady-state epoch
+// (shuffle, add quota, remove quota) costs one O(n) rebuild plus O(1)
+// per operation and, once warmed, no allocation.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "io/slot_index.hpp"
 #include "shuffle/types.hpp"
 
 namespace dshuf::shuffle {
@@ -62,18 +67,13 @@ class ShardStore {
     return capacity_ != 0 && peak_ > capacity_;
   }
 
- private:
-  // Open-addressing (linear probe, tombstones) entry of the removal index.
-  struct IndexEntry {
-    SampleId id = 0;
-    std::uint32_t first = 0;  // index in ids_ of the first occurrence
-    std::uint32_t count = 0;  // live occurrences; 0 on empty/tombstone
-    std::uint8_t state = 0;   // kEmpty / kUsed / kTombstone
-  };
-  static constexpr std::uint8_t kEmpty = 0;
-  static constexpr std::uint8_t kUsed = 1;
-  static constexpr std::uint8_t kTombstone = 2;
+  /// Lifetime stats of the removal-index backend (zeroes before its
+  /// first build) — lets benches compare probe lengths across backends.
+  [[nodiscard]] io::SlotIndexStats index_stats() const {
+    return index_ != nullptr ? index_->stats() : io::SlotIndexStats{};
+  }
 
+ private:
   void note_occupancy() {
     if (ids_.size() > peak_) peak_ = ids_.size();
     DSHUF_CHECK(capacity_ == 0 || ids_.size() <= capacity_,
@@ -82,8 +82,6 @@ class ShardStore {
   }
 
   void ensure_index();
-  void rehash(std::size_t min_slots);
-  [[nodiscard]] IndexEntry* find_entry(SampleId id);
   void index_add(SampleId id, std::size_t pos);
   /// Swap-with-last removal of ids_[j] with full index maintenance.
   void remove_at(std::size_t j);
@@ -92,9 +90,9 @@ class ShardStore {
   std::size_t capacity_ = 0;
   std::size_t peak_ = 0;
 
-  std::vector<IndexEntry> index_;
-  std::size_t index_used_ = 0;
-  std::size_t index_tombstones_ = 0;
+  // id -> (first occurrence << 32) | live count, behind the pluggable
+  // backend. Null until the first indexed removal needs it.
+  std::unique_ptr<io::SlotIndex> index_;
   bool index_dirty_ = true;
 };
 

@@ -1,0 +1,37 @@
+// Glue between the PLS exchange's payload/deposit callbacks and an
+// io::SampleStore.
+//
+// The exchange is storage-agnostic: PayloadFn appends a sample's bytes to
+// the wire frame being packed, DepositFn hands a span into the received
+// frame. These adapters wire both to a SampleStore so the two store
+// implementations are drop-in interchangeable behind the exchange:
+//
+//   * payload: SampleStore::load_into APPENDS to the frame. On the
+//     mmap-backed store that is a single memcpy from the mapped segment
+//     into the frame under an epoch pin — no intermediate vector, no
+//     allocation in steady state.
+//   * deposit: SampleStore::save straight from the received frame's span —
+//     on the mmap store one memcpy into the active segment's mapping.
+//
+// The store must outlive the returned std::function (captured by
+// reference; the exchange object already outlives its epoch calls).
+#pragma once
+
+#include "io/storage.hpp"
+#include "shuffle/mpi_exchange.hpp"
+
+namespace dshuf::shuffle {
+
+inline PayloadFn make_store_payload_fn(const io::SampleStore& store) {
+  return [&store](SampleId id, std::vector<std::byte>& out) {
+    store.load_into(id, out);
+  };
+}
+
+inline DepositFn make_store_deposit_fn(io::SampleStore& store) {
+  return [&store](SampleId id, std::span<const std::byte> body) {
+    store.save(id, body);
+  };
+}
+
+}  // namespace dshuf::shuffle

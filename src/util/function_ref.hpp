@@ -1,0 +1,47 @@
+// Non-owning, non-allocating callable reference.
+//
+// std::function type-erases by (possibly) heap-allocating its target,
+// which disqualifies it from the allocation-free steady-state read paths
+// (util/noalloc.hpp). FunctionRef stores one void* + one function pointer
+// and never allocates; the referenced callable must outlive the call —
+// the intended shape is a stack lambda passed straight into a store read:
+//
+//   store.read(id, [&](std::span<const std::byte> p) { consume(p); });
+//
+// Only the call signature `R(Args...)` specialisation exists, mirroring
+// the C++26 std::function_ref surface this will eventually migrate to.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace dshuf {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor) — mirrors function_ref.
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace dshuf

@@ -1,11 +1,14 @@
 #include "data/batch_loader.hpp"
 
 #include <chrono>
+#include <filesystem>
 #include <thread>
 
 #include <gtest/gtest.h>
 
 #include "data/synthetic.hpp"
+#include "io/file_store.hpp"
+#include "io/mmap_store.hpp"
 
 namespace dshuf::data {
 namespace {
@@ -84,6 +87,47 @@ TEST(BatchLoader, DestructorJoinsWithUnconsumedBatches) {
 TEST(BatchLoader, RejectsZeroBatch) {
   const auto ds = make_ds();
   EXPECT_THROW(BatchLoader(ds, iota_order(8), 0), CheckError);
+}
+
+// Store-backed assembly: rows decoded from a SampleSource's zero-copy
+// span reads must be bit-identical to gathering the same ids straight
+// from the dataset — for both SampleStore implementations.
+TEST(BatchLoader, StoreBackedBatchesMatchDirectGather) {
+  namespace fs = std::filesystem;
+  const auto ds = make_ds();
+  const auto order = iota_order(ds.size());
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("dshuf_loader_store_" + std::to_string(::getpid()));
+  fs::remove_all(root);
+
+  const auto check = [&](const SampleSource& source) {
+    BatchLoader loader(source, ds.feature_dim(), order, 8);
+    for (std::size_t b = 0; b < loader.num_batches(); ++b) {
+      auto batch = loader.next();
+      ASSERT_TRUE(batch.has_value());
+      const std::span<const SampleId> ids(order.data() + b * 8, 8);
+      EXPECT_EQ(batch->features.vec(), ds.gather(ids).vec());
+      EXPECT_EQ(batch->labels, ds.gather_labels(ids));
+    }
+    EXPECT_FALSE(loader.next().has_value());
+  };
+
+  {
+    io::FileSampleStore store(root / "file");
+    for (SampleId id = 0; id < ds.size(); ++id) {
+      store.save(id, io::serialize_sample(ds, id));
+    }
+    check(store);
+  }
+  {
+    io::MmapSampleStore store(root / "mmap");
+    for (SampleId id = 0; id < ds.size(); ++id) {
+      store.save(id, io::serialize_sample(ds, id));
+    }
+    check(store);
+  }
+  fs::remove_all(root);
 }
 
 TEST(BatchLoader, RespectsCustomOrder) {

@@ -310,6 +310,62 @@ TEST(LintStdout, BareAnnotationDemandsJustification) {
   EXPECT_TRUE(has_rule(fs, "stdout-ok-justification"));
 }
 
+// ------------------------------------------------------------ raw-mmap
+
+TEST(LintMmap, FlagsMmapFamilyCallsOutsideIo) {
+  const std::string code =
+      "#include <sys/mman.h>\n"
+      "void f(int fd, unsigned long len) {\n"
+      "  void* b = ::mmap(nullptr, len, 1, 1, fd, 0);\n"
+      "  msync(b, len, 4);\n"
+      "  munmap(b, len);\n"
+      "}\n";
+  const auto fs = scan_file(classify_path("src/shuffle/x.cpp"), code);
+  int raw = 0;
+  for (const auto& f : fs) {
+    if (f.rule == "raw-mmap") ++raw;
+  }
+  EXPECT_EQ(raw, 3);
+}
+
+TEST(LintMmap, IoModuleIsExempt) {
+  const std::string code =
+      "void* f(unsigned long len) { return ::mmap(nullptr, len, 1, 1, -1, 0);"
+      " }\n";
+  const auto fs = scan_file(classify_path("src/io/mmap_store.cpp"), code);
+  EXPECT_FALSE(has_rule(fs, "raw-mmap"));
+  EXPECT_TRUE(classify_path("src/io/mmap_store.cpp").io_module);
+  EXPECT_FALSE(classify_path("src/shuffle/exchange.cpp").io_module);
+}
+
+TEST(LintMmap, CallSitesOnlyNeverIdentifiers) {
+  // A member named mmap_, a declaration mentioning munmap in a comment or
+  // string, or the bare word without a call never match.
+  const std::string code =
+      "struct S { void* mmap_ = nullptr; };\n"
+      "int mmap;  // the identifier alone is not a call\n"
+      "auto s = \"call mmap() here\";\n";
+  const auto fs = scan_file(classify_path("src/shuffle/x.cpp"), code);
+  EXPECT_FALSE(has_rule(fs, "raw-mmap"));
+}
+
+TEST(LintMmap, JustifiedAnnotationSuppresses) {
+  const std::string code =
+      "// lint:mmap-ok scratch arena for a fuzz target, never reclaimed\n"
+      "void* f(unsigned long n) { return ::mmap(nullptr, n, 1, 1, -1, 0); }\n";
+  const auto fs = scan_file(classify_path("src/util/arena.cpp"), code);
+  EXPECT_FALSE(has_rule(fs, "raw-mmap"));
+  EXPECT_FALSE(has_rule(fs, "mmap-ok-justification"));
+}
+
+TEST(LintMmap, BareAnnotationDemandsJustification) {
+  const std::string code =
+      "void f(void* b, unsigned long n) { munmap(b, n); }  // lint:mmap-ok\n";
+  const auto fs = scan_file(classify_path("src/util/arena.cpp"), code);
+  EXPECT_FALSE(has_rule(fs, "raw-mmap"));
+  EXPECT_TRUE(has_rule(fs, "mmap-ok-justification"));
+}
+
 TEST(LintStdout, IdentifiersContainingCoutPass) {
   // `cout`/`cerr` match as whole words only: scout/concerrns etc. pass.
   const auto fs = scan_file(classify_path("src/data/x.cpp"),

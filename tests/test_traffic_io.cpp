@@ -166,6 +166,41 @@ TEST_F(FileStoreTest, OverwriteReplacesPayload) {
   EXPECT_EQ(store.disk_bytes(), 2U);
 }
 
+// Pins the documented move contract: the target adopts the source's
+// directory, the moved-from store ends with an EMPTY dir(), a self-move
+// leaves the store fully intact, and no move ever deletes bytes on disk.
+TEST_F(FileStoreTest, FileStoreMoveContract) {
+  const std::vector<std::byte> payload{std::byte{4}, std::byte{2}};
+  io::FileSampleStore a(dir_);
+  a.save(1, payload);
+
+  // Move-construction: b adopts the directory, a is emptied.
+  io::FileSampleStore b(std::move(a));
+  EXPECT_EQ(b.dir(), dir_);
+  EXPECT_TRUE(a.dir().empty());  // NOLINT(bugprone-use-after-move) — pinned
+  EXPECT_EQ(b.load(1), payload);
+
+  // Move-assignment: c adopts from b, b is emptied; bytes survive.
+  io::FileSampleStore c(dir_ / "elsewhere");
+  c = std::move(b);
+  EXPECT_EQ(c.dir(), dir_);
+  EXPECT_TRUE(b.dir().empty());  // NOLINT(bugprone-use-after-move) — pinned
+  EXPECT_EQ(c.load(1), payload);
+
+  // Self-move must not wipe the store (the guard the satellite added).
+  io::FileSampleStore& cref = c;
+  c = std::move(cref);
+  EXPECT_EQ(c.dir(), dir_);
+  EXPECT_EQ(c.load(1), payload);
+
+  // Reassigning the moved-from store makes it usable again.
+  b = io::FileSampleStore(dir_ / "fresh");
+  b.save(2, payload);
+  EXPECT_TRUE(b.contains(2));
+  // And the original directory still holds sample 1 on disk.
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "1.sample"));
+}
+
 TEST_F(FileStoreTest, SampleSerialisationRoundTrip) {
   data::ClassClusterSpec spec{.num_classes = 3,
                               .samples_per_class = 4,

@@ -321,6 +321,55 @@ void check_raw_stdout(const SourceFile& f, std::vector<Finding>& out) {
   }
 }
 
+// --- rule: raw-mmap --------------------------------------------------------
+
+/// Direct mmap-family syscalls outside src/io/ bypass the segment store's
+/// accounting (resident/quarantine gauges), its epoch-based reclamation and
+/// the capacity bound — a stray munmap would invalidate spans the store
+/// still hands out. src/io/ is the one module allowed to own mappings;
+/// everyone else goes through io::MmapSampleStore. A call-site is an
+/// identifier token immediately followed by `(` (so a member named `mmap_`
+/// or the word in a comment never matches); `::mmap` matches because the
+/// qualifier is a separate token. Suppress a deliberate site with
+/// `// lint:mmap-ok <why>`.
+void check_raw_mmap(const SourceFile& f, std::vector<Finding>& out) {
+  if (!f.cls.src_tree || f.cls.io_module) return;
+  const std::string marker = "lint:" "mmap-ok";
+  const char* const calls[] = {"mmap", "munmap", "mremap", "msync"};
+  const auto spans = line_token_spans(f.toks, f.lines.size());
+  for (std::size_t i = 0; i < f.lines.size(); ++i) {
+    const auto [b, e] = spans[i + 1];
+    std::string which;
+    for (std::size_t t = b; t + 1 < e && which.empty(); ++t) {
+      if (f.toks[t].kind != Token::Kind::kIdent) continue;
+      if (f.toks[t + 1].kind != Token::Kind::kPunct ||
+          f.toks[t + 1].text != "(") {
+        continue;
+      }
+      for (const char* name : calls) {
+        if (f.toks[t].text == name) which = name;
+      }
+    }
+    if (which.empty()) continue;
+    if (annotated(f.raw_lines, i, marker)) {
+      const std::size_t al = annotation_line(f.raw_lines, i, marker);
+      if (annotation_justification(f.raw_lines[al], marker).size() < 3) {
+        out.push_back({f.cls.path, al + 1, "lint", "mmap-ok-justification",
+                       "lint:" "mmap-ok requires a justification "
+                       "(why can this mapping not live in src/io/?)",
+                       {}});
+      }
+      continue;
+    }
+    out.push_back(
+        {f.cls.path, i + 1, "lint", "raw-mmap",
+         which + "() outside src/io/ — memory-mapped payloads must go "
+         "through io::MmapSampleStore so reclamation and the capacity "
+         "bound stay correct, or annotate `// lint:mmap-ok <why>`",
+         {}});
+  }
+}
+
 // --- rule: metric-name ---------------------------------------------------
 
 /// Registry names must be dotted lowercase ([a-z0-9_.]+): the dashboards,
@@ -424,6 +473,7 @@ std::vector<Finding> scan_lexical(const SourceFile& f) {
   check_unordered_iteration(f, out);
   check_raw_tags(f, out);
   check_raw_stdout(f, out);
+  check_raw_mmap(f, out);
   check_metric_names(f, out);
   check_include_hygiene(f, out);
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {

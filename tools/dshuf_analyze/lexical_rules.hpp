@@ -9,6 +9,9 @@
 //   raw-tag-literal        isend/irecv tag args that bypass
 //                          shuffle/exchange_tags.hpp (`// lint:tag-ok`)
 //   raw-stdout             std::cout/cerr in src/ (`// lint:stdout-ok`)
+//   raw-mmap               mmap/munmap/mremap/msync call-sites in src/
+//                          outside src/io/ — mappings belong to
+//                          io::MmapSampleStore (`// lint:mmap-ok` waives)
 //   metric-name            DSHUF_COUNTER/GAUGE/HISTOGRAM_US name literals
 //                          must be dotted lowercase ([a-z0-9_.]+)
 //   pragma-once, relative-include, using-namespace-std

@@ -519,6 +519,11 @@ atomics_profiles() {
           {"src/obs/clock.hpp", {"acquire", "release", "acq_rel"}},
           {"src/obs/clock.cpp", {"acquire", "release", "acq_rel"}},
           {"src/shuffle/exchange_wire.cpp", {"acquire", "release"}},
+          // Slot-index backend switch: plain published flag.
+          {"src/io/slot_index.cpp", {"acquire", "release"}},
+          // Epoch pins: CAS-claimed under the store lock, released with a
+          // store-release that the reclaim scan acquires.
+          {"src/io/mmap_store.cpp", {"acquire", "release", "acq_rel"}},
           {"src/tensor/tensor.cpp", {"acquire", "release"}},
           {"src/util/ranked_mutex.cpp", {"seq_cst", "acquire", "acq_rel"}},
       };

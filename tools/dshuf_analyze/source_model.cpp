@@ -105,6 +105,7 @@ FileClass classify_path(const std::string& path) {
   info.rng_module = has("util/rng.hpp") || has("util/rng.cpp");
   info.src_tree = has("src/");
   info.log_module = has("util/log.cpp");
+  info.io_module = has("src/io/");
   return info;
 }
 

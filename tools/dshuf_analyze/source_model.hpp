@@ -35,6 +35,7 @@ struct FileClass {
   bool rng_module = false;            // util/rng.* may name entropy sources
   bool src_tree = false;              // under src/ (includes fixture trees)
   bool log_module = false;            // util/log.cpp may write to streams
+  bool io_module = false;             // src/io/ may call mmap/munmap directly
 };
 
 FileClass classify_path(const std::string& path);

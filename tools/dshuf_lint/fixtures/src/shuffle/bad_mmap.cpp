@@ -1,0 +1,16 @@
+// Fixture: raw mmap-family calls outside src/io/. Never compiled — exists
+// so the lint_fixture_flags / lint_fixture_mmap_flags ctests prove
+// dshuf_lint still rejects these (mappings belong to io::MmapSampleStore).
+#include <sys/mman.h>
+
+namespace dshuf::shuffle {
+
+void* banned_mapping(int fd, unsigned long len) {
+  void* base = ::mmap(nullptr, len, PROT_READ, MAP_SHARED, fd, 0);
+  msync(base, len, MS_SYNC);  // unqualified call matches too
+  // lint:mmap-ok
+  munmap(base, len);  // annotation above has no justification
+  return base;
+}
+
+}  // namespace dshuf::shuffle

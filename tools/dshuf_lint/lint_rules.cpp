@@ -21,6 +21,7 @@ analyze::FileClass to_class(const FileInfo& info) {
   cls.rng_module = info.rng_module;
   cls.src_tree = info.src_tree;
   cls.log_module = info.log_module;
+  cls.io_module = info.io_module;
   return cls;
 }
 
@@ -35,6 +36,7 @@ FileInfo classify_path(const std::string& path) {
   info.rng_module = cls.rng_module;
   info.src_tree = cls.src_tree;
   info.log_module = cls.log_module;
+  info.io_module = cls.io_module;
   return info;
 }
 

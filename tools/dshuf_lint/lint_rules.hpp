@@ -39,6 +39,13 @@
 //                       the preceding line. Benches and tests are exempt.
 //   stdout-ok-justification  a lint:stdout-ok annotation with no
 //                       justification text.
+//   raw-mmap            a direct mmap / munmap / mremap / msync call-site
+//                       inside src/ but outside src/io/ (mappings must be
+//                       owned by io::MmapSampleStore so epoch reclamation
+//                       and the capacity bound stay correct). Suppress a
+//                       deliberate site with `// lint:mmap-ok <why>`.
+//   mmap-ok-justification  a lint:mmap-ok annotation with no
+//                       justification text.
 //   metric-name         a DSHUF_COUNTER / DSHUF_GAUGE /
 //                       DSHUF_HISTOGRAM_US name literal that is not
 //                       dotted lowercase ([a-z0-9_.]+). Registry names
@@ -80,6 +87,8 @@ struct FileInfo {
   bool src_tree = false;
   /// util/log.cpp — the one module allowed to own std::cout/std::cerr.
   bool log_module = false;
+  /// src/io/ — the one module allowed to call mmap/munmap directly.
+  bool io_module = false;
 };
 
 /// Derive FileInfo from a (relative or absolute) path.
