@@ -26,7 +26,10 @@ class SampleSource {
 
   /// Invoke `fn` with the serialized payload of `id`; throws if absent.
   /// The span is valid only for the duration of the call — implementations
-  /// may hand out views into storage they later reclaim.
+  /// may hand out views into storage they later reclaim. Implementations
+  /// MUST invoke `fn` without holding internal locks: callers written
+  /// against this interface may reenter the source from the callback
+  /// (e.g. the exchange deposit path saving into the same store).
   virtual void read(SampleId id, ReadFn fn) const = 0;
 
   /// Number of samples currently held.

@@ -41,19 +41,30 @@ std::vector<std::byte> FileSampleStore::load(data::SampleId id) const {
 }
 
 void FileSampleStore::read(data::SampleId id, ReadFn fn) const {
+  std::vector<std::byte> buf;
+  {
+    std::lock_guard<RankedMutex> lk(mu_);
+    buf.swap(scratch_);  // borrow the pooled capacity
+    const auto p = path_for(id);
+    // analyze:blocking-ok serialized disk I/O is this store's contract
+    std::ifstream f(p, std::ios::binary | std::ios::ate);
+    DSHUF_CHECK(f.good(), "sample " << id << " not found in " << dir_);
+    const auto size = static_cast<std::size_t>(f.tellg());
+    f.seekg(0);
+    // analyze:alloc-ok buf grows to the largest payload once, then the
+    // capacity is returned to scratch_ and reused across reads
+    buf.resize(size);
+    f.read(reinterpret_cast<char*>(buf.data()),
+           static_cast<std::streamsize>(size));
+    DSHUF_CHECK(f.good(), "short read from " << p);
+  }
+  // Lock dropped before the callback — the SampleSource::read contract
+  // lets fn reenter the store (e.g. the exchange deposit path), exactly
+  // as MmapSampleStore::read allows; holding mu_ here would deadlock
+  // code written against the shared interface.
+  fn(std::span<const std::byte>(buf.data(), buf.size()));
   std::lock_guard<RankedMutex> lk(mu_);
-  const auto p = path_for(id);
-  // analyze:blocking-ok serialized disk I/O is this store's contract
-  std::ifstream f(p, std::ios::binary | std::ios::ate);
-  DSHUF_CHECK(f.good(), "sample " << id << " not found in " << dir_);
-  const auto size = static_cast<std::size_t>(f.tellg());
-  f.seekg(0);
-  // analyze:alloc-ok scratch grows to the largest payload once, then reuses
-  scratch_.resize(size);
-  f.read(reinterpret_cast<char*>(scratch_.data()),
-         static_cast<std::streamsize>(size));
-  DSHUF_CHECK(f.good(), "short read from " << p);
-  fn(std::span<const std::byte>(scratch_.data(), size));
+  scratch_.swap(buf);  // return the capacity for the next read
 }
 
 void FileSampleStore::load_into(data::SampleId id,

@@ -68,8 +68,9 @@ class FileSampleStore final : public SampleStore {
 
   /// Invoke `fn` with the payload bytes, read into an internal scratch
   /// buffer that is reused across calls (amortised allocation-free). The
-  /// callback runs with the store lock held: it must not reenter the
-  /// store.
+  /// callback runs WITHOUT the store lock — reentering the store from
+  /// `fn` is allowed, matching MmapSampleStore and the SampleSource
+  /// contract.
   void read(data::SampleId id, ReadFn fn) const override;
 
   /// Delete a sample file (remove hook / clean_local_storage); throws if

@@ -172,9 +172,16 @@ void MmapSampleStore::open_existing_locked() {
     live_bytes_ += plen;
   });
   // Fully dead reopened segments can be freed right away: no reader can
-  // hold a pin before the constructor returns.
-  for (std::size_t i = 0; i < segs_.size(); ++i) {
-    if (segs_[i].base != nullptr && segs_[i].live_records == 0) {
+  // hold a pin before the constructor returns. Ascending order matters:
+  // once an earlier segment's file is gone, tombstones masking it in a
+  // later segment are no longer needed and can be dropped instead of
+  // re-logged. Freeing may re-log still-needed tombstones into a fresh
+  // active segment — snapshot the count and skip the active so the
+  // re-log target is not itself swept.
+  const std::size_t n = segs_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != active_ && segs_[i].base != nullptr &&
+        segs_[i].live_records == 0) {
       free_segment_locked(i);
     }
   }
@@ -232,6 +239,18 @@ std::uint64_t MmapSampleStore::append_locked(
   seg.live_records += 1;
   seg.live_payload += payload.size();
   return pack_ref(active_, off);
+}
+
+void MmapSampleStore::append_tombstone_locked(data::SampleId id) {
+  if (active_ == SIZE_MAX ||
+      segs_[active_].bump + kHeaderBytes > segs_[active_].map_len) {
+    new_segment_locked(0);
+  }
+  Segment& act = segs_[active_];
+  std::byte* rec = act.base + act.bump;
+  store_u32(rec + 4, static_cast<std::uint32_t>(id));
+  store_u32(rec, kTombstone);
+  act.bump += kHeaderBytes;
 }
 
 void MmapSampleStore::quarantine_locked(std::uint64_t ref, std::uint32_t len) {
@@ -329,15 +348,7 @@ void MmapSampleStore::remove(data::SampleId id) {
   // The record's bytes stay untouched (a pinned reader may still be on
   // them); a tombstone appended to the active segment makes the removal
   // durable across reopen.
-  if (active_ == SIZE_MAX ||
-      segs_[active_].bump + kHeaderBytes > segs_[active_].map_len) {
-    new_segment_locked(0);
-  }
-  Segment& act = segs_[active_];
-  std::byte* rec = act.base + act.bump;
-  store_u32(rec + 4, static_cast<std::uint32_t>(id));
-  store_u32(rec, kTombstone);
-  act.bump += kHeaderBytes;
+  append_tombstone_locked(id);
   quarantine_locked(ref, len);
   live_bytes_ -= len;
   DSHUF_COUNTER("store.removes").add(1);
@@ -379,7 +390,40 @@ std::uint64_t MmapSampleStore::min_pinned_locked() const {
 }
 
 void MmapSampleStore::free_segment_locked(std::size_t seg_idx) {
-  Segment& seg = segs_[seg_idx];
+  // A tombstone in this segment may be the only thing masking an older
+  // record for the same id in an earlier, still-retained segment file:
+  // unlinking the file as-is would resurrect that record (or a stale
+  // overwritten payload) on the next reopen/replay. Re-log such
+  // tombstones into the active segment first. Ids the index still holds
+  // need no mask — their latest record replays after anything it
+  // shadows, so sequence order already wins; and with no earlier
+  // retained segment there is nothing left to mask.
+  bool earlier_retained = false;
+  for (std::size_t j = 0; j < seg_idx; ++j) {
+    if (segs_[j].base != nullptr) {
+      earlier_retained = true;
+      break;
+    }
+  }
+  if (earlier_retained) {
+    // append_tombstone_locked may grow segs_; walk via stable copies.
+    std::byte* const base = segs_[seg_idx].base;
+    const std::size_t bump = segs_[seg_idx].bump;
+    std::size_t off = 0;
+    while (off + kHeaderBytes <= bump) {
+      const std::uint32_t enc = load_u32(base + off);
+      if (enc == 0) break;
+      if (enc == kTombstone) {
+        const auto id = static_cast<data::SampleId>(load_u32(base + off + 4));
+        std::uint64_t cur = 0;
+        if (!index_->find(id, cur)) append_tombstone_locked(id);
+        off += kHeaderBytes;
+      } else {
+        off += kHeaderBytes + (enc - 1);
+      }
+    }
+  }
+  Segment& seg = segs_[seg_idx];  // re-fetched: the re-log may grow segs_
   ::munmap(seg.base, seg.map_len);
   seg.base = nullptr;
   // analyze:blocking-ok unlink of a dead segment file is rare + amortised
@@ -405,16 +449,29 @@ void MmapSampleStore::reclaim_locked() {
     Segment& seg = segs_[ref_seg(q.ref)];
     seg.quarantined_records -= 1;
     quarantined_bytes_ -= q.len;
-    if (seg.sealed && seg.live_records == 0 && seg.quarantined_records == 0 &&
-        seg.base != nullptr && ref_seg(q.ref) != active_) {
-      free_segment_locked(ref_seg(q.ref));
-    }
     ++quarantine_head_;
     ++retired;
   }
   if (quarantine_head_ == quarantine_.size()) {
     quarantine_.clear();
     quarantine_head_ = 0;
+  }
+  // Sweep dead sealed segments: those whose last quarantined record just
+  // retired, AND tombstone-only segments (zero live, zero quarantined
+  // from birth) the drain above never references — without this sweep,
+  // remove-heavy workloads leak mapped tombstone-only segments until
+  // process exit. No pin can point into a candidate: pinning requires a
+  // live record at pin time, and its later quarantine entry cannot
+  // retire while the pin is held. Ascending order lets a later
+  // segment's tombstones drop once everything they mask is unlinked;
+  // free_segment_locked may re-log tombstones and grow segs_, so probe
+  // by index against a snapshot of the count.
+  const std::size_t n = segs_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != active_ && segs_[i].base != nullptr && segs_[i].sealed &&
+        segs_[i].live_records == 0 && segs_[i].quarantined_records == 0) {
+      free_segment_locked(i);
+    }
   }
   if (retired > 0) DSHUF_COUNTER("store.reclaims").add(retired);
 }

@@ -22,11 +22,16 @@
 //   * advance_epoch() bumps the epoch and retires every quarantined slot
 //     whose tag is strictly below the minimum pinned epoch: no reader
 //     that could still hold the span survives, so the bytes are dead;
-//   * a sealed segment whose records have all died is unmapped and its
-//     file deleted; a sealed segment whose live fraction drops under the
-//     compaction threshold has its survivors copied to the active
-//     segment (index re-pointed, old extents quarantined) so the file
-//     can be freed on a later epoch.
+//   * a sealed segment whose records have all died (including segments
+//     holding only tombstones) is unmapped and its file deleted; a sealed
+//     segment whose live fraction drops under the compaction threshold
+//     has its survivors copied to the active segment (index re-pointed,
+//     old extents quarantined) so the file can be freed on a later epoch;
+//   * before a segment file is unlinked, any tombstone it holds for an id
+//     still absent from the index is RE-LOGGED into the active segment
+//     while an earlier segment file survives on disk — otherwise the next
+//     reopen would replay the earlier segment's record unmasked and
+//     resurrect a removed sample.
 //
 // On-disk format (per segment file, replayed on reopen in segment order):
 //   record   := [u32 enc][u32 id][payload]
@@ -176,6 +181,8 @@ class MmapSampleStore final : public SampleStore {
   /// Append a record; returns its packed ref. Lock held.
   std::uint64_t append_locked(data::SampleId id,
                               std::span<const std::byte> payload);
+  /// Append a tombstone record for `id` to the active segment. Lock held.
+  void append_tombstone_locked(data::SampleId id);
   void quarantine_locked(std::uint64_t ref, std::uint32_t len);
   void reclaim_locked();
   void compact_locked();

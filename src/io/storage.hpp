@@ -30,7 +30,10 @@ namespace dshuf::io {
 /// Per-worker sample payload store. All operations are thread-safe; save
 /// and remove observe a total order against reads. `read` (inherited from
 /// data::SampleSource) is the zero-copy path: the callback's span points
-/// at the store's own bytes and is valid only inside the call.
+/// at the store's own bytes and is valid only inside the call. Per the
+/// SampleSource contract, every implementation runs the callback without
+/// its internal lock, so reentering the store from the callback is safe
+/// on either backend.
 class SampleStore : public data::SampleSource {
  public:
   /// Persist a sample's payload (save hook). Overwrites silently — an

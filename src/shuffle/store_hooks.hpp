@@ -12,6 +12,9 @@
 //     allocation in steady state.
 //   * deposit: SampleStore::save straight from the received frame's span —
 //     on the mmap store one memcpy into the active segment's mapping.
+//     Deposits may run from inside a SampleSource::read callback: both
+//     stores honour the contract that the callback runs without the
+//     store lock, so the reentrant save cannot deadlock.
 //
 // The store must outlive the returned std::function (captured by
 // reference; the exchange object already outlives its epoch calls).

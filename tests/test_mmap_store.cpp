@@ -298,6 +298,76 @@ TEST_F(MmapStoreTest, ReopenReplaysSavesRemovesAndOverwrites) {
   EXPECT_TRUE(reopened.contains(500));
 }
 
+// Regression: a tombstone in segment S may be the only thing masking an
+// older record for the same id in an earlier, retained segment. Freeing
+// S (once its live+quarantined counts hit zero) must re-log that
+// tombstone, or the next reopen replays the earlier segment and
+// resurrects the removed sample.
+TEST_F(MmapStoreTest, RemovalSurvivesTombstoneSegmentFreeAcrossReopens) {
+  MmapStoreConfig cfg;
+  cfg.dir = dir_;
+  cfg.segment_bytes = 4096;
+  {
+    MmapSampleStore store(cfg);
+    // Fill segment 0 exactly: 8 records of 504-byte payloads (512 B each
+    // with the header) — the next append must roll over.
+    for (data::SampleId id = 1; id <= 8; ++id) {
+      store.save(id, payload_for(id, 504, 504));
+    }
+    ASSERT_EQ(store.segment_count(), 1U);
+    // The tombstone for id 1 becomes the ONLY record in segment 1...
+    store.remove(1);
+    // ...which an oversized save then seals (it gets its own segment 2).
+    store.save(100, std::vector<std::byte>(8192, std::byte{0x5A}));
+    ASSERT_EQ(store.segment_count(), 3U);
+    // Drain reclaim until the tombstone-only segment is freed: id 1's
+    // extent retires (segment 0 stays, ids 2..8 are live there) and the
+    // sweep unlinks segment 1 — re-logging the tombstone first, since
+    // segment 0 still holds id 1's record on disk.
+    store.advance_epoch();
+    store.advance_epoch();
+    EXPECT_EQ(store.quarantined_bytes(), 0U);
+    EXPECT_EQ(store.segment_count(), 2U) << "tombstone-only segment leaked";
+    EXPECT_FALSE(store.contains(1));
+  }
+  // Reopen TWICE: without the re-log the first reopen replays segment
+  // 0's record for id 1 unmasked and resurrects it.
+  for (int round = 0; round < 2; ++round) {
+    MmapSampleStore reopened(cfg);
+    EXPECT_FALSE(reopened.contains(1)) << "resurrected on reopen " << round;
+    EXPECT_EQ(reopened.size(), 8U) << "reopen " << round;  // 2..8 and 100
+    for (data::SampleId id = 2; id <= 8; ++id) {
+      std::vector<std::byte> out;
+      reopened.load_into(id, out);
+      ASSERT_EQ(out, payload_for(id, 504, 504)) << "id " << id;
+    }
+  }
+}
+
+// Same resurrection hazard on the reopen path: open_existing frees fully
+// dead segments, and a reopened tombstone-only segment is fully dead.
+// Its tombstones must migrate into a fresh segment, and stay durable
+// across arbitrarily many reopen cycles.
+TEST_F(MmapStoreTest, ReopenFreesTombstoneOnlySegmentWithoutResurrection) {
+  MmapStoreConfig cfg;
+  cfg.dir = dir_;
+  cfg.segment_bytes = 4096;
+  {
+    MmapSampleStore store(cfg);
+    for (data::SampleId id = 1; id <= 8; ++id) {
+      store.save(id, payload_for(id, 504, 504));
+    }
+    ASSERT_EQ(store.segment_count(), 1U);
+    store.remove(1);  // tombstone alone in segment 1
+    // Destroyed with the quarantine undrained: replay resolves it.
+  }
+  for (int round = 0; round < 3; ++round) {
+    MmapSampleStore reopened(cfg);
+    EXPECT_FALSE(reopened.contains(1)) << "resurrected on reopen " << round;
+    EXPECT_EQ(reopened.size(), 7U) << "reopen " << round;
+  }
+}
+
 TEST_F(MmapStoreTest, ReopenIgnoresForeignFiles) {
   {
     MmapSampleStore store(dir_);

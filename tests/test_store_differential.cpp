@@ -102,6 +102,37 @@ void expect_arms_identical(const std::vector<Arm>& arms,
   }
 }
 
+// The SampleSource::read contract: the callback runs without the store
+// lock, so it may reenter the store — the exchange deposit path saves
+// into the same store from inside a read. Every arm must honour it
+// (holding the lock across the callback deadlocks or rank-faults here).
+TEST(StoreDifferential, ReadCallbackMayReenterEveryArm) {
+  const fs::path root = fresh_root("reenter");
+  auto arms = make_arms(root);
+  const std::vector<std::byte> a(32, std::byte{0x11});
+  const std::vector<std::byte> b(48, std::byte{0x22});
+  for (auto& arm : arms) {
+    arm.store->save(1, a);
+    bool called = false;
+    arm.store->read(1, [&](std::span<const std::byte> got) {
+      called = true;
+      ASSERT_EQ(got.size(), a.size()) << arm.name;
+      EXPECT_EQ(std::memcmp(got.data(), a.data(), a.size()), 0) << arm.name;
+      // Reentrant deposit, lookup and payload load from the callback.
+      arm.store->save(2, b);
+      EXPECT_TRUE(arm.store->contains(1)) << arm.name;
+      std::vector<std::byte> out;
+      arm.store->load_into(2, out);
+      EXPECT_EQ(out, b) << arm.name;
+    });
+    EXPECT_TRUE(called) << arm.name;
+    EXPECT_EQ(arm.store->size(), 2U) << arm.name;
+  }
+  expect_arms_identical(arms, "after reentrant reads");
+  for (auto& arm : arms) arm.store.reset();
+  fs::remove_all(root);
+}
+
 TEST(StoreDifferential, RandomSchedulesProduceIdenticalState) {
   for (const std::uint64_t seed : {3ULL, 41ULL, 20'26ULL}) {
     const fs::path root = fresh_root("sched" + std::to_string(seed));
