@@ -50,6 +50,32 @@ struct ArmResult {
 /// Run every (scale x arm), print curves + summary, return results.
 std::vector<ArmResult> run_panel(const PanelSpec& spec);
 
+/// One REAL coalesced exchange epoch (run_pls_exchange_epoch) at true M on
+/// the virtual-rank backend — the honest companion to the trainer panel's
+/// substituted scales. Flat Algorithm-1 plan, flat fabric, 4 KiB-class
+/// payloads; returns measured wire bytes against the plan's exact draw
+/// count so a bench can print measured-vs-model columns with the backend
+/// labeled.
+struct VirtualExchangeProbe {
+  std::size_t workers = 0;
+  double q = 0.1;
+  std::size_t shard = 16;
+  std::size_t payload_bytes = 4096;
+  std::uint64_t seed = 4242;
+};
+
+struct VirtualExchangeResult {
+  std::size_t draws_per_worker = 0;  // exchange quota (rounds)
+  std::size_t wire_samples = 0;      // plan draws with dest != src
+  std::size_t bytes_payload = 0;     // measured payload bytes, all ranks
+  std::size_t bytes_sent = 0;        // DATA bytes incl. headers/retries
+  double makespan_s = 0;             // virtual epoch makespan
+  double wall_s = 0;                 // real time simulating it
+};
+
+VirtualExchangeResult run_virtual_exchange_probe(
+    const VirtualExchangeProbe& probe);
+
 /// Print the standard bench header (figure id, claim, substitution note).
 void print_header(const std::string& figure, const std::string& title,
                   const std::string& paper_claim);

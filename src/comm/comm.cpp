@@ -16,11 +16,13 @@ namespace dshuf::comm {
 
 namespace detail {
 
-struct RequestState {
+/// Threaded-world request state: completion signalled across rank threads
+/// with a mutex + condvar pair.
+struct ThreadedRequestState final : RequestState {
   RankedMutex mu{LockRank::kCommRequest, "comm.request"};
   std::condition_variable_any cv;
   bool done = false;
-  bool cancelled = false;
+  bool cancelled_flag = false;
   Message msg;
   // Abort flag shared with the world so waiters wake when a peer throws.
   std::shared_ptr<std::atomic<bool>> aborted;
@@ -33,12 +35,57 @@ struct RequestState {
     }
     cv.notify_all();
   }
+
+  bool test() override {
+    std::lock_guard<RankedMutex> lk(mu);
+    return done;
+  }
+
+  void wait() override {
+    std::unique_lock<RankedMutex> lk(mu);
+    // Poll with a timeout so an aborted world (peer threw) wakes us even
+    // if the notification raced our wait registration.
+    while (!done) {
+      DSHUF_CHECK(!cancelled_flag, "wait() on a cancelled request");
+      DSHUF_CHECK(!(aborted && aborted->load(std::memory_order_seq_cst)),
+                  "world aborted while waiting on a request");
+      cv.wait_for(lk, std::chrono::milliseconds(50));
+    }
+  }
+
+  bool wait_for(std::chrono::microseconds timeout) override {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::unique_lock<RankedMutex> lk(mu);
+    while (!done) {
+      DSHUF_CHECK(!cancelled_flag, "wait_for() on a cancelled request");
+      DSHUF_CHECK(!(aborted && aborted->load(std::memory_order_seq_cst)),
+                  "world aborted while waiting on a request");
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return false;
+      // Cap each sleep so an abort can never be missed for long.
+      const auto slice = std::min<std::chrono::steady_clock::duration>(
+          deadline - now, std::chrono::milliseconds(50));
+      cv.wait_for(lk, slice);
+    }
+    return true;
+  }
+
+  bool cancelled() override {
+    std::lock_guard<RankedMutex> lk(mu);
+    return cancelled_flag;
+  }
+
+  const Message& message() override {
+    std::lock_guard<RankedMutex> lk(mu);
+    DSHUF_CHECK(done, "message() before completion");
+    return msg;
+  }
 };
 
 struct PendingRecv {
   int source = kAnySource;
   int tag = kAnyTag;
-  std::shared_ptr<RequestState> state;
+  std::shared_ptr<ThreadedRequestState> state;
 };
 
 // Queues are RingQueues, not deques: libstdc++'s deque churns heap nodes
@@ -57,14 +104,14 @@ class WorldState {
       : size_(num_ranks),
         mailboxes_(static_cast<std::size_t>(num_ranks)),
         pools_(static_cast<std::size_t>(num_ranks)),
-        reduce_slots_(static_cast<std::size_t>(num_ranks)),
-        bcast_slots_(static_cast<std::size_t>(num_ranks)),
-        a2a_slots_(static_cast<std::size_t>(num_ranks)),
         aborted_(std::make_shared<std::atomic<bool>>(false)) {
     DSHUF_CHECK_GT(num_ranks, 0, "world needs at least one rank");
-    for (auto& row : a2a_slots_) {
-      row.resize(static_cast<std::size_t>(num_ranks));
-    }
+    DSHUF_CHECK_LE(num_ranks, kMaxThreadedRanks,
+                   "a threaded World of "
+                       << num_ranks << " ranks would oversubscribe the host "
+                       << "(one OS thread per rank); run paper-scale M on "
+                       << "the event-driven netsim::VirtualWorld instead");
+    slots_.init(num_ranks);
   }
 
   [[nodiscard]] int size() const { return size_; }
@@ -157,11 +204,7 @@ class WorldState {
     DSHUF_CHECK(!is_aborted(), "world aborted while in barrier");
   }
 
-  std::vector<std::vector<double>>& reduce_slots() { return reduce_slots_; }
-  std::vector<std::vector<std::byte>>& bcast_slots() { return bcast_slots_; }
-  std::vector<std::vector<std::vector<std::byte>>>& a2a_slots() {
-    return a2a_slots_;
-  }
+  CollectiveSlots& slots() { return slots_; }
 
   /// Verify clean shutdown: no stray messages or dangling receives, and no
   /// message still parked inside the fault injector.
@@ -196,9 +239,7 @@ class WorldState {
   int barrier_count_ = 0;
   std::uint64_t barrier_gen_ = 0;
 
-  std::vector<std::vector<double>> reduce_slots_;
-  std::vector<std::vector<std::byte>> bcast_slots_;
-  std::vector<std::vector<std::vector<std::byte>>> a2a_slots_;
+  CollectiveSlots slots_;
 
   std::shared_ptr<std::atomic<bool>> aborted_;
   std::unique_ptr<FaultInjector> injector_;
@@ -221,7 +262,7 @@ bool matches_msg(int want_source, int want_tag, const Message& m) {
 
 void WorldState::deposit(int dest, Message msg) {
   auto& mb = mailbox(dest);
-  std::shared_ptr<RequestState> matched;
+  std::shared_ptr<ThreadedRequestState> matched;
   {
     std::lock_guard<RankedMutex> lk(mb.mu);
     for (std::size_t i = 0; i < mb.pending.size(); ++i) {
@@ -239,133 +280,174 @@ void WorldState::deposit(int dest, Message msg) {
   }
 }
 
+/// The ranks-as-threads endpoint over WorldState. Internal to this TU: the
+/// only way to get one is through World::run.
+class ThreadedCommunicator final : public Communicator {
+ public:
+  ThreadedCommunicator(WorldState* world, int rank)
+      : Communicator(rank), world_(world) {}
+
+  [[nodiscard]] int size() const override { return world_->size(); }
+
+  Request isend(int dest, int tag, std::vector<std::byte> payload) override {
+    // Buffered send: locally complete (even a dropped message "completes"
+    // — exactly the guarantee a buffered MPI_Isend gives over a lossy
+    // fabric).
+    auto state = std::make_shared<ThreadedRequestState>();
+    state->aborted = world_->aborted_flag();
+    send(dest, tag, std::move(payload));
+    state->done = true;
+    return make_request(std::move(state));
+  }
+
+  void send(int dest, int tag, std::vector<std::byte> payload) override {
+    DSHUF_CHECK(dest >= 0 && dest < size(), "send destination out of range");
+    Message msg;
+    msg.source = rank_;
+    msg.tag = tag;
+    msg.payload = std::move(payload);
+    DSHUF_COUNTER("comm.isend").add();
+    DSHUF_COUNTER("comm.bytes_sent").add(msg.payload.size());
+    world_->send(rank_, dest, std::move(msg));
+  }
+
+  Request irecv(int source, int tag) override {
+    DSHUF_CHECK(source == kAnySource || (source >= 0 && source < size()),
+                "irecv source out of range");
+    auto state = std::make_shared<ThreadedRequestState>();
+    state->aborted = world_->aborted_flag();
+
+    auto& mb = world_->mailbox(rank_);
+    bool completed = false;
+    Message found;
+    {
+      std::lock_guard<RankedMutex> lk(mb.mu);
+      for (std::size_t i = 0; i < mb.arrived.size(); ++i) {
+        if (matches_msg(source, tag, mb.arrived[i])) {
+          found = mb.arrived.take(i);
+          completed = true;
+          break;
+        }
+      }
+      if (!completed) {
+        mb.pending.push_back(PendingRecv{source, tag, state});
+      }
+    }
+    if (completed) state->complete(std::move(found));
+    return make_request(std::move(state));
+  }
+
+  Message recv(int source, int tag) override {
+    // Scan-and-wait over the mailbox directly, not irecv + wait: a
+    // blocking receive needs no Request object, so the exchange's steady
+    // state can receive without allocating. Earlier-posted irecvs still
+    // win — deposit matches parked receives before queueing into
+    // `arrived`.
+    DSHUF_CHECK(source == kAnySource || (source >= 0 && source < size()),
+                "recv source out of range");
+    auto& mb = world_->mailbox(rank_);
+    std::unique_lock<RankedMutex> lk(mb.mu);
+    for (;;) {
+      for (std::size_t i = 0; i < mb.arrived.size(); ++i) {
+        if (matches_msg(source, tag, mb.arrived[i])) {
+          return mb.arrived.take(i);
+        }
+      }
+      DSHUF_CHECK(!world_->is_aborted(), "world aborted while in recv");
+      // Poll with a timeout so an aborted world (peer threw) wakes us even
+      // if the notification raced our wait registration.
+      mb.cv.wait_for(lk, std::chrono::milliseconds(50));
+    }
+  }
+
+  std::optional<Message> poll(int source, int tag) override {
+    auto& mb = world_->mailbox(rank_);
+    std::lock_guard<RankedMutex> lk(mb.mu);
+    for (std::size_t i = 0; i < mb.arrived.size(); ++i) {
+      if (matches_msg(source, tag, mb.arrived[i])) {
+        return mb.arrived.take(i);
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool cancel(Request& request) override {
+    DSHUF_CHECK(request.valid(), "cancel() on an empty request");
+    auto& mb = world_->mailbox(rank_);
+    std::lock_guard<RankedMutex> lk(mb.mu);
+    for (std::size_t i = 0; i < mb.pending.size(); ++i) {
+      if (mb.pending[i].state == request_state(request)) {
+        auto state = mb.pending.take(i).state;
+        std::lock_guard<RankedMutex> slk(state->mu);
+        state->cancelled_flag = true;
+        return true;
+      }
+    }
+    return false;  // already matched (or a send request) — nothing to cancel
+  }
+
+  [[nodiscard]] BufferPool& pool() override { return world_->pool(rank_); }
+
+  [[nodiscard]] bool fault_injection_enabled() const override {
+    return world_->has_fault_plan();
+  }
+
+  void fence_faults() override { world_->fence_faults(); }
+
+  void barrier() override {
+    DSHUF_COUNTER("comm.barrier").add();
+    world_->barrier();
+  }
+
+  [[nodiscard]] std::uint64_t now_us() override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  void backoff(std::chrono::microseconds pause) override {
+    std::this_thread::sleep_for(pause);
+  }
+
+ protected:
+  [[nodiscard]] detail::CollectiveSlots& collective_slots() override {
+    return world_->slots();
+  }
+
+ private:
+  WorldState* world_;
+};
+
 }  // namespace detail
 
 bool Request::test() const {
   DSHUF_CHECK(state_ != nullptr, "test() on an empty request");
-  std::lock_guard<RankedMutex> lk(state_->mu);
-  return state_->done;
+  return state_->test();
 }
 
 void Request::wait() {
   DSHUF_CHECK(state_ != nullptr, "wait() on an empty request");
-  std::unique_lock<RankedMutex> lk(state_->mu);
-  // Poll with a timeout so an aborted world (peer threw) wakes us even if
-  // the notification raced our wait registration.
-  while (!state_->done) {
-    DSHUF_CHECK(!state_->cancelled, "wait() on a cancelled request");
-    DSHUF_CHECK(!(state_->aborted &&
-                  state_->aborted->load(std::memory_order_seq_cst)),
-                "world aborted while waiting on a request");
-    state_->cv.wait_for(lk, std::chrono::milliseconds(50));
-  }
+  state_->wait();
 }
 
 bool Request::wait_for(std::chrono::microseconds timeout) {
   DSHUF_CHECK(state_ != nullptr, "wait_for() on an empty request");
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
-  std::unique_lock<RankedMutex> lk(state_->mu);
-  while (!state_->done) {
-    DSHUF_CHECK(!state_->cancelled, "wait_for() on a cancelled request");
-    DSHUF_CHECK(!(state_->aborted &&
-                  state_->aborted->load(std::memory_order_seq_cst)),
-                "world aborted while waiting on a request");
-    const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline) return false;
-    // Cap each sleep so an abort can never be missed for long.
-    const auto slice = std::min<std::chrono::steady_clock::duration>(
-        deadline - now, std::chrono::milliseconds(50));
-    state_->cv.wait_for(lk, slice);
-  }
-  return true;
+  return state_->wait_for(timeout);
 }
 
 bool Request::cancelled() const {
   DSHUF_CHECK(state_ != nullptr, "cancelled() on an empty request");
-  std::lock_guard<RankedMutex> lk(state_->mu);
-  return state_->cancelled;
+  return state_->cancelled();
 }
 
 const Message& Request::message() const {
   DSHUF_CHECK(state_ != nullptr, "message() on an empty request");
-  std::lock_guard<RankedMutex> lk(state_->mu);
-  DSHUF_CHECK(state_->done, "message() before completion");
-  return state_->msg;
+  return state_->message();
 }
 
 void wait_all(std::span<Request> requests) {
   for (auto& r : requests) r.wait();
-}
-
-int Communicator::size() const { return world_->size(); }
-
-Request Communicator::isend(int dest, int tag, std::vector<std::byte> payload) {
-  // Buffered send: locally complete (even a dropped message "completes" —
-  // exactly the guarantee a buffered MPI_Isend gives over a lossy fabric).
-  auto state = std::make_shared<detail::RequestState>();
-  state->aborted = world_->aborted_flag();
-  send(dest, tag, std::move(payload));
-  state->done = true;
-  return Request(state);
-}
-
-void Communicator::send(int dest, int tag, std::vector<std::byte> payload) {
-  DSHUF_CHECK(dest >= 0 && dest < size(), "send destination out of range");
-  Message msg;
-  msg.source = rank_;
-  msg.tag = tag;
-  msg.payload = std::move(payload);
-  DSHUF_COUNTER("comm.isend").add();
-  DSHUF_COUNTER("comm.bytes_sent").add(msg.payload.size());
-  world_->send(rank_, dest, std::move(msg));
-}
-
-Request Communicator::irecv(int source, int tag) {
-  DSHUF_CHECK(source == kAnySource || (source >= 0 && source < size()),
-              "irecv source out of range");
-  auto state = std::make_shared<detail::RequestState>();
-  state->aborted = world_->aborted_flag();
-
-  auto& mb = world_->mailbox(rank_);
-  bool completed = false;
-  Message found;
-  {
-    std::lock_guard<RankedMutex> lk(mb.mu);
-    for (std::size_t i = 0; i < mb.arrived.size(); ++i) {
-      if (detail::matches_msg(source, tag, mb.arrived[i])) {
-        found = mb.arrived.take(i);
-        completed = true;
-        break;
-      }
-    }
-    if (!completed) {
-      mb.pending.push_back(detail::PendingRecv{source, tag, state});
-    }
-  }
-  if (completed) state->complete(std::move(found));
-  return Request(state);
-}
-
-Message Communicator::recv(int source, int tag) {
-  // Scan-and-wait over the mailbox directly, not irecv + wait: a blocking
-  // receive needs no Request object, so the exchange's steady state can
-  // receive without allocating. Earlier-posted irecvs still win — deposit
-  // matches parked receives before queueing into `arrived`.
-  DSHUF_CHECK(source == kAnySource || (source >= 0 && source < size()),
-              "recv source out of range");
-  auto& mb = world_->mailbox(rank_);
-  std::unique_lock<RankedMutex> lk(mb.mu);
-  for (;;) {
-    for (std::size_t i = 0; i < mb.arrived.size(); ++i) {
-      if (detail::matches_msg(source, tag, mb.arrived[i])) {
-        return mb.arrived.take(i);
-      }
-    }
-    DSHUF_CHECK(!world_->is_aborted(), "world aborted while in recv");
-    // Poll with a timeout so an aborted world (peer threw) wakes us even
-    // if the notification raced our wait registration.
-    mb.cv.wait_for(lk, std::chrono::milliseconds(50));
-  }
 }
 
 std::optional<Message> Communicator::recv_for(
@@ -378,51 +460,12 @@ std::optional<Message> Communicator::recv_for(
   return r.message();
 }
 
-std::optional<Message> Communicator::poll(int source, int tag) {
-  auto& mb = world_->mailbox(rank_);
-  std::lock_guard<RankedMutex> lk(mb.mu);
-  for (std::size_t i = 0; i < mb.arrived.size(); ++i) {
-    if (detail::matches_msg(source, tag, mb.arrived[i])) {
-      return mb.arrived.take(i);
-    }
-  }
-  return std::nullopt;
-}
-
-bool Communicator::cancel(Request& request) {
-  DSHUF_CHECK(request.valid(), "cancel() on an empty request");
-  auto& mb = world_->mailbox(rank_);
-  std::lock_guard<RankedMutex> lk(mb.mu);
-  for (std::size_t i = 0; i < mb.pending.size(); ++i) {
-    if (mb.pending[i].state == request.state_) {
-      auto state = mb.pending.take(i).state;
-      std::lock_guard<RankedMutex> slk(state->mu);
-      state->cancelled = true;
-      return true;
-    }
-  }
-  return false;  // already matched (or a send request) — nothing to cancel
-}
-
-BufferPool& Communicator::pool() { return world_->pool(rank_); }
-
-bool Communicator::fault_injection_enabled() const {
-  return world_->has_fault_plan();
-}
-
-void Communicator::fence_faults() { world_->fence_faults(); }
-
-void Communicator::barrier() {
-  DSHUF_COUNTER("comm.barrier").add();
-  world_->barrier();
-}
-
 std::vector<double> Communicator::allreduce_sum(
     std::span<const double> contribution) {
-  auto& slots = world_->reduce_slots();
+  auto& slots = collective_slots().reduce;
   slots[static_cast<std::size_t>(rank_)].assign(contribution.begin(),
                                                 contribution.end());
-  world_->barrier();
+  barrier();
   // Every rank computes the sum itself (deterministic rank-order
   // accumulation, so all ranks agree bit-for-bit).
   std::vector<double> out(contribution.size(), 0.0);
@@ -432,20 +475,20 @@ std::vector<double> Communicator::allreduce_sum(
                    "allreduce contributions must have equal length");
     for (std::size_t i = 0; i < out.size(); ++i) out[i] += c[i];
   }
-  world_->barrier();  // slots reusable after everyone has read
+  barrier();  // slots reusable after everyone has read
   return out;
 }
 
 std::vector<std::byte> Communicator::bcast(int root,
                                            std::vector<std::byte> payload) {
   DSHUF_CHECK(root >= 0 && root < size(), "bcast root out of range");
-  auto& slots = world_->bcast_slots();
+  auto& slots = collective_slots().bcast;
   if (rank_ == root) {
     slots[static_cast<std::size_t>(root)] = std::move(payload);
   }
-  world_->barrier();
+  barrier();
   std::vector<std::byte> out = slots[static_cast<std::size_t>(root)];
-  world_->barrier();
+  barrier();
   return out;
 }
 
@@ -453,15 +496,15 @@ std::vector<std::vector<std::byte>> Communicator::alltoallv(
     std::vector<std::vector<std::byte>> send_per_dest) {
   DSHUF_CHECK_EQ(send_per_dest.size(), static_cast<std::size_t>(size()),
                  "alltoallv needs one buffer per destination");
-  auto& slots = world_->a2a_slots();
+  auto& slots = collective_slots().a2a;
   slots[static_cast<std::size_t>(rank_)] = std::move(send_per_dest);
-  world_->barrier();
+  barrier();
   std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(size()));
   for (int src = 0; src < size(); ++src) {
     out[static_cast<std::size_t>(src)] =
         slots[static_cast<std::size_t>(src)][static_cast<std::size_t>(rank_)];
   }
-  world_->barrier();
+  barrier();
   return out;
 }
 
@@ -537,7 +580,7 @@ void World::run(const std::function<void(Communicator&)>& body) {
         if (obs::Tracer::instance().enabled()) {
           obs::Tracer::set_thread_name("rank " + std::to_string(r));
         }
-        Communicator c(state_.get(), r);
+        detail::ThreadedCommunicator c(state_.get(), r);
         body(c);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();

@@ -24,6 +24,14 @@
 // dropped, or stalled — reproducibly. Timeout-aware receives
 // (Request::wait_for, Communicator::recv_for/poll/cancel) and the fence
 // primitive exist so protocols can survive that regime.
+//
+// Communicator itself is an abstract endpoint: the threaded World above is
+// one backend (one OS thread per rank), and netsim::VirtualWorld is the
+// other (thousands of fiber ranks over a discrete-event network model, for
+// paper-scale M). Exchange code written against this interface runs on
+// either unchanged; the collectives are implemented ONCE in the base class
+// over barrier() + shared slots, so both backends produce bit-identical
+// collective results by construction.
 #pragma once
 
 #include <chrono>
@@ -47,6 +55,11 @@ struct FaultStats;
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 
+/// Ranks-as-threads stops making sense well before it stops working: the
+/// scheduler thrashes and every test slot in CI stalls. Worlds larger than
+/// this refuse to construct and point at the event-driven backend instead.
+inline constexpr int kMaxThreadedRanks = 512;
+
 /// A received or in-flight message.
 struct Message {
   int source = -1;
@@ -55,9 +68,36 @@ struct Message {
 };
 
 namespace detail {
-struct RequestState;
-struct RankMailbox;
+
+/// Backend-specific completion state behind a Request. The threaded world
+/// implements it with a mutex + condvar; the virtual world with fiber
+/// suspension. Callers only ever touch it through Request.
+struct RequestState {
+  virtual ~RequestState() = default;
+  [[nodiscard]] virtual bool test() = 0;
+  virtual void wait() = 0;
+  virtual bool wait_for(std::chrono::microseconds timeout) = 0;
+  [[nodiscard]] virtual bool cancelled() = 0;
+  [[nodiscard]] virtual const Message& message() = 0;
+};
+
+/// Shared storage for the slot-and-barrier collectives. Both backends own
+/// one; the base Communicator implements every collective against it.
+struct CollectiveSlots {
+  std::vector<std::vector<double>> reduce;
+  std::vector<std::vector<std::byte>> bcast;
+  std::vector<std::vector<std::vector<std::byte>>> a2a;
+
+  void init(int ranks) {
+    reduce.resize(static_cast<std::size_t>(ranks));
+    bcast.resize(static_cast<std::size_t>(ranks));
+    a2a.resize(static_cast<std::size_t>(ranks));
+    for (auto& row : a2a) row.resize(static_cast<std::size_t>(ranks));
+  }
+};
+
 class WorldState;
+
 }  // namespace detail
 
 /// Handle to a pending non-blocking operation. Copyable (shared state).
@@ -71,7 +111,9 @@ class Request {
   void wait();
   /// Block until complete or `timeout` elapses; true iff completed. A
   /// false return leaves the request live — pair with Communicator::cancel
-  /// to retire it (or keep waiting).
+  /// to retire it (or keep waiting). Timeouts are measured on the
+  /// backend's clock: wall time under the threaded world, virtual time
+  /// under the event-driven one.
   bool wait_for(std::chrono::microseconds timeout);
   /// The received message; only valid for completed receive requests.
   [[nodiscard]] const Message& message() const;
@@ -91,30 +133,34 @@ class Request {
 /// Wait for every request in the span (MPI_Waitall).
 void wait_all(std::span<Request> requests);
 
-/// Per-rank endpoint. Not thread-safe across ranks by design: each rank's
-/// thread owns its Communicator.
+/// Per-rank endpoint (abstract). Not thread-safe across ranks by design:
+/// each rank's thread/fiber owns its Communicator.
 class Communicator {
  public:
+  virtual ~Communicator() = default;
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+
   [[nodiscard]] int rank() const { return rank_; }
-  [[nodiscard]] int size() const;
+  [[nodiscard]] virtual int size() const = 0;
 
   /// Buffered non-blocking send. Completes immediately after enqueuing at
   /// the destination; the returned request is for interface parity.
-  Request isend(int dest, int tag, std::vector<std::byte> payload);
+  virtual Request isend(int dest, int tag, std::vector<std::byte> payload) = 0;
 
   /// Buffered send without a completion handle. Identical delivery
   /// semantics to isend (which is buffered and completes locally anyway),
   /// minus the per-call Request allocation — the exchange hot path uses
   /// this together with pool() so a steady-state send touches no heap.
-  void send(int dest, int tag, std::vector<std::byte> payload);
+  virtual void send(int dest, int tag, std::vector<std::byte> payload) = 0;
 
   /// Non-blocking receive matching (source, tag); kAnySource / kAnyTag
   /// wildcards allowed. Matches already-arrived messages first, otherwise
   /// parks until a matching message arrives.
-  Request irecv(int source, int tag);
+  virtual Request irecv(int source, int tag) = 0;
 
   /// Blocking receive convenience.
-  Message recv(int source, int tag);
+  virtual Message recv(int source, int tag) = 0;
 
   /// Receive with a deadline: returns the message, or nullopt if nothing
   /// matching arrived within `timeout` (the posted receive is retired, so
@@ -124,26 +170,38 @@ class Communicator {
 
   /// Non-blocking probe-and-take: pops an already-arrived matching message
   /// without posting a receive. Used to drain stray/duplicate messages.
-  std::optional<Message> poll(int source, int tag);
+  virtual std::optional<Message> poll(int source, int tag) = 0;
 
   /// Retire a pending (unmatched) receive request — MPI_Cancel analogue.
   /// Returns true if the request was still unmatched and is now cancelled;
   /// false if it already completed (the message is available) or it was a
   /// send request.
-  bool cancel(Request& request);
+  virtual bool cancel(Request& request) = 0;
 
   /// True when the World runs with an installed fault plan. Fault-oblivious
   /// protocols check this to refuse running over a lossy world.
-  [[nodiscard]] bool fault_injection_enabled() const;
+  [[nodiscard]] virtual bool fault_injection_enabled() const = 0;
 
-  /// Flush the fault injector's delayed-delivery queue and wait until no
-  /// delivery is in flight. Call between a barrier (all sends issued) and
-  /// a drain loop to make delivery globally quiescent. No-op without an
-  /// installed fault plan.
-  void fence_faults();
+  /// Flush any delayed/in-flight deliveries and wait until no delivery is
+  /// in flight. Call between a barrier (all sends issued) and a drain loop
+  /// to make delivery globally quiescent. No-op on the threaded world
+  /// without an installed fault plan (deliveries are synchronous there).
+  virtual void fence_faults() = 0;
 
   /// Dissemination barrier across all ranks.
-  void barrier();
+  virtual void barrier() = 0;
+
+  /// The clock that retry/timeout protocols over this communicator must
+  /// use: monotonic microseconds of wall time on the threaded world,
+  /// VIRTUAL microseconds on the event-driven one. Pairs with backoff().
+  [[nodiscard]] virtual std::uint64_t now_us() = 0;
+
+  /// Yield this rank for `pause`, measured on the same clock now_us()
+  /// reads. The threaded world sleeps the rank's thread; the virtual world
+  /// suspends the fiber and lets simulated time advance. Progress loops
+  /// must back off through this (never std::this_thread::sleep_for), or
+  /// virtual time would stand still beneath them.
+  virtual void backoff(std::chrono::microseconds pause) = 0;
 
   /// Element-wise sum allreduce over doubles (gradient-exchange analogue).
   std::vector<double> allreduce_sum(std::span<const double> contribution);
@@ -177,14 +235,29 @@ class Communicator {
   /// from this pool or from a received message (buffers migrate with the
   /// traffic). Pools persist across World::run calls, so a warmed-up
   /// exchange stays allocation-free in later epochs.
-  [[nodiscard]] BufferPool& pool();
+  [[nodiscard]] virtual BufferPool& pool() = 0;
 
- private:
-  friend class World;
-  Communicator(detail::WorldState* world, int rank)
-      : world_(world), rank_(rank) {}
+ protected:
+  explicit Communicator(int rank) : rank_(rank) {}
 
-  detail::WorldState* world_;
+  /// Derived backends mint Requests through this (the ctor is private to
+  /// keep the shared-state plumbing out of user hands).
+  static Request make_request(std::shared_ptr<detail::RequestState> s) {
+    return Request(std::move(s));
+  }
+
+  /// Backend-side view of a Request's shared state (friendship does not
+  /// extend to derived backends, so they unwrap through here).
+  [[nodiscard]] static const std::shared_ptr<detail::RequestState>&
+  request_state(const Request& r) {
+    return r.state_;
+  }
+
+  /// Storage the base-class collectives stage through. Every collective is
+  /// slots + two barriers with deterministic rank-order accumulation, so
+  /// any two backends agree bit-for-bit.
+  [[nodiscard]] virtual detail::CollectiveSlots& collective_slots() = 0;
+
   int rank_;
 };
 

@@ -54,9 +54,20 @@ struct SimOutcome {
   double makespan_s = 0;
 };
 
-/// Simulate all flows to completion. `ranks` bounds src/dst.
+/// Simulate all flows to completion. `ranks` bounds src/dst. Runs on the
+/// incremental event-driven FlowEngine (see netsim/flow_engine.hpp):
+/// arrivals and completions re-fill only the touched contention component
+/// instead of recomputing every rate, which is what makes 4096-rank
+/// epochs affordable.
 SimOutcome simulate_flows(const std::vector<Flow>& flows,
                           const LinkCaps& caps, int ranks);
+
+/// The original recompute-everything progressive-filling loop, O(F) work
+/// per event. Kept as the semantic oracle: the differential suite holds
+/// simulate_flows to it across random flow sets, and anyone changing the
+/// engine's tolerances must keep the two in agreement.
+SimOutcome simulate_flows_reference(const std::vector<Flow>& flows,
+                                    const LinkCaps& caps, int ranks);
 
 /// Flows for one epoch of the balanced Algorithm-1 exchange: one message
 /// per (round, rank), all injected at t = 0.

@@ -1,8 +1,11 @@
 #include "shuffle/exchange_plan.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <mutex>
 
 #include "util/error.hpp"
+#include "util/ranked_mutex.hpp"
 
 namespace dshuf::shuffle {
 
@@ -45,6 +48,55 @@ void ExchangePlan::rebuild(std::uint64_t seed, std::size_t epoch, int workers,
   }
 }
 
+void ExchangePlan::rebuild_grouped(std::uint64_t seed, std::size_t epoch,
+                                   int groups, int group_size,
+                                   std::size_t per_worker_quota,
+                                   double intra_fraction) {
+  DSHUF_CHECK_GT(groups, 0, "need at least one group");
+  DSHUF_CHECK_GT(group_size, 0, "need at least one rank per group");
+  DSHUF_CHECK(intra_fraction >= 0.0 && intra_fraction <= 1.0,
+              "intra fraction must be in [0, 1]");
+  workers_ = groups * group_size;
+  Rng base(seed);
+  // Same stream tag and draw order as HierarchicalExchangePlan: per round,
+  // one group permutation (inter rounds only — intra rounds build the
+  // identity without consuming draws), then one local permutation per
+  // source group.
+  Rng stream = base.fork(0x41E2, epoch);
+
+  const auto m = static_cast<std::size_t>(workers_);
+  const auto intra_rounds = static_cast<std::size_t>(
+      std::round(intra_fraction * static_cast<double>(per_worker_quota)));
+
+  rounds_.resize(per_worker_quota);
+  for (std::size_t i = 0; i < per_worker_quota; ++i) {
+    const bool inter = i >= intra_rounds && groups > 1;
+    if (inter) {
+      stream.permutation_into(static_cast<std::size_t>(groups), gperm_);
+    } else {
+      gperm_.resize(static_cast<std::size_t>(groups));
+      for (std::size_t g = 0; g < gperm_.size(); ++g) {
+        gperm_[g] = static_cast<std::uint32_t>(g);
+      }
+    }
+    Round& round = rounds_[i];
+    round.dest.resize(m);
+    round.src.resize(m);
+    for (int g = 0; g < groups; ++g) {
+      stream.permutation_into(static_cast<std::size_t>(group_size), perm_);
+      for (int s = 0; s < group_size; ++s) {
+        const int from = g * group_size + s;
+        const int to =
+            static_cast<int>(gperm_[static_cast<std::size_t>(g)]) *
+                group_size +
+            static_cast<int>(perm_[static_cast<std::size_t>(s)]);
+        round.dest[static_cast<std::size_t>(from)] = to;
+        round.src[static_cast<std::size_t>(to)] = from;
+      }
+    }
+  }
+}
+
 int ExchangePlan::dest(std::size_t round, int rank) const {
   DSHUF_CHECK_LT(round, rounds_.size(), "round out of range");
   DSHUF_CHECK(rank >= 0 && rank < workers_, "rank out of range");
@@ -81,6 +133,67 @@ std::size_t ExchangePlan::self_sends() const {
     }
   }
   return n;
+}
+
+namespace {
+
+std::atomic<bool> g_plan_interning{false};
+
+// Tiny lookaside: ranks straddle at most a few epoch boundaries, so a
+// handful of slots catches every hit. Evicted entries stay alive through
+// the shared_ptrs held in rank scratches.
+constexpr std::size_t kPlanCacheSlots = 4;
+
+struct PlanCacheEntry {
+  PlanSpec spec;
+  std::shared_ptr<const ExchangePlan> plan;
+  std::uint64_t stamp = 0;
+};
+
+RankedMutex g_plan_cache_mu{LockRank::kPlanCache, "shuffle.plan_cache"};
+std::vector<PlanCacheEntry> g_plan_cache;  // guarded by g_plan_cache_mu
+
+}  // namespace
+
+bool plan_interning_enabled() {
+  return g_plan_interning.load(std::memory_order_acquire);
+}
+
+void set_plan_interning(bool on) {
+  g_plan_interning.store(on, std::memory_order_release);
+}
+
+std::shared_ptr<const ExchangePlan> intern_exchange_plan(
+    const PlanSpec& spec) {
+  // Build under the lock: every rank asking for the same epoch either
+  // builds it (first arrival) or waits for that one build — never builds
+  // its own copy. The build is O(quota * M), once per epoch per process.
+  std::lock_guard<RankedMutex> lk(g_plan_cache_mu);
+  auto& cache = g_plan_cache;
+  static std::uint64_t stamp = 0;
+  ++stamp;
+  for (auto& e : cache) {
+    if (e.spec == spec) {
+      e.stamp = stamp;
+      return e.plan;
+    }
+  }
+  auto plan = std::make_shared<ExchangePlan>();
+  if (spec.groups > 1 && spec.group_size > 0) {
+    plan->rebuild_grouped(spec.seed, spec.epoch, spec.groups,
+                          spec.group_size, spec.quota, spec.intra_fraction);
+  } else {
+    plan->rebuild(spec.seed, spec.epoch, spec.workers, spec.quota);
+  }
+  if (cache.size() >= kPlanCacheSlots) {
+    std::size_t oldest = 0;
+    for (std::size_t i = 1; i < cache.size(); ++i) {
+      if (cache[i].stamp < cache[oldest].stamp) oldest = i;
+    }
+    cache.erase(cache.begin() + static_cast<std::ptrdiff_t>(oldest));
+  }
+  cache.push_back(PlanCacheEntry{spec, plan, stamp});
+  return plan;
 }
 
 std::size_t exchange_quota(std::size_t shard_size, double q) {

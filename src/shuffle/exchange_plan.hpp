@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -44,6 +45,19 @@ class ExchangePlan {
   void rebuild(std::uint64_t seed, std::size_t epoch, int workers,
                std::size_t per_worker_quota, bool allow_self = true);
 
+  /// Recompute in place as the topology-constrained plan: every round is
+  /// still a permutation of all groups*group_size ranks (the balance
+  /// guarantee is untouched), but each is the product of a group-level
+  /// permutation and per-source-group local-slot permutations, with the
+  /// first round(intra_fraction * quota) rounds using the identity group
+  /// permutation. Draw-for-draw identical to HierarchicalExchangePlan with
+  /// the same arguments — the property suite asserts the tables match bit
+  /// for bit — so the message-passing exchange and the sequential
+  /// hierarchical driver stay equivalent.
+  void rebuild_grouped(std::uint64_t seed, std::size_t epoch, int groups,
+                       int group_size, std::size_t per_worker_quota,
+                       double intra_fraction);
+
   [[nodiscard]] int workers() const { return workers_; }
   [[nodiscard]] std::size_t rounds() const { return rounds_.size(); }
 
@@ -68,8 +82,57 @@ class ExchangePlan {
 
   int workers_ = 0;
   std::vector<Round> rounds_;
-  std::vector<std::uint32_t> perm_;  // rebuild scratch (capacity reused)
+  std::vector<std::uint32_t> perm_;   // rebuild scratch (capacity reused)
+  std::vector<std::uint32_t> gperm_;  // grouped-rebuild scratch
 };
+
+/// Everything that determines one epoch's plan. groups <= 1 (or group_size
+/// == 0) means the flat Algorithm-1 plan; otherwise the grouped one.
+struct PlanSpec {
+  std::uint64_t seed = 0;
+  std::size_t epoch = 0;
+  int workers = 0;
+  std::size_t quota = 0;
+  int groups = 1;
+  int group_size = 0;
+  double intra_fraction = 0.5;
+
+  friend bool operator==(const PlanSpec&, const PlanSpec&) = default;
+};
+
+/// One plan per epoch per PROCESS instead of per rank. A thousand virtual
+/// ranks each rebuilding a quota x M table would cost O(M^2 * quota)
+/// memory — the single reason 4096-rank worlds would not fit — so the
+/// virtual backend turns interning on and every rank's scratch holds a
+/// shared_ptr to the identical immutable plan. The cache keeps the last
+/// few epochs (ranks at an epoch boundary may straddle two); entries drop
+/// out of the cache eagerly but stay alive for as long as any scratch
+/// still references them.
+///
+/// Interning stays OFF by default: the threaded path's in-place rebuild is
+/// what keeps the steady-state epoch allocation-free
+/// (tests/test_exchange_alloc.cpp), and interning allocates one plan per
+/// epoch. Same flip discipline as the other process-wide exchange
+/// policies: set it from the driving thread before World::run.
+[[nodiscard]] bool plan_interning_enabled();
+void set_plan_interning(bool on);
+
+class ScopedPlanInterning {
+ public:
+  explicit ScopedPlanInterning(bool on) : prev_(plan_interning_enabled()) {
+    set_plan_interning(on);
+  }
+  ~ScopedPlanInterning() { set_plan_interning(prev_); }
+  ScopedPlanInterning(const ScopedPlanInterning&) = delete;
+  ScopedPlanInterning& operator=(const ScopedPlanInterning&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Fetch (building on miss) the shared immutable plan for `spec`.
+[[nodiscard]] std::shared_ptr<const ExchangePlan> intern_exchange_plan(
+    const PlanSpec& spec);
 
 /// Quota k = ceil(Q * shard_size), clamped to the shard size. Q outside
 /// [0, 1] is rejected.

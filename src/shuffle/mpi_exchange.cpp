@@ -1,13 +1,15 @@
 #include "shuffle/mpi_exchange.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <thread>
+#include <span>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "shuffle/exchange_tags.hpp"
 #include "shuffle/shuffler.hpp"
+#include "shuffle/topology.hpp"
 #include "util/log.hpp"
 #include "util/noalloc.hpp"
 
@@ -32,27 +34,105 @@ SampleId decode_sample_id(const std::vector<std::byte>& buf) {
   return id;
 }
 
-// Group the epoch's rounds by peer: send_rounds[p] / recv_rounds[p] list
-// the round indices whose sample goes to / comes from rank p, in round
-// order. This is the coalescing map — one frame per non-empty entry.
-void build_peer_routing(const ExchangePlan& plan, int rank, int m,
+// Resolve this epoch's plan into s.active. The shape comes from the
+// process-wide topology policy (flat Algorithm-1 permutations when none is
+// set, the grouped hierarchical plan otherwise) and the storage from the
+// interning switch: rebuilt in place in this rank's scratch (the
+// allocation-free steady state) or fetched from the process-wide shared
+// cache (thousand-rank virtual worlds, where per-rank copies of a
+// quota x M table would be O(M^2) memory).
+const ExchangePlan& plan_for_epoch(std::uint64_t seed, std::size_t epoch,
+                                   int m, std::size_t quota,
+                                   ExchangeScratch& s) {
+  PlanSpec spec;
+  spec.seed = seed;
+  spec.epoch = epoch;
+  spec.workers = m;
+  spec.quota = quota;
+  if (const auto topo = exchange_topology()) {
+    const Topology t = topo->resolved_for(m);
+    if (t.groups > 1) {
+      spec.groups = t.groups;
+      spec.group_size = t.group_size;
+      spec.intra_fraction = t.intra_fraction;
+    }
+  }
+  if (plan_interning_enabled()) {
+    s.interned = intern_exchange_plan(spec);
+    s.active = s.interned.get();
+  } else {
+    if (spec.groups > 1) {
+      s.plan.rebuild_grouped(spec.seed, spec.epoch, spec.groups,
+                             spec.group_size, spec.quota,
+                             spec.intra_fraction);
+    } else {
+      s.plan.rebuild(seed, epoch, m, quota);
+    }
+    s.interned.reset();
+    s.active = &s.plan;
+  }
+  return *s.active;
+}
+
+// Fill one CSR side (peers / off / rounds) from (peer, round) pairs.
+// Sorting by (peer, round) groups rounds by peer while keeping round order
+// within each peer — exactly the iteration order the dense layout had.
+void fill_csr_side(std::vector<std::pair<int, std::uint32_t>>& pairs,
+                   std::vector<int>& peers, std::vector<std::uint32_t>& off,
+                   std::vector<std::uint32_t>& rounds) {
+  std::sort(pairs.begin(), pairs.end());
+  peers.clear();
+  off.clear();
+  rounds.clear();
+  for (const auto& [peer, round] : pairs) {
+    if (peers.empty() || peers.back() != peer) {
+      peers.push_back(peer);
+      off.push_back(static_cast<std::uint32_t>(rounds.size()));
+    }
+    rounds.push_back(round);
+  }
+  off.push_back(static_cast<std::uint32_t>(rounds.size()));
+}
+
+// Group the epoch's rounds by peer into the scratch's CSR routing: slot k
+// of send_peers/recv_peers exchanges the rounds in the [off[k], off[k+1])
+// slice, in round order. Only peers with traffic appear — the map is
+// O(quota), not O(M), which is what lets 4096-rank worlds fit in memory.
+void build_peer_routing(const ExchangePlan& plan, int rank,
                         std::size_t quota, ExchangeScratch& s) {
-  s.send_rounds.resize(static_cast<std::size_t>(m));
-  s.recv_rounds.resize(static_cast<std::size_t>(m));
-  for (int p = 0; p < m; ++p) {
-    auto& sr = s.send_rounds[static_cast<std::size_t>(p)];
-    auto& rr = s.recv_rounds[static_cast<std::size_t>(p)];
-    sr.clear();
-    rr.clear();
-    // A peer can receive at most `quota` rounds; reserving the bound keeps
-    // the steady state reallocation-free whatever the plan draws.
-    if (sr.capacity() < quota) sr.reserve(quota);
-    if (rr.capacity() < quota) rr.reserve(quota);
-  }
+  auto& pairs = s.route_pairs;
+  pairs.resize(quota);  // analyze:alloc-ok amortised into retained capacity
   for (std::size_t i = 0; i < quota; ++i) {
-    s.send_rounds[static_cast<std::size_t>(plan.dest(i, rank))].push_back(i);
-    s.recv_rounds[static_cast<std::size_t>(plan.source(i, rank))].push_back(i);
+    pairs[i] = {plan.dest(i, rank), static_cast<std::uint32_t>(i)};
   }
+  fill_csr_side(pairs, s.send_peers, s.send_off, s.send_rounds);
+  for (std::size_t i = 0; i < quota; ++i) {
+    pairs[i] = {plan.source(i, rank), static_cast<std::uint32_t>(i)};
+  }
+  fill_csr_side(pairs, s.recv_peers, s.recv_off, s.recv_rounds);
+  // Invert: which recv slot serves each round (staging walks rounds).
+  s.round_slot.resize(quota);  // analyze:alloc-ok amortised as above
+  for (std::size_t k = 0; k + 1 < s.recv_off.size(); ++k) {
+    for (std::uint32_t j = s.recv_off[k]; j < s.recv_off[k + 1]; ++j) {
+      s.round_slot[s.recv_rounds[j]] = static_cast<std::uint32_t>(k);
+    }
+  }
+}
+
+// Rounds a slot receives (count for the frame cross-check).
+std::size_t recv_slot_count(const ExchangeScratch& s, std::size_t slot) {
+  return s.recv_off[slot + 1] - s.recv_off[slot];
+}
+
+// Recv slot of origin rank `p`, or npos when p sends us nothing this
+// epoch (stray-drain bookkeeping needs the miss case).
+std::size_t recv_slot_of(const ExchangeScratch& s, int p) {
+  const auto it =
+      std::lower_bound(s.recv_peers.begin(), s.recv_peers.end(), p);
+  if (it == s.recv_peers.end() || *it != p) {
+    return static_cast<std::size_t>(-1);
+  }
+  return static_cast<std::size_t>(it - s.recv_peers.begin());
 }
 
 // Capacity hint for a pooled frame buffer: the largest frame this epoch
@@ -70,13 +150,12 @@ std::size_t frame_capacity_bound(std::size_t quota, std::size_t payload_high) {
 // the number of samples packed.
 DSHUF_NOALLOC std::size_t pack_frame_for_peer(
     std::vector<std::byte>& buf, std::size_t epoch, int origin, int dest,
-                                const std::vector<std::size_t>& rounds,
-                                const PayloadFn& payload, ExchangeScratch& s,
-                                ExchangeOutcome& out) {
+    std::span<const std::uint32_t> rounds, const PayloadFn& payload,
+    ExchangeScratch& s, ExchangeOutcome& out) {
   FrameWriter writer(buf, static_cast<std::uint64_t>(epoch), origin,
                      frame_flow_id(epoch, origin, dest),
                      static_cast<std::uint32_t>(rounds.size()));
-  for (std::size_t i : rounds) {
+  for (std::uint32_t i : rounds) {
     writer.begin_sample(s.outgoing[i]);
     const std::size_t before = buf.size();
     if (payload) payload(s.outgoing[i], buf);
@@ -88,6 +167,14 @@ DSHUF_NOALLOC std::size_t pack_frame_for_peer(
   out.bytes_header +=
       frame_header_bytes(rounds.size()) + rounds.size() * sizeof(SampleId);
   return rounds.size();
+}
+
+// The [off[k], off[k+1]) slice of a CSR side as a span.
+std::span<const std::uint32_t> csr_slice(
+    const std::vector<std::uint32_t>& rounds,
+    const std::vector<std::uint32_t>& off, std::size_t slot) {
+  return std::span<const std::uint32_t>(rounds).subspan(
+      off[slot], off[slot + 1] - off[slot]);
 }
 
 // Parse + sanity-check a received frame before anything is staged, and
@@ -117,22 +204,23 @@ FrameView checked_frame_view(const comm::Message& msg, std::size_t epoch,
 
 // Stage every received sample into the store in ROUND order — the same
 // per-store append order the sequential driver produces — handing the
-// deposit a span view into the frame. Cursor[p] walks peer p's frame in
-// lockstep because recv_rounds[p] is itself in round order.
+// deposit a span view into the frame. Cursor[slot] walks that slot's
+// frame in lockstep because its recv_rounds slice is itself in round
+// order.
 std::size_t stage_frames_in_round_order(ShardStore& store, std::size_t quota,
-                                        int rank, const DepositFn& deposit,
+                                        const DepositFn& deposit,
                                         ExchangeScratch& s,
-                                        const std::vector<bool>* frame_ok) {
+                                        const std::vector<char>* frame_ok) {
   std::size_t staged = 0;
   s.cursor.assign(s.views.size(), 0);
   for (std::size_t i = 0; i < quota; ++i) {
-    const auto src = static_cast<std::size_t>(s.plan.source(i, rank));
-    if (frame_ok != nullptr && !(*frame_ok)[src]) continue;
-    const std::uint32_t j = s.cursor[src]++;
-    const SampleId got = s.views[src].id(j);
+    const auto slot = static_cast<std::size_t>(s.round_slot[i]);
+    if (frame_ok != nullptr && (*frame_ok)[slot] == 0) continue;
+    const std::uint32_t j = s.cursor[slot]++;
+    const SampleId got = s.views[slot].id(j);
     store.add(got);
     ++staged;
-    if (deposit) deposit(got, s.views[src].payload(j));
+    if (deposit) deposit(got, s.views[slot].payload(j));
   }
   return staged;
 }
@@ -151,6 +239,7 @@ ExchangeOutcome run_fast_per_sample(comm::Communicator& comm,
   const int m = comm.size();
   const std::size_t quota = s.outgoing.size();
   const std::uint64_t tag_base = epoch_tag_base(epoch, quota, m);
+  const ExchangePlan& plan = *s.active;
 
   ExchangeOutcome out;
   out.rounds = quota;
@@ -160,7 +249,7 @@ ExchangeOutcome run_fast_per_sample(comm::Communicator& comm,
   // Algorithm 1 lines 2-6: send the p[i]-th sample to dest_i[rank]. Tag =
   // round index keeps rounds aligned across ranks.
   for (std::size_t i = 0; i < quota; ++i) {
-    const int dest = s.plan.dest(i, rank);
+    const int dest = plan.dest(i, rank);
     auto wire = comm.pool().acquire(sizeof(SampleId) + s.payload_high_water);
     encode_sample_into(s.outgoing[i], payload, wire);
     const std::size_t body = wire.size() - sizeof(SampleId);
@@ -209,6 +298,14 @@ ExchangeOutcome run_fast_per_sample(comm::Communicator& comm,
 
 // ---------------------------------------------------------- robust paths --
 
+// Retry backoff for attempt `attempts` (the one just sent), in the
+// communicator's microsecond clock.
+std::uint64_t backoff_us(const ExchangeRobustness& robust, int attempts) {
+  return static_cast<std::uint64_t>(
+      static_cast<double>(robust.ack_timeout.count()) *
+      std::pow(robust.backoff, attempts - 1));
+}
+
 // Retry/timeout protocol, per-sample wire. Every round runs a DATA/ACK
 // handshake; all rounds progress concurrently in one event loop so a
 // single slow peer cannot serialise the epoch. Commit decisions are NOT
@@ -216,17 +313,23 @@ ExchangeOutcome run_fast_per_sample(comm::Communicator& comm,
 // exchanged over the reliable collective path at the end — that is what
 // keeps sender and receiver in agreement no matter which messages were
 // lost.
+//
+// All deadlines/retries read Communicator::now_us() and pauses go through
+// Communicator::backoff(): on the threaded world that is wall time and a
+// real sleep, on the event-driven world virtual time and a fiber timer —
+// a wall-clock sleep there would stall the epoch forever, since virtual
+// time only advances while fibers are suspended on it.
 ExchangeOutcome run_robust_per_sample(comm::Communicator& comm,
                                       ShardStore& store, std::size_t epoch,
                                       const PayloadFn& payload,
                                       const DepositFn& deposit,
                                       const ExchangeRobustness& robust,
                                       ExchangeScratch& s) {
-  using Clock = std::chrono::steady_clock;
   const int rank = comm.rank();
   const std::size_t quota = s.outgoing.size();
   DSHUF_CHECK_GT(robust.max_attempts, 0, "need at least one send attempt");
   const std::uint64_t tag_base = epoch_tag_base(epoch, quota, comm.size());
+  const ExchangePlan& plan = *s.active;
 
   ExchangeOutcome out;
   out.rounds = quota;
@@ -241,18 +344,18 @@ ExchangeOutcome run_robust_per_sample(comm::Communicator& comm,
     bool recv_ok = false;
     bool send_done = false;
     int attempts = 0;
-    Clock::time_point next_retry;
+    std::uint64_t next_retry_us = 0;
     SampleId got = 0;
     std::vector<std::byte> got_body;
   };
 
   auto& tracer = obs::Tracer::instance();
-  const auto start = Clock::now();
+  const std::uint64_t start = comm.now_us();
   std::vector<RoundState> rounds(quota);
   for (std::size_t i = 0; i < quota; ++i) {
     auto& r = rounds[i];
-    r.dest = s.plan.dest(i, rank);
-    r.src = s.plan.source(i, rank);
+    r.dest = plan.dest(i, rank);
+    r.src = plan.source(i, rank);
     // Post both receives before the first send so no early arrival is ever
     // unmatched, then fire attempt 1.
     r.rx_data = comm.irecv(r.src, data_tag(tag_base, i));
@@ -270,9 +373,11 @@ ExchangeOutcome run_robust_per_sample(comm::Communicator& comm,
     out.bytes_sent += r.wire.size();
     out.bytes_offered += r.wire.size();
     r.attempts = 1;
-    r.next_retry = start + robust.ack_timeout;
+    r.next_retry_us =
+        start + static_cast<std::uint64_t>(robust.ack_timeout.count());
   }
-  const auto recv_deadline_at = start + robust.recv_deadline;
+  const std::uint64_t recv_deadline_at =
+      start + static_cast<std::uint64_t>(robust.recv_deadline.count());
 
   auto take_data = [&](std::size_t i, RoundState& r) {
     const auto& msg = r.rx_data.message();
@@ -297,7 +402,7 @@ ExchangeOutcome run_robust_per_sample(comm::Communicator& comm,
   std::size_t open = 2 * quota;  // unfinished send + receive duties
   while (open > 0) {
     bool progressed = false;
-    const auto now = Clock::now();
+    const std::uint64_t now = comm.now_us();
     for (std::size_t i = 0; i < quota; ++i) {
       auto& r = rounds[i];
       if (!r.recv_done) {
@@ -323,7 +428,7 @@ ExchangeOutcome run_robust_per_sample(comm::Communicator& comm,
           r.send_done = true;
           --open;
           progressed = true;
-        } else if (now >= r.next_retry) {
+        } else if (now >= r.next_retry_us) {
           if (r.attempts >= robust.max_attempts) {
             // Give up retrying. The round may still commit if an earlier
             // attempt landed — the reconciliation bitmap decides.
@@ -345,18 +450,14 @@ ExchangeOutcome run_robust_per_sample(comm::Communicator& comm,
             out.bytes_sent += r.wire.size();
             ++r.attempts;
             ++out.retries;
-            const auto backoff = std::chrono::duration_cast<
-                std::chrono::microseconds>(
-                robust.ack_timeout *
-                std::pow(robust.backoff, r.attempts - 1));
-            r.next_retry = now + backoff;
+            r.next_retry_us = now + backoff_us(robust, r.attempts);
           }
           progressed = true;
         }
       }
     }
     if (open > 0 && !progressed) {
-      std::this_thread::sleep_for(robust.poll_interval);
+      comm.backoff(robust.poll_interval);
     }
   }
 
@@ -486,11 +587,12 @@ PlsEpochExchange::PlsEpochExchange(comm::Communicator& comm,
   epoch_span_->attr("epoch", std::to_string(epoch))
       .attr("rank", std::to_string(rank_));
 
-  // Every rank recomputes the identical plan from the shared seed —
-  // Algorithm 1's "all workers use the same random seed". The scratch (a
-  // caller-provided one in the steady state) reuses last epoch's tables.
+  // Every rank recomputes (or fetches — see plan_for_epoch) the identical
+  // plan from the shared seed — Algorithm 1's "all workers use the same
+  // random seed". The scratch (a caller-provided one in the steady state)
+  // reuses last epoch's tables.
   ExchangeScratch& s = *s_;
-  s.plan.rebuild(seed, epoch, m_, quota_);
+  const ExchangePlan& plan = plan_for_epoch(seed, epoch, m_, quota_, s);
   pick_permutation_into(seed, epoch, rank_, store.size(), s.picks);
   DSHUF_CHECK_GE(store.size(), quota_,
                  "rank " << rank_
@@ -502,14 +604,15 @@ PlsEpochExchange::PlsEpochExchange(comm::Communicator& comm,
 
   tag_base_ = epoch_tag_base(epoch, quota_, m_);
   out_.rounds = quota_;
-  build_peer_routing(s.plan, rank_, m_, quota_, s);
+  build_peer_routing(plan, rank_, quota_, s);
   frame_cap_ = frame_capacity_bound(quota_, s.payload_high_water);
-  s.frames.resize(static_cast<std::size_t>(m_));
-  s.views.resize(static_cast<std::size_t>(m_));
+  s.frames.resize(s.recv_peers.size());
+  s.views.resize(s.recv_peers.size());
   if (robust_ != nullptr) {
-    peers_.assign(static_cast<std::size_t>(m_), PeerState{});
-    frame_ok_.assign(static_cast<std::size_t>(m_), false);
-    wires_.resize(static_cast<std::size_t>(m_));
+    send_state_.assign(s.send_peers.size(), SendPeer{});
+    recv_state_.assign(s.recv_peers.size(), RecvPeer{});
+    frame_ok_.assign(s.recv_peers.size(), 0);
+    wires_.resize(s.send_peers.size());
   }
 }
 
@@ -537,11 +640,12 @@ void PlsEpochExchange::post() {
   if (robust_ == nullptr) {
     // Fire-and-forget frames into pooled buffers (Algorithm 1 lines 2-6
     // with the coalesced wire); finish() blocks on the matching receives.
-    for (int p = 0; p < m_; ++p) {
-      const auto& rounds = s.send_rounds[static_cast<std::size_t>(p)];
-      if (rounds.empty()) continue;
+    for (std::size_t k = 0; k < s.send_peers.size(); ++k) {
+      const int p = s.send_peers[k];
       auto buf = comm_.pool().acquire(frame_cap_);
-      pack_frame_for_peer(buf, epoch_, rank_, p, rounds, payload, s, out_);
+      pack_frame_for_peer(buf, epoch_, rank_, p,
+                          csr_slice(s.send_rounds, s.send_off, k), payload,
+                          s, out_);
       out_.bytes_sent += buf.size();
       out_.bytes_offered += buf.size();
       ++out_.msgs_sent;
@@ -560,17 +664,14 @@ void PlsEpochExchange::post() {
   // Robust mode: keep a master copy of each frame for retransmission and
   // fire attempt 1. Retry/deadline clocks are anchored at finish() entry
   // (see the header note), so nothing times out under a long compute.
-  for (int p = 0; p < m_; ++p) {
-    auto& ps = peers_[static_cast<std::size_t>(p)];
-    ps.expect_frame = !s.recv_rounds[static_cast<std::size_t>(p)].empty();
-    ps.sending = !s.send_rounds[static_cast<std::size_t>(p)].empty();
-    if (!ps.sending) continue;
-    auto& wire = wires_[static_cast<std::size_t>(p)];
+  for (std::size_t k = 0; k < s.send_peers.size(); ++k) {
+    const int p = s.send_peers[k];
+    auto& wire = wires_[k];
     wire.clear();
     wire.reserve(frame_cap_);
     pack_frame_for_peer(wire, epoch_, rank_, p,
-                        s.send_rounds[static_cast<std::size_t>(p)], payload,
-                        s, out_);
+                        csr_slice(s.send_rounds, s.send_off, k), payload, s,
+                        out_);
     out_.bytes_offered += wire.size();
     auto buf = comm_.pool().acquire(wire.size());
     buf.assign(wire.begin(), wire.end());
@@ -582,7 +683,7 @@ void PlsEpochExchange::post() {
     }
     ++out_.msgs_sent;
     out_.bytes_sent += wire.size();
-    ps.attempts = 1;
+    send_state_[k].attempts = 1;
   }
 }
 
@@ -590,25 +691,21 @@ void PlsEpochExchange::finish_fast() {
   ExchangeScratch& s = *s_;
   // One blocking receive per sending peer; arrival order is free because
   // each frame parks in the mailbox until its (source, tag) receive runs.
-  for (int p = 0; p < m_; ++p) {
-    const auto& rounds = s.recv_rounds[static_cast<std::size_t>(p)];
-    if (rounds.empty()) continue;
-    s.frames[static_cast<std::size_t>(p)] =
-        comm_.recv(p, frame_data_tag(tag_base_, quota_, p));
-    s.views[static_cast<std::size_t>(p)] = checked_frame_view(
-        s.frames[static_cast<std::size_t>(p)], epoch_, rounds.size(), p);
+  for (std::size_t k = 0; k < s.recv_peers.size(); ++k) {
+    const int p = s.recv_peers[k];
+    s.frames[k] = comm_.recv(p, frame_data_tag(tag_base_, quota_, p));
+    s.views[k] =
+        checked_frame_view(s.frames[k], epoch_, recv_slot_count(s, k), p);
   }
 
   out_.recvs_committed = stage_frames_in_round_order(
-      store_, quota_, rank_, deposit_fn(), s, nullptr);
+      store_, quota_, deposit_fn(), s, nullptr);
   for (SampleId id : s.outgoing) store_.remove_id(id);
   out_.sends_committed = quota_;
 
   // Frames are fully staged — recycle their buffers.
-  for (int p = 0; p < m_; ++p) {
-    auto& frame = s.frames[static_cast<std::size_t>(p)];
-    if (s.recv_rounds[static_cast<std::size_t>(p)].empty()) continue;
-    comm_.pool().release(std::move(frame.payload));
+  for (std::size_t k = 0; k < s.recv_peers.size(); ++k) {
+    comm_.pool().release(std::move(s.frames[k].payload));
   }
 }
 
@@ -619,97 +716,94 @@ void PlsEpochExchange::finish_fast() {
 // whole peer's worth of rounds at once (the bitmap is per ORIGIN rank,
 // which decides exactly the same set because a frame carries all of an
 // origin's rounds or none of them).
+//
+// Clocks are Communicator::now_us() microseconds and pauses go through
+// Communicator::backoff() — see run_robust_per_sample's note on why.
 void PlsEpochExchange::finish_robust() {
-  using Clock = std::chrono::steady_clock;
   ExchangeScratch& s = *s_;
   const ExchangeRobustness& robust = *robust_;
 
-  const auto fstart = Clock::now();
-  const auto recv_deadline_at = fstart + robust.recv_deadline;
-  std::size_t open = 0;  // unfinished send + receive duties (per peer)
-  for (int p = 0; p < m_; ++p) {
-    auto& ps = peers_[static_cast<std::size_t>(p)];
-    if (ps.expect_frame) ++open;
-    if (ps.sending) {
-      ++open;
-      ps.next_retry = fstart + robust.ack_timeout;
-    }
+  const std::uint64_t fstart = comm_.now_us();
+  const std::uint64_t recv_deadline_at =
+      fstart + static_cast<std::uint64_t>(robust.recv_deadline.count());
+  // Unfinished send + receive duties (per peer slot).
+  std::size_t open = s.recv_peers.size() + s.send_peers.size();
+  for (auto& ss : send_state_) {
+    ss.next_retry_us =
+        fstart + static_cast<std::uint64_t>(robust.ack_timeout.count());
   }
 
   while (open > 0) {
     bool progressed = false;
-    const auto now = Clock::now();
-    for (int p = 0; p < m_; ++p) {
-      auto& ps = peers_[static_cast<std::size_t>(p)];
-      if (ps.expect_frame && !ps.recv_done) {
-        if (auto msg = comm_.poll(p, frame_data_tag(tag_base_, quota_, p))) {
-          s.frames[static_cast<std::size_t>(p)] = std::move(*msg);
-          s.views[static_cast<std::size_t>(p)] = checked_frame_view(
-              s.frames[static_cast<std::size_t>(p)], epoch_,
-              s.recv_rounds[static_cast<std::size_t>(p)].size(), p);
-          ps.recv_done = true;
-          ps.recv_ok = true;
-          frame_ok_[static_cast<std::size_t>(p)] = true;
-          comm_.send(p, frame_ack_tag(tag_base_, quota_, p), {});
-          ++out_.msgs_sent;
-          --open;
-          progressed = true;
-        } else if (now >= recv_deadline_at) {
-          // LS fallback for every round this peer owed us; a late frame
-          // drains as a stray after the fence.
-          ps.recv_done = true;
-          out_.recv_fallbacks +=
-              s.recv_rounds[static_cast<std::size_t>(p)].size();
-          LOG_DEBUG << "frame from rank " << p << " missed the deadline; "
-                    << "its samples stay with the sender";
-          --open;
-          progressed = true;
-        }
+    const std::uint64_t now = comm_.now_us();
+    for (std::size_t k = 0; k < s.recv_peers.size(); ++k) {
+      auto& rs = recv_state_[k];
+      if (rs.done) continue;
+      const int p = s.recv_peers[k];
+      if (auto msg = comm_.poll(p, frame_data_tag(tag_base_, quota_, p))) {
+        s.frames[k] = std::move(*msg);
+        s.views[k] = checked_frame_view(s.frames[k], epoch_,
+                                        recv_slot_count(s, k), p);
+        rs.done = true;
+        rs.ok = true;
+        frame_ok_[k] = 1;
+        comm_.send(p, frame_ack_tag(tag_base_, quota_, p), {});
+        ++out_.msgs_sent;
+        --open;
+        progressed = true;
+      } else if (now >= recv_deadline_at) {
+        // LS fallback for every round this peer owed us; a late frame
+        // drains as a stray after the fence.
+        rs.done = true;
+        out_.recv_fallbacks += recv_slot_count(s, k);
+        LOG_DEBUG << "frame from rank " << p << " missed the deadline; "
+                  << "its samples stay with the sender";
+        --open;
+        progressed = true;
       }
-      if (ps.sending && !ps.send_done) {
-        if (comm_.poll(p, frame_ack_tag(tag_base_, quota_, rank_))) {
-          ps.send_done = true;
+    }
+    for (std::size_t k = 0; k < s.send_peers.size(); ++k) {
+      auto& ss = send_state_[k];
+      if (ss.done) continue;
+      const int p = s.send_peers[k];
+      if (comm_.poll(p, frame_ack_tag(tag_base_, quota_, rank_))) {
+        ss.done = true;
+        --open;
+        progressed = true;
+      } else if (now >= ss.next_retry_us) {
+        if (ss.attempts >= robust.max_attempts) {
+          // Give up retrying. The frame may still commit if an earlier
+          // attempt landed — the reconciliation bitmap decides.
+          ss.done = true;
           --open;
-          progressed = true;
-        } else if (now >= ps.next_retry) {
-          if (ps.attempts >= robust.max_attempts) {
-            // Give up retrying. The frame may still commit if an earlier
-            // attempt landed — the reconciliation bitmap decides.
-            ps.send_done = true;
-            --open;
-            LOG_DEBUG << "frame to rank " << p << " exhausted "
-                      << ps.attempts << " attempts; reconciliation decides";
-          } else {
-            const auto& wire = wires_[static_cast<std::size_t>(p)];
-            auto buf = comm_.pool().acquire(wire.size());
-            buf.assign(wire.begin(), wire.end());
-            comm_.send(p, frame_data_tag(tag_base_, quota_, rank_),
-                       std::move(buf));
-            // The retransmitted bytes carry the identical trace context,
-            // so this is a step on the SAME flow, not a new arrow.
-            auto& tracer = obs::Tracer::instance();
-            if (tracer.enabled()) {
-              tracer.flow_point("exchange.frame",
-                                frame_flow_id(epoch_, rank_, p),
-                                obs::FlowPhase::kStep,
-                                {{"epoch", std::to_string(epoch_)}});
-            }
-            ++out_.msgs_sent;
-            out_.bytes_sent += wire.size();
-            ++ps.attempts;
-            ++out_.retries;
-            const auto backoff =
-                std::chrono::duration_cast<std::chrono::microseconds>(
-                    robust.ack_timeout *
-                    std::pow(robust.backoff, ps.attempts - 1));
-            ps.next_retry = now + backoff;
+          LOG_DEBUG << "frame to rank " << p << " exhausted " << ss.attempts
+                    << " attempts; reconciliation decides";
+        } else {
+          const auto& wire = wires_[k];
+          auto buf = comm_.pool().acquire(wire.size());
+          buf.assign(wire.begin(), wire.end());
+          comm_.send(p, frame_data_tag(tag_base_, quota_, rank_),
+                     std::move(buf));
+          // The retransmitted bytes carry the identical trace context,
+          // so this is a step on the SAME flow, not a new arrow.
+          auto& tracer = obs::Tracer::instance();
+          if (tracer.enabled()) {
+            tracer.flow_point("exchange.frame",
+                              frame_flow_id(epoch_, rank_, p),
+                              obs::FlowPhase::kStep,
+                              {{"epoch", std::to_string(epoch_)}});
           }
-          progressed = true;
+          ++out_.msgs_sent;
+          out_.bytes_sent += wire.size();
+          ++ss.attempts;
+          ++out_.retries;
+          ss.next_retry_us = now + backoff_us(robust, ss.attempts);
         }
+        progressed = true;
       }
     }
     if (open > 0 && !progressed) {
-      std::this_thread::sleep_for(robust.poll_interval);
+      comm_.backoff(robust.poll_interval);
     }
   }
 
@@ -717,7 +811,7 @@ void PlsEpochExchange::finish_robust() {
   // fell back) — identical append order to the per-sample robust path
   // under the same commit pattern.
   out_.recvs_committed = stage_frames_in_round_order(
-      store_, quota_, rank_, deposit_fn(), s, &frame_ok_);
+      store_, quota_, deposit_fn(), s, &frame_ok_);
 
   // Quiesce the fabric, then drain late arrivals and duplicate frames.
   {
@@ -729,8 +823,8 @@ void PlsEpochExchange::finish_robust() {
       if (is_epoch_frame_data_tag(stray->tag, tag_base_, quota_, m_)) {
         const int origin =
             origin_of_frame_data_tag(stray->tag, tag_base_, quota_);
-        if (origin >= 0 && origin < m_ &&
-            peers_[static_cast<std::size_t>(origin)].recv_ok) {
+        const std::size_t slot = recv_slot_of(s, origin);
+        if (slot != static_cast<std::size_t>(-1) && recv_state_[slot].ok) {
           // A duplicate copy of a frame we already staged: every sample in
           // it is a suppressed duplicate (the per-sample wire counts the
           // same samples one message at a time).
@@ -746,14 +840,14 @@ void PlsEpochExchange::finish_robust() {
   // the same commits the per-round bitmap would.
   DSHUF_SPAN("exchange.reconcile");
   std::vector<std::byte> received_bits(static_cast<std::size_t>(m_));
-  for (int p = 0; p < m_; ++p) {
-    received_bits[static_cast<std::size_t>(p)] =
-        peers_[static_cast<std::size_t>(p)].recv_ok ? std::byte{1}
-                                                    : std::byte{0};
+  for (std::size_t k = 0; k < s.recv_peers.size(); ++k) {
+    received_bits[static_cast<std::size_t>(s.recv_peers[k])] =
+        recv_state_[k].ok ? std::byte{1} : std::byte{0};
   }
   const auto all_bits = comm_.allgather(std::move(received_bits));
+  const ExchangePlan& plan = *s.active;
   for (std::size_t i = 0; i < quota_; ++i) {
-    const auto dest = static_cast<std::size_t>(s.plan.dest(i, rank_));
+    const auto dest = static_cast<std::size_t>(plan.dest(i, rank_));
     DSHUF_CHECK_EQ(all_bits[dest].size(), static_cast<std::size_t>(m_),
                    "reconciliation bitmap length mismatch");
     if (all_bits[dest][static_cast<std::size_t>(rank_)] != std::byte{0}) {
@@ -762,14 +856,13 @@ void PlsEpochExchange::finish_robust() {
     } else {
       ++out_.send_fallbacks;
       LOG_DEBUG << "round " << i << " not received by rank "
-                << s.plan.dest(i, rank_) << "; keeping sample locally";
+                << plan.dest(i, rank_) << "; keeping sample locally";
     }
   }
 
-  for (int p = 0; p < m_; ++p) {
-    if (!frame_ok_[static_cast<std::size_t>(p)]) continue;
-    comm_.pool().release(
-        std::move(s.frames[static_cast<std::size_t>(p)].payload));
+  for (std::size_t k = 0; k < s.recv_peers.size(); ++k) {
+    if (frame_ok_[k] == 0) continue;
+    comm_.pool().release(std::move(s.frames[k].payload));
   }
 }
 
@@ -829,12 +922,13 @@ ExchangeOutcome run_pls_exchange_epoch(comm::Communicator& comm,
                             {{"epoch", std::to_string(epoch)},
                              {"rank", std::to_string(rank)}});
 
-  // Every rank recomputes the identical plan from the shared seed —
-  // Algorithm 1's "all workers use the same random seed". The scratch (a
-  // caller-provided one in the steady state) reuses last epoch's tables.
+  // Every rank recomputes (or fetches) the identical plan from the shared
+  // seed — Algorithm 1's "all workers use the same random seed". The
+  // scratch (a caller-provided one in the steady state) reuses last
+  // epoch's tables.
   ExchangeScratch local_scratch;
   ExchangeScratch& s = scratch != nullptr ? *scratch : local_scratch;
-  s.plan.rebuild(seed, epoch, m, quota);
+  plan_for_epoch(seed, epoch, m, quota, s);
   pick_permutation_into(seed, epoch, rank, store.size(), s.picks);
   DSHUF_CHECK_GE(store.size(), quota,
                  "rank " << rank << " shard smaller than the exchange quota");

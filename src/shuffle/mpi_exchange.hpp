@@ -124,15 +124,30 @@ struct ExchangeOutcome {
 /// tables, routing lists, and staging cursors, which — together with the
 /// comm buffer pool — is what makes the steady-state fast path
 /// allocation-free (tests/test_exchange_alloc.cpp asserts the zero).
+///
+/// Peer routing is a CSR over the peers that actually exchange traffic
+/// with this rank (at most min(M, quota) of them), NOT dense over all M
+/// ranks: at M=4096 a dense per-peer layout costs O(M) per rank = O(M^2)
+/// across the world, which is what previously made paper-scale worlds
+/// unrepresentable. All peer-indexed arrays below are indexed by SLOT
+/// (position in send_peers / recv_peers, each sorted ascending by rank).
 struct ExchangeScratch {
-  ExchangePlan plan;
+  ExchangePlan plan;  ///< in-place storage (used when interning is off)
+  std::shared_ptr<const ExchangePlan> interned;  ///< shared (interning on)
+  const ExchangePlan* active = nullptr;  ///< the epoch's plan, either way
   std::vector<std::uint32_t> picks;
   std::vector<SampleId> outgoing;
-  std::vector<std::vector<std::size_t>> send_rounds;  ///< [peer] -> rounds
-  std::vector<std::vector<std::size_t>> recv_rounds;  ///< [peer] -> rounds
-  std::vector<comm::Message> frames;                  ///< received, [peer]
-  std::vector<FrameView> views;                       ///< parsed, [peer]
-  std::vector<std::uint32_t> cursor;                  ///< staging, [peer]
+  std::vector<int> send_peers;  ///< ranks we send a frame to, ascending
+  std::vector<int> recv_peers;  ///< ranks that send us a frame, ascending
+  std::vector<std::uint32_t> send_off;  ///< [slot] -> send_rounds range
+  std::vector<std::uint32_t> recv_off;  ///< [slot] -> recv_rounds range
+  std::vector<std::uint32_t> send_rounds;  ///< grouped by slot, round order
+  std::vector<std::uint32_t> recv_rounds;  ///< grouped by slot, round order
+  std::vector<std::pair<int, std::uint32_t>> route_pairs;  ///< build scratch
+  std::vector<std::uint32_t> round_slot;  ///< [round] -> recv slot of source
+  std::vector<comm::Message> frames;      ///< received, [recv slot]
+  std::vector<FrameView> views;           ///< parsed, [recv slot]
+  std::vector<std::uint32_t> cursor;      ///< staging, [recv slot]
   /// Largest per-sample payload seen; sizes the pooled-buffer capacity
   /// hint so a steady-state epoch can never outgrow its frame buffer.
   std::size_t payload_high_water = 0;
@@ -201,14 +216,19 @@ class PlsEpochExchange {
   [[nodiscard]] bool trivial() const { return trivial_; }
 
  private:
-  struct PeerState {
-    bool expect_frame = false;  // this peer sends us a frame this epoch
-    bool sending = false;       // we send this peer a frame this epoch
-    bool recv_done = false;
-    bool recv_ok = false;
-    bool send_done = false;
+  // Robust-mode per-peer state, slot-indexed (send slots and recv slots
+  // separately — see ExchangeScratch's CSR layout). Retry clocks are
+  // Communicator::now_us() microseconds, so the same protocol runs on wall
+  // time under the threaded world and on virtual time under the
+  // event-driven one.
+  struct SendPeer {
+    bool done = false;
     int attempts = 0;
-    std::chrono::steady_clock::time_point next_retry;
+    std::uint64_t next_retry_us = 0;
+  };
+  struct RecvPeer {
+    bool done = false;
+    bool ok = false;
   };
 
   void finish_fast();
@@ -232,10 +252,11 @@ class PlsEpochExchange {
   ExchangeOutcome out_;
   std::optional<ScopedLogContext> log_ctx_;
   std::optional<obs::SpanGuard> epoch_span_;
-  // Robust-mode state (left empty on the fast path).
-  std::vector<PeerState> peers_;
-  std::vector<bool> frame_ok_;
-  std::vector<std::vector<std::byte>> wires_;  // retransmission masters
+  // Robust-mode state (left empty on the fast path), slot-indexed.
+  std::vector<SendPeer> send_state_;           // [send slot]
+  std::vector<RecvPeer> recv_state_;           // [recv slot]
+  std::vector<char> frame_ok_;                 // [recv slot]
+  std::vector<std::vector<std::byte>> wires_;  // masters, [send slot]
   bool trivial_ = true;
   bool posted_ = false;
   bool finished_ = false;

@@ -48,6 +48,18 @@ void log_context(int rank, std::int64_t epoch) {
 
 void clear_log_context() { thread_log_context().active = false; }
 
+LogContextState log_context_state() {
+  const auto& ctx = thread_log_context();
+  return LogContextState{ctx.active, ctx.rank, ctx.epoch};
+}
+
+void restore_log_context(const LogContextState& state) {
+  auto& ctx = thread_log_context();
+  ctx.active = state.active;
+  ctx.rank = state.rank;
+  ctx.epoch = state.epoch;
+}
+
 ScopedLogContext::ScopedLogContext(int rank, std::int64_t epoch) {
   const auto& ctx = thread_log_context();
   had_previous_ = ctx.active;

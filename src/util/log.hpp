@@ -31,6 +31,18 @@ LogLevel parse_log_level(const std::string& s);
 void log_context(int rank, std::int64_t epoch);
 void clear_log_context();
 
+/// Snapshot of the calling thread's log context, opaque except to
+/// restore_log_context. Fiber schedulers capture one before switching
+/// fibers and restore it after, so "[r e]" prefixes follow the logical
+/// rank rather than the OS thread it happens to run on.
+struct LogContextState {
+  bool active = false;
+  int rank = 0;
+  std::int64_t epoch = 0;
+};
+[[nodiscard]] LogContextState log_context_state();
+void restore_log_context(const LogContextState& state);
+
 /// RAII log context: installs (rank, epoch) for the calling thread and
 /// restores the previous context on scope exit.
 class ScopedLogContext {

@@ -48,6 +48,10 @@ enum class LockRank : int {
   kCommRequest = 12,   ///< comm::detail::RequestState::mu
   kCommBarrier = 14,   ///< comm::detail::WorldState barrier
   kFault = 20,         ///< comm::FaultInjector queue/stats
+  kShufflePolicy = 24, ///< shuffle::Topology process-wide policy slot —
+                       ///< read once per epoch with no other lock held
+  kPlanCache = 25,     ///< shuffle plan interning cache (virtual-rank
+                       ///< worlds share one plan per epoch through it)
   kBatchLoader = 30,   ///< data::BatchLoader prefetch queue
   kFileStore = 40,     ///< io::FileSampleStore directory ops
   kObs = 45,           ///< obs metrics registry / tracer buffers — above

@@ -519,6 +519,9 @@ atomics_profiles() {
           {"src/obs/clock.hpp", {"acquire", "release", "acq_rel"}},
           {"src/obs/clock.cpp", {"acquire", "release", "acq_rel"}},
           {"src/shuffle/exchange_wire.cpp", {"acquire", "release"}},
+          // Plan-interning switch: plain published flag, same discipline
+          // as the wire switch above.
+          {"src/shuffle/exchange_plan.cpp", {"acquire", "release"}},
           // Slot-index backend switch: plain published flag.
           {"src/io/slot_index.cpp", {"acquire", "release"}},
           // Epoch pins: CAS-claimed under the store lock, released with a
@@ -526,6 +529,10 @@ atomics_profiles() {
           {"src/io/mmap_store.cpp", {"acquire", "release", "acq_rel"}},
           {"src/tensor/tensor.cpp", {"acquire", "release"}},
           {"src/util/ranked_mutex.cpp", {"seq_cst", "acquire", "acq_rel"}},
+          // src/netsim/* has NO entry on purpose: the virtual-rank
+          // backend is single-OS-thread by design (fibers + one event
+          // loop), so any atomic appearing there should trip the
+          // seq_cst-only fallback and force a review.
       };
   return table;
 }

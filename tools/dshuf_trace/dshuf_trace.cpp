@@ -27,6 +27,11 @@
 // skew from injected faults (cross-checked against comm.fault.* when
 // --metrics is given).
 //
+// Virtual-backend traces carry thousands of rank tracks; above 64 the
+// per-rank and per-track tables collapse into contiguous rank groups
+// (mean/max columns, max annotated with the owning rank). --group-size=S
+// forces a specific grouping; the default 0 auto-sizes to <= 64 rows.
+//
 // Parsing/analysis live in trace_analysis.{hpp,cpp} (dshuf_trace_lib) so
 // tests exercise the same code paths.
 
@@ -81,21 +86,72 @@ void print_top_spans(const std::vector<Ev>& events, std::size_t top_n) {
   t.print(std::cout);
 }
 
-void print_tracks(const std::vector<Ev>& events) {
+std::size_t effective_group_size(std::size_t requested, std::size_t ranks);
+
+void print_tracks(const std::vector<Ev>& events, std::size_t group_size) {
   const auto agg = dshuf::tracetool::self_time_by_track(events);
   if (agg.size() < 2) return;  // single lane: nothing to break down
   const auto names = dshuf::tracetool::thread_names(events);
-  dshuf::TextTable t("Self-time per track");
-  t.header({"track", "spans", "busy_ms"});
+  const std::size_t gs = effective_group_size(group_size, agg.size());
+  if (gs <= 1) {
+    dshuf::TextTable t("Self-time per track");
+    t.header({"track", "spans", "busy_ms"});
+    for (const auto& [tid, a] : agg) {
+      t.row({track_label(names, tid), std::to_string(a.count),
+             dshuf::fmt_double(static_cast<double>(a.self_us) / 1e3)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+    return;
+  }
+  struct GroupAgg {
+    std::size_t tracks = 0;
+    std::uint64_t count = 0;
+    std::uint64_t self_us = 0;
+  };
+  std::map<std::int64_t, GroupAgg> by_group;
   for (const auto& [tid, a] : agg) {
-    t.row({track_label(names, tid), std::to_string(a.count),
-           dshuf::fmt_double(static_cast<double>(a.self_us) / 1e3)});
+    auto& g =
+        by_group[tid >= 0 ? tid / static_cast<std::int64_t>(gs) : -1];
+    ++g.tracks;
+    g.count += a.count;
+    g.self_us += a.self_us;
+  }
+  dshuf::TextTable t("Self-time per track group (group size " +
+                     std::to_string(gs) + ")");
+  t.header({"tracks", "n", "spans", "busy_ms (mean)"});
+  for (const auto& [g, ga] : by_group) {
+    const std::string label =
+        g < 0 ? "other"
+              : std::to_string(g * static_cast<std::int64_t>(gs)) + ".." +
+                    std::to_string((g + 1) * static_cast<std::int64_t>(gs) -
+                                   1);
+    t.row({label, std::to_string(ga.tracks), std::to_string(ga.count),
+           dshuf::fmt_double(static_cast<double>(ga.self_us) / 1e3 /
+                             static_cast<double>(ga.tracks))});
   }
   t.print(std::cout);
   std::cout << "\n";
 }
 
-void print_exchange_by_rank(const std::vector<Ev>& events) {
+// Per-rank tables stop being readable once the virtual backend puts
+// thousands of rank tracks in one trace; past this many rows the
+// breakdown collapses into contiguous rank groups.
+constexpr std::size_t kMaxRankRows = 64;
+
+// Effective group size: an explicit --group-size wins; otherwise the
+// smallest power of two that fits `ranks` tracks into kMaxRankRows rows
+// (1 = no grouping).
+std::size_t effective_group_size(std::size_t requested, std::size_t ranks) {
+  if (requested > 0) return requested;
+  if (ranks <= kMaxRankRows) return 1;
+  std::size_t gs = 1;
+  while ((ranks + gs - 1) / gs > kMaxRankRows) gs *= 2;
+  return gs;
+}
+
+void print_exchange_by_rank(const std::vector<Ev>& events,
+                            std::size_t group_size) {
   struct RankAgg {
     std::uint64_t epochs = 0;
     std::uint64_t exchange_us = 0;
@@ -122,13 +178,62 @@ void print_exchange_by_rank(const std::vector<Ev>& events) {
     std::cout << "(no exchange.* spans in trace)\n";
     return;
   }
-  dshuf::TextTable t("Exchange totals per rank");
-  t.header({"rank", "epochs", "exchange_ms", "fence_ms", "bytes"});
+
+  const std::size_t gs = effective_group_size(group_size, by_rank.size());
+  if (gs <= 1) {
+    dshuf::TextTable t("Exchange totals per rank");
+    t.header({"rank", "epochs", "exchange_ms", "fence_ms", "bytes"});
+    for (const auto& [rank, a] : by_rank) {
+      t.row({std::to_string(rank), std::to_string(a.epochs),
+             dshuf::fmt_double(static_cast<double>(a.exchange_us) / 1e3),
+             dshuf::fmt_double(static_cast<double>(a.fence_us) / 1e3),
+             std::to_string(a.bytes)});
+    }
+    t.print(std::cout);
+    return;
+  }
+
+  struct GroupAgg {
+    std::size_t ranks = 0;
+    std::uint64_t epochs = 0;
+    std::uint64_t exchange_us = 0;
+    std::uint64_t fence_us = 0;
+    std::uint64_t fence_max_us = 0;
+    std::int64_t fence_max_rank = -1;
+    std::uint64_t bytes = 0;
+  };
+  std::map<std::int64_t, GroupAgg> by_group;
   for (const auto& [rank, a] : by_rank) {
-    t.row({std::to_string(rank), std::to_string(a.epochs),
-           dshuf::fmt_double(static_cast<double>(a.exchange_us) / 1e3),
-           dshuf::fmt_double(static_cast<double>(a.fence_us) / 1e3),
-           std::to_string(a.bytes)});
+    const std::int64_t g =
+        rank >= 0 ? rank / static_cast<std::int64_t>(gs) : -1;
+    auto& ga = by_group[g];
+    ++ga.ranks;
+    ga.epochs += a.epochs;
+    ga.exchange_us += a.exchange_us;
+    ga.fence_us += a.fence_us;
+    ga.bytes += a.bytes;
+    if (a.fence_us >= ga.fence_max_us) {
+      ga.fence_max_us = a.fence_us;
+      ga.fence_max_rank = rank;
+    }
+  }
+  dshuf::TextTable t("Exchange totals per rank group (group size " +
+                     std::to_string(gs) + ")");
+  t.header({"ranks", "n", "epochs", "exchange_ms (mean)",
+            "fence_ms (mean)", "fence_ms (max @ rank)", "bytes"});
+  for (const auto& [g, ga] : by_group) {
+    const double n = static_cast<double>(ga.ranks);
+    const std::string label =
+        g < 0 ? "other"
+              : std::to_string(g * static_cast<std::int64_t>(gs)) + ".." +
+                    std::to_string((g + 1) * static_cast<std::int64_t>(gs) -
+                                   1);
+    t.row({label, std::to_string(ga.ranks), std::to_string(ga.epochs),
+           dshuf::fmt_double(static_cast<double>(ga.exchange_us) / 1e3 / n),
+           dshuf::fmt_double(static_cast<double>(ga.fence_us) / 1e3 / n),
+           dshuf::fmt_double(static_cast<double>(ga.fence_max_us) / 1e3) +
+               " @ " + std::to_string(ga.fence_max_rank),
+           std::to_string(ga.bytes)});
   }
   t.print(std::cout);
 }
@@ -228,6 +333,10 @@ int main(int argc, char** argv) {
   args.flag("min-overlap", "",
             "fail unless the exchange/compute overlap efficiency is >= "
             "this fraction (e.g. 0.5)");
+  args.flag("group-size", "0",
+            "collapse the per-rank/per-track tables into contiguous rank "
+            "groups of this size (0 = auto: group only when a virtual-"
+            "backend trace carries more than 64 rank tracks)");
   try {
     if (!args.parse(argc, argv)) return 0;
     const std::string trace_path = args.get("trace");
@@ -304,12 +413,14 @@ int main(int argc, char** argv) {
       return rc;
     }
 
+    const auto group_size = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, args.get_int("group-size")));
     print_top_spans(events,
                     static_cast<std::size_t>(
                         std::max<std::int64_t>(1, args.get_int("top"))));
     std::cout << "\n";
-    print_tracks(events);
-    print_exchange_by_rank(events);
+    print_tracks(events, group_size);
+    print_exchange_by_rank(events, group_size);
     std::cout << "\n";
     print_overlap(dshuf::tracetool::overlap_report(events));
     if (!counters.empty()) {
